@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+it, so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+reproduction harness.  Scales are reduced relative to the experiments'
+defaults to keep a full sweep in minutes; set REPRO_BENCH_SCALE to
+override.
+"""
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def run_and_print(benchmark, fn, *args, **kwargs):
+    """Run an experiment once under pytest-benchmark and print it."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                rounds=1, iterations=1)
+    print()
+    result.print()
+    return result

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate CS1 (RLE sort-order sensitivity, Section 8)."""
+
+from conftest import run_and_print
+
+from repro.experiments import cs1_sort_order
+
+
+def test_cs1_sort_order(benchmark, bench_scale):
+    result = run_and_print(benchmark, cs1_sort_order.run, scale=bench_scale)
+    factors = result.column("x-smaller-lead")
+    rle_totals = result.column("rle-bytes")
+    best_totals = result.column("best-bytes")
+    # Sorting by the 3-value l_returnflag collapses it by orders of
+    # magnitude; sorting by the near-unique l_extendedprice cannot.
+    assert factors[0] > 100.0
+    assert factors[0] > 10.0 * factors[-1]
+    # The best-encoding store never loses to the pure-RLE store.
+    assert all(b <= r for b, r in zip(best_totals, rle_totals))

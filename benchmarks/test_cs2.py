@@ -1,0 +1,16 @@
+"""Benchmark: regenerate CS2 (compression-aware projection design)."""
+
+from conftest import run_and_print
+
+from repro.experiments import cs2_columnstore_advisor
+
+
+def test_cs2_columnstore_advisor(benchmark, bench_scale):
+    result = run_and_print(
+        benchmark, cs2_columnstore_advisor.run, scale=bench_scale
+    )
+    aware = result.column("aware")
+    blind = result.column("blind")
+    # Integrated design never loses, and wins somewhere.
+    assert all(a >= b - 1e-6 for a, b in zip(aware, blind))
+    assert max(a - b for a, b in zip(aware, blind)) > 1.0

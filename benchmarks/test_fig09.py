@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 9 (SampleCF error vs sampling ratio)."""
+
+from conftest import run_and_print
+
+from repro.experiments import fig09_samplecf_error
+
+
+def test_fig09_samplecf_error(benchmark, bench_scale):
+    result = run_and_print(benchmark, fig09_samplecf_error.run,
+                           scale=bench_scale)
+    ld_bias = result.column("LD-Bias%")
+    ns_bias = result.column("NS-Bias%")
+    # Paper shape: LD bias shrinks as f grows; NS bias stays near zero.
+    assert abs(ld_bias[-1]) <= abs(ld_bias[0]) + 1.0
+    assert all(abs(b) < 5.0 for b in ns_bias)

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 10 (deduction error vs #indexes)."""
+
+from conftest import run_and_print
+
+from repro.experiments import fig10_deduction_error
+
+
+def test_fig10_deduction_error(benchmark, bench_scale):
+    result = run_and_print(benchmark, fig10_deduction_error.run,
+                           scale=bench_scale)
+    # Paper shape: errors stay bounded per extrapolated index.  The
+    # bound is loose at benchmark scale (tiny tables quantize hard).
+    for row in result.rows:
+        a = row[0]
+        for value in row[1:]:
+            assert abs(value) <= 20.0 * a

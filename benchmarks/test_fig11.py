@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 11 (size-estimation runtime breakdown)."""
+
+from conftest import run_and_print
+
+from repro.experiments import fig11_runtime_breakdown
+
+
+def test_fig11_runtime_breakdown(benchmark, bench_scale):
+    result = run_and_print(benchmark, fig11_runtime_breakdown.run,
+                           scale=bench_scale)
+    rows = {row[0]: row for row in result.rows}
+    # Paper shape: deductions replace SampleCF runs.  (Wall-clock at
+    # benchmark scale is sub-second and noisy, so the deterministic
+    # check is the run count.)
+    runs_without = rows["SampleCF-Runs"][1]
+    runs_with = rows["SampleCF-Runs"][2]
+    assert runs_with <= runs_without

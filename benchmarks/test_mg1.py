@@ -1,0 +1,16 @@
+"""Benchmark: regenerate MG1 (compression-aware merging ablation)."""
+
+from conftest import run_and_print
+
+from repro.experiments import mg1_merging_ablation
+
+
+def test_mg1_merging_ablation(benchmark, bench_scale):
+    result = run_and_print(
+        benchmark, mg1_merging_ablation.run, scale=bench_scale
+    )
+    aware = result.column("cf-aware-merge")
+    plain = result.column("plain-merge")
+    # The reshaped candidates only *add* options the optimizer can
+    # decline, so compression-aware merging never loses materially.
+    assert all(a >= p - 0.5 for a, p in zip(aware, plain))

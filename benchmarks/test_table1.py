@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (MV row-count estimation errors)."""
+
+from conftest import run_and_print
+
+from repro.experiments import table1_mv_rowcount
+
+
+def test_table1_mv_rowcount(benchmark, bench_scale):
+    result = run_and_print(benchmark, table1_mv_rowcount.run,
+                           scale=bench_scale)
+    errors = dict(zip(result.column("Estimator"), result.column("AvgError%")))
+    # Paper shape: AE << Optimizer << Multiply.
+    assert errors["AE"] < errors["Optimizer"] < errors["Multiply"]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 2 (SampleCF error fit across datasets)."""
+
+from conftest import run_and_print
+
+from repro.experiments import table2_error_fit
+
+
+def test_table2_error_fit(benchmark, bench_scale):
+    result = run_and_print(benchmark, table2_error_fit.run,
+                           scale=bench_scale)
+    measured = [row for row in result.rows if not row[0].startswith("paper")]
+    # Paper shape: coefficients positive and stable across datasets
+    # (LD stddev within a small factor between datasets).
+    ld_std = [row[3] for row in measured]
+    assert all(c > 0 for c in ld_std)
+    assert max(ld_std) <= 4 * max(min(ld_std), 1e-4)

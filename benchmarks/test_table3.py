@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 3 (deduction error formulas)."""
+
+from conftest import run_and_print
+
+from repro.experiments import table3_deduction_fit
+
+
+def test_table3_deduction_fit(benchmark, bench_scale):
+    result = run_and_print(benchmark, table3_deduction_fit.run,
+                           scale=bench_scale)
+    rows = {row[0]: row for row in result.rows}
+    # Paper shape: ColSet is (near) exact; ColExt errors are small per
+    # extrapolated index (|bias| coefficient within a few percent).
+    assert abs(rows["ColSet(NS)"][1]) < 0.01
+    assert abs(rows["ColExt(NS)"][1]) < 0.08
+    assert abs(rows["ColExt(LD)"][1]) < 0.12

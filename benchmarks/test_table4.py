@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 4 (graph algorithm quality)."""
+
+import math
+
+from conftest import run_and_print
+
+from repro.experiments import table4_graph_quality
+
+
+def test_table4_graph_quality(benchmark, bench_scale):
+    result = run_and_print(benchmark, table4_graph_quality.run,
+                           scale=bench_scale)
+    for row in result.rows:
+        _f, all_cost, greedy, optimal, _ratio = row
+        if math.isinf(all_cost):
+            continue
+        # Paper shape: Optimal <= Greedy <= All, and Greedy never worse
+        # than All (it can always fall back to sampling everything).
+        assert optimal <= greedy + 1e-9
+        assert greedy <= all_cost + 1e-9

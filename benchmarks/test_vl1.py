@@ -1,0 +1,17 @@
+"""Benchmark: regenerate VL1 (ground-truth recommendation validation)."""
+
+from conftest import run_and_print
+
+from repro.experiments import vl1_validation
+
+
+def test_vl1_validation(benchmark, bench_scale):
+    result = run_and_print(benchmark, vl1_validation.run, scale=bench_scale)
+    true_impr = result.column("true-impr%")
+    est_impr = result.column("est-impr%")
+    budget_ok = result.column("budget-ok")
+    # Recommendations must survive deployment: positive improvement with
+    # physically built structures, budget respected, estimates close.
+    assert all(t > 0 for t in true_impr)
+    assert all(ok == "True" for ok in budget_ok)
+    assert all(abs(t - e) < 20.0 for t, e in zip(true_impr, est_impr))

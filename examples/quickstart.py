@@ -1,0 +1,37 @@
+"""Quickstart: tune a TPC-H workload with the compression-aware advisor.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import tpch_database, tpch_workload, tune
+
+def main() -> None:
+    # 1. Generate a scaled-down TPC-H database (60k-row lineitem at
+    #    scale=1.0; 0.2 keeps this demo snappy).
+    db = tpch_database(scale=0.2)
+    print(f"database: {db.name}, raw size "
+          f"{db.total_data_bytes() / 1024:.0f} KiB")
+
+    # 2. The 22-query analytic workload plus two bulk loads, weighted
+    #    toward SELECTs.
+    workload = tpch_workload(db, select_weight=10.0, insert_weight=1.0)
+
+    # 3. Tune under a storage budget of 15% of the raw data size, with
+    #    the full compression-aware tool (skyline candidate selection +
+    #    backtracking enumeration).
+    budget = db.total_data_bytes() * 0.15
+    result = tune(db, workload, budget, variant="dtac-both")
+
+    print(f"\nimprovement: {result.improvement_pct:.1f}% "
+          f"(workload cost {result.base_cost:.0f} -> "
+          f"{result.final_cost:.0f})")
+    print(f"budget: {budget / 1024:.0f} KiB, consumed: "
+          f"{result.consumed_bytes / 1024:.0f} KiB")
+    print("\nrecommended configuration:")
+    for ix in sorted(result.configuration, key=lambda i: i.display_name()):
+        size_kib = result.sizes[ix] / 1024
+        print(f"  {ix.display_name():60s} {size_kib:8.0f} KiB")
+
+
+if __name__ == "__main__":
+    main()

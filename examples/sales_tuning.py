@@ -1,0 +1,60 @@
+"""Sales workload: how update intensity changes the recommended design.
+
+Reproduces the paper's core qualitative finding interactively: on a
+SELECT-intensive workload DTAc compresses aggressively; on an
+INSERT-intensive one it holds back (compression CPU on maintenance), and
+a naive tool that compresses everything after the fact does worse.
+
+Run:  python examples/sales_tuning.py
+"""
+
+from repro import (
+    DatabaseStats,
+    SizeEstimator,
+    sales_database,
+    sales_workload,
+    tune,
+    tune_decoupled,
+)
+
+
+def describe(tag, result) -> None:
+    compressed = [ix for ix in result.configuration if ix.is_compressed]
+    print(f"\n== {tag} ==")
+    print(f"improvement {result.improvement_pct:5.1f}%   "
+          f"indexes {len(list(result.configuration)):2d}   "
+          f"compressed {len(compressed):2d}")
+    for ix in sorted(compressed, key=lambda i: i.display_name())[:6]:
+        print(f"   {ix.display_name()}")
+
+
+def main() -> None:
+    db = sales_database(scale=0.3)
+    stats = DatabaseStats(db)
+    estimator = SizeEstimator(db, stats=stats)
+    budget = db.total_data_bytes() * 0.10
+    print(f"Sales database: {db.total_data_bytes() / 1024:.0f} KiB raw, "
+          f"budget {budget / 1024:.0f} KiB")
+
+    select_heavy = sales_workload(db, select_weight=10.0, insert_weight=1.0)
+    insert_heavy = sales_workload(db, select_weight=1.0, insert_weight=15.0)
+
+    describe(
+        "SELECT-intensive, DTAc",
+        tune(db, select_heavy, budget, variant="dtac-both",
+             estimator=estimator, stats=stats),
+    )
+    describe(
+        "INSERT-intensive, DTAc",
+        tune(db, insert_heavy, budget, variant="dtac-both",
+             estimator=estimator, stats=stats),
+    )
+    describe(
+        "INSERT-intensive, decoupled strawman (compress everything)",
+        tune_decoupled(db, insert_heavy, budget,
+                       estimator=estimator, stats=stats),
+    )
+
+
+if __name__ == "__main__":
+    main()

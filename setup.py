@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept so `pip install -e .` works in offline environments whose setuptools
+predates PEP 660 editable-wheel support (falls back to `setup.py develop`
+via `--no-use-pep517`). All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

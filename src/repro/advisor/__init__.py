@@ -1,0 +1,52 @@
+"""Physical design advisor: DTA baseline and compression-aware DTAc."""
+
+from repro.advisor.advisor import (
+    VARIANTS,
+    AdvisorOptions,
+    AdvisorResult,
+    TuningAdvisor,
+    tune,
+    tune_decoupled,
+)
+from repro.advisor.candidates import (
+    CandidateOptions,
+    candidate_indexes,
+    expand_compression_variants,
+    mv_candidates,
+)
+from repro.advisor.enumeration import (
+    EnumerationOptions,
+    EnumerationResult,
+    Enumerator,
+)
+from repro.advisor.merging import generate_merged_candidates, merge_pair
+from repro.advisor.selection import (
+    CandidateConfiguration,
+    cluster_skyline,
+    evaluate_candidates,
+    select_skyline,
+    select_top_k,
+)
+
+__all__ = [
+    "AdvisorOptions",
+    "AdvisorResult",
+    "TuningAdvisor",
+    "VARIANTS",
+    "tune",
+    "tune_decoupled",
+    "CandidateOptions",
+    "candidate_indexes",
+    "expand_compression_variants",
+    "mv_candidates",
+    "CandidateConfiguration",
+    "evaluate_candidates",
+    "select_top_k",
+    "select_skyline",
+    "cluster_skyline",
+    "merge_pair",
+    "generate_merged_candidates",
+    "EnumerationOptions",
+    "EnumerationResult",
+    "Enumerator",
+]

@@ -1,0 +1,390 @@
+"""The tuning advisor front end: DTA (baseline) and DTAc (compression
+aware), mirroring the architecture of Figure 1/4 — candidate selection,
+merging, enumeration — with the compression extensions of Sections 4-6.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from repro.advisor.candidates import (
+    CandidateOptions,
+    candidate_indexes,
+    expand_compression_variants,
+)
+from repro.advisor.enumeration import (
+    EnumerationOptions,
+    Enumerator,
+)
+from repro.advisor.merging import (
+    compression_aware_variants,
+    generate_merged_candidates,
+)
+from repro.advisor.selection import (
+    cluster_skyline,
+    evaluate_candidates,
+    select_skyline,
+    select_top_k,
+)
+from repro.catalog.schema import Database
+from repro.compression.base import CompressionMethod
+from repro.errors import AdvisorError
+from repro.optimizer.constants import DEFAULT_COST_CONSTANTS, CostConstants
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.physical.configuration import Configuration
+from repro.physical.index_def import IndexDef
+from repro.sizeest.estimator import SizeEstimator
+from repro.stats.column_stats import DatabaseStats
+from repro.storage.index_build import IndexKind
+from repro.storage.page import quantize_bytes
+from repro.workload.query import SelectQuery, Workload
+
+
+@dataclass(frozen=True)
+class AdvisorOptions:
+    """Advisor configuration.
+
+    The paper's tool variants map to flags:
+
+    * DTA:              ``enable_compression=False`` (top-k, pure greedy)
+    * DTAc (None):      compression on, top-k, no backtracking
+    * DTAc (Skyline):   compression on, skyline selection
+    * DTAc (Backtrack): compression on, backtracking enumeration
+    * DTAc (Both):      compression on, skyline + backtracking
+    """
+
+    budget_bytes: float
+    enable_compression: bool = True
+    candidate_selection: str = "topk"  # 'topk' | 'skyline'
+    top_k: int = 2
+    strategy: str = "greedy"  # 'greedy' | 'density'
+    backtracking: bool = False
+    seed_fanout: int = 3
+    enable_partial: bool = False
+    enable_mv: bool = False
+    enable_merging: bool = True
+    compression_aware_merging: bool = True
+    max_key_columns: int = 4
+    skyline_cluster_max: int = 12
+    e: float = 0.5
+    q: float = 0.9
+
+
+@dataclass
+class AdvisorResult:
+    """Outcome of a tuning run.
+
+    ``improvement`` is the paper's metric: the relative drop in the
+    optimizer-estimated weighted workload cost from the base configuration
+    to the recommendation (0.75 = a 4x speedup).
+    """
+
+    configuration: Configuration
+    base_configuration: Configuration
+    base_cost: float
+    final_cost: float
+    consumed_bytes: float
+    budget_bytes: float
+    elapsed_seconds: float
+    candidate_count: int
+    pool_size: int
+    sizes: dict[IndexDef, float] = field(default_factory=dict)
+    steps: list[str] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        if self.base_cost <= 0:
+            return 0.0
+        return 1.0 - self.final_cost / self.base_cost
+
+    @property
+    def improvement_pct(self) -> float:
+        return 100.0 * self.improvement
+
+
+class TuningAdvisor:
+    """Runs one tuning session over a database + weighted workload."""
+
+    def __init__(
+        self,
+        database: Database,
+        workload: Workload,
+        options: AdvisorOptions,
+        estimator: SizeEstimator | None = None,
+        stats: DatabaseStats | None = None,
+        constants: CostConstants = DEFAULT_COST_CONSTANTS,
+        base_config: Configuration | None = None,
+    ) -> None:
+        self.database = database
+        self.workload = workload
+        self.options = options
+        self.stats = stats or DatabaseStats(database)
+        self.estimator = estimator or SizeEstimator(
+            database, stats=self.stats, e=options.e, q=options.q
+        )
+        self.whatif = WhatIfOptimizer(
+            database, self.stats, sizes=self._size_lookup, constants=constants
+        )
+        self.base_config = base_config or self.default_base_configuration()
+        self._original_base_sizes = {
+            ix.table: self._index_size(ix) for ix in self.base_config
+        }
+
+    # ------------------------------------------------------------------
+    def default_base_configuration(self) -> Configuration:
+        """Uncompressed heaps for every table (the untuned database)."""
+        return Configuration(
+            IndexDef(t.name, (), kind=IndexKind.HEAP)
+            for t in self.database.tables
+        )
+
+    # ------------------------------------------------------------------
+    def _index_size(self, index: IndexDef) -> float:
+        # Whole-page quantization at the consumer boundary: the advisor
+        # budgets real pages, while the estimator works in fractional
+        # bytes for deduction accuracy.
+        return quantize_bytes(self.estimator.estimate(index).est_bytes)
+
+    def _size_lookup(self, index: IndexDef) -> tuple[float, float]:
+        return (
+            self._index_size(index),
+            self.estimator.sizer.estimated_rows(index),
+        )
+
+    def _workload_cost(self, config: Configuration) -> float:
+        return self.whatif.workload_cost(self.workload, config)
+
+    def _query_cost(self, query: SelectQuery, config: Configuration) -> float:
+        return self.whatif.cost(query, config).total
+
+    # ------------------------------------------------------------------
+    def run(self) -> AdvisorResult:
+        """Run one full tuning session: candidate generation, batch size
+        estimation, per-query selection, merging, and enumeration."""
+        start = time.perf_counter()
+        options = self.options
+        cand_options = CandidateOptions(
+            enable_compression=options.enable_compression,
+            enable_partial=options.enable_partial,
+            enable_mv=options.enable_mv,
+            max_key_columns=options.max_key_columns,
+        )
+
+        # 1. Per-query syntactic candidates, expanded per compression
+        #    method, sizes estimated in one batch (Section 5's framework).
+        per_query: dict[int, list[IndexDef]] = {}
+        all_candidates: list[IndexDef] = []
+        for qi, ws in enumerate(self.workload.queries):
+            query = ws.statement
+            base = candidate_indexes(self.database, query, cand_options)
+            expanded = expand_compression_variants(
+                base, options.enable_compression
+            )
+            per_query[qi] = expanded
+            all_candidates.extend(expanded)
+        unique_candidates = list(dict.fromkeys(all_candidates))
+        compressed = [
+            ix for ix in unique_candidates if ix.method.is_compressed
+        ]
+        if compressed:
+            self.estimator.estimate_many(compressed, options.e, options.q)
+
+        # 2. Candidate selection per query: top-k or skyline (Section 6.1).
+        pool: list[IndexDef] = []
+        for qi, ws in enumerate(self.workload.queries):
+            query = ws.statement
+            configs = evaluate_candidates(
+                query,
+                per_query[qi],
+                self.base_config,
+                self._query_cost,
+                self._index_size,
+            )
+            if options.candidate_selection == "skyline":
+                selected = select_skyline(configs)
+                selected = cluster_skyline(
+                    selected, options.skyline_cluster_max
+                )
+                # The skyline *adds* slow-but-small candidates; it must
+                # not lose the fast ones top-k keeps (the second-best
+                # may be dominated and off the skyline entirely).
+                for keep in select_top_k(configs, options.top_k):
+                    if keep not in selected:
+                        selected.append(keep)
+            elif options.candidate_selection == "topk":
+                selected = select_top_k(configs, options.top_k)
+            else:
+                raise AdvisorError(
+                    f"unknown selection {options.candidate_selection!r}"
+                )
+            for config in selected:
+                pool.extend(config.indexes)
+        pool = list(dict.fromkeys(pool))
+
+        # 3. Merging (Figure 1): merged variants join the pool.  With
+        #    compression enabled, each merged object also spawns the
+        #    column reshapes of Section 6.2's closing note (key
+        #    permutations / included-column promotion that improve the
+        #    compression fraction).
+        if options.enable_merging:
+            merged = generate_merged_candidates(pool)
+            if options.enable_compression and options.compression_aware_merging:
+                reshaped: list[IndexDef] = []
+                for m in merged:
+                    reshaped.extend(
+                        compression_aware_variants(
+                            m,
+                            lambda t, c: (
+                                self.stats.table(t).column(c).n_distinct
+                            ),
+                            lambda t: self.database.table(t).num_rows,
+                        )
+                    )
+                merged = merged + reshaped
+            merged = expand_compression_variants(
+                merged, options.enable_compression
+            )
+            new_compressed = [m for m in merged if m.method.is_compressed]
+            if new_compressed:
+                self.estimator.estimate_many(
+                    new_compressed, options.e, options.q
+                )
+            pool.extend(dict.fromkeys(merged))
+
+        # 3.5 Compressed variants of the existing base structures: DTAc
+        #     can reclaim space — even at a 0% budget — by compressing a
+        #     table's heap/clustered index and spending the savings on
+        #     secondary indexes (Appendix D.2). These moves must be
+        #     first-class pool members, not only backtracking swaps,
+        #     or the greedy search can never reach them when nothing
+        #     is oversized.
+        if options.enable_compression:
+            base_variants = [
+                ix.with_method(method)
+                for ix in self.base_config
+                for method in (CompressionMethod.ROW, CompressionMethod.PAGE)
+            ]
+            self.estimator.estimate_many(base_variants, options.e, options.q)
+            pool.extend(v for v in base_variants if v not in pool)
+
+        # 4. Enumeration (Section 6.2).
+        enum_options = EnumerationOptions(
+            budget_bytes=options.budget_bytes,
+            strategy=options.strategy,
+            backtracking=options.backtracking,
+            seed_fanout=options.seed_fanout,
+            allow_compression=options.enable_compression,
+        )
+        enumerator = Enumerator(
+            self.workload,
+            self._workload_cost,
+            self._index_size,
+            self._original_base_sizes,
+            enum_options,
+        )
+        base_cost = self._workload_cost(self.base_config)
+        result = enumerator.run(pool, self.base_config)
+
+        sizes = {
+            ix: self._index_size(ix) for ix in result.configuration
+        }
+        return AdvisorResult(
+            configuration=result.configuration,
+            base_configuration=self.base_config,
+            base_cost=base_cost,
+            final_cost=result.cost,
+            consumed_bytes=result.consumed_bytes,
+            budget_bytes=options.budget_bytes,
+            elapsed_seconds=time.perf_counter() - start,
+            candidate_count=len(unique_candidates),
+            pool_size=len(pool),
+            sizes=sizes,
+            steps=result.steps,
+        )
+
+
+#: Named advisor variants used throughout the experiments.
+VARIANTS: dict[str, dict] = {
+    "dta": dict(enable_compression=False, candidate_selection="topk",
+                backtracking=False),
+    "dtac-none": dict(enable_compression=True, candidate_selection="topk",
+                      backtracking=False),
+    "dtac-skyline": dict(enable_compression=True,
+                         candidate_selection="skyline", backtracking=False),
+    "dtac-backtrack": dict(enable_compression=True,
+                           candidate_selection="topk", backtracking=True),
+    "dtac-both": dict(enable_compression=True, candidate_selection="skyline",
+                      backtracking=True),
+}
+
+
+def tune(
+    database: Database,
+    workload: Workload,
+    budget_bytes: float,
+    variant: str = "dtac-both",
+    estimator: SizeEstimator | None = None,
+    stats: DatabaseStats | None = None,
+    **extra,
+) -> AdvisorResult:
+    """One-call tuning with a named variant (see :data:`VARIANTS`)."""
+    if variant not in VARIANTS:
+        raise AdvisorError(
+            f"unknown variant {variant!r}; choose from {sorted(VARIANTS)}"
+        )
+    options = AdvisorOptions(
+        budget_bytes=budget_bytes, **{**VARIANTS[variant], **extra}
+    )
+    advisor = TuningAdvisor(
+        database, workload, options, estimator=estimator, stats=stats
+    )
+    return advisor.run()
+
+
+def tune_decoupled(
+    database: Database,
+    workload: Workload,
+    budget_bytes: float,
+    estimator: SizeEstimator | None = None,
+    stats: DatabaseStats | None = None,
+    method: CompressionMethod = CompressionMethod.PAGE,
+    **extra,
+) -> AdvisorResult:
+    """The staged strawman of Example 1/2: select indexes *without*
+    considering compression, then blindly compress everything selected.
+    Reproduces the paper's anecdote that decoupling can even slow a
+    workload down as budgets grow (INSERT-intensive cases)."""
+    options = AdvisorOptions(
+        budget_bytes=budget_bytes, **{**VARIANTS["dta"], **extra}
+    )
+    advisor = TuningAdvisor(
+        database, workload, options, estimator=estimator, stats=stats
+    )
+    staged = advisor.run()
+    compressed = Configuration(
+        ix.with_method(method) for ix in staged.configuration
+    )
+    final_cost = advisor.whatif.workload_cost(workload, compressed)
+    consumed = sum(
+        advisor._index_size(ix) for ix in compressed
+        if ix.kind is IndexKind.SECONDARY or ix.is_mv_index
+    )
+    consumed += sum(
+        advisor._index_size(ix) - advisor._original_base_sizes[ix.table]
+        for ix in compressed
+        if ix.kind in (IndexKind.HEAP, IndexKind.CLUSTERED)
+        and not ix.is_mv_index
+    )
+    return AdvisorResult(
+        configuration=compressed,
+        base_configuration=staged.base_configuration,
+        base_cost=staged.base_cost,
+        final_cost=final_cost,
+        consumed_bytes=consumed,
+        budget_bytes=budget_bytes,
+        elapsed_seconds=staged.elapsed_seconds,
+        candidate_count=staged.candidate_count,
+        pool_size=staged.pool_size,
+        sizes={ix: advisor._index_size(ix) for ix in compressed},
+        steps=staged.steps + ["decoupled: compressed all selected indexes"],
+    )

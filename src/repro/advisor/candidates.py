@@ -1,0 +1,227 @@
+"""Syntactically relevant candidate generation (the Candidate Selection
+input of Figure 4).
+
+For each SELECT, indexable columns come from equality/range predicates,
+join columns, GROUP BY and ORDER BY; covering variants add the remaining
+referenced columns as included columns.  With compression enabled, every
+candidate is expanded into its ROW- and PAGE-compressed variants — the
+paper's observation that the candidate space multiplies per compression
+method.  Partial-index and MV candidates follow Appendix B's supported
+shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.schema import Database
+from repro.compression.base import ADVISOR_METHODS, CompressionMethod
+from repro.physical.index_def import IndexDef
+from repro.physical.mv_def import MVDefinition
+from repro.storage.index_build import IndexKind
+from repro.workload.query import SelectQuery, Statement
+
+
+@dataclass(frozen=True)
+class CandidateOptions:
+    """Knobs of candidate generation.
+
+    Attributes:
+        enable_compression: also emit ROW/PAGE variants.
+        enable_partial: emit partial (filtered) index candidates.
+        enable_mv: emit MV + MV-index candidates.
+        max_key_columns: cap on composite key length.
+        max_candidates_per_query: cap before compression expansion.
+    """
+
+    enable_compression: bool = True
+    enable_partial: bool = False
+    enable_mv: bool = False
+    max_key_columns: int = 4
+    max_candidates_per_query: int = 10
+
+
+def _table_predicate_columns(database: Database, query: SelectQuery,
+                             table: str) -> tuple[list[str], list[str]]:
+    eq_cols: list[str] = []
+    range_cols: list[str] = []
+    for p in query.predicates_of_table(database, table):
+        for c in p.columns():
+            if p.is_equality and c not in eq_cols:
+                eq_cols.append(c)
+            elif p.is_range and c not in range_cols:
+                range_cols.append(c)
+    return eq_cols, range_cols
+
+
+def _join_columns(database: Database, query: SelectQuery,
+                  table: str) -> list[str]:
+    tbl = database.table(table)
+    out = []
+    for j in query.joins:
+        for c in (j.left_column, j.right_column):
+            if tbl.has_column(c) and c not in out:
+                out.append(c)
+    return out
+
+
+def _of_table(database: Database, table: str, cols) -> list[str]:
+    tbl = database.table(table)
+    return [c for c in cols if tbl.has_column(c)]
+
+
+def candidate_indexes(
+    database: Database,
+    query: Statement,
+    options: CandidateOptions,
+) -> list[IndexDef]:
+    """Candidate indexes (and MV indexes) for one statement."""
+    if not isinstance(query, SelectQuery):
+        return []
+    out: list[IndexDef] = []
+    seen: set = set()
+
+    def emit(index: IndexDef) -> None:
+        key = (index.table, index.key_columns, index.included_columns,
+               index.kind, index.filter, index.mv)
+        if key not in seen:
+            seen.add(key)
+            out.append(index)
+
+    for table in query.tables:
+        eq_cols, range_cols = _table_predicate_columns(database, query, table)
+        join_cols = _join_columns(database, query, table)
+        group_cols = _of_table(database, table, query.group_by)
+        order_cols = _of_table(database, table, query.order_by)
+        needed = query.columns_of_table(database, table)
+        mk = options.max_key_columns
+
+        key_sets: list[tuple[str, ...]] = []
+
+        def add_key(cols) -> None:
+            cols = tuple(cols)[:mk]
+            if cols and cols not in key_sets:
+                key_sets.append(cols)
+
+        add_key(eq_cols)
+        add_key(eq_cols + range_cols[:1])
+        for c in eq_cols[:2]:
+            add_key([c])
+        for c in range_cols[:1]:
+            add_key([c])
+            add_key([c] + eq_cols)
+        for c in join_cols[:2]:
+            add_key([c])
+            add_key([c] + eq_cols)
+        add_key(group_cols)
+        add_key(order_cols)
+
+        key_sets = key_sets[: options.max_candidates_per_query]
+        for keys in key_sets:
+            emit(IndexDef(table, keys, kind=IndexKind.SECONDARY))
+            include = tuple(c for c in needed if c not in keys)
+            if include:
+                emit(
+                    IndexDef(
+                        table, keys, included_columns=include,
+                        kind=IndexKind.SECONDARY,
+                    )
+                )
+        # A clustered candidate on the primary sargable column set: changes
+        # the table's base structure instead of adding a secondary.
+        cluster_keys = (
+            tuple(range_cols[:1] + eq_cols)[:mk]
+            or tuple(group_cols)[:mk]
+            or tuple(join_cols[:1])
+        )
+        if cluster_keys:
+            emit(IndexDef(table, cluster_keys, kind=IndexKind.CLUSTERED))
+
+        if options.enable_partial:
+            for p in query.predicates_of_table(database, table):
+                rest = [c for c in needed if c not in p.columns()]
+                if not rest:
+                    continue
+                emit(
+                    IndexDef(
+                        table,
+                        tuple(rest[:2]),
+                        included_columns=tuple(rest[2:6]),
+                        kind=IndexKind.SECONDARY,
+                        filter=p,
+                    )
+                )
+
+    if options.enable_mv and len(query.tables) > 1:
+        for mv in mv_candidates(database, query):
+            keys = mv.group_by or tuple(
+                name for name, _ in mv.storage_columns(database)
+            )[:2]
+            emit(
+                IndexDef(
+                    mv.name,
+                    tuple(keys),
+                    kind=IndexKind.CLUSTERED,
+                    mv=mv,
+                )
+            )
+
+    return out
+
+
+def mv_candidates(database: Database, query: SelectQuery) -> list[MVDefinition]:
+    """MV candidates matching a join (+ optional group-by) query.
+
+    Two shapes are proposed: the exact-match view (with the query's
+    filters baked in) and the filter-free view (reusable across parameter
+    values; residual predicates must then land on group-by columns —
+    checked by :func:`repro.optimizer.statement_cost.mv_matches_query`).
+    """
+    if not query.joins:
+        return []
+    fact = query.root_table
+    if not database.foreign_keys_from(fact):
+        return []
+    out = []
+    base_name = "mv_" + "_".join(query.tables) + "_" + "_".join(
+        query.group_by or ("proj",)
+    )
+    if query.group_by or query.aggregates:
+        out.append(
+            MVDefinition(
+                name=base_name + "_exact",
+                fact_table=fact,
+                tables=tuple(query.tables),
+                joins=query.joins,
+                predicates=query.predicates,
+                group_by=query.group_by,
+                aggregates=query.aggregates,
+            )
+        )
+        if query.group_by:
+            out.append(
+                MVDefinition(
+                    name=base_name + "_general",
+                    fact_table=fact,
+                    tables=tuple(query.tables),
+                    joins=query.joins,
+                    predicates=(),
+                    group_by=query.group_by,
+                    aggregates=query.aggregates,
+                )
+            )
+    return out
+
+
+def expand_compression_variants(
+    candidates: list[IndexDef],
+    enable_compression: bool,
+) -> list[IndexDef]:
+    """Each candidate under every advisor compression package."""
+    if not enable_compression:
+        return [ix.with_method(CompressionMethod.NONE) for ix in candidates]
+    out = []
+    for ix in candidates:
+        for method in ADVISOR_METHODS:
+            out.append(ix.with_method(method))
+    return out

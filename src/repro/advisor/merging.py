@@ -1,0 +1,141 @@
+"""Index merging (Chaudhuri & Narasayya, ICDE'99; Figure 1's Merging box).
+
+Two candidates on the same table merge when one's key is a prefix of the
+other's: the merged index takes the longer key and the union of included
+columns, potentially serving both source queries with one structure.  The
+advisor also generates compressed variants of merged indexes.
+
+Section 6.2 closes by observing that merging was never revisited for
+compression: "adding or removing some columns from the merged object
+might improve the compression fraction".
+:func:`compression_aware_variants` implements that revision — for
+ORD-DEP methods (PAGE), the key order controls how values cluster on
+pages, so a low-cardinality-first permutation of the same column set can
+compress far better; likewise *promoting* a low-cardinality included
+column into the leading key position groups the remaining columns into
+longer runs.  Both reshapes are emitted as additional candidates and the
+what-if optimizer arbitrates, exactly as for every other candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.physical.index_def import IndexDef
+from repro.storage.index_build import IndexKind
+
+#: A column is a grouping lead when it has at most this many distinct
+#: values per thousand rows (low cardinality relative to the table).
+GROUPING_DISTINCT_PER_MILLE = 50.0
+
+
+def merge_pair(a: IndexDef, b: IndexDef) -> IndexDef | None:
+    """Merge two secondary candidates, or None when not mergeable."""
+    if a.table != b.table:
+        return None
+    if a.kind is not IndexKind.SECONDARY or b.kind is not IndexKind.SECONDARY:
+        return None
+    if a.is_partial or b.is_partial or a.is_mv_index or b.is_mv_index:
+        return None
+    if a.method is not b.method:
+        return None
+    short, long_ = (a, b) if len(a.key_columns) <= len(b.key_columns) else (b, a)
+    if long_.key_columns[: len(short.key_columns)] != short.key_columns:
+        return None
+    included = tuple(
+        c
+        for c in dict.fromkeys(short.included_columns + long_.included_columns)
+        if c not in long_.key_columns
+    )
+    merged = IndexDef(
+        table=long_.table,
+        key_columns=long_.key_columns,
+        included_columns=included,
+        kind=IndexKind.SECONDARY,
+        method=long_.method,
+    )
+    if merged == a or merged == b:
+        return None
+    return merged
+
+
+def generate_merged_candidates(
+    pool: list[IndexDef], max_new: int = 50
+) -> list[IndexDef]:
+    """All pairwise merges over the candidate pool (bounded)."""
+    out: list[IndexDef] = []
+    seen = set(pool)
+    for i in range(len(pool)):
+        for j in range(i + 1, len(pool)):
+            if len(out) >= max_new:
+                return out
+            merged = merge_pair(pool[i], pool[j])
+            if merged is not None and merged not in seen:
+                seen.add(merged)
+                out.append(merged)
+    return out
+
+
+def compression_aware_variants(
+    index: IndexDef,
+    n_distinct: Callable[[str, str], int],
+    n_rows: Callable[[str], int],
+) -> list[IndexDef]:
+    """Column reshapes of one (merged) candidate that can improve its
+    compression fraction (Section 6.2's closing note).
+
+    Args:
+        index: a secondary, non-partial, non-MV candidate.
+        n_distinct: ``(table, column) ->`` distinct count.
+        n_rows: ``table ->`` row count.
+
+    Returns:
+        Up to two variants: the low-cardinality-first key permutation,
+        and the promotion of the lowest-cardinality included column to
+        the head of the key.  Both preserve the stored column *set*, so
+        they cover the same queries; only seek usability and compression
+        behaviour differ — decisions the what-if optimizer owns.
+    """
+    if index.kind is not IndexKind.SECONDARY:
+        return []
+    if index.is_partial or index.is_mv_index:
+        return []
+    rows = max(1, n_rows(index.table))
+    threshold = rows * GROUPING_DISTINCT_PER_MILLE / 1000.0
+
+    def distinct(column: str) -> int:
+        return max(1, n_distinct(index.table, column))
+
+    out: list[IndexDef] = []
+
+    reordered = tuple(
+        sorted(index.key_columns, key=lambda c: (distinct(c), c))
+    )
+    if reordered != index.key_columns:
+        out.append(
+            IndexDef(
+                table=index.table,
+                key_columns=reordered,
+                included_columns=index.included_columns,
+                kind=IndexKind.SECONDARY,
+                method=index.method,
+            )
+        )
+
+    grouping = [
+        c for c in index.included_columns if distinct(c) <= threshold
+    ]
+    if grouping:
+        lead = min(grouping, key=lambda c: (distinct(c), c))
+        promoted = IndexDef(
+            table=index.table,
+            key_columns=(lead, *index.key_columns),
+            included_columns=tuple(
+                c for c in index.included_columns if c != lead
+            ),
+            kind=IndexKind.SECONDARY,
+            method=index.method,
+        )
+        if promoted not in out:
+            out.append(promoted)
+    return [v for v in out if v != index]

@@ -1,0 +1,39 @@
+"""Catalog: data types, columns, tables, databases."""
+
+from repro.catalog.column import Column, ForeignKey
+from repro.catalog.datatypes import (
+    INT,
+    INT32,
+    DATE,
+    CharType,
+    DataType,
+    DateType,
+    DecimalType,
+    IntType,
+    VarCharType,
+    char,
+    decimal,
+    varchar,
+)
+from repro.catalog.schema import Database, build_database
+from repro.catalog.table import Table
+
+__all__ = [
+    "Column",
+    "ForeignKey",
+    "DataType",
+    "IntType",
+    "DecimalType",
+    "DateType",
+    "CharType",
+    "VarCharType",
+    "INT",
+    "INT32",
+    "DATE",
+    "char",
+    "decimal",
+    "varchar",
+    "Table",
+    "Database",
+    "build_database",
+]

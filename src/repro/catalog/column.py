@@ -1,0 +1,50 @@
+"""Column definition."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.datatypes import DataType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column of a table.
+
+    Attributes:
+        name: column name, unique within its table.
+        dtype: the column's :class:`~repro.catalog.datatypes.DataType`.
+        nullable: whether NULLs may appear (affects generators and stats).
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = False
+
+    @property
+    def width(self) -> int:
+        """Serialized fixed width in bytes."""
+        return self.dtype.width
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} {self.dtype.name}"
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A key/foreign-key relationship used to build join synopses.
+
+    ``src_table.src_column`` references ``dst_table.dst_column`` (the
+    primary key side).
+    """
+
+    src_table: str
+    src_column: str
+    dst_table: str
+    dst_column: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.src_table}.{self.src_column} -> "
+            f"{self.dst_table}.{self.dst_column}"
+        )

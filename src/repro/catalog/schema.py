@@ -1,0 +1,109 @@
+"""Database schema: a set of tables plus foreign-key relationships."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.catalog.column import ForeignKey
+from repro.catalog.table import Table
+from repro.errors import CatalogError
+
+
+class Database:
+    """A named collection of tables and declared foreign keys.
+
+    Foreign keys drive the join-synopsis construction in
+    :mod:`repro.sampling.join_synopsis` and the MV candidate generation in
+    the advisor.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._foreign_keys: list[ForeignKey] = []
+
+    # ------------------------------------------------------------------
+    def add_table(self, table: Table) -> Table:
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} already in {self.name!r}")
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"no table {name!r} in database {self.name!r}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def tables(self) -> tuple[Table, ...]:
+        return tuple(self._tables.values())
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    # ------------------------------------------------------------------
+    def add_foreign_key(
+        self, src_table: str, src_column: str, dst_table: str, dst_column: str
+    ) -> ForeignKey:
+        """Declare ``src_table.src_column -> dst_table.dst_column``."""
+        src = self.table(src_table)
+        dst = self.table(dst_table)
+        src.column(src_column)
+        dst.column(dst_column)
+        fk = ForeignKey(src_table, src_column, dst_table, dst_column)
+        self._foreign_keys.append(fk)
+        return fk
+
+    @property
+    def foreign_keys(self) -> tuple[ForeignKey, ...]:
+        return tuple(self._foreign_keys)
+
+    def foreign_keys_from(self, table_name: str) -> list[ForeignKey]:
+        """Outgoing FKs of ``table_name`` (fact -> dimension direction)."""
+        return [fk for fk in self._foreign_keys if fk.src_table == table_name]
+
+    def foreign_key_closure(self, table_name: str) -> list[ForeignKey]:
+        """All FKs reachable from ``table_name`` following FK edges.
+
+        Used to build a join synopsis that joins a fact-table sample with
+        every (transitively) referenced dimension table.
+        """
+        out: list[ForeignKey] = []
+        seen: set[str] = set()
+        frontier = [table_name]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for fk in self.foreign_keys_from(current):
+                out.append(fk)
+                frontier.append(fk.dst_table)
+        return out
+
+    # ------------------------------------------------------------------
+    def total_data_bytes(self) -> int:
+        """Uncompressed heap bytes across all tables (used as the base for
+        "budget as % of database size" sweeps)."""
+        return sum(t.num_rows * t.row_width for t in self.tables)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Database({self.name!r}, tables={list(self._tables)})"
+
+
+def build_database(name: str, tables: Iterable[Table],
+                   foreign_keys: Sequence[tuple[str, str, str, str]] = ()) -> Database:
+    """Convenience constructor from a table iterable plus FK 4-tuples."""
+    db = Database(name)
+    for table in tables:
+        db.add_table(table)
+    for src_t, src_c, dst_t, dst_c in foreign_keys:
+        db.add_foreign_key(src_t, src_c, dst_t, dst_c)
+    return db

@@ -1,0 +1,210 @@
+"""Command-line interface:
+``python -m repro tune|estimate|experiments|validate|columnstore``.
+
+Examples::
+
+    python -m repro tune --dataset tpch --scale 0.2 --budget 0.15 \
+        --variant dtac-both --select-weight 10
+    python -m repro estimate --dataset tpch --scale 0.2
+    python -m repro experiments --only table4_graph_quality
+    python -m repro validate --dataset tpch --budget 0.3
+    python -m repro columnstore --dataset tpch --budget 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.advisor import VARIANTS, tune
+from repro.datasets import (
+    sales_database,
+    sales_workload,
+    tpch_database,
+    tpch_workload,
+)
+
+
+def _make_dataset(args):
+    if args.dataset == "tpch":
+        db = tpch_database(scale=args.scale, z=args.zipf)
+        wl = tpch_workload(db, select_weight=args.select_weight,
+                           insert_weight=args.insert_weight)
+    elif args.dataset == "sales":
+        db = sales_database(scale=args.scale)
+        wl = sales_workload(db, select_weight=args.select_weight,
+                            insert_weight=args.insert_weight)
+    else:
+        raise SystemExit(f"unknown dataset {args.dataset!r}")
+    return db, wl
+
+
+def cmd_tune(args) -> int:
+    db, wl = _make_dataset(args)
+    budget = db.total_data_bytes() * args.budget
+    result = tune(db, wl, budget, variant=args.variant,
+                  enable_partial=args.all_features,
+                  enable_mv=args.all_features)
+    print(f"database {db.name}: {db.total_data_bytes() / 1024:.0f} KiB raw")
+    print(f"variant {args.variant}, budget {budget / 1024:.0f} KiB")
+    print(f"improvement {result.improvement_pct:.1f}% "
+          f"({result.base_cost:.0f} -> {result.final_cost:.0f}), "
+          f"consumed {result.consumed_bytes / 1024:.0f} KiB, "
+          f"{result.elapsed_seconds:.1f}s")
+    for ix in sorted(result.configuration, key=lambda i: i.display_name()):
+        print(f"  {ix.display_name():58s} "
+              f"{result.sizes[ix] / 1024:8.0f} KiB")
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    from repro.compression import CompressionMethod
+    from repro.physical import IndexDef
+    from repro.sizeest import SizeEstimator
+
+    db, wl = _make_dataset(args)
+    estimator = SizeEstimator(db, e=args.error, q=args.confidence)
+    fact = "lineitem" if args.dataset == "tpch" else "sales"
+    table = db.table(fact)
+    keys = list(table.column_names[:4])
+    targets = [
+        IndexDef(fact, (k,), method=m)
+        for k in keys
+        for m in (CompressionMethod.ROW, CompressionMethod.PAGE)
+    ]
+    estimates = estimator.estimate_many(targets)
+    for ix, est in estimates.items():
+        print(f"{ix.display_name():55s} {est.source:9s} "
+              f"{est.est_bytes / 1024:8.0f} KiB  cost={est.cost:.0f}")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    names = [args.only] if args.only else list(ALL_EXPERIMENTS)
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        module.run(scale=args.scale).print()
+        print()
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.engine import validate_recommendation
+    from repro.sizeest import SizeEstimator
+    from repro.stats import DatabaseStats
+
+    db, wl = _make_dataset(args)
+    stats = DatabaseStats(db)
+    estimator = SizeEstimator(db, stats=stats)
+    budget = db.total_data_bytes() * args.budget
+    result = tune(db, wl, budget, variant=args.variant,
+                  estimator=estimator, stats=stats)
+    report = validate_recommendation(
+        result, db, wl, stats=stats, estimator=estimator
+    )
+    print(f"estimated improvement: {report.estimated_improvement:8.1%}")
+    print(f"deployed improvement:  {report.true_size_improvement:8.1%}")
+    print(f"budget respected:      {report.budget_holds}")
+    print(f"worst size estimate:   {report.max_abs_size_error:8.1%} off")
+    for check in sorted(report.size_checks,
+                        key=lambda c: -abs(c.ratio_error)):
+        print(f"  {check.ratio_error:+7.1%}  "
+              f"est {check.estimated / 1024:8.0f} KiB  "
+              f"true {check.measured / 1024:8.0f} KiB  "
+              f"{check.index.display_name()}")
+    return 0 if report.recommendation_holds else 1
+
+
+def cmd_columnstore(args) -> int:
+    from repro.columnstore import tune_columnstore
+
+    db, wl = _make_dataset(args)
+    budget = db.total_data_bytes() * args.budget
+    result = tune_columnstore(
+        db, wl, budget, compression_aware=not args.blind
+    )
+    mode = "blind" if args.blind else "compression-aware"
+    print(f"column-store advisor ({mode}): "
+          f"improvement {result.improvement_pct:.1f}%, "
+          f"consumed {result.consumed_bytes / 1024:.0f} of "
+          f"{budget / 1024:.0f} KiB, "
+          f"{result.candidate_count} candidates, "
+          f"{result.elapsed_seconds:.1f}s")
+    for projection in result.projections:
+        size = result.sizes[projection]
+        print(f"  {size.bytes / 1024:8.0f} KiB  {projection.name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compression-aware physical database design "
+                    "(VLDB 2011 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_dataset_args(p):
+        p.add_argument("--dataset", choices=("tpch", "sales"),
+                       default="tpch")
+        p.add_argument("--scale", type=float, default=0.2)
+        p.add_argument("--zipf", type=float, default=0.0)
+        p.add_argument("--select-weight", type=float, default=5.0)
+        p.add_argument("--insert-weight", type=float, default=1.0)
+
+    p_tune = sub.add_parser("tune", help="run the tuning advisor")
+    add_dataset_args(p_tune)
+    p_tune.add_argument("--budget", type=float, default=0.2,
+                        help="storage budget as a fraction of raw data")
+    p_tune.add_argument("--variant", choices=sorted(VARIANTS),
+                        default="dtac-both")
+    p_tune.add_argument("--all-features", action="store_true",
+                        help="enable partial indexes and MVs")
+    p_tune.set_defaults(fn=cmd_tune)
+
+    p_est = sub.add_parser("estimate",
+                           help="demo the size-estimation framework")
+    add_dataset_args(p_est)
+    p_est.add_argument("--error", type=float, default=0.5)
+    p_est.add_argument("--confidence", type=float, default=0.9)
+    p_est.set_defaults(fn=cmd_estimate)
+
+    p_exp = sub.add_parser("experiments", help="run paper experiments")
+    p_exp.add_argument("--only", default=None)
+    p_exp.add_argument("--scale", type=float, default=0.2)
+    p_exp.set_defaults(fn=cmd_experiments)
+
+    p_val = sub.add_parser(
+        "validate",
+        help="tune, then re-check the recommendation against "
+             "physically built structures",
+    )
+    add_dataset_args(p_val)
+    p_val.add_argument("--budget", type=float, default=0.2)
+    p_val.add_argument("--variant", choices=sorted(VARIANTS),
+                       default="dtac-both")
+    p_val.set_defaults(fn=cmd_validate)
+
+    p_cs = sub.add_parser(
+        "columnstore",
+        help="run the column-store projection advisor (Section 8)",
+    )
+    add_dataset_args(p_cs)
+    p_cs.add_argument("--budget", type=float, default=0.25)
+    p_cs.add_argument("--blind", action="store_true",
+                      help="size candidates as fixed-width columns "
+                           "(the decoupled strawman)")
+    p_cs.set_defaults(fn=cmd_columnstore)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

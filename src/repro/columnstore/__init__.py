@@ -1,0 +1,64 @@
+"""Column-store physical design (the paper's Section 8 future work).
+
+The paper closes by naming physical design for column stores — where RLE
+"can make column data several orders of magnitude smaller" but "is quite
+sensitive to the sort orders" — as the open problem its techniques point
+at.  This subpackage builds that design tool on the library's substrate:
+
+* :mod:`repro.columnstore.encodings` — per-column encodings (RLE, delta,
+  bit packing, global dictionary, raw) measured by packing real stripped
+  bytes, exactly as the row-store side does.
+* :mod:`repro.columnstore.projection` — projections (C-Store style column
+  groups with a sort order) and their measured / estimated sizes.
+* :mod:`repro.columnstore.sizing` — projection sizing: full-data ground
+  truth, SampleCF-style sampling, and the paper's Section 4.2 ORD-DEP
+  run-length deduction applied to RLE columns (the claim "in principle,
+  this estimation is also applicable to RLE" made testable).
+* :mod:`repro.columnstore.cost` — scan cost model with column pruning,
+  late materialization discounts for RLE, and per-encoding decompression
+  CPU following Appendix A's shape.
+* :mod:`repro.columnstore.advisor` — a compression-aware projection
+  advisor (candidates -> skyline -> seeded greedy), mirroring the DTAc
+  architecture one level down the storage stack.
+"""
+
+from repro.columnstore.advisor import (
+    ColumnStoreAdvisor,
+    ColumnStoreOptions,
+    ColumnStoreResult,
+    tune_columnstore,
+)
+from repro.columnstore.cost import ProjectionCostModel, ProjectionScanCost
+from repro.columnstore.encodings import (
+    COLUMN_ENCODINGS,
+    EncodedColumnSize,
+    best_encoding,
+    measure_column,
+)
+from repro.columnstore.projection import (
+    ProjectionDef,
+    ProjectionSize,
+    super_projection,
+)
+from repro.columnstore.sizing import (
+    ProjectionSizer,
+    estimate_rle_run_length,
+)
+
+__all__ = [
+    "COLUMN_ENCODINGS",
+    "EncodedColumnSize",
+    "measure_column",
+    "best_encoding",
+    "ProjectionDef",
+    "ProjectionSize",
+    "super_projection",
+    "ProjectionSizer",
+    "estimate_rle_run_length",
+    "ProjectionCostModel",
+    "ProjectionScanCost",
+    "ColumnStoreAdvisor",
+    "ColumnStoreOptions",
+    "ColumnStoreResult",
+    "tune_columnstore",
+]

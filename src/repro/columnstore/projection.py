@@ -1,0 +1,95 @@
+"""Projection definitions: C-Store style sorted column groups.
+
+A projection stores a subset of a table's columns, column-wise, with all
+columns ordered by the projection's sort key.  A table needs at least one
+*super projection* containing every column; additional projections trade
+space for queries that match their sort order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.catalog.table import Table
+from repro.compression.base import CompressionMethod
+from repro.errors import AdvisorError
+
+
+@dataclass(frozen=True)
+class ProjectionDef:
+    """A projection of one table.
+
+    Attributes:
+        table: the base table name.
+        columns: stored columns, in storage order.
+        sort_columns: leading sort key (must be a subset of ``columns``).
+    """
+
+    table: str
+    columns: tuple[str, ...]
+    sort_columns: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise AdvisorError(
+                f"projection on {self.table!r} needs at least one column"
+            )
+        if len(set(self.columns)) != len(self.columns):
+            raise AdvisorError("duplicate columns in projection")
+        missing = [c for c in self.sort_columns if c not in self.columns]
+        if missing:
+            raise AdvisorError(
+                f"sort columns {missing} not stored by the projection"
+            )
+
+    @property
+    def name(self) -> str:
+        cols = "_".join(self.columns)
+        order = "_".join(self.sort_columns) or "unsorted"
+        return f"proj_{self.table}_{cols}__by_{order}"
+
+    def covers(self, needed: tuple[str, ...]) -> bool:
+        """Whether the projection stores every needed column."""
+        return all(c in self.columns for c in needed)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class ProjectionSize:
+    """Measured or estimated size of a projection.
+
+    Attributes:
+        projection: the definition.
+        bytes: total bytes over all columns.
+        rows: row count.
+        column_bytes: per-column byte breakdown (page quantized).
+        column_used_bytes: per-column bytes before page quantization.
+        encodings: the chosen encoding per column.
+        runs: per-column RLE run counts (columns not RLE-encoded omitted).
+    """
+
+    projection: ProjectionDef
+    bytes: int
+    rows: int
+    column_bytes: Mapping[str, int] = field(default_factory=dict)
+    column_used_bytes: Mapping[str, int] = field(default_factory=dict)
+    encodings: Mapping[str, CompressionMethod] = field(default_factory=dict)
+    runs: Mapping[str, int] = field(default_factory=dict)
+
+    def bytes_of(self, columns: tuple[str, ...]) -> int:
+        """Bytes of a column subset (for pruned scans)."""
+        return sum(self.column_bytes[c] for c in columns)
+
+
+def super_projection(table: Table) -> ProjectionDef:
+    """The default all-columns projection, sorted by the primary key
+    (or by the first column when the table has no declared key)."""
+    sort = table.primary_key or (table.column_names[0],)
+    return ProjectionDef(
+        table=table.name,
+        columns=table.column_names,
+        sort_columns=tuple(sort),
+    )

@@ -1,0 +1,46 @@
+"""Compression codecs: NULL suppression, prefix, dictionaries, RLE."""
+
+from repro.compression.base import (
+    ADVISOR_METHODS,
+    ColumnCodec,
+    CompressionMethod,
+    MinOfCodec,
+    RawCodec,
+    strip_value,
+)
+from repro.compression.bitpack import BitPackCodec, bits_for
+from repro.compression.delta import DeltaCodec, varint_len, zigzag
+from repro.compression.global_dictionary import (
+    GlobalDictionaryCodec,
+    global_dictionary_overhead,
+    pointer_width,
+)
+from repro.compression.local_dictionary import LocalDictionaryCodec
+from repro.compression.null_suppression import NullSuppressionCodec
+from repro.compression.packages import make_codec, make_codecs
+from repro.compression.prefix import PrefixCodec, common_prefix_len
+from repro.compression.rle import RunLengthCodec
+
+__all__ = [
+    "CompressionMethod",
+    "ADVISOR_METHODS",
+    "ColumnCodec",
+    "RawCodec",
+    "MinOfCodec",
+    "strip_value",
+    "NullSuppressionCodec",
+    "PrefixCodec",
+    "common_prefix_len",
+    "LocalDictionaryCodec",
+    "GlobalDictionaryCodec",
+    "global_dictionary_overhead",
+    "pointer_width",
+    "RunLengthCodec",
+    "DeltaCodec",
+    "zigzag",
+    "varint_len",
+    "BitPackCodec",
+    "bits_for",
+    "make_codec",
+    "make_codecs",
+]

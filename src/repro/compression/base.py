@@ -1,0 +1,153 @@
+"""Compression method taxonomy and the incremental codec interface.
+
+The paper (Section 4.2) splits compression schemes into two groups:
+
+* **ORD-IND** (order independent): the compressed size of an index does not
+  depend on the order of tuples — NULL suppression and *global* dictionary
+  encoding.
+* **ORD-DEP** (order dependent): the size depends on the tuple order within
+  each page — page-local dictionary encoding, prefix suppression, RLE.
+
+SQL Server packages these as ROW (NULL suppression — ORD-IND) and PAGE
+(NULL suppression + prefix + local dictionary — ORD-DEP); we mirror that
+and additionally expose GLOBAL_DICT and RLE codecs.
+
+Codecs are *incremental*: values are fed one at a time and the codec can
+report the exact number of bytes the column would occupy on the current
+page at any moment.  The page packer uses this to fill 8 KiB pages
+exactly, which is what makes measured compression fractions respond to
+value distributions the way the paper requires.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.catalog.column import Column
+from repro.errors import CompressionError
+
+
+class CompressionMethod(enum.Enum):
+    """Compression applied to an index (SQL Server style packages)."""
+
+    NONE = "none"
+    ROW = "row"            # NULL suppression
+    PAGE = "page"          # NULL suppression + prefix + local dictionary
+    GLOBAL_DICT = "gdict"  # per-index global dictionary
+    RLE = "rle"            # run length encoding
+    DELTA = "delta"        # delta-of-previous, zig-zag varint
+    BITPACK = "bitpack"    # global fixed-bit-width packing
+
+    @property
+    def is_compressed(self) -> bool:
+        return self is not CompressionMethod.NONE
+
+    @property
+    def is_order_dependent(self) -> bool:
+        """ORD-DEP per Section 4.2 (size sensitive to tuple order)."""
+        return self in (
+            CompressionMethod.PAGE,
+            CompressionMethod.RLE,
+            CompressionMethod.DELTA,
+        )
+
+    @property
+    def is_order_independent(self) -> bool:
+        return self.is_compressed and not self.is_order_dependent
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Compression variants an advisor considers per candidate index (as in SQL
+#: Server: uncompressed, ROW, PAGE).
+ADVISOR_METHODS: tuple[CompressionMethod, ...] = (
+    CompressionMethod.NONE,
+    CompressionMethod.ROW,
+    CompressionMethod.PAGE,
+)
+
+
+def strip_value(raw: bytes, column: Column) -> bytes:
+    """NULL/padding suppression primitive.
+
+    For integer-backed types this removes leading ``0x00`` (non-negative)
+    or ``0xFF`` (negative) bytes; for character types it removes trailing
+    ``0x00`` padding.  At least one byte is kept for non-empty semantics
+    except fully-padded (NULL) values which strip to ``b""``.
+    """
+    if column.dtype.is_character:
+        return raw.rstrip(b"\x00")
+    lead = raw[0:1]
+    if lead == b"\x00":
+        stripped = raw.lstrip(b"\x00")
+    elif lead == b"\xff":
+        stripped = raw.lstrip(b"\xff")
+        # Keep one sign byte so the value remains decodable.
+        if not stripped or stripped[0] < 0x80:
+            stripped = b"\xff" + stripped
+    else:
+        stripped = raw
+    return stripped
+
+
+class ColumnCodec:
+    """Incremental per-column, per-page codec.
+
+    Subclasses implement :meth:`add` and :meth:`size`.  ``size`` must be the
+    exact byte footprint of this column on the current page, including any
+    per-page metadata the scheme needs (stored prefixes, dictionaries...).
+    """
+
+    def __init__(self, column: Column) -> None:
+        self.column = column
+        self.count = 0
+
+    def add(self, stripped: bytes) -> None:
+        """Feed the next (already padding-stripped) value."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Exact bytes this column occupies on the current page."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Start a fresh page."""
+        self.count = 0
+
+
+class RawCodec(ColumnCodec):
+    """No compression: fixed-width storage."""
+
+    def add(self, stripped: bytes) -> None:
+        self.count += 1
+
+    def size(self) -> int:
+        return self.count * self.column.width
+
+
+class MinOfCodec(ColumnCodec):
+    """Composite codec: the engine stores whichever representation is
+    smallest on this page (used by the PAGE package to pick prefix vs
+    dictionary per column per page, as SQL Server's page compression
+    effectively does)."""
+
+    def __init__(self, column: Column, parts: Sequence[ColumnCodec]) -> None:
+        super().__init__(column)
+        if not parts:
+            raise CompressionError("MinOfCodec needs at least one part")
+        self.parts = list(parts)
+
+    def add(self, stripped: bytes) -> None:
+        self.count += 1
+        for part in self.parts:
+            part.add(stripped)
+
+    def size(self) -> int:
+        return min(part.size() for part in self.parts)
+
+    def reset(self) -> None:
+        super().reset()
+        for part in self.parts:
+            part.reset()

@@ -1,0 +1,77 @@
+"""Codec factories for the compression packages an index can use."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.catalog.column import Column
+from repro.compression.base import (
+    ColumnCodec,
+    CompressionMethod,
+    MinOfCodec,
+    RawCodec,
+)
+from repro.compression.bitpack import BitPackCodec
+from repro.compression.delta import DeltaCodec
+from repro.compression.global_dictionary import GlobalDictionaryCodec
+from repro.compression.local_dictionary import LocalDictionaryCodec
+from repro.compression.null_suppression import NullSuppressionCodec
+from repro.compression.prefix import PrefixCodec
+from repro.compression.rle import RunLengthCodec
+from repro.errors import CompressionError
+
+
+def make_codec(
+    method: CompressionMethod,
+    column: Column,
+    n_distinct: int | None = None,
+) -> ColumnCodec:
+    """Build the per-column codec for ``method``.
+
+    Args:
+        method: the compression package.
+        column: the column to encode.
+        n_distinct: index-wide distinct count, required by GLOBAL_DICT.
+    """
+    if method is CompressionMethod.NONE:
+        return RawCodec(column)
+    if method is CompressionMethod.ROW:
+        return NullSuppressionCodec(column)
+    if method is CompressionMethod.PAGE:
+        # SQL Server page compression: ROW first, then prefix + dictionary.
+        # Per column per page the engine keeps whichever is smallest; a
+        # column never ends up larger than its ROW-compressed form.
+        return MinOfCodec(
+            column,
+            [
+                NullSuppressionCodec(column),
+                PrefixCodec(column),
+                LocalDictionaryCodec(column),
+            ],
+        )
+    if method is CompressionMethod.GLOBAL_DICT:
+        if n_distinct is None:
+            raise CompressionError("GLOBAL_DICT codec needs n_distinct")
+        return GlobalDictionaryCodec(column, n_distinct)
+    if method is CompressionMethod.RLE:
+        return RunLengthCodec(column)
+    if method is CompressionMethod.DELTA:
+        return DeltaCodec(column)
+    if method is CompressionMethod.BITPACK:
+        if n_distinct is None:
+            raise CompressionError("BITPACK codec needs n_distinct")
+        return BitPackCodec(column, n_distinct)
+    raise CompressionError(f"unknown compression method {method!r}")
+
+
+def make_codecs(
+    method: CompressionMethod,
+    columns: Sequence[Column],
+    n_distinct: Mapping[str, int] | None = None,
+) -> list[ColumnCodec]:
+    """Per-column codecs for an index storing ``columns``."""
+    distincts = n_distinct or {}
+    return [
+        make_codec(method, col, distincts.get(col.name))
+        for col in columns
+    ]

@@ -1,0 +1,68 @@
+"""Prefix suppression codec (part of SQL Server PAGE compression).
+
+Per column per page, the longest common prefix of all (stripped) values is
+stored once in the page's anchor record; each value then stores only its
+suffix plus a one-byte header.  Order *dependent* in general page fills
+(which values share a page determines the common prefix).
+
+Incremental accounting: with ``n`` values of total stripped length ``S``
+and common prefix length ``p``, the column occupies::
+
+    (2 + p)            -- anchor: length byte + prefix bytes (+1 marker)
+    + n * 1            -- per-value header
+    + (S - n * p)      -- per-value suffixes
+
+The common prefix can only shrink as values are added, so ``p`` and ``S``
+maintain the size in O(len(value)) per add.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import ColumnCodec
+
+ANCHOR_OVERHEAD = 2
+VALUE_HEADER = 1
+
+
+def common_prefix_len(a: bytes, b: bytes) -> int:
+    """Length of the longest common prefix of two byte strings."""
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return i
+
+
+class PrefixCodec(ColumnCodec):
+    """Anchor-prefix compression over padding-stripped values."""
+
+    def __init__(self, column) -> None:
+        super().__init__(column)
+        self._prefix: bytes | None = None
+        self._sum_len = 0
+
+    def add(self, stripped: bytes) -> None:
+        self.count += 1
+        self._sum_len += len(stripped)
+        if self._prefix is None:
+            self._prefix = stripped
+        elif self._prefix:
+            keep = common_prefix_len(self._prefix, stripped)
+            if keep < len(self._prefix):
+                self._prefix = self._prefix[:keep]
+
+    def size(self) -> int:
+        if self.count == 0:
+            return 0
+        p = len(self._prefix) if self._prefix else 0
+        return (
+            ANCHOR_OVERHEAD
+            + p
+            + self.count * VALUE_HEADER
+            + (self._sum_len - self.count * p)
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._prefix = None
+        self._sum_len = 0

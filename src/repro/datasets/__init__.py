@@ -1,0 +1,17 @@
+"""Bundled datasets: TPC-H (with skew), Sales, TPC-DS-lite."""
+
+from repro.datasets.sales import sales_database, sales_queries, sales_workload
+from repro.datasets.tpch import TPCH_QUERY_SQL, tpch_database, tpch_workload
+from repro.datasets.tpcds_lite import tpcds_lite_database
+from repro.datasets.zipf import ZipfSampler
+
+__all__ = [
+    "ZipfSampler",
+    "tpch_database",
+    "tpch_workload",
+    "TPCH_QUERY_SQL",
+    "sales_database",
+    "sales_workload",
+    "sales_queries",
+    "tpcds_lite_database",
+]

@@ -1,0 +1,131 @@
+"""TPC-DS-lite: a small slice of TPC-DS used to test the stability of the
+SampleCF error fit across schemas (the paper's Table 2 includes a TPC-DS
+row next to the skewed TPC-H variants)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.catalog import Column, Database, IntType, Table, DATE, char, decimal
+from repro.datasets.zipf import ZipfSampler
+from repro.workload.parser import date_to_days
+
+INT32 = IntType(4)
+
+ITEM_CATEGORIES = ["Books", "Music", "Home", "Sports", "Electronics",
+                   "Children", "Men", "Women", "Shoes", "Jewelry"]
+
+
+def tpcds_lite_database(scale: float = 1.0, z: float = 0.8,
+                        seed: int = 20100101) -> Database:
+    """Generate a 4-table TPC-DS subset (store_sales fact + 3 dims)."""
+    rng = random.Random(seed)
+    db = Database(f"tpcds_lite_s{scale}")
+
+    n_items = max(100, int(1800 * scale))
+    n_customers = max(100, int(2000 * scale))
+    n_dates = 365 * 3
+    n_sales = max(1000, int(50000 * scale))
+    date_base = date_to_days("2000-01-01")
+
+    item = Table(
+        "item",
+        [
+            Column("i_item_sk", INT32),
+            Column("i_item_id", char(16)),
+            Column("i_category", char(12)),
+            Column("i_brand", char(14)),
+            Column("i_current_price", decimal()),
+        ],
+        primary_key=("i_item_sk",),
+    )
+    cat_z = ZipfSampler(len(ITEM_CATEGORIES), z, rng)
+    for i in range(n_items):
+        item.append_row(
+            (
+                i,
+                f"ITEM{i:012d}",
+                ITEM_CATEGORIES[cat_z.sample()],
+                f"Brand {1 + i % 25:02d}",
+                99 + rng.randrange(30000),
+            )
+        )
+    db.add_table(item)
+
+    date_dim = Table(
+        "date_dim",
+        [
+            Column("d_date_sk", INT32),
+            Column("d_date", DATE),
+            Column("d_year", INT32),
+            Column("d_moy", INT32),
+            Column("d_dow", INT32),
+        ],
+        primary_key=("d_date_sk",),
+    )
+    for i in range(n_dates):
+        days = date_base + i
+        date_dim.append_row((i, days, 2000 + i // 365, 1 + (i // 30) % 12,
+                             i % 7))
+    db.add_table(date_dim)
+
+    customer = Table(
+        "customer",
+        [
+            Column("c_customer_sk", INT32),
+            Column("c_customer_id", char(16)),
+            Column("c_birth_year", INT32),
+            Column("c_preferred_flag", char(1)),
+        ],
+        primary_key=("c_customer_sk",),
+    )
+    for i in range(n_customers):
+        customer.append_row(
+            (i, f"CUST{i:012d}", 1930 + rng.randrange(70),
+             rng.choice("YN"))
+        )
+    db.add_table(customer)
+
+    store_sales = Table(
+        "store_sales",
+        [
+            Column("ss_ticket", IntType(8)),
+            Column("ss_item_sk", INT32),
+            Column("ss_customer_sk", INT32),
+            Column("ss_sold_date_sk", INT32),
+            Column("ss_quantity", INT32),
+            Column("ss_list_price", decimal()),
+            Column("ss_discount", decimal()),
+            Column("ss_net_paid", decimal()),
+            Column("ss_promo", char(8)),
+        ],
+        primary_key=("ss_ticket",),
+    )
+    item_z = ZipfSampler(n_items, z, rng)
+    cust_z = ZipfSampler(n_customers, z, rng)
+    date_z = ZipfSampler(n_dates, z / 2.0, rng)
+    for i in range(n_sales):
+        qty = 1 + rng.randrange(20)
+        price = 99 + rng.randrange(30000)
+        disc = rng.choice((0, 0, 100, 500))
+        store_sales.append_row(
+            (
+                i,
+                item_z.sample(),
+                cust_z.sample(),
+                date_z.sample(),
+                qty,
+                price,
+                disc,
+                max(0, qty * price - disc),
+                rng.choice(("NONE", "SALE", "COUPON")),
+            )
+        )
+    db.add_table(store_sales)
+
+    db.add_foreign_key("store_sales", "ss_item_sk", "item", "i_item_sk")
+    db.add_foreign_key("store_sales", "ss_customer_sk", "customer",
+                       "c_customer_sk")
+    db.add_foreign_key("store_sales", "ss_sold_date_sk", "date_dim",
+                       "d_date_sk")
+    return db

@@ -1,0 +1,20 @@
+"""Toy execution engine for validating semantics end-to-end."""
+
+from repro.engine.executor import Executor, ResultSet
+from repro.engine.validation import (
+    SelectivityCheck,
+    SizeCheck,
+    ValidationReport,
+    validate_recommendation,
+    validate_selectivities,
+)
+
+__all__ = [
+    "Executor",
+    "ResultSet",
+    "SizeCheck",
+    "SelectivityCheck",
+    "ValidationReport",
+    "validate_recommendation",
+    "validate_selectivities",
+]

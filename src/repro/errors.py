@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library raises with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CatalogError(ReproError):
+    """Schema/table/column definition or lookup problem."""
+
+
+class StorageError(ReproError):
+    """Row serialization or page packing problem."""
+
+
+class CompressionError(ReproError):
+    """Invalid compression method or codec misuse."""
+
+
+class StatisticsError(ReproError):
+    """Statistics construction or estimator input problem."""
+
+
+class SamplingError(ReproError):
+    """Sample manager / join synopsis construction problem."""
+
+
+class SizeEstimationError(ReproError):
+    """Index size estimation framework problem (infeasible constraints...)."""
+
+
+class WorkloadError(ReproError):
+    """Malformed query/statement or workload."""
+
+
+class ParseError(WorkloadError):
+    """SQL text could not be parsed into the query IR."""
+
+
+class OptimizerError(ReproError):
+    """What-if optimizer was asked to cost something it cannot."""
+
+
+class AdvisorError(ReproError):
+    """Physical design advisor configuration or search problem."""
+
+
+class ExecutionError(ReproError):
+    """The toy execution engine could not run a statement."""

@@ -1,0 +1,45 @@
+"""Experiments reproducing every table and figure of the paper's
+evaluation (see DESIGN.md for the index).
+
+Each module exposes ``run(...) -> ExperimentResult`` and can be executed
+directly: ``python -m repro.experiments.table1_mv_rowcount``.
+"""
+
+from repro.experiments.common import (
+    EXPERIMENT_SCALE,
+    ExperimentResult,
+    clear_dataset_cache,
+    get_sales,
+    get_tpcds,
+    get_tpch,
+)
+
+ALL_EXPERIMENTS = (
+    "table1_mv_rowcount",
+    "table2_error_fit",
+    "table3_deduction_fit",
+    "table4_graph_quality",
+    "fig09_samplecf_error",
+    "fig10_deduction_error",
+    "fig11_runtime_breakdown",
+    "fig12_tpch_select_ablation",
+    "fig13_tpch_insert_ablation",
+    "fig14_sales_select",
+    "fig15_sales_insert",
+    "fig16_tpch_select_full",
+    "fig17_tpch_insert_full",
+    "cs1_sort_order",
+    "cs2_columnstore_advisor",
+    "mg1_merging_ablation",
+    "vl1_validation",
+)
+
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENT_SCALE",
+    "ALL_EXPERIMENTS",
+    "get_tpch",
+    "get_sales",
+    "get_tpcds",
+    "clear_dataset_cache",
+]

@@ -1,0 +1,32 @@
+"""Run every paper-reproduction experiment and print the tables.
+
+Usage::
+
+    python -m repro.experiments [scale]
+
+``scale`` defaults to :data:`repro.experiments.EXPERIMENT_SCALE`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS, EXPERIMENT_SCALE
+
+
+def main(argv: list[str]) -> None:
+    scale = float(argv[1]) if len(argv) > 1 else EXPERIMENT_SCALE
+    print(f"# Running {len(ALL_EXPERIMENTS)} experiments at scale={scale}\n")
+    for name in ALL_EXPERIMENTS:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        start = time.perf_counter()
+        result = module.run(scale=scale)
+        elapsed = time.perf_counter() - start
+        print(result.format())
+        print(f"[{name}: {elapsed:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

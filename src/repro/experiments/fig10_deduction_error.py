@@ -1,0 +1,47 @@
+"""Figure 10 — Error bias and variance of deduction vs ``a``.
+
+Shows ColExt bias/stddev for NS (ROW) and LD (PAGE) as a function of the
+number of indexes extrapolated from.  Paper shape: both grow roughly
+linearly with a; LD bias is negative (fragmentation over-penalized), NS
+bias slightly positive.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import CompressionMethod
+from repro.experiments.common import (
+    EXPERIMENT_SCALE,
+    ExperimentResult,
+    TPCH_ERROR_KEYSETS,
+    error_stats,
+    get_tpch,
+)
+from repro.experiments.table3_deduction_fit import measure_errors
+
+
+def run(scale: float = EXPERIMENT_SCALE) -> ExperimentResult:
+    database = get_tpch(scale)
+    colext, _colset = measure_errors(database, TPCH_ERROR_KEYSETS)
+    result = ExperimentResult(
+        name="Figure 10: Error Bias and Variance of Deduction",
+        headers=("a", "NS-Bias%", "NS-Stddev%", "LD-Bias%", "LD-Stddev%"),
+    )
+    arities = sorted(
+        set(colext[CompressionMethod.ROW]) | set(colext[CompressionMethod.PAGE])
+    )
+    for a in arities:
+        ns_bias, ns_std = error_stats(colext[CompressionMethod.ROW].get(a, []))
+        ld_bias, ld_std = error_stats(colext[CompressionMethod.PAGE].get(a, []))
+        result.rows.append(
+            (a, 100 * ns_bias, 100 * ns_std, 100 * ld_bias, 100 * ld_std)
+        )
+    result.notes.append("paper shape: errors grow ~linearly with a")
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    run().print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,52 @@
+"""Figure 12 — TPC-H SELECT-intensive, simple indexes: turning the
+candidate-selection (Skyline) and enumeration (Backtracking) techniques
+on and off across storage budgets.
+
+Paper shape: only DTAc(Both) achieves the best designs, with the gap
+largest at tight budgets; plain DTA trails everything since it cannot
+compress at all.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import tpch_workload
+from repro.experiments.budget_sweep import sweep
+from repro.experiments.common import EXPERIMENT_SCALE, ExperimentResult, get_tpch
+
+VARIANT_ORDER = (
+    "dtac-both", "dtac-skyline", "dtac-backtrack", "dtac-none", "dta"
+)
+#: Budgets as fractions of the raw database size.  The paper sweeps
+#: 50 MB..1500 MB on ~1 GB TPC-H SF1; on our substrate compression frees
+#: a larger share of the (scaled) database, so the regime where budgets
+#: actually bind — where the paper's techniques differentiate — sits at
+#: smaller fractions.  The grid therefore starts at 0%.
+BUDGETS = (0.0, 0.02, 0.05, 0.15, 0.40)
+
+
+def run(scale: float = EXPERIMENT_SCALE) -> ExperimentResult:
+    database = get_tpch(scale)
+    workload = tpch_workload(
+        database, select_weight=10.0, insert_weight=1.0
+    )
+    result = sweep(
+        "Figure 12: TPC-H SELECT Intensive - Skyline/Backtracking "
+        "ablation (improvement %)",
+        database,
+        workload,
+        BUDGETS,
+        VARIANT_ORDER,
+    )
+    result.notes.append(
+        "paper shape: DTAc(Both) >= each single technique >= DTAc(None) "
+        ">= DTA, gap largest at tight budgets"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    run().print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

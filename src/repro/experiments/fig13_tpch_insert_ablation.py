@@ -1,0 +1,42 @@
+"""Figure 13 — TPC-H INSERT-intensive, simple indexes: the same
+Skyline/Backtracking ablation under a heavily weighted bulk-load side.
+
+Paper shape: improvements are smaller than the SELECT-intensive case
+everywhere (index maintenance costs bound what any tool can win), and
+DTAc(Both) still leads at tight budgets.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import tpch_workload
+from repro.experiments.budget_sweep import sweep
+from repro.experiments.common import EXPERIMENT_SCALE, ExperimentResult, get_tpch
+from repro.experiments.fig12_tpch_select_ablation import BUDGETS, VARIANT_ORDER
+
+
+def run(scale: float = EXPERIMENT_SCALE) -> ExperimentResult:
+    database = get_tpch(scale)
+    workload = tpch_workload(
+        database, select_weight=1.0, insert_weight=10.0
+    )
+    result = sweep(
+        "Figure 13: TPC-H INSERT Intensive - Skyline/Backtracking "
+        "ablation (improvement %)",
+        database,
+        workload,
+        BUDGETS,
+        VARIANT_ORDER,
+    )
+    result.notes.append(
+        "paper shape: smaller improvements than Figure 12; compression "
+        "used sparingly because of update CPU overheads"
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover
+    run().print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,103 @@
+"""Shared machinery for the SampleCF / deduction error analyses
+(Appendix C): builds an index population, measures estimated vs true
+compressed sizes, and fits the error-model coefficients."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.schema import Database
+from repro.physical.index_def import IndexDef
+from repro.sampling.sample_manager import SampleManager
+from repro.sizeest.analytic import AnalyticSizer
+from repro.sizeest.deduction import DeductionEngine, MultiColumnDistinct
+from repro.sizeest.error_model import DEFAULT_ERROR_MODEL, ErrorRV
+from repro.sizeest.samplecf import SampleCFRunner, SizeEstimate
+from repro.stats.column_stats import DatabaseStats
+from repro.storage.index_build import measure_structure
+from repro.storage.rowcache import SerializedTable
+
+
+@dataclass
+class ErrorLab:
+    """Measures SampleCF / deduction errors against full-build truths."""
+
+    database: Database
+
+    def __post_init__(self) -> None:
+        self.stats = DatabaseStats(self.database)
+        # A low floor keeps the sampling-fraction grid meaningful on the
+        # scaled-down tables (the production default of 200 would clamp
+        # every f below ~5% to the same sample).
+        self.manager = SampleManager(self.database, min_sample_rows=50)
+        self.sizer = AnalyticSizer(self.database, self.stats, self.manager)
+        self.runner = SampleCFRunner(
+            self.manager, self.sizer, DEFAULT_ERROR_MODEL
+        )
+        self.distinct = MultiColumnDistinct(self.database, self.manager)
+        self.deduction = DeductionEngine(
+            self.database, self.sizer, self.distinct
+        )
+        self._serialized: dict[str, SerializedTable] = {}
+        self._truths: dict[IndexDef, float] = {}
+
+    # ------------------------------------------------------------------
+    def true_size(self, index: IndexDef) -> float:
+        cached = self._truths.get(index)
+        if cached is not None:
+            return cached
+        serialized = self._serialized.get(index.table)
+        if serialized is None:
+            serialized = SerializedTable(self.database.table(index.table))
+            self._serialized[index.table] = serialized
+        size = measure_structure(
+            serialized, index.kind, index.key_columns,
+            index.included_columns, index.method,
+        )
+        truth = float(size.total_bytes)
+        self._truths[index] = truth
+        return truth
+
+    # ------------------------------------------------------------------
+    def samplecf_error(self, index: IndexDef, fraction: float) -> float:
+        """est/true - 1 for one SampleCF run at ``fraction``."""
+        est = self.runner.run(index, fraction)
+        return est.est_bytes / self.true_size(index) - 1.0
+
+    # ------------------------------------------------------------------
+    def exact_estimate(self, index: IndexDef) -> SizeEstimate:
+        """A SizeEstimate whose bytes are the measured truth (the
+        'perfectly accurate inputs' of the paper's X_ColExt analysis)."""
+        return SizeEstimate(
+            index=index,
+            est_bytes=self.true_size(index),
+            compression_fraction=1.0,
+            source="exact",
+            error=ErrorRV.exact(),
+            cost=0.0,
+        )
+
+    def colext_error(self, index: IndexDef) -> float:
+        """Deduction error when extrapolating ``index`` from its single
+        column sub-indexes whose sizes are known exactly."""
+        parts = [
+            self.exact_estimate(
+                IndexDef(index.table, (col,), kind=index.kind,
+                         method=index.method)
+            )
+            for col in index.key_columns
+        ]
+        deduced = self.deduction.colext(index, parts)
+        return deduced / self.true_size(index) - 1.0
+
+    def colset_error(self, index: IndexDef) -> float:
+        """Deduction error of ColSet: estimate ``index`` from its
+        reversed-key sibling (exact input)."""
+        sibling = IndexDef(
+            index.table,
+            tuple(reversed(index.key_columns)),
+            kind=index.kind,
+            method=index.method,
+        )
+        deduced = self.deduction.colset(index, self.exact_estimate(sibling))
+        return deduced / self.true_size(index) - 1.0

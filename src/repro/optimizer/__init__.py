@@ -1,0 +1,22 @@
+"""What-if optimizer with the compression-aware cost model."""
+
+from repro.optimizer.access_paths import AccessPlan, best_access_plan, cost_access
+from repro.optimizer.constants import DEFAULT_COST_CONSTANTS, CostConstants
+from repro.optimizer.statement_cost import (
+    CostBreakdown,
+    StatementCoster,
+    mv_matches_query,
+)
+from repro.optimizer.whatif import WhatIfOptimizer
+
+__all__ = [
+    "CostConstants",
+    "DEFAULT_COST_CONSTANTS",
+    "AccessPlan",
+    "cost_access",
+    "best_access_plan",
+    "CostBreakdown",
+    "StatementCoster",
+    "mv_matches_query",
+    "WhatIfOptimizer",
+]

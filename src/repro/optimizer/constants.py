@@ -1,0 +1,76 @@
+"""Cost-model constants.
+
+Abstract cost units: one unit ~ one sequential 8 KiB page read.  The
+compression-specific constants are the paper's Appendix A α (CPU to
+compress one tuple on write) and β (CPU to decompress one column of one
+tuple on read); PAGE compression costs more than ROW on both, as in SQL
+Server's micro-benchmarks [13].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compression.base import CompressionMethod
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """Tunable constants of the what-if cost model.
+
+    Attributes:
+        io_seq_page: cost of one sequential page read/write.
+        io_random_page: cost of one random page access (seeks, lookups).
+        cpu_tuple: base CPU per tuple flowing through an operator.
+        cpu_predicate: CPU per residual predicate evaluation per tuple.
+        cpu_join_probe: CPU per probe into a join hash table.
+        cpu_group: CPU per tuple of hash aggregation.
+        cpu_sort_factor: CPU per tuple per log2(rows) of sorting.
+        cpu_insert_per_index: CPU to maintain one index entry on insert.
+        alpha: per-tuple compression CPU on writes, per method.
+        beta: per-tuple per-column decompression CPU on reads, per method.
+    """
+
+    io_seq_page: float = 1.0
+    io_random_page: float = 4.0
+    cpu_tuple: float = 0.01
+    cpu_predicate: float = 0.001
+    cpu_join_probe: float = 0.004
+    cpu_group: float = 0.005
+    cpu_sort_factor: float = 0.002
+    cpu_insert_per_index: float = 0.01
+    alpha: dict = field(
+        default_factory=lambda: {
+            CompressionMethod.NONE: 0.0,
+            CompressionMethod.ROW: 0.006,
+            CompressionMethod.PAGE: 0.02,
+            CompressionMethod.GLOBAL_DICT: 0.01,
+            CompressionMethod.RLE: 0.004,
+            CompressionMethod.DELTA: 0.005,
+            CompressionMethod.BITPACK: 0.003,
+        }
+    )
+    beta: dict = field(
+        default_factory=lambda: {
+            CompressionMethod.NONE: 0.0,
+            CompressionMethod.ROW: 0.0004,
+            CompressionMethod.PAGE: 0.0012,
+            CompressionMethod.GLOBAL_DICT: 0.0006,
+            CompressionMethod.RLE: 0.0003,
+            CompressionMethod.DELTA: 0.0005,
+            CompressionMethod.BITPACK: 0.0002,
+        }
+    )
+
+    def compress_cpu(self, method: CompressionMethod, tuples: float) -> float:
+        """Appendix A.1: alpha * #tuples_written."""
+        return self.alpha[method] * tuples
+
+    def decompress_cpu(
+        self, method: CompressionMethod, tuples: float, columns: int
+    ) -> float:
+        """Appendix A.2: beta * #tuples_read * #columns_read."""
+        return self.beta[method] * tuples * columns
+
+
+DEFAULT_COST_CONSTANTS = CostConstants()

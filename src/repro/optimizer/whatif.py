@@ -1,0 +1,112 @@
+"""The what-if optimizer API (Section 3 / Figure 1).
+
+Physical design tools ask "what would this query cost under that
+hypothetical configuration?".  This facade answers from the
+compression-aware cost model, caches per (statement, relevant-structures)
+signature — a query's cost only depends on the structures of the tables
+it touches — and totals weighted workload costs.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Database
+from repro.optimizer.constants import DEFAULT_COST_CONSTANTS, CostConstants
+from repro.optimizer.statement_cost import (
+    CostBreakdown,
+    SizeLookup,
+    StatementCoster,
+)
+from repro.physical.configuration import Configuration
+from repro.physical.index_def import IndexDef
+from repro.stats.column_stats import DatabaseStats
+from repro.workload.query import SelectQuery, Statement
+from repro.workload.query import Workload
+
+
+class WhatIfOptimizer:
+    """Costs statements/workloads under hypothetical configurations.
+
+    Args:
+        database: catalog.
+        stats: database statistics.
+        sizes: callable ``IndexDef -> (est_bytes, est_rows)``; the advisor
+            wires in its size-estimation framework here, which is exactly
+            the paper's integration point between DTA and size estimation.
+        constants: cost-model constants.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        stats: DatabaseStats | None = None,
+        sizes: SizeLookup | None = None,
+        constants: CostConstants = DEFAULT_COST_CONSTANTS,
+    ) -> None:
+        self.database = database
+        self.stats = stats or DatabaseStats(database)
+        self._sizes = sizes or self._default_sizes
+        self.coster = StatementCoster(
+            database, self.stats, self._lookup_size, constants
+        )
+        self._cache: dict[tuple, CostBreakdown] = {}
+        self.optimizer_calls = 0
+
+    # ------------------------------------------------------------------
+    def _default_sizes(self, index: IndexDef) -> tuple[float, float]:
+        """Fallback sizing when no estimator is wired in: uncompressed
+        analytic size (compression fractions need the framework)."""
+        from repro.sizeest.analytic import AnalyticSizer
+        from repro.sampling.sample_manager import SampleManager
+
+        if not hasattr(self, "_fallback_sizer"):
+            self._fallback_sizer = AnalyticSizer(
+                self.database, self.stats, SampleManager(self.database)
+            )
+        sizer = self._fallback_sizer
+        return (
+            sizer.uncompressed_bytes(index),
+            sizer.estimated_rows(index),
+        )
+
+    def _lookup_size(self, index: IndexDef) -> tuple[float, float]:
+        return self._sizes(index)
+
+    # ------------------------------------------------------------------
+    def _signature(self, statement: Statement,
+                   config: Configuration) -> tuple:
+        """Cache key: the statement plus the structures on its tables."""
+        if isinstance(statement, SelectQuery):
+            tables = set(statement.tables)
+        else:
+            tables = {statement.table}
+        relevant = []
+        for index in config:
+            if index.is_mv_index:
+                if tables & set(index.mv.tables):
+                    relevant.append(index)
+            elif index.table in tables:
+                relevant.append(index)
+        return (statement, frozenset(relevant))
+
+    def cost(self, statement: Statement,
+             config: Configuration) -> CostBreakdown:
+        """Optimizer-estimated cost of one statement."""
+        key = self._signature(statement, config)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self.optimizer_calls += 1
+        breakdown = self.coster.cost(statement, config)
+        self._cache[key] = breakdown
+        return breakdown
+
+    def workload_cost(self, workload: Workload,
+                      config: Configuration) -> float:
+        """Weighted total workload cost (the advisor's objective)."""
+        return sum(
+            ws.weight * self.cost(ws.statement, config).total
+            for ws in workload
+        )
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

@@ -1,0 +1,12 @@
+"""Physical design structures: index definitions, MVs, configurations."""
+
+from repro.physical.configuration import Configuration
+from repro.physical.index_def import IndexDef
+from repro.physical.mv_def import MVDefinition, aggregate_column_name
+
+__all__ = [
+    "IndexDef",
+    "MVDefinition",
+    "aggregate_column_name",
+    "Configuration",
+]

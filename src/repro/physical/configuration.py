@@ -1,0 +1,103 @@
+"""Configurations: sets of indexes the what-if optimizer costs.
+
+A configuration always contains exactly one *base structure* per table
+(heap or clustered index) plus any number of secondary / partial / MV
+indexes.  The advisor's enumeration moves between configurations by adding
+indexes or swapping a table's base structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import AdvisorError
+from repro.physical.index_def import IndexDef
+from repro.storage.index_build import IndexKind
+
+
+class Configuration:
+    """An immutable set of :class:`IndexDef` (hashable, comparable)."""
+
+    def __init__(self, indexes: Iterable[IndexDef] = ()) -> None:
+        self._indexes = frozenset(indexes)
+        base_tables: dict[str, IndexDef] = {}
+        for ix in self._indexes:
+            if ix.kind in (IndexKind.HEAP, IndexKind.CLUSTERED) and not ix.is_mv_index:
+                if ix.table in base_tables:
+                    raise AdvisorError(
+                        f"two base structures for table {ix.table!r}"
+                    )
+                base_tables[ix.table] = ix
+        self._base = base_tables
+
+    # ------------------------------------------------------------------
+    @property
+    def indexes(self) -> frozenset[IndexDef]:
+        return self._indexes
+
+    def __iter__(self) -> Iterator[IndexDef]:
+        return iter(self._indexes)
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __contains__(self, index: IndexDef) -> bool:
+        return index in self._indexes
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Configuration)
+            and self._indexes == other._indexes
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._indexes)
+
+    # ------------------------------------------------------------------
+    def base_structure(self, table: str) -> IndexDef | None:
+        """The heap/clustered structure of ``table`` (None if untracked)."""
+        return self._base.get(table)
+
+    def secondary_indexes(self, table: str | None = None) -> list[IndexDef]:
+        out = [
+            ix
+            for ix in self._indexes
+            if ix.kind is IndexKind.SECONDARY
+            and (table is None or ix.table == table)
+        ]
+        return sorted(out, key=lambda ix: ix.display_name())
+
+    def indexes_on(self, table: str) -> list[IndexDef]:
+        return sorted(
+            (ix for ix in self._indexes if ix.table == table),
+            key=lambda ix: ix.display_name(),
+        )
+
+    # ------------------------------------------------------------------
+    def add(self, index: IndexDef) -> "Configuration":
+        """A new configuration with ``index`` added; adding a base
+        structure replaces the table's existing base structure."""
+        items = set(self._indexes)
+        if index.kind in (IndexKind.HEAP, IndexKind.CLUSTERED) and not index.is_mv_index:
+            existing = self._base.get(index.table)
+            if existing is not None:
+                items.discard(existing)
+        items.add(index)
+        return Configuration(items)
+
+    def remove(self, index: IndexDef) -> "Configuration":
+        if index not in self._indexes:
+            raise AdvisorError(f"{index} not in configuration")
+        return Configuration(self._indexes - {index})
+
+    def replace(self, old: IndexDef, new: IndexDef) -> "Configuration":
+        return self.remove(old).add(new)
+
+    # ------------------------------------------------------------------
+    def total_size(self, sizes: Mapping[IndexDef, float]) -> float:
+        """Total bytes under a size assignment (estimates or truths)."""
+        return sum(sizes[ix] for ix in self._indexes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = sorted(ix.display_name() for ix in self._indexes)
+        return f"Configuration({names})"

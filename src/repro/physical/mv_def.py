@@ -1,0 +1,110 @@
+"""Materialized view definitions.
+
+As in the paper's Appendix B, supported MVs are key–foreign-key join views
+over a fact table with optional filters, GROUP BY and aggregation — the
+class for which join synopses give usable samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.datatypes import DataType, IntType, decimal
+from repro.catalog.schema import Database
+from repro.errors import WorkloadError
+from repro.workload.expr import Predicate
+from repro.workload.query import Aggregate, Join
+
+
+def aggregate_column_name(agg: Aggregate) -> str:
+    """Stable storage column name for an aggregate result."""
+    inner = "_".join(agg.columns) if agg.columns else "all"
+    return f"{agg.func.lower()}_{inner}"
+
+
+@dataclass(frozen=True)
+class MVDefinition:
+    """A materialized view: FK joins + filter + group-by + aggregates.
+
+    Attributes:
+        name: view name (unique; used as the MV's "table" name).
+        fact_table: the driving table whose FK closure provides joins.
+        tables: every base table the view touches (fact first).
+        joins: equi-join conditions (must follow declared FKs).
+        predicates: conjunctive filter over base columns.
+        group_by: grouping columns (empty means a join-projection view).
+        aggregates: aggregate outputs (a COUNT(*) column is always
+            maintained implicitly, per Appendix B.3).
+    """
+
+    name: str
+    fact_table: str
+    tables: tuple[str, ...]
+    joins: tuple[Join, ...] = ()
+    predicates: tuple[Predicate, ...] = ()
+    group_by: tuple[str, ...] = ()
+    aggregates: tuple[Aggregate, ...] = ()
+
+    @property
+    def has_aggregation(self) -> bool:
+        return bool(self.group_by) or bool(self.aggregates)
+
+    def storage_columns(self, database: Database) -> list[tuple[str, DataType]]:
+        """(name, dtype) pairs of the MV's stored columns.
+
+        Duplicate aggregates collapse to one column, and the implicit
+        COUNT(*) maintenance column (Appendix B.3) is only added when no
+        explicit COUNT(*) aggregate already provides it.
+        """
+        out: list[tuple[str, DataType]] = []
+        seen: set[str] = set()
+        if not self.has_aggregation:
+            # Projection-only view: it stores the base columns its
+            # definition references.
+            for col in self.referenced_base_columns():
+                if col not in seen:
+                    seen.add(col)
+                    out.append((col, _base_dtype(database, self.tables, col)))
+            return out
+        for col in self.group_by:
+            if col not in seen:
+                seen.add(col)
+                out.append((col, _base_dtype(database, self.tables, col)))
+        for agg in self.aggregates:
+            name = aggregate_column_name(agg)
+            if name not in seen:
+                seen.add(name)
+                out.append((name, _agg_dtype(database, self, agg)))
+        if self.has_aggregation and "count_all" not in seen:
+            out.append(("count_all", IntType(8)))
+        return out
+
+    def referenced_base_columns(self) -> tuple[str, ...]:
+        """Base-table columns the view definition reads."""
+        cols: list[str] = []
+        for p in self.predicates:
+            cols.extend(p.columns())
+        for j in self.joins:
+            cols.extend((j.left_column, j.right_column))
+        cols.extend(self.group_by)
+        for agg in self.aggregates:
+            cols.extend(agg.columns)
+        return tuple(dict.fromkeys(cols))
+
+
+def _base_dtype(database: Database, tables: tuple[str, ...], column: str) -> DataType:
+    for tname in tables:
+        table = database.table(tname)
+        if table.has_column(column):
+            return table.column(column).dtype
+    raise WorkloadError(f"MV column {column!r} not found in {tables}")
+
+
+def _agg_dtype(database: Database, mv: MVDefinition, agg: Aggregate) -> DataType:
+    if agg.func == "COUNT":
+        return IntType(8)
+    if agg.func in ("MIN", "MAX") and len(agg.columns) == 1:
+        return _base_dtype(database, mv.tables, agg.columns[0])
+    # SUM / AVG (and multi-column arithmetic like SUM(a*b)) accumulate into
+    # a wide decimal.
+    return decimal()

@@ -1,0 +1,13 @@
+"""Sampling: sample manager, filtered samples, join synopses, MV samples."""
+
+from repro.sampling.join_synopsis import build_join_synopsis
+from repro.sampling.mv_sample import MVSample, build_mv_sample
+from repro.sampling.sample_manager import DEFAULT_FRACTIONS, SampleManager
+
+__all__ = [
+    "SampleManager",
+    "DEFAULT_FRACTIONS",
+    "build_join_synopsis",
+    "MVSample",
+    "build_mv_sample",
+]

@@ -1,0 +1,54 @@
+"""Size estimation: SampleCF, deductions, error model, graph search."""
+
+from repro.sizeest.analytic import AnalyticSizer
+from repro.sizeest.calibration import (
+    CalibrationReport,
+    calibrate_error_model,
+)
+from repro.sizeest.deduction import DeductionEngine, MultiColumnDistinct
+from repro.sizeest.error_model import (
+    DEFAULT_ERROR_MODEL,
+    ErrorModel,
+    ErrorRV,
+)
+from repro.sizeest.estimator import SizeEstimator
+from repro.sizeest.graph import (
+    DeductionNode,
+    EstimationGraph,
+    IndexNode,
+    NodeState,
+    node_key,
+)
+from repro.sizeest.greedy import plan_all_sampled, plan_greedy
+from repro.sizeest.optimal import plan_optimal
+from repro.sizeest.plan import EstimationPlan, PlanEvaluator, finalize_plan
+from repro.sizeest.planner import PlannerResult, choose_plan, execute_plan
+from repro.sizeest.samplecf import SampleCFRunner, SizeEstimate
+
+__all__ = [
+    "AnalyticSizer",
+    "calibrate_error_model",
+    "CalibrationReport",
+    "SampleCFRunner",
+    "SizeEstimate",
+    "DeductionEngine",
+    "MultiColumnDistinct",
+    "ErrorRV",
+    "ErrorModel",
+    "DEFAULT_ERROR_MODEL",
+    "EstimationGraph",
+    "IndexNode",
+    "DeductionNode",
+    "NodeState",
+    "node_key",
+    "PlanEvaluator",
+    "EstimationPlan",
+    "finalize_plan",
+    "plan_greedy",
+    "plan_all_sampled",
+    "plan_optimal",
+    "choose_plan",
+    "execute_plan",
+    "PlannerResult",
+    "SizeEstimator",
+]

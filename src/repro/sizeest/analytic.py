@@ -1,0 +1,158 @@
+"""Analytic (statistics-only) sizing of *uncompressed* structures.
+
+For an uncompressed index the size follows from the row count and the
+fixed row width (Section 1: "straightforward once the number of rows and
+average row length is known").  This module provides those numbers for
+plain, partial and MV indexes; compressed sizes need SampleCF/deduction.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.schema import Database
+from repro.errors import SizeEstimationError
+from repro.physical.index_def import IndexDef
+from repro.sampling.sample_manager import SampleManager
+from repro.stats.column_stats import DatabaseStats
+from repro.stats.selectivity import conjunction_selectivity
+from repro.storage.index_build import IndexKind
+from repro.storage.page import (
+    PAGE_CAPACITY,
+    PAGE_SIZE,
+    ROW_OVERHEAD,
+    btree_overhead_pages,
+)
+from repro.storage.rowcache import RID_COLUMN
+
+
+def avg_rid_stripped_len(rows: int) -> float:
+    """Average padding-stripped byte length of row ids 0..rows-1."""
+    if rows <= 1:
+        return 1.0
+    total = 0.0
+    covered = 0
+    width = 1
+    while covered < rows:
+        hi = min(rows, 256 ** width)
+        total += (hi - covered) * width
+        covered = hi
+        width += 1
+    return total / rows
+
+
+class AnalyticSizer:
+    """Row counts, row widths and uncompressed sizes for index defs."""
+
+    def __init__(
+        self,
+        database: Database,
+        stats: DatabaseStats,
+        manager: SampleManager,
+        mv_fraction: float = 0.01,
+    ) -> None:
+        self.database = database
+        self.stats = stats
+        self.manager = manager
+        self.mv_fraction = mv_fraction
+
+    # ------------------------------------------------------------------
+    def estimated_rows(self, index: IndexDef) -> float:
+        """Estimated number of entries in the structure."""
+        if index.is_mv_index:
+            return self.manager.mv_sample(index.mv, self.mv_fraction).est_rows
+        table_stats = self.stats.table(index.table)
+        rows = float(table_stats.n_rows)
+        if index.is_partial:
+            rows *= conjunction_selectivity(table_stats, (index.filter,))
+        return rows
+
+    # ------------------------------------------------------------------
+    def stored_column_widths(self, index: IndexDef) -> list[int]:
+        """Byte widths of the columns the structure stores, leaf order."""
+        if index.is_mv_index:
+            all_cols = dict(index.mv.storage_columns(self.database))
+            if index.kind is IndexKind.SECONDARY:
+                names = list(index.column_sequence)
+                widths = [all_cols[n].width for n in names]
+                widths.append(RID_COLUMN.width)
+                return widths
+            return [dtype.width for dtype in all_cols.values()]
+        table = self.database.table(index.table)
+        if index.kind in (IndexKind.HEAP, IndexKind.CLUSTERED):
+            return [c.width for c in table.columns]
+        widths = [table.column(n).width for n in index.column_sequence]
+        widths.append(RID_COLUMN.width)
+        return widths
+
+    def row_width(self, index: IndexDef) -> int:
+        return sum(self.stored_column_widths(index))
+
+    def key_width(self, index: IndexDef) -> int:
+        if index.kind is IndexKind.HEAP:
+            return 8
+        if index.is_mv_index:
+            all_cols = dict(index.mv.storage_columns(self.database))
+            return sum(all_cols[n].width for n in index.key_columns) + 8
+        table = self.database.table(index.table)
+        return sum(table.column(n).width for n in index.key_columns) + 8
+
+    # ------------------------------------------------------------------
+    def uncompressed_leaf_pages(self, index: IndexDef) -> float:
+        rows = self.estimated_rows(index)
+        per_row = self.row_width(index) + ROW_OVERHEAD
+        if per_row > PAGE_CAPACITY:
+            raise SizeEstimationError(
+                f"row of {per_row} bytes exceeds page capacity"
+            )
+        rows_per_page = PAGE_CAPACITY // per_row
+        return rows / rows_per_page
+
+    def uncompressed_pages(self, index: IndexDef) -> float:
+        # Deliberately fractional: the deduction engine differences these
+        # values, and whole-page rounding would swamp small reductions.
+        # Consumers that need storage-accounting sizes apply
+        # :func:`repro.storage.page.quantize_bytes` at their boundary.
+        leaf = self.uncompressed_leaf_pages(index)
+        if index.kind is IndexKind.HEAP:
+            return leaf
+        interior = btree_overhead_pages(
+            max(1, int(round(leaf))), self.key_width(index)
+        )
+        return leaf + interior
+
+    def uncompressed_bytes(self, index: IndexDef) -> float:
+        return self.uncompressed_pages(index) * PAGE_SIZE
+
+    # ------------------------------------------------------------------
+    def ns_reduction_bytes(self, index: IndexDef) -> float:
+        """Analytic size reduction NULL suppression alone would achieve —
+        the order-*independent* share of any compression package's
+        reduction (plain table indexes only; needs column statistics)."""
+        if index.is_mv_index:
+            raise SizeEstimationError(
+                "ns_reduction_bytes supports plain table indexes only"
+            )
+        table = self.database.table(index.table)
+        stats = self.stats.table(index.table)
+        rows = self.estimated_rows(index)
+        if index.kind is IndexKind.SECONDARY:
+            names = list(index.column_sequence)
+        else:
+            names = list(table.column_names)
+        ns_row = 0.0
+        raw_row = 0.0
+        for name in names:
+            col = table.column(name)
+            ns_row += 1.0 + stats.column(name).avg_stripped_len
+            raw_row += col.width
+        if index.kind is IndexKind.SECONDARY:
+            ns_row += 1.0 + avg_rid_stripped_len(int(rows))
+            raw_row += RID_COLUMN.width
+        return max(0.0, rows * (raw_row - ns_row))
+
+    # ------------------------------------------------------------------
+    def samplecf_cost(self, index: IndexDef, fraction: float) -> float:
+        """Cost of a SampleCF run, as Section 5.1 defines it: the number
+        of (uncompressed) data pages of the index built on the sample."""
+        fraction = self.manager.effective_fraction(index.table if not index.is_mv_index
+                                                   else index.mv.fact_table, fraction)
+        return max(1.0, self.uncompressed_leaf_pages(index) * fraction)

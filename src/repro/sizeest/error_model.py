@@ -1,0 +1,138 @@
+"""Stochastic error model for size estimation (Section 5.1, Appendix C).
+
+Each estimation step is modelled by a random variable ``X`` = estimated
+size / true size (``X = 1`` is perfect).  SampleCF errors shrink with the
+sampling fraction ``f`` (bias and stddev fit ``-c * ln f``, Table 2);
+deduction errors grow linearly with the number of extrapolated indexes
+``a`` (Table 3).  Estimates that feed other estimates *compose*: the
+result is the product of the input RVs and the deduction's own RV, whose
+variance follows Goodman's variance-of-a-product formula.
+
+The accuracy requirement "(error <= e) with probability >= q" is evaluated
+as the mass a normal distribution with the composed bias/variance places
+on the interval [1/(1+e), 1+e] — Appendix C observed errors to be close to
+normal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.compression.base import CompressionMethod
+from repro.errors import SizeEstimationError
+
+
+def _phi(z: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+@dataclass(frozen=True)
+class ErrorRV:
+    """Mean/variance of an estimation ratio random variable."""
+
+    mean: float
+    var: float
+
+    @staticmethod
+    def exact() -> "ErrorRV":
+        """A perfectly known size (existing index, catalog lookup)."""
+        return ErrorRV(mean=1.0, var=0.0)
+
+    @staticmethod
+    def product(factors: Iterable["ErrorRV"]) -> "ErrorRV":
+        """Product of independent ratio RVs (Goodman 1962):
+
+        E[prod] = prod E_i;  V[prod] = prod(V_i + E_i^2) - prod(E_i^2)
+        """
+        mean = 1.0
+        second = 1.0
+        for rv in factors:
+            mean *= rv.mean
+            second *= rv.var + rv.mean * rv.mean
+        return ErrorRV(mean=mean, var=max(0.0, second - mean * mean))
+
+    def prob_within(self, e: float) -> float:
+        """P(1/(1+e) <= X <= 1+e) under a normal approximation."""
+        if e < 0:
+            raise SizeEstimationError(f"error tolerance {e} must be >= 0")
+        lo = 1.0 / (1.0 + e)
+        hi = 1.0 + e
+        sd = math.sqrt(self.var)
+        if sd == 0.0:
+            return 1.0 if lo <= self.mean <= hi else 0.0
+        return _phi((hi - self.mean) / sd) - _phi((lo - self.mean) / sd)
+
+
+def _error_class(method: CompressionMethod) -> str:
+    """Map a compression package to its error-parameter class.
+
+    ORD-IND packages behave like NULL suppression ("NS"); ORD-DEP packages
+    like local dictionary ("LD") — the two classes Appendix C fits.
+    """
+    if not method.is_compressed:
+        return "NS"
+    return "LD" if method.is_order_dependent else "NS"
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """Fitted error-model coefficients.
+
+    SampleCF: bias = -bias_coef * ln(f); stddev = -std_coef * ln(f).
+    ColSet:   constant bias/stddev.
+    ColExt:   bias = bias_coef * a; stddev = std_coef * a  (``a`` = number
+    of indexes extrapolated from).
+
+    Defaults are the paper's Table 2 (TPC-H Z=0 row) and Table 3 values;
+    :mod:`repro.experiments.table2_error_fit` re-fits them on this
+    substrate.
+    """
+
+    samplecf_bias: dict = field(
+        default_factory=lambda: {"NS": 0.0, "LD": 0.015}
+    )
+    samplecf_std: dict = field(
+        default_factory=lambda: {"NS": 0.0062, "LD": 0.018}
+    )
+    colset_bias: dict = field(default_factory=lambda: {"NS": 0.0, "LD": 0.0})
+    colset_std: dict = field(
+        default_factory=lambda: {"NS": 0.0003, "LD": 0.0003}
+    )
+    colext_bias: dict = field(
+        default_factory=lambda: {"NS": 0.01, "LD": -0.03}
+    )
+    colext_std: dict = field(
+        default_factory=lambda: {"NS": 0.002, "LD": 0.01}
+    )
+
+    # ------------------------------------------------------------------
+    def samplecf_rv(self, method: CompressionMethod, fraction: float) -> ErrorRV:
+        """Error RV of one SampleCF run at sampling fraction ``fraction``."""
+        if not 0.0 < fraction <= 1.0:
+            raise SizeEstimationError(f"fraction {fraction} not in (0, 1]")
+        cls = _error_class(method)
+        log_term = -math.log(fraction)
+        bias = self.samplecf_bias[cls] * log_term
+        std = self.samplecf_std[cls] * log_term
+        return ErrorRV(mean=1.0 + bias, var=std * std)
+
+    def colset_rv(self, method: CompressionMethod) -> ErrorRV:
+        """Error RV of a column-set deduction step."""
+        cls = _error_class(method)
+        std = self.colset_std[cls]
+        return ErrorRV(mean=1.0 + self.colset_bias[cls], var=std * std)
+
+    def colext_rv(self, method: CompressionMethod, a: int) -> ErrorRV:
+        """Error RV of a column-extrapolation step from ``a`` indexes."""
+        if a < 1:
+            raise SizeEstimationError("ColExt needs at least one source")
+        cls = _error_class(method)
+        bias = self.colext_bias[cls] * a
+        std = self.colext_std[cls] * a
+        return ErrorRV(mean=1.0 + bias, var=std * std)
+
+
+DEFAULT_ERROR_MODEL = ErrorModel()

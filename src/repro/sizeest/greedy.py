@@ -1,0 +1,103 @@
+"""The paper's greedy graph-search algorithm (Section 5.2).
+
+Processes target indexes from narrow to wide and, for each, prefers (a) a
+deduction whose children are already decided, then (b) a deduction whose
+children can be sampled for less than sampling the target itself, then
+(c) sampling the target.  Runs in seconds for hundreds of indexes where
+the exact algorithm (Appendix D, :mod:`repro.sizeest.optimal`) takes
+exponential time.
+"""
+
+from __future__ import annotations
+
+from repro.sizeest.graph import NodeState
+from repro.sizeest.plan import EstimationPlan, PlanEvaluator, finalize_plan
+
+
+def plan_greedy(
+    evaluator: PlanEvaluator,
+    e: float,
+    q: float,
+) -> EstimationPlan:
+    """Assign SAMPLED/DEDUCED states greedily (paper's pseudocode).
+
+    Args:
+        evaluator: wraps the graph (with targets and existing indexes
+            already added), the error model and the sampling fraction.
+        e: tolerable error ratio.
+        q: required probability that the error stays within ``e``.
+    """
+    graph = evaluator.graph
+    # Line 3: iterate targets from narrower to wider (ties: stable order).
+    targets = sorted(
+        graph.targets(),
+        key=lambda n: (n.width, n.key[0], n.key[1], n.key[2],
+                       n.key[3].value),
+    )
+    for node in targets:
+        if node.state is not NodeState.NONE:
+            continue  # decided earlier, e.g. sampled as someone's child
+        # Lines 4-5: materialize child deductions and their children.
+        deductions = graph.expand_node(node.key)
+
+        # Lines 6-7: a ready deduction (all children decided) that meets
+        # the accuracy constraint; prefer the highest probability.
+        best_ready = None
+        best_ready_prob = 0.0
+        for ded in deductions:
+            if not all(graph.decided(c) for c in ded.children):
+                continue
+            prob = evaluator.deduced_error(ded).prob_within(e)
+            if prob >= q and prob > best_ready_prob:
+                best_ready, best_ready_prob = ded, prob
+        if best_ready is not None:
+            node.state = NodeState.DEDUCED
+            node.chosen_deduction = best_ready
+            continue
+
+        # Lines 8-9: enable a deduction by sampling its undecided children
+        # if that costs less than sampling this node; prefer least cost.
+        own_cost = evaluator.sampling_cost(node.key)
+        best_enable = None
+        best_enable_cost = own_cost
+        for ded in deductions:
+            undecided = [c for c in ded.children if not graph.decided(c)]
+            if not undecided:
+                continue
+            cost = sum(evaluator.sampling_cost(c) for c in undecided)
+            if cost >= best_enable_cost:
+                continue
+            # Tentatively sample the children to evaluate the error.
+            for c in undecided:
+                graph.nodes[c].state = NodeState.SAMPLED
+            prob = evaluator.deduced_error(ded).prob_within(e)
+            for c in undecided:
+                graph.nodes[c].state = NodeState.NONE
+            if prob >= q:
+                best_enable, best_enable_cost = (ded, undecided), cost
+        if best_enable is not None:
+            ded, undecided = best_enable
+            for c in undecided:
+                graph.nodes[c].state = NodeState.SAMPLED
+            node.state = NodeState.DEDUCED
+            node.chosen_deduction = ded
+            continue
+
+        # Line 11: fall back to SampleCF on the node itself.
+        node.state = NodeState.SAMPLED
+
+    # Lines 13-14: prune helper nodes that ended up unused, then total up.
+    return finalize_plan(evaluator, e, q)
+
+
+def plan_all_sampled(
+    evaluator: PlanEvaluator,
+    e: float,
+    q: float,
+) -> EstimationPlan:
+    """The "All" baseline of Table 4: SampleCF on every target."""
+    graph = evaluator.graph
+    for node in graph.targets():
+        if node.state is NodeState.NONE:
+            node.state = NodeState.SAMPLED
+    return finalize_plan(evaluator, e, q)

@@ -1,0 +1,34 @@
+"""Statistics: histograms, column stats, distinct-value estimators."""
+
+from repro.stats.column_stats import ColumnStats, DatabaseStats, TableStats
+from repro.stats.distinct import (
+    AE_FREQUENT_CUTOFF,
+    adaptive_estimator,
+    chao_estimator,
+    frequency_statistics,
+    gee_estimator,
+    independence_estimator,
+    multiply_estimator,
+)
+from repro.stats.histogram import Bucket, EquiDepthHistogram
+from repro.stats.selectivity import (
+    conjunction_selectivity,
+    predicate_selectivity,
+)
+
+__all__ = [
+    "predicate_selectivity",
+    "conjunction_selectivity",
+    "Bucket",
+    "EquiDepthHistogram",
+    "ColumnStats",
+    "TableStats",
+    "DatabaseStats",
+    "adaptive_estimator",
+    "multiply_estimator",
+    "independence_estimator",
+    "gee_estimator",
+    "chao_estimator",
+    "frequency_statistics",
+    "AE_FREQUENT_CUTOFF",
+]

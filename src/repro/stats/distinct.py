@@ -1,0 +1,152 @@
+"""Distinct-value estimators.
+
+Implements the three estimators compared in the paper's Table 1 for
+estimating the number of tuples (groups) in an aggregated materialized
+view from a sample:
+
+* **Multiply** — scale the sampled distinct count by 1/f (the naive
+  baseline; the paper measures 379% average error).
+* **Optimizer** — per-column independence assumption over single-column
+  statistics (96% average error).
+* **AE (Adaptive Estimator)** — a frequency-statistics estimator in the
+  spirit of Charikar et al. [6]: frequent groups are counted exactly; the
+  rare-group count is recovered from a Poisson model of per-group sample
+  counts solved by method of moments (the paper reports 6% error).
+
+GEE and Chao's estimator are provided as additional baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import StatisticsError
+
+#: Sample-frequency cutoff: groups seen more often than this are "frequent"
+#: and counted exactly (the AE split from Charikar et al.).
+AE_FREQUENT_CUTOFF = 10
+
+
+def _solve_rate(ratio: float) -> float:
+    """Solve x / (1 - exp(-x)) = ratio for x > 0.
+
+    ``ratio`` is the mean sample-count of *observed* rare groups; it is
+    always >= 1.  The left side is increasing, so bisection is safe.
+    """
+    if ratio <= 1.0:
+        return 0.0
+    lo, hi = 1e-9, 1.0
+    while hi / (1.0 - math.exp(-hi)) < ratio:
+        hi *= 2.0
+        if hi > 1e9:  # pragma: no cover - defensive
+            break
+    for _ in range(80):
+        mid = (lo + hi) / 2.0
+        if mid / (1.0 - math.exp(-mid)) < ratio:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def adaptive_estimator(
+    freq_of_freq: Mapping[int, int],
+    d: int,
+    r: int,
+    n: int,
+) -> float:
+    """AE distinct-count estimate from sample frequency statistics.
+
+    Args:
+        freq_of_freq: ``{k: number of distinct values seen exactly k times}``
+            (the paper's ``f = {f1, f2, ...}``, obtained from the MV
+            sample's COUNT column per Appendix B.3).
+        d: distinct values observed in the sample.
+        r: sampled tuples (before aggregation).
+        n: total tuples in the underlying (filtered) population.
+
+    Returns:
+        Estimated number of distinct values (MV groups) in the population.
+    """
+    if d < 0 or r < 0 or n < 0:
+        raise StatisticsError("d, r, n must be non-negative")
+    if d == 0 or r == 0:
+        return 0.0
+    if sum(freq_of_freq.values()) != d:
+        raise StatisticsError("freq_of_freq inconsistent with d")
+    if n <= r:
+        return float(d)
+    f = r / n
+
+    d_high = sum(c for k, c in freq_of_freq.items() if k > AE_FREQUENT_CUTOFF)
+    d_rare = d - d_high
+    r_rare = sum(k * c for k, c in freq_of_freq.items()
+                 if k <= AE_FREQUENT_CUTOFF)
+    if d_rare == 0:
+        return float(d_high)
+
+    # Poisson model: each rare group contributes Poisson(x) sampled tuples,
+    # x = f * (true group size).  Observed groups are those with count >= 1:
+    #   E[mean count | observed] = x / (1 - e^-x)
+    x = _solve_rate(r_rare / d_rare)
+    if x <= 0.0:
+        # All-singleton sample: no repetition signal; the unbiased fallback
+        # assumes groups are so small every population group yields at most
+        # one sampled tuple, i.e. distinct scales like the sample.
+        d_rare_est = d_rare / f
+    else:
+        d_rare_est = r_rare / x
+    # A population can't have more rare groups than rare tuples.
+    d_rare_est = min(d_rare_est, r_rare / f)
+    d_rare_est = max(d_rare_est, float(d_rare))
+    return d_high + d_rare_est
+
+
+def multiply_estimator(d: int, f: float) -> float:
+    """Naive scale-up: sampled distinct count divided by the sampling
+    fraction (paper's "Multiply" baseline)."""
+    if not 0.0 < f <= 1.0:
+        raise StatisticsError(f"sampling fraction {f} not in (0, 1]")
+    return d / f
+
+
+def independence_estimator(
+    column_distincts: Sequence[float], n_filtered: float
+) -> float:
+    """Optimizer-style estimate: product of per-column distinct counts,
+    capped by the (filtered) row count — the single-column-statistics
+    independence assumption the paper's Table 1 calls "Optimizer"."""
+    product = 1.0
+    for nd in column_distincts:
+        product *= max(1.0, nd)
+        if product >= n_filtered:
+            return max(1.0, n_filtered)
+    return max(1.0, min(product, n_filtered))
+
+
+def gee_estimator(freq_of_freq: Mapping[int, int], d: int, r: int, n: int) -> float:
+    """Guaranteed-Error Estimator (Charikar et al.): sqrt(n/r)*f1 + rest."""
+    if d == 0 or r == 0:
+        return 0.0
+    f1 = freq_of_freq.get(1, 0)
+    return math.sqrt(n / r) * f1 + (d - f1)
+
+
+def chao_estimator(freq_of_freq: Mapping[int, int], d: int) -> float:
+    """Chao's lower-bound estimator d + f1^2 / (2 f2)."""
+    f1 = freq_of_freq.get(1, 0)
+    f2 = freq_of_freq.get(2, 0)
+    if f2 == 0:
+        return float(d + f1 * (f1 - 1) / 2.0)
+    return d + f1 * f1 / (2.0 * f2)
+
+
+def frequency_statistics(counts: Sequence[int]) -> dict[int, int]:
+    """Build ``{k: #values seen k times}`` from per-group sample counts."""
+    out: dict[int, int] = {}
+    for c in counts:
+        if c <= 0:
+            raise StatisticsError("group counts must be positive")
+        out[c] = out.get(c, 0) + 1
+    return out

@@ -1,0 +1,62 @@
+"""Predicate selectivity estimation from column statistics.
+
+Shared by the what-if optimizer (cardinality estimation) and the size
+estimation framework (row counts of partial indexes).  Conjunctions use
+the independence assumption, as mainstream optimizers do.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import StatisticsError
+from repro.stats.column_stats import TableStats
+from repro.workload.expr import (
+    Between,
+    Comparison,
+    Conjunction,
+    InList,
+    Predicate,
+)
+
+
+def predicate_selectivity(stats: TableStats, predicate: Predicate) -> float:
+    """Estimated fraction of rows satisfying ``predicate``."""
+    if isinstance(predicate, Conjunction):
+        return conjunction_selectivity(stats, predicate.predicates)
+    if isinstance(predicate, Comparison):
+        return _comparison_selectivity(stats, predicate)
+    if isinstance(predicate, Between):
+        col = stats.column(predicate.column)
+        return col.histogram.selectivity_range(predicate.lo, predicate.hi)
+    if isinstance(predicate, InList):
+        col = stats.column(predicate.column)
+        sel = sum(col.histogram.selectivity_eq(v) for v in predicate.values)
+        return min(1.0, sel)
+    raise StatisticsError(f"cannot estimate selectivity of {predicate!r}")
+
+
+def _comparison_selectivity(stats: TableStats, pred: Comparison) -> float:
+    col = stats.column(pred.column)
+    hist = col.histogram
+    if pred.op == "=":
+        return hist.selectivity_eq(pred.value)
+    if pred.op == "!=":
+        return max(0.0, 1.0 - hist.selectivity_eq(pred.value))
+    if pred.op == "<":
+        return hist.selectivity_range(None, pred.value, hi_inclusive=False)
+    if pred.op == "<=":
+        return hist.selectivity_range(None, pred.value)
+    if pred.op == ">":
+        return hist.selectivity_range(pred.value, None, lo_inclusive=False)
+    return hist.selectivity_range(pred.value, None)
+
+
+def conjunction_selectivity(
+    stats: TableStats, predicates: Iterable[Predicate]
+) -> float:
+    """Independence-assumption product over a conjunction."""
+    sel = 1.0
+    for p in predicates:
+        sel *= predicate_selectivity(stats, p)
+    return sel

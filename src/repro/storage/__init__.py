@@ -1,0 +1,40 @@
+"""Storage engine: pages, heaps, index packing, serialization cache."""
+
+from repro.storage.index_build import (
+    IndexKind,
+    IndexSize,
+    compression_fraction,
+    measure_structure,
+    stored_columns,
+    uncompressed_size,
+)
+from repro.storage.page import (
+    PAGE_CAPACITY,
+    PAGE_HEADER,
+    PAGE_SIZE,
+    ROW_OVERHEAD,
+    PackResult,
+    btree_overhead_pages,
+    pack_columns,
+    pack_fixed_width,
+)
+from repro.storage.rowcache import RID_COLUMN, SerializedTable
+
+__all__ = [
+    "PAGE_SIZE",
+    "PAGE_HEADER",
+    "PAGE_CAPACITY",
+    "ROW_OVERHEAD",
+    "PackResult",
+    "pack_columns",
+    "pack_fixed_width",
+    "btree_overhead_pages",
+    "SerializedTable",
+    "RID_COLUMN",
+    "IndexKind",
+    "IndexSize",
+    "measure_structure",
+    "uncompressed_size",
+    "compression_fraction",
+    "stored_columns",
+]

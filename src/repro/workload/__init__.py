@@ -1,0 +1,51 @@
+"""Workload IR: predicates, statements, workloads, SQL parser."""
+
+from repro.workload.expr import (
+    Between,
+    Comparison,
+    Conjunction,
+    InList,
+    Predicate,
+    conjunction_of,
+    flatten,
+)
+from repro.workload.parser import (
+    date_to_days,
+    days_to_date,
+    parse_query,
+    parse_statement,
+)
+from repro.workload.query import (
+    Aggregate,
+    DeleteQuery,
+    InsertQuery,
+    Join,
+    SelectQuery,
+    Statement,
+    UpdateQuery,
+    Workload,
+    WorkloadStatement,
+)
+
+__all__ = [
+    "Predicate",
+    "Comparison",
+    "Between",
+    "InList",
+    "Conjunction",
+    "conjunction_of",
+    "flatten",
+    "Aggregate",
+    "Join",
+    "SelectQuery",
+    "InsertQuery",
+    "UpdateQuery",
+    "DeleteQuery",
+    "Statement",
+    "Workload",
+    "WorkloadStatement",
+    "parse_statement",
+    "parse_query",
+    "date_to_days",
+    "days_to_date",
+]

@@ -1,0 +1,170 @@
+"""Predicate expressions of the query IR.
+
+Workload predicates are conjunctions of simple single-column comparisons —
+the shape physical design tools reason about (sargable predicates drive
+index candidate generation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import WorkloadError
+
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class Predicate:
+    """Base class for row predicates."""
+
+    def columns(self) -> tuple[str, ...]:
+        """Columns this predicate references."""
+        raise NotImplementedError
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        """Evaluate against a row given as a column->value mapping."""
+        raise NotImplementedError
+
+    @property
+    def is_equality(self) -> bool:
+        return False
+
+    @property
+    def is_range(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``column op literal`` for op in =, !=, <, <=, >, >=."""
+
+    column: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise WorkloadError(f"unknown comparison operator {self.op!r}")
+
+    def columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        v = row[self.column]
+        if v is None:
+            return False
+        op = self.op
+        if op == "=":
+            return v == self.value
+        if op == "!=":
+            return v != self.value
+        if op == "<":
+            return v < self.value
+        if op == "<=":
+            return v <= self.value
+        if op == ">":
+            return v > self.value
+        return v >= self.value
+
+    @property
+    def is_equality(self) -> bool:
+        return self.op == "="
+
+    @property
+    def is_range(self) -> bool:
+        return self.op in ("<", "<=", ">", ">=")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.column} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``column BETWEEN lo AND hi`` (inclusive)."""
+
+    column: str
+    lo: object
+    hi: object
+
+    def columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        v = row[self.column]
+        if v is None:
+            return False
+        return self.lo <= v <= self.hi
+
+    @property
+    def is_range(self) -> bool:
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.column} BETWEEN {self.lo!r} AND {self.hi!r}"
+
+
+@dataclass(frozen=True)
+class InList(Predicate):
+    """``column IN (v1, v2, ...)``."""
+
+    column: str
+    values: tuple
+
+    def columns(self) -> tuple[str, ...]:
+        return (self.column,)
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return row[self.column] in self.values
+
+    @property
+    def is_equality(self) -> bool:
+        # An IN list behaves like a disjunction of equalities; for candidate
+        # generation it is treated as an equality-sargable predicate.
+        return True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.column} IN {self.values!r}"
+
+
+@dataclass(frozen=True)
+class Conjunction(Predicate):
+    """AND of simple predicates."""
+
+    predicates: tuple[Predicate, ...]
+
+    def columns(self) -> tuple[str, ...]:
+        out: list[str] = []
+        for p in self.predicates:
+            out.extend(p.columns())
+        return tuple(dict.fromkeys(out))
+
+    def evaluate(self, row: Mapping[str, object]) -> bool:
+        return all(p.evaluate(row) for p in self.predicates)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return " AND ".join(str(p) for p in self.predicates)
+
+
+def conjunction_of(predicates: Sequence[Predicate]) -> Predicate | None:
+    """Normalize a predicate list: None / single / Conjunction."""
+    flat: list[Predicate] = []
+    for p in predicates:
+        if isinstance(p, Conjunction):
+            flat.extend(p.predicates)
+        else:
+            flat.append(p)
+    if not flat:
+        return None
+    if len(flat) == 1:
+        return flat[0]
+    return Conjunction(tuple(flat))
+
+
+def flatten(predicate: Predicate | None) -> tuple[Predicate, ...]:
+    """The simple predicates of a (possibly compound) predicate."""
+    if predicate is None:
+        return ()
+    if isinstance(predicate, Conjunction):
+        return predicate.predicates
+    return (predicate,)

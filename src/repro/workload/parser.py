@@ -1,0 +1,308 @@
+"""A small SQL parser producing the query IR.
+
+Covers the statement shapes of the paper's workloads: single-block
+SELECTs with FK equi-joins, conjunctive WHERE clauses, GROUP BY / ORDER
+BY, aggregate projections, plus bulk-load INSERT and simple
+UPDATE/DELETE statements.
+
+Grammar (case-insensitive keywords)::
+
+    select  := SELECT item (',' item)* FROM ident (JOIN ident ON ident '=' ident)*
+               [WHERE pred (AND pred)*] [GROUP BY idents] [ORDER BY idents]
+    item    := AGG '(' ('*' | ident (('*'|'+'|'-') ident)*) ')' | ident
+    pred    := ident op literal
+             | ident BETWEEN literal AND literal
+             | ident IN '(' literal (',' literal)* ')'
+    insert  := INSERT INTO ident BULK number
+    update  := UPDATE ident SET ident '=' literal (',' ...)* [WHERE ...]
+    delete  := DELETE FROM ident [WHERE ...]
+    literal := number | 'string' | DATE 'YYYY-MM-DD'
+
+DATE literals become days-since-epoch integers, matching
+:class:`repro.catalog.datatypes.DateType`.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+
+from repro.errors import ParseError
+from repro.workload.expr import (
+    Between,
+    Comparison,
+    InList,
+    Predicate,
+)
+from repro.workload.query import (
+    AGG_FUNCS,
+    Aggregate,
+    DeleteQuery,
+    InsertQuery,
+    Join,
+    SelectQuery,
+    Statement,
+    UpdateQuery,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<string>'(?:[^']|'')*')"
+    r"|(?P<number>-?\d+(?:\.\d+)?)"
+    r"|(?P<ident>[A-Za-z_][A-Za-z_0-9\.]*)"
+    r"|(?P<op><=|>=|!=|<>|=|<|>)"
+    r"|(?P<punct>[(),*+\-])"
+    r")"
+)
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+def date_to_days(text: str) -> int:
+    """'YYYY-MM-DD' -> days since 1970-01-01."""
+    return (datetime.date.fromisoformat(text) - _EPOCH).days
+
+
+def days_to_date(days: int) -> datetime.date:
+    """Inverse of :func:`date_to_days` (handy in examples/tests)."""
+    return _EPOCH + datetime.timedelta(days=days)
+
+
+class _Tokens:
+    """Token stream with one-token lookahead."""
+
+    def __init__(self, text: str) -> None:
+        self.tokens: list[tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if not m or m.end() == pos:
+                rest = text[pos:].strip()
+                if not rest:
+                    break
+                raise ParseError(f"cannot tokenize near {rest[:25]!r}")
+            pos = m.end()
+            for kind in ("string", "number", "ident", "op", "punct"):
+                val = m.group(kind)
+                if val is not None:
+                    self.tokens.append((kind, val))
+                    break
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of statement")
+        self.pos += 1
+        return tok
+
+    def accept_keyword(self, *words: str) -> bool:
+        """Consume the given keyword sequence if present."""
+        save = self.pos
+        for word in words:
+            tok = self.peek()
+            if tok is None or tok[0] != "ident" or tok[1].upper() != word:
+                self.pos = save
+                return False
+            self.pos += 1
+        return True
+
+    def expect_keyword(self, *words: str) -> None:
+        if not self.accept_keyword(*words):
+            raise ParseError(f"expected {' '.join(words)} near {self.peek()}")
+
+    def accept_punct(self, ch: str) -> bool:
+        tok = self.peek()
+        if tok and tok[0] == "punct" and tok[1] == ch:
+            self.pos += 1
+            return True
+        return False
+
+    def expect_punct(self, ch: str) -> None:
+        if not self.accept_punct(ch):
+            raise ParseError(f"expected {ch!r} near {self.peek()}")
+
+    def expect_ident(self) -> str:
+        tok = self.next()
+        if tok[0] != "ident":
+            raise ParseError(f"expected identifier, got {tok}")
+        return tok[1]
+
+    @property
+    def done(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+
+def _parse_literal(ts: _Tokens):
+    tok = ts.peek()
+    if tok is None:
+        raise ParseError("expected literal")
+    kind, val = tok
+    if kind == "ident" and val.upper() == "DATE":
+        ts.next()
+        s = ts.next()
+        if s[0] != "string":
+            raise ParseError("DATE must be followed by a 'YYYY-MM-DD' string")
+        return date_to_days(s[1][1:-1])
+    if kind == "string":
+        ts.next()
+        return val[1:-1].replace("''", "'")
+    if kind == "number":
+        ts.next()
+        return float(val) if "." in val else int(val)
+    raise ParseError(f"expected literal, got {tok}")
+
+
+def _parse_predicate(ts: _Tokens) -> Predicate:
+    column = ts.expect_ident()
+    if ts.accept_keyword("BETWEEN"):
+        lo = _parse_literal(ts)
+        ts.expect_keyword("AND")
+        hi = _parse_literal(ts)
+        return Between(column, lo, hi)
+    if ts.accept_keyword("IN"):
+        ts.expect_punct("(")
+        values = [_parse_literal(ts)]
+        while ts.accept_punct(","):
+            values.append(_parse_literal(ts))
+        ts.expect_punct(")")
+        return InList(column, tuple(values))
+    tok = ts.next()
+    if tok[0] != "op":
+        raise ParseError(f"expected comparison operator, got {tok}")
+    op = "!=" if tok[1] == "<>" else tok[1]
+    return Comparison(column, op, _parse_literal(ts))
+
+
+def _parse_where(ts: _Tokens) -> tuple[Predicate, ...]:
+    preds = [_parse_predicate(ts)]
+    while ts.accept_keyword("AND"):
+        preds.append(_parse_predicate(ts))
+    return tuple(preds)
+
+
+def _parse_select_item(ts: _Tokens) -> tuple[Aggregate | None, str | None]:
+    tok = ts.peek()
+    if tok and tok[0] == "ident" and tok[1].upper() in AGG_FUNCS:
+        save = ts.pos
+        func = ts.next()[1].upper()
+        if not ts.accept_punct("("):
+            ts.pos = save  # an identifier that merely looks like a keyword
+        else:
+            if ts.accept_punct("*"):
+                ts.expect_punct(")")
+                return Aggregate(func, ()), None
+            cols = [ts.expect_ident()]
+            while ts.accept_punct("*") or ts.accept_punct("+") or ts.accept_punct("-"):
+                cols.append(ts.expect_ident())
+            ts.expect_punct(")")
+            return Aggregate(func, tuple(cols)), None
+    return None, ts.expect_ident()
+
+
+def _parse_ident_list(ts: _Tokens) -> tuple[str, ...]:
+    idents = [ts.expect_ident()]
+    while ts.accept_punct(","):
+        idents.append(ts.expect_ident())
+    return tuple(idents)
+
+
+def _parse_select(ts: _Tokens) -> SelectQuery:
+    aggregates: list[Aggregate] = []
+    select_columns: list[str] = []
+    while True:
+        agg, col = _parse_select_item(ts)
+        if agg is not None:
+            aggregates.append(agg)
+        elif col is not None:
+            select_columns.append(col)
+        if not ts.accept_punct(","):
+            break
+    ts.expect_keyword("FROM")
+    tables = [ts.expect_ident()]
+    joins: list[Join] = []
+    while ts.accept_keyword("JOIN"):
+        tables.append(ts.expect_ident())
+        ts.expect_keyword("ON")
+        left = ts.expect_ident()
+        tok = ts.next()
+        if tok != ("op", "="):
+            raise ParseError("JOIN condition must be an equi-join")
+        right = ts.expect_ident()
+        joins.append(Join(left, right))
+    predicates: tuple[Predicate, ...] = ()
+    if ts.accept_keyword("WHERE"):
+        predicates = _parse_where(ts)
+    group_by: tuple[str, ...] = ()
+    if ts.accept_keyword("GROUP", "BY"):
+        group_by = _parse_ident_list(ts)
+    order_by: tuple[str, ...] = ()
+    if ts.accept_keyword("ORDER", "BY"):
+        order_by = _parse_ident_list(ts)
+    return SelectQuery(
+        tables=tuple(tables),
+        select_columns=tuple(select_columns),
+        aggregates=tuple(aggregates),
+        joins=tuple(joins),
+        predicates=predicates,
+        group_by=group_by,
+        order_by=order_by,
+    )
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse one SQL statement into the IR.
+
+    Raises:
+        ParseError: on any syntax the subset does not cover.
+    """
+    ts = _Tokens(text)
+    if ts.accept_keyword("SELECT"):
+        stmt: Statement = _parse_select(ts)
+    elif ts.accept_keyword("INSERT", "INTO"):
+        table = ts.expect_ident()
+        ts.expect_keyword("BULK")
+        tok = ts.next()
+        if tok[0] != "number":
+            raise ParseError("INSERT ... BULK needs a row count")
+        stmt = InsertQuery(table, int(float(tok[1])))
+    elif ts.accept_keyword("UPDATE"):
+        table = ts.expect_ident()
+        ts.expect_keyword("SET")
+        set_cols = [ts.expect_ident()]
+        tok = ts.next()
+        if tok != ("op", "="):
+            raise ParseError("UPDATE SET needs assignments")
+        _parse_literal(ts)
+        while ts.accept_punct(","):
+            set_cols.append(ts.expect_ident())
+            tok = ts.next()
+            if tok != ("op", "="):
+                raise ParseError("UPDATE SET needs assignments")
+            _parse_literal(ts)
+        preds: tuple[Predicate, ...] = ()
+        if ts.accept_keyword("WHERE"):
+            preds = _parse_where(ts)
+        stmt = UpdateQuery(table, tuple(set_cols), preds)
+    elif ts.accept_keyword("DELETE", "FROM"):
+        table = ts.expect_ident()
+        preds = ()
+        if ts.accept_keyword("WHERE"):
+            preds = _parse_where(ts)
+        stmt = DeleteQuery(table, preds)
+    else:
+        raise ParseError(f"unsupported statement start: {ts.peek()}")
+    if not ts.done:
+        raise ParseError(f"trailing tokens: {ts.peek()}")
+    return stmt
+
+
+def parse_query(text: str) -> SelectQuery:
+    """Parse text that must be a SELECT."""
+    stmt = parse_statement(text)
+    if not isinstance(stmt, SelectQuery):
+        raise ParseError("expected a SELECT statement")
+    return stmt

@@ -1,0 +1,67 @@
+"""Shared fixtures: a small deterministic database used across tests."""
+
+import random
+
+import pytest
+
+from repro.catalog import Column, Database, INT, Table, char, decimal
+from repro.stats import DatabaseStats
+
+
+@pytest.fixture(scope="session")
+def small_db() -> Database:
+    """A two-table star: fact(40 cols worth of redundancy) + dim."""
+    rng = random.Random(1234)
+    db = Database("small")
+    dim = Table(
+        "dim",
+        [
+            Column("d_key", INT),
+            Column("d_name", char(12)),
+            Column("d_group", char(8)),
+        ],
+        primary_key=("d_key",),
+    )
+    for i in range(50):
+        dim.append_row((i, f"dim_{i:04d}", f"G{i % 5}"))
+    db.add_table(dim)
+
+    fact = Table(
+        "fact",
+        [
+            Column("f_key", INT),
+            Column("f_dkey", INT),
+            Column("f_cat", char(10)),
+            Column("f_qty", INT),
+            Column("f_price", decimal()),
+            Column("f_day", INT),
+        ],
+        primary_key=("f_key",),
+    )
+    for i in range(4000):
+        fact.append_row(
+            (
+                i,
+                rng.randrange(50),
+                f"CAT_{rng.randrange(8)}",
+                rng.randrange(100),
+                rng.randrange(10000) * 10,
+                rng.randrange(365),
+            )
+        )
+    db.add_table(fact)
+    db.add_foreign_key("fact", "f_dkey", "dim", "d_key")
+    return db
+
+
+@pytest.fixture(scope="session")
+def small_stats(small_db) -> DatabaseStats:
+    return DatabaseStats(small_db)
+
+
+@pytest.fixture(scope="session")
+def tiny_tpch():
+    """A very small TPC-H instance shared by integration tests."""
+    from repro.datasets import tpch_database
+
+    return tpch_database(scale=0.05)

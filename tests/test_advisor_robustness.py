@@ -1,0 +1,153 @@
+"""Robustness and shape tests for the tuning advisor as a whole:
+zero/degenerate budgets, degenerate workloads, and the Appendix D.2
+behaviour of compressing existing base structures."""
+
+import pytest
+
+from repro.advisor import tune
+from repro.advisor.advisor import AdvisorResult
+from repro.datasets import tpch_database, tpch_workload
+from repro.errors import AdvisorError
+from repro.physical.configuration import Configuration
+from repro.sizeest import SizeEstimator
+from repro.stats import DatabaseStats
+from repro.storage.index_build import IndexKind
+from repro.workload.query import InsertQuery, Workload
+
+
+@pytest.fixture(scope="module")
+def env():
+    db = tpch_database(scale=0.05)
+    stats = DatabaseStats(db)
+    estimator = SizeEstimator(db, stats=stats)
+    return db, stats, estimator
+
+
+class TestZeroBudget:
+    def test_dtac_improves_at_zero_budget(self, env):
+        """Appendix D.2: DTAc can recommend at 0% budget by compressing
+        existing heaps and spending the saved space."""
+        db, stats, estimator = env
+        workload = tpch_workload(db, select_weight=5.0, insert_weight=1.0)
+        result = tune(db, workload, 0.0, variant="dtac-both",
+                      estimator=estimator, stats=stats)
+        assert result.improvement > 0.0
+        assert result.consumed_bytes <= 1e-6
+        assert any(ix.is_compressed for ix in result.configuration)
+
+    def test_dta_cannot_improve_at_zero_budget(self, env):
+        db, stats, estimator = env
+        workload = tpch_workload(db, select_weight=5.0, insert_weight=1.0)
+        result = tune(db, workload, 0.0, variant="dta",
+                      estimator=estimator, stats=stats)
+        assert result.improvement == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBudgetMonotonicity:
+    def test_dtac_improvement_non_decreasing(self, env):
+        db, stats, estimator = env
+        workload = tpch_workload(db, select_weight=5.0, insert_weight=1.0)
+        total = db.total_data_bytes()
+        improvements = [
+            tune(db, workload, total * f, variant="dtac-both",
+                 estimator=estimator, stats=stats).improvement
+            for f in (0.0, 0.1, 0.3, 0.7)
+        ]
+        for lo, hi in zip(improvements, improvements[1:]):
+            assert hi >= lo - 0.01
+
+    def test_dtac_never_below_dta(self, env):
+        db, stats, estimator = env
+        workload = tpch_workload(db, select_weight=2.0, insert_weight=5.0)
+        total = db.total_data_bytes()
+        for f in (0.1, 0.5):
+            dtac = tune(db, workload, total * f, variant="dtac-both",
+                        estimator=estimator, stats=stats)
+            dta = tune(db, workload, total * f, variant="dta",
+                       estimator=estimator, stats=stats)
+            assert dtac.improvement >= dta.improvement - 0.01
+
+
+class TestDegenerateWorkloads:
+    def test_empty_workload(self, env):
+        db, stats, estimator = env
+        result = tune(db, Workload(), db.total_data_bytes(),
+                      variant="dtac-both",
+                      estimator=estimator, stats=stats)
+        assert result.improvement == pytest.approx(0.0)
+        assert result.candidate_count == 0
+
+    def test_insert_only_workload_adds_no_secondary_indexes(self, env):
+        db, stats, estimator = env
+        workload = Workload()
+        workload.add(InsertQuery("lineitem", 1000), weight=10.0)
+        result = tune(db, workload, db.total_data_bytes(),
+                      variant="dtac-both",
+                      estimator=estimator, stats=stats)
+        secondaries = [
+            ix for ix in result.configuration
+            if ix.kind is IndexKind.SECONDARY
+        ]
+        assert secondaries == []
+
+    def test_unknown_variant_rejected(self, env):
+        db, stats, estimator = env
+        with pytest.raises(AdvisorError):
+            tune(db, Workload(), 0.0, variant="dtac-turbo",
+                 estimator=estimator, stats=stats)
+
+
+class TestDecoupledStrawman:
+    def test_everything_compressed(self, env):
+        from repro.advisor import tune_decoupled
+
+        db, stats, estimator = env
+        workload = tpch_workload(db, select_weight=1.0, insert_weight=10.0)
+        result = tune_decoupled(db, workload, db.total_data_bytes() * 0.4,
+                                estimator=estimator, stats=stats)
+        assert all(ix.is_compressed for ix in result.configuration)
+        assert any("decoupled" in step for step in result.steps)
+
+    def test_integrated_never_loses(self, env):
+        from repro.advisor import tune_decoupled
+
+        db, stats, estimator = env
+        workload = tpch_workload(db, select_weight=1.0, insert_weight=10.0)
+        budget = db.total_data_bytes() * 0.4
+        integrated = tune(db, workload, budget, variant="dtac-both",
+                          estimator=estimator, stats=stats)
+        staged = tune_decoupled(db, workload, budget,
+                                estimator=estimator, stats=stats)
+        assert integrated.improvement >= staged.improvement - 0.01
+
+
+class TestAdvisorResult:
+    def test_zero_base_cost_improvement(self):
+        result = AdvisorResult(
+            configuration=Configuration(),
+            base_configuration=Configuration(),
+            base_cost=0.0,
+            final_cost=0.0,
+            consumed_bytes=0.0,
+            budget_bytes=0.0,
+            elapsed_seconds=0.0,
+            candidate_count=0,
+            pool_size=0,
+        )
+        assert result.improvement == 0.0
+        assert result.improvement_pct == 0.0
+
+    def test_improvement_pct_scaling(self):
+        result = AdvisorResult(
+            configuration=Configuration(),
+            base_configuration=Configuration(),
+            base_cost=100.0,
+            final_cost=25.0,
+            consumed_bytes=0.0,
+            budget_bytes=0.0,
+            elapsed_seconds=0.0,
+            candidate_count=0,
+            pool_size=0,
+        )
+        assert result.improvement == pytest.approx(0.75)
+        assert result.improvement_pct == pytest.approx(75.0)

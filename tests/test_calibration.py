@@ -1,0 +1,62 @@
+"""Tests for the error-model calibration fitter."""
+
+import pytest
+
+from repro.errors import SizeEstimationError
+from repro.sizeest import SizeEstimator, calibrate_error_model
+
+KEYSETS = {
+    "fact": [
+        ("f_cat",),
+        ("f_day",),
+        ("f_qty",),
+        ("f_cat", "f_day"),
+        ("f_cat", "f_day", "f_qty"),
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def report(small_db):
+    return calibrate_error_model(
+        small_db, KEYSETS, fractions=(0.05, 0.1), min_sample_rows=100
+    )
+
+
+class TestCalibration:
+    def test_empty_keysets_rejected(self, small_db):
+        with pytest.raises(SizeEstimationError):
+            calibrate_error_model(small_db, {})
+
+    def test_coefficients_finite_and_sane(self, report):
+        m = report.model
+        for cls in ("NS", "LD"):
+            assert 0 <= m.samplecf_std[cls] < 0.5
+            assert abs(m.samplecf_bias[cls]) < 0.5
+            assert abs(m.colext_bias[cls]) < 0.5
+            assert 0 < m.colext_std[cls] < 0.5
+
+    def test_measurements_retained(self, report):
+        assert report.samplecf_errors
+        assert report.colext_errors
+        assert report.colset_errors
+
+    def test_summary_renders(self, report):
+        text = report.summary()
+        assert "SampleCF[NS]" in text and "ColExt[LD]" in text
+
+    def test_model_usable_by_estimator(self, small_db, report):
+        from repro.compression import CompressionMethod
+        from repro.physical import IndexDef
+
+        estimator = SizeEstimator(small_db, error_model=report.model)
+        batch = [
+            IndexDef("fact", ("f_cat",), method=CompressionMethod.ROW),
+            IndexDef("fact", ("f_cat", "f_day"),
+                     method=CompressionMethod.ROW),
+        ]
+        results = estimator.estimate_many(batch)
+        assert all(r.est_bytes > 0 for r in results.values())
+
+    def test_colset_near_exact_on_this_substrate(self, report):
+        assert abs(report.model.colset_bias["NS"]) < 0.02

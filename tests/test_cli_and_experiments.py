@@ -1,0 +1,139 @@
+"""Smoke tests: CLI subcommands and fast experiments at tiny scale."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ExperimentResult
+
+
+class TestCLI:
+    def test_tune(self, capsys):
+        assert main([
+            "tune", "--dataset", "tpch", "--scale", "0.03",
+            "--budget", "0.2", "--variant", "dtac-both",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out
+
+    def test_estimate(self, capsys):
+        assert main([
+            "estimate", "--dataset", "tpch", "--scale", "0.03",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "samplecf" in out or "col" in out
+
+    def test_experiments_single(self, capsys):
+        assert main([
+            "experiments", "--only", "table4_graph_quality",
+            "--scale", "0.05",
+        ]) == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "--variant", "bogus"])
+
+    def test_validate(self, capsys):
+        assert main([
+            "validate", "--dataset", "tpch", "--scale", "0.03",
+            "--budget", "0.3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "deployed improvement" in out
+        assert "budget respected" in out
+
+    def test_columnstore(self, capsys):
+        assert main([
+            "columnstore", "--dataset", "tpch", "--scale", "0.03",
+            "--budget", "0.25",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "column-store advisor (compression-aware)" in out
+        assert "proj_" in out
+
+    def test_columnstore_blind(self, capsys):
+        assert main([
+            "columnstore", "--dataset", "tpch", "--scale", "0.03",
+            "--budget", "0.25", "--blind",
+        ]) == 0
+        assert "blind" in capsys.readouterr().out
+
+
+class TestExperimentResult:
+    def test_format_and_column(self):
+        r = ExperimentResult("T", ("a", "b"), rows=[(1, 2.5), (3, 4.0)],
+                             notes=["hello"])
+        text = r.format()
+        assert "T" in text and "hello" in text
+        assert r.column("a") == [1, 3]
+
+    def test_unknown_column(self):
+        r = ExperimentResult("T", ("a",))
+        with pytest.raises(ValueError):
+            r.column("zz")
+
+
+class TestFastExperiments:
+    """Tiny-scale runs of the lighter experiments: the assertion is that
+    they complete and keep their qualitative shape."""
+
+    def test_table1(self):
+        from repro.experiments import table1_mv_rowcount
+
+        r = table1_mv_rowcount.run(scale=0.05)
+        errs = dict(zip(r.column("Estimator"), r.column("AvgError%")))
+        assert errs["AE"] < errs["Multiply"]
+
+    def test_cs1(self):
+        from repro.experiments import cs1_sort_order
+
+        r = cs1_sort_order.run(scale=0.05)
+        factors = r.column("x-smaller-lead")
+        # Low-cardinality sort leader collapses far more than the
+        # near-unique one.
+        assert factors[0] > 10.0 * factors[-1]
+
+    def test_vl1_single_budget(self):
+        from repro.engine import validate_recommendation
+        from repro.advisor import tune
+        from repro.datasets import tpch_workload
+        from repro.experiments.common import get_tpch
+
+        db = get_tpch(0.05)
+        wl = tpch_workload(db, select_weight=5.0, insert_weight=1.0)
+        rec = tune(db, wl, db.total_data_bytes() * 0.2)
+        report = validate_recommendation(rec, db, wl)
+        assert report.recommendation_holds
+
+    def test_table4(self):
+        from repro.experiments import table4_graph_quality
+
+        r = table4_graph_quality.run(scale=0.05)
+        for row in r.rows:
+            assert row[3] <= row[1] + 1e-9  # Optimal <= All
+
+    def test_fig09(self):
+        from repro.experiments import fig09_samplecf_error
+
+        r = fig09_samplecf_error.run(scale=0.05)
+        assert len(r.rows) == 4
+
+    def test_budget_sweep_runs(self, tiny_tpch):
+        from repro.datasets import tpch_workload
+        from repro.experiments.budget_sweep import sweep
+
+        wl = tpch_workload(tiny_tpch, 5.0, 1.0)
+        r = sweep("mini", tiny_tpch, wl, (0.1,), ("dta", "dtac-both"))
+        assert len(r.rows) == 1
+        both = r.column("dtac-both")[0]
+        dta = r.column("dta")[0]
+        assert both >= dta - 1e-6
+
+    def test_budget_sweep_rejects_unknown_variant(self, tiny_tpch):
+        from repro.datasets import tpch_workload
+        from repro.experiments.budget_sweep import sweep
+        from repro.errors import AdvisorError
+
+        wl = tpch_workload(tiny_tpch, 1.0, 1.0)
+        with pytest.raises(AdvisorError):
+            sweep("x", tiny_tpch, wl, (0.1,), ("bogus",))

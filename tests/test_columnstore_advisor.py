@@ -1,0 +1,203 @@
+"""Tests for the projection cost model and the column-store advisor."""
+
+import pytest
+
+from repro.catalog import Database
+from repro.columnstore import (
+    ColumnStoreAdvisor,
+    ColumnStoreOptions,
+    ProjectionCostModel,
+    ProjectionDef,
+    ProjectionSizer,
+    super_projection,
+    tune_columnstore,
+)
+from repro.columnstore.advisor import UNCOMPRESSED_ONLY
+from repro.errors import AdvisorError, OptimizerError
+from repro.stats import DatabaseStats
+from repro.workload.expr import Comparison
+from repro.workload.query import (
+    Aggregate,
+    InsertQuery,
+    SelectQuery,
+    Workload,
+)
+
+from tests.test_columnstore_sizing import make_table
+
+
+@pytest.fixture(scope="module")
+def database():
+    db = Database("csdb")
+    db.add_table(make_table())
+    return db
+
+
+@pytest.fixture(scope="module")
+def stats(database):
+    return DatabaseStats(database)
+
+
+@pytest.fixture(scope="module")
+def sizer(database):
+    return ProjectionSizer(database.table("facts"))
+
+
+def region_query():
+    return SelectQuery(
+        tables=("facts",),
+        aggregates=(Aggregate("SUM", ("amount",)),),
+        predicates=(Comparison("region", "=", "north"),),
+        group_by=("category",),
+    )
+
+
+class TestCostModel:
+    def make_model(self, database, stats):
+        return ProjectionCostModel(database, stats)
+
+    def test_non_covering_projection_is_infeasible(self, database, stats,
+                                                   sizer):
+        model = self.make_model(database, stats)
+        p = ProjectionDef("facts", ("region",), ("region",))
+        size = sizer.measure(p)
+        assert model.scan_cost(region_query(), "facts", size) is None
+
+    def test_sort_matched_projection_beats_super(self, database, stats,
+                                                 sizer):
+        model = self.make_model(database, stats)
+        query = region_query()
+        matched = sizer.measure(
+            ProjectionDef(
+                "facts", ("region", "category", "amount"), ("region",)
+            )
+        )
+        sp = sizer.measure(super_projection(database.table("facts")))
+        matched_cost = model.scan_cost(query, "facts", matched)
+        super_cost = model.scan_cost(query, "facts", sp)
+        assert matched_cost is not None and super_cost is not None
+        assert matched_cost.total < super_cost.total
+
+    def test_column_pruning_reduces_io(self, database, stats, sizer):
+        model = self.make_model(database, stats)
+        sp = sizer.measure(super_projection(database.table("facts")))
+        narrow = SelectQuery(
+            tables=("facts",), select_columns=("amount",)
+        )
+        wide = SelectQuery(
+            tables=("facts",),
+            select_columns=("id", "region", "category", "amount"),
+        )
+        narrow_cost = model.scan_cost(narrow, "facts", sp)
+        wide_cost = model.scan_cost(wide, "facts", sp)
+        assert narrow_cost.io < wide_cost.io
+
+    def test_wrong_table_rejected(self, database, stats, sizer):
+        model = self.make_model(database, stats)
+        sp = sizer.measure(super_projection(database.table("facts")))
+        with pytest.raises(OptimizerError):
+            model.scan_cost(region_query(), "other", sp)
+
+    def test_insert_charges_every_projection(self, database, stats, sizer):
+        model = self.make_model(database, stats)
+        sp = super_projection(database.table("facts"))
+        extra = ProjectionDef("facts", ("region", "amount"), ("region",))
+        one = {sp: sizer.measure(sp)}
+        two = dict(one)
+        two[extra] = sizer.measure(extra)
+        insert = InsertQuery("facts", 1000)
+        assert model.insert_cost(insert, two) > model.insert_cost(insert, one)
+
+    def test_statement_cost_requires_covering_projection(self, database,
+                                                         stats, sizer):
+        model = self.make_model(database, stats)
+        only_narrow = {
+            ProjectionDef("facts", ("region",), ("region",)):
+                sizer.measure(ProjectionDef("facts", ("region",), ("region",)))
+        }
+        with pytest.raises(OptimizerError):
+            model.statement_cost(region_query(), only_narrow)
+
+
+def make_workload():
+    wl = Workload()
+    wl.add(region_query(), weight=5.0, name="q_region")
+    wl.add(
+        SelectQuery(
+            tables=("facts",),
+            select_columns=("id", "amount"),
+            predicates=(Comparison("category", "<", 15),),
+        ),
+        weight=3.0,
+        name="q_category",
+    )
+    wl.add(InsertQuery("facts", 500), weight=1.0, name="load")
+    return wl
+
+
+class TestAdvisor:
+    def test_improves_over_base(self, database):
+        result = tune_columnstore(
+            database, make_workload(), budget_bytes=200_000
+        )
+        assert result.improvement > 0
+        assert result.consumed_bytes <= result.budget_bytes + 1e-6
+
+    def test_zero_budget_keeps_base_only(self, database):
+        result = tune_columnstore(
+            database, make_workload(), budget_bytes=0.0
+        )
+        base = {super_projection(t) for t in database.tables}
+        assert set(result.projections) == base
+        assert result.improvement == pytest.approx(0.0)
+
+    def test_negative_budget_rejected(self, database):
+        with pytest.raises(AdvisorError):
+            tune_columnstore(database, make_workload(), budget_bytes=-1.0)
+
+    def test_monotone_in_budget(self, database):
+        wl = make_workload()
+        improvements = [
+            tune_columnstore(database, wl, budget_bytes=b).improvement
+            for b in (0.0, 50_000, 200_000, 500_000)
+        ]
+        for lo, hi in zip(improvements, improvements[1:]):
+            assert hi >= lo - 1e-9
+
+    def test_aware_at_least_as_good_as_blind(self, database):
+        wl = make_workload()
+        budget = 100_000
+        aware = tune_columnstore(database, wl, budget,
+                                 compression_aware=True)
+        blind = tune_columnstore(database, wl, budget,
+                                 compression_aware=False)
+        assert aware.improvement >= blind.improvement - 1e-9
+        # The blind tool's recommendation must still physically fit.
+        assert blind.consumed_bytes <= budget + 1e-6
+
+    def test_candidates_cover_predicate_sort_orders(self, database):
+        options = ColumnStoreOptions(budget_bytes=1.0)
+        advisor = ColumnStoreAdvisor(database, make_workload(), options)
+        leads = {
+            c.sort_columns[0] for c in advisor.candidate_projections()
+        }
+        assert "region" in leads
+        assert "category" in leads
+
+    def test_blind_sizes_are_fixed_width(self, database):
+        options = ColumnStoreOptions(
+            budget_bytes=1.0, compression_aware=False
+        )
+        advisor = ColumnStoreAdvisor(database, make_workload(), options)
+        p = ProjectionDef("facts", ("amount",))
+        blind = advisor.size_of(p, aware=False)
+        table = database.table("facts")
+        fixed = table.num_rows * table.column("amount").width
+        assert blind.column_used_bytes["amount"] == fixed
+
+    def test_sampling_mode_runs(self, database):
+        result = tune_columnstore(
+            database, make_workload(), budget_bytes=200_000,
+            sample_fraction=0.25,
+        )
+        assert result.final_cost <= result.base_cost + 1e-9

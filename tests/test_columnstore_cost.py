@@ -1,0 +1,138 @@
+"""Quantitative tests of the projection cost model: operate-on-runs CPU
+discounts, sort-key pruning, and residual predicate charges."""
+
+import pytest
+
+from repro.catalog import Column, Database, INT, Table, char
+from repro.columnstore import (
+    ProjectionCostModel,
+    ProjectionDef,
+    ProjectionSizer,
+)
+from repro.compression import CompressionMethod
+from repro.stats import DatabaseStats
+from repro.workload.expr import Comparison
+from repro.workload.query import Aggregate, InsertQuery, SelectQuery
+
+
+def build_database(n_rows=5000):
+    t = Table(
+        "m",
+        [
+            Column("grp", char(6)),      # 5 distinct values
+            Column("val", INT),          # near unique
+        ],
+    )
+    groups = ["g0", "g1", "g2", "g3", "g4"]
+    for i in range(n_rows):
+        t.append_row((groups[(i * 5) // n_rows], i * 7 % 99991))
+    db = Database("costdb")
+    db.add_table(t)
+    return db
+
+
+@pytest.fixture(scope="module")
+def database():
+    return build_database()
+
+
+@pytest.fixture(scope="module")
+def stats(database):
+    return DatabaseStats(database)
+
+
+@pytest.fixture(scope="module")
+def model(database, stats):
+    return ProjectionCostModel(database, stats)
+
+
+@pytest.fixture(scope="module")
+def sizer(database):
+    return ProjectionSizer(database.table("m"))
+
+
+def scan_query(predicates=(), group_by=()):
+    return SelectQuery(
+        tables=("m",),
+        aggregates=(Aggregate("SUM", ("val",)),),
+        predicates=tuple(predicates),
+        group_by=tuple(group_by),
+    )
+
+
+class TestOperateOnRuns:
+    def test_rle_scan_cpu_below_raw(self, model, sizer):
+        projection = ProjectionDef("m", ("grp", "val"), ("grp",))
+        rle = sizer.measure(
+            projection, encodings=(CompressionMethod.RLE,)
+        )
+        raw = sizer.measure(
+            projection, encodings=(CompressionMethod.NONE,)
+        )
+        query = SelectQuery(
+            tables=("m",), select_columns=("grp",),
+        )
+        rle_cost = model.scan_cost(query, "m", rle)
+        raw_cost = model.scan_cost(query, "m", raw)
+        # grp sorted has 5 runs over 5000 rows: per-value CPU collapses.
+        assert rle_cost.cpu < raw_cost.cpu / 10
+
+
+class TestSortKeyPruning:
+    def test_matching_predicate_prunes_io(self, model, sizer):
+        matched = sizer.measure(ProjectionDef("m", ("grp", "val"), ("grp",)))
+        unmatched = sizer.measure(ProjectionDef("m", ("val", "grp"), ("val",)))
+        query = scan_query(predicates=[Comparison("grp", "=", "g2")])
+        cost_matched = model.scan_cost(query, "m", matched)
+        cost_unmatched = model.scan_cost(query, "m", unmatched)
+        assert cost_matched.io < cost_unmatched.io
+
+    def test_fraction_never_below_one_row(self, model, sizer):
+        size = sizer.measure(ProjectionDef("m", ("val", "grp"), ("val",)))
+        query = scan_query(
+            predicates=[Comparison("val", "=", -1)]  # matches nothing
+        )
+        cost = model.scan_cost(query, "m", size)
+        assert cost is not None
+        assert cost.io > 0
+
+    def test_unpredicated_scan_reads_everything(self, model, sizer):
+        size = sizer.measure(ProjectionDef("m", ("grp", "val"), ("grp",)))
+        full = model.scan_cost(scan_query(), "m", size)
+        pruned = model.scan_cost(
+            scan_query(predicates=[Comparison("grp", "=", "g2")]), "m", size
+        )
+        assert pruned.io < full.io
+
+
+class TestResidualPredicates:
+    def test_residual_adds_cpu(self, model, sizer):
+        size = sizer.measure(ProjectionDef("m", ("grp", "val"), ("grp",)))
+        without = model.scan_cost(scan_query(), "m", size)
+        with_residual = model.scan_cost(
+            scan_query(predicates=[Comparison("val", "<", 500)]), "m", size
+        )
+        assert with_residual.cpu > without.cpu
+
+    def test_grouping_adds_cpu(self, model, sizer):
+        size = sizer.measure(ProjectionDef("m", ("grp", "val"), ("grp",)))
+        plain = SelectQuery(tables=("m",), select_columns=("val",))
+        grouped = scan_query(group_by=["grp"])
+        assert (
+            model.scan_cost(grouped, "m", size).cpu
+            > model.scan_cost(plain, "m", size).cpu
+        )
+
+
+class TestInsertCost:
+    def test_scales_with_rows(self, model, sizer):
+        projection = ProjectionDef("m", ("grp", "val"), ("grp",))
+        sizes = {projection: sizer.measure(projection)}
+        small = model.insert_cost(InsertQuery("m", 100), sizes)
+        large = model.insert_cost(InsertQuery("m", 10_000), sizes)
+        assert large > small * 50
+
+    def test_other_tables_unaffected(self, model, sizer):
+        projection = ProjectionDef("m", ("grp", "val"), ("grp",))
+        sizes = {projection: sizer.measure(projection)}
+        assert model.insert_cost(InsertQuery("other", 100), sizes) == 0.0

@@ -1,0 +1,176 @@
+"""Tests for column-store encodings and projection definitions."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.catalog import Column, INT, Table, char
+from repro.columnstore import (
+    COLUMN_ENCODINGS,
+    ProjectionDef,
+    best_encoding,
+    measure_column,
+    super_projection,
+)
+from repro.compression import CompressionMethod, strip_value
+from repro.errors import AdvisorError, CompressionError
+from repro.storage.page import PAGE_SIZE
+
+INT_COL = Column("v", INT)
+
+
+def stripped_ints(values):
+    return [strip_value(INT.encode(v), INT_COL) for v in values]
+
+
+class TestMeasureColumn:
+    def test_raw_fixed_width(self):
+        result = measure_column(
+            INT_COL, stripped_ints(range(100)), CompressionMethod.NONE
+        )
+        assert result.rows == 100
+        assert result.pages == 1
+        assert result.bytes == PAGE_SIZE
+        assert result.used_bytes == 100 * INT_COL.width
+
+    def test_rle_counts_runs(self):
+        values = [1] * 50 + [2] * 50 + [1] * 50
+        result = measure_column(
+            INT_COL, stripped_ints(values), CompressionMethod.RLE
+        )
+        assert result.runs == 3
+        assert result.used_bytes < 50
+
+    def test_rle_sorted_beats_shuffled(self):
+        values = [i % 5 for i in range(2000)]
+        rng = random.Random(7)
+        shuffled = values[:]
+        rng.shuffle(shuffled)
+        sorted_size = measure_column(
+            INT_COL, stripped_ints(sorted(values)), CompressionMethod.RLE
+        )
+        shuffled_size = measure_column(
+            INT_COL, stripped_ints(shuffled), CompressionMethod.RLE
+        )
+        assert sorted_size.used_bytes < shuffled_size.used_bytes / 10
+
+    def test_global_dict_charges_dictionary(self):
+        values = stripped_ints([1, 2, 3] * 100)
+        with_dict = measure_column(
+            INT_COL, values, CompressionMethod.GLOBAL_DICT,
+            n_distinct=3, dictionary_bytes=500,
+        )
+        without = measure_column(
+            INT_COL, values, CompressionMethod.GLOBAL_DICT,
+            n_distinct=3, dictionary_bytes=0,
+        )
+        assert with_dict.bytes == without.bytes + 500
+
+    def test_rejects_row_store_package(self):
+        with pytest.raises(CompressionError):
+            measure_column(
+                INT_COL, stripped_ints([1]), CompressionMethod.PAGE
+            )
+
+    def test_empty_column(self):
+        result = measure_column(INT_COL, [], CompressionMethod.NONE)
+        assert result.rows == 0
+        assert result.bytes == 0
+
+
+class TestBestEncoding:
+    def test_constant_column_prefers_rle(self):
+        values = stripped_ints([42] * 5000)
+        best = best_encoding(INT_COL, values, n_distinct=1,
+                             dictionary_bytes=4)
+        assert best.encoding in (
+            CompressionMethod.RLE, CompressionMethod.BITPACK
+        )
+        assert best.bytes <= PAGE_SIZE
+
+    def test_unique_unsorted_column_prefers_dense_codes(self):
+        rng = random.Random(3)
+        values = list(range(4000))
+        rng.shuffle(values)
+        best = best_encoding(
+            INT_COL, stripped_ints(values), n_distinct=4000,
+            dictionary_bytes=4000 * 3,
+        )
+        # 12 bits/value beats raw 8 bytes and beats RLE (no runs).
+        assert best.encoding is CompressionMethod.BITPACK
+
+    def test_never_worse_than_raw(self):
+        rng = random.Random(5)
+        values = [rng.randrange(10**9) for _ in range(3000)]
+        best = best_encoding(
+            INT_COL, stripped_ints(values), n_distinct=len(set(values)),
+            dictionary_bytes=sum(3 for _ in values),
+        )
+        raw = measure_column(
+            INT_COL, stripped_ints(values), CompressionMethod.NONE
+        )
+        assert best.bytes <= raw.bytes
+
+    @given(st.lists(st.integers(min_value=0, max_value=50),
+                    min_size=1, max_size=300))
+    def test_best_is_minimum_of_all(self, values):
+        stripped = stripped_ints(values)
+        n_distinct = len(set(values))
+        best = best_encoding(INT_COL, stripped, n_distinct=n_distinct,
+                             dictionary_bytes=n_distinct * 2)
+        for encoding in COLUMN_ENCODINGS:
+            other = measure_column(
+                INT_COL, stripped, encoding,
+                n_distinct=n_distinct,
+                dictionary_bytes=n_distinct * 2,
+            )
+            assert best.bytes <= other.bytes
+
+
+class TestProjectionDef:
+    def test_requires_columns(self):
+        with pytest.raises(AdvisorError):
+            ProjectionDef("t", ())
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(AdvisorError):
+            ProjectionDef("t", ("a", "a"))
+
+    def test_sort_columns_must_be_stored(self):
+        with pytest.raises(AdvisorError):
+            ProjectionDef("t", ("a", "b"), sort_columns=("c",))
+
+    def test_covers(self):
+        p = ProjectionDef("t", ("a", "b", "c"), ("a",))
+        assert p.covers(("a", "c"))
+        assert not p.covers(("a", "d"))
+        assert p.covers(())
+
+    def test_name_is_stable_and_unique_per_shape(self):
+        p1 = ProjectionDef("t", ("a", "b"), ("a",))
+        p2 = ProjectionDef("t", ("a", "b"), ("b",))
+        assert p1.name != p2.name
+        assert p1.name == ProjectionDef("t", ("a", "b"), ("a",)).name
+
+    def test_hashable_for_config_sets(self):
+        p = ProjectionDef("t", ("a",))
+        assert p in {p}
+
+
+class TestSuperProjection:
+    def test_uses_primary_key(self):
+        t = Table("t", [Column("id", INT), Column("x", INT)],
+                  primary_key=("id",))
+        sp = super_projection(t)
+        assert sp.columns == ("id", "x")
+        assert sp.sort_columns == ("id",)
+
+    def test_falls_back_to_first_column(self):
+        t = Table("t", [Column("x", INT), Column("y", INT)])
+        sp = super_projection(t)
+        assert sp.sort_columns == ("x",)
+
+    def test_covers_everything(self):
+        t = Table("t", [Column("a", INT), Column("b", char(4))])
+        assert super_projection(t).covers(("a", "b"))

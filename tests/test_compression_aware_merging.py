@@ -1,0 +1,123 @@
+"""Tests for the compression-aware merging reshapes (Section 6.2's
+closing note): key permutations and included-column promotion."""
+
+import pytest
+
+from repro.advisor.merging import (
+    compression_aware_variants,
+    generate_merged_candidates,
+    merge_pair,
+)
+from repro.compression import CompressionMethod
+from repro.physical.index_def import IndexDef
+from repro.storage.index_build import IndexKind
+
+DISTINCTS = {
+    ("t", "flag"): 3,
+    ("t", "city"): 40,
+    ("t", "price"): 9000,
+    ("t", "id"): 10_000,
+}
+
+
+def n_distinct(table, column):
+    return DISTINCTS[(table, column)]
+
+
+def n_rows(table):
+    return 10_000
+
+
+def ix(keys, include=(), method=CompressionMethod.PAGE,
+       kind=IndexKind.SECONDARY, **kw):
+    return IndexDef("t", tuple(keys), included_columns=tuple(include),
+                    kind=kind, method=method, **kw)
+
+
+class TestKeyPermutation:
+    def test_low_cardinality_first(self):
+        variants = compression_aware_variants(
+            ix(("price", "flag")), n_distinct, n_rows
+        )
+        keys = [v.key_columns for v in variants]
+        assert ("flag", "price") in keys
+
+    def test_already_ordered_key_yields_no_permutation(self):
+        variants = compression_aware_variants(
+            ix(("flag", "price")), n_distinct, n_rows
+        )
+        assert all(
+            v.key_columns != ("flag", "price") for v in variants
+        )
+
+    def test_column_set_preserved(self):
+        original = ix(("price", "flag"), include=("id",))
+        for v in compression_aware_variants(original, n_distinct, n_rows):
+            assert set(v.key_columns) | set(v.included_columns) == {
+                "price", "flag", "id"
+            }
+
+    def test_method_preserved(self):
+        original = ix(("price", "flag"), method=CompressionMethod.ROW)
+        for v in compression_aware_variants(original, n_distinct, n_rows):
+            assert v.method is CompressionMethod.ROW
+
+
+class TestIncludedPromotion:
+    def test_low_cardinality_included_promoted_to_lead(self):
+        variants = compression_aware_variants(
+            ix(("price",), include=("flag", "id")), n_distinct, n_rows
+        )
+        promoted = [
+            v for v in variants if v.key_columns == ("flag", "price")
+        ]
+        assert promoted
+        assert promoted[0].included_columns == ("id",)
+
+    def test_high_cardinality_included_not_promoted(self):
+        variants = compression_aware_variants(
+            ix(("flag",), include=("id",)), n_distinct, n_rows
+        )
+        assert all("id" not in v.key_columns for v in variants)
+
+    def test_threshold_scales_with_rows(self):
+        # 40 distinct over 100 rows is not "low cardinality" any more.
+        variants = compression_aware_variants(
+            ix(("price",), include=("city",)), n_distinct, lambda t: 100
+        )
+        assert all("city" not in v.key_columns for v in variants)
+
+
+class TestGuards:
+    def test_non_secondary_rejected(self):
+        clustered = ix(("flag",), kind=IndexKind.CLUSTERED)
+        assert compression_aware_variants(
+            clustered, n_distinct, n_rows
+        ) == []
+
+    def test_variants_never_echo_the_original(self):
+        original = ix(("flag", "price"))
+        assert original not in compression_aware_variants(
+            original, n_distinct, n_rows
+        )
+
+    def test_single_key_no_includes_no_variants(self):
+        assert compression_aware_variants(
+            ix(("price",)), n_distinct, n_rows
+        ) == []
+
+
+class TestPlainMergingStillWorks:
+    def test_prefix_merge(self):
+        merged = merge_pair(
+            ix(("flag",), include=("price",)), ix(("flag", "city"))
+        )
+        assert merged is not None
+        assert merged.key_columns == ("flag", "city")
+        assert merged.included_columns == ("price",)
+
+    def test_pool_generation_is_bounded(self):
+        pool = [ix((c,)) for c in ("flag", "city", "price", "id")]
+        pool += [ix(("flag", c)) for c in ("city", "price", "id")]
+        out = generate_merged_candidates(pool, max_new=2)
+        assert len(out) <= 2

@@ -1,0 +1,114 @@
+"""Unit + property tests for the fixed-width data types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.catalog.datatypes import (
+    CharType,
+    DateType,
+    DecimalType,
+    IntType,
+    VarCharType,
+    char,
+    decimal,
+    varchar,
+)
+from repro.errors import StorageError
+
+
+class TestIntType:
+    def test_width(self):
+        assert IntType().width == 8
+        assert IntType(4).width == 4
+
+    def test_roundtrip_simple(self):
+        t = IntType()
+        for v in (0, 1, -1, 2**40, -(2**40)):
+            assert t.decode(t.encode(v)) == v
+
+    def test_encoding_is_fixed_width(self):
+        t = IntType(4)
+        assert len(t.encode(7)) == 4
+        assert len(t.encode(-7)) == 4
+
+    def test_small_values_have_leading_zero_bytes(self):
+        raw = IntType().encode(5)
+        assert raw[:7] == b"\x00" * 7
+
+    def test_negative_values_have_leading_ff_bytes(self):
+        raw = IntType().encode(-5)
+        assert raw[:7] == b"\xff" * 7
+
+    def test_null_encodes_to_zero_bytes(self):
+        assert IntType().encode(None) == b"\x00" * 8
+
+    def test_overflow_raises(self):
+        with pytest.raises(StorageError):
+            IntType(2).encode(2**31)
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_roundtrip_property(self, v):
+        t = IntType()
+        assert t.decode(t.encode(v)) == v
+
+    def test_ordering_preserved_for_nonnegative(self):
+        t = IntType()
+        values = [0, 3, 17, 255, 256, 99999]
+        encoded = [t.encode(v) for v in values]
+        assert encoded == sorted(encoded)
+
+
+class TestDecimalType:
+    def test_scale_conversion(self):
+        t = DecimalType(scale=2)
+        assert t.to_float(12345) == 123.45
+
+    def test_roundtrip(self):
+        t = decimal()
+        assert t.decode(t.encode(999)) == 999
+
+    def test_name(self):
+        assert "DECIMAL" in decimal().name
+
+
+class TestDateType:
+    def test_width_is_4(self):
+        assert DateType().width == 4
+
+    def test_roundtrip(self):
+        t = DateType()
+        assert t.decode(t.encode(12345)) == 12345
+
+    def test_negative_days(self):
+        t = DateType()
+        assert t.decode(t.encode(-400)) == -400
+
+
+class TestCharTypes:
+    def test_padding(self):
+        t = char(8)
+        assert t.encode("ab") == b"ab" + b"\x00" * 6
+
+    def test_roundtrip(self):
+        t = char(8)
+        assert t.decode(t.encode("ab")) == "ab"
+
+    def test_too_long_raises(self):
+        with pytest.raises(StorageError):
+            char(3).encode("abcd")
+
+    def test_varchar_is_character(self):
+        assert varchar(10).is_character
+        assert char(10).is_character
+        assert not IntType().is_character
+
+    def test_null(self):
+        assert char(4).encode(None) == b"\x00" * 4
+        assert char(4).decode(b"\x00" * 4) == ""
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32,
+                                          max_codepoint=126),
+                   max_size=10))
+    def test_roundtrip_property(self, s):
+        t = VarCharType(16)
+        assert t.decode(t.encode(s)) == s.rstrip("\x00")

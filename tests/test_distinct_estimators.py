@@ -1,0 +1,128 @@
+"""Tests for the distinct-value estimators (Table 1 machinery)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StatisticsError
+from repro.stats import (
+    adaptive_estimator,
+    chao_estimator,
+    frequency_statistics,
+    gee_estimator,
+    independence_estimator,
+    multiply_estimator,
+)
+
+
+def sample_counts(population: list, fraction: float, seed=0):
+    """Bernoulli-sample a population of group labels; return freq stats."""
+    rng = random.Random(seed)
+    counts = {}
+    for label in population:
+        if rng.random() < fraction:
+            counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+class TestFrequencyStatistics:
+    def test_basic(self):
+        assert frequency_statistics([1, 1, 2, 3]) == {1: 2, 2: 1, 3: 1}
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(StatisticsError):
+            frequency_statistics([0])
+
+
+class TestAdaptiveEstimator:
+    def test_empty_sample(self):
+        assert adaptive_estimator({}, 0, 0, 100) == 0.0
+
+    def test_full_sample_returns_d(self):
+        assert adaptive_estimator({1: 5}, 5, 5, 5) == 5.0
+
+    def test_inconsistent_inputs(self):
+        with pytest.raises(StatisticsError):
+            adaptive_estimator({1: 3}, 5, 3, 100)
+
+    def test_negative_inputs(self):
+        with pytest.raises(StatisticsError):
+            adaptive_estimator({}, -1, 0, 0)
+
+    def test_uniform_small_groups(self):
+        """1000 groups of 10 tuples, 10% sample: AE should land near
+        1000 where Multiply badly overshoots is impossible here (d < D)
+        and naive d underestimates."""
+        population = [g for g in range(1000) for _ in range(10)]
+        counts = sample_counts(population, 0.10, seed=1)
+        freq = frequency_statistics(list(counts.values()))
+        d = len(counts)
+        r = sum(counts.values())
+        est = adaptive_estimator(freq, d, r, len(population))
+        assert est == pytest.approx(1000, rel=0.25)
+        assert est >= d
+
+    def test_skewed_groups(self):
+        rng = random.Random(3)
+        population = []
+        for g in range(500):
+            size = 1 + int(rng.expovariate(1 / 20))
+            population.extend([g] * size)
+        counts = sample_counts(population, 0.08, seed=2)
+        freq = frequency_statistics(list(counts.values()))
+        d, r = len(counts), sum(counts.values())
+        est = adaptive_estimator(freq, d, r, len(population))
+        assert est == pytest.approx(500, rel=0.4)
+
+    def test_few_large_groups_counted_exactly(self):
+        population = [g for g in range(20) for _ in range(5000)]
+        counts = sample_counts(population, 0.05, seed=4)
+        freq = frequency_statistics(list(counts.values()))
+        d, r = len(counts), sum(counts.values())
+        est = adaptive_estimator(freq, d, r, len(population))
+        assert est == pytest.approx(20, rel=0.05)
+
+    def test_capped_by_population(self):
+        est = adaptive_estimator({1: 10}, 10, 10, 50)
+        assert est <= 50 + 1e-9
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=20, max_value=400),
+           st.integers(min_value=2, max_value=30))
+    def test_estimate_at_least_observed(self, groups, size):
+        population = [g for g in range(groups) for _ in range(size)]
+        counts = sample_counts(population, 0.1, seed=groups * size)
+        if not counts:
+            return
+        freq = frequency_statistics(list(counts.values()))
+        d, r = len(counts), sum(counts.values())
+        est = adaptive_estimator(freq, d, r, len(population))
+        assert est >= d - 1e-9
+        assert est <= len(population) + 1e-9
+
+
+class TestBaselines:
+    def test_multiply(self):
+        assert multiply_estimator(50, 0.1) == pytest.approx(500)
+
+    def test_multiply_invalid_fraction(self):
+        with pytest.raises(StatisticsError):
+            multiply_estimator(5, 0.0)
+
+    def test_independence_capped(self):
+        assert independence_estimator([100, 100], 500) == 500
+
+    def test_independence_product(self):
+        assert independence_estimator([3, 4], 1e9) == 12
+
+    def test_gee(self):
+        # All singletons: sqrt(n/r) * f1.
+        est = gee_estimator({1: 10}, 10, 100, 10000)
+        assert est == pytest.approx(100.0)
+
+    def test_chao(self):
+        assert chao_estimator({1: 4, 2: 2}, 6) == pytest.approx(6 + 16 / 4)
+
+    def test_chao_no_f2(self):
+        assert chao_estimator({1: 3}, 3) == pytest.approx(3 + 3.0)

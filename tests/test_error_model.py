@@ -1,0 +1,106 @@
+"""Tests for the stochastic error model (Section 5.1)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression import CompressionMethod
+from repro.errors import SizeEstimationError
+from repro.sizeest import DEFAULT_ERROR_MODEL, ErrorModel, ErrorRV
+
+
+class TestErrorRV:
+    def test_exact(self):
+        rv = ErrorRV.exact()
+        assert rv.mean == 1.0
+        assert rv.var == 0.0
+        assert rv.prob_within(0.01) == 1.0
+
+    def test_prob_within_zero_var_outside(self):
+        rv = ErrorRV(mean=2.0, var=0.0)
+        assert rv.prob_within(0.5) == 0.0
+
+    def test_prob_within_increases_with_e(self):
+        rv = ErrorRV(mean=1.0, var=0.04)
+        probs = [rv.prob_within(e) for e in (0.05, 0.2, 0.5, 1.0)]
+        assert probs == sorted(probs)
+
+    def test_prob_within_negative_e_rejected(self):
+        with pytest.raises(SizeEstimationError):
+            ErrorRV(1.0, 0.01).prob_within(-0.1)
+
+    def test_product_identity(self):
+        rv = ErrorRV(1.1, 0.02)
+        combined = ErrorRV.product([rv, ErrorRV.exact()])
+        assert combined.mean == pytest.approx(rv.mean)
+        assert combined.var == pytest.approx(rv.var)
+
+    def test_goodman_product_vs_monte_carlo(self):
+        """Goodman's variance-of-product formula checked by simulation."""
+        rng = random.Random(7)
+        a = ErrorRV(1.05, 0.01)
+        b = ErrorRV(0.95, 0.02)
+        combined = ErrorRV.product([a, b])
+        samples = [
+            rng.gauss(a.mean, math.sqrt(a.var))
+            * rng.gauss(b.mean, math.sqrt(b.var))
+            for _ in range(200000)
+        ]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert combined.mean == pytest.approx(mean, rel=0.02)
+        assert combined.var == pytest.approx(var, rel=0.05)
+
+    @given(st.lists(
+        st.tuples(st.floats(0.8, 1.2), st.floats(0.0, 0.05)),
+        min_size=1, max_size=5,
+    ))
+    def test_product_variance_nonnegative(self, params):
+        rvs = [ErrorRV(m, v) for m, v in params]
+        combined = ErrorRV.product(rvs)
+        assert combined.var >= 0.0
+
+
+class TestErrorModel:
+    def test_samplecf_errors_shrink_with_f(self):
+        m = DEFAULT_ERROR_MODEL
+        small = m.samplecf_rv(CompressionMethod.PAGE, 0.01)
+        big = m.samplecf_rv(CompressionMethod.PAGE, 0.10)
+        assert big.var < small.var
+        assert abs(big.mean - 1) < abs(small.mean - 1)
+
+    def test_samplecf_full_fraction_exact(self):
+        rv = DEFAULT_ERROR_MODEL.samplecf_rv(CompressionMethod.PAGE, 1.0)
+        assert rv.mean == pytest.approx(1.0)
+        assert rv.var == pytest.approx(0.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(SizeEstimationError):
+            DEFAULT_ERROR_MODEL.samplecf_rv(CompressionMethod.ROW, 0.0)
+
+    def test_ld_worse_than_ns(self):
+        m = DEFAULT_ERROR_MODEL
+        ns = m.samplecf_rv(CompressionMethod.ROW, 0.05)
+        ld = m.samplecf_rv(CompressionMethod.PAGE, 0.05)
+        assert ld.var > ns.var
+
+    def test_colext_grows_with_a(self):
+        m = DEFAULT_ERROR_MODEL
+        a2 = m.colext_rv(CompressionMethod.PAGE, 2)
+        a4 = m.colext_rv(CompressionMethod.PAGE, 4)
+        assert a4.var > a2.var
+
+    def test_colext_needs_sources(self):
+        with pytest.raises(SizeEstimationError):
+            DEFAULT_ERROR_MODEL.colext_rv(CompressionMethod.ROW, 0)
+
+    def test_colset_small_error(self):
+        rv = DEFAULT_ERROR_MODEL.colset_rv(CompressionMethod.ROW)
+        assert rv.prob_within(0.01) > 0.99
+
+    def test_custom_model(self):
+        m = ErrorModel(samplecf_std={"NS": 0.5, "LD": 0.5})
+        rv = m.samplecf_rv(CompressionMethod.ROW, 0.01)
+        assert rv.prob_within(0.1) < 0.5

@@ -1,0 +1,134 @@
+"""Tests for the toy execution engine against hand-computed truths."""
+
+import pytest
+
+from repro.engine import Executor
+from repro.errors import ExecutionError
+from repro.workload import parse_query
+
+
+@pytest.fixture(scope="module")
+def executor(small_db):
+    return Executor(small_db)
+
+
+class TestScanFilter:
+    def test_full_scan_count(self, executor, small_db):
+        rs = executor.execute(parse_query("SELECT f_key FROM fact"))
+        assert len(rs) == small_db.table("fact").num_rows
+
+    def test_filter(self, executor, small_db):
+        rs = executor.execute(
+            parse_query("SELECT f_key FROM fact WHERE f_qty < 10")
+        )
+        truth = sum(
+            1 for v in small_db.table("fact").column_values("f_qty")
+            if v < 10
+        )
+        assert len(rs) == truth
+
+    def test_count_matching(self, executor):
+        q = parse_query("SELECT f_key FROM fact WHERE f_cat = 'CAT_1'")
+        assert executor.count_matching(q) == len(executor.execute(q))
+
+
+class TestAggregation:
+    def test_count_star(self, executor, small_db):
+        rs = executor.execute(parse_query("SELECT COUNT(*) FROM fact"))
+        assert rs.rows == [(small_db.table("fact").num_rows,)]
+
+    def test_sum(self, executor, small_db):
+        rs = executor.execute(parse_query("SELECT SUM(f_qty) FROM fact"))
+        assert rs.rows[0][0] == sum(
+            small_db.table("fact").column_values("f_qty")
+        )
+
+    def test_group_by(self, executor, small_db):
+        rs = executor.execute(
+            parse_query("SELECT f_cat, COUNT(*) FROM fact GROUP BY f_cat")
+        )
+        counts = dict(rs.rows)
+        values = small_db.table("fact").column_values("f_cat")
+        for cat in set(values):
+            assert counts[cat] == values.count(cat)
+
+    def test_min_max(self, executor, small_db):
+        rs = executor.execute(
+            parse_query("SELECT MIN(f_qty), MAX(f_qty) FROM fact")
+        )
+        values = small_db.table("fact").column_values("f_qty")
+        assert rs.rows == [(min(values), max(values))]
+
+    def test_sum_product(self, executor, small_db):
+        rs = executor.execute(
+            parse_query("SELECT SUM(f_qty * f_price) FROM fact")
+        )
+        fact = small_db.table("fact")
+        truth = sum(
+            q * p
+            for q, p in zip(fact.column_values("f_qty"),
+                            fact.column_values("f_price"))
+        )
+        assert rs.rows[0][0] == truth
+
+    def test_non_grouped_projection_rejected(self, executor):
+        q = parse_query("SELECT f_cat, COUNT(*) FROM fact GROUP BY f_day")
+        with pytest.raises(ExecutionError):
+            executor.execute(q)
+
+
+class TestJoins:
+    def test_join_cardinality(self, executor, small_db):
+        rs = executor.execute(
+            parse_query(
+                "SELECT f_key FROM fact JOIN dim ON f_dkey = d_key"
+            )
+        )
+        assert len(rs) == small_db.table("fact").num_rows
+
+    def test_join_filter_on_dim(self, executor, small_db):
+        rs = executor.execute(
+            parse_query(
+                "SELECT f_key FROM fact JOIN dim ON f_dkey = d_key "
+                "WHERE d_group = 'G1'"
+            )
+        )
+        dim = small_db.table("dim")
+        g1_keys = {
+            k for k, g in zip(dim.column_values("d_key"),
+                              dim.column_values("d_group"))
+            if g == "G1"
+        }
+        truth = sum(
+            1 for v in small_db.table("fact").column_values("f_dkey")
+            if v in g1_keys
+        )
+        assert len(rs) == truth
+
+    def test_join_group(self, executor):
+        rs = executor.execute(
+            parse_query(
+                "SELECT d_group, SUM(f_qty) FROM fact "
+                "JOIN dim ON f_dkey = d_key GROUP BY d_group"
+            )
+        )
+        assert len(rs) == 5  # d_group has G0..G4
+
+
+class TestOrdering:
+    def test_order_by(self, executor):
+        rs = executor.execute(
+            parse_query(
+                "SELECT f_day, COUNT(*) FROM fact GROUP BY f_day "
+                "ORDER BY f_day"
+            )
+        )
+        days = [r[0] for r in rs.rows]
+        assert days == sorted(days)
+
+    def test_as_dicts(self, executor):
+        rs = executor.execute(
+            parse_query("SELECT f_cat, COUNT(*) FROM fact GROUP BY f_cat")
+        )
+        d = rs.as_dicts()[0]
+        assert set(d) == {"f_cat", "count(*)"}

@@ -1,0 +1,78 @@
+"""Tests for the shared experiment infrastructure in
+``repro.experiments.common``."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compression import CompressionMethod
+from repro.experiments.common import (
+    ExperimentResult,
+    error_stats,
+    fit_through_origin,
+    index_population,
+)
+from repro.datasets import tpch_database
+
+
+class TestFitThroughOrigin:
+    def test_exact_line(self):
+        xs = [1.0, 2.0, 3.0]
+        ys = [2.0, 4.0, 6.0]
+        assert fit_through_origin(xs, ys) == pytest.approx(2.0)
+
+    def test_empty_is_zero(self):
+        assert fit_through_origin([], []) == 0.0
+
+    def test_all_zero_x(self):
+        assert fit_through_origin([0.0, 0.0], [1.0, 2.0]) == 0.0
+
+    @given(st.floats(min_value=-10, max_value=10, allow_nan=False),
+           st.lists(st.floats(min_value=0.1, max_value=100),
+                    min_size=1, max_size=20))
+    def test_recovers_slope(self, slope, xs):
+        ys = [slope * x for x in xs]
+        assert fit_through_origin(xs, ys) == pytest.approx(slope, abs=1e-6)
+
+
+class TestErrorStats:
+    def test_bias_and_stddev(self):
+        bias, stddev = error_stats([0.1, -0.1, 0.1, -0.1])
+        assert bias == pytest.approx(0.0)
+        assert stddev == pytest.approx(0.11547, rel=1e-3)
+
+    def test_empty(self):
+        assert error_stats([]) == (0.0, 0.0)
+
+    def test_single_sample_has_zero_variance(self):
+        bias, stddev = error_stats([0.25])
+        assert bias == pytest.approx(0.25)
+        assert stddev == 0.0
+
+
+class TestIndexPopulation:
+    def test_methods_times_keysets(self):
+        db = tpch_database(scale=0.02)
+        pop = index_population(
+            db, {"orders": [("o_orderdate",), ("o_custkey",)]}
+        )
+        assert len(pop) == 4  # 2 keysets x (ROW, PAGE)
+        methods = {ix.method for ix in pop}
+        assert methods == {CompressionMethod.ROW, CompressionMethod.PAGE}
+
+
+class TestExperimentResultFormatting:
+    def test_number_formats(self):
+        r = ExperimentResult("T", ("v",),
+                             rows=[(123.456,), (1.234,), (0.001234,)])
+        text = r.format()
+        assert "123" in text      # >= 100 -> no decimals
+        assert "1.23" in text     # >= 1 -> 2 decimals
+        assert "0.0012" in text   # < 1 -> 4 decimals
+
+    def test_headers_always_aligned(self):
+        r = ExperimentResult("T", ("long-header", "x"),
+                             rows=[(1, 2)])
+        lines = r.format().splitlines()
+        header, rule = lines[2], lines[3]
+        assert len(rule) >= len("long-header")
+        assert header.startswith("long-header")

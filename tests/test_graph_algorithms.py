@@ -1,0 +1,199 @@
+"""Tests for the estimation graph, greedy and optimal planners."""
+
+import pytest
+
+from repro.compression import CompressionMethod
+from repro.physical import IndexDef
+from repro.sampling import SampleManager
+from repro.sizeest import (
+    AnalyticSizer,
+    DEFAULT_ERROR_MODEL,
+    EstimationGraph,
+    NodeState,
+    PlanEvaluator,
+    choose_plan,
+    execute_plan,
+    node_key,
+    plan_all_sampled,
+    plan_greedy,
+    plan_optimal,
+)
+from repro.sizeest.deduction import DeductionEngine, MultiColumnDistinct
+from repro.sizeest.graph import _segment_partitions
+from repro.sizeest.samplecf import SampleCFRunner
+from repro.stats import DatabaseStats
+from repro.storage import IndexKind
+
+
+def ix(*keys, method=CompressionMethod.ROW):
+    return IndexDef("fact", tuple(keys), kind=IndexKind.SECONDARY,
+                    method=method)
+
+
+@pytest.fixture()
+def evaluator_factory(small_db, small_stats):
+    manager = SampleManager(small_db, min_sample_rows=100)
+    sizer = AnalyticSizer(small_db, small_stats, manager)
+
+    def make(targets, existing=(), fraction=0.1):
+        graph = EstimationGraph()
+        for e in existing:
+            graph.add_index(e, is_existing=True)
+        for t in targets:
+            graph.add_index(t, is_target=True)
+        return PlanEvaluator(
+            graph, DEFAULT_ERROR_MODEL, sizer, manager, fraction
+        )
+
+    return make
+
+
+class TestPartitions:
+    def test_two_columns(self):
+        parts = _segment_partitions(("a", "b"), 3)
+        assert parts == [(("a",), ("b",))]
+
+    def test_three_columns(self):
+        parts = _segment_partitions(("a", "b", "c"), 3)
+        assert (("a",), ("b",), ("c",)) in parts
+        assert (("a", "b"), ("c",)) in parts
+        assert (("a",), ("b", "c")) in parts
+        assert len(parts) == 3
+
+    def test_max_segments_respected(self):
+        parts = _segment_partitions(("a", "b", "c", "d"), 2)
+        assert all(len(p) == 2 for p in parts)
+
+
+class TestGraph:
+    def test_expand_creates_children(self, evaluator_factory):
+        ev = evaluator_factory([ix("f_cat", "f_qty")])
+        key = node_key(ix("f_cat", "f_qty"))
+        deds = ev.graph.expand_node(key)
+        assert any(d.kind == "colext" for d in deds)
+        assert node_key(ix("f_cat")) in ev.graph.nodes
+
+    def test_colset_candidates_same_set(self, evaluator_factory):
+        a = ix("f_cat", "f_qty")
+        b = ix("f_qty", "f_cat")
+        ev = evaluator_factory([a, b])
+        deds = ev.graph.expand_node(node_key(a))
+        colsets = [d for d in deds if d.kind == "colset"]
+        assert any(d.children == (node_key(b),) for d in colsets)
+
+    def test_no_colset_for_page(self, evaluator_factory):
+        a = ix("f_cat", "f_qty", method=CompressionMethod.PAGE)
+        b = ix("f_qty", "f_cat", method=CompressionMethod.PAGE)
+        ev = evaluator_factory([a, b])
+        deds = ev.graph.expand_node(node_key(a))
+        assert not [d for d in deds if d.kind == "colset"]
+
+    def test_existing_marked_sampled(self, evaluator_factory):
+        e = ix("f_cat")
+        ev = evaluator_factory([ix("f_cat", "f_qty")], existing=[e])
+        assert ev.graph.nodes[node_key(e)].state is NodeState.SAMPLED
+
+
+class TestGreedy:
+    def test_all_targets_decided(self, evaluator_factory):
+        targets = [ix("f_cat"), ix("f_qty"), ix("f_cat", "f_qty")]
+        ev = evaluator_factory(targets)
+        plan = plan_greedy(ev, e=0.5, q=0.8)
+        for t in targets:
+            assert ev.graph.nodes[node_key(t)].state is not NodeState.NONE
+        assert plan.total_cost > 0
+
+    def test_greedy_never_costs_more_than_all(self, evaluator_factory):
+        targets = [
+            ix("f_cat"), ix("f_qty"),
+            ix("f_cat", "f_qty"), ix("f_cat", "f_qty", "f_day"),
+        ]
+        greedy = plan_greedy(evaluator_factory(targets), 0.5, 0.8)
+        all_plan = plan_all_sampled(evaluator_factory(targets), 0.5, 0.8)
+        assert greedy.total_cost <= all_plan.total_cost + 1e-9
+
+    def test_deduces_composite_from_singletons(self, evaluator_factory):
+        targets = [ix("f_cat"), ix("f_qty"), ix("f_cat", "f_qty")]
+        ev = evaluator_factory(targets)
+        plan_greedy(ev, e=0.5, q=0.8)
+        composite = ev.graph.nodes[node_key(ix("f_cat", "f_qty"))]
+        assert composite.state is NodeState.DEDUCED
+
+    def test_tight_constraint_forces_sampling(self, evaluator_factory):
+        targets = [ix("f_cat"), ix("f_qty"), ix("f_cat", "f_qty")]
+        ev = evaluator_factory(targets)
+        plan = plan_greedy(ev, e=0.01, q=0.999)
+        composite = ev.graph.nodes[node_key(ix("f_cat", "f_qty"))]
+        assert composite.state is NodeState.SAMPLED
+
+    def test_existing_index_is_free(self, evaluator_factory):
+        existing = ix("f_cat")
+        targets = [ix("f_cat")]
+        ev = evaluator_factory(targets, existing=[existing])
+        plan = plan_greedy(ev, 0.5, 0.9)
+        assert plan.total_cost == 0.0
+
+    def test_feasibility_reported(self, evaluator_factory):
+        targets = [ix("f_cat", method=CompressionMethod.PAGE)]
+        ev = evaluator_factory(targets, fraction=0.01)
+        plan = plan_greedy(ev, e=0.001, q=0.9999)
+        assert not plan.feasible
+
+
+class TestOptimal:
+    def test_optimal_not_worse_than_greedy(self, evaluator_factory):
+        targets = [
+            ix("f_cat"), ix("f_qty"),
+            ix("f_cat", "f_qty"), ix("f_cat", "f_qty", "f_day"),
+        ]
+        greedy = plan_greedy(evaluator_factory(targets), 0.5, 0.8)
+        optimal = plan_optimal(evaluator_factory(targets), 0.5, 0.8)
+        assert optimal.total_cost <= greedy.total_cost + 1e-9
+        assert optimal.feasible
+
+    def test_single_target(self, evaluator_factory):
+        ev = evaluator_factory([ix("f_cat")])
+        plan = plan_optimal(ev, 0.5, 0.9)
+        assert plan.feasible
+        assert plan.total_cost > 0
+
+    def test_infeasible_falls_back(self, evaluator_factory):
+        ev = evaluator_factory(
+            [ix("f_cat", method=CompressionMethod.PAGE)], fraction=0.01
+        )
+        plan = plan_optimal(ev, e=0.0001, q=0.9999)
+        assert not plan.feasible
+
+
+class TestPlannerAndExecution:
+    def test_choose_plan_picks_cheapest_feasible(self, small_db, small_stats):
+        manager = SampleManager(small_db, min_sample_rows=100)
+        sizer = AnalyticSizer(small_db, small_stats, manager)
+        targets = [ix("f_cat"), ix("f_cat", "f_qty")]
+        result = choose_plan(
+            targets, [], DEFAULT_ERROR_MODEL, sizer, manager,
+            e=0.5, q=0.8, fractions=(0.05, 0.2),
+        )
+        assert result.plan.feasible
+        finite = {
+            f: c for f, c in result.considered.items() if c != float("inf")
+        }
+        assert result.plan.total_cost == min(finite.values())
+
+    def test_execute_plan_produces_estimates(self, small_db, small_stats):
+        manager = SampleManager(small_db, min_sample_rows=100)
+        sizer = AnalyticSizer(small_db, small_stats, manager)
+        runner = SampleCFRunner(manager, sizer, DEFAULT_ERROR_MODEL)
+        distinct = MultiColumnDistinct(small_db, manager, fraction=0.1)
+        deduction = DeductionEngine(small_db, sizer, distinct)
+        targets = [ix("f_cat"), ix("f_qty"), ix("f_cat", "f_qty")]
+        result = choose_plan(
+            targets, [], DEFAULT_ERROR_MODEL, sizer, manager,
+            e=0.5, q=0.8, fractions=(0.1,),
+        )
+        estimates = execute_plan(
+            result.plan, runner, deduction, DEFAULT_ERROR_MODEL, manager
+        )
+        for t in targets:
+            assert node_key(t) in estimates
+            assert estimates[node_key(t)].est_bytes > 0

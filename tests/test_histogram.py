@@ -1,0 +1,98 @@
+"""Tests for equi-depth histograms."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StatisticsError
+from repro.stats import EquiDepthHistogram
+
+
+class TestBuild:
+    def test_empty(self):
+        h = EquiDepthHistogram.build([])
+        assert h.total == 0
+        assert h.selectivity_eq(5) == 0.0
+        assert h.selectivity_range(1, 2) == 0.0
+
+    def test_invalid_buckets(self):
+        with pytest.raises(StatisticsError):
+            EquiDepthHistogram.build([1], n_buckets=0)
+
+    def test_bucket_counts_sum_to_total(self):
+        data = list(range(1000))
+        h = EquiDepthHistogram.build(data, 16)
+        assert sum(b.count for b in h.buckets) == 1000
+
+    def test_buckets_roughly_equal_depth(self):
+        data = list(range(1000))
+        h = EquiDepthHistogram.build(data, 10)
+        counts = [b.count for b in h.buckets]
+        assert max(counts) - min(counts) <= 2
+
+    def test_fewer_values_than_buckets(self):
+        h = EquiDepthHistogram.build([1, 2], 32)
+        assert h.total == 2
+
+
+class TestEquality:
+    def test_uniform_eq(self):
+        data = [i % 10 for i in range(1000)]
+        h = EquiDepthHistogram.build(data, 8)
+        assert h.selectivity_eq(3) == pytest.approx(0.1, rel=0.5)
+
+    def test_missing_value_out_of_domain(self):
+        h = EquiDepthHistogram.build(list(range(100)), 8)
+        assert h.selectivity_eq(1000) == 0.0
+
+    def test_heavy_hitter(self):
+        data = [0] * 900 + list(range(1, 101))
+        h = EquiDepthHistogram.build(data, 16)
+        assert h.selectivity_eq(0) > 0.5
+
+
+class TestRange:
+    def test_full_range(self):
+        h = EquiDepthHistogram.build(list(range(100)), 8)
+        assert h.selectivity_range(None, None) == pytest.approx(1.0)
+
+    def test_half_range(self):
+        h = EquiDepthHistogram.build(list(range(1000)), 16)
+        assert h.selectivity_range(None, 499) == pytest.approx(0.5, abs=0.06)
+
+    def test_open_lower(self):
+        h = EquiDepthHistogram.build(list(range(1000)), 16)
+        assert h.selectivity_range(900, None) == pytest.approx(0.1, abs=0.05)
+
+    def test_narrow_range(self):
+        h = EquiDepthHistogram.build(list(range(1000)), 16)
+        sel = h.selectivity_range(100, 110)
+        assert 0.0 < sel < 0.1
+
+    def test_string_ranges(self):
+        data = [f"k{i:03d}" for i in range(100)]
+        h = EquiDepthHistogram.build(data, 8)
+        sel = h.selectivity_range("k000", "k049")
+        assert sel == pytest.approx(0.5, abs=0.2)
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=300),
+           st.integers(0, 1000), st.integers(0, 1000))
+    def test_selectivity_bounds(self, data, lo, hi):
+        h = EquiDepthHistogram.build(data, 8)
+        sel = h.selectivity_range(min(lo, hi), max(lo, hi))
+        assert 0.0 <= sel <= 1.0
+
+    def test_monotonic_in_range_width(self):
+        rng = random.Random(0)
+        data = [rng.randrange(500) for _ in range(2000)]
+        h = EquiDepthHistogram.build(data, 16)
+        sels = [h.selectivity_range(100, hi) for hi in (150, 250, 400)]
+        assert sels == sorted(sels)
+
+    def test_accuracy_against_truth(self):
+        rng = random.Random(42)
+        data = [rng.randrange(1000) for _ in range(5000)]
+        h = EquiDepthHistogram.build(data, 32)
+        truth = sum(1 for v in data if 200 <= v <= 600) / len(data)
+        assert h.selectivity_range(200, 600) == pytest.approx(truth, abs=0.05)

@@ -1,0 +1,74 @@
+"""Cross-layer integration: estimated sizes vs measured truths, and the
+advisor's budget accounting checked against ground-truth index builds."""
+
+import pytest
+
+from repro.advisor import tune
+from repro.compression import ADVISOR_METHODS, CompressionMethod
+from repro.datasets import tpch_workload
+from repro.physical import IndexDef
+from repro.sizeest import SizeEstimator
+from repro.stats import DatabaseStats
+from repro.storage import IndexKind
+
+
+class TestEstimateVsTruth:
+    @pytest.fixture(scope="class")
+    def estimator(self, tiny_tpch):
+        return SizeEstimator(tiny_tpch)
+
+    @pytest.mark.parametrize("method", [m for m in ADVISOR_METHODS])
+    def test_lineitem_indexes(self, estimator, method):
+        index = IndexDef(
+            "lineitem", ("l_shipdate", "l_discount"),
+            included_columns=("l_extendedprice",),
+            method=method,
+        )
+        est = estimator.estimate(index).est_bytes
+        truth = estimator.true_size(index)
+        assert est == pytest.approx(truth, rel=0.25)
+
+    def test_clustered_index(self, estimator):
+        index = IndexDef(
+            "orders", ("o_orderdate",), kind=IndexKind.CLUSTERED,
+            method=CompressionMethod.ROW,
+        )
+        est = estimator.estimate(index).est_bytes
+        truth = estimator.true_size(index)
+        assert est == pytest.approx(truth, rel=0.25)
+
+    def test_cf_ordering_page_beats_row(self, estimator):
+        """PAGE compresses at least as well as ROW on every estimate —
+        matching the codec guarantee."""
+        for keys in (("l_shipmode",), ("l_returnflag", "l_shipmode")):
+            row = estimator.estimate(
+                IndexDef("lineitem", keys, method=CompressionMethod.ROW)
+            ).est_bytes
+            page = estimator.estimate(
+                IndexDef("lineitem", keys, method=CompressionMethod.PAGE)
+            ).est_bytes
+            assert page <= row * 1.05
+
+
+class TestAdvisorBudgetAgainstTruth:
+    def test_true_consumption_close_to_budget(self, tiny_tpch):
+        stats = DatabaseStats(tiny_tpch)
+        estimator = SizeEstimator(tiny_tpch, stats=stats)
+        workload = tpch_workload(tiny_tpch, 5.0, 1.0)
+        budget = tiny_tpch.total_data_bytes() * 0.15
+        result = tune(tiny_tpch, workload, budget, variant="dtac-both",
+                      estimator=estimator, stats=stats)
+
+        # Recompute consumption with ground-truth sizes: estimation error
+        # must not blow the budget by more than the (e, q) tolerance.
+        true_consumed = 0.0
+        for ix in result.configuration:
+            truth = estimator.true_size(ix)
+            if ix.kind is IndexKind.SECONDARY or ix.is_mv_index:
+                true_consumed += truth
+            else:
+                original = estimator.true_size(
+                    IndexDef(ix.table, (), kind=IndexKind.HEAP)
+                )
+                true_consumed += truth - original
+        assert true_consumed <= budget * (1.0 + estimator.e)

@@ -1,0 +1,154 @@
+"""The paper's two motivating examples (Section 1) as scenario tests.
+
+Example 1: with a tight storage bound, a compressed covering index fits
+where the uncompressed one does not, so integrating compression into the
+selection beats choosing indexes first.
+
+Example 2: blindly compressing every suggested index slows an
+update-intensive workload — the cost model must charge compression CPU
+on maintenance.
+"""
+
+import random
+
+import pytest
+
+from repro.advisor import tune, tune_decoupled
+from repro.catalog import Column, Database, INT, Table, char, decimal, DATE
+from repro.compression import CompressionMethod
+from repro.optimizer import WhatIfOptimizer
+from repro.physical import Configuration, IndexDef
+from repro.sizeest import SizeEstimator
+from repro.stats import DatabaseStats
+from repro.storage import IndexKind
+from repro.workload import Workload, parse_query, parse_statement
+
+
+@pytest.fixture(scope="module")
+def sales_example_db():
+    """The Sales(OrderID, Shipdate, State, Price, Discount) table of
+    Example 1, with heavily compressible padding."""
+    rng = random.Random(99)
+    db = Database("example1")
+    t = Table(
+        "exsales",
+        [
+            Column("orderid", INT),
+            Column("shipdate", DATE),
+            Column("state", char(12)),
+            Column("price", decimal()),
+            Column("discount", decimal()),
+            Column("notes", char(24)),
+        ],
+        primary_key=("orderid",),
+    )
+    for i in range(6000):
+        t.append_row(
+            (
+                i,
+                10000 + rng.randrange(3650),
+                rng.choice(("CA", "NY", "TX", "WA")),
+                rng.randrange(100000),
+                rng.randrange(50),
+                f"note {i % 40}",
+            )
+        )
+    db.add_table(t)
+    return db
+
+
+@pytest.fixture(scope="module")
+def q1():
+    return parse_query(
+        "SELECT SUM(price * discount) FROM exsales "
+        "WHERE shipdate BETWEEN 11000 AND 11365 AND state = 'CA'"
+    )
+
+
+class TestExample1:
+    def test_compressed_covering_fits_where_plain_does_not(
+        self, sales_example_db, q1
+    ):
+        estimator = SizeEstimator(sales_example_db)
+        i2 = IndexDef(
+            "exsales", ("shipdate", "state"),
+            included_columns=("price", "discount"),
+        )
+        i2c = i2.with_method(CompressionMethod.PAGE)
+        plain = estimator.estimate(i2).est_bytes
+        compressed = estimator.estimate(i2c).est_bytes
+        assert compressed < plain
+        # A budget between the two sizes admits only the compressed one.
+        budget = (plain + compressed) / 2
+        assert compressed <= budget < plain
+
+    def test_integrated_tool_beats_staged_under_tight_budget(
+        self, sales_example_db, q1
+    ):
+        workload = Workload()
+        workload.add(q1, weight=10.0)
+        stats = DatabaseStats(sales_example_db)
+        estimator = SizeEstimator(sales_example_db, stats=stats)
+        # Budget sized so that the uncompressed covering index does NOT
+        # fit but its compressed variant does.
+        i2 = IndexDef(
+            "exsales", ("shipdate", "state"),
+            included_columns=("price", "discount"),
+        )
+        budget = estimator.estimate(i2).est_bytes * 0.55
+        integrated = tune(sales_example_db, workload, budget,
+                          variant="dtac-both", estimator=estimator,
+                          stats=stats)
+        staged = tune(sales_example_db, workload, budget, variant="dta",
+                      estimator=estimator, stats=stats)
+        assert integrated.improvement >= staged.improvement
+        assert any(
+            ix.is_compressed for ix in integrated.configuration
+        )
+
+
+class TestExample2:
+    def test_blind_compression_slows_update_heavy_workload(
+        self, sales_example_db, q1
+    ):
+        """Compressing the covering index raises the cost of a bulk-load
+        heavy workload (decompress on read + compress on write)."""
+        stats = DatabaseStats(sales_example_db)
+        estimator = SizeEstimator(sales_example_db, stats=stats)
+        whatif = WhatIfOptimizer(
+            sales_example_db, stats,
+            sizes=lambda ix: (
+                estimator.estimate(ix).est_bytes,
+                estimator.sizer.estimated_rows(ix),
+            ),
+        )
+        workload = Workload()
+        workload.add(q1, weight=1.0)
+        workload.add(parse_statement("INSERT INTO exsales BULK 3000"),
+                     weight=20.0)
+        heap = IndexDef("exsales", (), kind=IndexKind.HEAP)
+        i3 = IndexDef(
+            "exsales", ("shipdate", "state"),
+            included_columns=("price", "discount"),
+        )
+        plain = Configuration([heap, i3])
+        compressed = Configuration(
+            [heap, i3.with_method(CompressionMethod.PAGE)]
+        )
+        assert whatif.workload_cost(workload, compressed) > \
+            whatif.workload_cost(workload, plain)
+
+    def test_decoupled_tool_never_beats_integrated(self, sales_example_db, q1):
+        workload = Workload()
+        workload.add(q1, weight=1.0)
+        workload.add(parse_statement("INSERT INTO exsales BULK 3000"),
+                     weight=20.0)
+        stats = DatabaseStats(sales_example_db)
+        estimator = SizeEstimator(sales_example_db, stats=stats)
+        budget = sales_example_db.total_data_bytes() * 0.5
+        integrated = tune(sales_example_db, workload, budget,
+                          variant="dtac-both", estimator=estimator,
+                          stats=stats)
+        staged = tune_decoupled(sales_example_db, workload, budget,
+                                estimator=estimator, stats=stats)
+        assert integrated.final_cost <= staged.final_cost + 1e-6

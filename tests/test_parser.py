@@ -1,0 +1,146 @@
+"""Tests for the SQL subset parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.workload import (
+    Between,
+    Comparison,
+    InList,
+    InsertQuery,
+    DeleteQuery,
+    SelectQuery,
+    UpdateQuery,
+    date_to_days,
+    days_to_date,
+    parse_query,
+    parse_statement,
+)
+
+
+class TestDates:
+    def test_epoch(self):
+        assert date_to_days("1970-01-01") == 0
+
+    def test_roundtrip(self):
+        days = date_to_days("1995-03-15")
+        assert str(days_to_date(days)) == "1995-03-15"
+
+    def test_ordering(self):
+        assert date_to_days("1994-01-01") < date_to_days("1995-01-01")
+
+
+class TestSelectParsing:
+    def test_simple(self):
+        q = parse_query("SELECT a, b FROM t")
+        assert q.tables == ("t",)
+        assert q.select_columns == ("a", "b")
+
+    def test_aggregates(self):
+        q = parse_query("SELECT SUM(a * b), COUNT(*), MIN(c) FROM t")
+        assert q.aggregates[0].func == "SUM"
+        assert q.aggregates[0].columns == ("a", "b")
+        assert q.aggregates[1].columns == ()
+        assert q.aggregates[2].func == "MIN"
+
+    def test_where_ops(self):
+        q = parse_query(
+            "SELECT a FROM t WHERE a = 1 AND b <> 'x' AND c >= 2.5"
+        )
+        assert q.predicates[0] == Comparison("a", "=", 1)
+        assert q.predicates[1] == Comparison("b", "!=", "x")
+        assert q.predicates[2] == Comparison("c", ">=", 2.5)
+
+    def test_between_and_in(self):
+        q = parse_query(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2, 3)"
+        )
+        assert q.predicates[0] == Between("a", 1, 5)
+        assert q.predicates[1] == InList("b", (1, 2, 3))
+
+    def test_date_literals(self):
+        q = parse_query(
+            "SELECT a FROM t WHERE d >= DATE '1994-06-01'"
+        )
+        assert q.predicates[0].value == date_to_days("1994-06-01")
+
+    def test_joins(self):
+        q = parse_query(
+            "SELECT a FROM t JOIN u ON t_k = u_k JOIN v ON u_v = v_k"
+        )
+        assert q.tables == ("t", "u", "v")
+        assert len(q.joins) == 2
+        assert q.joins[0].left_column == "t_k"
+
+    def test_group_order(self):
+        q = parse_query(
+            "SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a"
+        )
+        assert q.group_by == ("a",)
+        assert q.order_by == ("a",)
+
+    def test_string_escapes(self):
+        q = parse_query("SELECT a FROM t WHERE b = 'it''s'")
+        assert q.predicates[0].value == "it's"
+
+    def test_identifier_named_like_aggregate(self):
+        q = parse_query("SELECT count FROM t")
+        assert q.select_columns == ("count",)
+
+
+class TestOtherStatements:
+    def test_insert_bulk(self):
+        stmt = parse_statement("INSERT INTO t BULK 500")
+        assert stmt == InsertQuery("t", 500)
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = 'x' WHERE c > 3")
+        assert isinstance(stmt, UpdateQuery)
+        assert stmt.set_columns == ("a", "b")
+        assert stmt.predicates[0] == Comparison("c", ">", 3)
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, DeleteQuery)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("sql", [
+        "SELECT",
+        "SELECT a FROM",
+        "SELECT a FROM t WHERE",
+        "SELECT a FROM t WHERE a ==",
+        "SELECT a FROM t JOIN u ON a < b",
+        "INSERT INTO t VALUES (1)",
+        "DROP TABLE t",
+        "SELECT a FROM t extra garbage ~~",
+        "SELECT a FROM t WHERE a BETWEEN 1",
+        "INSERT INTO t BULK lots",
+    ])
+    def test_rejects(self, sql):
+        with pytest.raises(ParseError):
+            parse_statement(sql)
+
+    def test_parse_query_rejects_insert(self):
+        with pytest.raises(ParseError):
+            parse_query("INSERT INTO t BULK 1")
+
+
+class TestDatasetQueryBanks:
+    def test_all_tpch_queries_parse_and_validate(self):
+        from repro.datasets import tpch_database, tpch_workload
+
+        db = tpch_database(scale=0.02)
+        wl = tpch_workload(db)
+        assert len(wl.queries) == 22
+        assert len(wl.updates) == 2
+        for ws in wl.queries:
+            assert isinstance(ws.statement, SelectQuery)
+
+    def test_all_sales_queries_parse_and_validate(self):
+        from repro.datasets import sales_database, sales_workload
+
+        db = sales_database(scale=0.05)
+        wl = sales_workload(db)
+        assert len(wl.queries) == 50
+        assert len(wl.updates) == 2

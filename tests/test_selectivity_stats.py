@@ -1,0 +1,110 @@
+"""Tests for column statistics and selectivity estimation, cross-checked
+against true match counts on the data."""
+
+import pytest
+
+from repro.stats import (
+    DatabaseStats,
+    TableStats,
+    conjunction_selectivity,
+    predicate_selectivity,
+)
+from repro.workload import Between, Comparison, Conjunction, InList
+
+
+@pytest.fixture(scope="module")
+def fact_stats(small_db):
+    return TableStats.build(small_db.table("fact"))
+
+
+class TestTableStats:
+    def test_row_counts(self, fact_stats, small_db):
+        assert fact_stats.n_rows == small_db.table("fact").num_rows
+
+    def test_distinct_counts(self, fact_stats):
+        assert fact_stats.column("f_cat").n_distinct == 8
+        assert fact_stats.column("f_dkey").n_distinct == 50
+
+    def test_min_max(self, fact_stats):
+        col = fact_stats.column("f_key")
+        assert col.min_value == 0
+        assert col.max_value == 3999
+
+    def test_avg_stripped_len(self, fact_stats):
+        # f_cat values like "CAT_3": 5 bytes stripped.
+        assert fact_stats.column("f_cat").avg_stripped_len == pytest.approx(
+            5.0
+        )
+
+    def test_density(self, fact_stats):
+        assert fact_stats.column("f_cat").density == pytest.approx(1 / 8)
+
+    def test_null_handling(self):
+        from repro.catalog import Column, INT, Table
+
+        t = Table("n", [Column("a", INT, nullable=True)])
+        t.extend_rows([(1,), (None,), (None,)])
+        stats = TableStats.build(t)
+        assert stats.column("a").n_nulls == 2
+        assert stats.column("a").null_fraction == pytest.approx(2 / 3)
+
+
+class TestSelectivityVsTruth:
+    def truth(self, small_db, pred):
+        table = small_db.table("fact")
+        names = table.column_names
+        rows = [dict(zip(names, r)) for r in table.iter_rows()]
+        return sum(1 for r in rows if pred.evaluate(r)) / len(rows)
+
+    @pytest.mark.parametrize("pred", [
+        Comparison("f_cat", "=", "CAT_3"),
+        Comparison("f_qty", "<", 25),
+        Comparison("f_qty", ">=", 90),
+        Between("f_day", 100, 200),
+        InList("f_cat", ("CAT_0", "CAT_1")),
+    ])
+    def test_close_to_truth(self, small_db, fact_stats, pred):
+        est = predicate_selectivity(fact_stats, pred)
+        truth = self.truth(small_db, pred)
+        assert est == pytest.approx(truth, abs=0.05)
+
+    def test_conjunction_independence(self, fact_stats):
+        p1 = Comparison("f_cat", "=", "CAT_3")
+        p2 = Comparison("f_qty", "<", 50)
+        combined = conjunction_selectivity(fact_stats, (p1, p2))
+        assert combined == pytest.approx(
+            predicate_selectivity(fact_stats, p1)
+            * predicate_selectivity(fact_stats, p2)
+        )
+
+    def test_conjunction_object(self, fact_stats):
+        c = Conjunction(
+            (Comparison("f_qty", "<", 50), Comparison("f_day", "<", 180))
+        )
+        assert 0.0 < predicate_selectivity(fact_stats, c) < 0.5
+
+    def test_not_equal(self, fact_stats):
+        p = Comparison("f_cat", "!=", "CAT_3")
+        assert predicate_selectivity(fact_stats, p) == pytest.approx(
+            1 - predicate_selectivity(fact_stats,
+                                      Comparison("f_cat", "=", "CAT_3"))
+        )
+
+
+class TestDatabaseStats:
+    def test_lazy_and_cached(self, small_db):
+        stats = DatabaseStats(small_db)
+        a = stats.table("fact")
+        assert stats.table("fact") is a
+
+    def test_invalidate(self, small_db):
+        stats = DatabaseStats(small_db)
+        a = stats.table("fact")
+        stats.invalidate("fact")
+        assert stats.table("fact") is not a
+
+    def test_invalidate_all(self, small_db):
+        stats = DatabaseStats(small_db)
+        a = stats.table("dim")
+        stats.invalidate()
+        assert stats.table("dim") is not a

@@ -1,0 +1,248 @@
+"""Tests for analytic sizing, SampleCF and the deduction engine, checked
+against ground-truth full builds on the shared small database."""
+
+import pytest
+
+from repro.compression import CompressionMethod
+from repro.errors import SizeEstimationError
+from repro.physical import IndexDef
+from repro.sampling import SampleManager
+from repro.sizeest import (
+    AnalyticSizer,
+    DEFAULT_ERROR_MODEL,
+    DeductionEngine,
+    MultiColumnDistinct,
+    SampleCFRunner,
+    SizeEstimator,
+)
+from repro.storage import IndexKind, PAGE_SIZE
+from repro.workload import Comparison
+
+
+@pytest.fixture(scope="module")
+def toolkit(small_db, small_stats):
+    manager = SampleManager(small_db, min_sample_rows=150)
+    sizer = AnalyticSizer(small_db, small_stats, manager)
+    runner = SampleCFRunner(manager, sizer, DEFAULT_ERROR_MODEL)
+    distinct = MultiColumnDistinct(small_db, manager, fraction=0.1)
+    deduction = DeductionEngine(small_db, sizer, distinct)
+    estimator = SizeEstimator(small_db, stats=small_stats, manager=manager)
+    return manager, sizer, runner, deduction, estimator
+
+
+def ix(*keys, method=CompressionMethod.NONE, table="fact", **kw):
+    return IndexDef(table, tuple(keys), method=method, **kw)
+
+
+class TestAnalyticSizer:
+    def test_uncompressed_matches_truth(self, toolkit):
+        _m, sizer, _r, _d, estimator = toolkit
+        index = ix("f_cat", "f_qty")
+        est = sizer.uncompressed_bytes(index)
+        truth = estimator.true_size(index)
+        assert est == pytest.approx(truth, rel=0.05)
+
+    def test_partial_rows(self, toolkit, small_db):
+        _m, sizer, _r, _d, _e = toolkit
+        pred = Comparison("f_qty", "<", 50)
+        partial = ix("f_cat", filter=pred)
+        full_rows = sizer.estimated_rows(ix("f_cat"))
+        part_rows = sizer.estimated_rows(partial)
+        assert 0 < part_rows < full_rows
+        assert part_rows == pytest.approx(full_rows / 2, rel=0.15)
+
+    def test_clustered_rows_equal_table(self, toolkit, small_db):
+        _m, sizer, _r, _d, _e = toolkit
+        rows = sizer.estimated_rows(ix("f_cat", kind=IndexKind.CLUSTERED))
+        assert rows == small_db.table("fact").num_rows
+
+    def test_row_width_secondary_includes_rid(self, toolkit, small_db):
+        _m, sizer, _r, _d, _e = toolkit
+        fact = small_db.table("fact")
+        width = sizer.row_width(ix("f_cat", "f_qty"))
+        assert width == (
+            fact.column("f_cat").width + fact.column("f_qty").width + 8
+        )
+
+    def test_ns_reduction_positive(self, toolkit):
+        _m, sizer, _r, _d, _e = toolkit
+        assert sizer.ns_reduction_bytes(ix("f_qty", "f_price")) > 0
+
+    def test_samplecf_cost_grows_with_width(self, toolkit):
+        _m, sizer, _r, _d, _e = toolkit
+        narrow = sizer.samplecf_cost(ix("f_cat"), 0.1)
+        wide = sizer.samplecf_cost(
+            ix("f_cat", "f_qty", "f_price", "f_day"), 0.1
+        )
+        assert wide > narrow
+
+
+class TestSampleCF:
+    @pytest.mark.parametrize("method", [
+        CompressionMethod.ROW, CompressionMethod.PAGE,
+    ])
+    def test_close_to_truth(self, toolkit, method):
+        _m, _s, runner, _d, estimator = toolkit
+        index = ix("f_cat", "f_qty", method=method)
+        est = runner.run(index, 0.1)
+        truth = estimator.true_size(index)
+        assert est.est_bytes == pytest.approx(truth, rel=0.15)
+
+    def test_metadata(self, toolkit):
+        _m, _s, runner, _d, _e = toolkit
+        est = runner.run(ix("f_cat", method=CompressionMethod.ROW), 0.1)
+        assert est.source == "samplecf"
+        assert est.cost >= 1.0
+        assert 0.0 < est.compression_fraction < 1.0
+
+    def test_timing_by_category(self, toolkit):
+        _m, _s, runner, _d, _e = toolkit
+        runner.reset_timings()
+        runner.run(ix("f_cat", method=CompressionMethod.ROW), 0.1)
+        assert runner.timings["table"] > 0
+        assert runner.run_count == 1
+
+
+class TestDeduction:
+    def test_colset_requires_ord_ind(self, toolkit):
+        _m, _s, runner, deduction, _e = toolkit
+        source = runner.run(
+            ix("f_cat", "f_qty", method=CompressionMethod.ROW), 0.1
+        )
+        target = ix("f_qty", "f_cat", method=CompressionMethod.PAGE)
+        with pytest.raises(SizeEstimationError):
+            deduction.colset(target, source)
+
+    def test_colset_same_bytes(self, toolkit):
+        _m, _s, runner, deduction, _e = toolkit
+        source = runner.run(
+            ix("f_cat", "f_qty", method=CompressionMethod.ROW), 0.1
+        )
+        target = ix("f_qty", "f_cat", method=CompressionMethod.ROW)
+        assert deduction.colset(target, source) == source.est_bytes
+
+    @pytest.mark.parametrize("method", [
+        CompressionMethod.ROW, CompressionMethod.PAGE,
+    ])
+    def test_colext_close_to_truth(self, toolkit, method):
+        _m, _s, runner, deduction, estimator = toolkit
+        target = ix("f_cat", "f_day", method=method)
+        parts = [
+            runner.run(ix("f_cat", method=method), 0.1),
+            runner.run(ix("f_day", method=method), 0.1),
+        ]
+        deduced = deduction.colext(target, parts)
+        truth = estimator.true_size(target)
+        assert deduced == pytest.approx(truth, rel=0.25)
+
+    def test_colext_bounded_by_uncompressed(self, toolkit):
+        _m, sizer, runner, deduction, _e = toolkit
+        target = ix("f_cat", "f_day", method=CompressionMethod.PAGE)
+        parts = [
+            runner.run(ix("f_cat", method=CompressionMethod.PAGE), 0.1),
+            runner.run(ix("f_day", method=CompressionMethod.PAGE), 0.1),
+        ]
+        deduced = deduction.colext(target, parts)
+        assert deduced <= sizer.uncompressed_bytes(target)
+        assert deduced > 0
+
+    def test_fragmentation_in_unit_range(self, toolkit):
+        _m, _s, _r, deduction, _e = toolkit
+        index = ix("f_cat", "f_qty", method=CompressionMethod.PAGE)
+        for col in ("f_cat", "f_qty"):
+            f = deduction._fragmentation(index, col)
+            assert 0.0 <= f <= 1.0
+
+    def test_leading_column_less_fragmented(self, toolkit):
+        """F(I_AB, A) >= F(I_BA, A): a column fragments when it is not
+        the leading key (the paper's Figure 2 intuition)."""
+        _m, _s, _r, deduction, _e = toolkit
+        leading = ix("f_cat", "f_day", method=CompressionMethod.PAGE)
+        trailing = ix("f_day", "f_cat", method=CompressionMethod.PAGE)
+        f_lead = deduction._fragmentation(leading, "f_cat")
+        f_trail = deduction._fragmentation(trailing, "f_cat")
+        assert f_lead >= f_trail - 1e-9
+
+
+class TestMultiColumnDistinct:
+    def test_single_column_close(self, toolkit, small_db):
+        _m, _s, _r, deduction, _e = toolkit
+        est = deduction.distinct.estimate("fact", ("f_cat",))
+        assert est == pytest.approx(8, rel=0.3)
+
+    def test_combination_at_least_single(self, toolkit):
+        _m, _s, _r, deduction, _e = toolkit
+        single = deduction.distinct.estimate("fact", ("f_cat",))
+        combo = deduction.distinct.estimate("fact", ("f_cat", "f_dkey"))
+        assert combo >= single * 0.9
+
+    def test_cached(self, toolkit):
+        _m, _s, _r, deduction, _e = toolkit
+        a = deduction.distinct.estimate("fact", ("f_qty",))
+        b = deduction.distinct.estimate("fact", ("f_qty",))
+        assert a == b
+
+
+class TestSizeEstimatorFacade:
+    def test_uncompressed_estimate_is_exact_source(self, toolkit):
+        _m, _s, _r, _d, estimator = toolkit
+        est = estimator.estimate(ix("f_cat"))
+        assert est.source == "exact"
+        assert est.error.var == 0.0
+
+    def test_batch_uses_deduction(self, small_db, small_stats):
+        estimator = SizeEstimator(small_db, stats=small_stats)
+        batch = [
+            ix("f_cat", method=CompressionMethod.ROW),
+            ix("f_day", method=CompressionMethod.ROW),
+            ix("f_cat", "f_day", method=CompressionMethod.ROW),
+            ix("f_day", "f_cat", method=CompressionMethod.ROW),
+        ]
+        results = estimator.estimate_many(batch, e=0.5, q=0.8)
+        sources = {r.source for r in results.values()}
+        assert "samplecf" in sources
+        assert sources & {"colset", "colext"}
+
+    def test_no_deduction_mode(self, small_db, small_stats):
+        estimator = SizeEstimator(
+            small_db, stats=small_stats, use_deduction=False
+        )
+        batch = [
+            ix("f_cat", method=CompressionMethod.ROW),
+            ix("f_cat", "f_day", method=CompressionMethod.ROW),
+        ]
+        results = estimator.estimate_many(batch)
+        assert all(r.source == "samplecf" for r in results.values())
+
+    def test_caching(self, toolkit):
+        _m, _s, _r, _d, estimator = toolkit
+        index = ix("f_qty", method=CompressionMethod.PAGE)
+        a = estimator.estimate(index)
+        b = estimator.estimate(index)
+        assert a is b
+
+    def test_estimates_close_to_truth(self, toolkit):
+        _m, _s, _r, _d, estimator = toolkit
+        for method in (CompressionMethod.ROW, CompressionMethod.PAGE):
+            index = ix("f_cat", "f_price", method=method)
+            est = estimator.estimate(index)
+            truth = estimator.true_size(index)
+            assert est.est_bytes == pytest.approx(truth, rel=0.3)
+
+    def test_partial_index_estimate(self, toolkit):
+        _m, _s, _r, _d, estimator = toolkit
+        pred = Comparison("f_qty", "<", 50)
+        partial = ix("f_cat", method=CompressionMethod.ROW, filter=pred)
+        full = ix("f_cat", method=CompressionMethod.ROW)
+        assert (
+            estimator.estimate(partial).est_bytes
+            < estimator.estimate(full).est_bytes
+        )
+
+    def test_register_existing(self, small_db, small_stats):
+        estimator = SizeEstimator(small_db, stats=small_stats)
+        index = ix("f_cat", method=CompressionMethod.ROW)
+        estimator.register_existing([index])
+        est = estimator.estimate(index)
+        assert est.source == "exact"
+        assert est.cost == 0.0

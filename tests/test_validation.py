@@ -1,0 +1,96 @@
+"""Tests for ground-truth validation of recommendations (engine side)."""
+
+import pytest
+
+from repro.advisor import tune
+from repro.datasets import tpch_database, tpch_workload
+from repro.engine import (
+    SizeCheck,
+    validate_recommendation,
+    validate_selectivities,
+)
+from repro.physical.index_def import IndexDef
+from repro.sizeest import SizeEstimator
+from repro.stats import DatabaseStats
+from repro.storage.index_build import IndexKind
+
+
+@pytest.fixture(scope="module")
+def env():
+    db = tpch_database(scale=0.05)
+    stats = DatabaseStats(db)
+    estimator = SizeEstimator(db, stats=stats)
+    workload = tpch_workload(db, select_weight=5.0, insert_weight=1.0)
+    return db, stats, estimator, workload
+
+
+@pytest.fixture(scope="module")
+def recommendation(env):
+    db, stats, estimator, workload = env
+    return tune(db, workload, db.total_data_bytes() * 0.25,
+                variant="dtac-both", estimator=estimator, stats=stats)
+
+
+class TestValidateRecommendation:
+    def test_recommendation_holds_under_true_sizes(self, env,
+                                                   recommendation):
+        db, stats, estimator, workload = env
+        report = validate_recommendation(
+            recommendation, db, workload, stats=stats, estimator=estimator
+        )
+        assert report.recommendation_holds
+        # Estimated and deployed improvements agree to 15 points.
+        assert abs(
+            report.true_size_improvement - report.estimated_improvement
+        ) < 0.15
+
+    def test_budget_respected_after_deployment(self, env, recommendation):
+        db, stats, estimator, workload = env
+        report = validate_recommendation(
+            recommendation, db, workload, stats=stats, estimator=estimator
+        )
+        assert report.budget_holds
+
+    def test_every_structure_checked(self, env, recommendation):
+        db, stats, estimator, workload = env
+        report = validate_recommendation(
+            recommendation, db, workload, stats=stats, estimator=estimator
+        )
+        assert len(report.size_checks) == len(
+            list(recommendation.configuration)
+        )
+
+    def test_size_errors_within_advisor_tolerance(self, env,
+                                                  recommendation):
+        db, stats, estimator, workload = env
+        report = validate_recommendation(
+            recommendation, db, workload, stats=stats, estimator=estimator
+        )
+        # The advisor ran with e=0.5: no structure may be off by more.
+        assert report.max_abs_size_error <= 0.5
+
+
+class TestSizeCheck:
+    def test_ratio_error(self):
+        ix = IndexDef("t", ("a",), kind=IndexKind.SECONDARY)
+        check = SizeCheck(index=ix, estimated=120.0, measured=100.0)
+        assert check.ratio_error == pytest.approx(0.2)
+
+    def test_zero_measured_is_safe(self):
+        ix = IndexDef("t", ("a",), kind=IndexKind.SECONDARY)
+        assert SizeCheck(ix, 10.0, 0.0).ratio_error == 0.0
+
+
+class TestValidateSelectivities:
+    def test_estimates_close_to_truth(self, env):
+        db, stats, _estimator, workload = env
+        checks = validate_selectivities(db, workload, stats=stats)
+        assert checks, "expected single-table predicated queries"
+        mean_error = sum(c.abs_error for c in checks) / len(checks)
+        assert mean_error < 0.1
+
+    def test_true_fractions_are_fractions(self, env):
+        db, stats, _estimator, workload = env
+        for check in validate_selectivities(db, workload, stats=stats):
+            assert 0.0 <= check.true <= 1.0
+            assert 0.0 <= check.estimated <= 1.0

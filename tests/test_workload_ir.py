@@ -1,0 +1,144 @@
+"""Tests for predicates, statements and workloads."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import (
+    Aggregate,
+    Between,
+    Comparison,
+    Conjunction,
+    InList,
+    InsertQuery,
+    Join,
+    SelectQuery,
+    UpdateQuery,
+    Workload,
+    conjunction_of,
+    flatten,
+)
+
+
+class TestPredicates:
+    def test_comparison_ops(self):
+        row = {"x": 5}
+        assert Comparison("x", "=", 5).evaluate(row)
+        assert Comparison("x", "!=", 4).evaluate(row)
+        assert Comparison("x", "<", 6).evaluate(row)
+        assert Comparison("x", "<=", 5).evaluate(row)
+        assert Comparison("x", ">", 4).evaluate(row)
+        assert Comparison("x", ">=", 5).evaluate(row)
+        assert not Comparison("x", "=", 4).evaluate(row)
+
+    def test_unknown_op(self):
+        with pytest.raises(WorkloadError):
+            Comparison("x", "~", 1)
+
+    def test_null_never_matches(self):
+        assert not Comparison("x", "=", None).evaluate({"x": None})
+        assert not Between("x", 1, 2).evaluate({"x": None})
+
+    def test_between_inclusive(self):
+        assert Between("x", 1, 3).evaluate({"x": 1})
+        assert Between("x", 1, 3).evaluate({"x": 3})
+        assert not Between("x", 1, 3).evaluate({"x": 4})
+
+    def test_in_list(self):
+        p = InList("x", (1, 2, 3))
+        assert p.evaluate({"x": 2})
+        assert not p.evaluate({"x": 9})
+        assert p.is_equality
+
+    def test_classification(self):
+        assert Comparison("x", "=", 1).is_equality
+        assert Comparison("x", "<", 1).is_range
+        assert Between("x", 1, 2).is_range
+        assert not Between("x", 1, 2).is_equality
+
+    def test_conjunction(self):
+        c = Conjunction((Comparison("x", ">", 1), Comparison("y", "=", 2)))
+        assert c.evaluate({"x": 5, "y": 2})
+        assert not c.evaluate({"x": 0, "y": 2})
+        assert c.columns() == ("x", "y")
+
+    def test_conjunction_of_normalizes(self):
+        assert conjunction_of([]) is None
+        single = Comparison("x", "=", 1)
+        assert conjunction_of([single]) is single
+        nested = conjunction_of(
+            [Conjunction((single,)), Comparison("y", "=", 2)]
+        )
+        assert isinstance(nested, Conjunction)
+        assert len(nested.predicates) == 2
+
+    def test_flatten(self):
+        single = Comparison("x", "=", 1)
+        assert flatten(None) == ()
+        assert flatten(single) == (single,)
+        assert flatten(Conjunction((single, single))) == (single, single)
+
+
+class TestSelectQuery:
+    def make(self):
+        return SelectQuery(
+            tables=("fact", "dim"),
+            select_columns=("d_name",),
+            aggregates=(Aggregate("SUM", ("f_price", "f_qty")),),
+            joins=(Join("f_dkey", "d_key"),),
+            predicates=(Comparison("f_cat", "=", "CAT_1"),),
+            group_by=("d_name",),
+            order_by=("d_name",),
+        )
+
+    def test_referenced_columns(self):
+        cols = self.make().referenced_columns()
+        assert set(cols) == {
+            "f_cat", "f_dkey", "d_key", "d_name", "f_price", "f_qty"
+        }
+
+    def test_columns_of_table(self, small_db):
+        q = self.make()
+        assert set(q.columns_of_table(small_db, "fact")) == {
+            "f_cat", "f_dkey", "f_price", "f_qty"
+        }
+        assert set(q.columns_of_table(small_db, "dim")) == {
+            "d_key", "d_name"
+        }
+
+    def test_predicates_of_table(self, small_db):
+        q = self.make()
+        assert len(q.predicates_of_table(small_db, "fact")) == 1
+        assert q.predicates_of_table(small_db, "dim") == ()
+
+    def test_validate_catches_unknown(self, small_db):
+        q = SelectQuery(tables=("fact",), select_columns=("nope",))
+        with pytest.raises(WorkloadError):
+            q.validate(small_db)
+
+    def test_aggregate_validation(self):
+        with pytest.raises(WorkloadError):
+            Aggregate("MEDIAN", ("x",))
+
+
+class TestWorkload:
+    def test_partition(self):
+        wl = Workload()
+        wl.add(SelectQuery(tables=("t",)), name="q")
+        wl.add(InsertQuery("t", 100), name="i")
+        assert len(wl.queries) == 1
+        assert len(wl.updates) == 1
+        assert len(wl) == 2
+
+    def test_reweighted(self):
+        wl = Workload()
+        wl.add(SelectQuery(tables=("t",)), weight=1.0)
+        wl.add(InsertQuery("t", 10), weight=1.0)
+        heavy = wl.reweighted(select_weight=9.0, update_weight=2.0)
+        assert heavy.queries[0].weight == 9.0
+        assert heavy.updates[0].weight == 2.0
+        # original untouched
+        assert wl.queries[0].weight == 1.0
+
+    def test_update_query_flags(self):
+        u = UpdateQuery("t", ("a",))
+        assert not u.is_select
