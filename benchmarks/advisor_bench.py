@@ -1,0 +1,271 @@
+#!/usr/bin/env python
+"""Advisor benchmark runner: emits ``BENCH_advisor.json``.
+
+Measures the parallel candidate-evaluation engine against the
+sequential path and tracks the numbers across PRs:
+
+* **advisor** — one full DTAc tuning session on the Sales workload,
+  ``workers=1`` vs ``--workers N``, asserting byte-identical
+  recommendations and recording wall time + candidates/sec.
+* **cache** — the same session cold vs warm through the persistent
+  :class:`EstimationCache`, recording the warm hit rate.
+* **fig9** — the paper's Figure 9 SampleCF error sweep (TPC-H index
+  population x sampling fractions), the estimation-bound workload where
+  the fan-out pays off most, sequential vs parallel with an
+  element-wise identity check on the error table.
+
+Everything under ``"results"``-style keys (recommendations, error rows,
+hit rates, identity flags) is deterministic run-to-run — datasets and
+samples are generated from explicit seeds.  Wall-clock figures
+naturally vary with the machine; ``meta.cpu_count`` records how many
+cores the speedup had to work with (on a single-core runner the
+parallel path degrades gracefully to ~1x).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/advisor_bench.py \
+        --workers 4 --scale 0.2 --output BENCH_advisor.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.advisor.advisor import tune  # noqa: E402
+from repro.compression.base import CompressionMethod  # noqa: E402
+from repro.datasets.sales import sales_database, sales_workload  # noqa: E402
+from repro.experiments.common import (  # noqa: E402
+    TPCH_ERROR_KEYSETS,
+    get_tpch,
+    index_population,
+)
+from repro.experiments.samplecf_errors import ErrorLab  # noqa: E402
+from repro.experiments.table2_error_fit import FRACTIONS  # noqa: E402
+from repro.parallel.engine import ParallelEngine, fork_available  # noqa: E402
+
+
+def _fig9_task(lab: ErrorLab, index) -> list[float]:
+    """Worker task: one index's SampleCF errors at every fraction (the
+    ground-truth full build is computed once per index, inside the
+    task, so no worker repeats another's truth)."""
+    return [lab.samplecf_error(index, f) for f in FRACTIONS]
+
+
+def _config_names(result) -> list[str]:
+    return sorted(ix.display_name() for ix in result.configuration)
+
+
+def run_advisor_section(args) -> dict:
+    db = sales_database(scale=args.scale, seed=args.seed)
+    wl = sales_workload(db)
+    budget = db.total_data_bytes() * args.budget
+
+    t0 = time.perf_counter()
+    seq = tune(db, wl, budget, variant=args.variant, workers=1)
+    seq_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    par = tune(db, wl, budget, variant=args.variant, workers=args.workers)
+    par_wall = time.perf_counter() - t0
+
+    identical = (
+        seq.configuration == par.configuration
+        and seq.final_cost == par.final_cost
+    )
+    return {
+        "dataset": "sales",
+        "scale": args.scale,
+        "budget_fraction": args.budget,
+        "variant": args.variant,
+        "sequential": {
+            "wall_seconds": round(seq_wall, 4),
+            "candidates_per_sec": round(seq.candidate_count / seq_wall, 2),
+        },
+        "parallel": {
+            "workers": args.workers,
+            "wall_seconds": round(par_wall, 4),
+            "candidates_per_sec": round(par.candidate_count / par_wall, 2),
+            "engine": par.engine_stats,
+        },
+        "speedup": round(seq_wall / par_wall, 3),
+        "identical_recommendations": identical,
+        "result": {
+            "improvement_pct": seq.improvement_pct,
+            "final_cost": seq.final_cost,
+            "candidate_count": seq.candidate_count,
+            "pool_size": seq.pool_size,
+            "configuration": _config_names(seq),
+        },
+    }
+
+
+def run_cache_section(args) -> dict:
+    db = sales_database(scale=args.scale, seed=args.seed)
+    wl = sales_workload(db)
+    budget = db.total_data_bytes() * args.budget
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="repro-bench-cache-")
+
+    t0 = time.perf_counter()
+    cold = tune(db, wl, budget, variant=args.variant, cache_dir=cache_dir)
+    cold_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = tune(db, wl, budget, variant=args.variant, cache_dir=cache_dir)
+    warm_wall = time.perf_counter() - t0
+
+    return {
+        "cache_dir": cache_dir,
+        "cold": {
+            "wall_seconds": round(cold_wall, 4),
+            "stats": cold.cache_stats,
+        },
+        "warm": {
+            "wall_seconds": round(warm_wall, 4),
+            "stats": warm.cache_stats,
+        },
+        "warm_hit_rate": warm.cache_stats.get("hit_rate", 0.0),
+        "warm_speedup": round(cold_wall / warm_wall, 3),
+        "identical_recommendations": (
+            cold.configuration == warm.configuration
+            and cold.final_cost == warm.final_cost
+        ),
+    }
+
+
+def run_fig9_section(args) -> dict:
+    db = get_tpch(args.fig9_scale)
+    indexes = index_population(db, TPCH_ERROR_KEYSETS)
+
+    seq_lab = ErrorLab(db)
+    t0 = time.perf_counter()
+    seq_errors = [_fig9_task(seq_lab, ix) for ix in indexes]
+    seq_wall = time.perf_counter() - t0
+
+    par_lab = ErrorLab(db)
+    engine = ParallelEngine(args.workers)
+    # Warm the per-fraction samples in the parent: workers inherit them
+    # at fork instead of each deriving a private copy.
+    for ix in indexes:
+        for f in FRACTIONS:
+            par_lab.manager.table_sample(ix.table, f)
+    t0 = time.perf_counter()
+    with engine.session(par_lab):
+        par_errors = engine.map(_fig9_task, indexes, context=par_lab)
+    par_wall = time.perf_counter() - t0
+
+    rows = []
+    for fi, fraction in enumerate(FRACTIONS):
+        ns = [
+            errs[fi] for ix, errs in zip(indexes, seq_errors)
+            if ix.method is CompressionMethod.ROW
+        ]
+        ld = [
+            errs[fi] for ix, errs in zip(indexes, seq_errors)
+            if ix.method is not CompressionMethod.ROW
+        ]
+        mean = lambda xs: sum(xs) / len(xs) if xs else 0.0  # noqa: E731
+        rows.append({
+            "fraction": fraction,
+            "ns_bias_pct": round(100 * mean(ns), 4),
+            "ld_bias_pct": round(100 * mean(ld), 4),
+        })
+
+    return {
+        "dataset": "tpch",
+        "scale": args.fig9_scale,
+        "population": len(indexes),
+        "fractions": list(FRACTIONS),
+        "sequential_wall_seconds": round(seq_wall, 4),
+        "parallel_wall_seconds": round(par_wall, 4),
+        "workers": args.workers,
+        "speedup": round(seq_wall / par_wall, 3),
+        "samplecf_runs_per_sec": round(
+            len(indexes) * len(FRACTIONS) / par_wall, 2
+        ),
+        "identical_errors": par_errors == seq_errors,
+        "rows": rows,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the parallel advisor engine "
+                    "(emits BENCH_advisor.json)"
+    )
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool size for the parallel runs "
+                             "(0 = one per CPU)")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="sales dataset scale for the advisor runs")
+    parser.add_argument("--budget", type=float, default=0.2,
+                        help="storage budget as a fraction of raw data")
+    parser.add_argument("--variant", default="dtac-both")
+    parser.add_argument("--seed", type=int, default=20090101,
+                        help="dataset generation seed")
+    parser.add_argument("--fig9-scale", type=float, default=0.1,
+                        help="TPC-H scale for the Fig. 9 SampleCF sweep")
+    parser.add_argument("--skip-fig9", action="store_true")
+    parser.add_argument("--skip-cache", action="store_true")
+    parser.add_argument("--cache-dir", default=None,
+                        help="reuse a cache directory instead of a "
+                             "fresh temporary one")
+    parser.add_argument("--output", default="BENCH_advisor.json")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.workers == 0:
+        args.workers = max(1, os.cpu_count() or 1)
+
+    payload: dict = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "cpu_count": os.cpu_count(),
+            "fork_available": fork_available(),
+            "workers": args.workers,
+            "seed": args.seed,
+        }
+    }
+    print(f"[bench] advisor: sales scale={args.scale} "
+          f"workers={args.workers}", flush=True)
+    payload["advisor"] = run_advisor_section(args)
+    if not args.skip_cache:
+        print("[bench] cache: cold vs warm", flush=True)
+        payload["cache"] = run_cache_section(args)
+    if not args.skip_fig9:
+        print(f"[bench] fig9: tpch scale={args.fig9_scale}", flush=True)
+        payload["fig9"] = run_fig9_section(args)
+
+    out = Path(args.output)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    adv = payload["advisor"]
+    print(f"[bench] wrote {out}")
+    print(f"[bench] advisor speedup x{adv['speedup']} "
+          f"(identical={adv['identical_recommendations']})")
+    if "cache" in payload:
+        print(f"[bench] warm cache hit rate "
+              f"{payload['cache']['warm_hit_rate']:.2%}")
+    if "fig9" in payload:
+        print(f"[bench] fig9 speedup x{payload['fig9']['speedup']} "
+              f"(identical={payload['fig9']['identical_errors']})")
+    ok = adv["identical_recommendations"] and payload.get("fig9", {}).get(
+        "identical_errors", True
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,10 +8,25 @@ override.
 """
 
 import os
+import pathlib
 
 import pytest
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Every test in this directory regenerates a paper figure/table:
+    mark them ``slow`` + ``bench`` so CI's fast tier can deselect the
+    whole sweep with ``-m "not slow"``.  (The hook sees the entire
+    session's items, so filter to this directory.)"""
+    for item in items:
+        path = pathlib.Path(str(item.fspath)).resolve()
+        if _BENCH_DIR in path.parents:
+            item.add_marker(pytest.mark.slow)
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

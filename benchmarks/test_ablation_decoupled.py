@@ -2,8 +2,6 @@
 naive tool that decouples index selection from compression can make an
 INSERT-intensive workload *worse*, while DTAc never does."""
 
-from conftest import run_and_print
-
 from repro.advisor import tune, tune_decoupled
 from repro.experiments.common import ExperimentResult, get_tpch
 from repro.datasets import tpch_workload

@@ -24,6 +24,7 @@ from repro.advisor.selection import (
     CandidateConfiguration,
     cluster_skyline,
     evaluate_candidates,
+    evaluate_candidates_batch,
     select_skyline,
     select_top_k,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "mv_candidates",
     "CandidateConfiguration",
     "evaluate_candidates",
+    "evaluate_candidates_batch",
     "select_top_k",
     "select_skyline",
     "cluster_skyline",

@@ -21,8 +21,10 @@ from repro.advisor.merging import (
     generate_merged_candidates,
 )
 from repro.advisor.selection import (
+    CandidateConfiguration,
     cluster_skyline,
     evaluate_candidates,
+    evaluate_candidates_batch,
     select_skyline,
     select_top_k,
 )
@@ -31,6 +33,8 @@ from repro.compression.base import CompressionMethod
 from repro.errors import AdvisorError
 from repro.optimizer.constants import DEFAULT_COST_CONSTANTS, CostConstants
 from repro.optimizer.whatif import WhatIfOptimizer
+from repro.parallel.cache import EstimationCache
+from repro.parallel.engine import ParallelEngine
 from repro.physical.configuration import Configuration
 from repro.physical.index_def import IndexDef
 from repro.sizeest.estimator import SizeEstimator
@@ -51,6 +55,10 @@ class AdvisorOptions:
     * DTAc (Skyline):   compression on, skyline selection
     * DTAc (Backtrack): compression on, backtracking enumeration
     * DTAc (Both):      compression on, skyline + backtracking
+
+    ``workers`` > 1 fans candidate evaluation over a process pool
+    (``0`` = one per CPU); results are identical to ``workers=1``.
+    ``cache_dir`` persists size estimates across runs.
     """
 
     budget_bytes: float
@@ -68,6 +76,8 @@ class AdvisorOptions:
     skyline_cluster_max: int = 12
     e: float = 0.5
     q: float = 0.9
+    workers: int = 1
+    cache_dir: str | None = None
 
 
 @dataclass
@@ -90,6 +100,16 @@ class AdvisorResult:
     pool_size: int
     sizes: dict[IndexDef, float] = field(default_factory=dict)
     steps: list[str] = field(default_factory=list)
+    #: persistent estimation-cache counters for this run (empty when no
+    #: cache is wired); see :meth:`EstimationCache.stats`.
+    cache_stats: dict = field(default_factory=dict)
+    #: parallel-engine counters for this run; see :meth:`ParallelEngine.stats`.
+    engine_stats: dict = field(default_factory=dict)
+    #: what-if optimizer invocations in the *parent* process only —
+    #: with ``workers > 1`` most costings happen in forked workers
+    #: whose counters die with the pool, so this is not comparable
+    #: across different worker counts.
+    optimizer_calls: int = 0
 
     @property
     def improvement(self) -> float:
@@ -100,6 +120,24 @@ class AdvisorResult:
     @property
     def improvement_pct(self) -> float:
         return 100.0 * self.improvement
+
+
+def _eval_query_task(
+    advisor: "TuningAdvisor", qi: int
+) -> list[CandidateConfiguration]:
+    """Worker task: evaluate one query's candidate set (step 2)."""
+    return evaluate_candidates(
+        advisor.workload.queries[qi].statement,
+        advisor._per_query[qi],
+        advisor.base_config,
+        advisor._query_cost,
+        advisor._index_size,
+    )
+
+
+def _workload_cost_task(advisor: "TuningAdvisor", config) -> float:
+    """Worker task: one configuration's full weighted workload cost."""
+    return advisor._workload_cost(config)
 
 
 class TuningAdvisor:
@@ -114,14 +152,31 @@ class TuningAdvisor:
         stats: DatabaseStats | None = None,
         constants: CostConstants = DEFAULT_COST_CONSTANTS,
         base_config: Configuration | None = None,
+        engine: ParallelEngine | None = None,
     ) -> None:
         self.database = database
         self.workload = workload
         self.options = options
         self.stats = stats or DatabaseStats(database)
-        self.estimator = estimator or SizeEstimator(
-            database, stats=self.stats, e=options.e, q=options.q
+        self.engine = engine or ParallelEngine(options.workers)
+        cache = (
+            EstimationCache(options.cache_dir)
+            if options.cache_dir is not None
+            else None
         )
+        if estimator is None:
+            estimator = SizeEstimator(
+                database, stats=self.stats, e=options.e, q=options.q,
+                cache=cache, engine=self.engine,
+            )
+        else:
+            # Attach this run's machinery to a shared estimator only
+            # where it has none, so explicit caller wiring wins.
+            if estimator.cache is None and cache is not None:
+                estimator.cache = cache
+            if estimator.engine is None and self.engine.parallel:
+                estimator.engine = self.engine
+        self.estimator = estimator
         self.whatif = WhatIfOptimizer(
             database, self.stats, sizes=self._size_lookup, constants=constants
         )
@@ -129,6 +184,7 @@ class TuningAdvisor:
         self._original_base_sizes = {
             ix.table: self._index_size(ix) for ix in self.base_config
         }
+        self._per_query: dict[int, list[IndexDef]] = {}
 
     # ------------------------------------------------------------------
     def default_base_configuration(self) -> Configuration:
@@ -156,6 +212,14 @@ class TuningAdvisor:
 
     def _query_cost(self, query: SelectQuery, config: Configuration) -> float:
         return self.whatif.cost(query, config).total
+
+    def _batch_workload_cost(self, configs) -> list[float]:
+        """Workload costs of a candidate sweep: fanned over the engine
+        while its session is open, otherwise through the what-if
+        optimizer's (cache-aware) sequential batch API."""
+        if self.engine.in_session:
+            return self.engine.map(_workload_cost_task, configs, context=self)
+        return self.whatif.workload_cost_batch(self.workload, configs)
 
     # ------------------------------------------------------------------
     def run(self) -> AdvisorResult:
@@ -190,16 +254,27 @@ class TuningAdvisor:
             self.estimator.estimate_many(compressed, options.e, options.q)
 
         # 2. Candidate selection per query: top-k or skyline (Section 6.1).
-        pool: list[IndexDef] = []
-        for qi, ws in enumerate(self.workload.queries):
-            query = ws.statement
-            configs = evaluate_candidates(
-                query,
-                per_query[qi],
+        #    Queries are independent, so each one's candidate-set
+        #    evaluation is one fan-out unit; the session forks *after*
+        #    step 1 so workers inherit every size estimate.
+        self._per_query = per_query
+        n_queries = len(self.workload.queries)
+        if self.engine.parallel:
+            with self.engine.session(self):
+                per_query_configs = self.engine.map(
+                    _eval_query_task, range(n_queries), context=self
+                )
+        else:
+            per_query_configs = evaluate_candidates_batch(
+                [ws.statement for ws in self.workload.queries],
+                [per_query[qi] for qi in range(n_queries)],
                 self.base_config,
                 self._query_cost,
                 self._index_size,
             )
+        pool: list[IndexDef] = []
+        for qi, ws in enumerate(self.workload.queries):
+            configs = per_query_configs[qi]
             if options.candidate_selection == "skyline":
                 selected = select_skyline(configs)
                 selected = cluster_skyline(
@@ -218,7 +293,9 @@ class TuningAdvisor:
                     f"unknown selection {options.candidate_selection!r}"
                 )
             for config in selected:
-                pool.extend(config.indexes)
+                # Stable order: pool order feeds greedy tie-breaking,
+                # so it must not follow frozenset iteration.
+                pool.extend(sorted(config.indexes, key=repr))
         pool = list(dict.fromkeys(pool))
 
         # 3. Merging (Figure 1): merged variants join the pool.  With
@@ -281,9 +358,13 @@ class TuningAdvisor:
             self._index_size,
             self._original_base_sizes,
             enum_options,
+            batch_cost=self._batch_workload_cost,
         )
         base_cost = self._workload_cost(self.base_config)
-        result = enumerator.run(pool, self.base_config)
+        # Forked here: workers inherit the full estimate/sample state,
+        # and each greedy sweep fans its candidate costings out.
+        with self.engine.session(self):
+            result = enumerator.run(pool, self.base_config)
 
         sizes = {
             ix: self._index_size(ix) for ix in result.configuration
@@ -300,6 +381,12 @@ class TuningAdvisor:
             pool_size=len(pool),
             sizes=sizes,
             steps=result.steps,
+            cache_stats=(
+                self.estimator.cache.stats()
+                if self.estimator.cache is not None else {}
+            ),
+            engine_stats=self.engine.stats(),
+            optimizer_calls=self.whatif.optimizer_calls,
         )
 
 

@@ -25,8 +25,9 @@ how DTAc can recommend indexes even at a 0% budget (Appendix D.2).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 from repro.compression.base import CompressionMethod
 from repro.errors import AdvisorError
@@ -34,6 +35,12 @@ from repro.physical.configuration import Configuration
 from repro.physical.index_def import IndexDef
 from repro.storage.index_build import IndexKind
 from repro.workload.query import Workload
+
+#: Batched costing hook: all of one sweep's candidate configurations at
+#: once, returning their workload costs in input order.  The advisor
+#: wires the parallel engine in here; the default recomputes through the
+#: per-configuration callable, so both paths see identical floats.
+BatchCost = Callable[[Sequence[Configuration]], "list[float]"]
 
 
 @dataclass(frozen=True)
@@ -82,30 +89,36 @@ class Enumerator:
         index_size: Callable[[IndexDef], float],
         original_base_sizes: Mapping[str, float],
         options: EnumerationOptions,
+        batch_cost: BatchCost | None = None,
     ) -> None:
         self.workload = workload
         self.workload_cost = workload_cost
         self.index_size = index_size
         self.original_base_sizes = dict(original_base_sizes)
         self.options = options
+        self.batch_cost = batch_cost or (
+            lambda configs: [self.workload_cost(c) for c in configs]
+        )
 
     # ------------------------------------------------------------------
     def consumed(self, config: Configuration) -> float:
         """Budget bytes a configuration consumes: secondary/MV indexes in
         full; base structures as the delta against the original base
         (compressing a heap *frees* budget)."""
-        total = 0.0
+        terms = []
         for ix in config:
             if ix.kind is IndexKind.SECONDARY or ix.is_mv_index:
-                total += self.index_size(ix)
+                terms.append(self.index_size(ix))
             else:
                 original = self.original_base_sizes.get(ix.table)
                 if original is None:
                     raise AdvisorError(
                         f"no original base size for table {ix.table!r}"
                     )
-                total += self.index_size(ix) - original
-        return total
+                terms.append(self.index_size(ix) - original)
+        # fsum: exact, hence independent of set iteration order — the
+        # budget boundary must not wobble with PYTHONHASHSEED.
+        return math.fsum(terms)
 
     def fits(self, config: Configuration) -> bool:
         """Whether a configuration stays within the storage budget."""
@@ -147,15 +160,18 @@ class Enumerator:
     ) -> list[tuple[float, Configuration, str]]:
         """Top ``seed_fanout`` feasible first moves (by score), plus a
         backtrack-recovery of the best oversized move when enabled."""
-        scored: list[tuple[float, float, Configuration, str]] = []
-        best_any = None  # (delta_cost, config)
+        moves = []
         for ix in pool:
             if ix in base:
                 continue
             candidate = base.add(ix)
             if candidate == base:
                 continue
-            cost = self.workload_cost(candidate)
+            moves.append((ix, candidate))
+        costs = self.batch_cost([candidate for _ix, candidate in moves])
+        scored: list[tuple[float, float, Configuration, str]] = []
+        best_any = None  # (delta_cost, config)
+        for (ix, candidate), cost in zip(moves, costs):
             delta_cost = base_cost - cost
             if delta_cost <= 0:
                 continue
@@ -198,13 +214,18 @@ class Enumerator:
         for _step in range(options.max_steps):
             best_feasible = None  # (score, cost, config, label)
             best_any = None       # (delta_cost, cost, config, index)
+            moves = []
             for ix in pool:
                 if ix in current:
                     continue
                 candidate = current.add(ix)
                 if candidate == current:
                     continue
-                cost = self.workload_cost(candidate)
+                moves.append((ix, candidate))
+            costs = self.batch_cost(
+                [candidate for _ix, candidate in moves]
+            )
+            for (ix, candidate), cost in zip(moves, costs):
                 delta_cost = current_cost - cost
                 if delta_cost <= 0:
                     continue
@@ -274,22 +295,27 @@ class Enumerator:
             methods = (CompressionMethod.NONE,)
         for _round in range(len(list(config)) * len(methods) + 1):
             best_swap = None  # (cost, config, label)
-            for ix in list(config):
+            swaps = []
+            for ix in config.ordered():
                 for method in methods:
                     if method is ix.method:
                         continue
                     swapped = config.replace(ix, ix.with_method(method))
                     if not self.fits(swapped):
                         continue
-                    swap_cost = self.workload_cost(swapped)
-                    if swap_cost < cost - 1e-9 and (
-                        best_swap is None or swap_cost < best_swap[0]
-                    ):
-                        best_swap = (
-                            swap_cost,
-                            swapped,
-                            f"polish {ix.display_name()} -> {method.name}",
-                        )
+                    swaps.append((ix, method, swapped))
+            swap_costs = self.batch_cost(
+                [swapped for _ix, _m, swapped in swaps]
+            )
+            for (ix, method, swapped), swap_cost in zip(swaps, swap_costs):
+                if swap_cost < cost - 1e-9 and (
+                    best_swap is None or swap_cost < best_swap[0]
+                ):
+                    best_swap = (
+                        swap_cost,
+                        swapped,
+                        f"polish {ix.display_name()} -> {method.name}",
+                    )
             if best_swap is None:
                 break
             cost, config = best_swap[0], best_swap[1]
@@ -311,7 +337,8 @@ class Enumerator:
             if self.fits(config):
                 return config
             best = None  # (cost, config)
-            for ix in list(config):
+            swaps = []
+            for ix in config.ordered():
                 if ix.is_compressed:
                     continue
                 if ix.kind not in (IndexKind.SECONDARY, IndexKind.CLUSTERED,
@@ -322,9 +349,11 @@ class Enumerator:
                     swapped = config.replace(ix, variant)
                     if self.consumed(swapped) >= self.consumed(config):
                         continue
-                    cost = self.workload_cost(swapped)
-                    if best is None or cost < best[0]:
-                        best = (cost, swapped)
+                    swaps.append(swapped)
+            swap_costs = self.batch_cost(swaps)
+            for swapped, swap_cost in zip(swaps, swap_costs):
+                if best is None or swap_cost < best[0]:
+                    best = (swap_cost, swapped)
             if best is None:
                 return None
             config = best[1]

@@ -85,6 +85,36 @@ def evaluate_candidates(
     return out
 
 
+def evaluate_candidates_batch(
+    queries: Sequence[SelectQuery],
+    candidates_per_query: Sequence[Sequence[IndexDef]],
+    base_config: Configuration,
+    query_cost: Callable[[SelectQuery, Configuration], float],
+    index_size: Callable[[IndexDef], float],
+    max_pairs: int = 10,
+) -> list[list[CandidateConfiguration]]:
+    """Evaluate per-query candidate *sets* for many queries at once.
+
+    The sequential counterpart of the advisor's per-query fan-out: one
+    entry of the result per query, each computed exactly as
+    :func:`evaluate_candidates` would.  The parallel engine dispatches
+    the same per-query unit to workers, so both paths agree float-for-
+    float.
+    """
+    if len(queries) != len(candidates_per_query):
+        raise ValueError(
+            f"{len(queries)} queries but "
+            f"{len(candidates_per_query)} candidate sets"
+        )
+    return [
+        evaluate_candidates(
+            query, candidates, base_config, query_cost, index_size,
+            max_pairs=max_pairs,
+        )
+        for query, candidates in zip(queries, candidates_per_query)
+    ]
+
+
 def select_top_k(
     configs: Sequence[CandidateConfiguration], k: int = 2
 ) -> list[CandidateConfiguration]:

@@ -45,7 +45,9 @@ def cmd_tune(args) -> int:
     budget = db.total_data_bytes() * args.budget
     result = tune(db, wl, budget, variant=args.variant,
                   enable_partial=args.all_features,
-                  enable_mv=args.all_features)
+                  enable_mv=args.all_features,
+                  workers=args.workers,
+                  cache_dir=args.cache_dir)
     print(f"database {db.name}: {db.total_data_bytes() / 1024:.0f} KiB raw")
     print(f"variant {args.variant}, budget {budget / 1024:.0f} KiB")
     print(f"improvement {result.improvement_pct:.1f}% "
@@ -60,11 +62,16 @@ def cmd_tune(args) -> int:
 
 def cmd_estimate(args) -> int:
     from repro.compression import CompressionMethod
+    from repro.parallel import EstimationCache, ParallelEngine
     from repro.physical import IndexDef
     from repro.sizeest import SizeEstimator
 
     db, wl = _make_dataset(args)
-    estimator = SizeEstimator(db, e=args.error, q=args.confidence)
+    estimator = SizeEstimator(
+        db, e=args.error, q=args.confidence,
+        cache=EstimationCache(args.cache_dir) if args.cache_dir else None,
+        engine=ParallelEngine(args.workers),
+    )
     fact = "lineitem" if args.dataset == "tpch" else "sales"
     table = db.table(fact)
     keys = list(table.column_names[:4])
@@ -101,7 +108,8 @@ def cmd_validate(args) -> int:
     estimator = SizeEstimator(db, stats=stats)
     budget = db.total_data_bytes() * args.budget
     result = tune(db, wl, budget, variant=args.variant,
-                  estimator=estimator, stats=stats)
+                  estimator=estimator, stats=stats,
+                  workers=args.workers, cache_dir=args.cache_dir)
     report = validate_recommendation(
         result, db, wl, stats=stats, estimator=estimator
     )
@@ -139,6 +147,16 @@ def cmd_columnstore(args) -> int:
     return 0
 
 
+def _workers_arg(value: str) -> int:
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {value!r}")
+    if workers < 0:
+        raise argparse.ArgumentTypeError("workers must be >= 0")
+    return workers
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -154,6 +172,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--zipf", type=float, default=0.0)
         p.add_argument("--select-weight", type=float, default=5.0)
         p.add_argument("--insert-weight", type=float, default=1.0)
+        p.add_argument("--workers", type=_workers_arg, default=1,
+                       help="process-pool size for candidate evaluation "
+                            "(0 = one per CPU, 1 = sequential)")
+        p.add_argument("--cache-dir", default=None,
+                       help="directory for the persistent size-estimate "
+                            "cache (shared across runs)")
 
     p_tune = sub.add_parser("tune", help="run the tuning advisor")
     add_dataset_args(p_tune)

@@ -19,19 +19,27 @@ class ZipfSampler:
     Args:
         n: domain size.
         z: skew parameter (0 = uniform).
-        rng: random source.
+        rng: random source; omit to derive one from ``seed``.
         shuffle: permute ranks so skew does not correlate with value
             order (hot values are spread over the domain).
+        seed: explicit seed used when no ``rng`` is given, so every
+            entry point is reproducible without sharing a generator.
     """
 
-    def __init__(self, n: int, z: float, rng: random.Random,
-                 shuffle: bool = True) -> None:
+    DEFAULT_SEED = 20110829
+
+    def __init__(self, n: int, z: float, rng: random.Random | None = None,
+                 shuffle: bool = True, seed: int | None = None) -> None:
         if n <= 0:
             raise ReproError("ZipfSampler needs a positive domain size")
         if z < 0:
             raise ReproError("zipf skew must be >= 0")
+        if rng is not None and seed is not None:
+            raise ReproError("pass either rng or seed, not both")
         self.n = n
         self.z = z
+        if rng is None:
+            rng = random.Random(self.DEFAULT_SEED if seed is None else seed)
         self._rng = rng
         self._perm = list(range(n))
         if shuffle and z > 0:

@@ -160,7 +160,9 @@ class StatementCoster:
     def _try_mv_plan(self, query: SelectQuery,
                      config: Configuration) -> CostBreakdown | None:
         best: CostBreakdown | None = None
-        for index in config:
+        # Stable member order: the strict '<' tie-break below must not
+        # depend on set iteration (PYTHONHASHSEED) for reproducibility.
+        for index in config.ordered():
             if not index.is_mv_index:
                 continue
             if not mv_matches_query(index.mv, query):
@@ -198,7 +200,7 @@ class StatementCoster:
             base = IndexDef(table, (), kind=IndexKind.HEAP)
         structures.append(base)
         structures.extend(config.secondary_indexes(table))
-        for index in config:
+        for index in config.ordered():
             if index.is_mv_index and table in index.mv.tables:
                 structures.append(index)
         table_stats = self.stats.table(table)

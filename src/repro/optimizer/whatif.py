@@ -9,7 +9,10 @@ it touches — and totals weighted workload costs.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.catalog.schema import Database
+from repro.parallel.signature import index_identity
 from repro.optimizer.constants import DEFAULT_COST_CONSTANTS, CostConstants
 from repro.optimizer.statement_cost import (
     CostBreakdown,
@@ -72,6 +75,18 @@ class WhatIfOptimizer:
         return self._sizes(index)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _index_cache_key(index: IndexDef) -> tuple:
+        """Explicit structure identity for cost-cache signatures.
+
+        Delegates to the canonical :func:`index_identity`, which spells
+        out every field the cost model can observe — notably the
+        **compression method** — so hypothetical configurations that
+        differ only in method can never alias to the same cached cost
+        entry, regardless of how :class:`IndexDef` equality evolves.
+        """
+        return index_identity(index)
+
     def _signature(self, statement: Statement,
                    config: Configuration) -> tuple:
         """Cache key: the statement plus the structures on its tables."""
@@ -86,7 +101,10 @@ class WhatIfOptimizer:
                     relevant.append(index)
             elif index.table in tables:
                 relevant.append(index)
-        return (statement, frozenset(relevant))
+        return (
+            statement,
+            frozenset(self._index_cache_key(ix) for ix in relevant),
+        )
 
     def cost(self, statement: Statement,
              config: Configuration) -> CostBreakdown:
@@ -100,6 +118,16 @@ class WhatIfOptimizer:
         self._cache[key] = breakdown
         return breakdown
 
+    # ------------------------------------------------------------------
+    def cost_batch(
+        self,
+        statement: Statement,
+        configs: Sequence[Configuration],
+    ) -> list[CostBreakdown]:
+        """Costs of one statement under a *set* of candidate
+        configurations, in input order (cache-aware)."""
+        return [self.cost(statement, config) for config in configs]
+
     def workload_cost(self, workload: Workload,
                       config: Configuration) -> float:
         """Weighted total workload cost (the advisor's objective)."""
@@ -107,6 +135,21 @@ class WhatIfOptimizer:
             ws.weight * self.cost(ws.statement, config).total
             for ws in workload
         )
+
+    def workload_cost_batch(
+        self,
+        workload: Workload,
+        configs: Sequence[Configuration],
+    ) -> list[float]:
+        """Weighted workload cost of each candidate configuration, in
+        input order.  This is the unit the advisor fans out per worker:
+        one task = one configuration's full workload cost, so the
+        per-configuration float is identical arithmetic either way."""
+        return [self.workload_cost(workload, config) for config in configs]
+
+    @property
+    def cache_entries(self) -> int:
+        return len(self._cache)
 
     def clear_cache(self) -> None:
         self._cache.clear()

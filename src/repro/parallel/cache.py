@@ -1,0 +1,186 @@
+"""EstimationCache: a persistent, content-addressed size-estimate cache.
+
+Size estimation is the advisor's dominant cost on estimation-heavy
+workloads: every compressed candidate needs a SampleCF build or a
+deduction.  Estimates are pure functions of (index definition, sampled
+data, accuracy constraint), so they can be reused across advisor runs,
+budget sweeps and benchmark reruns.  This cache keys each estimate on
+
+    index signature x compression method x sample fingerprint x (e, q)
+
+(the method is part of the index signature and is *also* stored as an
+explicit field, so an entry can never alias two structures that differ
+only in compression), and persists entries as JSON so a later process
+can skip the work entirely.
+
+Semantics: a hit replays the estimate that an identical earlier request
+produced.  A fully warm cache therefore reproduces the earlier run's
+recommendations exactly; a partially warm cache may shrink later
+estimation batches, which can steer deduction planning differently than
+a cold run — still a valid estimate, just not bit-for-bit the cold one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import ReproError
+from repro.parallel.signature import index_signature
+from repro.physical.index_def import IndexDef
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with repro.sizeest
+    from repro.sizeest.samplecf import SizeEstimate
+
+CACHE_FILE = "estimates.json"
+_FORMAT_VERSION = 1
+
+
+class EstimationCache:
+    """Content-addressed cache of :class:`SizeEstimate` records.
+
+    Args:
+        path: directory to persist into (created on first save); None
+            keeps the cache in memory only.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        if self.path is not None and self.path.exists() \
+                and not self.path.is_dir():
+            # Fail at construction, not at the first save deep inside a
+            # tuning run.
+            raise ReproError(
+                f"cache path {self.path} exists and is not a directory"
+            )
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._entries: dict[str, dict] = {}
+        self._loaded_entries: dict[str, dict] = {}
+        if self.path is not None:
+            self._loaded_entries = self._read_file()
+            self._entries.update(self._loaded_entries)
+
+    # ------------------------------------------------------------------
+    @property
+    def file(self) -> Path | None:
+        return self.path / CACHE_FILE if self.path is not None else None
+
+    def _read_file(self) -> dict[str, dict]:
+        file = self.file
+        if file is None or not file.exists():
+            return {}
+        try:
+            payload = json.loads(file.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if payload.get("version") != _FORMAT_VERSION:
+            return {}
+        entries = payload.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(index: IndexDef, fingerprint: str, e: float, q: float) -> str:
+        return f"{index_signature(index)}|fp={fingerprint}|e={e!r}|q={q!r}"
+
+    def get(
+        self, index: IndexDef, fingerprint: str, e: float, q: float
+    ) -> "SizeEstimate | None":
+        """The cached estimate for an identical earlier request, or None."""
+        from repro.sizeest.error_model import ErrorRV
+        from repro.sizeest.samplecf import SizeEstimate
+
+        record = self._entries.get(self.key(index, fingerprint, e, q))
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return SizeEstimate(
+            index=index,
+            est_bytes=record["est_bytes"],
+            compression_fraction=record["compression_fraction"],
+            source=record["source"],
+            error=ErrorRV(mean=record["error_mean"], var=record["error_var"]),
+            cost=record["cost"],
+            fraction=record.get("fraction", 0.0),
+        )
+
+    def put(
+        self,
+        index: IndexDef,
+        fingerprint: str,
+        e: float,
+        q: float,
+        estimate: "SizeEstimate",
+    ) -> None:
+        self._entries[self.key(index, fingerprint, e, q)] = {
+            "method": index.method.value,
+            "est_bytes": estimate.est_bytes,
+            "compression_fraction": estimate.compression_fraction,
+            "source": estimate.source,
+            "error_mean": estimate.error.mean,
+            "error_var": estimate.error.var,
+            "cost": estimate.cost,
+            "fraction": estimate.fraction,
+        }
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def save(self) -> None:
+        """Persist atomically, merging with concurrent writers.
+
+        Entries are immutable (same key -> same value), so merge order
+        does not matter; the re-read + atomic replace only prevents one
+        process from dropping another's fresh entries.  A no-op when
+        every entry is already on disk, so per-batch save calls against
+        a large warm cache don't redo O(entries) JSON work.
+        """
+        if self.path is None:
+            return
+        if all(key in self._loaded_entries for key in self._entries):
+            return
+        self.path.mkdir(parents=True, exist_ok=True)
+        merged = self._read_file()
+        merged.update(self._entries)
+        payload = {"version": _FORMAT_VERSION, "entries": merged}
+        fd, tmp = tempfile.mkstemp(
+            dir=self.path, prefix=".estimates-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self.file)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._loaded_entries = dict(merged)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+        }

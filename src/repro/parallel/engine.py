@@ -1,0 +1,167 @@
+"""ParallelEngine: deterministic process-pool fan-out with a sequential
+fallback.
+
+The engine parallelizes the advisor's two hot loops — SampleCF index
+builds and what-if costings — without changing their results:
+
+* **Determinism.**  ``map`` preserves input order, and each task is a
+  pure function of the forked parent state plus its payload, so the
+  parallel path returns exactly the floats the sequential path would
+  (same arithmetic, same operand order, per item).  Reductions stay in
+  the parent and are shared with the sequential path.
+* **Fork inheritance.**  Pools use the ``fork`` start method: workers
+  inherit the parent's database, statistics, samples and caches at
+  session start for free, so task payloads stay small (an IndexDef or a
+  Configuration, never a table).  Sessions are opened *after* the state
+  the tasks need exists — e.g. the advisor forks its enumeration pool
+  only once all candidate sizes are estimated.
+* **Fallback.**  ``workers<=1``, platforms without ``fork``, maps
+  outside a session (or under a different session context), and broken
+  pools all degrade to an in-process sequential loop with identical
+  results.
+
+Task functions must be module-level (picklable by reference) and take
+``(context, item)``; the context travels through fork memory, not
+pickling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from typing import Callable, Iterable, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Context object workers read; populated in the parent immediately
+#: before the pool forks, inherited by every worker.
+_FORK_CONTEXT = None
+
+
+def _invoke(payload):
+    fn, item = payload
+    return fn(_FORK_CONTEXT, item)
+
+
+def fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_workers() -> int:
+    """Workers for ``--workers 0`` (auto): one per CPU, at least one."""
+    return max(1, os.cpu_count() or 1)
+
+
+class ParallelEngine:
+    """Fans tasks over a pool of forked workers, in order.
+
+    Args:
+        workers: pool size; 0 = one per CPU; 1 = always sequential.
+        min_batch: smallest batch worth paying fork/pickle overhead for;
+            shorter batches run sequentially even inside a session.
+    """
+
+    def __init__(self, workers: int = 1, min_batch: int = 2) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = default_workers() if workers == 0 else workers
+        self.min_batch = min_batch
+        self._pool: ProcessPoolExecutor | None = None
+        self._session_context = None
+        #: instrumentation: (parallel maps, sequential maps, tasks fanned)
+        self.parallel_maps = 0
+        self.sequential_maps = 0
+        self.tasks_dispatched = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def parallel(self) -> bool:
+        """Whether this engine can ever fan out."""
+        return self.workers > 1 and fork_available()
+
+    @property
+    def in_session(self) -> bool:
+        return self._pool is not None
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def session(self, context):
+        """Open a worker pool whose processes snapshot the parent *now*.
+
+        Tasks mapped with this ``context`` run on the pool; any other
+        context (e.g. a nested estimator batch inside an advisor
+        session) falls back to sequential execution, because the inner
+        context's state may postdate the fork.  Nested sessions and
+        sequential engines are transparent no-ops.
+        """
+        global _FORK_CONTEXT
+        if not self.parallel or self.in_session:
+            yield self
+            return
+        _FORK_CONTEXT = context
+        self._session_context = context
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context("fork"),
+        )
+        try:
+            yield self
+        finally:
+            pool, self._pool = self._pool, None
+            self._session_context = None
+            _FORK_CONTEXT = None
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[object, T], R],
+        items: Iterable[T],
+        context,
+    ) -> list[R]:
+        """``[fn(context, item) for item in items]``, possibly fanned
+        out, always in input order.
+
+        Runs on the pool only when a session is active for this exact
+        ``context``; otherwise sequentially in the parent.  A pool that
+        dies mid-map (e.g. a worker OOM-killed) is retried sequentially.
+        """
+        items = list(items)
+        if (
+            self._pool is None
+            or context is not self._session_context
+            or len(items) < self.min_batch
+        ):
+            self.sequential_maps += 1
+            return [fn(context, item) for item in items]
+        global _FORK_CONTEXT
+        # Re-assert the context on every parallel map: the pool forks
+        # workers lazily as submissions arrive, and a nested session of
+        # *another* engine instance may have rewritten the global in
+        # between — any worker forked during this map must inherit this
+        # session's context.  (Engines are single-threaded by design.)
+        _FORK_CONTEXT = context
+        payloads = [(fn, item) for item in items]
+        chunksize = max(1, len(items) // (self.workers * 4))
+        try:
+            results = list(self._pool.map(_invoke, payloads, chunksize=chunksize))
+        except BrokenProcessPool:
+            self.sequential_maps += 1
+            return [fn(context, item) for item in items]
+        self.parallel_maps += 1
+        self.tasks_dispatched += len(items)
+        return results
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "workers": self.workers,
+            "fork_available": fork_available(),
+            "parallel_maps": self.parallel_maps,
+            "sequential_maps": self.sequential_maps,
+            "tasks_dispatched": self.tasks_dispatched,
+        }

@@ -20,6 +20,7 @@ class Configuration:
 
     def __init__(self, indexes: Iterable[IndexDef] = ()) -> None:
         self._indexes = frozenset(indexes)
+        self._ordered: tuple[IndexDef, ...] | None = None
         base_tables: dict[str, IndexDef] = {}
         for ix in self._indexes:
             if ix.kind in (IndexKind.HEAP, IndexKind.CLUSTERED) and not ix.is_mv_index:
@@ -52,6 +53,18 @@ class Configuration:
 
     def __hash__(self) -> int:
         return hash(self._indexes)
+
+    def ordered(self) -> tuple[IndexDef, ...]:
+        """Members in a stable, content-determined order (cached).
+
+        ``frozenset`` iteration order follows the process hash seed;
+        anything whose *result* can depend on member order — summing
+        float costs, first-wins tie-breaking — iterates this instead so
+        runs are reproducible across processes and PYTHONHASHSEED.
+        """
+        if self._ordered is None:
+            self._ordered = tuple(sorted(self._indexes, key=repr))
+        return self._ordered
 
     # ------------------------------------------------------------------
     def base_structure(self, table: str) -> IndexDef | None:

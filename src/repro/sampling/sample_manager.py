@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import random
 import time
+import zlib
 from collections import defaultdict
 
 from repro.catalog.schema import Database
@@ -58,7 +59,15 @@ class SampleManager:
 
     # ------------------------------------------------------------------
     def _rng(self, *key) -> random.Random:
-        return random.Random(hash((self.seed,) + tuple(key)))
+        """Deterministic per-(purpose, table, fraction) RNG stream.
+
+        Seeded from a *stable* digest of the key's repr — never from
+        builtin ``hash()``, whose string hashing is randomized per
+        process (PYTHONHASHSEED) and would make every run draw
+        different samples.
+        """
+        material = repr((self.seed,) + tuple(key)).encode()
+        return random.Random(zlib.crc32(material))
 
     def effective_fraction(self, table_name: str, fraction: float) -> float:
         """Raise tiny-table fractions so samples stay usable."""

@@ -17,17 +17,26 @@ from collections import defaultdict
 from typing import Iterable, Sequence
 
 from repro.catalog.schema import Database
+from repro.parallel.cache import EstimationCache
+from repro.parallel.engine import ParallelEngine
+from repro.parallel.signature import sample_fingerprint
 from repro.physical.index_def import IndexDef
 from repro.sampling.sample_manager import DEFAULT_FRACTIONS, SampleManager
 from repro.sizeest.analytic import AnalyticSizer
 from repro.sizeest.deduction import DeductionEngine, MultiColumnDistinct
 from repro.sizeest.error_model import DEFAULT_ERROR_MODEL, ErrorModel, ErrorRV
-from repro.sizeest.graph import node_key
+from repro.sizeest.graph import NodeState, node_key
 from repro.sizeest.planner import choose_plan, execute_plan
 from repro.sizeest.samplecf import SampleCFRunner, SizeEstimate, index_category
 from repro.stats.column_stats import DatabaseStats
 from repro.storage.index_build import measure_structure
 from repro.storage.rowcache import SerializedTable
+
+
+def _samplecf_task(estimator: "SizeEstimator", payload) -> SizeEstimate:
+    """Worker task: one SampleCF build on the forked estimator state."""
+    index, fraction = payload
+    return estimator.runner.run(index, fraction)
 
 
 class SizeEstimator:
@@ -41,6 +50,8 @@ class SizeEstimator:
         e, q: default accuracy constraint for batch planning.
         default_fraction: sampling fraction for one-off estimates.
         use_deduction: disable to force SampleCF on everything.
+        cache: persistent estimate cache shared across runs (optional).
+        engine: parallel engine for fanning SampleCF builds (optional).
     """
 
     def __init__(
@@ -54,6 +65,8 @@ class SizeEstimator:
         default_fraction: float = 0.05,
         fractions: Sequence[float] = DEFAULT_FRACTIONS,
         use_deduction: bool = True,
+        cache: EstimationCache | None = None,
+        engine: ParallelEngine | None = None,
     ) -> None:
         self.database = database
         self.stats = stats or DatabaseStats(database)
@@ -64,6 +77,9 @@ class SizeEstimator:
         self.default_fraction = default_fraction
         self.fractions = tuple(fractions)
         self.use_deduction = use_deduction
+        self.cache = cache
+        self.engine = engine
+        self._fingerprint: str | None = None
 
         self.sizer = AnalyticSizer(database, self.stats, self.manager)
         self.runner = SampleCFRunner(self.manager, self.sizer, error_model)
@@ -115,29 +131,51 @@ class SizeEstimator:
         self._cache[index] = est
         return est
 
+    @property
+    def sample_fingerprint(self) -> str:
+        """Digest of the sampled data + sampling seed (computed once);
+        persisted estimate keys embed it, so estimates can never be
+        replayed against changed data."""
+        if self._fingerprint is None:
+            self._fingerprint = sample_fingerprint(self.manager)
+        return self._fingerprint
+
     def estimate_many(
         self,
         indexes: Sequence[IndexDef],
         e: float | None = None,
         q: float | None = None,
     ) -> dict[IndexDef, SizeEstimate]:
-        """Plan + execute size estimation for a batch of indexes."""
+        """Plan + execute size estimation for a batch of indexes.
+
+        Consults the persistent :class:`EstimationCache` first (when
+        wired), fans SampleCF builds over the parallel engine (when
+        wired and worth it), and stores fresh estimates back.
+        """
         e = self.e if e is None else e
         q = self.q if q is None else q
-        pending = [
+        pending = list(dict.fromkeys(
             ix for ix in indexes
             if ix not in self._cache and ix.method.is_compressed
-        ]
+        ))
         for ix in indexes:
             if ix not in self._cache and not ix.method.is_compressed:
                 self.estimate(ix)
 
+        if self.cache is not None and pending:
+            fingerprint = self.sample_fingerprint
+            still_pending = []
+            for ix in pending:
+                hit = self.cache.get(ix, fingerprint, e, q)
+                if hit is not None:
+                    self._cache[ix] = hit
+                else:
+                    still_pending.append(ix)
+            pending = still_pending
+
         # Partial and MV indexes: direct SampleCF on their special samples.
         direct = [ix for ix in pending if ix.is_partial or ix.is_mv_index]
-        for ix in direct:
-            start = time.perf_counter()
-            self._cache[ix] = self.runner.run(ix, self.default_fraction)
-            self.timings[index_category(ix)] += time.perf_counter() - start
+        self._run_direct(direct)
 
         plain = [ix for ix in pending if not (ix.is_partial or ix.is_mv_index)]
         if plain:
@@ -158,6 +196,7 @@ class SizeEstimator:
             estimates = execute_plan(
                 plan, self.runner, self.deduction, self.error_model,
                 self.manager, exact_size_fn=self.true_size,
+                precomputed=self._parallel_sampled(plan),
             )
             for ix in plain:
                 key = node_key(ix)
@@ -173,7 +212,65 @@ class SizeEstimator:
                     )
             self.timings["table"] += time.perf_counter() - start
 
+        if self.cache is not None and pending:
+            fingerprint = self.sample_fingerprint
+            for ix in pending:
+                est = self._cache.get(ix)
+                if est is not None:
+                    self.cache.put(ix, fingerprint, e, q, est)
+            self.cache.save()
+
         return {ix: self._cache[ix] for ix in indexes}
+
+    # ------------------------------------------------------------------
+    def _parallelizable(self, count: int) -> bool:
+        return (
+            self.engine is not None
+            and self.engine.parallel
+            and not self.engine.in_session
+            and count >= self.engine.min_batch
+        )
+
+    def _run_direct(self, direct: list[IndexDef]) -> None:
+        """SampleCF for partial/MV indexes, fanned out when worth it."""
+        if not self._parallelizable(len(direct)):
+            for ix in direct:
+                start = time.perf_counter()
+                self._cache[ix] = self.runner.run(ix, self.default_fraction)
+                self.timings[index_category(ix)] += (
+                    time.perf_counter() - start
+                )
+            return
+        # Build the (partial/MV) samples in the parent so every worker
+        # inherits them at fork instead of re-deriving its own copy.
+        for ix in direct:
+            self.runner._sample_for(ix, self.default_fraction)
+        start = time.perf_counter()
+        payloads = [(ix, self.default_fraction) for ix in direct]
+        with self.engine.session(self):
+            results = self.engine.map(_samplecf_task, payloads, context=self)
+        elapsed = time.perf_counter() - start
+        for ix, est in zip(direct, results):
+            self._cache[ix] = est
+            self.timings[index_category(ix)] += elapsed / len(direct)
+
+    def _parallel_sampled(self, plan) -> dict | None:
+        """Pre-execute a plan's SAMPLED leaves on the pool (the deduced
+        nodes depend on them and stay sequential in the parent)."""
+        sampled = [
+            node.index
+            for node in plan.graph.nodes.values()
+            if node.state is NodeState.SAMPLED and not node.is_existing
+        ]
+        if not self._parallelizable(len(sampled)):
+            return None
+        for ix in sampled:
+            # Parent-side sample warm-up, inherited by the fork below.
+            self.runner._sample_for(ix, plan.fraction)
+        payloads = [(ix, plan.fraction) for ix in sampled]
+        with self.engine.session(self):
+            results = self.engine.map(_samplecf_task, payloads, context=self)
+        return {node_key(ix): est for ix, est in zip(sampled, results)}
 
     # ------------------------------------------------------------------
     def true_size(self, index: IndexDef) -> float:

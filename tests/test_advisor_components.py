@@ -23,7 +23,6 @@ from repro.physical import Configuration, IndexDef
 from repro.storage import IndexKind
 from repro.workload import (
     Aggregate,
-    Comparison,
     Join,
     SelectQuery,
     Workload,

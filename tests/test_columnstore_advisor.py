@@ -12,7 +12,6 @@ from repro.columnstore import (
     super_projection,
     tune_columnstore,
 )
-from repro.columnstore.advisor import UNCOMPRESSED_ONLY
 from repro.errors import AdvisorError, OptimizerError
 from repro.stats import DatabaseStats
 from repro.workload.expr import Comparison

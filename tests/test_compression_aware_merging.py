@@ -1,7 +1,6 @@
 """Tests for the compression-aware merging reshapes (Section 6.2's
 closing note): key permutations and included-column promotion."""
 
-import pytest
 
 from repro.advisor.merging import (
     compression_aware_variants,

@@ -21,7 +21,6 @@ from repro.sizeest import (
 from repro.sizeest.deduction import DeductionEngine, MultiColumnDistinct
 from repro.sizeest.graph import _segment_partitions
 from repro.sizeest.samplecf import SampleCFRunner
-from repro.stats import DatabaseStats
 from repro.storage import IndexKind
 
 

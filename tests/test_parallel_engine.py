@@ -1,0 +1,124 @@
+"""Tests for the parallel candidate-evaluation engine: deterministic
+ordering, the workers=1 sequential fallback, and — the core guarantee —
+byte-identical advisor recommendations against the sequential path."""
+
+import pytest
+
+from repro.advisor import AdvisorOptions, TuningAdvisor, tune
+from repro.datasets import sales_database, sales_workload
+from repro.parallel import ParallelEngine
+from repro.parallel.engine import fork_available
+
+
+def _square_task(context, item):
+    return (context["offset"] + item) ** 2
+
+
+def _failing_task(context, item):
+    if item == 3:
+        raise ValueError("boom")
+    return item
+
+
+class TestEngineMap:
+    def test_sequential_outside_session(self):
+        engine = ParallelEngine(workers=4)
+        ctx = {"offset": 1}
+        assert engine.map(_square_task, range(5), ctx) == [
+            1, 4, 9, 16, 25
+        ]
+        assert engine.parallel_maps == 0
+        assert engine.sequential_maps == 1
+
+    def test_workers_one_never_forks(self):
+        engine = ParallelEngine(workers=1)
+        assert not engine.parallel
+        with engine.session("ctx") as e:
+            assert not e.in_session
+            assert e.map(_square_task, [1, 2], {"offset": 0}) == [1, 4]
+        assert engine.parallel_maps == 0
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_parallel_map_preserves_order(self):
+        engine = ParallelEngine(workers=2)
+        ctx = {"offset": 2}
+        with engine.session(ctx):
+            result = engine.map(_square_task, range(8), ctx)
+        assert result == [(2 + i) ** 2 for i in range(8)]
+        assert engine.parallel_maps == 1
+        assert engine.tasks_dispatched == 8
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_other_context_falls_back_to_sequential(self):
+        engine = ParallelEngine(workers=2)
+        session_ctx = {"offset": 0}
+        other_ctx = {"offset": 10}
+        with engine.session(session_ctx):
+            result = engine.map(_square_task, [1, 2], other_ctx)
+        assert result == [121, 144]
+        assert engine.parallel_maps == 0
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_worker_exception_propagates(self):
+        engine = ParallelEngine(workers=2)
+        ctx = object()
+        with engine.session(ctx):
+            with pytest.raises(ValueError, match="boom"):
+                engine.map(_failing_task, [1, 2, 3, 4], ctx)
+
+    def test_nested_session_is_noop(self):
+        engine = ParallelEngine(workers=2)
+        if not engine.parallel:
+            pytest.skip("needs fork")
+        outer = {"offset": 0}
+        with engine.session(outer):
+            with engine.session({"offset": 5}):
+                # Inner context postdates the fork: must run sequentially.
+                assert engine.map(_square_task, [1, 2], {"offset": 5}) == [
+                    36, 49
+                ]
+            # The outer pool is still usable afterwards.
+            assert engine.map(_square_task, [3, 4], outer) == [9, 16]
+
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            ParallelEngine(workers=-1)
+        assert ParallelEngine(workers=0).workers >= 1
+
+
+@pytest.fixture(scope="module")
+def tuning_inputs():
+    db = sales_database(scale=0.04)
+    wl = sales_workload(db)
+    return db, wl, db.total_data_bytes() * 0.15
+
+
+class TestParallelAdvisor:
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_matches_sequential_byte_for_byte(self, tuning_inputs):
+        db, wl, budget = tuning_inputs
+        seq = tune(db, wl, budget, variant="dtac-both", workers=1)
+        par = tune(db, wl, budget, variant="dtac-both", workers=2)
+        assert par.configuration == seq.configuration
+        assert par.final_cost == seq.final_cost
+        assert par.base_cost == seq.base_cost
+        assert par.consumed_bytes == seq.consumed_bytes
+        assert par.steps == seq.steps
+        assert par.engine_stats["parallel_maps"] > 0
+
+    def test_workers_one_fallback_runs_sequentially(self, tuning_inputs):
+        db, wl, budget = tuning_inputs
+        result = tune(db, wl, budget, variant="dtac-none", workers=1)
+        assert result.engine_stats["parallel_maps"] == 0
+        assert result.engine_stats["tasks_dispatched"] == 0
+        assert result.improvement >= 0
+
+    def test_advisor_accepts_injected_engine(self, tuning_inputs):
+        db, wl, budget = tuning_inputs
+        engine = ParallelEngine(workers=1)
+        advisor = TuningAdvisor(
+            db, wl, AdvisorOptions(budget_bytes=budget), engine=engine
+        )
+        result = advisor.run()
+        assert advisor.engine is engine
+        assert result.engine_stats == engine.stats()

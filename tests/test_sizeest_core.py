@@ -15,7 +15,7 @@ from repro.sizeest import (
     SampleCFRunner,
     SizeEstimator,
 )
-from repro.storage import IndexKind, PAGE_SIZE
+from repro.storage import IndexKind
 from repro.workload import Comparison
 
 
