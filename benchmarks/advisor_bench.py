@@ -9,6 +9,11 @@ sequential path and tracks the numbers across PRs:
   recommendations and recording wall time + candidates/sec.
 * **cache** — the same session cold vs warm through the persistent
   :class:`EstimationCache`, recording the warm hit rate.
+* **sweep** — a 3-budget x 2-seed sweep through the sweep orchestration
+  API: run-level sharding (workers=1 vs N) checked byte-identical
+  against a sequential per-run ``tune()`` loop, then cold vs warm
+  through the persistent what-if :class:`CostCache` with the warm
+  cost-cache hit rate recorded.
 * **fig9** — the paper's Figure 9 SampleCF error sweep (TPC-H index
   population x sampling fractions), the estimation-bound workload where
   the fan-out pays off most, sequential vs parallel with an
@@ -43,6 +48,7 @@ sys.path.insert(
 )
 
 from repro.advisor.advisor import tune  # noqa: E402
+from repro.advisor.sweep import run_sweep  # noqa: E402
 from repro.compression.base import CompressionMethod  # noqa: E402
 from repro.datasets.sales import sales_database, sales_workload  # noqa: E402
 from repro.experiments.common import (  # noqa: E402
@@ -53,6 +59,15 @@ from repro.experiments.common import (  # noqa: E402
 from repro.experiments.samplecf_errors import ErrorLab  # noqa: E402
 from repro.experiments.table2_error_fit import FRACTIONS  # noqa: E402
 from repro.parallel.engine import ParallelEngine, fork_available  # noqa: E402
+from repro.sampling.sample_manager import (  # noqa: E402
+    DEFAULT_SAMPLE_SEED,
+    SampleManager,
+)
+from repro.sizeest.estimator import SizeEstimator  # noqa: E402
+
+#: The sweep grid: the acceptance bar is >=3 budgets x 2 seeds.
+SWEEP_BUDGET_FRACTIONS = (0.1, 0.15, 0.2)
+SWEEP_SEEDS = (DEFAULT_SAMPLE_SEED, DEFAULT_SAMPLE_SEED + 1)
 
 
 def _fig9_task(lab: ErrorLab, index) -> list[float]:
@@ -143,6 +158,122 @@ def run_cache_section(args) -> dict:
     }
 
 
+def _same_results(a, b) -> bool:
+    if len(a) != len(b):
+        return False
+    return all(
+        ra.configuration == rb.configuration
+        and ra.final_cost == rb.final_cost
+        and ra.base_cost == rb.base_cost
+        and ra.consumed_bytes == rb.consumed_bytes
+        and ra.steps == rb.steps
+        for ra, rb in zip(a, b)
+    )
+
+
+def run_sweep_section(args) -> dict:
+    """The sweep orchestration benchmark: sequential tune() loop vs the
+    sharded sweep API (identity checked), then cold vs warm through the
+    persistent what-if cost cache."""
+    db = sales_database(scale=args.scale, seed=args.seed)
+    wl = sales_workload(db)
+    total = db.total_data_bytes()
+    budgets = [total * fraction for fraction in SWEEP_BUDGET_FRACTIONS]
+    variant = args.variant
+
+    # Ground truth: independent per-run tune() calls, fresh estimator
+    # per (seed, budget), exactly what the sweep must reproduce.
+    t0 = time.perf_counter()
+    loop_results = []
+    for seed in SWEEP_SEEDS:
+        for budget in budgets:
+            estimator = SizeEstimator(
+                db, manager=SampleManager(db, seed=seed)
+            )
+            loop_results.append(
+                tune(db, wl, budget, variant=variant, estimator=estimator)
+            )
+    loop_wall = time.perf_counter() - t0
+
+    cache_dir = args.sweep_cache_dir or tempfile.mkdtemp(
+        prefix="repro-bench-sweep-"
+    )
+    # workers=1 arm doubles as the cold-cache arm: cold units see the
+    # empty pre-sweep snapshot, so caching cannot move their results.
+    t0 = time.perf_counter()
+    cold = run_sweep(
+        db, wl, budgets, seeds=SWEEP_SEEDS, variant=variant,
+        workers=1, cache_dir=cache_dir,
+    )
+    cold_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = run_sweep(
+        db, wl, budgets, seeds=SWEEP_SEEDS, variant=variant,
+        workers=args.workers,
+    )
+    sharded_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = run_sweep(
+        db, wl, budgets, seeds=SWEEP_SEEDS, variant=variant,
+        workers=1, cache_dir=cache_dir,
+    )
+    warm_wall = time.perf_counter() - t0
+
+    return {
+        "dataset": "sales",
+        "scale": args.scale,
+        "variant": variant,
+        "budget_fractions": list(SWEEP_BUDGET_FRACTIONS),
+        "seeds": list(SWEEP_SEEDS),
+        "runs": len(cold.runs),
+        "tune_loop_wall_seconds": round(loop_wall, 4),
+        "sweep_workers1_wall_seconds": round(cold_wall, 4),
+        "sweep_sharded": {
+            "workers": args.workers,
+            "wall_seconds": round(sharded_wall, 4),
+            "engine": sharded.engine_stats,
+            "speedup_vs_loop": round(loop_wall / sharded_wall, 3),
+        },
+        "identical_to_tune_loop": _same_results(
+            [run.result for run in cold.runs], loop_results
+        ),
+        "identical_across_workers": _same_results(
+            [run.result for run in cold.runs],
+            [run.result for run in sharded.runs],
+        ),
+        "cache_dir": cache_dir,
+        "cold": {
+            "wall_seconds": round(cold_wall, 4),
+            "cost_cache": cold.cost_cache_stats,
+            "estimation_cache": cold.estimation_cache_stats,
+        },
+        "warm": {
+            "wall_seconds": round(warm_wall, 4),
+            "cost_cache": warm.cost_cache_stats,
+            "estimation_cache": warm.estimation_cache_stats,
+        },
+        "warm_cost_hit_rate": warm.cost_cache_stats.get("hit_rate", 0.0),
+        "warm_speedup": round(cold_wall / warm_wall, 3),
+        "identical_cold_vs_warm": _same_results(
+            [run.result for run in cold.runs],
+            [run.result for run in warm.runs],
+        ),
+        "results": [
+            {
+                "seed": run.seed,
+                "budget_fraction": round(run.budget_bytes / total, 6),
+                "improvement_pct": run.result.improvement_pct,
+                "final_cost": run.result.final_cost,
+                "consumed_bytes": run.result.consumed_bytes,
+                "configuration": _config_names(run.result),
+            }
+            for run in cold.runs
+        ],
+    }
+
+
 def run_fig9_section(args) -> dict:
     db = get_tpch(args.fig9_scale)
     indexes = index_population(db, TPCH_ERROR_KEYSETS)
@@ -217,9 +348,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="TPC-H scale for the Fig. 9 SampleCF sweep")
     parser.add_argument("--skip-fig9", action="store_true")
     parser.add_argument("--skip-cache", action="store_true")
+    parser.add_argument("--skip-sweep", action="store_true")
     parser.add_argument("--cache-dir", default=None,
                         help="reuse a cache directory instead of a "
                              "fresh temporary one")
+    parser.add_argument("--sweep-cache-dir", default=None,
+                        help="reuse a sweep cost-cache directory instead "
+                             "of a fresh temporary one")
     parser.add_argument("--output", default="BENCH_advisor.json")
     return parser
 
@@ -245,6 +380,10 @@ def main(argv: list[str] | None = None) -> int:
     if not args.skip_cache:
         print("[bench] cache: cold vs warm", flush=True)
         payload["cache"] = run_cache_section(args)
+    if not args.skip_sweep:
+        print(f"[bench] sweep: {len(SWEEP_BUDGET_FRACTIONS)} budgets x "
+              f"{len(SWEEP_SEEDS)} seeds", flush=True)
+        payload["sweep"] = run_sweep_section(args)
     if not args.skip_fig9:
         print(f"[bench] fig9: tpch scale={args.fig9_scale}", flush=True)
         payload["fig9"] = run_fig9_section(args)
@@ -258,11 +397,25 @@ def main(argv: list[str] | None = None) -> int:
     if "cache" in payload:
         print(f"[bench] warm cache hit rate "
               f"{payload['cache']['warm_hit_rate']:.2%}")
+    if "sweep" in payload:
+        sw = payload["sweep"]
+        print(f"[bench] sweep identical: tune-loop={sw['identical_to_tune_loop']} "
+              f"workers={sw['identical_across_workers']} "
+              f"warm={sw['identical_cold_vs_warm']}; "
+              f"warm cost-cache hit rate {sw['warm_cost_hit_rate']:.2%} "
+              f"(x{sw['warm_speedup']} faster warm)")
     if "fig9" in payload:
         print(f"[bench] fig9 speedup x{payload['fig9']['speedup']} "
               f"(identical={payload['fig9']['identical_errors']})")
-    ok = adv["identical_recommendations"] and payload.get("fig9", {}).get(
-        "identical_errors", True
+    sweep_ok = all(
+        payload.get("sweep", {}).get(flag, True)
+        for flag in ("identical_to_tune_loop", "identical_across_workers",
+                     "identical_cold_vs_warm")
+    )
+    ok = (
+        adv["identical_recommendations"]
+        and sweep_ok
+        and payload.get("fig9", {}).get("identical_errors", True)
     )
     return 0 if ok else 1
 

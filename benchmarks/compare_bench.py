@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""Bench-regression gate: diff a fresh ``BENCH_advisor.json`` against
+the committed baseline and fail CI on real regressions.
+
+Three classes of check, in decreasing strictness:
+
+* **Determinism flags** (hard): every ``identical_*`` flag in the fresh
+  run must be true — the parallel/sharded/cached paths must reproduce
+  the sequential results on the runner, not just on the machine that
+  committed the baseline.
+* **Recommendation drift** (hard): the recommended configurations,
+  final costs and improvement percentages must match the baseline.
+  These are pure-Python deterministic given the committed seeds, so any
+  drift is a behavior change that needs a deliberate baseline update
+  (rerun the bench and commit the new file alongside the code change).
+* **Cache hit rates** (hard, small slack) and **wall time** (generous
+  ratio): warm-cache hit rates must not regress beyond ``--hit-slack``;
+  wall-clock may drift up to ``--wall-tolerance`` x the baseline, since
+  runner hardware and core counts vary.
+
+Usage::
+
+    python benchmarks/compare_bench.py \
+        --baseline BENCH_advisor.json --fresh BENCH_fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Sections and the parameters that must agree before any comparison is
+#: meaningful; a mismatch means the bench invocations differ, which the
+#: gate treats as a configuration error, not a measurement.
+_PARAM_KEYS = {
+    "advisor": ("dataset", "scale", "budget_fraction", "variant"),
+    "cache": (),
+    "sweep": ("dataset", "scale", "variant", "budget_fractions", "seeds"),
+    "fig9": ("dataset", "scale", "population", "fractions"),
+}
+
+#: (section, key) wall-clock figures compared under --wall-tolerance.
+_WALL_KEYS = (
+    ("advisor", ("sequential", "wall_seconds")),
+    ("cache", ("warm", "wall_seconds")),
+    ("sweep", ("sweep_workers1_wall_seconds",)),
+    ("sweep", ("warm", "wall_seconds")),
+    ("fig9", ("sequential_wall_seconds",)),
+)
+
+#: Warm hit rates gated against regression (and an absolute floor for
+#: the sweep cost cache: the acceptance bar is >90% on a warm sweep).
+_HIT_RATE_KEYS = (
+    ("cache", ("warm_hit_rate",), 0.0),
+    ("sweep", ("warm_cost_hit_rate",), 0.9),
+)
+
+
+def _dig(payload: dict, path: tuple) -> object:
+    node: object = payload
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def _close(a: float, b: float, rel: float = 1e-9) -> bool:
+    return abs(a - b) <= rel * max(abs(a), abs(b), 1.0)
+
+
+def _identity_flags(payload: dict, section: str) -> list[tuple[str, bool]]:
+    flags = []
+    for key, value in payload.get(section, {}).items():
+        if key.startswith("identical") and isinstance(value, bool):
+            flags.append((f"{section}.{key}", value))
+    return flags
+
+
+class Gate:
+    def __init__(self) -> None:
+        self.failures: list[str] = []
+        self.notes: list[str] = []
+
+    def fail(self, message: str) -> None:
+        self.failures.append(message)
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+
+def compare(baseline: dict, fresh: dict, wall_tolerance: float,
+            hit_slack: float) -> Gate:
+    gate = Gate()
+
+    for section, keys in _PARAM_KEYS.items():
+        if section not in baseline or section not in fresh:
+            if section in baseline and section not in fresh:
+                gate.fail(f"section {section!r} present in baseline but "
+                          "missing from the fresh run")
+            continue
+        for key in keys:
+            if baseline[section].get(key) != fresh[section].get(key):
+                gate.fail(
+                    f"{section}.{key} config mismatch: baseline "
+                    f"{baseline[section].get(key)!r} vs fresh "
+                    f"{fresh[section].get(key)!r} — rerun the bench with "
+                    "the baseline's parameters (see ci.yml)"
+                )
+    if gate.failures:
+        return gate  # comparisons below would be meaningless
+
+    # 1. Determinism flags on the fresh run.
+    for section in _PARAM_KEYS:
+        for name, value in _identity_flags(fresh, section):
+            if not value:
+                gate.fail(f"fresh run broke determinism: {name} is false")
+            else:
+                gate.note(f"ok {name}")
+
+    # 2. Recommendation drift vs the baseline.
+    base_result = _dig(baseline, ("advisor", "result"))
+    fresh_result = _dig(fresh, ("advisor", "result"))
+    if base_result and fresh_result:
+        if base_result.get("configuration") != fresh_result.get("configuration"):
+            gate.fail(
+                "advisor recommendation drifted:\n"
+                f"  baseline: {base_result.get('configuration')}\n"
+                f"  fresh:    {fresh_result.get('configuration')}"
+            )
+        for key in ("final_cost", "improvement_pct"):
+            a, b = base_result.get(key), fresh_result.get(key)
+            if isinstance(a, (int, float)) and isinstance(b, (int, float)) \
+                    and not _close(a, b):
+                gate.fail(f"advisor.result.{key} drifted: {a!r} -> {b!r}")
+        if not gate.failures:
+            gate.note("ok advisor recommendation matches baseline")
+    base_runs = _dig(baseline, ("sweep", "results")) or []
+    fresh_runs = _dig(fresh, ("sweep", "results")) or []
+    if base_runs and fresh_runs:
+        if len(base_runs) != len(fresh_runs):
+            gate.fail(f"sweep run count drifted: {len(base_runs)} -> "
+                      f"{len(fresh_runs)}")
+        def _run_drifted(b: dict, f: dict) -> bool:
+            if b.get("configuration") != f.get("configuration"):
+                return True
+            for key in ("final_cost", "improvement_pct"):
+                a, c = b.get(key), f.get(key)
+                if not isinstance(a, (int, float)) \
+                        or not isinstance(c, (int, float)):
+                    return True  # missing numbers are drift, not a pass
+                if not _close(a, c):
+                    return True
+            return False
+
+        drifted = [
+            f"seed={b.get('seed')} budget={b.get('budget_fraction')}"
+            for b, f in zip(base_runs, fresh_runs)
+            if _run_drifted(b, f)
+        ]
+        if drifted:
+            gate.fail("sweep recommendations drifted for: " + ", ".join(drifted))
+        else:
+            gate.note(f"ok all {len(base_runs)} sweep recommendations match")
+
+    # 3. Warm-cache hit rates.
+    for section, path, floor in _HIT_RATE_KEYS:
+        base_rate = _dig(baseline, (section,) + path)
+        fresh_rate = _dig(fresh, (section,) + path)
+        if not isinstance(fresh_rate, (int, float)):
+            continue
+        if fresh_rate < floor:
+            gate.fail(f"{section}.{'.'.join(path)} below floor: "
+                      f"{fresh_rate:.2%} < {floor:.0%}")
+        elif isinstance(base_rate, (int, float)) \
+                and fresh_rate < base_rate - hit_slack:
+            gate.fail(f"{section}.{'.'.join(path)} regressed: "
+                      f"{base_rate:.2%} -> {fresh_rate:.2%}")
+        else:
+            gate.note(f"ok {section}.{'.'.join(path)} = {fresh_rate:.2%}")
+
+    # 4. Wall time, with a generous ratio (runner hardware varies).
+    for section, path in _WALL_KEYS:
+        base_wall = _dig(baseline, (section,) + path)
+        fresh_wall = _dig(fresh, (section,) + path)
+        if not isinstance(base_wall, (int, float)) \
+                or not isinstance(fresh_wall, (int, float)) \
+                or base_wall <= 0:
+            continue
+        ratio = fresh_wall / base_wall
+        label = f"{section}.{'.'.join(path)}"
+        if ratio > wall_tolerance:
+            gate.fail(f"{label} wall time blew past tolerance: "
+                      f"{base_wall:.2f}s -> {fresh_wall:.2f}s "
+                      f"(x{ratio:.1f} > x{wall_tolerance:.1f})")
+        else:
+            gate.note(f"ok {label} {fresh_wall:.2f}s (x{ratio:.2f})")
+    return gate
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Fail on bench regressions vs the committed baseline"
+    )
+    parser.add_argument("--baseline", default="BENCH_advisor.json",
+                        help="committed baseline JSON")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly generated bench JSON")
+    parser.add_argument("--wall-tolerance", type=float, default=5.0,
+                        help="max fresh/baseline wall-clock ratio "
+                             "(generous: runner core counts vary)")
+    parser.add_argument("--hit-slack", type=float, default=0.02,
+                        help="allowed absolute warm hit-rate drop")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        baseline = json.loads(Path(args.baseline).read_text())
+        fresh = json.loads(Path(args.fresh).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"[compare] cannot load inputs: {exc}")
+        return 1
+    gate = compare(baseline, fresh, args.wall_tolerance, args.hit_slack)
+    for note in gate.notes:
+        print(f"[compare] {note}")
+    for failure in gate.failures:
+        print(f"[compare] FAIL: {failure}")
+    if gate.failures:
+        print(f"[compare] {len(gate.failures)} regression(s) vs "
+              f"{args.baseline}")
+        return 1
+    print(f"[compare] no regressions vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,9 @@ Quickstart::
 from repro.advisor import (
     AdvisorOptions,
     AdvisorResult,
+    SweepResult,
     TuningAdvisor,
+    run_sweep,
     tune,
     tune_decoupled,
 )
@@ -90,6 +92,8 @@ __all__ = [
     "AdvisorResult",
     "tune",
     "tune_decoupled",
+    "run_sweep",
+    "SweepResult",
     # engine
     "Executor",
     "validate_recommendation",

@@ -20,6 +20,7 @@ from repro.advisor.enumeration import (
     Enumerator,
 )
 from repro.advisor.merging import generate_merged_candidates, merge_pair
+from repro.advisor.sweep import SweepResult, SweepRun, run_sweep
 from repro.advisor.selection import (
     CandidateConfiguration,
     cluster_skyline,
@@ -36,6 +37,9 @@ __all__ = [
     "VARIANTS",
     "tune",
     "tune_decoupled",
+    "run_sweep",
+    "SweepResult",
+    "SweepRun",
     "CandidateOptions",
     "candidate_indexes",
     "expand_compression_variants",

@@ -5,6 +5,7 @@ merging, enumeration — with the compression extensions of Sections 4-6.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from repro.advisor.candidates import (
@@ -33,7 +34,7 @@ from repro.compression.base import CompressionMethod
 from repro.errors import AdvisorError
 from repro.optimizer.constants import DEFAULT_COST_CONSTANTS, CostConstants
 from repro.optimizer.whatif import WhatIfOptimizer
-from repro.parallel.cache import EstimationCache
+from repro.parallel.cache import CostCache, EstimationCache
 from repro.parallel.engine import ParallelEngine
 from repro.physical.configuration import Configuration
 from repro.physical.index_def import IndexDef
@@ -58,7 +59,14 @@ class AdvisorOptions:
 
     ``workers`` > 1 fans candidate evaluation over a process pool
     (``0`` = one per CPU); results are identical to ``workers=1``.
-    ``cache_dir`` persists size estimates across runs.
+    ``cache_dir`` persists size estimates *and* what-if costs across
+    runs (``estimates.json`` / ``costs.json`` in the same directory).
+    Caveat: with ``workers`` > 1 the enumeration costings happen in
+    forked workers whose cost-cache entries die with the pool, so only
+    parent-side costs are persisted from a single parallel run —
+    :func:`repro.advisor.run_sweep` is the path that combines full
+    cost persistence with parallelism (its shard unit is a whole run,
+    costed in-process).
     """
 
     budget_bytes: float
@@ -103,6 +111,11 @@ class AdvisorResult:
     #: persistent estimation-cache counters for this run (empty when no
     #: cache is wired); see :meth:`EstimationCache.stats`.
     cache_stats: dict = field(default_factory=dict)
+    #: persistent what-if cost-cache counters for this run (empty when
+    #: no cache is wired); see :meth:`CostCache.stats`.  Parent-process
+    #: counters only — like :attr:`optimizer_calls`, worker-side
+    #: lookups/stores with ``workers > 1`` die with the pool.
+    cost_cache_stats: dict = field(default_factory=dict)
     #: parallel-engine counters for this run; see :meth:`ParallelEngine.stats`.
     engine_stats: dict = field(default_factory=dict)
     #: what-if optimizer invocations in the *parent* process only —
@@ -153,12 +166,14 @@ class TuningAdvisor:
         constants: CostConstants = DEFAULT_COST_CONSTANTS,
         base_config: Configuration | None = None,
         engine: ParallelEngine | None = None,
+        cost_cache: CostCache | None = None,
     ) -> None:
         self.database = database
         self.workload = workload
         self.options = options
         self.stats = stats or DatabaseStats(database)
         self.engine = engine or ParallelEngine(options.workers)
+        self._constants = constants
         cache = (
             EstimationCache(options.cache_dir)
             if options.cache_dir is not None
@@ -177,8 +192,13 @@ class TuningAdvisor:
             if estimator.engine is None and self.engine.parallel:
                 estimator.engine = self.engine
         self.estimator = estimator
+        if cost_cache is None and options.cache_dir is not None:
+            cost_cache = CostCache(options.cache_dir)
+        self.cost_cache = cost_cache
         self.whatif = WhatIfOptimizer(
-            database, self.stats, sizes=self._size_lookup, constants=constants
+            database, self.stats, sizes=self._size_lookup,
+            constants=constants, cost_cache=cost_cache,
+            cost_context=self._cost_context,
         )
         self.base_config = base_config or self.default_base_configuration()
         self._original_base_sizes = {
@@ -206,6 +226,25 @@ class TuningAdvisor:
             self._index_size(index),
             self.estimator.sizer.estimated_rows(index),
         )
+
+    def _cost_context(self) -> str:
+        """Fingerprint of every run-level input a persisted what-if cost
+        depends on beyond the (statement, sized structures) key: the
+        sampled data behind the size estimates, the accuracy constraint
+        that shaped them, and the cost constants.  Resolved lazily on
+        the first persistent cost lookup (the sample fingerprint is an
+        O(rows) scan, computed once per estimator)."""
+        est = self.estimator
+        material = (
+            f"fp={est.sample_fingerprint};"
+            f"opts_e={self.options.e!r};opts_q={self.options.q!r};"
+            f"est_e={est.e!r};est_q={est.q!r};"
+            f"deduction={est.use_deduction};"
+            f"default_fraction={est.default_fraction!r};"
+            f"fractions={est.fractions!r};"
+            f"constants={self._constants!r}"
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
 
     def _workload_cost(self, config: Configuration) -> float:
         return self.whatif.workload_cost(self.workload, config)
@@ -360,6 +399,11 @@ class TuningAdvisor:
             enum_options,
             batch_cost=self._batch_workload_cost,
         )
+        if self.cost_cache is not None:
+            # Resolve the persistent-key context (an O(rows) sample
+            # fingerprint) in the parent, so enumeration workers inherit
+            # it through fork instead of each recomputing it.
+            self.whatif._context()
         base_cost = self._workload_cost(self.base_config)
         # Forked here: workers inherit the full estimate/sample state,
         # and each greedy sweep fans its candidate costings out.
@@ -369,6 +413,8 @@ class TuningAdvisor:
         sizes = {
             ix: self._index_size(ix) for ix in result.configuration
         }
+        if self.cost_cache is not None:
+            self.cost_cache.save()
         return AdvisorResult(
             configuration=result.configuration,
             base_configuration=self.base_config,
@@ -384,6 +430,10 @@ class TuningAdvisor:
             cache_stats=(
                 self.estimator.cache.stats()
                 if self.estimator.cache is not None else {}
+            ),
+            cost_cache_stats=(
+                self.cost_cache.stats()
+                if self.cost_cache is not None else {}
             ),
             engine_stats=self.engine.stats(),
             optimizer_calls=self.whatif.optimizer_calls,

@@ -1,0 +1,276 @@
+"""Sweep orchestration: a whole budget sweep / multi-seed ablation as
+one job.
+
+The paper's design experiments are dominated by *repeated* advisor runs
+over the same workload — budget sweeps (Figures 12-17), sampling-seed
+ablations, estimator comparisons.  PR 1's engine parallelizes within a
+single run (one SampleCF batch, one configuration sweep); this module
+shards at the level above: the work unit is an **entire advisor run**,
+and one long-lived :class:`ParallelEngine` session serves every greedy
+step of every (budget, seed) combination.
+
+Determinism contract
+--------------------
+``run_sweep`` returns byte-identical :class:`AdvisorResult`\\ s to
+looping :func:`repro.advisor.tune` sequentially with the same per-run
+wiring, at any worker count.  Three design choices make that hold:
+
+* Each run unit gets a **fresh** :class:`SizeEstimator` (its own
+  :class:`SampleManager` seeded with the unit's seed), so no run's
+  in-memory estimate state can steer another's deduction planning.
+* Each run unit gets a :meth:`fork_view` snapshot of the persistent
+  caches as they stood *before the sweep started* — whether the unit
+  executes in the parent (``workers=1``) or in a forked worker, it sees
+  the identical cache state; entries a sibling persists mid-sweep are
+  invisible.  Fresh entries still merge into the shared cache directory
+  on save, so the *next* sweep runs warm.
+* What-if cost entries are keyed on the statement x sized-structure
+  signatures (see :class:`repro.parallel.cache.CostCache`), so a cost
+  hit replays arithmetic that is identical by construction — a warm
+  cost cache can skip costing entirely without moving any result.
+
+Shared state that is *safe* to share — the database, the workload, and
+:class:`DatabaseStats` (a pure function of the data) — is built once
+and inherited by every worker through fork memory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.advisor.advisor import (
+    AdvisorOptions,
+    AdvisorResult,
+    TuningAdvisor,
+    VARIANTS,
+)
+from repro.catalog.schema import Database
+from repro.errors import AdvisorError
+from repro.parallel.cache import CostCache, EstimationCache
+from repro.parallel.engine import ParallelEngine
+from repro.sampling.sample_manager import DEFAULT_SAMPLE_SEED, SampleManager
+from repro.sizeest.estimator import SizeEstimator
+from repro.stats.column_stats import DatabaseStats
+from repro.workload.query import Workload
+
+
+@dataclass
+class SweepRun:
+    """One completed unit of a sweep: the advisor result for a
+    (sampling seed, storage budget) combination."""
+
+    seed: int
+    budget_bytes: float
+    result: AdvisorResult
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one sweep job.
+
+    ``runs`` is ordered seeds-outer, budgets-inner — the same order a
+    sequential ``for seed: for budget: tune(...)`` loop would produce.
+    Cache stats are aggregated across every unit (sums of hits/misses/
+    stores, recomputed hit rate).
+    """
+
+    runs: list[SweepRun] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    workers: int = 1
+    engine_stats: dict = field(default_factory=dict)
+    estimation_cache_stats: dict = field(default_factory=dict)
+    cost_cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def results(self) -> list[AdvisorResult]:
+        return [run.result for run in self.runs]
+
+    def run_for(self, budget_bytes: float,
+                seed: int | None = None) -> AdvisorResult:
+        """The result for one (budget, seed); seed defaults to the
+        sweep's only seed when unambiguous."""
+        matches = [
+            run for run in self.runs
+            if run.budget_bytes == budget_bytes
+            and (seed is None or run.seed == seed)
+        ]
+        if len(matches) != 1:
+            raise AdvisorError(
+                f"{len(matches)} sweep runs match budget={budget_bytes!r} "
+                f"seed={seed!r}"
+            )
+        return matches[0].result
+
+
+def _aggregate_cache_stats(per_run: Sequence[dict]) -> dict:
+    """Sum per-run cache counters into sweep totals (empty when no run
+    had a cache wired)."""
+    agg = {"hits": 0, "misses": 0, "stores": 0, "entries": 0}
+    seen = False
+    for stats in per_run:
+        if not stats:
+            continue
+        seen = True
+        for key in ("hits", "misses", "stores"):
+            agg[key] += stats.get(key, 0)
+        agg["entries"] = max(agg["entries"], stats.get("entries", 0))
+    if not seen:
+        return {}
+    lookups = agg["hits"] + agg["misses"]
+    agg["hit_rate"] = agg["hits"] / lookups if lookups else 0.0
+    return agg
+
+
+class _SweepJob:
+    """The fork context of one sweep: everything a worker needs to run
+    any unit, inherited through fork memory (never pickled)."""
+
+    def __init__(
+        self,
+        database: Database,
+        workload: Workload,
+        units: list[tuple[int, float]],
+        variant: str,
+        options_extra: dict,
+        stats: DatabaseStats,
+        estimation_cache: EstimationCache | None,
+        cost_cache: CostCache | None,
+    ) -> None:
+        self.database = database
+        self.workload = workload
+        self.units = units
+        self.variant = variant
+        self.options_extra = options_extra
+        self.stats = stats
+        self.estimation_cache = estimation_cache
+        self.cost_cache = cost_cache
+
+    def run_unit(self, index: int) -> AdvisorResult:
+        """Run one (seed, budget) unit against a snapshot view of the
+        pre-sweep cache state; identical in parent and worker."""
+        seed, budget = self.units[index]
+        options = AdvisorOptions(
+            budget_bytes=budget,
+            **{**VARIANTS[self.variant], **self.options_extra},
+        )
+        estimator = SizeEstimator(
+            self.database,
+            stats=self.stats,
+            manager=SampleManager(self.database, seed=seed),
+            e=options.e,
+            q=options.q,
+            cache=(
+                self.estimation_cache.fork_view()
+                if self.estimation_cache is not None else None
+            ),
+        )
+        advisor = TuningAdvisor(
+            self.database,
+            self.workload,
+            options,
+            estimator=estimator,
+            stats=self.stats,
+            engine=ParallelEngine(workers=1),
+            cost_cache=(
+                self.cost_cache.fork_view()
+                if self.cost_cache is not None else None
+            ),
+        )
+        return advisor.run()
+
+
+def _run_unit_task(job: _SweepJob, index: int) -> AdvisorResult:
+    """Worker task: one whole advisor run (the sweep's shard unit)."""
+    return job.run_unit(index)
+
+
+def run_sweep(
+    database: Database,
+    workload: Workload,
+    budgets: Sequence[float],
+    *,
+    seeds: Sequence[int] | None = None,
+    variant: str = "dtac-both",
+    workers: int = 1,
+    cache_dir: str | None = None,
+    stats: DatabaseStats | None = None,
+    engine: ParallelEngine | None = None,
+    **options_extra,
+) -> SweepResult:
+    """Run a full budget sweep / seed ablation as one sharded job.
+
+    Args:
+        database/workload: what to tune.
+        budgets: absolute storage budgets in bytes, one advisor run per
+            (seed, budget).
+        seeds: sampling seeds to ablate over (default: the estimator's
+            standard seed, i.e. a plain budget sweep).
+        variant: advisor variant name (see :data:`VARIANTS`).
+        workers: pool size for run-level sharding (0 = one per CPU,
+            1 = sequential); results are identical at any value.
+        cache_dir: directory for the persistent size-estimate and
+            what-if cost caches, shared by every unit and across sweeps
+            (a rerun of the same sweep skips costing almost entirely).
+        stats: precomputed :class:`DatabaseStats` (built once if
+            omitted).
+        engine: injected :class:`ParallelEngine` (tests); overrides
+            ``workers``.
+        **options_extra: extra :class:`AdvisorOptions` fields applied to
+            every unit (e.g. ``e=0.25``, ``enable_mv=True``).
+
+    Returns:
+        A :class:`SweepResult`, runs ordered seeds-outer budgets-inner.
+    """
+    if variant not in VARIANTS:
+        raise AdvisorError(
+            f"unknown variant {variant!r}; choose from {sorted(VARIANTS)}"
+        )
+    for reserved in ("workers", "cache_dir", "budget_bytes"):
+        if reserved in options_extra:
+            raise AdvisorError(
+                f"pass {reserved!r} as a run_sweep argument, not via "
+                "advisor options — the sweep owns engine and cache wiring"
+            )
+    if not budgets:
+        raise AdvisorError("run_sweep needs at least one budget")
+    seeds = tuple(seeds) if seeds else (DEFAULT_SAMPLE_SEED,)
+    units = [(seed, float(budget)) for seed in seeds for budget in budgets]
+
+    start = time.perf_counter()
+    stats = stats or DatabaseStats(database)
+    estimation_cache = (
+        EstimationCache(cache_dir) if cache_dir is not None else None
+    )
+    cost_cache = CostCache(cache_dir) if cache_dir is not None else None
+    job = _SweepJob(
+        database, workload, units, variant, dict(options_extra),
+        stats, estimation_cache, cost_cache,
+    )
+    engine = engine or ParallelEngine(workers)
+    if engine.parallel and len(units) >= engine.min_batch:
+        # One session for the whole sweep: workers fork once, inherit
+        # the database/stats/cache snapshot, and serve every greedy
+        # step of every unit until the sweep ends.
+        with engine.session(job):
+            results = engine.map(_run_unit_task, range(len(units)), job)
+    else:
+        results = [job.run_unit(i) for i in range(len(units))]
+
+    runs = [
+        SweepRun(seed=seed, budget_bytes=budget, result=result)
+        for (seed, budget), result in zip(units, results)
+    ]
+    return SweepResult(
+        runs=runs,
+        elapsed_seconds=time.perf_counter() - start,
+        workers=engine.workers,
+        engine_stats=engine.stats(),
+        estimation_cache_stats=_aggregate_cache_stats(
+            [run.result.cache_stats for run in runs]
+        ),
+        cost_cache_stats=_aggregate_cache_stats(
+            [run.result.cost_cache_stats for run in runs]
+        ),
+    )

@@ -1,10 +1,12 @@
 """Command-line interface:
-``python -m repro tune|estimate|experiments|validate|columnstore``.
+``python -m repro tune|sweep|estimate|experiments|validate|columnstore``.
 
 Examples::
 
     python -m repro tune --dataset tpch --scale 0.2 --budget 0.15 \
         --variant dtac-both --select-weight 10
+    python -m repro sweep --dataset sales --budgets 0.1,0.2,0.3 \
+        --seeds 1,2 --workers 4 --cache-dir .repro-cache
     python -m repro estimate --dataset tpch --scale 0.2
     python -m repro experiments --only table4_graph_quality
     python -m repro validate --dataset tpch --budget 0.3
@@ -17,7 +19,7 @@ import argparse
 import importlib
 import sys
 
-from repro.advisor import VARIANTS, tune
+from repro.advisor import VARIANTS, run_sweep, tune
 from repro.datasets import (
     sales_database,
     sales_workload,
@@ -57,6 +59,46 @@ def cmd_tune(args) -> int:
     for ix in sorted(result.configuration, key=lambda i: i.display_name()):
         print(f"  {ix.display_name():58s} "
               f"{result.sizes[ix] / 1024:8.0f} KiB")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    db, wl = _make_dataset(args)
+    total = db.total_data_bytes()
+    budgets = [total * fraction for fraction in args.budgets]
+    result = run_sweep(
+        db, wl, budgets,
+        seeds=args.seeds,
+        variant=args.variant,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        enable_partial=args.all_features,
+        enable_mv=args.all_features,
+    )
+    print(f"database {db.name}: {total / 1024:.0f} KiB raw, "
+          f"variant {args.variant}, {len(result.runs)} runs "
+          f"({len(args.budgets)} budgets x "
+          f"{len(args.seeds) if args.seeds else 1} seeds), "
+          f"workers={result.workers}, "
+          f"{result.elapsed_seconds:.1f}s total")
+    print(f"{'seed':>10s} {'budget%':>8s} {'improve%':>9s} "
+          f"{'consumed KiB':>13s} {'run s':>7s}")
+    for run in result.runs:
+        outcome = run.result
+        print(f"{run.seed:>10d} "
+              f"{100.0 * run.budget_bytes / total:>8.1f} "
+              f"{outcome.improvement_pct:>9.1f} "
+              f"{outcome.consumed_bytes / 1024:>13.0f} "
+              f"{outcome.elapsed_seconds:>7.1f}")
+    if result.estimation_cache_stats:
+        est, cost = result.estimation_cache_stats, result.cost_cache_stats
+        print(f"size-estimate cache: {est['hit_rate']:.1%} hit rate "
+              f"({est['hits']}/{est['hits'] + est['misses']} lookups)")
+        print(f"what-if cost cache:  {cost['hit_rate']:.1%} hit rate "
+              f"({cost['hits']}/{cost['hits'] + cost['misses']} lookups)")
+    if result.engine_stats.get("parallel_maps"):
+        print(f"engine: {result.engine_stats['tasks_dispatched']} runs "
+              f"sharded over {result.workers} workers")
     return 0
 
 
@@ -147,6 +189,25 @@ def cmd_columnstore(args) -> int:
     return 0
 
 
+def _csv_list(cast, label):
+    """argparse type for a non-empty comma-separated list of ``cast``."""
+    def parse(value: str):
+        try:
+            items = [cast(part) for part in value.split(",") if part]
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"not a comma-separated {cast.__name__} list: {value!r}"
+            )
+        if not items:
+            raise argparse.ArgumentTypeError(f"need at least one {label}")
+        return items
+    return parse
+
+
+_fraction_list = _csv_list(float, "budget")
+_seed_list = _csv_list(int, "seed")
+
+
 def _workers_arg(value: str) -> int:
     try:
         workers = int(value)
@@ -188,6 +249,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--all-features", action="store_true",
                         help="enable partial indexes and MVs")
     p_tune.set_defaults(fn=cmd_tune)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a whole budget sweep / seed ablation as one sharded "
+             "job (one engine session, persistent size + cost caches)",
+    )
+    add_dataset_args(p_sweep)
+    p_sweep.add_argument("--budgets", type=_fraction_list,
+                         default=[0.1, 0.2, 0.3],
+                         help="comma-separated storage budgets as "
+                              "fractions of raw data (one run each)")
+    p_sweep.add_argument("--seeds", type=_seed_list, default=None,
+                         help="comma-separated sampling seeds to ablate "
+                              "over (default: the standard seed)")
+    p_sweep.add_argument("--variant", choices=sorted(VARIANTS),
+                         default="dtac-both")
+    p_sweep.add_argument("--all-features", action="store_true",
+                         help="enable partial indexes and MVs")
+    p_sweep.set_defaults(fn=cmd_sweep)
 
     p_est = sub.add_parser("estimate",
                            help="demo the size-estimation framework")

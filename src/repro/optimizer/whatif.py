@@ -9,9 +9,10 @@ it touches — and totals weighted workload costs.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.catalog.schema import Database
+from repro.parallel.cache import CostCache
 from repro.parallel.signature import index_identity
 from repro.optimizer.constants import DEFAULT_COST_CONSTANTS, CostConstants
 from repro.optimizer.statement_cost import (
@@ -36,6 +37,15 @@ class WhatIfOptimizer:
             wires in its size-estimation framework here, which is exactly
             the paper's integration point between DTA and size estimation.
         constants: cost-model constants.
+        cost_cache: persistent what-if cost cache shared across runs
+            (optional).  Hits replay earlier breakdowns exactly; the key
+            embeds each relevant structure's estimated size, so a replay
+            is always consistent with the sizes this optimizer would
+            feed the cost model.
+        cost_context: run-level fingerprint for persistent cost keys
+            (sampled data, accuracy constraint, cost constants); a
+            string, or a zero-argument callable resolved lazily on the
+            first persistent lookup.
     """
 
     def __init__(
@@ -44,6 +54,8 @@ class WhatIfOptimizer:
         stats: DatabaseStats | None = None,
         sizes: SizeLookup | None = None,
         constants: CostConstants = DEFAULT_COST_CONSTANTS,
+        cost_cache: CostCache | None = None,
+        cost_context: str | Callable[[], str] = "",
     ) -> None:
         self.database = database
         self.stats = stats or DatabaseStats(database)
@@ -52,6 +64,10 @@ class WhatIfOptimizer:
             database, self.stats, self._lookup_size, constants
         )
         self._cache: dict[tuple, CostBreakdown] = {}
+        self.cost_cache = cost_cache
+        self._cost_context = cost_context
+        self._resolved_context: str | None = None
+        self._sized_signatures: dict[tuple, str] = {}
         self.optimizer_calls = 0
 
     # ------------------------------------------------------------------
@@ -87,9 +103,11 @@ class WhatIfOptimizer:
         """
         return index_identity(index)
 
-    def _signature(self, statement: Statement,
-                   config: Configuration) -> tuple:
-        """Cache key: the statement plus the structures on its tables."""
+    def _relevant_structures(
+        self, statement: Statement, config: Configuration
+    ) -> list[IndexDef]:
+        """The structures a statement's cost can depend on: those on the
+        tables it touches (MV indexes count when their MV overlaps)."""
         if isinstance(statement, SelectQuery):
             tables = set(statement.tables)
         else:
@@ -101,21 +119,70 @@ class WhatIfOptimizer:
                     relevant.append(index)
             elif index.table in tables:
                 relevant.append(index)
+        return relevant
+
+    def _signature_of(self, statement: Statement,
+                      relevant: Sequence[IndexDef]) -> tuple:
+        """In-memory cache key from an already-computed relevant set —
+        the single key constructor behind both :meth:`_signature` (what
+        the aliasing regression tests probe) and :meth:`cost`."""
         return (
             statement,
             frozenset(self._index_cache_key(ix) for ix in relevant),
         )
 
+    def _signature(self, statement: Statement,
+                   config: Configuration) -> tuple:
+        """Cache key: the statement plus the structures on its tables."""
+        return self._signature_of(
+            statement, self._relevant_structures(statement, config)
+        )
+
+    def _context(self) -> str:
+        if self._resolved_context is None:
+            ctx = self._cost_context
+            self._resolved_context = ctx() if callable(ctx) else ctx
+        return self._resolved_context
+
+    def _sized_signature(self, index: IndexDef) -> str:
+        """Memoized sized-structure signature: sizes are fixed for the
+        lifetime of this optimizer (the size lookup is deterministic per
+        run — the persistent key's context fingerprint assumes exactly
+        that), so the lookup + string build happen once per structure,
+        not once per costing."""
+        identity = self._index_cache_key(index)
+        cached = self._sized_signatures.get(identity)
+        if cached is None:
+            from repro.parallel.signature import sized_index_signature
+
+            cached = sized_index_signature(index, *self._sizes(index))
+            self._sized_signatures[identity] = cached
+        return cached
+
     def cost(self, statement: Statement,
              config: Configuration) -> CostBreakdown:
         """Optimizer-estimated cost of one statement."""
-        key = self._signature(statement, config)
+        relevant = self._relevant_structures(statement, config)
+        key = self._signature_of(statement, relevant)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        persistent_key = None
+        if self.cost_cache is not None:
+            persistent_key = CostCache.key_from_signatures(
+                statement,
+                [self._sized_signature(ix) for ix in relevant],
+                self._context(),
+            )
+            replayed = self.cost_cache.get(persistent_key)
+            if replayed is not None:
+                self._cache[key] = replayed
+                return replayed
         self.optimizer_calls += 1
         breakdown = self.coster.cost(statement, config)
         self._cache[key] = breakdown
+        if persistent_key is not None:
+            self.cost_cache.put(persistent_key, breakdown)
         return breakdown
 
     # ------------------------------------------------------------------
@@ -125,7 +192,8 @@ class WhatIfOptimizer:
         configs: Sequence[Configuration],
     ) -> list[CostBreakdown]:
         """Costs of one statement under a *set* of candidate
-        configurations, in input order (cache-aware)."""
+        configurations, in input order (in-memory and persistent
+        cost-cache aware)."""
         return [self.cost(statement, config) for config in configs]
 
     def workload_cost(self, workload: Workload,
@@ -153,3 +221,4 @@ class WhatIfOptimizer:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+        self._sized_signatures.clear()

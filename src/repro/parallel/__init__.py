@@ -10,28 +10,32 @@ The package has three parts:
   from these, never from Python's randomized ``hash()``.
 * :mod:`repro.parallel.cache` — :class:`EstimationCache`, the on-disk
   size-estimate cache keyed on index signature x compression method x
-  sample fingerprint.
+  sample fingerprint, and :class:`CostCache`, the on-disk what-if cost
+  cache keyed on statement x sized-structure signatures x run context.
 * :mod:`repro.parallel.engine` — :class:`ParallelEngine`, a fork-based
   process pool with deterministic result ordering and a transparent
   sequential fallback (``workers=1`` or platforms without ``fork``).
 """
 
-from repro.parallel.cache import EstimationCache
+from repro.parallel.cache import CostCache, EstimationCache
 from repro.parallel.engine import ParallelEngine
 from repro.parallel.signature import (
     config_signature,
     index_identity,
     index_signature,
     sample_fingerprint,
+    sized_index_signature,
     statement_signature,
 )
 
 __all__ = [
+    "CostCache",
     "EstimationCache",
     "ParallelEngine",
     "config_signature",
     "index_identity",
     "index_signature",
     "sample_fingerprint",
+    "sized_index_signature",
     "statement_signature",
 ]

@@ -114,7 +114,8 @@ class ParallelEngine:
             pool, self._pool = self._pool, None
             self._session_context = None
             _FORK_CONTEXT = None
-            pool.shutdown(wait=False, cancel_futures=True)
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
     def map(
@@ -150,11 +151,36 @@ class ParallelEngine:
         try:
             results = list(self._pool.map(_invoke, payloads, chunksize=chunksize))
         except BrokenProcessPool:
+            self._recover_pool()
             self.sequential_maps += 1
             return [fn(context, item) for item in items]
+        except Exception:
+            # A worker task raised.  Propagating alone would leak the
+            # pool's queued work: the executor keeps chewing the
+            # remaining payloads (and a broken one keeps failing every
+            # later map) until the session closes.  Tear the pool down,
+            # cancelling what hasn't started, and start a fresh one so
+            # the session stays usable for callers that catch the error.
+            self._recover_pool()
+            raise
         self.parallel_maps += 1
         self.tasks_dispatched += len(items)
         return results
+
+    def _recover_pool(self) -> None:
+        """Shut down the session's pool (cancelling queued tasks) and
+        replace it with a fresh fork of the same session context."""
+        global _FORK_CONTEXT
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if self._session_context is None:
+            return
+        _FORK_CONTEXT = self._session_context
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context("fork"),
+        )
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:

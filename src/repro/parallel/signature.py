@@ -59,6 +59,17 @@ def index_signature(index: IndexDef) -> str:
     return ";".join(parts)
 
 
+def sized_index_signature(
+    index: IndexDef, est_bytes: float, est_rows: float
+) -> str:
+    """An index signature extended with the estimated size the cost
+    model would observe.  What-if cost entries are keyed on these, so a
+    persisted cost can never be replayed against size estimates other
+    than the ones it was computed from (e.g. a cache warmed under a
+    different sampling seed or accuracy constraint)."""
+    return f"{index_signature(index)}@bytes={est_bytes!r};rows={est_rows!r}"
+
+
 def statement_signature(statement: Statement) -> str:
     """Canonical string identity of a workload statement."""
     if isinstance(statement, SelectQuery):

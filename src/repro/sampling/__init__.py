@@ -2,11 +2,16 @@
 
 from repro.sampling.join_synopsis import build_join_synopsis
 from repro.sampling.mv_sample import MVSample, build_mv_sample
-from repro.sampling.sample_manager import DEFAULT_FRACTIONS, SampleManager
+from repro.sampling.sample_manager import (
+    DEFAULT_FRACTIONS,
+    DEFAULT_SAMPLE_SEED,
+    SampleManager,
+)
 
 __all__ = [
     "SampleManager",
     "DEFAULT_FRACTIONS",
+    "DEFAULT_SAMPLE_SEED",
     "build_join_synopsis",
     "MVSample",
     "build_mv_sample",

@@ -15,6 +15,25 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "improvement" in out
 
+    def test_sweep(self, capsys, tmp_path):
+        argv = [
+            "sweep", "--dataset", "sales", "--scale", "0.02",
+            "--budgets", "0.1,0.2", "--variant", "dtac-none",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 runs" in out
+        assert "what-if cost cache" in out
+        # Warm rerun through the same cache directory.
+        assert main(argv) == 0
+        warm_out = capsys.readouterr().out
+        assert "100.0% hit rate" in warm_out
+
+    def test_sweep_rejects_bad_budget_list(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--budgets", "abc"])
+
     def test_estimate(self, capsys):
         assert main([
             "estimate", "--dataset", "tpch", "--scale", "0.03",

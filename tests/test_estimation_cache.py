@@ -94,6 +94,57 @@ class TestPersistence:
             EstimationCache(not_a_dir)
 
 
+class TestForkView:
+    """Snapshot views: what sweep units see, regardless of which
+    process they run in."""
+
+    def test_view_sees_snapshot_not_sibling_stores(self, tmp_path):
+        a = IndexDef("fact", ("f_qty",), method=CompressionMethod.ROW)
+        b = IndexDef("fact", ("f_cat",), method=CompressionMethod.PAGE)
+        base = EstimationCache(tmp_path)
+        base.put(a, "fp", 0.5, 0.9, _estimate_for(a))
+
+        view1 = base.fork_view()
+        view2 = base.fork_view()
+        assert view1.get(a, "fp", 0.5, 0.9) is not None
+
+        # A sibling's fresh store stays invisible to this view (and to
+        # the base), even after the sibling persists it.
+        view1.put(b, "fp", 0.5, 0.9, _estimate_for(b))
+        view1.save()
+        assert view2.get(b, "fp", 0.5, 0.9) is None
+        assert base.get(b, "fp", 0.5, 0.9) is None
+
+        # ... but the persisted file has it for the *next* sweep (the
+        # view's save also carries the snapshot it inherited — entries
+        # are immutable, so persisting them early is harmless).
+        fresh = EstimationCache(tmp_path)
+        assert fresh.get(b, "fp", 0.5, 0.9) is not None
+        assert fresh.get(a, "fp", 0.5, 0.9) is not None
+
+    def test_view_saves_merge(self, tmp_path):
+        a = IndexDef("fact", ("f_qty",), method=CompressionMethod.ROW)
+        b = IndexDef("fact", ("f_cat",), method=CompressionMethod.PAGE)
+        base = EstimationCache(tmp_path)
+        view1, view2 = base.fork_view(), base.fork_view()
+        view1.put(a, "fp", 0.5, 0.9, _estimate_for(a))
+        view2.put(b, "fp", 0.5, 0.9, _estimate_for(b))
+        view1.save()
+        view2.save()
+        merged = EstimationCache(tmp_path)
+        assert merged.get(a, "fp", 0.5, 0.9) is not None
+        assert merged.get(b, "fp", 0.5, 0.9) is not None
+
+    def test_view_counters_start_fresh(self, tmp_path):
+        a = IndexDef("fact", ("f_qty",), method=CompressionMethod.ROW)
+        base = EstimationCache(tmp_path)
+        base.put(a, "fp", 0.5, 0.9, _estimate_for(a))
+        base.get(a, "fp", 0.5, 0.9)
+        view = base.fork_view()
+        assert (view.hits, view.misses, view.stores) == (0, 0, 0)
+        assert len(view) == len(base)
+
+
 class TestEstimatorIntegration:
     @pytest.fixture()
     def targets(self):

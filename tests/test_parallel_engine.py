@@ -66,6 +66,30 @@ class TestEngineMap:
             with pytest.raises(ValueError, match="boom"):
                 engine.map(_failing_task, [1, 2, 3, 4], ctx)
 
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_failing_task_tears_down_and_recovers_pool(self):
+        """A task exception mid-map must not leak the pool: the old pool
+        (with its queued payloads) is shut down, and the session gets a
+        fresh pool so later maps still run in parallel."""
+        engine = ParallelEngine(workers=2)
+        ctx = {"offset": 0}
+        with engine.session(ctx):
+            old_pool = engine._pool
+            with pytest.raises(ValueError, match="boom"):
+                engine.map(_failing_task, [1, 2, 3, 4], ctx)
+            # Old pool refuses new work: it was shut down, not leaked.
+            with pytest.raises(RuntimeError):
+                old_pool.submit(print)
+            assert engine._pool is not None
+            assert engine._pool is not old_pool
+            # The session recovered: the replacement pool fans out.
+            assert engine.map(_square_task, range(4), ctx) == [
+                0, 1, 4, 9
+            ]
+            assert engine.parallel_maps == 1
+        # Session exit tears the replacement pool down as usual.
+        assert not engine.in_session
+
     def test_nested_session_is_noop(self):
         engine = ParallelEngine(workers=2)
         if not engine.parallel:
