@@ -7,6 +7,12 @@ sequential path and tracks the numbers across PRs:
 * **advisor** — one full DTAc tuning session on the Sales workload,
   ``workers=1`` vs ``--workers N``, asserting byte-identical
   recommendations and recording wall time + candidates/sec.
+* **incremental** — the same session with delta-aware workload costing
+  off (full recost of every candidate configuration) vs on
+  (statement-level memoization + access-path probes + plan patching +
+  bound pruning), asserting byte-identical recommendations and
+  recording the speedup; the acceptance bar is >=3x candidates/sec
+  over the full-recost path, gated by ``compare_bench.py``.
 * **cache** — the same session cold vs warm through the persistent
   :class:`EstimationCache`, recording the warm hit rate.
 * **sweep** — a 3-budget x 2-seed sweep through the sweep orchestration
@@ -122,6 +128,55 @@ def run_advisor_section(args) -> dict:
             "pool_size": seq.pool_size,
             "configuration": _config_names(seq),
         },
+    }
+
+
+def run_incremental_section(args) -> dict:
+    """Delta-aware costing off vs on: identical recommendations, >=3x
+    candidates/sec (sequential, so the ratio is same-machine
+    normalized)."""
+    db = sales_database(scale=args.scale, seed=args.seed)
+    wl = sales_workload(db)
+    budget = db.total_data_bytes() * args.budget
+
+    t0 = time.perf_counter()
+    full = tune(db, wl, budget, variant=args.variant,
+                delta_costing=False)
+    full_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    inc = tune(db, wl, budget, variant=args.variant,
+               delta_costing=True)
+    inc_wall = time.perf_counter() - t0
+
+    full_cps = round(full.candidate_count / full_wall, 2)
+    inc_cps = round(inc.candidate_count / inc_wall, 2)
+    return {
+        "dataset": "sales",
+        "scale": args.scale,
+        "budget_fraction": args.budget,
+        "variant": args.variant,
+        "full_recost": {
+            "wall_seconds": round(full_wall, 4),
+            "candidates_per_sec": full_cps,
+            "optimizer_calls": full.optimizer_calls,
+        },
+        "incremental": {
+            "wall_seconds": round(inc_wall, 4),
+            "candidates_per_sec": inc_cps,
+            "optimizer_calls": inc.optimizer_calls,
+            "delta": inc.delta_stats,
+        },
+        "speedup": round(full_wall / inc_wall, 3),
+        "candidates_per_sec_ratio": round(
+            inc_cps / full_cps, 3
+        ) if full_cps else 0.0,
+        "identical_recommendations": (
+            full.configuration == inc.configuration
+            and full.final_cost == inc.final_cost
+            and full.base_cost == inc.base_cost
+            and full.steps == inc.steps
+        ),
     }
 
 
@@ -291,8 +346,11 @@ def run_fig9_section(args) -> dict:
         for f in FRACTIONS:
             par_lab.manager.table_sample(ix.table, f)
     t0 = time.perf_counter()
-    with engine.session(par_lab):
-        par_errors = engine.map(_fig9_task, indexes, context=par_lab)
+    try:
+        with engine.session(par_lab):
+            par_errors = engine.map(_fig9_task, indexes, context=par_lab)
+    finally:
+        engine.shutdown()
     par_wall = time.perf_counter() - t0
 
     rows = []
@@ -349,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--skip-fig9", action="store_true")
     parser.add_argument("--skip-cache", action="store_true")
     parser.add_argument("--skip-sweep", action="store_true")
+    parser.add_argument("--skip-incremental", action="store_true")
     parser.add_argument("--cache-dir", default=None,
                         help="reuse a cache directory instead of a "
                              "fresh temporary one")
@@ -377,6 +436,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[bench] advisor: sales scale={args.scale} "
           f"workers={args.workers}", flush=True)
     payload["advisor"] = run_advisor_section(args)
+    if not args.skip_incremental:
+        print("[bench] incremental: full recost vs delta costing",
+              flush=True)
+        payload["incremental"] = run_incremental_section(args)
     if not args.skip_cache:
         print("[bench] cache: cold vs warm", flush=True)
         payload["cache"] = run_cache_section(args)
@@ -394,6 +457,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[bench] wrote {out}")
     print(f"[bench] advisor speedup x{adv['speedup']} "
           f"(identical={adv['identical_recommendations']})")
+    if "incremental" in payload:
+        inc = payload["incremental"]
+        print(f"[bench] incremental costing x{inc['speedup']} "
+              f"({inc['full_recost']['candidates_per_sec']} -> "
+              f"{inc['incremental']['candidates_per_sec']} cands/sec, "
+              f"identical={inc['identical_recommendations']})")
     if "cache" in payload:
         print(f"[bench] warm cache hit rate "
               f"{payload['cache']['warm_hit_rate']:.2%}")
@@ -415,6 +484,9 @@ def main(argv: list[str] | None = None) -> int:
     ok = (
         adv["identical_recommendations"]
         and sweep_ok
+        and payload.get("incremental", {}).get(
+            "identical_recommendations", True
+        )
         and payload.get("fig9", {}).get("identical_errors", True)
     )
     return 0 if ok else 1

@@ -13,6 +13,10 @@ Three classes of check, in decreasing strictness:
   These are pure-Python deterministic given the committed seeds, so any
   drift is a behavior change that needs a deliberate baseline update
   (rerun the bench and commit the new file alongside the code change).
+* **Incremental-costing speedup** (hard floor): the delta-aware coster
+  must beat the full-recost path by at least
+  ``--min-incremental-speedup`` on the runner itself (both arms run in
+  the same process, so the ratio is machine-normalized).
 * **Cache hit rates** (hard, small slack) and **wall time** (generous
   ratio): warm-cache hit rates must not regress beyond ``--hit-slack``;
   wall-clock may drift up to ``--wall-tolerance`` x the baseline, since
@@ -22,6 +26,10 @@ Usage::
 
     python benchmarks/compare_bench.py \
         --baseline BENCH_advisor.json --fresh BENCH_fresh.json
+
+``--update-baseline`` regenerates the committed baseline at the smoke
+parameters — the escape hatch for *deliberate* behavior changes (see
+:func:`update_baseline` for when CI expects it).
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ from pathlib import Path
 #: gate treats as a configuration error, not a measurement.
 _PARAM_KEYS = {
     "advisor": ("dataset", "scale", "budget_fraction", "variant"),
+    "incremental": ("dataset", "scale", "budget_fraction", "variant"),
     "cache": (),
     "sweep": ("dataset", "scale", "variant", "budget_fractions", "seeds"),
     "fig9": ("dataset", "scale", "population", "fractions"),
@@ -44,6 +53,7 @@ _PARAM_KEYS = {
 #: (section, key) wall-clock figures compared under --wall-tolerance.
 _WALL_KEYS = (
     ("advisor", ("sequential", "wall_seconds")),
+    ("incremental", ("incremental", "wall_seconds")),
     ("cache", ("warm", "wall_seconds")),
     ("sweep", ("sweep_workers1_wall_seconds",)),
     ("sweep", ("warm", "wall_seconds")),
@@ -92,7 +102,8 @@ class Gate:
 
 
 def compare(baseline: dict, fresh: dict, wall_tolerance: float,
-            hit_slack: float) -> Gate:
+            hit_slack: float,
+            min_incremental_speedup: float = 3.0) -> Gate:
     gate = Gate()
 
     for section, keys in _PARAM_KEYS.items():
@@ -165,6 +176,22 @@ def compare(baseline: dict, fresh: dict, wall_tolerance: float,
         else:
             gate.note(f"ok all {len(base_runs)} sweep recommendations match")
 
+    # 2.5 Incremental-costing speedup floor: delta-aware costing must
+    #     keep beating the full-recost path by the acceptance bar on
+    #     the runner itself (both arms run sequentially in the same
+    #     process, so the ratio is same-machine normalized).
+    fresh_speedup = _dig(fresh, ("incremental", "speedup"))
+    if isinstance(fresh_speedup, (int, float)):
+        if fresh_speedup < min_incremental_speedup:
+            gate.fail(
+                f"incremental.speedup below the acceptance floor: "
+                f"x{fresh_speedup:.2f} < x{min_incremental_speedup:.1f}"
+            )
+        else:
+            gate.note(f"ok incremental.speedup = x{fresh_speedup:.2f}")
+    elif "incremental" in baseline:
+        gate.fail("incremental section missing its speedup figure")
+
     # 3. Warm-cache hit rates.
     for section, path, floor in _HIT_RATE_KEYS:
         base_rate = _dig(baseline, (section,) + path)
@@ -200,31 +227,82 @@ def compare(baseline: dict, fresh: dict, wall_tolerance: float,
     return gate
 
 
+#: The exact parameters the committed baseline is generated with — the
+#: same ones ci.yml's bench-smoke job uses, or the param-mismatch check
+#: rejects the comparison.
+BASELINE_ARGS = [
+    "--workers", "2", "--scale", "0.1", "--fig9-scale", "0.1",
+]
+
+
+def update_baseline(baseline: str) -> int:
+    """Regenerate and overwrite the committed baseline at the smoke
+    parameters.
+
+    For **deliberate behavior changes** only: when a PR intentionally
+    moves recommendations, costs or cache layouts (a cost-model fix, a
+    new enumeration phase, different estimation batching), CI's
+    recommendation-drift gate will correctly fail until the baseline is
+    regenerated *with the new code* and committed alongside the change.
+    Run ``python benchmarks/compare_bench.py --update-baseline``, eyeball
+    the diff of ``BENCH_advisor.json`` (the committed numbers are the
+    review artifact), and commit it.  Never regenerate to silence a
+    drift you cannot explain — that is the regression the gate exists
+    to catch."""
+    from advisor_bench import main as bench_main
+
+    print(f"[compare] regenerating {baseline} with: "
+          + " ".join(BASELINE_ARGS))
+    code = bench_main([*BASELINE_ARGS, "--output", baseline])
+    if code != 0:
+        print("[compare] bench run failed its own identity checks; "
+              "baseline NOT updated cleanly")
+        return code
+    print(f"[compare] rewrote {baseline}; review the diff and commit it "
+          "alongside the behavior change")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         description="Fail on bench regressions vs the committed baseline"
     )
     parser.add_argument("--baseline", default="BENCH_advisor.json",
                         help="committed baseline JSON")
-    parser.add_argument("--fresh", required=True,
+    parser.add_argument("--fresh", default=None,
                         help="freshly generated bench JSON")
     parser.add_argument("--wall-tolerance", type=float, default=5.0,
                         help="max fresh/baseline wall-clock ratio "
                              "(generous: runner core counts vary)")
     parser.add_argument("--hit-slack", type=float, default=0.02,
                         help="allowed absolute warm hit-rate drop")
+    parser.add_argument("--min-incremental-speedup", type=float,
+                        default=3.0,
+                        help="acceptance floor for delta-costing "
+                             "speedup over full recosting")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="regenerate and overwrite --baseline at "
+                             "the committed smoke parameters (for "
+                             "deliberate behavior changes; commit the "
+                             "rewritten file with the change)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.update_baseline:
+        return update_baseline(args.baseline)
+    if args.fresh is None:
+        print("[compare] --fresh is required (or use --update-baseline)")
+        return 2
     try:
         baseline = json.loads(Path(args.baseline).read_text())
         fresh = json.loads(Path(args.fresh).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         print(f"[compare] cannot load inputs: {exc}")
         return 1
-    gate = compare(baseline, fresh, args.wall_tolerance, args.hit_slack)
+    gate = compare(baseline, fresh, args.wall_tolerance, args.hit_slack,
+                   args.min_incremental_speedup)
     for note in gate.notes:
         print(f"[compare] {note}")
     for failure in gate.failures:

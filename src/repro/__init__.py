@@ -42,7 +42,7 @@ from repro.engine import (
     validate_recommendation,
     validate_selectivities,
 )
-from repro.optimizer import CostConstants, WhatIfOptimizer
+from repro.optimizer import CostConstants, DeltaWorkloadCoster, WhatIfOptimizer
 from repro.physical import Configuration, IndexDef, MVDefinition
 from repro.sampling import SampleManager
 from repro.sizeest import ErrorModel, SizeEstimate, SizeEstimator
@@ -84,6 +84,7 @@ __all__ = [
     "SizeEstimate",
     "ErrorModel",
     # optimizer
+    "DeltaWorkloadCoster",
     "WhatIfOptimizer",
     "CostConstants",
     # advisor

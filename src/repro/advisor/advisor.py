@@ -59,6 +59,11 @@ class AdvisorOptions:
 
     ``workers`` > 1 fans candidate evaluation over a process pool
     (``0`` = one per CPU); results are identical to ``workers=1``.
+    ``delta_costing`` routes enumeration costing through the
+    delta-aware :class:`~repro.optimizer.delta.DeltaWorkloadCoster`
+    (statement-level memoization, access-path probes, bound-based
+    candidate pruning); recommendations are byte-identical with it on
+    or off, at any worker count — off only costs time.
     ``cache_dir`` persists size estimates *and* what-if costs across
     runs (``estimates.json`` / ``costs.json`` in the same directory).
     Caveat: with ``workers`` > 1 the enumeration costings happen in
@@ -76,6 +81,10 @@ class AdvisorOptions:
     strategy: str = "greedy"  # 'greedy' | 'density'
     backtracking: bool = False
     seed_fanout: int = 3
+    #: greedy acceptance threshold (relative cost drop); also the scale
+    #: of the delta coster's bound pruning — coarser values prune more
+    #: candidates before they are ever costed.
+    min_improvement: float = 1e-4
     enable_partial: bool = False
     enable_mv: bool = False
     enable_merging: bool = True
@@ -86,6 +95,7 @@ class AdvisorOptions:
     q: float = 0.9
     workers: int = 1
     cache_dir: str | None = None
+    delta_costing: bool = True
 
 
 @dataclass
@@ -118,6 +128,10 @@ class AdvisorResult:
     cost_cache_stats: dict = field(default_factory=dict)
     #: parallel-engine counters for this run; see :meth:`ParallelEngine.stats`.
     engine_stats: dict = field(default_factory=dict)
+    #: delta-costing counters (parent-process side) for this run; see
+    #: :meth:`DeltaWorkloadCoster.stats`.  Empty when delta costing is
+    #: disabled.
+    delta_stats: dict = field(default_factory=dict)
     #: what-if optimizer invocations in the *parent* process only —
     #: with ``workers > 1`` most costings happen in forked workers
     #: whose counters die with the pool, so this is not comparable
@@ -145,6 +159,7 @@ def _eval_query_task(
         advisor.base_config,
         advisor._query_cost,
         advisor._index_size,
+        query_cost_batch=advisor._query_cost_batch,
     )
 
 
@@ -172,6 +187,10 @@ class TuningAdvisor:
         self.workload = workload
         self.options = options
         self.stats = stats or DatabaseStats(database)
+        #: engines we created are ours to shut down when the run ends;
+        #: injected engines (e.g. a sweep's shared session) belong to
+        #: the caller.
+        self._owns_engine = engine is None
         self.engine = engine or ParallelEngine(options.workers)
         self._constants = constants
         cache = (
@@ -191,6 +210,16 @@ class TuningAdvisor:
                 estimator.cache = cache
             if estimator.engine is None and self.engine.parallel:
                 estimator.engine = self.engine
+        if (
+            estimator.engine is not None
+            and estimator.engine is not self.engine
+        ):
+            # The estimator's dirty marks (fresh compressed estimates)
+            # land on *its* engine, not ours — cross-session pool reuse
+            # would hand enumeration workers forked before those
+            # estimates existed.  Fork per session instead, which is
+            # always correct.
+            self.engine.keep_alive = False
         self.estimator = estimator
         if cost_cache is None and options.cache_dir is not None:
             cost_cache = CostCache(options.cache_dir)
@@ -204,6 +233,12 @@ class TuningAdvisor:
         self._original_base_sizes = {
             ix.table: self._index_size(ix) for ix in self.base_config
         }
+        #: delta-aware workload coster (per-run state: its memo keys do
+        #: not embed sizes, so it must never outlive this estimator).
+        self.delta = (
+            self.whatif.delta_coster(workload)
+            if options.delta_costing else None
+        )
         self._per_query: dict[int, list[IndexDef]] = {}
 
     # ------------------------------------------------------------------
@@ -227,6 +262,23 @@ class TuningAdvisor:
             self.estimator.sizer.estimated_rows(index),
         )
 
+    def _candidate_universe(self, pool: list[IndexDef]) -> list[IndexDef]:
+        """Every structure enumeration could ever place in a
+        configuration: the pool, the base structures, and the method
+        variants the polish/backtracking phases may introduce — the
+        closure the delta coster's lower bounds must cover to stay
+        sound."""
+        methods = [CompressionMethod.NONE]
+        if self.options.enable_compression or self.options.backtracking:
+            methods += [CompressionMethod.ROW, CompressionMethod.PAGE]
+        members = list(dict.fromkeys(
+            [*pool, *self.base_config.ordered()]
+        ))
+        return list(dict.fromkeys(
+            ix.with_method(method)
+            for ix in members for method in methods
+        ))
+
     def _cost_context(self) -> str:
         """Fingerprint of every run-level input a persisted what-if cost
         depends on beyond the (statement, sized structures) key: the
@@ -247,23 +299,69 @@ class TuningAdvisor:
         return hashlib.sha256(material.encode()).hexdigest()
 
     def _workload_cost(self, config: Configuration) -> float:
+        if self.delta is not None:
+            return self.delta.workload_cost(config)
         return self.whatif.workload_cost(self.workload, config)
 
     def _query_cost(self, query: SelectQuery, config: Configuration) -> float:
+        if self.delta is not None:
+            return self.delta.statement_cost(query, config)
         return self.whatif.cost(query, config).total
+
+    def _query_cost_batch(self, query: SelectQuery, configs) -> list[float]:
+        """One query's costs under many small configurations: through
+        the delta coster when enabled, the (cache-aware) what-if batch
+        API otherwise — identical floats either way."""
+        if self.delta is not None:
+            return [
+                self.delta.statement_cost(query, config)
+                for config in configs
+            ]
+        return [
+            breakdown.total
+            for breakdown in self.whatif.cost_batch(query, configs)
+        ]
 
     def _batch_workload_cost(self, configs) -> list[float]:
         """Workload costs of a candidate sweep: fanned over the engine
         while its session is open, otherwise through the what-if
-        optimizer's (cache-aware) sequential batch API."""
+        optimizer's (cache-aware, delta-aware) sequential batch API."""
         if self.engine.in_session:
             return self.engine.map(_workload_cost_task, configs, context=self)
-        return self.whatif.workload_cost_batch(self.workload, configs)
+        return self.whatif.workload_cost_batch(
+            self.workload, configs, delta=self.delta
+        )
+
+    def _size_if_known(self, index: IndexDef) -> "tuple[float, float] | None":
+        """(bytes, rows) exactly as :meth:`_size_lookup` would report —
+        but only when answering requires no new estimation work, so the
+        delta coster's lower bounds can never reorder estimation between
+        the delta-on and delta-off paths."""
+        est = self.estimator.peek(index)
+        if est is None:
+            return None
+        return (
+            quantize_bytes(est.est_bytes),
+            self.estimator.sizer.estimated_rows(index),
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> AdvisorResult:
         """Run one full tuning session: candidate generation, batch size
-        estimation, per-query selection, merging, and enumeration."""
+        estimation, per-query selection, merging, and enumeration.
+
+        One engine pool serves the whole run: the enumeration session
+        reuses the per-query evaluation session's workers whenever no
+        new estimation state appeared in between (the estimator marks
+        the engine dirty otherwise, forcing exactly the re-fork the old
+        session-per-phase design always paid)."""
+        try:
+            return self._run()
+        finally:
+            if self._owns_engine:
+                self.engine.shutdown()
+
+    def _run(self) -> AdvisorResult:
         start = time.perf_counter()
         options = self.options
         cand_options = CandidateOptions(
@@ -298,6 +396,11 @@ class TuningAdvisor:
         #    step 1 so workers inherit every size estimate.
         self._per_query = per_query
         n_queries = len(self.workload.queries)
+        if self.delta is not None:
+            # Base the delta coster before any candidate costing (and
+            # before the fork below, so workers inherit the reference
+            # terms instead of each re-deriving them).
+            self.delta.rebase(self.base_config)
         if self.engine.parallel:
             with self.engine.session(self):
                 per_query_configs = self.engine.map(
@@ -310,6 +413,7 @@ class TuningAdvisor:
                 self.base_config,
                 self._query_cost,
                 self._index_size,
+                query_cost_batch=self._query_cost_batch,
             )
         pool: list[IndexDef] = []
         for qi, ws in enumerate(self.workload.queries):
@@ -388,9 +492,14 @@ class TuningAdvisor:
             budget_bytes=options.budget_bytes,
             strategy=options.strategy,
             backtracking=options.backtracking,
+            min_improvement=options.min_improvement,
             seed_fanout=options.seed_fanout,
             allow_compression=options.enable_compression,
         )
+        if self.delta is not None:
+            self.delta.register_universe(
+                self._candidate_universe(pool), self._size_if_known
+            )
         enumerator = Enumerator(
             self.workload,
             self._workload_cost,
@@ -398,6 +507,7 @@ class TuningAdvisor:
             self._original_base_sizes,
             enum_options,
             batch_cost=self._batch_workload_cost,
+            delta=self.delta,
         )
         if self.cost_cache is not None:
             # Resolve the persistent-key context (an O(rows) sample
@@ -436,6 +546,9 @@ class TuningAdvisor:
                 if self.cost_cache is not None else {}
             ),
             engine_stats=self.engine.stats(),
+            delta_stats=(
+                self.delta.stats() if self.delta is not None else {}
+            ),
             optimizer_calls=self.whatif.optimizer_calls,
         )
 

@@ -90,6 +90,7 @@ class Enumerator:
         original_base_sizes: Mapping[str, float],
         options: EnumerationOptions,
         batch_cost: BatchCost | None = None,
+        delta: "object | None" = None,
     ) -> None:
         self.workload = workload
         self.workload_cost = workload_cost
@@ -98,6 +99,18 @@ class Enumerator:
         self.options = options
         self.batch_cost = batch_cost or (
             lambda configs: [self.workload_cost(c) for c in configs]
+        )
+        #: optional DeltaWorkloadCoster: candidate pruning + reference
+        #: rebasing.  Bound-based pruning is only decision-identical to
+        #: the full path under pure-greedy scoring without backtracking
+        #: (a pruned candidate can then only ever be chosen-and-rejected
+        #: below min_improvement, which leaves the same search state);
+        #: zero-delta certificates are exact under every strategy.
+        self.delta = delta
+        self._prune_bounds = (
+            delta is not None
+            and options.strategy == "greedy"
+            and not options.backtracking
         )
 
     # ------------------------------------------------------------------
@@ -130,11 +143,39 @@ class Enumerator:
             return delta_cost / max(delta_size, 8192.0)
         return delta_cost
 
+    def _rebase(self, config: Configuration) -> None:
+        if self.delta is not None:
+            self.delta.rebase(config)
+
+    def _candidate_costs(
+        self,
+        candidates: Sequence[Configuration],
+        threshold: float | None,
+    ) -> "list[float | None]":
+        """Costs of a candidate sweep, with None for candidates the
+        delta coster proves cannot improve on the reference — the full
+        path would compute ``delta_cost <= 0`` (zero-delta certificate)
+        or an improvement below the acceptance threshold (bound prune),
+        and skip them identically."""
+        if self.delta is None:
+            return list(self.batch_cost(candidates))
+        decisions = [
+            self.delta.improvement_possible(candidate, threshold)
+            for candidate in candidates
+        ]
+        survivors = [
+            candidate
+            for candidate, keep in zip(candidates, decisions) if keep
+        ]
+        costs = iter(self.batch_cost(survivors))
+        return [next(costs) if keep else None for keep in decisions]
+
     def run(self, pool: list[IndexDef],
             base_config: Configuration) -> EnumerationResult:
         """Search for the best configuration reachable from
         ``base_config`` by adding pool members: seeded multi-start
         greedy, per-step backtracking, and a final method polish."""
+        self._rebase(base_config)
         base_cost = self.workload_cost(base_config)
         starts = self._starting_points(pool, base_config, base_cost)
         if not starts:
@@ -147,6 +188,7 @@ class Enumerator:
         best: EnumerationResult | None = None
         for cost, config, label in starts:
             steps = [f"{label}: {base_cost:.1f} -> {cost:.1f}"]
+            self._rebase(config)
             result = self._greedy_loop(pool, config, cost, steps)
             if best is None or result.cost < best.cost:
                 best = result
@@ -168,10 +210,17 @@ class Enumerator:
             if candidate == base:
                 continue
             moves.append((ix, candidate))
-        costs = self.batch_cost([candidate for _ix, candidate in moves])
+        # Zero-delta certificates only: bound pruning could drop a
+        # tiny-improvement move that the full path would still seed a
+        # greedy start from when fewer than ``seed_fanout`` moves score.
+        costs = self._candidate_costs(
+            [candidate for _ix, candidate in moves], None
+        )
         scored: list[tuple[float, float, Configuration, str]] = []
         best_any = None  # (delta_cost, config)
         for (ix, candidate), cost in zip(moves, costs):
+            if cost is None:
+                continue
             delta_cost = base_cost - cost
             if delta_cost <= 0:
                 continue
@@ -222,10 +271,21 @@ class Enumerator:
                 if candidate == current:
                     continue
                 moves.append((ix, candidate))
-            costs = self.batch_cost(
-                [candidate for _ix, candidate in moves]
+            threshold = None
+            if self._prune_bounds:
+                # Half the acceptance threshold: the slack covers float
+                # accumulation differences between the optimistic bound
+                # and the full path's total, so a pruned move could at
+                # most be chosen-and-rejected below min_improvement.
+                threshold = 0.5 * options.min_improvement * max(
+                    current_cost, 1e-9
+                )
+            costs = self._candidate_costs(
+                [candidate for _ix, candidate in moves], threshold
             )
             for (ix, candidate), cost in zip(moves, costs):
+                if cost is None:
+                    continue
                 delta_cost = current_cost - cost
                 if delta_cost <= 0:
                     continue
@@ -267,6 +327,7 @@ class Enumerator:
                 break
             steps.append(f"{label}: {current_cost:.1f} -> {new_cost:.1f}")
             current, current_cost = new_config, new_cost
+            self._rebase(current)
 
         return EnumerationResult(
             configuration=current,
@@ -288,6 +349,7 @@ class Enumerator:
         per-structure best method without an exponential search.
         """
         config, cost = result.configuration, result.cost
+        self._rebase(config)
         if self.options.allow_compression:
             methods = (CompressionMethod.NONE, CompressionMethod.ROW,
                        CompressionMethod.PAGE)
@@ -319,6 +381,7 @@ class Enumerator:
             if best_swap is None:
                 break
             cost, config = best_swap[0], best_swap[1]
+            self._rebase(config)
             result.steps.append(f"{best_swap[2]}: -> {cost:.1f}")
         return EnumerationResult(
             configuration=config,

@@ -17,6 +17,14 @@ from repro.physical.configuration import Configuration
 from repro.physical.index_def import IndexDef
 from repro.workload.query import SelectQuery
 
+#: Batched per-query costing hook: one query's cost under many small
+#: candidate configurations, in input order.  The advisor wires the
+#: delta-aware (or cache-aware) batch API in here; the default loops
+#: the per-configuration callable, so both paths see identical floats.
+QueryCostBatch = Callable[
+    [SelectQuery, Sequence[Configuration]], "list[float]"
+]
+
 
 @dataclass(frozen=True)
 class CandidateConfiguration:
@@ -42,46 +50,60 @@ def evaluate_candidates(
     query_cost: Callable[[SelectQuery, Configuration], float],
     index_size: Callable[[IndexDef], float],
     max_pairs: int = 10,
+    query_cost_batch: QueryCostBatch | None = None,
 ) -> list[CandidateConfiguration]:
-    """Cost the empty, singleton and (a few) pair configurations."""
+    """Cost the empty, singleton and (a few) pair configurations.
+
+    ``query_cost_batch`` routes each sweep (all singletons, then all
+    pairs) through one batched call — the hook the advisor points at
+    the delta-aware coster, which then re-evaluates only what each
+    added index can actually change.  Costs are identical floats to the
+    per-configuration ``query_cost`` loop in the same order.
+    """
+    if query_cost_batch is None:
+        def query_cost_batch(q, configs):
+            return [query_cost(q, config) for config in configs]
+    base_cost = query_cost_batch(query, [base_config])[0]
     out: list[CandidateConfiguration] = [
         CandidateConfiguration(
-            indexes=frozenset(),
-            cost=query_cost(query, base_config),
-            size=0.0,
+            indexes=frozenset(), cost=base_cost, size=0.0,
         )
     ]
+    single_costs = query_cost_batch(
+        query, [base_config.add(ix) for ix in candidates]
+    )
     singles: list[tuple[float, IndexDef]] = []
-    for ix in candidates:
-        config = base_config.add(ix)
-        cost = query_cost(query, config)
-        size = index_size(ix)
+    for ix, cost in zip(candidates, single_costs):
         out.append(
-            CandidateConfiguration(frozenset([ix]), cost=cost, size=size)
+            CandidateConfiguration(
+                frozenset([ix]), cost=cost, size=index_size(ix)
+            )
         )
         singles.append((cost, ix))
 
     # Pairs: combine the most promising singles (covering + seek combos).
     singles.sort(key=lambda t: t[0])
     top = [ix for _c, ix in singles[:5]]
-    pairs_tried = 0
+    pairs: list[tuple[IndexDef, IndexDef]] = []
     for i in range(len(top)):
         for j in range(i + 1, len(top)):
-            if pairs_tried >= max_pairs:
+            if len(pairs) >= max_pairs:
                 break
             a, b = top[i], top[j]
             if a.table == b.table and a.column_set == b.column_set:
                 continue
-            config = base_config.add(a).add(b)
-            cost = query_cost(query, config)
-            out.append(
-                CandidateConfiguration(
-                    frozenset([a, b]),
-                    cost=cost,
-                    size=index_size(a) + index_size(b),
-                )
+            pairs.append((a, b))
+    pair_costs = query_cost_batch(
+        query, [base_config.add(a).add(b) for a, b in pairs]
+    )
+    for (a, b), cost in zip(pairs, pair_costs):
+        out.append(
+            CandidateConfiguration(
+                frozenset([a, b]),
+                cost=cost,
+                size=index_size(a) + index_size(b),
             )
-            pairs_tried += 1
+        )
     return out
 
 
@@ -92,6 +114,7 @@ def evaluate_candidates_batch(
     query_cost: Callable[[SelectQuery, Configuration], float],
     index_size: Callable[[IndexDef], float],
     max_pairs: int = 10,
+    query_cost_batch: QueryCostBatch | None = None,
 ) -> list[list[CandidateConfiguration]]:
     """Evaluate per-query candidate *sets* for many queries at once.
 
@@ -109,7 +132,7 @@ def evaluate_candidates_batch(
     return [
         evaluate_candidates(
             query, candidates, base_config, query_cost, index_size,
-            max_pairs=max_pairs,
+            max_pairs=max_pairs, query_cost_batch=query_cost_batch,
         )
         for query, candidates in zip(queries, candidates_per_query)
     ]

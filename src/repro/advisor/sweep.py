@@ -28,6 +28,14 @@ wiring, at any worker count.  Three design choices make that hold:
   signatures (see :class:`repro.parallel.cache.CostCache`), so a cost
   hit replays arithmetic that is identical by construction — a warm
   cost cache can skip costing entirely without moving any result.
+* The in-run delta memo
+  (:class:`repro.optimizer.delta.DeltaWorkloadCoster`) follows the same
+  fork-view discipline, taken to its limit: its keys deliberately do
+  *not* embed size estimates, so each unit's :class:`TuningAdvisor`
+  builds a fresh coster against its own seeded estimator — no unit can
+  ever observe a sibling's memoized terms, and delta-costed units stay
+  byte-identical to full-recost units whether they execute in the
+  parent or in a forked worker.
 
 Shared state that is *safe* to share — the database, the workload, and
 :class:`DatabaseStats` (a pure function of the data) — is built once
@@ -82,6 +90,9 @@ class SweepResult:
     engine_stats: dict = field(default_factory=dict)
     estimation_cache_stats: dict = field(default_factory=dict)
     cost_cache_stats: dict = field(default_factory=dict)
+    #: summed per-unit delta-costing counters (empty when delta costing
+    #: was disabled for the sweep).
+    delta_stats: dict = field(default_factory=dict)
 
     @property
     def results(self) -> list[AdvisorResult]:
@@ -102,6 +113,30 @@ class SweepResult:
                 f"seed={seed!r}"
             )
         return matches[0].result
+
+
+#: delta-stats keys that are per-unit gauges (table sizes), not event
+#: counters — aggregated by max, never summed.
+_DELTA_GAUGES = frozenset({
+    "statements", "memo_entries", "probe_entries",
+})
+
+
+def _aggregate_delta_stats(per_run: Sequence[dict]) -> dict:
+    """Combine per-unit delta-costing stats into sweep totals: event
+    counters sum, gauge-valued keys (statement count, memo/probe table
+    sizes) take the per-unit maximum (empty when no unit had delta
+    costing on)."""
+    agg: dict = {}
+    for stats in per_run:
+        for key, value in stats.items():
+            if not isinstance(value, (int, float)):
+                continue
+            if key in _DELTA_GAUGES:
+                agg[key] = max(agg.get(key, 0), value)
+            else:
+                agg[key] = agg.get(key, 0) + value
+    return agg
 
 
 def _aggregate_cache_stats(per_run: Sequence[dict]) -> dict:
@@ -248,15 +283,20 @@ def run_sweep(
         database, workload, units, variant, dict(options_extra),
         stats, estimation_cache, cost_cache,
     )
+    owns_engine = engine is None
     engine = engine or ParallelEngine(workers)
-    if engine.parallel and len(units) >= engine.min_batch:
-        # One session for the whole sweep: workers fork once, inherit
-        # the database/stats/cache snapshot, and serve every greedy
-        # step of every unit until the sweep ends.
-        with engine.session(job):
-            results = engine.map(_run_unit_task, range(len(units)), job)
-    else:
-        results = [job.run_unit(i) for i in range(len(units))]
+    try:
+        if engine.parallel and len(units) >= engine.min_batch:
+            # One session for the whole sweep: workers fork once,
+            # inherit the database/stats/cache snapshot, and serve
+            # every greedy step of every unit until the sweep ends.
+            with engine.session(job):
+                results = engine.map(_run_unit_task, range(len(units)), job)
+        else:
+            results = [job.run_unit(i) for i in range(len(units))]
+    finally:
+        if owns_engine:
+            engine.shutdown()
 
     runs = [
         SweepRun(seed=seed, budget_bytes=budget, result=result)
@@ -272,5 +312,8 @@ def run_sweep(
         ),
         cost_cache_stats=_aggregate_cache_stats(
             [run.result.cost_cache_stats for run in runs]
+        ),
+        delta_stats=_aggregate_delta_stats(
+            [run.result.delta_stats for run in runs]
         ),
     )

@@ -49,13 +49,21 @@ def cmd_tune(args) -> int:
                   enable_partial=args.all_features,
                   enable_mv=args.all_features,
                   workers=args.workers,
-                  cache_dir=args.cache_dir)
+                  cache_dir=args.cache_dir,
+                  delta_costing=not args.full_recost)
     print(f"database {db.name}: {db.total_data_bytes() / 1024:.0f} KiB raw")
     print(f"variant {args.variant}, budget {budget / 1024:.0f} KiB")
     print(f"improvement {result.improvement_pct:.1f}% "
           f"({result.base_cost:.0f} -> {result.final_cost:.0f}), "
           f"consumed {result.consumed_bytes / 1024:.0f} KiB, "
           f"{result.elapsed_seconds:.1f}s")
+    if result.delta_stats:
+        ds = result.delta_stats
+        print(f"delta costing: {ds['reused_terms']} terms reused, "
+              f"{ds['patched_terms']} plan-patched, "
+              f"{ds['full_recosts']} full recosts, "
+              f"{ds['pruned_zero_delta'] + ds['pruned_bound']} "
+              f"candidates pruned")
     for ix in sorted(result.configuration, key=lambda i: i.display_name()):
         print(f"  {ix.display_name():58s} "
               f"{result.sizes[ix] / 1024:8.0f} KiB")
@@ -74,6 +82,7 @@ def cmd_sweep(args) -> int:
         cache_dir=args.cache_dir,
         enable_partial=args.all_features,
         enable_mv=args.all_features,
+        delta_costing=not args.full_recost,
     )
     print(f"database {db.name}: {total / 1024:.0f} KiB raw, "
           f"variant {args.variant}, {len(result.runs)} runs "
@@ -109,10 +118,11 @@ def cmd_estimate(args) -> int:
     from repro.sizeest import SizeEstimator
 
     db, wl = _make_dataset(args)
+    engine = ParallelEngine(args.workers)
     estimator = SizeEstimator(
         db, e=args.error, q=args.confidence,
         cache=EstimationCache(args.cache_dir) if args.cache_dir else None,
-        engine=ParallelEngine(args.workers),
+        engine=engine,
     )
     fact = "lineitem" if args.dataset == "tpch" else "sales"
     table = db.table(fact)
@@ -122,7 +132,11 @@ def cmd_estimate(args) -> int:
         for k in keys
         for m in (CompressionMethod.ROW, CompressionMethod.PAGE)
     ]
-    estimates = estimator.estimate_many(targets)
+    try:
+        estimates = estimator.estimate_many(targets)
+    finally:
+        # We own this engine: release its kept-alive worker pool.
+        engine.shutdown()
     for ix, est in estimates.items():
         print(f"{ix.display_name():55s} {est.source:9s} "
               f"{est.est_bytes / 1024:8.0f} KiB  cost={est.cost:.0f}")
@@ -151,7 +165,8 @@ def cmd_validate(args) -> int:
     budget = db.total_data_bytes() * args.budget
     result = tune(db, wl, budget, variant=args.variant,
                   estimator=estimator, stats=stats,
-                  workers=args.workers, cache_dir=args.cache_dir)
+                  workers=args.workers, cache_dir=args.cache_dir,
+                  delta_costing=not args.full_recost)
     report = validate_recommendation(
         result, db, wl, stats=stats, estimator=estimator
     )
@@ -239,6 +254,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cache-dir", default=None,
                        help="directory for the persistent size-estimate "
                             "cache (shared across runs)")
+        p.add_argument("--full-recost", action="store_true",
+                       help="disable delta-aware workload costing and "
+                            "re-cost the whole workload per candidate "
+                            "(identical recommendations, slower — the "
+                            "A/B baseline for the incremental bench)")
 
     p_tune = sub.add_parser("tune", help="run the tuning advisor")
     add_dataset_args(p_tune)

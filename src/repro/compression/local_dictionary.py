@@ -14,9 +14,13 @@ count ``c`` (``ptr`` = pointer width):
 * plain (NS):         ``c * (1 + L)``
 
 The codec charges ``min`` of the two per distinct value and keeps the total
-incrementally (O(1) per add).  Pointer width is 1 byte up to 256 distinct
-values on the page, 2 bytes beyond (a rare transition that triggers a full
-O(distinct) recount).
+incrementally — O(1) per add, *including* the pointer-width transition.
+Pointer width is 1 byte up to 256 distinct values on the page, 2 bytes
+beyond; both widths' totals are maintained on every count change, so
+crossing the boundary just switches which running total ``size()``
+exposes instead of rescanning all distinct values (the rescan made a
+pathological page — many distinct values arriving right at the
+boundary — O(distinct) per row).
 """
 
 from __future__ import annotations
@@ -25,6 +29,9 @@ from repro.compression.base import ColumnCodec
 
 VALUE_HEADER = 1
 DICT_OVERHEAD = 4  # per page per column: dictionary header
+
+#: distinct values a 1-byte on-page pointer can address.
+_PTR1_LIMIT = 256
 
 
 def _contribution(length: int, count: int, ptr: int) -> int:
@@ -41,30 +48,29 @@ class LocalDictionaryCodec(ColumnCodec):
         super().__init__(column)
         self._counts: dict[bytes, int] = {}
         self._ptr = 1
-        self._total = 0
+        #: running totals under a 1-byte and a 2-byte pointer; the
+        #: current width selects which one size() reads.
+        self._totals = [0, 0]
 
     def add(self, stripped: bytes) -> None:
         self.count += 1
         counts = self._counts
+        totals = self._totals
+        length = len(stripped)
         old = counts.get(stripped, 0)
         if old:
-            self._total -= _contribution(len(stripped), old, self._ptr)
+            totals[0] -= _contribution(length, old, 1)
+            totals[1] -= _contribution(length, old, 2)
         counts[stripped] = old + 1
-        self._total += _contribution(len(stripped), old + 1, self._ptr)
-        if self._ptr == 1 and len(counts) > 256:
+        totals[0] += _contribution(length, old + 1, 1)
+        totals[1] += _contribution(length, old + 1, 2)
+        if self._ptr == 1 and len(counts) > _PTR1_LIMIT:
             self._ptr = 2
-            self._recount()
-
-    def _recount(self) -> None:
-        self._total = sum(
-            _contribution(len(v), c, self._ptr)
-            for v, c in self._counts.items()
-        )
 
     def size(self) -> int:
         if self.count == 0:
             return 0
-        return DICT_OVERHEAD + self._total
+        return DICT_OVERHEAD + self._totals[self._ptr - 1]
 
     def distinct_on_page(self) -> int:
         """Distinct values currently on the page (exposed for tests and for
@@ -75,4 +81,4 @@ class LocalDictionaryCodec(ColumnCodec):
         super().reset()
         self._counts = {}
         self._ptr = 1
-        self._total = 0
+        self._totals = [0, 0]

@@ -7,9 +7,11 @@ from repro.optimizer.statement_cost import (
     StatementCoster,
     mv_matches_query,
 )
+from repro.optimizer.delta import DeltaWorkloadCoster
 from repro.optimizer.whatif import WhatIfOptimizer
 
 __all__ = [
+    "DeltaWorkloadCoster",
     "CostConstants",
     "DEFAULT_COST_CONSTANTS",
     "AccessPlan",

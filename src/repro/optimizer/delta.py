@@ -1,0 +1,925 @@
+"""Delta-aware workload costing: incremental what-if recosting for the
+enumeration hot path.
+
+The greedy search costs ``config ∪ {candidate}`` for every pool member at
+every step, yet adding one index only changes the plans of statements
+that touch its table (exactly what
+:meth:`WhatIfOptimizer._relevant_structures` computes).  This module
+exploits that three ways, without moving a single float:
+
+* **Statement-level memoization.**  Per-statement weighted cost terms
+  are memoized on the statement's *relevant-structure subset signature*
+  (the :func:`~repro.parallel.signature.index_identity` set of the
+  structures on its tables).  Costing a candidate configuration diffs it
+  against a *reference* configuration and re-evaluates only the
+  statements whose relevant set actually changed; every other
+  statement's term is reused untouched.  The workload total is the sum
+  of the per-statement terms in workload order — the identical
+  left-to-right accumulation :meth:`WhatIfOptimizer.workload_cost`
+  performs, so totals are bit-equal to the full-recost path.
+
+* **Access-path probes.**  For a SELECT statement, adding one secondary
+  index only changes the cost if the new index's single-table access
+  plan *beats* the plan the optimizer chose without it (plan selection
+  is a ``min`` over per-structure plans, and every other term of the
+  statement cost is unchanged when the chosen plans are unchanged).
+  The coster probes the candidate's plan with one
+  :func:`~repro.optimizer.access_paths.cost_access` call — cached per
+  (statement, candidate, base structure) — and when the probe *strictly
+  loses* against the chosen plan's cost, reuses the reference term as
+  the exact new term.  Strictness matters: on a tie the optimizer's
+  first-minimum tie-break could switch plans, so ties fall through to a
+  full recost.  When the probe *strictly wins* (a unique strict
+  minimum), the statement total is rebuilt from the reference's chosen
+  plans with the winner patched in, replaying ``_cost_select``'s exact
+  accumulation — the same floats in the same order — so even winning
+  candidates skip the all-tables x all-structures recost.
+
+* **Bound-based candidate pruning.**  Per statement the coster
+  maintains a lower bound — the cheapest cost any enumerable
+  configuration could achieve, derived from the cost model over the
+  registered candidate universe (every structure's best access plan
+  under every possible base, optimistic join/group terms, matching MV
+  substitutions; the classic AutoAdmin "atomic configuration" trick).
+  ``improvement_possible`` lets the enumerator skip candidates whose
+  optimistic total already loses to the current cost without costing
+  them at all.  Two prune classes, both decision-identical to the full
+  path by construction:
+
+  - *zero-delta certificates* (always on): every affected statement is
+    a SELECT whose probes all strictly lose — the candidate's total is
+    bit-identical to the current cost, so the full path would compute
+    ``delta_cost == 0`` and skip it anyway.
+  - *bound pruning* (enabled by the enumerator only where provably
+    safe: pure-greedy scoring without backtracking): the candidate's
+    optimistic improvement is below half the enumerator's
+    ``min_improvement`` acceptance threshold, so even if costed it
+    could only be chosen-and-rejected, which leaves the search state
+    exactly where pruning does.
+
+Determinism contract: recommendations with delta costing on are
+byte-identical to the full-recost path at any worker count.  Reuse only
+ever happens when the reused float is *provably the bit-identical value*
+the full path would compute; pruning only ever skips work whose outcome
+is provably invisible.
+
+The coster is strictly per-run state: its memo keys do not embed size
+estimates (unlike the persistent :class:`~repro.parallel.cache.CostCache`),
+so a memo must never outlive the estimator whose sizes it was built
+from.  Sweep orchestration honors that by construction — every (seed,
+budget) unit's :class:`TuningAdvisor` builds a fresh coster against its
+own seeded estimator, the delta-memo equivalent of handing each unit an
+*empty* fork view of the persistent caches — which keeps sharded and
+sequential sweeps byte-identical.  :meth:`fork_view` offers the same
+isolation as an explicit API for embedders that hold a coster across
+runs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.optimizer.access_paths import best_access_plan, cost_access
+from repro.optimizer.statement_cost import mv_matches_query
+from repro.parallel.signature import index_identity
+from repro.physical.configuration import Configuration
+from repro.physical.index_def import IndexDef
+from repro.stats.selectivity import conjunction_selectivity
+from repro.storage.index_build import IndexKind
+from repro.storage.page import PAGE_SIZE
+from repro.workload.query import (
+    DeleteQuery,
+    InsertQuery,
+    SelectQuery,
+    UpdateQuery,
+    Workload,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with whatif
+    from repro.optimizer.whatif import WhatIfOptimizer
+
+#: sentinel distinguishing "probe not yet computed" from "plan unusable".
+_UNPROBED = object()
+
+
+class DeltaWorkloadCoster:
+    """Incremental workload costing against a reference configuration.
+
+    Args:
+        whatif: the what-if optimizer providing full statement costings
+            (with its in-memory and persistent caches) plus the sizes,
+            stats and cost constants the probes must match exactly.
+        workload: the weighted workload being tuned; the statement order
+            fixes the float accumulation order of every total.
+    """
+
+    def __init__(self, whatif: "WhatIfOptimizer", workload: Workload) -> None:
+        self.whatif = whatif
+        self.workload = workload
+        statements = list(workload)
+        self._stmts = [ws.statement for ws in statements]
+        self._weights = [ws.weight for ws in statements]
+        self._is_select = [
+            isinstance(s, SelectQuery) for s in self._stmts
+        ]
+        self._tables: list[set[str]] = [
+            set(s.tables) if isinstance(s, SelectQuery) else {s.table}
+            for s in self._stmts
+        ]
+        self._by_table: dict[str, list[int]] = defaultdict(list)
+        for si, tables in enumerate(self._tables):
+            for table in tables:
+                self._by_table[table].append(si)
+        #: first statement index per distinct statement (for the
+        #: single-statement API used by candidate selection).
+        self._stmt_index: dict = {}
+        for si, stmt in enumerate(self._stmts):
+            self._stmt_index.setdefault(stmt, si)
+        db = whatif.database
+        #: per SELECT statement: table -> (predicates, needed columns),
+        #: the exact probe inputs ``StatementCoster._cost_select`` uses.
+        self._probe_info: list[dict | None] = [
+            {
+                t: (
+                    s.predicates_of_table(db, t),
+                    s.columns_of_table(db, t),
+                )
+                for t in s.tables
+            }
+            if isinstance(s, SelectQuery) else None
+            for s in self._stmts
+        ]
+
+        # Reference state: per-statement signatures / weighted terms /
+        # raw totals / chosen per-table plan costs / chosen plans for
+        # the reference configuration.
+        self._ref_config: Configuration | None = None
+        self._ref_sigs: list[frozenset] = []
+        self._ref_terms: list[float] = []
+        self._ref_totals: list[float] = []
+        self._ref_plans: list[tuple[float, ...] | None] = []
+        self._ref_full_plans: list[tuple | None] = []
+        self._ref_total = 0.0
+
+        #: (si, relevant-subset signature) ->
+        #: (term, total, plan_costs, full AccessPlan tuple | None)
+        self._memo: dict = {}
+        #: (si, table, candidate identity, base identity) ->
+        #: AccessPlan (None = unusable plan).
+        self._probes: dict = {}
+        #: (si, dimension table) -> conjunction selectivity (pure).
+        self._dim_sel: dict = {}
+        #: (si, table, table-local structure identities) -> AccessPlan.
+        self._table_plans: dict = {}
+
+        # Bound state (populated by register_universe).
+        self._universe: list[IndexDef] | None = None
+        self._universe_by_table: dict[str, list[IndexDef]] = {}
+        self._universe_sizes: dict | None = None
+        self._floors: dict[int, float | None] = {}
+
+        # Instrumentation.
+        self.reused_terms = 0
+        self.patched_terms = 0
+        self.full_recosts = 0
+        self.memo_hits = 0
+        self.probe_evals = 0
+        self.pruned_zero_delta = 0
+        self.pruned_bound = 0
+
+    # ------------------------------------------------------------------
+    # reference management
+    # ------------------------------------------------------------------
+    def rebase(self, config: Configuration) -> float:
+        """Make ``config`` the reference and return its workload cost
+        (bit-identical to :meth:`WhatIfOptimizer.workload_cost`).
+
+        Cheap when ``config`` was just costed: every changed statement's
+        term comes out of the memo."""
+        if self._ref_config is not None and config == self._ref_config:
+            return self._ref_total
+        n = len(self._stmts)
+        if self._ref_config is None:
+            sigs, terms, totals, plans, full = [], [], [], [], []
+            for si in range(n):
+                sig = self._sig(si, config)
+                term, total, pc, fp = self._term_for(si, sig, config)
+                sigs.append(sig)
+                terms.append(term)
+                totals.append(total)
+                plans.append(pc)
+                full.append(fp)
+        else:
+            added = config.indexes - self._ref_config.indexes
+            removed = self._ref_config.indexes - config.indexes
+            sigs = list(self._ref_sigs)
+            terms = list(self._ref_terms)
+            totals = list(self._ref_totals)
+            plans = list(self._ref_plans)
+            full = list(self._ref_full_plans)
+            for si in self._affected(added | removed):
+                sig = self._shifted_sig(si, added, removed)
+                term, total, pc, fp = self._term_for(
+                    si, sig, config, added=added, removed=removed
+                )
+                sigs[si] = sig
+                terms[si] = term
+                totals[si] = total
+                plans[si] = pc
+                full[si] = fp
+        self._ref_config = config
+        self._ref_sigs = sigs
+        self._ref_terms = terms
+        self._ref_totals = totals
+        self._ref_plans = plans
+        self._ref_full_plans = full
+        self._ref_total = sum(terms)
+        return self._ref_total
+
+    # ------------------------------------------------------------------
+    # costing
+    # ------------------------------------------------------------------
+    def workload_cost(self, config: Configuration) -> float:
+        """Weighted workload cost of ``config``, re-evaluating only the
+        statements whose relevant-structure set differs from the
+        reference configuration's."""
+        if self._ref_config is None:
+            return self.rebase(config)
+        ref = self._ref_config
+        if config == ref:
+            return self._ref_total
+        added = config.indexes - ref.indexes
+        removed = ref.indexes - config.indexes
+        out: list[float] | None = None
+        for si in self._affected(added | removed):
+            term = self._term_for(
+                si,
+                self._shifted_sig(si, added, removed),
+                config,
+                added=added,
+                removed=removed,
+            )[0]
+            if out is None:
+                out = list(self._ref_terms)
+            out[si] = term
+        if out is None:
+            return self._ref_total
+        return sum(out)
+
+    def batch(self, configs: Sequence[Configuration]) -> list[float]:
+        """Workload costs of many configurations, in input order."""
+        return [self.workload_cost(config) for config in configs]
+
+    def statement_cost(self, statement, config: Configuration) -> float:
+        """One statement's (unweighted) optimizer cost under ``config``,
+        through the delta memo — the hook candidate selection uses."""
+        si = self._stmt_index.get(statement)
+        if si is None or self._ref_config is None:
+            return self.whatif.cost(statement, config).total
+        added = config.indexes - self._ref_config.indexes
+        removed = self._ref_config.indexes - config.indexes
+        if not any(self._relevant(si, ix) for ix in added) and \
+                not any(self._relevant(si, ix) for ix in removed):
+            return self._ref_totals[si]
+        return self._term_for(
+            si,
+            self._shifted_sig(si, added, removed),
+            config,
+            added=added,
+            removed=removed,
+        )[1]
+
+    # ------------------------------------------------------------------
+    # pruning
+    # ------------------------------------------------------------------
+    def register_universe(
+        self,
+        universe: Iterable[IndexDef],
+        size_if_known: Callable[[IndexDef], "tuple[float, float] | None"],
+    ) -> None:
+        """Declare every structure an enumeration could ever place in a
+        configuration, enabling per-statement lower bounds.
+
+        Args:
+            universe: candidate pool plus base structures plus every
+                method variant the search phases may introduce.
+            size_if_known: resolves an index to ``(est_bytes, est_rows)``
+                **only when no new estimation work is needed** — bounds
+                must never trigger size estimation, or the delta-on and
+                delta-off estimation orders (and therefore their
+                deduction plans) could diverge.  Tables with any
+                unresolvable universe member get no bound.
+        """
+        seen: dict = {}
+        for ix in universe:
+            seen.setdefault(index_identity(ix), ix)
+        self._universe = list(seen.values())
+        self._universe_by_table = defaultdict(list)
+        self._universe_sizes = {}
+        for ix in self._universe:
+            if not ix.is_mv_index:
+                self._universe_by_table[ix.table].append(ix)
+            size = size_if_known(ix)
+            if size is not None:
+                self._universe_sizes[index_identity(ix)] = size
+        self._floors = {}
+
+    def lower_bound(self, si: int) -> float | None:
+        """Weighted lower bound on statement ``si``'s term over every
+        enumerable configuration (None = no sound bound available)."""
+        if self._universe is None:
+            return None
+        if si not in self._floors:
+            self._floors[si] = self._compute_floor(si)
+        return self._floors[si]
+
+    def improvement_possible(
+        self,
+        config: Configuration,
+        prune_threshold: float | None = None,
+    ) -> bool:
+        """Whether costing ``config`` could possibly change the search.
+
+        False means the enumerator may skip the candidate entirely:
+        either its total is provably bit-identical to the reference cost
+        (zero-delta certificate), or — when the enumerator passes a
+        ``prune_threshold`` because its strategy makes it safe — the
+        candidate's optimistic improvement over the reference is below
+        that threshold."""
+        ref = self._ref_config
+        if ref is None:
+            return True
+        added = config.indexes - ref.indexes
+        removed = ref.indexes - config.indexes
+        if removed:
+            return True  # swaps/base replacements: never certified
+        affected = self._affected(added)
+
+        certified = True
+        for si in affected:
+            if not self._is_select[si]:
+                certified = False
+                break
+            if self._ref_plans[si] is None:
+                certified = False
+                break
+            if not all(
+                self._probe_loses(si, ix)
+                for ix in added if self._relevant(si, ix)
+            ):
+                certified = False
+                break
+        if certified:
+            self.pruned_zero_delta += 1
+            return False
+
+        if prune_threshold is not None:
+            cap = 0.0
+            for si in affected:
+                floor = self.lower_bound(si)
+                if floor is None:
+                    return True
+                cap += self._ref_terms[si] - floor
+                if cap >= prune_threshold:
+                    return True
+            self.pruned_bound += 1
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # views & stats
+    # ------------------------------------------------------------------
+    def fork_view(self) -> "DeltaWorkloadCoster":
+        """A fresh, isolated coster over the same workload skeleton.
+
+        Like the persistent caches' :meth:`fork_view`, but the overlay
+        starts *empty*: delta memo keys do not embed size estimates, so
+        entries are only valid under the estimator state that produced
+        them.  Sweep units get this isolation implicitly (each unit's
+        advisor constructs its own coster); the explicit method is for
+        embedders that keep one coster across runs and need a sibling
+        that can never observe its terms."""
+        return type(self)(self.whatif, self.workload)
+
+    def stats(self) -> dict:
+        return {
+            "statements": len(self._stmts),
+            "memo_entries": len(self._memo),
+            "memo_hits": self.memo_hits,
+            "reused_terms": self.reused_terms,
+            "patched_terms": self.patched_terms,
+            "full_recosts": self.full_recosts,
+            "probe_evals": self.probe_evals,
+            "probe_entries": len(self._probes),
+            "pruned_zero_delta": self.pruned_zero_delta,
+            "pruned_bound": self.pruned_bound,
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _relevant(self, si: int, index: IndexDef) -> bool:
+        """Mirror of ``WhatIfOptimizer._relevant_structures`` for one
+        (statement, index) pair."""
+        if index.is_mv_index:
+            return bool(self._tables[si] & set(index.mv.tables))
+        return index.table in self._tables[si]
+
+    def _sig(self, si: int, config: Configuration) -> frozenset:
+        return frozenset(
+            index_identity(ix) for ix in config if self._relevant(si, ix)
+        )
+
+    def _shifted_sig(self, si: int, added, removed) -> frozenset:
+        """The relevant-subset signature after a diff, derived from the
+        reference signature without rescanning the configuration."""
+        sig = self._ref_sigs[si]
+        drop = {
+            index_identity(ix) for ix in removed if self._relevant(si, ix)
+        }
+        grow = {
+            index_identity(ix) for ix in added if self._relevant(si, ix)
+        }
+        if drop:
+            sig = sig - drop
+        if grow:
+            sig = sig | grow
+        return sig
+
+    def _affected(self, diff: Iterable[IndexDef]) -> list[int]:
+        """Statement indices whose relevant set a diff touches, in
+        workload order."""
+        out: set[int] = set()
+        for ix in diff:
+            if ix.is_mv_index:
+                mv_tables = set(ix.mv.tables)
+                for si, tables in enumerate(self._tables):
+                    if tables & mv_tables:
+                        out.add(si)
+            else:
+                out.update(self._by_table.get(ix.table, ()))
+        return sorted(out)
+
+    def _term_for(
+        self,
+        si: int,
+        sig: frozenset,
+        config: Configuration,
+        added=None,
+        removed=None,
+    ) -> tuple:
+        """(weighted term, raw total, chosen per-table plan costs,
+        chosen plans) of statement ``si`` under ``config`` — memoized,
+        probe-reused or plan-patched when provably exact, fully
+        recosted otherwise."""
+        entry = self._memo.get((si, sig))
+        if entry is not None:
+            self.memo_hits += 1
+            return entry
+        entry = None
+        if (
+            added is not None
+            and self._is_select[si]
+            and self._ref_plans[si] is not None
+        ):
+            entry = self._delta_entry(si, sig, config, added, removed)
+        if entry is None:
+            breakdown, plan_costs = self.whatif.cost_with_plans(
+                self._stmts[si], config
+            )
+            term = self._weights[si] * breakdown.total
+            entry = (
+                term, breakdown.total, plan_costs,
+                breakdown.plans or None,
+            )
+            self.full_recosts += 1
+        self._memo[(si, sig)] = entry
+        return entry
+
+    def _delta_entry(
+        self, si: int, sig: frozenset, config: Configuration,
+        added, removed,
+    ) -> tuple | None:
+        """The exact memo entry for a SELECT under a diffed candidate,
+        when the plans decide it without a full recost:
+
+        * reference reuse when every change is invisible (non-matching
+          MVs, unusable plans, plans that strictly lose);
+        * a plan-patched rebuild otherwise — a purely-added winner's
+          probe plan (a strict unique minimum), or, for tables whose
+          structure set changed structurally (base swaps, removals,
+          ties), the table's plan recomputed by the *real*
+          ``_structures_for`` + :func:`best_access_plan`, so ordering
+          and tie-breaks are the optimizer's own.
+
+        None means only a full recost is exact (MV substitution in
+        scope, or no reference plans to patch)."""
+        stmt = self._stmts[si]
+        if any(t[6] is not None for t in sig):
+            return None  # MVs in scope: substitution needs a recost
+        for ix in removed:
+            if self._relevant(si, ix) and ix.is_mv_index:
+                # Non-matching MVs are invisible; matching ones change
+                # the substitution choice.
+                if mv_matches_query(ix.mv, stmt):
+                    return None
+        recompute: set[str] = set()
+        winners: dict[str, object] = {}
+        removed_tables = {
+            ix.table for ix in removed
+            if not ix.is_mv_index and self._relevant(si, ix)
+        }
+        recompute |= removed_tables
+        for ix in added:
+            if not self._relevant(si, ix):
+                continue
+            if ix.is_mv_index:
+                if mv_matches_query(ix.mv, stmt):
+                    return None  # MV substitution: full recost
+                continue  # non-matching MV: invisible to this SELECT
+            table = ix.table
+            if table in recompute:
+                continue
+            if ix.kind is not IndexKind.SECONDARY:
+                recompute.add(table)  # base add: whole plan set shifts
+                winners.pop(table, None)
+                continue
+            plan = self._probe_cached(si, ix)
+            if plan is None:
+                continue  # unusable plan: invisible
+            chosen = self._chosen_plan_cost(si, table)
+            if chosen is None:  # pragma: no cover - defensive
+                recompute.add(table)
+                winners.pop(table, None)
+                continue
+            if plan.cost > chosen:
+                continue  # strict loss: invisible
+            if plan.cost == chosen:
+                # Tie: the optimizer's first-minimum order decides.
+                recompute.add(table)
+                winners.pop(table, None)
+                continue
+            best = winners.get(table)
+            if best is None:
+                winners[table] = plan
+            elif plan.cost < best.cost:
+                winners[table] = plan
+            else:
+                if plan.cost == best.cost:
+                    recompute.add(table)  # tied winners: order decides
+                    winners.pop(table, None)
+        if not recompute and not winners:
+            # Every change invisible: the reference floats are the
+            # candidate's floats, bit for bit.
+            self.reused_terms += 1
+            return (
+                self._ref_terms[si],
+                self._ref_totals[si],
+                self._ref_plans[si],
+                self._ref_full_plans[si],
+            )
+        full = self._ref_full_plans[si]
+        if full is None:
+            # Persistent replay: the reference carries plan costs but
+            # not the plans themselves — rebuild them with the real
+            # plan search (bit-identical by construction, and verified
+            # against the replayed costs before use).
+            full = self._reconstruct_ref_plans(si)
+            if full is None:
+                return None
+        patched = list(full)
+        for table, plan in winners.items():
+            patched[stmt.tables.index(table)] = plan
+        for table in recompute:
+            patched[stmt.tables.index(table)] = self._table_plan(
+                si, table, sig, config
+            )
+        total = self._select_total_from_plans(si, patched)
+        term = self._weights[si] * total
+        self.patched_terms += 1
+        return (
+            term, total,
+            tuple(plan.cost for plan in patched),
+            tuple(patched),
+        )
+
+    def _reconstruct_ref_plans(self, si: int) -> tuple | None:
+        """Chosen per-table plans of the reference statement costing,
+        recomputed with the optimizer's own plan search when the
+        reference breakdown was a persistent replay (which persists the
+        plan costs, not the plans).  The recomputed costs must equal the
+        replayed ones bit-for-bit — a mismatch (changed cost model vs. a
+        stale record, which the context fingerprint should preclude)
+        falls back to full recosting rather than risk a wrong patch."""
+        plan_costs = self._ref_plans[si]
+        if plan_costs is None:
+            return None
+        stmt = self._stmts[si]
+        sig = self._ref_sigs[si]
+        plans = tuple(
+            self._table_plan(si, table, sig, self._ref_config)
+            for table in stmt.tables
+        )
+        if tuple(plan.cost for plan in plans) != plan_costs:
+            return None  # pragma: no cover - defensive
+        self._ref_full_plans[si] = plans
+        return plans
+
+    def _table_plan(self, si: int, table: str, sig: frozenset,
+                    config: Configuration):
+        """The optimizer's own chosen plan for one table under
+        ``config`` — the exact ``_cost_select`` plan search, structure
+        ordering and tie-breaking included; memoized on the table-local
+        identity subset (a plan only sees its own table's structures)."""
+        key = (
+            si, table,
+            frozenset(
+                t for t in sig if t[0] == table and t[6] is None
+            ),
+        )
+        plan = self._table_plans.get(key)
+        if plan is not None:
+            return plan
+        coster = self.whatif.coster
+        preds, needed = self._probe_info[si][table]
+        plan = best_access_plan(
+            self.whatif.database,
+            self.whatif.stats.table(table),
+            table,
+            coster._structures_for(table, config),
+            preds,
+            needed,
+            coster.constants,
+        )
+        self._table_plans[key] = plan
+        return plan
+
+    def _select_total_from_plans(self, si: int, plans: list) -> float:
+        """``_cost_select``'s total rebuilt from already-chosen per-table
+        plans: the identical arithmetic in the identical order, minus
+        the per-structure plan search (only valid with no MV in scope).
+        """
+        stmt = self._stmts[si]
+        constants = self.whatif.coster.constants
+        io = cpu = 0.0
+        fact = stmt.root_table
+        fact_rows_out = None
+        dim_sel_product = 1.0
+        for table, plan in zip(stmt.tables, plans):
+            io += plan.io_cost
+            cpu += plan.cpu_cost
+            if table == fact:
+                fact_rows_out = plan.rows_out
+            else:
+                dim_sel_product *= self._dim_selectivity(si, table)
+        if fact_rows_out is None:  # pragma: no cover - defensive
+            fact_rows_out = 0.0
+        join_rows = fact_rows_out * dim_sel_product
+        if len(stmt.tables) > 1:
+            cpu += fact_rows_out * len(stmt.joins) * constants.cpu_join_probe
+            for plan in plans[1:]:
+                cpu += plan.rows_out * constants.cpu_tuple
+        if stmt.group_by or stmt.aggregates:
+            cpu += join_rows * constants.cpu_group
+        if stmt.order_by and not self._order_satisfied(stmt, plans[0]):
+            out_rows = max(2.0, join_rows)
+            cpu += out_rows * math.log2(out_rows) * constants.cpu_sort_factor
+        return io + cpu
+
+    @staticmethod
+    def _order_satisfied(stmt: SelectQuery, fact_plan) -> bool:
+        index = fact_plan.index
+        if index is None or len(stmt.tables) > 1:
+            return False
+        k = len(stmt.order_by)
+        return index.key_columns[:k] == tuple(stmt.order_by)
+
+    def _dim_selectivity(self, si: int, table: str) -> float:
+        sel = self._dim_sel.get((si, table))
+        if sel is None:
+            preds, _needed = self._probe_info[si][table]
+            sel = conjunction_selectivity(
+                self.whatif.stats.table(table), preds
+            )
+            self._dim_sel[(si, table)] = sel
+        return sel
+
+    def _chosen_plan_cost(self, si: int, table: str) -> float | None:
+        plans = self._ref_plans[si]
+        try:
+            return plans[self._stmts[si].tables.index(table)]
+        except (ValueError, IndexError):  # pragma: no cover - defensive
+            return None
+
+    def _probe_cached(self, si: int, ix: IndexDef):
+        """The candidate's access plan against the reference base of
+        its table (cached; None = unusable)."""
+        table = ix.table
+        base = self._ref_config.base_structure(table)
+        if base is None:  # pragma: no cover - bases always tracked
+            return None
+        key = (si, table, index_identity(ix), index_identity(base))
+        plan = self._probes.get(key, _UNPROBED)
+        if plan is _UNPROBED:
+            plan = self._probe(si, table, ix, base)
+            self._probes[key] = plan
+        return plan
+
+    def _probe_loses(self, si: int, ix: IndexDef) -> bool:
+        """True iff adding ``ix`` provably cannot change statement
+        ``si``'s cost: a non-matching MV, an unusable plan, or an access
+        plan that strictly loses to the chosen plan on its table."""
+        stmt = self._stmts[si]
+        if ix.is_mv_index:
+            # Non-matching MVs are skipped by both the access-path and
+            # the MV-substitution scans; matching ones need a recost.
+            return not mv_matches_query(ix.mv, stmt)
+        if ix.kind is not IndexKind.SECONDARY:
+            return False  # base adds surface as removed+added upstream
+        plan = self._probe_cached(si, ix)
+        if plan is None:
+            return True
+        chosen = self._chosen_plan_cost(si, ix.table)
+        if chosen is None:
+            return False
+        return plan.cost > chosen
+
+    def _probe(self, si: int, table: str, ix: IndexDef, base: IndexDef):
+        """One :func:`cost_access` evaluation with exactly the inputs
+        ``StatementCoster._structures_for`` would feed it."""
+        self.probe_evals += 1
+        preds, needed = self._probe_info[si][table]
+        whatif = self.whatif
+        ix_bytes, ix_rows = whatif._sizes(ix)
+        base_bytes, _base_rows = whatif._sizes(base)
+        return cost_access(
+            ix, ix_bytes, ix_rows, preds, needed,
+            whatif.stats.table(table), whatif.coster.constants,
+            base_lookup=(base, base_bytes),
+        )
+
+    # ------------------------------------------------------------------
+    # lower bounds (the atomic-configuration floor)
+    # ------------------------------------------------------------------
+    def _universe_size(self, ix: IndexDef) -> "tuple[float, float] | None":
+        return self._universe_sizes.get(index_identity(ix))
+
+    def _table_plan_floor(
+        self, si: int, table: str
+    ) -> "tuple[float, float] | None":
+        """(min plan cost, min rows_out) over every structure x base
+        pairing the universe allows on ``table`` — None when any
+        universe member's size is unknown (an unsound bound otherwise).
+
+        The base structure only enters a plan through the non-covering
+        lookup's decompression term, which is zero for an uncompressed
+        base and nonnegative otherwise — so costing every structure once
+        against an uncompressed base lower-bounds every real pairing
+        without enumerating them."""
+        structures = self._universe_by_table.get(table, [])
+        bases = [
+            ix for ix in structures
+            if ix.kind in (IndexKind.HEAP, IndexKind.CLUSTERED)
+        ]
+        floor_base = next(
+            (ix for ix in bases if not ix.method.is_compressed), None
+        )
+        if floor_base is None:
+            return None
+        base_size = self._universe_size(floor_base)
+        if base_size is None:
+            return None
+        preds, needed = self._probe_info[si][table]
+        stats = self.whatif.stats.table(table)
+        constants = self.whatif.coster.constants
+        best_cost = None
+        best_rows = None
+        for ix in structures:
+            size = self._universe_size(ix)
+            if size is None:
+                return None
+            plan = cost_access(
+                ix, size[0], size[1], preds, needed, stats,
+                constants, base_lookup=(floor_base, base_size[0]),
+            )
+            if plan is None:
+                continue
+            if best_cost is None or plan.cost < best_cost:
+                best_cost = plan.cost
+            if best_rows is None or plan.rows_out < best_rows:
+                best_rows = plan.rows_out
+        if best_cost is None:
+            return None
+        return best_cost, best_rows
+
+    def _select_floor(self, si: int, stmt: SelectQuery) -> float | None:
+        """Lower bound on a SELECT's total over every enumerable
+        configuration: per-table minimum access plans, optimistic
+        join/group terms, zero sort, best matching MV."""
+        constants = self.whatif.coster.constants
+        total = 0.0
+        fact_rows = None
+        dim_rows_terms = 0.0
+        dim_sel_product = 1.0
+        for table in stmt.tables:
+            floor = self._table_plan_floor(si, table)
+            if floor is None:
+                return None
+            total += floor[0]
+            if table == stmt.root_table:
+                fact_rows = floor[1]
+            else:
+                preds, _needed = self._probe_info[si][table]
+                dim_sel_product *= conjunction_selectivity(
+                    self.whatif.stats.table(table), preds
+                )
+                dim_rows_terms += floor[1] * constants.cpu_tuple
+        if fact_rows is None:  # pragma: no cover - defensive
+            fact_rows = 0.0
+        if len(stmt.tables) > 1:
+            total += fact_rows * len(stmt.joins) * constants.cpu_join_probe
+            total += dim_rows_terms
+        if stmt.group_by or stmt.aggregates:
+            total += fact_rows * dim_sel_product * constants.cpu_group
+        # order-by sort cost >= 0: omitted from the bound.
+        mv_floor = self._mv_floor(stmt)
+        if mv_floor is not None and mv_floor < total:
+            total = mv_floor
+        return total
+
+    def _mv_floor(self, stmt: SelectQuery) -> float | None:
+        """Cheapest matching MV substitution available in the universe
+        (exact per-MV arithmetic, mirroring ``_try_mv_plan``)."""
+        constants = self.whatif.coster.constants
+        best = None
+        for ix in self._universe or ():
+            if not ix.is_mv_index or not mv_matches_query(ix.mv, stmt):
+                continue
+            size = self._universe_size(ix)
+            if size is None:
+                return 0.0  # unknown MV size: only zero stays sound
+            size_bytes, rows = size
+            pages = max(1.0, size_bytes / PAGE_SIZE)
+            cost = pages * constants.io_seq_page + rows * constants.cpu_tuple
+            if ix.method.is_compressed:
+                n_cols = max(
+                    1, len(ix.mv.group_by) + len(ix.mv.aggregates)
+                )
+                cost += constants.decompress_cpu(ix.method, rows, n_cols)
+            if best is None or cost < best:
+                best = cost
+        return best
+
+    def _maintenance_floor(self, table: str, affected: float) -> float | None:
+        """Lower bound on maintenance cost: the cheapest possible base
+        structure alone (secondary/MV terms are nonnegative)."""
+        constants = self.whatif.coster.constants
+        bases = [
+            ix for ix in self._universe_by_table.get(table, [])
+            if ix.kind in (IndexKind.HEAP, IndexKind.CLUSTERED)
+        ]
+        if not bases:
+            return None
+        best = None
+        for base in bases:
+            size = self._universe_size(base)
+            if size is None:
+                return None
+            size_bytes, rows = size
+            rows_total = max(rows, 1.0)
+            io = (
+                affected * (size_bytes / rows_total) / PAGE_SIZE
+                * constants.io_seq_page
+            )
+            cpu = affected * constants.cpu_insert_per_index
+            cpu += constants.compress_cpu(base.method, affected)
+            if best is None or io + cpu < best:
+                best = io + cpu
+        return best
+
+    def _compute_floor(self, si: int) -> float | None:
+        stmt = self._stmts[si]
+        weight = self._weights[si]
+        if isinstance(stmt, SelectQuery):
+            floor = self._select_floor(si, stmt)
+            return None if floor is None else weight * floor
+        stats = self.whatif.stats.table(stmt.table)
+        if isinstance(stmt, InsertQuery):
+            find = 0.0
+            affected = float(stmt.n_rows)
+        elif isinstance(stmt, (UpdateQuery, DeleteQuery)):
+            # The find part is a SELECT probe on the same table; its
+            # floor needs per-table probe info this statement does not
+            # carry, so stay conservative: zero find cost.
+            find = 0.0
+            affected = stats.n_rows * conjunction_selectivity(
+                stats, stmt.predicates
+            )
+        else:  # pragma: no cover - unknown statement kinds
+            return None
+        maintain = self._maintenance_floor(stmt.table, affected)
+        if maintain is None:
+            return None
+        return weight * (find + maintain)

@@ -9,7 +9,7 @@ it touches — and totals weighted workload costs.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.catalog.schema import Database
 from repro.parallel.cache import CostCache
@@ -25,6 +25,9 @@ from repro.physical.index_def import IndexDef
 from repro.stats.column_stats import DatabaseStats
 from repro.workload.query import SelectQuery, Statement
 from repro.workload.query import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with delta
+    from repro.optimizer.delta import DeltaWorkloadCoster
 
 
 class WhatIfOptimizer:
@@ -64,6 +67,9 @@ class WhatIfOptimizer:
             database, self.stats, self._lookup_size, constants
         )
         self._cache: dict[tuple, CostBreakdown] = {}
+        #: plan costs recovered from persistent replays (fresh
+        #: breakdowns carry their plans inline).
+        self._plan_costs: dict[tuple, tuple[float, ...]] = {}
         self.cost_cache = cost_cache
         self._cost_context = cost_context
         self._resolved_context: str | None = None
@@ -162,11 +168,22 @@ class WhatIfOptimizer:
     def cost(self, statement: Statement,
              config: Configuration) -> CostBreakdown:
         """Optimizer-estimated cost of one statement."""
+        return self.cost_with_plans(statement, config)[0]
+
+    def cost_with_plans(
+        self, statement: Statement, config: Configuration
+    ) -> "tuple[CostBreakdown, tuple[float, ...] | None]":
+        """One statement's cost plus its chosen per-table access-plan
+        costs (aligned with ``statement.tables``), or None when plans
+        are unknown — an update statement, an MV substitution, or an
+        old-format persistent replay.  The delta coster's access-path
+        probes compare against these, so they survive persistent
+        replays (the cost cache stores them alongside the totals)."""
         relevant = self._relevant_structures(statement, config)
         key = self._signature_of(statement, relevant)
         cached = self._cache.get(key)
         if cached is not None:
-            return cached
+            return cached, self._plan_costs_of(key, cached)
         persistent_key = None
         if self.cost_cache is not None:
             persistent_key = CostCache.key_from_signatures(
@@ -174,16 +191,35 @@ class WhatIfOptimizer:
                 [self._sized_signature(ix) for ix in relevant],
                 self._context(),
             )
-            replayed = self.cost_cache.get(persistent_key)
+            replayed = self.cost_cache.get_with_plans(persistent_key)
             if replayed is not None:
-                self._cache[key] = replayed
-                return replayed
+                breakdown, plan_costs = replayed
+                self._cache[key] = breakdown
+                if plan_costs is not None:
+                    self._plan_costs[key] = plan_costs
+                return breakdown, plan_costs
         self.optimizer_calls += 1
         breakdown = self.coster.cost(statement, config)
         self._cache[key] = breakdown
         if persistent_key is not None:
             self.cost_cache.put(persistent_key, breakdown)
-        return breakdown
+        return breakdown, self._plan_costs_of(key, breakdown)
+
+    def _plan_costs_of(
+        self, key: tuple, breakdown: CostBreakdown
+    ) -> "tuple[float, ...] | None":
+        if breakdown.plans:
+            return tuple(plan.cost for plan in breakdown.plans)
+        return self._plan_costs.get(key)
+
+    def delta_coster(self, workload: Workload) -> "DeltaWorkloadCoster":
+        """A :class:`~repro.optimizer.delta.DeltaWorkloadCoster` bound
+        to this optimizer and ``workload`` (fresh per call: the delta
+        memo is per-run state and must not outlive this optimizer's
+        size lookup)."""
+        from repro.optimizer.delta import DeltaWorkloadCoster
+
+        return DeltaWorkloadCoster(self, workload)
 
     # ------------------------------------------------------------------
     def cost_batch(
@@ -208,11 +244,19 @@ class WhatIfOptimizer:
         self,
         workload: Workload,
         configs: Sequence[Configuration],
+        delta: "DeltaWorkloadCoster | None" = None,
     ) -> list[float]:
         """Weighted workload cost of each candidate configuration, in
         input order.  This is the unit the advisor fans out per worker:
         one task = one configuration's full workload cost, so the
-        per-configuration float is identical arithmetic either way."""
+        per-configuration float is identical arithmetic either way.
+
+        ``delta`` routes the batch through a
+        :class:`~repro.optimizer.delta.DeltaWorkloadCoster` bound to the
+        same workload: only statements whose relevant-structure set
+        changed get re-evaluated, with bit-identical totals."""
+        if delta is not None and delta.workload is workload:
+            return delta.batch(configs)
         return [self.workload_cost(workload, config) for config in configs]
 
     @property
@@ -221,4 +265,5 @@ class WhatIfOptimizer:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+        self._plan_costs.clear()
         self._sized_signatures.clear()

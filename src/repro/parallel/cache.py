@@ -342,22 +342,42 @@ class CostCache(_PersistentJsonCache):
     def get(self, key: str) -> "CostBreakdown | None":
         """The replayed breakdown for an identical earlier costing, or
         None (``plans`` is empty on a replay)."""
+        replayed = self.get_with_plans(key)
+        return replayed[0] if replayed is not None else None
+
+    def get_with_plans(
+        self, key: str
+    ) -> "tuple[CostBreakdown, tuple[float, ...] | None] | None":
+        """Replayed (breakdown, chosen per-table plan costs) — the plan
+        costs feed the delta coster's access-path probes; None plan
+        costs mean an entry persisted before they were recorded (or a
+        statement that has none), which only disables probe reuse, not
+        the replay itself."""
         from repro.optimizer.statement_cost import CostBreakdown
 
         record = self._lookup(key)
         if record is None:
             return None
-        return CostBreakdown(
+        breakdown = CostBreakdown(
             total=record["total"],
             io=record["io"],
             cpu=record["cpu"],
             used_mv=record.get("used_mv", False),
         )
+        plan_costs = record.get("plan_costs")
+        return breakdown, (
+            tuple(plan_costs) if plan_costs is not None else None
+        )
 
     def put(self, key: str, breakdown: "CostBreakdown") -> None:
-        self._store(key, {
+        record = {
             "total": breakdown.total,
             "io": breakdown.io,
             "cpu": breakdown.cpu,
             "used_mv": breakdown.used_mv,
-        })
+        }
+        if breakdown.plans:
+            # JSON round-trips Python floats exactly (repr-based), so a
+            # replayed plan cost compares bit-identically in probes.
+            record["plan_costs"] = [plan.cost for plan in breakdown.plans]
+        self._store(key, record)

@@ -20,6 +20,14 @@ builds and what-if costings — without changing their results:
   pools all degrade to an in-process sequential loop with identical
   results.
 
+* **Session reuse.**  Pools outlive their session (``keep_alive``): a
+  later session with the same context object reuses the forked workers
+  instead of paying another fork, unless the parent declared its state
+  advanced (``mark_dirty``) — which is how one advisor run serves its
+  per-query evaluation *and* every greedy step of every enumeration
+  seed from a single pool when no new estimation state appeared in
+  between.  ``shutdown()`` releases the dormant pool when a run ends.
+
 Task functions must be module-level (picklable by reference) and take
 ``(context, item)``; the context travels through fork memory, not
 pickling.
@@ -65,17 +73,29 @@ class ParallelEngine:
             shorter batches run sequentially even inside a session.
     """
 
-    def __init__(self, workers: int = 1, min_batch: int = 2) -> None:
+    def __init__(self, workers: int = 1, min_batch: int = 2,
+                 keep_alive: bool = True) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.workers = default_workers() if workers == 0 else workers
         self.min_batch = min_batch
+        #: keep the worker pool alive between sessions so a later
+        #: session with the same context reuses it instead of re-forking
+        #: (False restores the fork-per-session behavior).
+        self.keep_alive = keep_alive
         self._pool: ProcessPoolExecutor | None = None
         self._session_context = None
+        #: context the dormant pool's workers were forked against.
+        self._pool_context = None
+        #: parent state advanced since the pool forked (mark_dirty);
+        #: the next session re-forks unless it opts into staleness.
+        self._dirty = False
         #: instrumentation: (parallel maps, sequential maps, tasks fanned)
         self.parallel_maps = 0
         self.sequential_maps = 0
         self.tasks_dispatched = 0
+        self.pools_forked = 0
+        self.pools_reused = 0
 
     # ------------------------------------------------------------------
     @property
@@ -85,11 +105,31 @@ class ParallelEngine:
 
     @property
     def in_session(self) -> bool:
-        return self._pool is not None
+        return self._session_context is not None
+
+    # ------------------------------------------------------------------
+    def mark_dirty(self) -> None:
+        """Record that parent state the tasks depend on has advanced
+        past what the dormant pool's workers inherited: the next
+        session re-forks instead of reusing the pool (unless it opens
+        with ``stale_ok=True``)."""
+        self._dirty = True
+
+    def shutdown(self) -> None:
+        """Release the dormant worker pool (if any).  Owners call this
+        when their run ends; the engine stays usable — a later session
+        simply forks a fresh pool."""
+        self._shutdown_pool()
+
+    def _shutdown_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        self._pool_context = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
     @contextmanager
-    def session(self, context):
+    def session(self, context, stale_ok: bool = False):
         """Open a worker pool whose processes snapshot the parent *now*.
 
         Tasks mapped with this ``context`` run on the pool; any other
@@ -97,25 +137,43 @@ class ParallelEngine:
         session) falls back to sequential execution, because the inner
         context's state may postdate the fork.  Nested sessions and
         sequential engines are transparent no-ops.
+
+        With ``keep_alive`` the pool survives session exit, and a later
+        session with the *same context object* reuses it — its workers
+        and their inherited state — instead of re-forking, unless
+        :meth:`mark_dirty` was called in between.  ``stale_ok`` opts a
+        session into reuse even past a dirty mark, for tasks that are
+        pure functions of fork-invariant state (e.g. SampleCF builds,
+        which depend only on deterministic samples).
         """
         global _FORK_CONTEXT
         if not self.parallel or self.in_session:
             yield self
             return
-        _FORK_CONTEXT = context
+        if self._pool is not None and (
+            self._pool_context is not context
+            or (self._dirty and not stale_ok)
+        ):
+            self._shutdown_pool()
+        if self._pool is None:
+            _FORK_CONTEXT = context
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+            self._pool_context = context
+            self._dirty = False
+            self.pools_forked += 1
+        else:
+            self.pools_reused += 1
         self._session_context = context
-        self._pool = ProcessPoolExecutor(
-            max_workers=self.workers,
-            mp_context=multiprocessing.get_context("fork"),
-        )
         try:
             yield self
         finally:
-            pool, self._pool = self._pool, None
             self._session_context = None
             _FORK_CONTEXT = None
-            if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
+            if not self.keep_alive:
+                self._shutdown_pool()
 
     # ------------------------------------------------------------------
     def map(
@@ -171,9 +229,7 @@ class ParallelEngine:
         """Shut down the session's pool (cancelling queued tasks) and
         replace it with a fresh fork of the same session context."""
         global _FORK_CONTEXT
-        pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+        self._shutdown_pool()
         if self._session_context is None:
             return
         _FORK_CONTEXT = self._session_context
@@ -181,6 +237,8 @@ class ParallelEngine:
             max_workers=self.workers,
             mp_context=multiprocessing.get_context("fork"),
         )
+        self._pool_context = self._session_context
+        self.pools_forked += 1
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -190,4 +248,6 @@ class ParallelEngine:
             "parallel_maps": self.parallel_maps,
             "sequential_maps": self.sequential_maps,
             "tasks_dispatched": self.tasks_dispatched,
+            "pools_forked": self.pools_forked,
+            "pools_reused": self.pools_reused,
         }

@@ -131,6 +131,18 @@ class SizeEstimator:
         self._cache[index] = est
         return est
 
+    def peek(self, index: IndexDef) -> SizeEstimate | None:
+        """The estimate for ``index`` only if no new estimation *work*
+        is needed: uncompressed indexes (pure analytic arithmetic, safe
+        to compute at any time) and compressed indexes already in the
+        in-memory cache.  Never consults the persistent cache and never
+        plans a SampleCF batch, so calling it cannot change which
+        estimates later batches compute or how deduction plans them —
+        the property the advisor's pruning bounds rely on."""
+        if not index.method.is_compressed:
+            return self.estimate(index)
+        return self._cache.get(index)
+
     @property
     def sample_fingerprint(self) -> str:
         """Digest of the sampled data + sampling seed (computed once);
@@ -158,6 +170,7 @@ class SizeEstimator:
             ix for ix in indexes
             if ix not in self._cache and ix.method.is_compressed
         ))
+        new_compressed = bool(pending)
         for ix in indexes:
             if ix not in self._cache and not ix.method.is_compressed:
                 self.estimate(ix)
@@ -220,6 +233,13 @@ class SizeEstimator:
                     self.cache.put(ix, fingerprint, e, q, est)
             self.cache.save()
 
+        if new_compressed and self.engine is not None:
+            # Fresh compressed estimates postdate any dormant worker
+            # pool: advisor-context sessions must re-fork so workers see
+            # them (SampleCF sessions opt back in via stale_ok — their
+            # tasks depend only on deterministic samples).
+            self.engine.mark_dirty()
+
         return {ix: self._cache[ix] for ix in indexes}
 
     # ------------------------------------------------------------------
@@ -247,7 +267,7 @@ class SizeEstimator:
             self.runner._sample_for(ix, self.default_fraction)
         start = time.perf_counter()
         payloads = [(ix, self.default_fraction) for ix in direct]
-        with self.engine.session(self):
+        with self.engine.session(self, stale_ok=True):
             results = self.engine.map(_samplecf_task, payloads, context=self)
         elapsed = time.perf_counter() - start
         for ix, est in zip(direct, results):
@@ -268,7 +288,7 @@ class SizeEstimator:
             # Parent-side sample warm-up, inherited by the fork below.
             self.runner._sample_for(ix, plan.fraction)
         payloads = [(ix, plan.fraction) for ix in sampled]
-        with self.engine.session(self):
+        with self.engine.session(self, stale_ok=True):
             results = self.engine.map(_samplecf_task, payloads, context=self)
         return {node_key(ix): est for ix, est in zip(sampled, results)}
 

@@ -170,6 +170,42 @@ class TestLocalDictionary:
         )
         assert codec.size() == expected
 
+    def test_incremental_total_matches_rescan_at_every_row(self):
+        """The incrementally-maintained size must equal a full
+        O(distinct) rescan after *every* add, across the 1-byte to
+        2-byte pointer-width transition at 256 distinct values —
+        the transition is an O(1) total switch, not a recount."""
+        import random
+
+        def rescan_size(counts, ptr):
+            if not counts:
+                return 0
+            return DICT_OVERHEAD + sum(
+                _contribution(len(v), c, ptr) for v, c in counts.items()
+            )
+
+        rng = random.Random(20110829)
+        codec = LocalDictionaryCodec(CHAR_COL)
+        counts: dict = {}
+        # 700 adds over ~400 distinct values: crosses the 256-distinct
+        # boundary mid-sequence with plenty of repeats on both sides.
+        for _ in range(700):
+            value = bytes([rng.randrange(4), rng.randrange(100)])
+            codec.add(value)
+            counts[value] = counts.get(value, 0) + 1
+            ptr = 1 if len(counts) <= 256 else 2
+            assert codec.size() == rescan_size(counts, ptr)
+        assert codec.distinct_on_page() > 256
+
+    def test_reset_clears_both_width_totals(self):
+        codec = LocalDictionaryCodec(CHAR_COL)
+        for i in range(300):
+            codec.add(bytes([i % 256, i // 256]))
+        codec.reset()
+        assert codec.size() == 0
+        codec.add(b"ab")
+        assert codec.size() == DICT_OVERHEAD + _contribution(2, 1, 1)
+
 
 class TestRunLength:
     def test_runs(self):

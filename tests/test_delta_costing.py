@@ -1,0 +1,356 @@
+"""Delta-aware workload costing: incremental totals must be bit-equal
+to full recosting, and pruning must never change a recommendation.
+
+The contract under test (see ``repro.optimizer.delta``): the
+``DeltaWorkloadCoster`` only ever reuses a float it can prove is the
+bit-identical value the full-recost path would compute (probe-lose
+reuse, plan patching), and only ever skips a candidate whose costing
+provably cannot change the search (zero-delta certificates, bound
+pruning under pure-greedy scoring).  So every test here asserts *exact*
+equality — no tolerances.
+"""
+
+import random
+
+import pytest
+
+from repro.advisor.advisor import AdvisorOptions, TuningAdvisor, tune
+from repro.advisor.sweep import run_sweep
+from repro.datasets.sales import sales_database, sales_workload
+from repro.parallel.cache import CostCache
+from repro.parallel.engine import fork_available
+from repro.physical.configuration import Configuration
+from repro.physical.index_def import IndexDef
+from repro.sizeest.estimator import SizeEstimator
+from repro.stats.column_stats import DatabaseStats
+from repro.storage.index_build import IndexKind
+
+
+@pytest.fixture(scope="module")
+def delta_inputs():
+    db = sales_database(scale=0.04)
+    wl = sales_workload(db)
+    return db, wl, db.total_data_bytes() * 0.15
+
+
+@pytest.fixture(scope="module")
+def costing_rig(delta_inputs):
+    """A what-if optimizer + the candidate pool an advisor would search,
+    for direct coster-level tests."""
+    db, wl, budget = delta_inputs
+    stats = DatabaseStats(db)
+    estimator = SizeEstimator(db, stats=stats)
+    advisor = TuningAdvisor(
+        db, wl, AdvisorOptions(budget_bytes=budget),
+        estimator=estimator, stats=stats,
+    )
+    base = advisor.base_config
+    pool = []
+    for table in ("sales", "customers", "products", "stores"):
+        t = db.table(table)
+        cols = t.column_names
+        pool.append(IndexDef(table, (cols[0],), kind=IndexKind.SECONDARY))
+        pool.append(
+            IndexDef(table, (cols[1], cols[0]), kind=IndexKind.SECONDARY)
+        )
+    return advisor.whatif, wl, base, pool
+
+
+def _random_configs(base: Configuration, pool, seed: int, n: int):
+    """Randomized candidate sequences: single adds, growing chains, and
+    the occasional multi-add — the shapes enumeration produces."""
+    rng = random.Random(seed)
+    configs = []
+    current = base
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.5:
+            configs.append(current.add(rng.choice(pool)))
+        elif roll < 0.8:
+            current = current.add(rng.choice(pool))
+            configs.append(current)
+        else:
+            a, b = rng.sample(pool, 2)
+            configs.append(current.add(a).add(b))
+    return configs
+
+
+class TestIncrementalEqualsFull:
+    @pytest.mark.parametrize("seed", [7, 8, 9])
+    def test_randomized_sequences_match_full_batch(self, costing_rig, seed):
+        """Property: delta totals == fresh full-recost totals, exactly,
+        for randomized candidate sequences."""
+        whatif, wl, base, pool = costing_rig
+        configs = _random_configs(base, pool, seed, 40)
+        delta = whatif.delta_coster(wl)
+        delta.rebase(base)
+        incremental = delta.batch(configs)
+        whatif.clear_cache()
+        full = whatif.workload_cost_batch(wl, configs)
+        assert incremental == full
+        stats = delta.stats()
+        assert stats["reused_terms"] + stats["patched_terms"] > 0
+
+    def test_rebase_returns_full_workload_cost(self, costing_rig):
+        whatif, wl, base, pool = costing_rig
+        delta = whatif.delta_coster(wl)
+        assert delta.rebase(base) == whatif.workload_cost(wl, base)
+        grown = base.add(pool[0]).add(pool[3])
+        assert delta.rebase(grown) == whatif.workload_cost(wl, grown)
+
+    def test_statement_cost_matches_whatif(self, costing_rig):
+        whatif, wl, base, pool = costing_rig
+        delta = whatif.delta_coster(wl)
+        delta.rebase(base)
+        for ws in wl:
+            for ix in pool[:4]:
+                config = base.add(ix)
+                assert delta.statement_cost(ws.statement, config) == \
+                    whatif.cost(ws.statement, config).total
+
+    def test_base_swaps_and_method_swaps_match(self, costing_rig):
+        """Removed+added diffs (the polish/backtrack shapes) must also
+        be exact."""
+        from repro.compression.base import CompressionMethod
+
+        whatif, wl, base, pool = costing_rig
+        delta = whatif.delta_coster(wl)
+        delta.rebase(base)
+        configs = []
+        for ix in base.ordered():
+            for method in (CompressionMethod.ROW, CompressionMethod.PAGE):
+                configs.append(base.replace(ix, ix.with_method(method)))
+        grown = base.add(pool[0])
+        configs.append(
+            grown.replace(pool[0], pool[0].with_method(
+                CompressionMethod.PAGE))
+        )
+        incremental = delta.batch(configs)
+        whatif.clear_cache()
+        assert incremental == whatif.workload_cost_batch(wl, configs)
+
+    def test_fork_view_is_isolated(self, costing_rig):
+        whatif, wl, base, pool = costing_rig
+        delta = whatif.delta_coster(wl)
+        delta.rebase(base)
+        delta.workload_cost(base.add(pool[0]))
+        view = delta.fork_view()
+        assert view.stats()["memo_entries"] == 0
+        assert view.workload_cost(base) == delta.rebase(base)
+        assert delta.stats()["memo_entries"] > 0
+
+
+class TestColdAndWarmCostCache:
+    @pytest.mark.parametrize("seed", [21, 22])
+    def test_equivalence_through_persistent_cache(
+        self, delta_inputs, tmp_path, seed
+    ):
+        """Cold stores, warm replays (plan costs included): delta totals
+        stay equal to full recosting in both cache states."""
+        db, wl, budget = delta_inputs
+        stats = DatabaseStats(db)
+
+        def rig(cache: CostCache):
+            estimator = SizeEstimator(db, stats=stats)
+            advisor = TuningAdvisor(
+                db, wl, AdvisorOptions(budget_bytes=budget),
+                estimator=estimator, stats=stats, cost_cache=cache,
+            )
+            return advisor.whatif, advisor.base_config
+
+        whatif, base = rig(CostCache(tmp_path))
+        pool = [
+            IndexDef("sales", (db.table("sales").column_names[i],),
+                     kind=IndexKind.SECONDARY)
+            for i in range(3)
+        ]
+        configs = _random_configs(base, pool, seed, 25)
+
+        delta = whatif.delta_coster(wl)
+        delta.rebase(base)
+        cold = delta.batch(configs)
+        whatif.cost_cache.save()
+
+        # Warm: a fresh optimizer + coster over the persisted entries.
+        warm_whatif, warm_base = rig(CostCache(tmp_path))
+        warm_delta = warm_whatif.delta_coster(wl)
+        warm_delta.rebase(warm_base)
+        warm = warm_delta.batch(configs)
+        assert warm == cold
+
+        # And the ground truth, uncached.
+        bare_whatif, bare_base = rig(None)
+        assert bare_whatif.workload_cost_batch(wl, configs) == cold
+
+    def test_plan_costs_survive_persistence(self, delta_inputs, tmp_path):
+        db, wl, budget = delta_inputs
+        stats = DatabaseStats(db)
+        estimator = SizeEstimator(db, stats=stats)
+        advisor = TuningAdvisor(
+            db, wl, AdvisorOptions(budget_bytes=budget),
+            estimator=estimator, stats=stats,
+            cost_cache=CostCache(tmp_path),
+        )
+        whatif = advisor.whatif
+        query = wl.queries[0].statement
+        breakdown, plan_costs = whatif.cost_with_plans(
+            query, advisor.base_config
+        )
+        assert plan_costs == tuple(p.cost for p in breakdown.plans)
+        whatif.cost_cache.save()
+
+        replayer = TuningAdvisor(
+            db, wl, AdvisorOptions(budget_bytes=budget),
+            estimator=SizeEstimator(db, stats=stats), stats=stats,
+            cost_cache=CostCache(tmp_path),
+        )
+        replayed, replayed_costs = replayer.whatif.cost_with_plans(
+            query, replayer.base_config
+        )
+        assert replayed.total == breakdown.total
+        assert replayed.plans == ()  # plans are not persisted...
+        assert replayed_costs == plan_costs  # ...but their costs are
+
+
+class TestAdvisorIdentity:
+    @pytest.mark.parametrize("variant", ["dtac-both", "dtac-none", "dta"])
+    def test_tune_identical_with_delta_on_or_off(self, delta_inputs,
+                                                 variant):
+        db, wl, budget = delta_inputs
+        off = tune(db, wl, budget, variant=variant, delta_costing=False)
+        on = tune(db, wl, budget, variant=variant, delta_costing=True)
+        assert on.configuration == off.configuration
+        assert on.final_cost == off.final_cost
+        assert on.base_cost == off.base_cost
+        assert on.consumed_bytes == off.consumed_bytes
+        assert on.steps == off.steps
+        assert on.delta_stats["reused_terms"] > 0
+        assert off.delta_stats == {}
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_workers_two_identical_to_sequential_delta(self, delta_inputs):
+        db, wl, budget = delta_inputs
+        seq = tune(db, wl, budget, variant="dtac-both", workers=1)
+        par = tune(db, wl, budget, variant="dtac-both", workers=2)
+        assert par.configuration == seq.configuration
+        assert par.final_cost == seq.final_cost
+        assert par.steps == seq.steps
+        assert par.engine_stats["parallel_maps"] > 0
+
+    def test_sweep_identical_with_delta_on_or_off(self):
+        db = sales_database(scale=0.03)
+        wl = sales_workload(db)
+        total = db.total_data_bytes()
+        budgets = (total * 0.1, total * 0.2)
+        off = run_sweep(db, wl, budgets, variant="dtac-none",
+                        delta_costing=False)
+        on = run_sweep(db, wl, budgets, variant="dtac-none",
+                       delta_costing=True)
+        for a, b in zip(off.runs, on.runs):
+            assert a.result.configuration == b.result.configuration
+            assert a.result.final_cost == b.result.final_cost
+            assert a.result.steps == b.result.steps
+        assert on.delta_stats["reused_terms"] > 0
+        assert off.delta_stats == {}
+
+
+class TestPruning:
+    def test_lower_bounds_are_sound(self, costing_rig):
+        """floor(si) <= the statement's weighted term under randomized
+        configurations drawn from the registered universe."""
+        whatif, wl, base, pool = costing_rig
+        delta = whatif.delta_coster(wl)
+        delta.rebase(base)
+        sizes = {}
+
+        def size_if_known(ix):
+            if ix not in sizes:
+                sizes[ix] = whatif._sizes(ix)
+            return sizes[ix]
+
+        universe = list(pool) + list(base.ordered())
+        delta.register_universe(universe, size_if_known)
+        rng = random.Random(99)
+        statements = list(wl)
+        for _ in range(30):
+            members = rng.sample(pool, rng.randrange(1, len(pool)))
+            config = base
+            for ix in members:
+                config = config.add(ix)
+            for si, ws in enumerate(statements):
+                floor = delta.lower_bound(si)
+                if floor is None:
+                    continue
+                term = ws.weight * whatif.cost(ws.statement, config).total
+                # Mathematically floor <= term; the computed values can
+                # disagree by accumulation-order ulps, which is why the
+                # enumerator prunes with half its min_improvement as
+                # slack (a ~1e-4 relative margin vs ~1e-15 noise).
+                assert floor <= term * (1 + 1e-9) + 1e-9
+
+    def test_zero_delta_certificates_fire(self, costing_rig):
+        """A table whose best pool index is already in the reference:
+        the weaker candidates on it all probe-lose, so they are
+        certified unable to change anything — and skipping them is
+        exact, because their delta would be 0.0 bit-for-bit."""
+        whatif, wl, base, pool = costing_rig
+        delta = whatif.delta_coster(wl)
+        delta.rebase(base)
+        cust = [ix for ix in pool if ix.table == "customers"]
+        ref = base.add(max(cust, key=lambda ix: len(ix.key_columns)))
+        ref_cost = delta.rebase(ref)
+        certified = [
+            d for d in cust
+            if d not in ref and not delta.improvement_possible(ref.add(d))
+        ]
+        assert certified
+        assert delta.pruned_zero_delta == len(certified)
+        for d in certified:
+            assert delta.workload_cost(ref.add(d)) == ref_cost
+
+    def test_bound_pruning_prunes_below_threshold(self, costing_rig):
+        """Bound pruning: a candidate whose optimistic improvement cap
+        (reference terms minus lower bounds over its affected
+        statements) sits below the enumerator's threshold is skipped
+        and counted; above it, it is costed."""
+        whatif, wl, base, pool = costing_rig
+        delta = whatif.delta_coster(wl)
+        delta.rebase(base)
+        delta.register_universe(
+            list(pool) + list(base.ordered()),
+            lambda ix: whatif._sizes(ix),
+        )
+        # A sales candidate: the bulk inserts defeat the zero-delta
+        # certificate, so the decision falls to the bounds.
+        cand_ix = next(ix for ix in pool if ix.table == "sales")
+        candidate = base.add(cand_ix)
+        affected = delta._affected(candidate.indexes - base.indexes)
+        floors = [delta.lower_bound(si) for si in affected]
+        assert all(floor is not None for floor in floors)
+        cap = sum(
+            delta._ref_terms[si] - floor
+            for si, floor in zip(affected, floors)
+        )
+        assert cap > 0  # the base config is far from the floors
+        assert delta.improvement_possible(
+            candidate, prune_threshold=cap * 0.5
+        )
+        assert delta.pruned_bound == 0
+        assert not delta.improvement_possible(
+            candidate, prune_threshold=cap * 2.0
+        )
+        assert delta.pruned_bound == 1
+
+    def test_coarse_min_improvement_identical_with_delta(
+        self, delta_inputs
+    ):
+        """The bound-pruning configuration users actually reach for — a
+        coarse min_improvement on a pure-greedy run — must stay
+        byte-identical with delta costing on."""
+        db, wl, budget = delta_inputs
+        kwargs = dict(variant="dtac-none", min_improvement=0.05)
+        off = tune(db, wl, budget, delta_costing=False, **kwargs)
+        on = tune(db, wl, budget, delta_costing=True, **kwargs)
+        assert on.configuration == off.configuration
+        assert on.final_cost == off.final_cost
+        assert on.steps == off.steps

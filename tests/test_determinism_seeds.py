@@ -41,6 +41,18 @@ from repro.datasets.zipf import ZipfSampler
 print(ZipfSampler(1000, 1.2, seed=5).sample_many(500))
 """
 
+_DELTA_TUNE_DIGEST_SCRIPT = """
+from repro.advisor.advisor import tune
+from repro.datasets.sales import sales_database, sales_workload
+
+db = sales_database(scale=0.03)
+wl = sales_workload(db)
+budget = db.total_data_bytes() * 0.15
+result = tune(db, wl, budget, variant="dtac-none", delta_costing=True)
+names = sorted(ix.display_name() for ix in result.configuration)
+print(repr((names, result.base_cost, result.final_cost, result.steps)))
+"""
+
 
 def _run_with_hashseed(script: str, hashseed: str) -> str:
     result = subprocess.run(
@@ -62,6 +74,14 @@ class TestHashseedIndependence:
     def test_zipf_stable_across_hashseeds(self):
         a = _run_with_hashseed(_ZIPF_DIGEST_SCRIPT, "2")
         b = _run_with_hashseed(_ZIPF_DIGEST_SCRIPT, "777")
+        assert a == b
+
+    def test_delta_costed_tune_stable_across_hashseeds(self):
+        """The delta coster's diff/probe/patch machinery walks sets of
+        index identities; none of it may leak hash-order into the
+        recommendation, the costs or the step log."""
+        a = _run_with_hashseed(_DELTA_TUNE_DIGEST_SCRIPT, "3")
+        b = _run_with_hashseed(_DELTA_TUNE_DIGEST_SCRIPT, "4242")
         assert a == b
 
 

@@ -110,6 +110,89 @@ class TestEngineMap:
         assert ParallelEngine(workers=0).workers >= 1
 
 
+@pytest.mark.skipif(not fork_available(), reason="needs fork")
+class TestSessionReuse:
+    def test_same_context_reuses_pool(self):
+        """Back-to-back sessions with the same context share one fork:
+        the second session's maps run on the first session's workers."""
+        engine = ParallelEngine(workers=2)
+        ctx = {"offset": 0}
+        try:
+            with engine.session(ctx):
+                assert engine.map(_square_task, [1, 2, 3], ctx) == [1, 4, 9]
+            assert not engine.in_session
+            with engine.session(ctx):
+                assert engine.map(_square_task, [4, 5], ctx) == [16, 25]
+            assert engine.pools_forked == 1
+            assert engine.pools_reused == 1
+        finally:
+            engine.shutdown()
+
+    def test_mark_dirty_forces_refork(self):
+        engine = ParallelEngine(workers=2)
+        ctx = {"offset": 0}
+        try:
+            with engine.session(ctx):
+                engine.map(_square_task, [1, 2], ctx)
+            engine.mark_dirty()
+            with engine.session(ctx):
+                engine.map(_square_task, [1, 2], ctx)
+            assert engine.pools_forked == 2
+            assert engine.pools_reused == 0
+        finally:
+            engine.shutdown()
+
+    def test_stale_ok_session_survives_dirty_mark(self):
+        """SampleCF-style sessions opt into stale worker state (their
+        tasks depend only on fork-invariant samples)."""
+        engine = ParallelEngine(workers=2)
+        ctx = {"offset": 0}
+        try:
+            with engine.session(ctx):
+                engine.map(_square_task, [1, 2], ctx)
+            engine.mark_dirty()
+            with engine.session(ctx, stale_ok=True):
+                assert engine.map(_square_task, [3], ctx) == [9]
+            assert engine.pools_forked == 1
+            assert engine.pools_reused == 1
+        finally:
+            engine.shutdown()
+
+    def test_different_context_reforks(self):
+        engine = ParallelEngine(workers=2)
+        try:
+            first = {"offset": 0}
+            second = {"offset": 1}
+            with engine.session(first):
+                engine.map(_square_task, [1, 2], first)
+            with engine.session(second):
+                assert engine.map(_square_task, [1, 2], second) == [4, 9]
+            assert engine.pools_forked == 2
+        finally:
+            engine.shutdown()
+
+    def test_shutdown_releases_then_next_session_reforks(self):
+        engine = ParallelEngine(workers=2)
+        ctx = {"offset": 0}
+        with engine.session(ctx):
+            engine.map(_square_task, [1, 2], ctx)
+        engine.shutdown()
+        with engine.session(ctx):
+            assert engine.map(_square_task, [2, 3], ctx) == [4, 9]
+        assert engine.pools_forked == 2
+        engine.shutdown()
+
+    def test_keep_alive_false_restores_fork_per_session(self):
+        engine = ParallelEngine(workers=2, keep_alive=False)
+        ctx = {"offset": 0}
+        with engine.session(ctx):
+            engine.map(_square_task, [1, 2], ctx)
+        with engine.session(ctx):
+            engine.map(_square_task, [1, 2], ctx)
+        assert engine.pools_forked == 2
+        assert engine.pools_reused == 0
+
+
 @pytest.fixture(scope="module")
 def tuning_inputs():
     db = sales_database(scale=0.04)
@@ -136,6 +219,16 @@ class TestParallelAdvisor:
         assert result.engine_stats["parallel_maps"] == 0
         assert result.engine_stats["tasks_dispatched"] == 0
         assert result.improvement >= 0
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_dta_run_reuses_one_pool_across_phases(self, tuning_inputs):
+        """A compression-blind run adds no estimation state between
+        candidate evaluation and enumeration, so one forked pool serves
+        both phases (the old design paid a fork per phase)."""
+        db, wl, budget = tuning_inputs
+        result = tune(db, wl, budget, variant="dta", workers=2)
+        assert result.engine_stats["pools_forked"] == 1
+        assert result.engine_stats["pools_reused"] >= 1
 
     def test_advisor_accepts_injected_engine(self, tuning_inputs):
         db, wl, budget = tuning_inputs
