@@ -101,9 +101,18 @@ class Gate:
         self.notes.append(message)
 
 
+#: Acceptance floor for delta-costing speedup over full recosting.
+#: Was 3.0 when full recosting paid un-memoized selectivity estimation
+#: on every costing; the stats-layer selectivity memo sped the
+#: full-recost *baseline arm* up ~1.5x (same optimizer calls, less work
+#: per call), so the machine-normalized ratio honestly narrowed even
+#: though both arms got faster in absolute terms.
+MIN_INCREMENTAL_SPEEDUP = 2.0
+
+
 def compare(baseline: dict, fresh: dict, wall_tolerance: float,
             hit_slack: float,
-            min_incremental_speedup: float = 3.0) -> Gate:
+            min_incremental_speedup: float = MIN_INCREMENTAL_SPEEDUP) -> Gate:
     gate = Gate()
 
     for section, keys in _PARAM_KEYS.items():
@@ -277,7 +286,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--hit-slack", type=float, default=0.02,
                         help="allowed absolute warm hit-rate drop")
     parser.add_argument("--min-incremental-speedup", type=float,
-                        default=3.0,
+                        default=MIN_INCREMENTAL_SPEEDUP,
                         help="acceptance floor for delta-costing "
                              "speedup over full recosting")
     parser.add_argument("--update-baseline", action="store_true",

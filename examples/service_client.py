@@ -1,0 +1,89 @@
+"""Talk to a running advisor service.
+
+Boot the service in one terminal::
+
+    PYTHONPATH=src python -m repro serve --dataset sales --scale 0.05
+
+then run this client in another::
+
+    PYTHONPATH=src python examples/service_client.py \
+        --context sales --budget 0.15
+
+It waits for the service, asks for a size estimate and a what-if cost,
+requests a full tuning run, and prints the recommendation (the CI
+service-smoke job greps this output for the improvement line).
+"""
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import AdvisorClient  # noqa: E402
+
+
+async def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument("--context", default="sales")
+    parser.add_argument("--budget", type=float, default=0.15,
+                        help="storage budget as a fraction of raw data")
+    parser.add_argument("--variant", default="dtac-both")
+    args = parser.parse_args()
+
+    async with AdvisorClient(args.host, args.port) as client:
+        health = await client.wait_ready()
+        print(f"service ready: contexts {health['contexts']}")
+
+        contexts = await client.contexts()
+        ctx = next(
+            c for c in contexts["contexts"] if c["name"] == args.context
+        )
+        fact = "sales" if args.context == "sales" else "lineitem"
+        print(f"context {ctx['name']}: {ctx['statements']} statements, "
+              f"{ctx['total_data_bytes'] / 1024:.0f} KiB raw")
+
+        date_col = "sa_date" if fact == "sales" else "l_shipdate"
+        estimate = await client.estimate_size(
+            args.context,
+            index={"table": fact, "key_columns": [date_col],
+                   "method": "page"},
+        )
+        print(f"estimate_size {estimate['index']['display_name']}: "
+              f"{estimate['est_bytes'] / 1024:.0f} KiB "
+              f"({estimate['source']})")
+
+        cost = await client.whatif_cost(
+            args.context,
+            statement_index=0,
+            indexes=[{"table": fact, "key_columns": [date_col]}],
+        )
+        print(f"whatif_cost statement 0: total {cost['total']:.0f} "
+              f"(io {cost['io']:.0f}, cpu {cost['cpu']:.0f})")
+
+        answer = await client.tune(
+            args.context,
+            budget_fraction=args.budget,
+            variant=args.variant,
+        )
+        result = answer["result"]
+        print(f"tune variant {args.variant} at {args.budget:.0%} budget: "
+              f"improvement {100 * result['improvement']:.1f}% "
+              f"({result['base_cost']:.0f} -> {result['final_cost']:.0f}), "
+              f"consumed {result['consumed_bytes'] / 1024:.0f} KiB")
+        for name in result["configuration"]:
+            print(f"  {name:58s} {result['sizes'][name] / 1024:8.0f} KiB")
+
+        stats = await client.stats()
+        coalesced = sum(stats["coalesced"].values())
+        print(f"service stats: {sum(stats['completed'].values())} "
+              f"completed, {coalesced} coalesced, "
+              f"queue depth {stats['queue_depth']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(asyncio.run(main()))

@@ -45,6 +45,30 @@ from repro.storage.page import quantize_bytes
 from repro.workload.query import SelectQuery, Workload
 
 
+def default_base_configuration(database: Database) -> Configuration:
+    """Uncompressed heaps for every table (the untuned database) — the
+    single definition of the advisor's (and the tuning service's)
+    starting point."""
+    return Configuration(
+        IndexDef(t.name, (), kind=IndexKind.HEAP)
+        for t in database.tables
+    )
+
+
+def quantized_size_lookup(
+    estimator: SizeEstimator, index: IndexDef
+) -> tuple[float, float]:
+    """(bytes, rows) as every cost consumer must see them: whole-page
+    quantization at the consumer boundary — the advisor budgets real
+    pages, while the estimator works in fractional bytes for deduction
+    accuracy.  One definition, so the advisor's costings and the
+    service's estimate/cost endpoints can never quantize differently."""
+    return (
+        quantize_bytes(estimator.estimate(index).est_bytes),
+        estimator.sizer.estimated_rows(index),
+    )
+
+
 @dataclass(frozen=True)
 class AdvisorOptions:
     """Advisor configuration.
@@ -244,23 +268,16 @@ class TuningAdvisor:
     # ------------------------------------------------------------------
     def default_base_configuration(self) -> Configuration:
         """Uncompressed heaps for every table (the untuned database)."""
-        return Configuration(
-            IndexDef(t.name, (), kind=IndexKind.HEAP)
-            for t in self.database.tables
-        )
+        return default_base_configuration(self.database)
 
     # ------------------------------------------------------------------
     def _index_size(self, index: IndexDef) -> float:
-        # Whole-page quantization at the consumer boundary: the advisor
-        # budgets real pages, while the estimator works in fractional
-        # bytes for deduction accuracy.
+        # Bytes only: must not touch estimated_rows, which samples the
+        # MV for MV indexes (extra estimation work this path never did).
         return quantize_bytes(self.estimator.estimate(index).est_bytes)
 
     def _size_lookup(self, index: IndexDef) -> tuple[float, float]:
-        return (
-            self._index_size(index),
-            self.estimator.sizer.estimated_rows(index),
-        )
+        return quantized_size_lookup(self.estimator, index)
 
     def _candidate_universe(self, pool: list[IndexDef]) -> list[IndexDef]:
         """Every structure enumeration could ever place in a

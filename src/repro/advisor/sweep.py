@@ -118,7 +118,7 @@ class SweepResult:
 #: delta-stats keys that are per-unit gauges (table sizes), not event
 #: counters — aggregated by max, never summed.
 _DELTA_GAUGES = frozenset({
-    "statements", "memo_entries", "probe_entries",
+    "statements", "memo_entries", "probe_entries", "maintenance_entries",
 })
 
 

@@ -1,5 +1,5 @@
 """Command-line interface:
-``python -m repro tune|sweep|estimate|experiments|validate|columnstore``.
+``python -m repro tune|sweep|estimate|serve|experiments|validate|columnstore``.
 
 Examples::
 
@@ -8,6 +8,8 @@ Examples::
     python -m repro sweep --dataset sales --budgets 0.1,0.2,0.3 \
         --seeds 1,2 --workers 4 --cache-dir .repro-cache
     python -m repro estimate --dataset tpch --scale 0.2
+    python -m repro serve --dataset sales --scale 0.1 --port 8765 \
+        --cache-dir .repro-cache
     python -m repro experiments --only table4_graph_quality
     python -m repro validate --dataset tpch --budget 0.3
     python -m repro columnstore --dataset tpch --budget 0.25
@@ -183,6 +185,36 @@ def cmd_validate(args) -> int:
     return 0 if report.recommendation_holds else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import AdvisorService, serve
+
+    service = AdvisorService(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        max_pending=args.max_pending,
+    )
+    names = (
+        ("sales", "tpch") if args.dataset == "both" else (args.dataset,)
+    )
+    for name in names:
+        if name == "tpch":
+            db = tpch_database(scale=args.scale, z=args.zipf)
+            wl = tpch_workload(db, select_weight=args.select_weight,
+                               insert_weight=args.insert_weight)
+        else:
+            db = sales_database(scale=args.scale)
+            wl = sales_workload(db, select_weight=args.select_weight,
+                                insert_weight=args.insert_weight)
+        service.register(name, db, wl)
+    try:
+        asyncio.run(serve(service, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("advisor service: interrupted, shutting down", flush=True)
+    return 0
+
+
 def cmd_columnstore(args) -> int:
     from repro.columnstore import tune_columnstore
 
@@ -311,6 +343,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--variant", choices=sorted(VARIANTS),
                        default="dtac-both")
     p_val.set_defaults(fn=cmd_validate)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the async tuning service (JSON over HTTP): concurrent "
+             "tune/sweep/estimate/cost requests with in-flight "
+             "coalescing, one shared engine pool and persistent caches",
+    )
+    p_srv.add_argument("--dataset", choices=("tpch", "sales", "both"),
+                       default="sales",
+                       help="context(s) to register at boot")
+    p_srv.add_argument("--scale", type=float, default=0.2)
+    p_srv.add_argument("--zipf", type=float, default=0.0)
+    p_srv.add_argument("--select-weight", type=float, default=5.0)
+    p_srv.add_argument("--insert-weight", type=float, default=1.0)
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 = ephemeral, printed at boot)")
+    p_srv.add_argument("--workers", type=_workers_arg, default=1,
+                       help="shared engine pool size every advisor run "
+                            "borrows (0 = one per CPU, 1 = sequential)")
+    p_srv.add_argument("--cache-dir", default=None,
+                       help="directory for the persistent size-estimate "
+                            "and what-if cost caches")
+    p_srv.add_argument("--max-pending", type=int, default=64,
+                       help="request-queue bound; beyond it the HTTP "
+                            "layer answers 503 (backpressure)")
+    p_srv.set_defaults(fn=cmd_serve)
 
     p_cs = sub.add_parser(
         "columnstore",

@@ -51,3 +51,11 @@ class AdvisorError(ReproError):
 
 class ExecutionError(ReproError):
     """The toy execution engine could not run a statement."""
+
+
+class ServiceError(ReproError):
+    """Tuning-service request or lifecycle problem."""
+
+
+class BackpressureError(ServiceError):
+    """The service's bounded request queue is full; retry later."""

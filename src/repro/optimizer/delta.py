@@ -151,6 +151,38 @@ class DeltaWorkloadCoster:
             if isinstance(s, SelectQuery) else None
             for s in self._stmts
         ]
+        #: per maintenance statement: (table, find-probe SELECT | None) —
+        #: the probe is the exact SELECT ``_cost_update``/``_cost_delete``
+        #: construct to find the affected rows (None for bulk INSERTs,
+        #: which have no find phase).
+        self._maint_info: list[tuple | None] = []
+        for s in self._stmts:
+            if isinstance(s, InsertQuery):
+                self._maint_info.append((s.table, None))
+            elif isinstance(s, UpdateQuery):
+                self._maint_info.append((s.table, SelectQuery(
+                    tables=(s.table,),
+                    select_columns=tuple(s.set_columns),
+                    predicates=s.predicates,
+                )))
+            elif isinstance(s, DeleteQuery):
+                self._maint_info.append((s.table, SelectQuery(
+                    tables=(s.table,), predicates=s.predicates,
+                )))
+            else:
+                self._maint_info.append(None)
+        # Probe info for the find-probe SELECTs, so ``_table_plan`` can
+        # replay their plan search with the optimizer's own inputs.
+        for si, info in enumerate(self._maint_info):
+            if info is None or info[1] is None:
+                continue
+            table, probe = info
+            self._probe_info[si] = {
+                table: (
+                    probe.predicates_of_table(db, table),
+                    probe.columns_of_table(db, table),
+                )
+            }
 
         # Reference state: per-statement signatures / weighted terms /
         # raw totals / chosen per-table plan costs / chosen plans for
@@ -173,6 +205,11 @@ class DeltaWorkloadCoster:
         self._dim_sel: dict = {}
         #: (si, table, table-local structure identities) -> AccessPlan.
         self._table_plans: dict = {}
+        #: (si, structure identity) -> (io, cpu) maintenance
+        #: contribution (pure per run: sizes and stats are fixed).
+        self._maint_terms: dict = {}
+        #: si -> affected row count of the maintenance statement (pure).
+        self._maint_affected: dict[int, float] = {}
 
         # Bound state (populated by register_universe).
         self._universe: list[IndexDef] | None = None
@@ -183,6 +220,7 @@ class DeltaWorkloadCoster:
         # Instrumentation.
         self.reused_terms = 0
         self.patched_terms = 0
+        self.patched_maintenance = 0
         self.full_recosts = 0
         self.memo_hits = 0
         self.probe_evals = 0
@@ -410,9 +448,11 @@ class DeltaWorkloadCoster:
             "memo_hits": self.memo_hits,
             "reused_terms": self.reused_terms,
             "patched_terms": self.patched_terms,
+            "patched_maintenance": self.patched_maintenance,
             "full_recosts": self.full_recosts,
             "probe_evals": self.probe_evals,
             "probe_entries": len(self._probes),
+            "maintenance_entries": len(self._maint_terms),
             "pruned_zero_delta": self.pruned_zero_delta,
             "pruned_bound": self.pruned_bound,
         }
@@ -479,12 +519,11 @@ class DeltaWorkloadCoster:
             self.memo_hits += 1
             return entry
         entry = None
-        if (
-            added is not None
-            and self._is_select[si]
-            and self._ref_plans[si] is not None
-        ):
-            entry = self._delta_entry(si, sig, config, added, removed)
+        if added is not None:
+            if self._is_select[si] and self._ref_plans[si] is not None:
+                entry = self._delta_entry(si, sig, config, added, removed)
+            elif self._maint_info[si] is not None:
+                entry = self._maintenance_entry(si, sig, config)
         if entry is None:
             breakdown, plan_costs = self.whatif.cost_with_plans(
                 self._stmts[si], config
@@ -604,6 +643,68 @@ class DeltaWorkloadCoster:
             tuple(plan.cost for plan in patched),
             tuple(patched),
         )
+
+    def _maintenance_entry(
+        self, si: int, sig: frozenset, config: Configuration
+    ) -> tuple | None:
+        """The exact memo entry for a maintenance statement (INSERT /
+        UPDATE / DELETE) under any configuration, rebuilt from memoized
+        per-structure contributions.
+
+        ``_maintenance_cost`` accumulates with :func:`math.fsum`, whose
+        exactly-rounded total is independent of structure order — so
+        summing the identical per-structure floats here (each computed
+        by the *same* ``structure_maintenance`` code the full path runs)
+        reproduces the full path's maintenance breakdown bit for bit.
+        UPDATE/DELETE find-probes replay ``_cost_select``'s single-table
+        arithmetic from the optimizer's own plan search (memoized per
+        table-local structure subset).  None falls back to a full recost
+        (an MV in scope could change the probe's substitution choice)."""
+        table, probe = self._maint_info[si]
+        if probe is not None and any(t[6] is not None for t in sig):
+            return None  # MV in scope: the find-probe could substitute
+        coster = self.whatif.coster
+        affected = self._affected_rows(si)
+        io_terms: list[float] = []
+        cpu_terms: list[float] = []
+        for ix in coster.maintenance_structures(table, config):
+            key = (si, index_identity(ix))
+            contrib = self._maint_terms.get(key)
+            if contrib is None:
+                contrib = coster.structure_maintenance(table, affected, ix)
+                self._maint_terms[key] = contrib
+            io_terms.append(contrib[0])
+            cpu_terms.append(contrib[1])
+        io = math.fsum(io_terms)
+        cpu = math.fsum(cpu_terms)
+        total = io + cpu
+        if probe is not None:
+            # _cost_update/_cost_delete: total = find.total +
+            # maintain.total, find.total = plan.io + plan.cpu (single
+            # table, no joins/groups/sort on the probe).
+            plan = self._table_plan(si, table, sig, config)
+            total = (plan.io_cost + plan.cpu_cost) + total
+        term = self._weights[si] * total
+        self.patched_maintenance += 1
+        return (term, total, None, None)
+
+    def _affected_rows(self, si: int) -> float:
+        """Affected row count of maintenance statement ``si`` — the
+        identical expression ``_cost_insert``/``_cost_update``/
+        ``_cost_delete`` evaluate, memoized (it is a pure function of
+        the statement and the table statistics)."""
+        affected = self._maint_affected.get(si)
+        if affected is None:
+            stmt = self._stmts[si]
+            if isinstance(stmt, InsertQuery):
+                affected = float(stmt.n_rows)
+            else:
+                stats = self.whatif.stats.table(stmt.table)
+                affected = stats.n_rows * conjunction_selectivity(
+                    stats, stmt.predicates
+                )
+            self._maint_affected[si] = affected
+        return affected
 
     def _reconstruct_ref_plans(self, si: int) -> tuple | None:
         """Chosen per-table plans of the reference statement costing,

@@ -187,13 +187,11 @@ class StatementCoster:
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
-    def _maintenance_cost(
-        self, table: str, n_rows: float, config: Configuration
-    ) -> CostBreakdown:
-        """Cost to reflect ``n_rows`` new/changed rows of ``table`` in
-        every structure of the configuration that stores them."""
-        constants = self.constants
-        io = cpu = 0.0
+    def maintenance_structures(
+        self, table: str, config: Configuration
+    ) -> list[IndexDef]:
+        """Every structure of ``config`` that stores rows of ``table``
+        (base first, then secondaries, then MVs sourcing the table)."""
         structures: list[IndexDef] = []
         base = config.base_structure(table)
         if base is None:
@@ -203,28 +201,54 @@ class StatementCoster:
         for index in config.ordered():
             if index.is_mv_index and table in index.mv.tables:
                 structures.append(index)
-        table_stats = self.stats.table(table)
-        for index in structures:
-            size_bytes, rows = self.sizes(index)
-            affected = n_rows
-            if index.is_partial:
-                affected = n_rows * conjunction_selectivity(
-                    table_stats, (index.filter,)
-                )
-            if index.is_mv_index:
-                # Incremental group maintenance: each source row touches
-                # one group (random page) amortized by locality.
-                cpu += affected * constants.cpu_insert_per_index
-                io += affected / 64.0 * constants.io_random_page
-                continue
-            rows_total = max(rows, 1.0)
-            bytes_per_row = size_bytes / rows_total
-            io += affected * bytes_per_row / PAGE_SIZE * constants.io_seq_page
-            cpu += affected * constants.cpu_insert_per_index
-            if index.kind is IndexKind.SECONDARY:
-                # Secondary entries land in key order, not load order.
-                io += affected / 128.0 * constants.io_random_page
-            cpu += constants.compress_cpu(index.method, affected)
+        return structures
+
+    def structure_maintenance(
+        self, table: str, n_rows: float, index: IndexDef
+    ) -> tuple[float, float]:
+        """(io, cpu) contribution of one structure to reflecting
+        ``n_rows`` new/changed rows of ``table`` — a pure function of
+        the structure, the row count and the table's stats/sizes, which
+        is what lets the delta layer memoize it per structure."""
+        constants = self.constants
+        affected = n_rows
+        if index.is_partial:
+            affected = n_rows * conjunction_selectivity(
+                self.stats.table(table), (index.filter,)
+            )
+        if index.is_mv_index:
+            # Incremental group maintenance: each source row touches
+            # one group (random page) amortized by locality.
+            cpu = affected * constants.cpu_insert_per_index
+            io = affected / 64.0 * constants.io_random_page
+            return io, cpu
+        size_bytes, rows = self.sizes(index)
+        rows_total = max(rows, 1.0)
+        bytes_per_row = size_bytes / rows_total
+        io = affected * bytes_per_row / PAGE_SIZE * constants.io_seq_page
+        cpu = affected * constants.cpu_insert_per_index
+        if index.kind is IndexKind.SECONDARY:
+            # Secondary entries land in key order, not load order.
+            io += affected / 128.0 * constants.io_random_page
+        cpu += constants.compress_cpu(index.method, affected)
+        return io, cpu
+
+    def _maintenance_cost(
+        self, table: str, n_rows: float, config: Configuration
+    ) -> CostBreakdown:
+        """Cost to reflect ``n_rows`` new/changed rows of ``table`` in
+        every structure of the configuration that stores them.
+
+        Accumulated with :func:`math.fsum` over the per-structure
+        contributions: the exactly-rounded sum is independent of
+        structure order, so the delta layer can rebuild the identical
+        total from memoized contributions in any order."""
+        contributions = [
+            self.structure_maintenance(table, n_rows, index)
+            for index in self.maintenance_structures(table, config)
+        ]
+        io = math.fsum(c[0] for c in contributions)
+        cpu = math.fsum(c[1] for c in contributions)
         return CostBreakdown(total=io + cpu, io=io, cpu=cpu)
 
     def _cost_insert(self, stmt: InsertQuery,

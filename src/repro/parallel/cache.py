@@ -145,6 +145,21 @@ class _PersistentJsonCache:
         view._loaded_entries = dict(self._loaded_entries)
         return view
 
+    def absorb(self, view: "_PersistentJsonCache") -> int:
+        """Merge a view's entries back into this cache (the reverse of
+        :meth:`fork_view`), returning how many were new.
+
+        Entries are immutable (same key -> same value), so absorption
+        only ever *adds* keys; the tuning service uses this to let a
+        completed run warm the next one where that is provably safe
+        (what-if cost entries — a cost hit can never steer a run)."""
+        added = 0
+        for key, record in view._entries.items():
+            if key not in self._entries:
+                self._entries[key] = record
+                added += 1
+        return added
+
     # ------------------------------------------------------------------
     def save(self) -> None:
         """Persist atomically, merging with concurrent writers.

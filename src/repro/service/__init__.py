@@ -1,0 +1,29 @@
+"""Async tuning service: concurrent what-if tuning over one optimizer.
+
+See :class:`AdvisorService` (asyncio core, coalescing + backpressure),
+:class:`ServiceHTTPServer` / :func:`serve` (stdlib JSON-over-HTTP), and
+:class:`AdvisorClient` (async client).
+"""
+
+from repro.service.client import AdvisorClient, ServiceHTTPError
+from repro.service.context import (
+    ServiceContext,
+    index_to_spec,
+    parse_index_spec,
+    serialize_result,
+)
+from repro.service.http import ServiceHTTPServer, serve
+from repro.service.service import REQUEST_KINDS, AdvisorService
+
+__all__ = [
+    "AdvisorService",
+    "AdvisorClient",
+    "ServiceContext",
+    "ServiceHTTPServer",
+    "ServiceHTTPError",
+    "REQUEST_KINDS",
+    "serve",
+    "serialize_result",
+    "parse_index_spec",
+    "index_to_spec",
+]

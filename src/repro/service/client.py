@@ -1,0 +1,138 @@
+"""Async client for the advisor service's JSON-over-HTTP API.
+
+Stdlib-only (``asyncio`` streams), one connection per request —
+tuning requests are long and rare, so connection reuse buys nothing.
+
+Usage::
+
+    async with AdvisorClient("127.0.0.1", 8765) as client:
+        health = await client.healthz()
+        answer = await client.tune("sales", budget_fraction=0.15)
+        print(answer["result"]["improvement"])
+
+Raises :class:`ServiceHTTPError` on non-2xx responses (``status`` and
+the server's error text attached), which callers can branch on — a 503
+means the bounded request queue is full and the request is safe to
+retry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import ServiceError
+
+
+class ServiceHTTPError(ServiceError):
+    """A non-2xx response from the advisor service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+    @property
+    def retryable(self) -> bool:
+        """Whether the failure is transient backpressure (HTTP 503)."""
+        return self.status == 503
+
+
+class AdvisorClient:
+    """Talks to one :class:`~repro.service.http.ServiceHTTPServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 timeout: float = 600.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    async def __aenter__(self) -> "AdvisorClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        return None
+
+    # ------------------------------------------------------------------
+    async def _request(self, method: str, path: str,
+                       payload: dict | None = None) -> dict:
+        body = json.dumps(payload).encode() if payload is not None else b""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode() + body)
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), self.timeout)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+        header_lines = header_blob.decode("latin-1").split("\r\n")
+        try:
+            status = int(header_lines[0].split()[1])
+        except (IndexError, ValueError) as exc:
+            raise ServiceError(
+                f"malformed response from service: {header_lines[:1]!r}"
+            ) from exc
+        try:
+            answer = json.loads(body_blob.decode() or "{}")
+        except ValueError as exc:
+            raise ServiceError(
+                f"non-JSON response body (status {status}): {exc}"
+            ) from exc
+        if status >= 300:
+            raise ServiceHTTPError(
+                status, answer.get("error", "unknown error")
+            )
+        return answer
+
+    async def _post(self, kind: str, context: str, **payload) -> dict:
+        return await self._request(
+            "POST", f"/v1/{kind}", {"context": context, **payload}
+        )
+
+    # ------------------------------------------------------------------
+    async def healthz(self) -> dict:
+        return await self._request("GET", "/healthz")
+
+    async def stats(self) -> dict:
+        return await self._request("GET", "/v1/stats")
+
+    async def contexts(self) -> dict:
+        return await self._request("GET", "/v1/contexts")
+
+    async def tune(self, context: str, **payload) -> dict:
+        return await self._post("tune", context, **payload)
+
+    async def sweep(self, context: str, **payload) -> dict:
+        return await self._post("sweep", context, **payload)
+
+    async def estimate_size(self, context: str, **payload) -> dict:
+        return await self._post("estimate_size", context, **payload)
+
+    async def whatif_cost(self, context: str, **payload) -> dict:
+        return await self._post("whatif_cost", context, **payload)
+
+    async def wait_ready(self, attempts: int = 50,
+                         delay: float = 0.2) -> dict:
+        """Poll ``/healthz`` until the service answers (boot helper for
+        scripts and CI smoke jobs)."""
+        last: Exception | None = None
+        for _ in range(attempts):
+            try:
+                return await self.healthz()
+            except (ConnectionError, OSError, ServiceError) as exc:
+                last = exc
+                await asyncio.sleep(delay)
+        raise ServiceError(
+            f"service at {self.host}:{self.port} never became ready: {last}"
+        )

@@ -1,0 +1,376 @@
+"""Tuning-service contexts: one registered schema + workload pair.
+
+A :class:`ServiceContext` is everything the service needs to answer
+requests against one database: the catalog, the weighted workload,
+shared statistics, a estimator for the ``estimate_size`` endpoint, a
+what-if optimizer for ``whatif_cost``, and the request executors the
+:class:`~repro.service.service.AdvisorService` queue dispatches to.
+
+Determinism contract: ``tune``/``sweep`` requests are executed exactly
+like :mod:`repro.advisor.sweep` units — a fresh seeded
+:class:`SizeEstimator` per run plus :meth:`fork_view` snapshots of the
+persistent caches — so a service response is byte-identical to calling
+:meth:`TuningAdvisor.run` sequentially with the same wiring, no matter
+what ran before it or concurrently with it.
+"""
+
+from __future__ import annotations
+
+from repro.advisor.advisor import (
+    AdvisorOptions,
+    AdvisorResult,
+    TuningAdvisor,
+    VARIANTS,
+    default_base_configuration,
+    quantized_size_lookup,
+)
+from repro.advisor.sweep import run_sweep
+from repro.catalog.schema import Database
+from repro.compression.base import CompressionMethod
+from repro.errors import ServiceError
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.parallel.cache import CostCache, EstimationCache
+from repro.parallel.engine import ParallelEngine
+from repro.physical.index_def import IndexDef
+from repro.sampling.sample_manager import DEFAULT_SAMPLE_SEED, SampleManager
+from repro.sizeest.estimator import SizeEstimator
+from repro.stats.column_stats import DatabaseStats
+from repro.storage.index_build import IndexKind
+from repro.storage.page import quantize_bytes
+from repro.workload.parser import parse_statement
+from repro.workload.query import Workload
+
+#: AdvisorOptions fields a request may override (wiring-level fields —
+#: workers, cache_dir — belong to the service, not the request).
+_REQUEST_OPTION_FIELDS = frozenset({
+    "candidate_selection", "top_k", "strategy", "backtracking",
+    "seed_fanout", "min_improvement", "enable_partial", "enable_mv",
+    "enable_merging", "compression_aware_merging", "max_key_columns",
+    "skyline_cluster_max", "e", "q", "delta_costing",
+})
+
+
+def parse_index_spec(database: Database, spec: dict) -> IndexDef:
+    """An :class:`IndexDef` from its JSON wire form::
+
+        {"table": "sales", "key_columns": ["sa_date"],
+         "included_columns": [], "kind": "secondary", "method": "page"}
+    """
+    if not isinstance(spec, dict) or "table" not in spec:
+        raise ServiceError(f"index spec needs a 'table': {spec!r}")
+    table = spec["table"]
+    database.table(table)  # raises CatalogError for unknown tables
+    try:
+        kind = IndexKind(spec.get("kind", "secondary"))
+        method = CompressionMethod(spec.get("method", "none"))
+    except ValueError as exc:
+        raise ServiceError(str(exc)) from exc
+    return IndexDef(
+        table,
+        tuple(spec.get("key_columns", ())),
+        included_columns=tuple(spec.get("included_columns", ())),
+        kind=kind,
+        method=method,
+    )
+
+
+def index_to_spec(index: IndexDef) -> dict:
+    """The JSON wire form of an index (inverse of
+    :func:`parse_index_spec` for non-partial, non-MV indexes)."""
+    return {
+        "table": index.table,
+        "key_columns": list(index.key_columns),
+        "included_columns": list(index.included_columns),
+        "kind": index.kind.value,
+        "method": index.method.value,
+        "display_name": index.display_name(),
+    }
+
+
+def serialize_result(result: AdvisorResult) -> dict:
+    """An :class:`AdvisorResult` as a JSON-able payload.
+
+    Deterministic fields live under ``result`` (two identical requests
+    produce byte-identical ``result`` sections — the property the
+    service's concurrency tests assert); wall-clock and counter noise
+    lives under ``meta``.
+    """
+    ordered = sorted(result.configuration, key=lambda ix: ix.display_name())
+    return {
+        "result": {
+            "configuration": [ix.display_name() for ix in ordered],
+            "indexes": [index_to_spec(ix) for ix in ordered
+                        if not ix.is_mv_index],
+            "sizes": {
+                ix.display_name(): result.sizes[ix] for ix in ordered
+            },
+            "base_cost": result.base_cost,
+            "final_cost": result.final_cost,
+            "improvement": result.improvement,
+            "consumed_bytes": result.consumed_bytes,
+            "budget_bytes": result.budget_bytes,
+            "candidate_count": result.candidate_count,
+            "pool_size": result.pool_size,
+            "steps": list(result.steps),
+        },
+        "meta": {
+            "elapsed_seconds": result.elapsed_seconds,
+            "cache_stats": result.cache_stats,
+            "cost_cache_stats": result.cost_cache_stats,
+            "engine_stats": result.engine_stats,
+            "delta_stats": result.delta_stats,
+        },
+    }
+
+
+class ServiceContext:
+    """One registered (database, workload) pair the service tunes.
+
+    Args:
+        name: context name clients address requests to.
+        database / workload: what to tune.
+        stats: shared statistics (built once when omitted).
+        estimation_cache / cost_cache: the service's persistent caches
+            (tune/sweep runs read fork views of them; the shared
+            estimator behind ``estimate_size`` reads them directly).
+        e, q: accuracy constraint of the shared estimator.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        database: Database,
+        workload: Workload,
+        *,
+        stats: DatabaseStats | None = None,
+        estimation_cache: EstimationCache | None = None,
+        cost_cache: CostCache | None = None,
+        cache_dir: str | None = None,
+        e: float = 0.5,
+        q: float = 0.9,
+    ) -> None:
+        self.name = name
+        self.database = database
+        self.workload = workload
+        self.stats = stats or DatabaseStats(database)
+        self.estimation_cache = estimation_cache
+        self.cost_cache = cost_cache
+        self.cache_dir = cache_dir
+        #: frozen registration-time snapshot the tune runs fork from.
+        #: The live ``estimation_cache`` keeps growing as the estimate
+        #: endpoint serves requests, and a *partially* warm estimate
+        #: cache can steer deduction planning — so tune runs must all
+        #: see the same estimate state no matter when they execute, or
+        #: concurrent-vs-sequential byte-identity would break.
+        self._tune_estimates = (
+            estimation_cache.fork_view()
+            if estimation_cache is not None else None
+        )
+        #: shared estimator for the estimate/cost endpoints (default
+        #: sampling seed — the same estimator wiring a plain
+        #: ``TuningAdvisor`` would build).
+        self.estimator = SizeEstimator(
+            database, stats=self.stats, e=e, q=q, cache=estimation_cache,
+        )
+        self.whatif = WhatIfOptimizer(
+            database, self.stats, sizes=self._size_lookup,
+        )
+        self.base_config = default_base_configuration(database)
+
+    # ------------------------------------------------------------------
+    def _size_lookup(self, index: IndexDef) -> tuple[float, float]:
+        # The advisor's own quantization policy — the estimate/cost
+        # endpoints must see exactly the sizes a tune run would.
+        return quantized_size_lookup(self.estimator, index)
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "database": self.database.name,
+            "tables": sorted(t.name for t in self.database.tables),
+            "total_data_bytes": self.database.total_data_bytes(),
+            "statements": len(self.workload),
+            "queries": len(self.workload.queries),
+            "updates": len(self.workload.updates),
+        }
+
+    # ------------------------------------------------------------------
+    # request executors (synchronous; run on the service executor)
+    # ------------------------------------------------------------------
+    def _budget_bytes(self, payload: dict) -> float:
+        if "budget_bytes" in payload:
+            return float(payload["budget_bytes"])
+        if "budget_fraction" in payload:
+            return (
+                self.database.total_data_bytes()
+                * float(payload["budget_fraction"])
+            )
+        raise ServiceError(
+            "tune/sweep payload needs 'budget_bytes' or 'budget_fraction'"
+        )
+
+    def _advisor_extra(self, payload: dict) -> dict:
+        extra = dict(payload.get("options", {}))
+        unknown = set(extra) - _REQUEST_OPTION_FIELDS
+        if unknown:
+            raise ServiceError(
+                f"unknown advisor options {sorted(unknown)}; allowed: "
+                f"{sorted(_REQUEST_OPTION_FIELDS)}"
+            )
+        return extra
+
+    def _variant(self, payload: dict) -> str:
+        variant = payload.get("variant", "dtac-both")
+        if variant not in VARIANTS:
+            raise ServiceError(
+                f"unknown variant {variant!r}; choose from {sorted(VARIANTS)}"
+            )
+        return variant
+
+    def run_tune(self, payload: dict, engine: ParallelEngine) -> dict:
+        """One advisor run, isolated exactly like a sweep unit: fresh
+        seeded estimator, fork views of the persistent caches."""
+        budget = self._budget_bytes(payload)
+        variant = self._variant(payload)
+        seed = int(payload.get("seed", DEFAULT_SAMPLE_SEED))
+        options = AdvisorOptions(
+            budget_bytes=budget,
+            **{**VARIANTS[variant], **self._advisor_extra(payload)},
+        )
+        estimator = SizeEstimator(
+            self.database,
+            stats=self.stats,
+            manager=SampleManager(self.database, seed=seed),
+            e=options.e,
+            q=options.q,
+            cache=(
+                self._tune_estimates.fork_view()
+                if self._tune_estimates is not None else None
+            ),
+        )
+        cost_view = (
+            self.cost_cache.fork_view()
+            if self.cost_cache is not None else None
+        )
+        advisor = TuningAdvisor(
+            self.database,
+            self.workload,
+            options,
+            estimator=estimator,
+            stats=self.stats,
+            engine=engine,
+            cost_cache=cost_view,
+        )
+        result = advisor.run()
+        if cost_view is not None:
+            # Cost entries replay identical arithmetic by construction
+            # (sized keys), so warming later requests is result-neutral.
+            self.cost_cache.absorb(cost_view)
+        out = serialize_result(result)
+        out["context"] = self.name
+        out["variant"] = variant
+        out["seed"] = seed
+        return out
+
+    def run_sweep(self, payload: dict, engine: ParallelEngine) -> dict:
+        """A whole budget sweep / seed ablation as one unit (the sweep
+        module owns per-unit isolation)."""
+        variant = self._variant(payload)
+        total = self.database.total_data_bytes()
+        if "budget_bytes" in payload:
+            budgets = [float(b) for b in payload["budget_bytes"]]
+        elif "budget_fractions" in payload:
+            budgets = [total * float(f) for f in payload["budget_fractions"]]
+        else:
+            raise ServiceError(
+                "sweep payload needs 'budget_bytes' or 'budget_fractions'"
+            )
+        seeds = payload.get("seeds")
+        sweep = run_sweep(
+            self.database,
+            self.workload,
+            budgets,
+            seeds=[int(s) for s in seeds] if seeds else None,
+            variant=variant,
+            stats=self.stats,
+            engine=engine,
+            cache_dir=self.cache_dir,
+            **self._advisor_extra(payload),
+        )
+        runs = []
+        for run in sweep.runs:
+            entry = serialize_result(run.result)
+            entry["seed"] = run.seed
+            entry["budget_bytes"] = run.budget_bytes
+            runs.append(entry)
+        return {
+            "context": self.name,
+            "variant": variant,
+            "runs": runs,
+            "meta": {
+                "elapsed_seconds": sweep.elapsed_seconds,
+                "workers": sweep.workers,
+                "engine_stats": sweep.engine_stats,
+                "estimation_cache_stats": sweep.estimation_cache_stats,
+                "cost_cache_stats": sweep.cost_cache_stats,
+                "delta_stats": sweep.delta_stats,
+            },
+        }
+
+    def run_estimate_size(self, payload: dict) -> dict:
+        """Size-estimate one structure through the shared estimator."""
+        index = parse_index_spec(self.database, payload.get("index"))
+        estimate = self.estimator.estimate(index)
+        return {
+            "context": self.name,
+            "index": index_to_spec(index),
+            "est_bytes": estimate.est_bytes,
+            "page_quantized_bytes": quantize_bytes(estimate.est_bytes),
+            "compression_fraction": estimate.compression_fraction,
+            "source": estimate.source,
+            "estimation_cost": estimate.cost,
+            "error_mean": estimate.error.mean,
+            "error_var": estimate.error.var,
+        }
+
+    def run_whatif_cost(self, payload: dict) -> dict:
+        """What-if cost one statement under a hypothetical configuration
+        (the base heaps plus the payload's indexes)."""
+        if "statement_index" in payload:
+            si = int(payload["statement_index"])
+            if not 0 <= si < len(self.workload):
+                raise ServiceError(
+                    f"statement_index {si} out of range "
+                    f"(workload has {len(self.workload)} statements)"
+                )
+            statement = self.workload.statements[si].statement
+        elif "sql" in payload:
+            statement = parse_statement(payload["sql"])
+            if statement.is_select:
+                statement.validate(self.database)
+        else:
+            raise ServiceError(
+                "whatif_cost payload needs 'statement_index' or 'sql'"
+            )
+        config = self.base_config
+        for spec in payload.get("indexes", ()):
+            config = config.add(parse_index_spec(self.database, spec))
+        # Cost through the stateless coster, not WhatIfOptimizer.cost:
+        # clients control both the statement (ad-hoc SQL) and the
+        # configuration, so routing through the optimizer would grow
+        # its process-lifetime signature cache without bound in a
+        # long-lived service.  Same floats either way — the optimizer
+        # layer only memoizes around this exact call.
+        breakdown = self.whatif.coster.cost(statement, config)
+        return {
+            "context": self.name,
+            "statement": repr(statement),
+            "indexes": [
+                ix.display_name()
+                for ix in sorted(config, key=lambda i: i.display_name())
+            ],
+            "total": breakdown.total,
+            "io": breakdown.io,
+            "cpu": breakdown.cpu,
+            "used_mv": breakdown.used_mv,
+        }

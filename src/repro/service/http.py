@@ -1,0 +1,202 @@
+"""Stdlib JSON-over-HTTP front end for :class:`AdvisorService`.
+
+A deliberately small HTTP/1.1 server on ``asyncio`` streams — no
+third-party web framework, mirroring the repo's no-dependency rule.
+
+Routes::
+
+    GET  /healthz                 -> {"ok": true, ...}
+    GET  /v1/stats                -> service counters
+    GET  /v1/contexts             -> registered context descriptions
+    POST /v1/tune                 -> {"context": ..., ...payload}
+    POST /v1/sweep                -> (same shape)
+    POST /v1/estimate_size        -> (same shape)
+    POST /v1/whatif_cost          -> (same shape)
+
+POST bodies are JSON objects carrying ``context`` plus the request
+payload.  A full request queue returns **503** with a ``Retry-After``
+header (the service's backpressure surfaced honestly), unknown
+contexts/arguments **400**, and internal failures **500** with the
+error text in the JSON body.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import BackpressureError, ReproError, ServiceError
+from repro.service.service import AdvisorService
+
+#: maximum accepted request body (tuning payloads are tiny).
+MAX_BODY_BYTES = 1 << 20
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ServiceHTTPServer:
+    """Serves one :class:`AdvisorService` over HTTP."""
+
+    def __init__(self, service: AdvisorService, host: str = "127.0.0.1",
+                 port: int = 8765) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start serving (also starts the service itself);
+        ``port=0`` binds an ephemeral port, re-read from ``self.port``."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self, drain: bool = True) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop(drain=drain)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def __aenter__(self) -> "ServiceHTTPServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+        except ConnectionError:  # pragma: no cover - client went away
+            writer.close()
+            return
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            status, payload = 500, {"error": str(exc)}
+        body = json.dumps(payload).encode()
+        headers = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        if status == 503:
+            headers.append("Retry-After: 1")
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode() + body)
+        try:
+            await writer.drain()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        writer.close()
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return 400, {"error": "empty request"}
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {"error": f"malformed request line {request_line!r}"}
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": "bad Content-Length"}
+        if content_length > MAX_BODY_BYTES:
+            return 400, {"error": "request body too large"}
+        body = (
+            await reader.readexactly(content_length)
+            if content_length else b""
+        )
+        return await self._route(method, path, body)
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict]:
+        if method == "GET":
+            if path == "/healthz":
+                return 200, {
+                    "ok": True,
+                    "running": self.service.started,
+                    "contexts": sorted(self.service.contexts),
+                }
+            if path == "/v1/stats":
+                return 200, self.service.stats()
+            if path == "/v1/contexts":
+                return 200, {
+                    "contexts": [
+                        ctx.describe()
+                        for _, ctx in sorted(self.service.contexts.items())
+                    ]
+                }
+            return 404, {"error": f"no such resource {path!r}"}
+        if method != "POST":
+            return 405, {"error": f"method {method} not allowed"}
+        kind = path.removeprefix("/v1/")
+        if "/" in kind or not kind:
+            return 404, {"error": f"no such resource {path!r}"}
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return 400, {"error": f"bad JSON body: {exc}"}
+        if not isinstance(payload, dict):
+            return 400, {"error": "JSON body must be an object"}
+        context = payload.pop("context", None)
+        if not isinstance(context, str):
+            return 400, {"error": "body needs a 'context' string"}
+        try:
+            # wait=False: a full queue surfaces as 503 immediately
+            # rather than an unbounded number of parked connections.
+            result = await self.service.request(
+                kind, context, payload, wait=False
+            )
+        except BackpressureError as exc:
+            return 503, {"error": str(exc)}
+        except (ServiceError, ReproError) as exc:
+            return 400, {"error": str(exc)}
+        return 200, result
+
+
+async def serve(
+    service: AdvisorService, host: str = "127.0.0.1", port: int = 8765,
+    ready_message: bool = True,
+) -> None:
+    """Serve until cancelled (the ``repro serve`` entry point)."""
+    server = ServiceHTTPServer(service, host, port)
+    await server.start()
+    if ready_message:
+        contexts = ", ".join(sorted(service.contexts)) or "(none)"
+        print(
+            f"advisor service: contexts [{contexts}] on "
+            f"http://{server.host}:{server.port}",
+            flush=True,
+        )
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop(drain=False)

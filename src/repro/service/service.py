@@ -1,0 +1,362 @@
+"""The async tuning service: concurrent requests over one optimizer.
+
+Commercial what-if tuners run as long-lived services multiplexing many
+tuning sessions over a single optimizer instance.  This module is that
+serving layer for the reproduction: an asyncio :class:`AdvisorService`
+accepting concurrent ``tune`` / ``sweep`` / ``estimate_size`` /
+``whatif_cost`` requests against registered schema+workload contexts,
+backed by the existing batched APIs, the persistent
+:class:`EstimationCache`/:class:`CostCache`, and **one** shared
+keep-alive :class:`ParallelEngine` pool.
+
+Three properties the stress tests pin down:
+
+* **Determinism.**  Requests execute one at a time on a dedicated
+  executor thread, and every tuning run is isolated exactly like a
+  sweep unit (fresh seeded estimator, cache fork views), so responses
+  are byte-identical to sequential :meth:`TuningAdvisor.run` calls at
+  any concurrency level — the answer a client gets can never depend on
+  what other clients are doing.
+
+* **In-flight coalescing.**  Identical concurrent requests (same kind,
+  context and canonical payload) attach to a single future: the work
+  runs once and every waiter gets the same response object.  Dedup
+  counters are exposed per request kind (``stats()["coalesced"]``).
+
+* **Backpressure.**  Requests flow through a bounded queue.
+  ``request(..., wait=True)`` suspends the caller until a slot frees
+  (asyncio-native backpressure); ``wait=False`` — what the HTTP layer
+  uses — raises :class:`BackpressureError` immediately so clients get
+  an honest 503 instead of an unbounded in-memory backlog.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.catalog.schema import Database
+from repro.errors import BackpressureError, ServiceError
+from repro.parallel.cache import CostCache, EstimationCache
+from repro.parallel.engine import ParallelEngine
+from repro.service.context import ServiceContext
+from repro.stats.column_stats import DatabaseStats
+from repro.workload.query import Workload
+
+REQUEST_KINDS = ("tune", "sweep", "estimate_size", "whatif_cost")
+
+
+def canonical_payload(payload: dict) -> str:
+    """The canonical JSON form coalescing keys are built from: two
+    payloads with the same content coalesce regardless of key order."""
+    try:
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(
+            f"request payload is not JSON-serializable: {exc}"
+        ) from exc
+
+
+class AdvisorService:
+    """Long-lived async tuning service over registered contexts.
+
+    Args:
+        workers: pool size of the shared :class:`ParallelEngine` every
+            advisor run borrows (0 = one per CPU, 1 = sequential).
+        cache_dir: directory for the persistent size-estimate and
+            what-if cost caches, shared by every context and request.
+        max_pending: bound of the request queue (backpressure beyond).
+        engine: injected engine (tests); overrides ``workers``.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        cache_dir: str | None = None,
+        max_pending: int = 64,
+        engine: ParallelEngine | None = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ServiceError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        self.engine = engine or ParallelEngine(workers)
+        self.cache_dir = cache_dir
+        self.estimation_cache = (
+            EstimationCache(cache_dir) if cache_dir is not None else None
+        )
+        self.cost_cache = (
+            CostCache(cache_dir) if cache_dir is not None else None
+        )
+        self.max_pending = max_pending
+        self.contexts: dict[str, ServiceContext] = {}
+
+        self._queue: asyncio.Queue | None = None
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._worker: asyncio.Task | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._closing = False
+
+        #: per-kind instrumentation.
+        self.requests = {kind: 0 for kind in REQUEST_KINDS}
+        self.coalesced = {kind: 0 for kind in REQUEST_KINDS}
+        self.completed = {kind: 0 for kind in REQUEST_KINDS}
+        self.failed = {kind: 0 for kind in REQUEST_KINDS}
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        database: Database,
+        workload: Workload,
+        *,
+        stats: DatabaseStats | None = None,
+        e: float = 0.5,
+        q: float = 0.9,
+    ) -> ServiceContext:
+        """Register a (database, workload) context clients can address.
+        Registration is cheap; statistics and samples build lazily on
+        the first request that needs them."""
+        if name in self.contexts:
+            raise ServiceError(f"context {name!r} already registered")
+        context = ServiceContext(
+            name, database, workload,
+            stats=stats,
+            estimation_cache=self.estimation_cache,
+            cost_cache=self.cost_cache,
+            cache_dir=self.cache_dir,
+            e=e, q=q,
+        )
+        self.contexts[name] = context
+        return context
+
+    @property
+    def started(self) -> bool:
+        return self._worker is not None and not self._worker.done()
+
+    async def start(self) -> None:
+        """Start the dispatch loop (idempotent)."""
+        if self.started:
+            return
+        self._closing = False
+        self._queue = asyncio.Queue(maxsize=self.max_pending)
+        # One executor thread: requests run strictly one at a time, so
+        # the shared engine (single-threaded by design) is never entered
+        # concurrently and every run sees a quiescent optimizer.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="advisor-service"
+        )
+        self._worker = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the service: optionally drain queued work, then release
+        the executor thread, the shared engine pool, and persist the
+        caches.  Queued-but-unexecuted requests fail with
+        :class:`ServiceError` when ``drain=False``."""
+        if self._worker is None:
+            return
+        self._closing = True
+        if drain and self._queue is not None:
+            await self._queue.join()
+        worker, self._worker = self._worker, None
+        worker.cancel()
+        try:
+            await worker
+        except asyncio.CancelledError:
+            pass
+        # Fail whatever never ran (stop(drain=False) under load).
+        for fut in self._inflight.values():
+            if not fut.done():
+                fut.set_exception(ServiceError("service stopped"))
+        self._inflight.clear()
+        if self._queue is not None:
+            # Free the queue's slots so callers parked in put() wake up
+            # (they then observe their already-failed future) instead
+            # of waiting on a queue nobody will ever drain again.
+            while True:
+                try:
+                    self._queue.get_nowait()
+                    self._queue.task_done()
+                except asyncio.QueueEmpty:
+                    break
+        self._queue = None
+        if self._executor is not None:
+            # Waits for an in-flight job's thread to finish: no job is
+            # abandoned halfway through mutating shared cache state.
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        # Release the shared pool even for injected engines: shutdown
+        # only drops the *dormant* worker pool (a later session forks a
+        # fresh one), so no caller state is invalidated, and a stopped
+        # service never leaks forked processes.
+        self.engine.shutdown()
+        self.save_caches()
+
+    def save_caches(self) -> None:
+        if self.estimation_cache is not None:
+            self.estimation_cache.save()
+        if self.cost_cache is not None:
+            self.cost_cache.save()
+
+    async def __aenter__(self) -> "AdvisorService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    async def request(
+        self, kind: str, context: str, payload: dict | None = None,
+        *, wait: bool = True,
+    ) -> dict:
+        """Issue one request and await its response payload.
+
+        Identical in-flight requests coalesce onto a single future.
+        ``wait`` controls backpressure style: suspend until the bounded
+        queue has room (True), or raise :class:`BackpressureError`
+        immediately (False).
+        """
+        if kind not in REQUEST_KINDS:
+            raise ServiceError(
+                f"unknown request kind {kind!r}; one of {REQUEST_KINDS}"
+            )
+        if context not in self.contexts:
+            raise ServiceError(
+                f"unknown context {context!r}; registered: "
+                f"{sorted(self.contexts)}"
+            )
+        if not self.started or self._closing:
+            raise ServiceError("service is not running")
+        payload = dict(payload or {})
+        key = (kind, context, canonical_payload(payload))
+        self.requests[kind] += 1
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced[kind] += 1
+            # shield: one waiter's cancellation must not fail the rest;
+            # deep copy: one waiter mutating its answer must not
+            # corrupt the others' (or the cached sequential baseline).
+            return copy.deepcopy(await asyncio.shield(existing))
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        item = (key, kind, context, payload)
+        try:
+            if wait:
+                # Await point: identical requests may coalesce onto
+                # `future` while we are parked here, so any bail-out
+                # below must resolve it — waiters hold a shield on it
+                # and would otherwise hang forever.
+                await self._queue.put(item)
+            else:
+                self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self._inflight.pop(key, None)
+            future.cancel()
+            self.rejected += 1
+            raise BackpressureError(
+                f"request queue full ({self.max_pending} pending); "
+                "retry later"
+            ) from None
+        except BaseException:
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_exception(
+                    ServiceError("request cancelled before execution")
+                )
+            raise
+        return copy.deepcopy(await asyncio.shield(future))
+
+    async def tune(self, context: str, **payload) -> dict:
+        return await self.request("tune", context, payload)
+
+    async def sweep(self, context: str, **payload) -> dict:
+        return await self.request("sweep", context, payload)
+
+    async def estimate_size(self, context: str, **payload) -> dict:
+        return await self.request("estimate_size", context, payload)
+
+    async def whatif_cost(self, context: str, **payload) -> dict:
+        return await self.request("whatif_cost", context, payload)
+
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        """Pop requests off the bounded queue and run them, one at a
+        time, on the executor thread; resolve the coalesced future."""
+        loop = asyncio.get_running_loop()
+        while True:
+            key, kind, context, payload = await self._queue.get()
+            future = self._inflight.get(key)
+            try:
+                result = await loop.run_in_executor(
+                    self._executor, self._execute, kind, context, payload
+                )
+            except asyncio.CancelledError:
+                # Service stopped mid-job (stop(drain=False) under
+                # load): the executor thread finishes the job on its
+                # own, but the caller must not hang on a future nobody
+                # will ever resolve.
+                if future is not None and not future.done():
+                    future.set_exception(ServiceError("service stopped"))
+                self._inflight.pop(key, None)
+                self._queue.task_done()
+                raise
+            except Exception as exc:  # noqa: BLE001 - forwarded to caller
+                self.failed[kind] += 1
+                if future is not None and not future.done():
+                    future.set_exception(exc)
+            else:
+                self.completed[kind] += 1
+                if future is not None and not future.done():
+                    future.set_result(result)
+            self._inflight.pop(key, None)
+            self._queue.task_done()
+
+    def _execute(self, kind: str, context_name: str, payload: dict) -> dict:
+        """Synchronous request execution (runs on the executor thread)."""
+        context = self.contexts[context_name]
+        if kind == "tune":
+            return context.run_tune(payload, self.engine)
+        if kind == "sweep":
+            return context.run_sweep(payload, self.engine)
+        if kind == "estimate_size":
+            return context.run_estimate_size(payload)
+        if kind == "whatif_cost":
+            return context.run_whatif_cost(payload)
+        raise ServiceError(f"unknown request kind {kind!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Service counters: queue state, per-kind request/coalescing/
+        completion counts, engine and cache stats."""
+        return {
+            "contexts": sorted(self.contexts),
+            "running": self.started,
+            "max_pending": self.max_pending,
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "in_flight": len(self._inflight),
+            "requests": dict(self.requests),
+            "coalesced": dict(self.coalesced),
+            "completed": dict(self.completed),
+            "failed": dict(self.failed),
+            "rejected": self.rejected,
+            "engine": self.engine.stats(),
+            "estimation_cache": (
+                self.estimation_cache.stats()
+                if self.estimation_cache is not None else {}
+            ),
+            "cost_cache": (
+                self.cost_cache.stats()
+                if self.cost_cache is not None else {}
+            ),
+        }

@@ -14,11 +14,19 @@ from repro.stats.histogram import Bucket, EquiDepthHistogram
 from repro.stats.selectivity import (
     conjunction_selectivity,
     predicate_selectivity,
+    reset_selectivity_memo_stats,
+    selectivity_memo_enabled,
+    selectivity_memo_stats,
+    set_selectivity_memo,
 )
 
 __all__ = [
     "predicate_selectivity",
     "conjunction_selectivity",
+    "set_selectivity_memo",
+    "selectivity_memo_enabled",
+    "selectivity_memo_stats",
+    "reset_selectivity_memo_stats",
     "Bucket",
     "EquiDepthHistogram",
     "ColumnStats",

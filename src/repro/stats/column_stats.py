@@ -53,6 +53,11 @@ class TableStats:
         self.n_rows = table.num_rows
         self.row_width = table.row_width
         self._columns = dict(columns)
+        #: per-instance selectivity memos (stats are immutable once
+        #: built, so a memoized selectivity can never go stale); see
+        #: :mod:`repro.stats.selectivity`.
+        self.selectivity_memo: dict = {}
+        self.conjunction_memo: dict = {}
 
     def column(self, name: str) -> ColumnStats:
         return self._columns[name]

@@ -3,6 +3,17 @@
 Shared by the what-if optimizer (cardinality estimation) and the size
 estimation framework (row counts of partial indexes).  Conjunctions use
 the independence assumption, as mainstream optimizers do.
+
+Selectivities are pure functions of ``(table statistics, predicate)``,
+yet the access-path search re-evaluates the same handful of predicates
+millions of times over an enumeration (every ``cost_access`` probe walks
+its predicate list against the histograms).  Both entry points therefore
+memoize per :class:`TableStats` instance — a memo hit replays the
+*identical float* the first evaluation produced, so costs are
+bit-identical with memoization on or off (the equivalence the stats
+tests assert).  :func:`set_selectivity_memo` disables the memo globally
+for A/B verification; :func:`selectivity_memo_stats` exposes hit/miss
+counters.
 """
 
 from __future__ import annotations
@@ -19,9 +30,69 @@ from repro.workload.expr import (
     Predicate,
 )
 
+#: global memo switch; flipping it never changes any result, only
+#: whether the pure recomputation is skipped.
+_MEMO_ENABLED = True
+_HITS = 0
+_MISSES = 0
+
+#: per-table memo size cap.  Advisor workloads carry a bounded
+#: predicate set, but long-lived embedders (the tuning service costs
+#: client-supplied SQL) would otherwise grow the memos without bound —
+#: past the cap, selectivities are still computed, just not stored
+#: (results are identical either way).
+MEMO_LIMIT = 1 << 16
+
+
+def set_selectivity_memo(enabled: bool) -> None:
+    """Enable/disable selectivity memoization globally (results are
+    identical either way; the switch exists so equivalence tests can
+    prove exactly that)."""
+    global _MEMO_ENABLED
+    _MEMO_ENABLED = bool(enabled)
+
+
+def selectivity_memo_enabled() -> bool:
+    return _MEMO_ENABLED
+
+
+def selectivity_memo_stats() -> dict:
+    """Global memo counters (both entry points combined)."""
+    return {
+        "enabled": _MEMO_ENABLED,
+        "hits": _HITS,
+        "misses": _MISSES,
+        "hit_rate": _HITS / (_HITS + _MISSES) if (_HITS + _MISSES) else 0.0,
+    }
+
+
+def reset_selectivity_memo_stats() -> None:
+    global _HITS, _MISSES
+    _HITS = _MISSES = 0
+
 
 def predicate_selectivity(stats: TableStats, predicate: Predicate) -> float:
-    """Estimated fraction of rows satisfying ``predicate``."""
+    """Estimated fraction of rows satisfying ``predicate`` (memoized
+    per-:class:`TableStats`; a hit replays the identical float)."""
+    global _HITS, _MISSES
+    if not _MEMO_ENABLED:
+        return _predicate_selectivity(stats, predicate)
+    memo = stats.selectivity_memo
+    try:
+        value = memo.get(predicate)
+    except TypeError:  # unhashable literal: compute directly
+        return _predicate_selectivity(stats, predicate)
+    if value is None:
+        _MISSES += 1
+        value = _predicate_selectivity(stats, predicate)
+        if len(memo) < MEMO_LIMIT:
+            memo[predicate] = value
+    else:
+        _HITS += 1
+    return value
+
+
+def _predicate_selectivity(stats: TableStats, predicate: Predicate) -> float:
     if isinstance(predicate, Conjunction):
         return conjunction_selectivity(stats, predicate.predicates)
     if isinstance(predicate, Comparison):
@@ -55,7 +126,31 @@ def _comparison_selectivity(stats: TableStats, pred: Comparison) -> float:
 def conjunction_selectivity(
     stats: TableStats, predicates: Iterable[Predicate]
 ) -> float:
-    """Independence-assumption product over a conjunction."""
+    """Independence-assumption product over a conjunction (memoized on
+    the predicate tuple; the product loop runs once per distinct
+    conjunction, so the replayed float carries the identical
+    left-to-right multiplication order)."""
+    global _HITS, _MISSES
+    if _MEMO_ENABLED and isinstance(predicates, tuple):
+        memo = stats.conjunction_memo
+        try:
+            value = memo.get(predicates)
+        except TypeError:  # unhashable literal: compute directly
+            return _conjunction_selectivity(stats, predicates)
+        if value is None:
+            _MISSES += 1
+            value = _conjunction_selectivity(stats, predicates)
+            if len(memo) < MEMO_LIMIT:
+                memo[predicates] = value
+        else:
+            _HITS += 1
+        return value
+    return _conjunction_selectivity(stats, predicates)
+
+
+def _conjunction_selectivity(
+    stats: TableStats, predicates: Iterable[Predicate]
+) -> float:
     sel = 1.0
     for p in predicates:
         sel *= predicate_selectivity(stats, p)

@@ -1,4 +1,6 @@
-"""Shared fixtures: a small deterministic database used across tests."""
+"""Shared fixtures: a small deterministic database used across tests,
+plus the ``--update-golden`` refresh flag for the golden-recommendation
+regression canaries."""
 
 import random
 
@@ -6,6 +8,17 @@ import pytest
 
 from repro.catalog import Column, Database, INT, Table, char, decimal
 from repro.stats import DatabaseStats
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/*.json from the current advisor "
+             "output instead of asserting against it (commit the diff "
+             "deliberately — it documents a behavior change)",
+    )
 
 
 @pytest.fixture(scope="session")

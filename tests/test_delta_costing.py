@@ -140,6 +140,134 @@ class TestIncrementalEqualsFull:
         assert delta.stats()["memo_entries"] > 0
 
 
+@pytest.fixture(scope="module")
+def update_heavy_rig(delta_inputs):
+    """A workload dominated by UPDATE/DELETE/INSERT statements (plus a
+    few SELECTs), for the maintenance-patching paths: fsum-accumulated
+    maintenance costs let the delta layer rebuild INSERT/UPDATE/DELETE
+    terms from memoized per-structure contributions."""
+    from repro.workload.parser import parse_statement
+    from repro.workload.query import Workload
+
+    db, wl, budget = delta_inputs
+    heavy = Workload()
+    for ws in wl.queries[:6]:
+        heavy.add(ws.statement, weight=1.0, name=ws.name)
+    for name, sql, weight in [
+        ("UPD_STATUS",
+         "UPDATE sales SET sa_status = 'R' WHERE sa_promo = 'HOLIDAY'", 4.0),
+        ("UPD_DISCOUNT",
+         "UPDATE sales SET sa_discount = 5 "
+         "WHERE sa_date >= DATE '2009-01-01'", 4.0),
+        ("DEL_SMALLBIZ",
+         "DELETE FROM customers WHERE cu_segment = 'SMALLBIZ'", 3.0),
+        ("BULK_1", "INSERT INTO sales BULK 800", 5.0),
+        ("BULK_2", "INSERT INTO customers BULK 120", 5.0),
+    ]:
+        heavy.add(parse_statement(sql), weight=weight, name=name)
+    stats = DatabaseStats(db)
+    estimator = SizeEstimator(db, stats=stats)
+    advisor = TuningAdvisor(
+        db, heavy, AdvisorOptions(budget_bytes=budget),
+        estimator=estimator, stats=stats,
+    )
+    pool = []
+    for table in ("sales", "customers"):
+        cols = db.table(table).column_names
+        pool.append(IndexDef(table, (cols[0],), kind=IndexKind.SECONDARY))
+        pool.append(
+            IndexDef(table, (cols[2], cols[1]), kind=IndexKind.SECONDARY)
+        )
+        pool.append(IndexDef(table, (cols[1],), kind=IndexKind.SECONDARY))
+    return advisor.whatif, heavy, advisor.base_config, pool, db, budget
+
+
+class TestUpdateHeavyIncremental:
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_randomized_sequences_match_full_batch(
+        self, update_heavy_rig, seed
+    ):
+        """Property: delta totals == fresh full-recost totals, exactly,
+        on a workload where most statements are maintenance — and the
+        maintenance patch path (not full recosting) carries the load."""
+        whatif, wl, base, pool, _db, _budget = update_heavy_rig
+        configs = _random_configs(base, pool, seed, 40)
+        delta = whatif.delta_coster(wl)
+        delta.rebase(base)
+        incremental = delta.batch(configs)
+        whatif.clear_cache()
+        full = whatif.workload_cost_batch(wl, configs)
+        assert incremental == full
+        assert delta.stats()["patched_maintenance"] > 0
+
+    def test_base_and_method_swaps_match(self, update_heavy_rig):
+        """Removed+added diffs must stay exact for maintenance
+        statements too (base compression swaps change every
+        per-structure contribution of the table)."""
+        from repro.compression.base import CompressionMethod
+
+        whatif, wl, base, pool, _db, _budget = update_heavy_rig
+        delta = whatif.delta_coster(wl)
+        delta.rebase(base)
+        configs = []
+        for ix in base.ordered():
+            for method in (CompressionMethod.ROW, CompressionMethod.PAGE):
+                configs.append(base.replace(ix, ix.with_method(method)))
+        grown = base.add(pool[0]).add(pool[3])
+        configs.append(grown)
+        configs.append(
+            grown.replace(pool[0],
+                          pool[0].with_method(CompressionMethod.ROW))
+        )
+        incremental = delta.batch(configs)
+        whatif.clear_cache()
+        assert incremental == whatif.workload_cost_batch(wl, configs)
+
+    def test_statement_cost_matches_whatif(self, update_heavy_rig):
+        whatif, wl, base, pool, _db, _budget = update_heavy_rig
+        delta = whatif.delta_coster(wl)
+        delta.rebase(base)
+        for ws in wl.updates:
+            for ix in pool:
+                config = base.add(ix)
+                assert delta.statement_cost(ws.statement, config) == \
+                    whatif.cost(ws.statement, config).total
+
+    def test_tune_identical_with_delta_on_or_off(self, update_heavy_rig):
+        whatif, wl, base, pool, db, budget = update_heavy_rig
+        off = tune(db, wl, budget, variant="dtac-both",
+                   delta_costing=False)
+        on = tune(db, wl, budget, variant="dtac-both", delta_costing=True)
+        assert on.configuration == off.configuration
+        assert on.final_cost == off.final_cost
+        assert on.base_cost == off.base_cost
+        assert on.steps == off.steps
+        assert on.delta_stats["patched_maintenance"] > 0
+
+    def test_maintenance_total_is_order_independent(self, update_heavy_rig):
+        """The fsum accumulation contract: per-structure contributions
+        summed in any order reproduce ``_maintenance_cost``'s exact
+        breakdown."""
+        import math
+        import random as _random
+
+        whatif, wl, base, pool, _db, _budget = update_heavy_rig
+        coster = whatif.coster
+        config = base.add(pool[0]).add(pool[1]).add(pool[2])
+        structures = coster.maintenance_structures("sales", config)
+        assert len(structures) >= 3
+        full = coster._maintenance_cost("sales", 800.0, config)
+        contribs = [
+            coster.structure_maintenance("sales", 800.0, ix)
+            for ix in structures
+        ]
+        for seed in (1, 2, 3):
+            shuffled = list(contribs)
+            _random.Random(seed).shuffle(shuffled)
+            assert math.fsum(c[0] for c in shuffled) == full.io
+            assert math.fsum(c[1] for c in shuffled) == full.cpu
+
+
 class TestColdAndWarmCostCache:
     @pytest.mark.parametrize("seed", [21, 22])
     def test_equivalence_through_persistent_cache(

@@ -1,5 +1,6 @@
 """Tests for column statistics and selectivity estimation, cross-checked
-against true match counts on the data."""
+against true match counts on the data — plus the stats-layer selectivity
+memo (hit/miss counters, and cost equivalence with the memo on vs off)."""
 
 import pytest
 
@@ -8,6 +9,9 @@ from repro.stats import (
     TableStats,
     conjunction_selectivity,
     predicate_selectivity,
+    reset_selectivity_memo_stats,
+    selectivity_memo_stats,
+    set_selectivity_memo,
 )
 from repro.workload import Between, Comparison, Conjunction, InList
 
@@ -89,6 +93,112 @@ class TestSelectivityVsTruth:
             1 - predicate_selectivity(fact_stats,
                                       Comparison("f_cat", "=", "CAT_3"))
         )
+
+
+@pytest.fixture
+def memo_guard():
+    """Restore the global memo switch and counters after a test."""
+    yield
+    set_selectivity_memo(True)
+    reset_selectivity_memo_stats()
+
+
+class TestSelectivityMemo:
+    def test_hit_miss_counters(self, fact_stats, memo_guard):
+        pred = Comparison("f_qty", "<", 42)
+        stats = fact_stats
+        stats.selectivity_memo.clear()
+        reset_selectivity_memo_stats()
+        first = predicate_selectivity(stats, pred)
+        counters = selectivity_memo_stats()
+        assert counters["misses"] >= 1
+        hits_before = counters["hits"]
+        second = predicate_selectivity(stats, pred)
+        assert second == first
+        assert selectivity_memo_stats()["hits"] == hits_before + 1
+
+    def test_conjunction_memo_counts(self, fact_stats, memo_guard):
+        preds = (
+            Comparison("f_qty", "<", 42),
+            Comparison("f_cat", "=", "CAT_3"),
+        )
+        fact_stats.conjunction_memo.clear()
+        fact_stats.selectivity_memo.clear()
+        reset_selectivity_memo_stats()
+        first = conjunction_selectivity(fact_stats, preds)
+        hits_before = selectivity_memo_stats()["hits"]
+        assert conjunction_selectivity(fact_stats, preds) == first
+        assert selectivity_memo_stats()["hits"] == hits_before + 1
+        assert preds in fact_stats.conjunction_memo
+
+    def test_disabled_memo_stores_nothing(self, fact_stats, memo_guard):
+        set_selectivity_memo(False)
+        fact_stats.selectivity_memo.clear()
+        fact_stats.conjunction_memo.clear()
+        pred = Comparison("f_day", ">", 100)
+        value = predicate_selectivity(fact_stats, pred)
+        assert fact_stats.selectivity_memo == {}
+        set_selectivity_memo(True)
+        assert predicate_selectivity(fact_stats, pred) == value
+
+    @pytest.mark.parametrize("pred", [
+        Comparison("f_cat", "=", "CAT_3"),
+        Comparison("f_qty", ">=", 90),
+        Between("f_day", 100, 200),
+        InList("f_cat", ("CAT_0", "CAT_1")),
+        Conjunction((Comparison("f_qty", "<", 50),
+                     Comparison("f_day", "<", 180))),
+    ])
+    def test_memo_on_off_identical(self, small_db, pred, memo_guard):
+        """The memo must never move a float: identical selectivities
+        with memoization on vs off, from fresh stats each way."""
+        set_selectivity_memo(False)
+        off = predicate_selectivity(
+            TableStats.build(small_db.table("fact")), pred
+        )
+        set_selectivity_memo(True)
+        stats = TableStats.build(small_db.table("fact"))
+        on_cold = predicate_selectivity(stats, pred)
+        on_warm = predicate_selectivity(stats, pred)
+        assert off == on_cold == on_warm
+
+    def test_workload_costs_identical_memo_on_off(self, memo_guard):
+        """End-to-end equivalence under ``cost_access``'s hot loop: the
+        whole workload's what-if costs are bit-identical with the memo
+        on vs off, and the memoized pass actually hits."""
+        from repro.datasets.sales import sales_database, sales_workload
+        from repro.optimizer.whatif import WhatIfOptimizer
+
+        db = sales_database(scale=0.02)
+        wl = sales_workload(db)
+
+        def costs():
+            stats = DatabaseStats(db)
+            whatif = WhatIfOptimizer(db, stats)
+            from repro.physical import Configuration, IndexDef
+            from repro.storage.index_build import IndexKind
+
+            base = Configuration(
+                IndexDef(t.name, (), kind=IndexKind.HEAP)
+                for t in db.tables
+            )
+            sales_cols = db.table("sales").column_names
+            grown = base.add(
+                IndexDef("sales", (sales_cols[4],),
+                         kind=IndexKind.SECONDARY)
+            )
+            return [
+                whatif.workload_cost(wl, base),
+                whatif.workload_cost(wl, grown),
+            ]
+
+        set_selectivity_memo(False)
+        off = costs()
+        set_selectivity_memo(True)
+        reset_selectivity_memo_stats()
+        on = costs()
+        assert on == off
+        assert selectivity_memo_stats()["hits"] > 0
 
 
 class TestDatabaseStats:

@@ -1,0 +1,262 @@
+"""JSON-over-HTTP front end + async client: round-trips, error mapping,
+and 503 backpressure."""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.datasets.sales import sales_database, sales_workload
+from repro.service import (
+    AdvisorClient,
+    AdvisorService,
+    ServiceHTTPError,
+    ServiceHTTPServer,
+)
+
+
+@pytest.fixture(scope="module")
+def http_inputs():
+    db = sales_database(scale=0.02)
+    wl = sales_workload(db)
+    return db, wl
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _boot(db, wl, **service_kwargs):
+    service = AdvisorService(**service_kwargs)
+    service.register("sales", db, wl)
+    server = ServiceHTTPServer(service, port=0)  # ephemeral port
+    await server.start()
+    return service, server, AdvisorClient(port=server.port)
+
+
+class TestRoundTrips:
+    def test_health_contexts_stats(self, http_inputs):
+        db, wl = http_inputs
+
+        async def scenario():
+            service, server, client = await _boot(db, wl)
+            try:
+                health = await client.wait_ready()
+                contexts = await client.contexts()
+                stats = await client.stats()
+                return health, contexts, stats
+            finally:
+                await server.stop()
+
+        health, contexts, stats = run(scenario())
+        assert health["ok"] is True
+        assert health["contexts"] == ["sales"]
+        ctx = contexts["contexts"][0]
+        assert ctx["name"] == "sales"
+        assert ctx["statements"] == len(sales_workload(http_inputs[0]))
+        assert stats["max_pending"] == 64
+        assert stats["running"] is True
+
+    def test_estimate_cost_and_tune_over_http(self, http_inputs):
+        """The HTTP answers carry exactly the payloads the in-process
+        service produces (JSON round-trips floats exactly)."""
+        db, wl = http_inputs
+
+        async def scenario():
+            service, server, client = await _boot(db, wl)
+            try:
+                est = await client.estimate_size(
+                    "sales",
+                    index={"table": "sales", "key_columns": ["sa_date"],
+                           "method": "page"},
+                )
+                cost = await client.whatif_cost(
+                    "sales", statement_index=0,
+                    indexes=[{"table": "sales",
+                              "key_columns": ["sa_date"]}],
+                )
+                answer = await client.tune(
+                    "sales", budget_fraction=0.12, variant="dtac-none",
+                )
+                return est, cost, answer
+            finally:
+                await server.stop()
+
+        est, cost, answer = run(scenario())
+        assert est["est_bytes"] > 0
+        assert est["index"]["display_name"] == "ix_sales_sa_date_page"
+        assert cost["total"] == cost["io"] + cost["cpu"]
+
+        # Byte-identical to the in-process service path.
+        async def direct():
+            service = AdvisorService()
+            service.register("sales", db, wl)
+            await service.start()
+            try:
+                return await service.tune(
+                    "sales", budget_fraction=0.12, variant="dtac-none",
+                )
+            finally:
+                await service.stop()
+
+        assert answer["result"] == run(direct())["result"]
+
+    def test_concurrent_http_clients_coalesce(self, http_inputs):
+        db, wl = http_inputs
+
+        async def scenario():
+            service, server, client = await _boot(db, wl)
+            try:
+                payload = dict(statement_index=0)
+                answers = await asyncio.gather(*[
+                    client.whatif_cost("sales", **payload)
+                    for _ in range(4)
+                ])
+                stats = await client.stats()
+                return answers, stats
+            finally:
+                await server.stop()
+
+        answers, stats = run(scenario())
+        assert all(a == answers[0] for a in answers)
+        assert stats["coalesced"]["whatif_cost"] > 0
+        assert stats["completed"]["whatif_cost"] \
+            + stats["coalesced"]["whatif_cost"] == 4
+
+
+class TestErrorMapping:
+    def test_http_errors(self, http_inputs):
+        db, wl = http_inputs
+
+        async def scenario():
+            service, server, client = await _boot(db, wl)
+            out = {}
+            try:
+                for label, coro in [
+                    ("unknown_context",
+                     client.whatif_cost("nope", statement_index=0)),
+                    ("unknown_kind",
+                     client._post("frobnicate", "sales")),
+                    ("bad_payload", client.tune("sales")),
+                    ("bad_spec", client.estimate_size(
+                        "sales", index={"table": "sales",
+                                        "key_columns": ["sa_date"],
+                                        "method": "zstd"})),
+                ]:
+                    with pytest.raises(ServiceHTTPError) as err:
+                        await coro
+                    out[label] = err.value.status
+                out["missing_resource"] = None
+                try:
+                    await client._request("GET", "/v1/bogus")
+                except ServiceHTTPError as exc:
+                    out["missing_resource"] = exc.status
+                try:
+                    await client._request("PUT", "/v1/tune")
+                except ServiceHTTPError as exc:
+                    out["bad_method"] = exc.status
+                return out
+            finally:
+                await server.stop()
+
+        statuses = run(scenario())
+        assert statuses["unknown_context"] == 400
+        assert statuses["unknown_kind"] == 400
+        assert statuses["bad_payload"] == 400
+        assert statuses["bad_spec"] == 400
+        assert statuses["missing_resource"] == 404
+        assert statuses["bad_method"] == 405
+
+    def test_malformed_bodies(self, http_inputs):
+        db, wl = http_inputs
+
+        async def raw_post(port, path, body: bytes):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            writer.write(
+                f"POST {path} HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n".encode() + body
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            status = int(raw.split(b" ", 2)[1])
+            payload = json.loads(raw.partition(b"\r\n\r\n")[2] or b"{}")
+            return status, payload
+
+        async def scenario():
+            service, server, client = await _boot(db, wl)
+            try:
+                not_json = await raw_post(
+                    server.port, "/v1/tune", b"this is not json"
+                )
+                not_object = await raw_post(
+                    server.port, "/v1/tune", b"[1,2,3]"
+                )
+                no_context = await raw_post(
+                    server.port, "/v1/tune", b"{}"
+                )
+                return not_json, not_object, no_context
+            finally:
+                await server.stop()
+
+        not_json, not_object, no_context = run(scenario())
+        assert not_json[0] == 400 and "JSON" in not_json[1]["error"]
+        assert not_object[0] == 400
+        assert no_context[0] == 400
+        assert "context" in no_context[1]["error"]
+
+    def test_retryable_flag(self):
+        assert ServiceHTTPError(503, "full").retryable
+        assert not ServiceHTTPError(400, "nope").retryable
+
+
+class TestHTTPBackpressure:
+    def test_queue_full_returns_503(self, http_inputs):
+        """A saturated service answers 503 (with Retry-After) instead of
+        parking connections, and recovers once the queue drains."""
+        db, wl = http_inputs
+
+        async def scenario():
+            service, server, client = await _boot(db, wl, max_pending=1)
+            context = service.contexts["sales"]
+            started = threading.Event()
+            release = threading.Event()
+            original = context.run_whatif_cost
+
+            def blocking(payload):
+                started.set()
+                assert release.wait(30)
+                return original(payload)
+
+            context.run_whatif_cost = blocking
+            try:
+                blocked = asyncio.ensure_future(
+                    client.whatif_cost("sales", statement_index=0)
+                )
+                await asyncio.get_running_loop().run_in_executor(
+                    None, started.wait, 30
+                )
+                filler = asyncio.ensure_future(
+                    client.whatif_cost("sales", statement_index=1)
+                )
+                await asyncio.sleep(0.2)
+                with pytest.raises(ServiceHTTPError) as err:
+                    await client.whatif_cost("sales", statement_index=2)
+                release.set()
+                answers = await asyncio.gather(blocked, filler)
+                again = await client.whatif_cost(
+                    "sales", statement_index=2
+                )
+                return err.value, answers, again
+            finally:
+                context.run_whatif_cost = original
+                await server.stop()
+
+        err, answers, again = run(scenario())
+        assert err.status == 503
+        assert err.retryable
+        assert len(answers) == 2
+        assert again["total"] > 0
