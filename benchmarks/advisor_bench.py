@@ -24,6 +24,15 @@ sequential path and tracks the numbers across PRs:
   population x sampling fractions), the estimation-bound workload where
   the fan-out pays off most, sequential vs parallel with an
   element-wise identity check on the error table.
+* **service** — the job-based serving layer: two-context overlap
+  (concurrent jobs on two scheduler lanes vs the same jobs truly
+  serialized; on hosts with >=4 cores ``compare_bench.py`` gates the
+  concurrent arm not-slower, below that the ratio is recorded for the
+  trend series only — oversubscribed lanes honestly lose) and warm
+  session affinity (two same-context tunes through one lane: the
+  second must be granted warm reuse of the dormant engine pool,
+  ``warm_runs >= 1`` and ``pools_reused >= 1``, gated) — with every
+  job result checked byte-identical to a direct sequential ``tune()``.
 
 Everything under ``"results"``-style keys (recommendations, error rows,
 hit rates, identity flags) is deterministic run-to-run — datasets and
@@ -387,6 +396,122 @@ def run_fig9_section(args) -> dict:
     }
 
 
+def run_service_section(args) -> dict:
+    """Job-based serving: two-context overlap and warm pool affinity.
+
+    Overlap arm: one tune job on each of two registered contexts,
+    submitted concurrently (per-context lanes) vs awaited one after the
+    other — wall ratio recorded; each lane's engine uses ``--workers``
+    processes, which is where multi-core hosts overlap for real (lane
+    threads alone share the GIL).  Warm arm: two same-context tunes at
+    different budgets through one lane; the second run's wiring matches,
+    so it must reuse the dormant pool instead of re-forking.
+    """
+    import asyncio
+
+    from repro.service import AdvisorService, serialize_result
+    from repro.stats.column_stats import DatabaseStats
+
+    db_a = sales_database(scale=args.scale, seed=args.seed)
+    wl_a = sales_workload(db_a)
+    db_b = sales_database(scale=args.scale, seed=args.seed + 1)
+    wl_b = sales_workload(db_b)
+    payload = dict(budget_fraction=args.budget, variant=args.variant)
+    warm_payload = dict(budget_fraction=args.budget / 2,
+                        variant=args.variant)
+
+    async def overlap(concurrent: bool):
+        service = AdvisorService(workers=args.workers)
+        service.register("ctx_a", db_a, wl_a)
+        service.register("ctx_b", db_b, wl_b)
+        await service.start()
+        try:
+            t0 = time.perf_counter()
+            if concurrent:
+                jobs = [service.submit_job("tune", name, payload)
+                        for name in ("ctx_a", "ctx_b")]
+                await asyncio.gather(*[
+                    _drain_job(service, job) for job in jobs
+                ])
+            else:
+                # Truly serialized: the second job is submitted only
+                # after the first is terminal — submitting both up
+                # front would start them on their two lanes at once.
+                jobs = []
+                for name in ("ctx_a", "ctx_b"):
+                    job = service.submit_job("tune", name, payload)
+                    await _drain_job(service, job)
+                    jobs.append(job)
+            wall = time.perf_counter() - t0
+            return wall, [job.result for job in jobs]
+        finally:
+            await service.stop()
+
+    async def _drain_job(service, job):
+        async for _ in service.job_events(job.id):
+            pass
+
+    async def warm():
+        service = AdvisorService(workers=args.workers)
+        service.register("ctx_a", db_a, wl_a)
+        await service.start()
+        try:
+            first = await service.tune("ctx_a", **payload)
+            second = await service.tune("ctx_a", **warm_payload)
+            return first, second, service.stats()
+        finally:
+            await service.stop()
+
+    # NOTE: per-context lanes serialize *jobs submitted in order on one
+    # lane*, so the serialized arm measures the same work end-to-end.
+    serial_wall, serial_results = asyncio.run(overlap(False))
+    conc_wall, conc_results = asyncio.run(overlap(True))
+    warm_first, warm_second, warm_stats = asyncio.run(warm())
+
+    # Ground truth: direct sequential tune() per context/budget.
+    stats_a, stats_b = DatabaseStats(db_a), DatabaseStats(db_b)
+    direct = {
+        "ctx_a": tune(db_a, wl_a, db_a.total_data_bytes() * args.budget,
+                      variant=args.variant, stats=stats_a),
+        "ctx_b": tune(db_b, wl_b, db_b.total_data_bytes() * args.budget,
+                      variant=args.variant, stats=stats_b),
+        "warm": tune(db_a, wl_a,
+                     db_a.total_data_bytes() * args.budget / 2,
+                     variant=args.variant, stats=stats_a),
+    }
+    identical_jobs = all(
+        result["result"] == serialize_result(direct[name])["result"]
+        for results in (serial_results, conc_results)
+        for name, result in zip(("ctx_a", "ctx_b"), results)
+    )
+    identical_warm = (
+        warm_first["result"]
+        == serialize_result(direct["ctx_a"])["result"]
+        and warm_second["result"]
+        == serialize_result(direct["warm"])["result"]
+    )
+    return {
+        "dataset": "sales",
+        "scale": args.scale,
+        "budget_fraction": args.budget,
+        "variant": args.variant,
+        "workers": args.workers,
+        "overlap": {
+            "contexts": 2,
+            "serialized_wall_seconds": round(serial_wall, 4),
+            "concurrent_wall_seconds": round(conc_wall, 4),
+            "speedup": round(serial_wall / conc_wall, 3),
+        },
+        "warm": {
+            "pools_reused": warm_stats["pools_reused"],
+            "warm_runs": warm_stats["scheduler"]["warm_runs"],
+            "pools_forked": warm_stats["scheduler"]["pools_forked"],
+        },
+        "identical_job_results": identical_jobs,
+        "identical_warm_results": identical_warm,
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         description="Benchmark the parallel advisor engine "
@@ -408,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--skip-cache", action="store_true")
     parser.add_argument("--skip-sweep", action="store_true")
     parser.add_argument("--skip-incremental", action="store_true")
+    parser.add_argument("--skip-service", action="store_true")
     parser.add_argument("--cache-dir", default=None,
                         help="reuse a cache directory instead of a "
                              "fresh temporary one")
@@ -450,6 +576,10 @@ def main(argv: list[str] | None = None) -> int:
     if not args.skip_fig9:
         print(f"[bench] fig9: tpch scale={args.fig9_scale}", flush=True)
         payload["fig9"] = run_fig9_section(args)
+    if not args.skip_service:
+        print("[bench] service: two-context overlap + warm affinity",
+              flush=True)
+        payload["service"] = run_service_section(args)
 
     out = Path(args.output)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -476,6 +606,13 @@ def main(argv: list[str] | None = None) -> int:
     if "fig9" in payload:
         print(f"[bench] fig9 speedup x{payload['fig9']['speedup']} "
               f"(identical={payload['fig9']['identical_errors']})")
+    if "service" in payload:
+        svc = payload["service"]
+        print(f"[bench] service overlap x{svc['overlap']['speedup']} "
+              f"(2 contexts), warm pools_reused="
+              f"{svc['warm']['pools_reused']} "
+              f"(identical jobs={svc['identical_job_results']} "
+              f"warm={svc['identical_warm_results']})")
     sweep_ok = all(
         payload.get("sweep", {}).get(flag, True)
         for flag in ("identical_to_tune_loop", "identical_across_workers",
@@ -488,6 +625,8 @@ def main(argv: list[str] | None = None) -> int:
             "identical_recommendations", True
         )
         and payload.get("fig9", {}).get("identical_errors", True)
+        and payload.get("service", {}).get("identical_job_results", True)
+        and payload.get("service", {}).get("identical_warm_results", True)
     )
     return 0 if ok else 1
 

@@ -48,6 +48,8 @@ _PARAM_KEYS = {
     "cache": (),
     "sweep": ("dataset", "scale", "variant", "budget_fractions", "seeds"),
     "fig9": ("dataset", "scale", "population", "fractions"),
+    "service": ("dataset", "scale", "budget_fraction", "variant",
+                "workers"),
 }
 
 #: (section, key) wall-clock figures compared under --wall-tolerance.
@@ -58,7 +60,18 @@ _WALL_KEYS = (
     ("sweep", ("sweep_workers1_wall_seconds",)),
     ("sweep", ("warm", "wall_seconds")),
     ("fig9", ("sequential_wall_seconds",)),
+    ("service", ("overlap", "serialized_wall_seconds")),
 )
+
+#: Two-context overlap must never be materially *slower* than the same
+#: jobs serialized — but only judged on hosts with enough cores to run
+#: both lanes' engine pools at once (2 lanes x 2 workers).  Below that,
+#: concurrency honestly loses to oversubscription (on the 1-CPU dev
+#: container the measured ratio is ~0.6x), so the figure is recorded
+#: for the trend series but not gated; the nightly full-scale run on a
+#: multi-core runner is where the real ratio is held to account.
+MAX_OVERLAP_SLOWDOWN = 1.35
+MIN_OVERLAP_GATE_CPUS = 4
 
 #: Warm hit rates gated against regression (and an absolute floor for
 #: the sweep cost cache: the acceptance bar is >90% on a warm sweep).
@@ -200,6 +213,55 @@ def compare(baseline: dict, fresh: dict, wall_tolerance: float,
             gate.note(f"ok incremental.speedup = x{fresh_speedup:.2f}")
     elif "incremental" in baseline:
         gate.fail("incremental section missing its speedup figure")
+
+    # 2.7 Job-serving gates: the warm arm must actually reuse the
+    #     lane's engine pool (the whole point of session affinity), and
+    #     two-context overlap must not be slower than serializing the
+    #     same jobs.
+    service = fresh.get("service")
+    if service is not None:
+        if service.get("workers", 1) > 1:
+            # warm_runs counts prepare_warm *grants* (cross-run
+            # affinity specifically); pools_reused alone could be
+            # satisfied by within-run session reuse even with the
+            # affinity feature broken.
+            for key, floor in (("warm_runs", 1), ("pools_reused", 1)):
+                value = _dig(fresh, ("service", "warm", key))
+                if not isinstance(value, (int, float)) or value < floor:
+                    gate.fail(
+                        f"service.warm.{key} below the affinity "
+                        f"floor: {value!r} < {floor} — the second "
+                        "same-context tune re-forked instead of "
+                        "reusing the lane's warm pool"
+                    )
+                else:
+                    gate.note(f"ok service.warm.{key} = {value}")
+        serial = _dig(fresh, ("service", "overlap",
+                              "serialized_wall_seconds"))
+        conc = _dig(fresh, ("service", "overlap",
+                            "concurrent_wall_seconds"))
+        cpus = _dig(fresh, ("meta", "cpu_count"))
+        if isinstance(serial, (int, float)) \
+                and isinstance(conc, (int, float)) and serial > 0:
+            ratio = conc / serial
+            if not isinstance(cpus, int) \
+                    or cpus < MIN_OVERLAP_GATE_CPUS:
+                gate.note(
+                    f"service.overlap concurrent/serialized = "
+                    f"x{ratio:.2f} (informational: {cpus} CPUs < "
+                    f"{MIN_OVERLAP_GATE_CPUS}, overlap not gated)"
+                )
+            elif ratio > MAX_OVERLAP_SLOWDOWN:
+                gate.fail(
+                    "service.overlap: concurrent two-context jobs ran "
+                    f"x{ratio:.2f} slower than serialized (limit "
+                    f"x{MAX_OVERLAP_SLOWDOWN:.2f})"
+                )
+            else:
+                gate.note(
+                    f"ok service.overlap concurrent/serialized = "
+                    f"x{ratio:.2f}"
+                )
 
     # 3. Warm-cache hit rates.
     for section, path, floor in _HIT_RATE_KEYS:

@@ -1,0 +1,79 @@
+"""Submit a tuning job and watch its greedy steps stream live.
+
+Boot the service in one terminal::
+
+    PYTHONPATH=src python -m repro serve --dataset sales --scale 0.05
+
+then run this in another::
+
+    PYTHONPATH=src python examples/job_stream.py \
+        --context sales --budget 0.15
+
+It submits a ``tune`` job over ``POST /v1/jobs``, tails the chunked
+``/v1/jobs/<id>/events`` stream (one JSON event per greedy step), and
+prints the final recommendation once the job lands in ``done``.  Pass
+``--cancel-after N`` to cancel the job after the Nth greedy step
+instead — the run unwinds at its next progress event and the job ends
+``cancelled``.
+"""
+
+import argparse
+import asyncio
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import AdvisorClient  # noqa: E402
+
+
+async def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument("--context", default="sales")
+    parser.add_argument("--budget", type=float, default=0.15)
+    parser.add_argument("--variant", default="dtac-both")
+    parser.add_argument("--cancel-after", type=int, default=None,
+                        help="cancel the job after this many greedy "
+                             "steps (demonstrates job cancellation)")
+    args = parser.parse_args()
+
+    async with AdvisorClient(args.host, args.port) as client:
+        await client.wait_ready()
+        job = await client.submit_job(
+            args.context, kind="tune",
+            budget_fraction=args.budget, variant=args.variant,
+        )
+        print(f"submitted {job['id']} ({job['state']})")
+
+        steps = 0
+        async for event in client.stream_events(job["id"]):
+            if event["event"] == "state":
+                print(f"state -> {event['state']}")
+            elif event["event"] == "phase":
+                print(f"phase -> {event['phase']}")
+            elif event["event"] == "greedy_step":
+                steps += 1
+                print(f"greedy step {event.get('step_seq', steps):3d} "
+                      f"[{event['kind']:7s}] {event['step']}")
+                if args.cancel_after is not None \
+                        and steps >= args.cancel_after:
+                    cancelled = await client.cancel_job(job["id"])
+                    print(f"cancel requested ({cancelled['state']})")
+
+        final = await client.job(job["id"])
+        print(f"job {final['id']} finished: {final['state']} "
+              f"after {final['events']} events")
+        if final["state"] == "done":
+            result = final["result"]["result"]
+            print(f"improvement {100 * result['improvement']:.1f}% "
+                  f"({result['base_cost']:.0f} -> "
+                  f"{result['final_cost']:.0f})")
+            for name in result["configuration"]:
+                print(f"  {name}")
+        return 0 if final["state"] in ("done", "cancelled") else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(asyncio.run(main()))

@@ -8,6 +8,7 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 from repro.advisor.candidates import (
     CandidateOptions,
     candidate_indexes,
@@ -35,7 +36,7 @@ from repro.errors import AdvisorError
 from repro.optimizer.constants import DEFAULT_COST_CONSTANTS, CostConstants
 from repro.optimizer.whatif import WhatIfOptimizer
 from repro.parallel.cache import CostCache, EstimationCache
-from repro.parallel.engine import ParallelEngine
+from repro.parallel.engine import DirtyRelay, ParallelEngine
 from repro.physical.configuration import Configuration
 from repro.physical.index_def import IndexDef
 from repro.sizeest.estimator import SizeEstimator
@@ -173,10 +174,28 @@ class AdvisorResult:
         return 100.0 * self.improvement
 
 
+#: Progress hook: called in the parent process with one small JSON-able
+#: event dict per advisor milestone (phase transitions, every accepted
+#: greedy step).  Purely observational — it must not change any result —
+#: but it MAY raise (e.g. :class:`repro.errors.JobCancelled`) to abort
+#: the run at the next event, which is how the tuning service cancels
+#: running jobs with one-greedy-step latency.
+ProgressHook = Callable[[dict], None]
+
+
+def _task_advisor(context) -> "TuningAdvisor":
+    """The advisor a worker task should evaluate against: the fork
+    context itself, or — for service lanes that keep one pool warm
+    across runs — the advisor the stable fork-context holder pointed at
+    when this worker forked (see ``TuningAdvisor(fork_context=...)``)."""
+    return getattr(context, "advisor", None) or context
+
+
 def _eval_query_task(
-    advisor: "TuningAdvisor", qi: int
+    context, qi: int
 ) -> list[CandidateConfiguration]:
     """Worker task: evaluate one query's candidate set (step 2)."""
+    advisor = _task_advisor(context)
     return evaluate_candidates(
         advisor.workload.queries[qi].statement,
         advisor._per_query[qi],
@@ -187,9 +206,9 @@ def _eval_query_task(
     )
 
 
-def _workload_cost_task(advisor: "TuningAdvisor", config) -> float:
+def _workload_cost_task(context, config) -> float:
     """Worker task: one configuration's full weighted workload cost."""
-    return advisor._workload_cost(config)
+    return _task_advisor(context)._workload_cost(config)
 
 
 class TuningAdvisor:
@@ -206,6 +225,9 @@ class TuningAdvisor:
         base_config: Configuration | None = None,
         engine: ParallelEngine | None = None,
         cost_cache: CostCache | None = None,
+        progress: ProgressHook | None = None,
+        fork_context: "object | None" = None,
+        fork_stale_ok: bool = False,
     ) -> None:
         self.database = database
         self.workload = workload
@@ -217,6 +239,22 @@ class TuningAdvisor:
         self._owns_engine = engine is None
         self.engine = engine or ParallelEngine(options.workers)
         self._constants = constants
+        self.progress = progress
+        #: the object engine sessions fork against.  Default: this
+        #: advisor (a fresh pool per run).  A service lane passes a
+        #: *stable* holder object instead — workers then resolve the
+        #: advisor through ``holder.advisor`` at task time, and a later
+        #: run with identical wiring (same context, seed, e/q, variant,
+        #: options — everything but the budget, which never enters a
+        #: worker-side float) can reuse the dormant pool via
+        #: ``fork_stale_ok=True``: the inherited estimator already holds
+        #: every estimate the rerun recomputes, bit-for-bit, so stale
+        #: workers return exactly the floats fresh ones would.
+        self._fork = fork_context if fork_context is not None else self
+        self._fork_stale_ok = fork_stale_ok
+        if fork_context is not None:
+            # Before any fork, so freshly-forked workers inherit it.
+            fork_context.advisor = self
         cache = (
             EstimationCache(options.cache_dir)
             if options.cache_dir is not None
@@ -225,7 +263,11 @@ class TuningAdvisor:
         if estimator is None:
             estimator = SizeEstimator(
                 database, stats=self.stats, e=options.e, q=options.q,
-                cache=cache, engine=self.engine,
+                cache=cache,
+                engine=(
+                    DirtyRelay(self.engine)
+                    if fork_context is not None else self.engine
+                ),
             )
         else:
             # Attach this run's machinery to a shared estimator only
@@ -233,10 +275,20 @@ class TuningAdvisor:
             if estimator.cache is None and cache is not None:
                 estimator.cache = cache
             if estimator.engine is None and self.engine.parallel:
-                estimator.engine = self.engine
+                # Warm-lane runs hand the estimator a relay: dirty
+                # marks still reach the engine, but estimator-context
+                # sessions (which would churn the lane's warm pool)
+                # can never open — estimation stays in the parent.
+                estimator.engine = (
+                    DirtyRelay(self.engine)
+                    if fork_context is not None else self.engine
+                )
+        est_engine = estimator.engine
+        if isinstance(est_engine, DirtyRelay):
+            est_engine = est_engine.engine
         if (
-            estimator.engine is not None
-            and estimator.engine is not self.engine
+            est_engine is not None
+            and est_engine is not self.engine
         ):
             # The estimator's dirty marks (fresh compressed estimates)
             # land on *its* engine, not ours — cross-session pool reuse
@@ -269,6 +321,12 @@ class TuningAdvisor:
     def default_base_configuration(self) -> Configuration:
         """Uncompressed heaps for every table (the untuned database)."""
         return default_base_configuration(self.database)
+
+    def _emit(self, event: str, **fields) -> None:
+        """Report one progress event (no-op without a hook).  The hook
+        may raise to abort the run — cancellation rides this path."""
+        if self.progress is not None:
+            self.progress({"event": event, **fields})
 
     # ------------------------------------------------------------------
     def _index_size(self, index: IndexDef) -> float:
@@ -381,6 +439,8 @@ class TuningAdvisor:
     def _run(self) -> AdvisorResult:
         start = time.perf_counter()
         options = self.options
+        self._emit("phase", phase="candidates",
+                   queries=len(self.workload.queries))
         cand_options = CandidateOptions(
             enable_compression=options.enable_compression,
             enable_partial=options.enable_partial,
@@ -413,15 +473,18 @@ class TuningAdvisor:
         #    step 1 so workers inherit every size estimate.
         self._per_query = per_query
         n_queries = len(self.workload.queries)
+        self._emit("phase", phase="selection",
+                   candidates=len(unique_candidates))
         if self.delta is not None:
             # Base the delta coster before any candidate costing (and
             # before the fork below, so workers inherit the reference
             # terms instead of each re-deriving them).
             self.delta.rebase(self.base_config)
         if self.engine.parallel:
-            with self.engine.session(self):
+            with self.engine.session(self._fork,
+                                     stale_ok=self._fork_stale_ok):
                 per_query_configs = self.engine.map(
-                    _eval_query_task, range(n_queries), context=self
+                    _eval_query_task, range(n_queries), context=self._fork
                 )
         else:
             per_query_configs = evaluate_candidates_batch(
@@ -505,6 +568,7 @@ class TuningAdvisor:
             pool.extend(v for v in base_variants if v not in pool)
 
         # 4. Enumeration (Section 6.2).
+        self._emit("phase", phase="enumeration", pool=len(pool))
         enum_options = EnumerationOptions(
             budget_bytes=options.budget_bytes,
             strategy=options.strategy,
@@ -525,6 +589,7 @@ class TuningAdvisor:
             enum_options,
             batch_cost=self._batch_workload_cost,
             delta=self.delta,
+            progress=self.progress,
         )
         if self.cost_cache is not None:
             # Resolve the persistent-key context (an O(rows) sample
@@ -534,12 +599,16 @@ class TuningAdvisor:
         base_cost = self._workload_cost(self.base_config)
         # Forked here: workers inherit the full estimate/sample state,
         # and each greedy sweep fans its candidate costings out.
-        with self.engine.session(self):
+        with self.engine.session(self._fork,
+                                 stale_ok=self._fork_stale_ok):
             result = enumerator.run(pool, self.base_config)
 
         sizes = {
             ix: self._index_size(ix) for ix in result.configuration
         }
+        self._emit("phase", phase="finished",
+                   final_cost=result.cost, base_cost=base_cost,
+                   steps=len(result.steps))
         if self.cost_cache is not None:
             self.cost_cache.save()
         return AdvisorResult(
@@ -592,6 +661,7 @@ def tune(
     variant: str = "dtac-both",
     estimator: SizeEstimator | None = None,
     stats: DatabaseStats | None = None,
+    progress: ProgressHook | None = None,
     **extra,
 ) -> AdvisorResult:
     """One-call tuning with a named variant (see :data:`VARIANTS`)."""
@@ -603,7 +673,8 @@ def tune(
         budget_bytes=budget_bytes, **{**VARIANTS[variant], **extra}
     )
     advisor = TuningAdvisor(
-        database, workload, options, estimator=estimator, stats=stats
+        database, workload, options, estimator=estimator, stats=stats,
+        progress=progress,
     )
     return advisor.run()
 

@@ -91,12 +91,20 @@ class Enumerator:
         options: EnumerationOptions,
         batch_cost: BatchCost | None = None,
         delta: "object | None" = None,
+        progress: "Callable[[dict], None] | None" = None,
     ) -> None:
         self.workload = workload
         self.workload_cost = workload_cost
         self.index_size = index_size
         self.original_base_sizes = dict(original_base_sizes)
         self.options = options
+        #: observational hook: one event per accepted search step (and
+        #: one per candidate sweep), emitted in the parent process.  It
+        #: may raise to abort the search — the tuning service cancels
+        #: running jobs through exactly this path — but must never
+        #: change a result.
+        self.progress = progress
+        self._step_seq = 0
         self.batch_cost = batch_cost or (
             lambda configs: [self.workload_cost(c) for c in configs]
         )
@@ -138,6 +146,20 @@ class Enumerator:
         return self.consumed(config) <= self.options.budget_bytes + 1e-6
 
     # ------------------------------------------------------------------
+    def _emit(self, event: str, **fields) -> None:
+        if self.progress is not None:
+            self.progress({"event": event, **fields})
+
+    def _emit_step(self, kind: str, step: str, cost: float) -> None:
+        """One accepted search step (greedy add, backtrack recovery,
+        polish swap, or a seeded start).  ``step_seq`` counts accepted
+        steps across every seeded start (the job layer's ``seq`` is the
+        event-log position, a different series), so the stream carries
+        at least one event per greedy step of the winning start."""
+        self._step_seq += 1
+        self._emit("greedy_step", kind=kind, step=step, cost=cost,
+                   step_seq=self._step_seq)
+
     def _score(self, delta_cost: float, delta_size: float) -> float:
         if self.options.strategy == "density":
             return delta_cost / max(delta_size, 8192.0)
@@ -188,6 +210,7 @@ class Enumerator:
         best: EnumerationResult | None = None
         for cost, config, label in starts:
             steps = [f"{label}: {base_cost:.1f} -> {cost:.1f}"]
+            self._emit_step("seed", steps[0], cost)
             self._rebase(config)
             result = self._greedy_loop(pool, config, cost, steps)
             if best is None or result.cost < best.cost:
@@ -271,6 +294,9 @@ class Enumerator:
                 if candidate == current:
                     continue
                 moves.append((ix, candidate))
+            # A cancellation point even when no step gets accepted:
+            # every candidate sweep reports in before costing.
+            self._emit("sweep", candidates=len(moves), cost=current_cost)
             threshold = None
             if self._prune_bounds:
                 # Half the acceptance threshold: the slack covers float
@@ -326,6 +352,7 @@ class Enumerator:
             ):
                 break
             steps.append(f"{label}: {current_cost:.1f} -> {new_cost:.1f}")
+            self._emit_step("greedy", steps[-1], new_cost)
             current, current_cost = new_config, new_cost
             self._rebase(current)
 
@@ -383,6 +410,7 @@ class Enumerator:
             cost, config = best_swap[0], best_swap[1]
             self._rebase(config)
             result.steps.append(f"{best_swap[2]}: -> {cost:.1f}")
+            self._emit_step("polish", result.steps[-1], cost)
         return EnumerationResult(
             configuration=config,
             cost=cost,

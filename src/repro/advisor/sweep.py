@@ -182,9 +182,12 @@ class _SweepJob:
         self.estimation_cache = estimation_cache
         self.cost_cache = cost_cache
 
-    def run_unit(self, index: int) -> AdvisorResult:
+    def run_unit(self, index: int, progress=None) -> AdvisorResult:
         """Run one (seed, budget) unit against a snapshot view of the
-        pre-sweep cache state; identical in parent and worker."""
+        pre-sweep cache state; identical in parent and worker.
+
+        ``progress`` (parent-side sequential execution only — workers
+        never carry a hook) forwards the unit's advisor events."""
         seed, budget = self.units[index]
         options = AdvisorOptions(
             budget_bytes=budget,
@@ -212,6 +215,7 @@ class _SweepJob:
                 self.cost_cache.fork_view()
                 if self.cost_cache is not None else None
             ),
+            progress=progress,
         )
         return advisor.run()
 
@@ -232,6 +236,7 @@ def run_sweep(
     cache_dir: str | None = None,
     stats: DatabaseStats | None = None,
     engine: ParallelEngine | None = None,
+    progress=None,
     **options_extra,
 ) -> SweepResult:
     """Run a full budget sweep / seed ablation as one sharded job.
@@ -252,6 +257,11 @@ def run_sweep(
             omitted).
         engine: injected :class:`ParallelEngine` (tests); overrides
             ``workers``.
+        progress: observational event hook (may raise to abort — the
+            job layer's cancellation path).  Sequential execution
+            forwards every unit's advisor events tagged with the unit
+            index; sharded execution reports per-unit boundaries only
+            (fan-out results come back all at once).
         **options_extra: extra :class:`AdvisorOptions` fields applied to
             every unit (e.g. ``e=0.25``, ``enable_mv=True``).
 
@@ -283,6 +293,10 @@ def run_sweep(
         database, workload, units, variant, dict(options_extra),
         stats, estimation_cache, cost_cache,
     )
+    def emit(event: str, **fields) -> None:
+        if progress is not None:
+            progress({"event": event, **fields})
+
     owns_engine = engine is None
     engine = engine or ParallelEngine(workers)
     try:
@@ -290,10 +304,25 @@ def run_sweep(
             # One session for the whole sweep: workers fork once,
             # inherit the database/stats/cache snapshot, and serve
             # every greedy step of every unit until the sweep ends.
+            emit("sweep_sharded", units=len(units),
+                 workers=engine.workers)
             with engine.session(job):
                 results = engine.map(_run_unit_task, range(len(units)), job)
+            for i, (seed, budget) in enumerate(units):
+                emit("sweep_unit", unit=i, units=len(units),
+                     seed=seed, budget_bytes=budget, status="done")
         else:
-            results = [job.run_unit(i) for i in range(len(units))]
+            results = []
+            for i, (seed, budget) in enumerate(units):
+                emit("sweep_unit", unit=i, units=len(units),
+                     seed=seed, budget_bytes=budget, status="started")
+                unit_progress = (
+                    (lambda ev, _i=i: progress({**ev, "unit": _i}))
+                    if progress is not None else None
+                )
+                results.append(job.run_unit(i, progress=unit_progress))
+                emit("sweep_unit", unit=i, units=len(units),
+                     seed=seed, budget_bytes=budget, status="done")
     finally:
         if owns_engine:
             engine.shutdown()

@@ -1,5 +1,5 @@
-"""Command-line interface:
-``python -m repro tune|sweep|estimate|serve|experiments|validate|columnstore``.
+"""Command-line interface: ``python -m repro
+tune|sweep|estimate|serve|jobs|experiments|validate|columnstore``.
 
 Examples::
 
@@ -10,6 +10,9 @@ Examples::
     python -m repro estimate --dataset tpch --scale 0.2
     python -m repro serve --dataset sales --scale 0.1 --port 8765 \
         --cache-dir .repro-cache
+    python -m repro jobs submit --context sales --budget 0.15 --follow
+    python -m repro jobs events job-000001
+    python -m repro jobs cancel job-000001
     python -m repro experiments --only table4_graph_quality
     python -m repro validate --dataset tpch --budget 0.3
     python -m repro columnstore --dataset tpch --budget 0.25
@@ -194,6 +197,7 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir,
         max_pending=args.max_pending,
+        max_context_workers=args.max_context_workers,
     )
     names = (
         ("sales", "tpch") if args.dataset == "both" else (args.dataset,)
@@ -213,6 +217,87 @@ def cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("advisor service: interrupted, shutting down", flush=True)
     return 0
+
+
+def cmd_jobs(args) -> int:
+    """Drive the ``/v1/jobs`` surface of a running service."""
+    import asyncio
+    import json as _json
+
+    from repro.service import AdvisorClient, ServiceHTTPError
+
+    def show(snapshot: dict) -> None:
+        line = (f"{snapshot['id']}  {snapshot['kind']:5s} "
+                f"{snapshot['context']:12s} {snapshot['state']:9s} "
+                f"{snapshot['events']:4d} events")
+        if snapshot.get("error"):
+            line += f"  ({snapshot['error']})"
+        print(line)
+
+    async def follow(client, job_id) -> dict:
+        async for event in client.stream_events(job_id,
+                                                after=args.after):
+            if event["event"] == "greedy_step":
+                seq = event.get("step_seq", event["seq"])
+                print(f"  step {seq:3d} [{event['kind']}] "
+                      f"{event['step']}")
+            elif event["event"] == "state":
+                print(f"  state -> {event['state']}")
+            elif event["event"] == "phase":
+                print(f"  phase -> {event['phase']}")
+            elif args.verbose:
+                print(f"  {_json.dumps(event)}")
+        return await client.job(job_id)
+
+    async def main() -> int:
+        async with AdvisorClient(args.host, args.port) as client:
+            if args.action == "list":
+                for snapshot in (await client.jobs())["jobs"]:
+                    show(snapshot)
+                return 0
+            if args.action == "submit":
+                payload = dict(budget_fraction=args.budget,
+                               variant=args.variant)
+                if args.kind == "sweep":
+                    payload = dict(budget_fractions=args.budgets,
+                                   variant=args.variant)
+                if args.seed is not None:
+                    payload["seed"] = args.seed
+                job = await client.submit_job(
+                    args.context, kind=args.kind, **payload
+                )
+                show(job)
+                if not args.follow:
+                    return 0
+                final = await follow(client, job["id"])
+                show(final)
+                if final["state"] == "done" and args.kind == "tune":
+                    result = final["result"]["result"]
+                    print(f"improvement "
+                          f"{100 * result['improvement']:.1f}% "
+                          f"({result['base_cost']:.0f} -> "
+                          f"{result['final_cost']:.0f})")
+                return 0 if final["state"] == "done" else 1
+            # status/events/cancel address one job.
+            if not args.id:
+                raise SystemExit(f"jobs {args.action} needs a job id")
+            if args.action == "status":
+                show(await client.job(args.id))
+                return 0
+            if args.action == "cancel":
+                show(await client.cancel_job(args.id))
+                return 0
+            if args.action == "events":
+                final = await follow(client, args.id)
+                show(final)
+                return 0
+            raise SystemExit(f"unknown jobs action {args.action!r}")
+
+    try:
+        return asyncio.run(main())
+    except ServiceHTTPError as exc:
+        print(f"jobs {args.action}: {exc}")
+        return 1
 
 
 def cmd_columnstore(args) -> int:
@@ -369,7 +454,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--max-pending", type=int, default=64,
                        help="request-queue bound; beyond it the HTTP "
                             "layer answers 503 (backpressure)")
+    p_srv.add_argument("--max-context-workers", type=int, default=4,
+                       help="scheduler lane cap: at most this many "
+                            "contexts tune concurrently (each context "
+                            "always serializes on its own lane)")
     p_srv.set_defaults(fn=cmd_serve)
+
+    p_jobs = sub.add_parser(
+        "jobs",
+        help="drive the /v1/jobs surface of a running service: submit "
+             "tune/sweep jobs, poll, stream progress, cancel",
+    )
+    p_jobs.add_argument("action",
+                        choices=("submit", "status", "events", "cancel",
+                                 "list"))
+    p_jobs.add_argument("id", nargs="?", default=None,
+                        help="job id (status/events/cancel)")
+    p_jobs.add_argument("--host", default="127.0.0.1")
+    p_jobs.add_argument("--port", type=int, default=8765)
+    p_jobs.add_argument("--context", default="sales")
+    p_jobs.add_argument("--kind", choices=("tune", "sweep"),
+                        default="tune")
+    p_jobs.add_argument("--budget", type=float, default=0.15,
+                        help="tune-job storage budget (fraction of raw)")
+    p_jobs.add_argument("--budgets", type=_fraction_list,
+                        default=[0.1, 0.2, 0.3],
+                        help="sweep-job budget fractions")
+    p_jobs.add_argument("--variant", choices=sorted(VARIANTS),
+                        default="dtac-both")
+    p_jobs.add_argument("--seed", type=int, default=None)
+    p_jobs.add_argument("--after", type=int, default=0,
+                        help="resume an event stream past this seq")
+    p_jobs.add_argument("--follow", action="store_true",
+                        help="after submit: stream events until the "
+                             "job is terminal, then print the result")
+    p_jobs.add_argument("--verbose", action="store_true",
+                        help="print every raw event line")
+    p_jobs.set_defaults(fn=cmd_jobs)
 
     p_cs = sub.add_parser(
         "columnstore",

@@ -59,3 +59,15 @@ class ServiceError(ReproError):
 
 class BackpressureError(ServiceError):
     """The service's bounded request queue is full; retry later."""
+
+
+class JobError(ServiceError):
+    """Job submission, lookup, or lifecycle problem."""
+
+
+class JobCancelled(JobError):
+    """A tuning job was cancelled mid-run.
+
+    Raised *into* a running advisor through its progress hook: the run
+    unwinds at the next progress event, which is what bounds
+    cancellation latency to one greedy step."""

@@ -18,7 +18,7 @@ The package has three parts:
 """
 
 from repro.parallel.cache import CostCache, EstimationCache
-from repro.parallel.engine import ParallelEngine
+from repro.parallel.engine import DirtyRelay, ParallelEngine
 from repro.parallel.signature import (
     config_signature,
     index_identity,
@@ -30,6 +30,7 @@ from repro.parallel.signature import (
 
 __all__ = [
     "CostCache",
+    "DirtyRelay",
     "EstimationCache",
     "ParallelEngine",
     "config_signature",

@@ -44,6 +44,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
@@ -90,6 +91,12 @@ class _PersistentJsonCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: serializes fork_view/absorb/save against each other — the
+        #: tuning service's per-context lanes snapshot and re-absorb
+        #: the *shared* caches from different threads concurrently.
+        #: (Per-entry get/put stay unlocked: runs only ever touch their
+        #: own fork views, never a shared instance, on hot paths.)
+        self._mutate_lock = threading.Lock()
         self._entries: dict[str, dict] = {}
         self._loaded_entries: dict[str, dict] = {}
         if self.path is not None:
@@ -139,11 +146,12 @@ class _PersistentJsonCache:
         executes in the parent or in a forked worker, which is what
         keeps sharded and sequential sweeps byte-identical.
         """
-        view = type(self)(None)
-        view.path = self.path
-        view._entries = dict(self._entries)
-        view._loaded_entries = dict(self._loaded_entries)
-        return view
+        with self._mutate_lock:
+            view = type(self)(None)
+            view.path = self.path
+            view._entries = dict(self._entries)
+            view._loaded_entries = dict(self._loaded_entries)
+            return view
 
     def absorb(self, view: "_PersistentJsonCache") -> int:
         """Merge a view's entries back into this cache (the reverse of
@@ -154,10 +162,11 @@ class _PersistentJsonCache:
         completed run warm the next one where that is provably safe
         (what-if cost entries — a cost hit can never steer a run)."""
         added = 0
-        for key, record in view._entries.items():
-            if key not in self._entries:
-                self._entries[key] = record
-                added += 1
+        with self._mutate_lock:
+            for key, record in view._entries.items():
+                if key not in self._entries:
+                    self._entries[key] = record
+                    added += 1
         return added
 
     # ------------------------------------------------------------------
@@ -176,31 +185,33 @@ class _PersistentJsonCache:
         """
         if self.path is None:
             return
-        if all(key in self._loaded_entries for key in self._entries):
-            return
-        self.path.mkdir(parents=True, exist_ok=True)
-        lock_fh = self._acquire_lock()
-        try:
-            merged = self._read_file()
-            merged.update(self._entries)
-            payload = {"version": _FORMAT_VERSION, "entries": merged}
-            fd, tmp = tempfile.mkstemp(
-                dir=self.path, prefix=f".{type(self).FILE}-", suffix=".tmp"
-            )
+        with self._mutate_lock:
+            if all(key in self._loaded_entries for key in self._entries):
+                return
+            self.path.mkdir(parents=True, exist_ok=True)
+            lock_fh = self._acquire_lock()
             try:
-                with os.fdopen(fd, "w") as fh:
-                    json.dump(payload, fh)
-                os.replace(tmp, self.file)
-            except BaseException:
+                merged = self._read_file()
+                merged.update(self._entries)
+                payload = {"version": _FORMAT_VERSION, "entries": merged}
+                fd, tmp = tempfile.mkstemp(
+                    dir=self.path, prefix=f".{type(self).FILE}-",
+                    suffix=".tmp"
+                )
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        finally:
-            if lock_fh is not None:
-                lock_fh.close()
-        self._loaded_entries = dict(merged)
+                    with os.fdopen(fd, "w") as fh:
+                        json.dump(payload, fh)
+                    os.replace(tmp, self.file)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            finally:
+                if lock_fh is not None:
+                    lock_fh.close()
+            self._loaded_entries = dict(merged)
 
     def _acquire_lock(self):
         """Exclusive advisory lock on ``<FILE>.lock`` (held until the

@@ -45,14 +45,21 @@ from typing import Callable, Iterable, TypeVar
 T = TypeVar("T")
 R = TypeVar("R")
 
-#: Context object workers read; populated in the parent immediately
-#: before the pool forks, inherited by every worker.
-_FORK_CONTEXT = None
+#: Per-engine context objects workers read, keyed by the owning
+#: engine's id: populated in the parent immediately before that
+#: engine's pool forks, inherited (the whole dict) by every worker.
+#: Keyed — not a single global — because the tuning service runs one
+#: engine per scheduler lane on concurrent threads: lane B asserting
+#: its context between lane A's assertion and A's lazy worker fork
+#: must not hand A's workers B's context.  Distinct keys make the
+#: concurrent writes independent (each engine only ever writes its
+#: own slot), and object ids stay valid across fork.
+_FORK_CONTEXTS: dict[int, object] = {}
 
 
 def _invoke(payload):
-    fn, item = payload
-    return fn(_FORK_CONTEXT, item)
+    key, fn, item = payload
+    return fn(_FORK_CONTEXTS.get(key), item)
 
 
 def fork_available() -> bool:
@@ -107,6 +114,18 @@ class ParallelEngine:
     def in_session(self) -> bool:
         return self._session_context is not None
 
+    @property
+    def has_pool(self) -> bool:
+        """Whether a dormant (or active) worker pool currently exists."""
+        return self._pool is not None
+
+    @property
+    def pool_context(self):
+        """The context object the current pool's workers were forked
+        against (None without a pool) — what session-affinity layers
+        check before counting on a warm reuse."""
+        return self._pool_context
+
     # ------------------------------------------------------------------
     def mark_dirty(self) -> None:
         """Record that parent state the tasks depend on has advanced
@@ -124,6 +143,9 @@ class ParallelEngine:
     def _shutdown_pool(self) -> None:
         pool, self._pool = self._pool, None
         self._pool_context = None
+        # Drop the fork slot too: ids of collected engines can be
+        # reused, and a new engine must never inherit a stale context.
+        _FORK_CONTEXTS.pop(id(self), None)
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
 
@@ -144,9 +166,10 @@ class ParallelEngine:
         :meth:`mark_dirty` was called in between.  ``stale_ok`` opts a
         session into reuse even past a dirty mark, for tasks that are
         pure functions of fork-invariant state (e.g. SampleCF builds,
-        which depend only on deterministic samples).
+        which depend only on deterministic samples) — the tuning
+        service's warm lanes extend this to whole reruns whose wiring
+        signature matches the pool's.
         """
-        global _FORK_CONTEXT
         if not self.parallel or self.in_session:
             yield self
             return
@@ -156,7 +179,7 @@ class ParallelEngine:
         ):
             self._shutdown_pool()
         if self._pool is None:
-            _FORK_CONTEXT = context
+            _FORK_CONTEXTS[id(self)] = context
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=multiprocessing.get_context("fork"),
@@ -171,7 +194,6 @@ class ParallelEngine:
             yield self
         finally:
             self._session_context = None
-            _FORK_CONTEXT = None
             if not self.keep_alive:
                 self._shutdown_pool()
 
@@ -197,14 +219,13 @@ class ParallelEngine:
         ):
             self.sequential_maps += 1
             return [fn(context, item) for item in items]
-        global _FORK_CONTEXT
-        # Re-assert the context on every parallel map: the pool forks
-        # workers lazily as submissions arrive, and a nested session of
-        # *another* engine instance may have rewritten the global in
-        # between — any worker forked during this map must inherit this
-        # session's context.  (Engines are single-threaded by design.)
-        _FORK_CONTEXT = context
-        payloads = [(fn, item) for item in items]
+        # Re-assert this engine's slot on every parallel map: the pool
+        # forks workers lazily as submissions arrive, so any worker
+        # forked during this map must inherit this session's context.
+        # Each engine writes only its own id-keyed slot, so engines on
+        # concurrent scheduler lanes cannot clobber each other.
+        _FORK_CONTEXTS[id(self)] = context
+        payloads = [(id(self), fn, item) for item in items]
         chunksize = max(1, len(items) // (self.workers * 4))
         try:
             results = list(self._pool.map(_invoke, payloads, chunksize=chunksize))
@@ -228,11 +249,10 @@ class ParallelEngine:
     def _recover_pool(self) -> None:
         """Shut down the session's pool (cancelling queued tasks) and
         replace it with a fresh fork of the same session context."""
-        global _FORK_CONTEXT
         self._shutdown_pool()
         if self._session_context is None:
             return
-        _FORK_CONTEXT = self._session_context
+        _FORK_CONTEXTS[id(self)] = self._session_context
         self._pool = ProcessPoolExecutor(
             max_workers=self.workers,
             mp_context=multiprocessing.get_context("fork"),
@@ -251,3 +271,25 @@ class ParallelEngine:
             "pools_forked": self.pools_forked,
             "pools_reused": self.pools_reused,
         }
+
+
+class DirtyRelay:
+    """Engine stand-in for estimators whose advisor run shares a warm,
+    service-owned pool: forwards :meth:`mark_dirty` to the real engine
+    (so the within-run re-fork discipline stays intact) but reports
+    ``parallel=False``, so estimator-context sessions can never open —
+    an estimator session would swap the pool's fork context and churn
+    the warm pool the service is trying to keep across requests.
+    """
+
+    parallel = False
+    in_session = False
+
+    def __init__(self, engine: ParallelEngine) -> None:
+        self.engine = engine
+
+    def mark_dirty(self) -> None:
+        self.engine.mark_dirty()
+
+    def shutdown(self) -> None:  # estimators never own the real pool
+        return None

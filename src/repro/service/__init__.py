@@ -1,8 +1,12 @@
 """Async tuning service: concurrent what-if tuning over one optimizer.
 
 See :class:`AdvisorService` (asyncio core, coalescing + backpressure),
-:class:`ServiceHTTPServer` / :func:`serve` (stdlib JSON-over-HTTP), and
-:class:`AdvisorClient` (async client).
+:class:`JobManager` (durable ``tune``/``sweep`` jobs with streamed
+progress and cancellation), :class:`ContextScheduler` (per-context
+worker lanes with warm engine affinity), :class:`ServiceHTTPServer` /
+:func:`serve` (stdlib JSON-over-HTTP incl. ``/v1/jobs``), and
+:class:`AdvisorClient` (async client with retry/backoff and event
+streaming).
 """
 
 from repro.service.client import AdvisorClient, ServiceHTTPError
@@ -13,15 +17,31 @@ from repro.service.context import (
     serialize_result,
 )
 from repro.service.http import ServiceHTTPServer, serve
+from repro.service.jobs import (
+    JOB_KINDS,
+    JOB_STATES,
+    TERMINAL_STATES,
+    JobManager,
+    JobRecord,
+)
+from repro.service.scheduler import ContextLane, ContextScheduler, WarmSlot
 from repro.service.service import REQUEST_KINDS, AdvisorService
 
 __all__ = [
     "AdvisorService",
     "AdvisorClient",
+    "ContextLane",
+    "ContextScheduler",
+    "JobManager",
+    "JobRecord",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "REQUEST_KINDS",
     "ServiceContext",
     "ServiceHTTPServer",
     "ServiceHTTPError",
-    "REQUEST_KINDS",
+    "TERMINAL_STATES",
+    "WarmSlot",
     "serve",
     "serialize_result",
     "parse_index_spec",

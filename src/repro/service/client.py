@@ -10,10 +10,18 @@ Usage::
         answer = await client.tune("sales", budget_fraction=0.15)
         print(answer["result"]["improvement"])
 
+        # Job-based serving: submit, stream progress, await the result.
+        job = await client.submit_job("sales", kind="tune",
+                                      budget_fraction=0.15)
+        async for event in client.stream_events(job["id"]):
+            print(event)
+        done = await client.job(job["id"])
+
 Raises :class:`ServiceHTTPError` on non-2xx responses (``status`` and
-the server's error text attached), which callers can branch on — a 503
-means the bounded request queue is full and the request is safe to
-retry.
+the server's error text attached).  **Retryable** failures — HTTP 503
+backpressure — are retried automatically with exponential backoff that
+honors the server's ``Retry-After`` header (``retries=0`` disables);
+everything else surfaces immediately.
 """
 
 from __future__ import annotations
@@ -27,10 +35,14 @@ from repro.errors import ServiceError
 class ServiceHTTPError(ServiceError):
     """A non-2xx response from the advisor service."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(self, status: int, message: str,
+                 retry_after: float | None = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        #: seconds the server asked us to wait (``Retry-After``), when
+        #: it sent one.
+        self.retry_after = retry_after
 
     @property
     def retryable(self) -> bool:
@@ -39,13 +51,29 @@ class ServiceHTTPError(ServiceError):
 
 
 class AdvisorClient:
-    """Talks to one :class:`~repro.service.http.ServiceHTTPServer`."""
+    """Talks to one :class:`~repro.service.http.ServiceHTTPServer`.
+
+    Args:
+        host/port: where the service listens.
+        timeout: per-request ceiling (streams apply it per event).
+        retries: automatic retries of *retryable* failures (503); the
+            schedule is ``backoff * 2**attempt`` seconds, raised to the
+            server's ``Retry-After`` when larger, capped at
+            ``max_backoff``.  0 restores raise-immediately behavior.
+        sleep: the delay coroutine (injectable for fake-clock tests).
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8765,
-                 timeout: float = 600.0) -> None:
+                 timeout: float = 600.0, retries: int = 2,
+                 backoff: float = 0.25, max_backoff: float = 8.0,
+                 sleep=asyncio.sleep) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self._sleep = sleep
 
     async def __aenter__(self) -> "AdvisorClient":
         return self
@@ -54,8 +82,33 @@ class AdvisorClient:
         return None
 
     # ------------------------------------------------------------------
+    def retry_delay(self, attempt: int,
+                    retry_after: float | None = None) -> float:
+        """The backoff before retry number ``attempt`` (0-based):
+        exponential, floored at the server's ``Retry-After``, capped at
+        ``max_backoff``."""
+        delay = self.backoff * (2 ** attempt)
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return min(delay, self.max_backoff)
+
     async def _request(self, method: str, path: str,
                        payload: dict | None = None) -> dict:
+        """One request with automatic backoff on retryable failures."""
+        attempt = 0
+        while True:
+            try:
+                return await self._request_once(method, path, payload)
+            except ServiceHTTPError as exc:
+                if not exc.retryable or attempt >= self.retries:
+                    raise
+                await self._sleep(
+                    self.retry_delay(attempt, exc.retry_after)
+                )
+                attempt += 1
+
+    async def _request_once(self, method: str, path: str,
+                            payload: dict | None = None) -> dict:
         body = json.dumps(payload).encode() if payload is not None else b""
         reader, writer = await asyncio.open_connection(self.host, self.port)
         try:
@@ -76,13 +129,9 @@ class AdvisorClient:
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
         header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
-        header_lines = header_blob.decode("latin-1").split("\r\n")
-        try:
-            status = int(header_lines[0].split()[1])
-        except (IndexError, ValueError) as exc:
-            raise ServiceError(
-                f"malformed response from service: {header_lines[:1]!r}"
-            ) from exc
+        status, headers = self._parse_head(header_blob)
+        if headers.get("transfer-encoding") == "chunked":
+            body_blob = _dechunk(body_blob)
         try:
             answer = json.loads(body_blob.decode() or "{}")
         except ValueError as exc:
@@ -91,9 +140,25 @@ class AdvisorClient:
             ) from exc
         if status >= 300:
             raise ServiceHTTPError(
-                status, answer.get("error", "unknown error")
+                status, answer.get("error", "unknown error"),
+                retry_after=_retry_after(headers),
             )
         return answer
+
+    @staticmethod
+    def _parse_head(header_blob: bytes) -> tuple[int, dict]:
+        header_lines = header_blob.decode("latin-1").split("\r\n")
+        try:
+            status = int(header_lines[0].split()[1])
+        except (IndexError, ValueError) as exc:
+            raise ServiceError(
+                f"malformed response from service: {header_lines[:1]!r}"
+            ) from exc
+        headers: dict[str, str] = {}
+        for line in header_lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
 
     async def _post(self, kind: str, context: str, **payload) -> dict:
         return await self._request(
@@ -122,6 +187,97 @@ class AdvisorClient:
     async def whatif_cost(self, context: str, **payload) -> dict:
         return await self._post("whatif_cost", context, **payload)
 
+    # ------------------------------------------------------------------
+    # jobs
+    # ------------------------------------------------------------------
+    async def submit_job(self, context: str, kind: str = "tune",
+                         **payload) -> dict:
+        """Submit a tune/sweep job; returns its snapshot (``id``,
+        ``state``, ...)."""
+        return await self._request("POST", "/v1/jobs", {
+            "context": context, "kind": kind, **payload,
+        })
+
+    async def job(self, job_id: str) -> dict:
+        """Poll one job's snapshot (carries ``result`` once done)."""
+        return await self._request("GET", f"/v1/jobs/{job_id}")
+
+    async def jobs(self) -> dict:
+        return await self._request("GET", "/v1/jobs")
+
+    async def cancel_job(self, job_id: str) -> dict:
+        return await self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    async def stream_events(self, job_id: str, after: int = 0):
+        """Async-iterate a job's progress events live (the chunked
+        ``/v1/jobs/<id>/events`` stream); ends when the job reaches a
+        terminal state.  Not retried — resume with ``after=`` the last
+        seen ``seq`` instead."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            path = f"/v1/jobs/{job_id}/events"
+            if after:
+                path += f"?after={after}"
+            writer.write((
+                f"GET {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode())
+            await writer.drain()
+            header_blob = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), self.timeout
+            )
+            status, headers = self._parse_head(header_blob[:-4])
+            if status >= 300:
+                body = await asyncio.wait_for(reader.read(), self.timeout)
+                if headers.get("transfer-encoding") == "chunked":
+                    body = _dechunk(body)
+                try:
+                    answer = json.loads(body.decode() or "{}")
+                except ValueError:
+                    answer = {}
+                raise ServiceHTTPError(
+                    status, answer.get("error", "unknown error"),
+                    retry_after=_retry_after(headers),
+                )
+            buffer = b""
+            while True:
+                size_line = await asyncio.wait_for(
+                    reader.readline(), self.timeout
+                )
+                size = int(size_line.strip() or b"0", 16)
+                if size == 0:
+                    break
+                chunk = await asyncio.wait_for(
+                    reader.readexactly(size + 2), self.timeout
+                )
+                buffer += chunk[:-2]  # strip the chunk's CRLF
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def wait_job(self, job_id: str, poll: float = 0.2) -> dict:
+        """Block until a job is terminal (streaming when possible,
+        polling as fallback) and return its final snapshot."""
+        try:
+            async for event in self.stream_events(job_id):
+                pass
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            while True:
+                snapshot = await self.job(job_id)
+                if snapshot["state"] in ("done", "failed", "cancelled"):
+                    break
+                await self._sleep(poll)
+        return await self.job(job_id)
+
+    # ------------------------------------------------------------------
     async def wait_ready(self, attempts: int = 50,
                          delay: float = 0.2) -> dict:
         """Poll ``/healthz`` until the service answers (boot helper for
@@ -136,3 +292,27 @@ class AdvisorClient:
         raise ServiceError(
             f"service at {self.host}:{self.port} never became ready: {last}"
         )
+
+
+def _retry_after(headers: dict) -> float | None:
+    try:
+        return float(headers["retry-after"])
+    except (KeyError, ValueError):
+        return None
+
+
+def _dechunk(blob: bytes) -> bytes:
+    """Reassemble a fully-buffered chunked body (non-streaming reads
+    that happened to hit a chunked response)."""
+    out = b""
+    while blob:
+        size_line, _, rest = blob.partition(b"\r\n")
+        try:
+            size = int(size_line.strip() or b"0", 16)
+        except ValueError:
+            break
+        if size == 0:
+            break
+        out += rest[:size]
+        blob = rest[size + 2:]
+    return out

@@ -16,6 +16,8 @@ what ran before it or concurrently with it.
 
 from __future__ import annotations
 
+import json
+
 from repro.advisor.advisor import (
     AdvisorOptions,
     AdvisorResult,
@@ -33,6 +35,7 @@ from repro.parallel.cache import CostCache, EstimationCache
 from repro.parallel.engine import ParallelEngine
 from repro.physical.index_def import IndexDef
 from repro.sampling.sample_manager import DEFAULT_SAMPLE_SEED, SampleManager
+from repro.service.scheduler import WarmSlot
 from repro.sizeest.estimator import SizeEstimator
 from repro.stats.column_stats import DatabaseStats
 from repro.storage.index_build import IndexKind
@@ -176,6 +179,11 @@ class ServiceContext:
             database, self.stats, sizes=self._size_lookup,
         )
         self.base_config = default_base_configuration(database)
+        #: stable fork-context holder: the scheduler lane's engine
+        #: forks worker pools against this object, so a later
+        #: same-wiring tune can reuse the dormant pool instead of
+        #: re-forking (see repro.service.scheduler).
+        self.warm_slot = WarmSlot(name)
 
     # ------------------------------------------------------------------
     def _size_lookup(self, index: IndexDef) -> tuple[float, float]:
@@ -227,9 +235,36 @@ class ServiceContext:
             )
         return variant
 
-    def run_tune(self, payload: dict, engine: ParallelEngine) -> dict:
+    def tune_signature(self, payload: dict) -> str:
+        """Wiring signature of a tune request: every input that can
+        move a *worker-side* float — variant, sampling seed, and all
+        advisor option overrides — excluding the budget, which only
+        gates parent-side feasibility decisions.  Two requests with
+        equal signatures may share a warm engine pool: the pool's
+        inherited estimator state holds exactly the estimates the new
+        run would recompute, bit for bit."""
+        return json.dumps({
+            "context": self.name,
+            "variant": self._variant(payload),
+            "seed": int(payload.get("seed", DEFAULT_SAMPLE_SEED)),
+            "options": self._advisor_extra(payload),
+        }, sort_keys=True)
+
+    def run_tune(
+        self,
+        payload: dict,
+        engine: ParallelEngine,
+        *,
+        fork_slot: WarmSlot | None = None,
+        stale_ok: bool = False,
+        progress=None,
+    ) -> dict:
         """One advisor run, isolated exactly like a sweep unit: fresh
-        seeded estimator, fork views of the persistent caches."""
+        seeded estimator, fork views of the persistent caches.
+
+        ``fork_slot``/``stale_ok`` come from the scheduler's warm-
+        affinity decision; ``progress`` threads the job layer's event
+        hook into the advisor (one event per greedy step)."""
         budget = self._budget_bytes(payload)
         variant = self._variant(payload)
         seed = int(payload.get("seed", DEFAULT_SAMPLE_SEED))
@@ -260,6 +295,9 @@ class ServiceContext:
             stats=self.stats,
             engine=engine,
             cost_cache=cost_view,
+            progress=progress,
+            fork_context=fork_slot,
+            fork_stale_ok=stale_ok,
         )
         result = advisor.run()
         if cost_view is not None:
@@ -272,7 +310,8 @@ class ServiceContext:
         out["seed"] = seed
         return out
 
-    def run_sweep(self, payload: dict, engine: ParallelEngine) -> dict:
+    def run_sweep(self, payload: dict, engine: ParallelEngine,
+                  progress=None) -> dict:
         """A whole budget sweep / seed ablation as one unit (the sweep
         module owns per-unit isolation)."""
         variant = self._variant(payload)
@@ -295,6 +334,7 @@ class ServiceContext:
             stats=self.stats,
             engine=engine,
             cache_dir=self.cache_dir,
+            progress=progress,
             **self._advisor_extra(payload),
         )
         runs = []

@@ -12,20 +12,34 @@ Routes::
     POST /v1/sweep                -> (same shape)
     POST /v1/estimate_size        -> (same shape)
     POST /v1/whatif_cost          -> (same shape)
+    POST /v1/jobs                 -> {"context", "kind", ...payload}
+                                     submit a tune/sweep job
+    GET  /v1/jobs                 -> {"jobs": [snapshots...]}
+    GET  /v1/jobs/<id>            -> job snapshot (poll)
+    GET  /v1/jobs/<id>/events     -> chunked NDJSON progress stream
+                                     (?after=N resumes past seq N)
+    POST /v1/jobs/<id>/cancel     -> job snapshot after the request
 
 POST bodies are JSON objects carrying ``context`` plus the request
 payload.  A full request queue returns **503** with a ``Retry-After``
 header (the service's backpressure surfaced honestly), unknown
-contexts/arguments **400**, and internal failures **500** with the
-error text in the JSON body.
+contexts/arguments **400**, unknown resources/jobs **404**, and
+internal failures **500** with the error text in the JSON body.
+
+The events stream answers ``200`` with ``Transfer-Encoding: chunked``
+and one JSON event per line, flushed as the advisor emits them —
+``curl -N`` (or :meth:`AdvisorClient.stream_events`) tails a running
+tune's greedy steps live; the stream closes after the terminal state
+event.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+from urllib.parse import parse_qs
 
-from repro.errors import BackpressureError, ReproError, ServiceError
+from repro.errors import BackpressureError, JobError, ReproError, ServiceError
 from repro.service.service import AdvisorService
 
 #: maximum accepted request body (tuning payloads are tiny).
@@ -88,6 +102,9 @@ class ServiceHTTPServer:
             return
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             status, payload = 500, {"error": str(exc)}
+        if hasattr(payload, "__aiter__"):
+            await self._write_stream(writer, status, payload)
+            return
         body = json.dumps(payload).encode()
         headers = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}",
@@ -102,6 +119,30 @@ class ServiceHTTPServer:
             await writer.drain()
         except ConnectionError:  # pragma: no cover - client went away
             pass
+        writer.close()
+
+    async def _write_stream(
+        self, writer: asyncio.StreamWriter, status: int, events,
+    ) -> None:
+        """Write an async iterator of JSON events as a chunked NDJSON
+        response, flushing each event as it arrives (live tail)."""
+        headers = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}",
+            "Content-Type: application/x-ndjson",
+            "Transfer-Encoding: chunked",
+            "Connection: close",
+        ]
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode())
+        try:
+            await writer.drain()
+            async for event in events:
+                data = json.dumps(event).encode() + b"\n"
+                writer.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except ConnectionError:  # client hung up mid-stream — fine,
+            pass                 # the job itself is unaffected
         writer.close()
 
     async def _handle_request(
@@ -135,7 +176,10 @@ class ServiceHTTPServer:
 
     async def _route(
         self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict]:
+    ) -> tuple[int, object]:
+        path, _, query = path.partition("?")
+        if path.startswith("/v1/jobs"):
+            return await self._route_jobs(method, path, query, body)
         if method == "GET":
             if path == "/healthz":
                 return 200, {
@@ -158,12 +202,9 @@ class ServiceHTTPServer:
         kind = path.removeprefix("/v1/")
         if "/" in kind or not kind:
             return 404, {"error": f"no such resource {path!r}"}
-        try:
-            payload = json.loads(body.decode() or "{}")
-        except (ValueError, UnicodeDecodeError) as exc:
-            return 400, {"error": f"bad JSON body: {exc}"}
-        if not isinstance(payload, dict):
-            return 400, {"error": "JSON body must be an object"}
+        payload, error = self._parse_body(body)
+        if error is not None:
+            return error
         context = payload.pop("context", None)
         if not isinstance(context, str):
             return 400, {"error": "body needs a 'context' string"}
@@ -178,6 +219,69 @@ class ServiceHTTPServer:
         except (ServiceError, ReproError) as exc:
             return 400, {"error": str(exc)}
         return 200, result
+
+    @staticmethod
+    def _parse_body(body: bytes) -> "tuple[dict, None] | tuple[None, tuple]":
+        try:
+            payload = json.loads(body.decode() or "{}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return None, (400, {"error": f"bad JSON body: {exc}"})
+        if not isinstance(payload, dict):
+            return None, (400, {"error": "JSON body must be an object"})
+        return payload, None
+
+    async def _route_jobs(
+        self, method: str, path: str, query: str, body: bytes
+    ) -> tuple[int, object]:
+        """The ``/v1/jobs`` surface: submit, list, poll, stream,
+        cancel."""
+        parts = [p for p in path.removeprefix("/v1/jobs").split("/") if p]
+        if not parts:
+            if method == "GET":
+                return 200, {"jobs": self.service.jobs.list_jobs()}
+            if method != "POST":
+                return 405, {"error": f"method {method} not allowed"}
+            payload, error = self._parse_body(body)
+            if error is not None:
+                return error
+            context = payload.pop("context", None)
+            kind = payload.pop("kind", "tune")
+            if not isinstance(context, str):
+                return 400, {"error": "body needs a 'context' string"}
+            try:
+                record = self.service.submit_job(kind, context, payload)
+            except BackpressureError as exc:
+                return 503, {"error": str(exc)}
+            except (ServiceError, ReproError) as exc:
+                return 400, {"error": str(exc)}
+            return 200, record.snapshot()
+        job_id = parts[0]
+        action = parts[1] if len(parts) > 1 else None
+        if len(parts) > 2 or action not in (None, "events", "cancel"):
+            return 404, {"error": f"no such resource {path!r}"}
+        try:
+            record = self.service.jobs.get(job_id)
+        except JobError as exc:
+            return 404, {"error": str(exc)}
+        if action is None:
+            if method != "GET":
+                return 405, {"error": f"method {method} not allowed"}
+            return 200, record.snapshot()
+        if action == "cancel":
+            if method != "POST":
+                return 405, {"error": f"method {method} not allowed"}
+            return 200, self.service.cancel_job(job_id).snapshot()
+        # action == "events": live chunked stream.
+        if method != "GET":
+            return 405, {"error": f"method {method} not allowed"}
+        after = 0
+        params = parse_qs(query)
+        if "after" in params:
+            try:
+                after = int(params["after"][0])
+            except ValueError:
+                return 400, {"error": "'after' must be an integer"}
+        return 200, self.service.job_events(job_id, after)
 
 
 async def serve(

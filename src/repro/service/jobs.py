@@ -1,0 +1,327 @@
+"""Job-based serving: durable tuning jobs with streaming progress.
+
+PR 4's endpoints answer only on completion — fine for a size estimate,
+hostile for a multi-minute tuning sweep.  This module turns ``tune``
+and ``sweep`` requests into **jobs**: durable records a client submits,
+polls, streams, and cancels::
+
+    queued ──────► running ──────► done
+       │              │
+       │              ├─────────► failed
+       └──────────────┴─────────► cancelled
+
+* **Submit** (:meth:`JobManager.submit`) creates the record and hands
+  it to the per-context scheduler lane; same-context jobs execute
+  strictly in submission order (the determinism contract), jobs on
+  different contexts overlap.
+* **Progress** rides the advisor's progress hook: every phase
+  transition and every accepted greedy step lands in the job's ordered
+  event list (``seq``-numbered), appended loop-side via
+  ``call_soon_threadsafe`` so lane threads never touch asyncio state.
+  :meth:`JobManager.stream` is the tail -f view: an async iterator
+  that yields events as they arrive and ends when the job reaches a
+  terminal state.
+* **Cancel** (:meth:`JobManager.cancel`) resolves queued jobs
+  immediately; running jobs carry a cancel flag the progress hook
+  checks, so the run unwinds (:class:`~repro.errors.JobCancelled`) at
+  the next event — cancellation latency is bounded by one greedy step.
+  A cancelled or failed run releases its scheduler lane and drops the
+  lane's engine pool (a partially-built pool must never look warm).
+
+Results are byte-identical to the synchronous endpoints: a job executes
+through exactly the same :meth:`ServiceContext.run_tune`/``run_sweep``
+path, on the same lane, with the same per-run isolation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+
+from repro.errors import BackpressureError, JobCancelled, JobError
+
+JOB_KINDS = ("tune", "sweep")
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+class JobRecord:
+    """One submitted job: identity, state machine, ordered event log,
+    and (on completion) the response payload or error text."""
+
+    def __init__(self, job_id: str, kind: str, context: str,
+                 payload: dict) -> None:
+        self.id = job_id
+        self.kind = kind
+        self.context = context
+        self.payload = dict(payload)
+        self.state = "queued"
+        self.created = time.time()
+        self.started: float | None = None
+        self.finished: float | None = None
+        self.events: list[dict] = []
+        self.result: dict | None = None
+        self.error: str | None = None
+        #: cross-thread cancel flag (the lane thread's progress hook
+        #: polls it; the loop side sets it).
+        self.cancel = threading.Event()
+        #: pulsed (loop-side) on every event append / state change so
+        #: streamers wake without polling.
+        self.changed = asyncio.Event()
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def snapshot(self, include_result: bool = True) -> dict:
+        """The JSON wire form of this job right now."""
+        out = {
+            "id": self.id,
+            "kind": self.kind,
+            "context": self.context,
+            "state": self.state,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "events": len(self.events),
+            "payload": dict(self.payload),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if include_result and self.result is not None:
+            out["result"] = self.result
+        return out
+
+
+class JobManager:
+    """Owns every job of one :class:`AdvisorService` instance.
+
+    Lives on the service's event loop; lane threads only ever reach it
+    through ``call_soon_threadsafe``.  History is bounded: terminal
+    jobs beyond ``max_history`` are evicted oldest-first (ids of
+    evicted jobs 404 afterwards — clients stream or poll results out
+    before they scroll away).
+    """
+
+    def __init__(self, service, max_history: int = 256) -> None:
+        self.service = service
+        self.max_history = max_history
+        self.jobs: dict[str, JobRecord] = {}
+        self._order: list[str] = []
+        self._counter = itertools.count(1)
+        self._tasks: set[asyncio.Task] = set()
+        #: lifecycle counters, per kind.
+        self.submitted = {kind: 0 for kind in JOB_KINDS}
+        self.finished = {state: 0 for state in TERMINAL_STATES}
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, context: str, payload: dict) -> JobRecord:
+        """Create a job and schedule it on its context's lane."""
+        if kind not in JOB_KINDS:
+            raise JobError(
+                f"unknown job kind {kind!r}; one of {JOB_KINDS}"
+            )
+        if context not in self.service.contexts:
+            raise JobError(
+                f"unknown context {context!r}; registered: "
+                f"{sorted(self.service.contexts)}"
+            )
+        if not self.service.started or self.service._closing:
+            raise JobError("service is not running")
+        queued = sum(
+            1 for record in self.jobs.values() if record.state == "queued"
+        )
+        if queued >= self.service.max_pending:
+            raise BackpressureError(
+                f"job queue full ({self.service.max_pending} queued); "
+                "retry later"
+            )
+        record = JobRecord(
+            f"job-{next(self._counter):06d}", kind, context, payload
+        )
+        self.jobs[record.id] = record
+        self._order.append(record.id)
+        self.submitted[kind] += 1
+        self._append_event(record, {
+            "event": "state", "state": "queued", "job": record.id,
+        })
+        task = asyncio.get_running_loop().create_task(
+            self._run_job(record)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        self._evict()
+        return record
+
+    async def _run_job(self, record: JobRecord) -> None:
+        lane = self.service.scheduler.lane_for(record.context)
+        loop = asyncio.get_running_loop()
+
+        def work():
+            # Runs on the lane thread, strictly after every earlier
+            # same-lane submission.  A cancel that lands while the job
+            # waits its turn resolves here, before any tuning work —
+            # the lane is released untouched.
+            if record.cancel.is_set():
+                raise JobCancelled("cancelled while queued")
+            loop.call_soon_threadsafe(self._mark_running, record)
+
+            def progress(event: dict) -> None:
+                if record.cancel.is_set():
+                    raise JobCancelled("cancel requested")
+                loop.call_soon_threadsafe(
+                    self._append_event, record, dict(event)
+                )
+
+            return self.service._execute(
+                record.kind, record.context, dict(record.payload),
+                lane=lane, progress=progress,
+            )
+
+        try:
+            result = await loop.run_in_executor(lane.executor, work)
+        except JobCancelled as exc:
+            self._finish(record, "cancelled", error=str(exc))
+        except asyncio.CancelledError:
+            # Service loop torn down mid-await: the lane thread still
+            # finishes (or cancels via the flag stop() sets); the
+            # record must not stay non-terminal forever.
+            record.cancel.set()
+            self._finish(record, "cancelled", error="service stopped")
+            raise
+        except Exception as exc:  # noqa: BLE001 - recorded on the job
+            self._finish(record, "failed", error=str(exc))
+        else:
+            self._finish(record, "done", result=result)
+
+    # ------------------------------------------------------------------
+    # loop-side state transitions
+    # ------------------------------------------------------------------
+    def _mark_running(self, record: JobRecord) -> None:
+        if record.terminal:  # cancelled in the submission race window
+            return
+        record.state = "running"
+        record.started = time.time()
+        self._append_event(record, {
+            "event": "state", "state": "running", "job": record.id,
+        })
+
+    def _finish(self, record: JobRecord, state: str,
+                result: dict | None = None,
+                error: str | None = None) -> None:
+        if record.terminal:
+            return
+        record.state = state
+        record.finished = time.time()
+        record.result = result
+        record.error = error
+        self.finished[state] += 1
+        event = {"event": "state", "state": state, "job": record.id}
+        if error is not None:
+            event["error"] = error
+        self._append_event(record, event)
+
+    def _append_event(self, record: JobRecord, event: dict) -> None:
+        event["seq"] = len(record.events) + 1
+        record.events.append(event)
+        record.changed.set()
+
+    def _evict(self) -> None:
+        while len(self._order) > self.max_history:
+            for job_id in list(self._order):
+                record = self.jobs.get(job_id)
+                if record is None or record.terminal:
+                    self._order.remove(job_id)
+                    self.jobs.pop(job_id, None)
+                    break
+            else:
+                return  # everything live — never evict a running job
+
+    # ------------------------------------------------------------------
+    # lookup / streaming / cancel
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> JobRecord:
+        record = self.jobs.get(job_id)
+        if record is None:
+            raise JobError(f"no such job {job_id!r}")
+        return record
+
+    def list_jobs(self) -> list[dict]:
+        return [
+            self.jobs[job_id].snapshot(include_result=False)
+            for job_id in self._order if job_id in self.jobs
+        ]
+
+    def events_after(self, job_id: str, after: int = 0) -> list[dict]:
+        """Every recorded event with ``seq > after`` (poll form).
+        ``seq`` is gapless and 1-based, so this is a slice."""
+        record = self.get(job_id)
+        return record.events[max(after, 0):]
+
+    async def stream(self, job_id: str, after: int = 0):
+        """Async-iterate a job's events live, ending once the job is
+        terminal and its log fully drained."""
+        record = self.get(job_id)
+        after = max(after, 0)
+        while True:
+            # seq == list index + 1 (gapless), so the unseen tail is a
+            # slice — no rescan of the whole log per wake-up.
+            for event in record.events[after:]:
+                after = event["seq"]
+                yield event
+            if record.terminal and record.events \
+                    and record.events[-1]["seq"] <= after:
+                return
+            record.changed.clear()
+            # Re-check before parking: an event appended between the
+            # snapshot above and this point re-set the flag.
+            if record.events and record.events[-1]["seq"] > after:
+                continue
+            await record.changed.wait()
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Request cancellation: queued jobs resolve before execution,
+        running jobs unwind at their next progress event, terminal jobs
+        are left untouched (cancel is idempotent)."""
+        record = self.get(job_id)
+        if record.terminal:
+            return record
+        record.cancel.set()
+        if record.state == "queued":
+            # Resolve eagerly so polls see it now; the lane-side check
+            # keeps the skipped execution honest.
+            self._finish(record, "cancelled",
+                         error="cancelled while queued")
+        return record
+
+    def cancel_all(self) -> None:
+        """Flag every non-terminal job for cancellation (service
+        shutdown): running jobs unwind at their next progress event."""
+        for record in self.jobs.values():
+            if not record.terminal:
+                record.cancel.set()
+                if record.state == "queued":
+                    self._finish(record, "cancelled",
+                                 error="service stopped")
+
+    async def drain(self) -> None:
+        """Wait until every submitted job's task has completed."""
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks),
+                                 return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        states = {state: 0 for state in JOB_STATES}
+        for record in self.jobs.values():
+            states[record.state] += 1
+        return {
+            "submitted": dict(self.submitted),
+            "finished": dict(self.finished),
+            "states": states,
+            "retained": len(self.jobs),
+        }

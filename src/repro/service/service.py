@@ -11,12 +11,13 @@ keep-alive :class:`ParallelEngine` pool.
 
 Three properties the stress tests pin down:
 
-* **Determinism.**  Requests execute one at a time on a dedicated
-  executor thread, and every tuning run is isolated exactly like a
-  sweep unit (fresh seeded estimator, cache fork views), so responses
-  are byte-identical to sequential :meth:`TuningAdvisor.run` calls at
-  any concurrency level — the answer a client gets can never depend on
-  what other clients are doing.
+* **Determinism.**  Requests execute strictly one at a time *per
+  context* (each context's scheduler lane is a single worker thread),
+  and every tuning run is isolated exactly like a sweep unit (fresh
+  seeded estimator, cache fork views), so responses are byte-identical
+  to sequential :meth:`TuningAdvisor.run` calls at any concurrency
+  level — the answer a client gets can never depend on what other
+  clients are doing, while runs on different contexts overlap.
 
 * **In-flight coalescing.**  Identical concurrent requests (same kind,
   context and canonical payload) attach to a single future: the work
@@ -28,6 +29,16 @@ Three properties the stress tests pin down:
   (asyncio-native backpressure); ``wait=False`` — what the HTTP layer
   uses — raises :class:`BackpressureError` immediately so clients get
   an honest 503 instead of an unbounded in-memory backlog.
+
+Since PR 5 the execution side is a **per-context scheduler**
+(:mod:`repro.service.scheduler`): one serial worker lane per
+registered context (capped by ``max_context_workers``), so the
+determinism contract holds per context while runs on *different*
+contexts overlap on multi-core hosts; each lane keeps one engine pool
+warm across same-context requests (``pools_reused`` in
+:meth:`stats`).  Long-running work is best submitted as a **job**
+(:mod:`repro.service.jobs`): durable records with streamed per-greedy-
+step progress and cancellation, served over ``/v1/jobs``.
 """
 
 from __future__ import annotations
@@ -35,13 +46,14 @@ from __future__ import annotations
 import asyncio
 import copy
 import json
-from concurrent.futures import ThreadPoolExecutor
 
 from repro.catalog.schema import Database
 from repro.errors import BackpressureError, ServiceError
 from repro.parallel.cache import CostCache, EstimationCache
 from repro.parallel.engine import ParallelEngine
 from repro.service.context import ServiceContext
+from repro.service.jobs import JobManager, JobRecord
+from repro.service.scheduler import ContextLane, ContextScheduler
 from repro.stats.column_stats import DatabaseStats
 from repro.workload.query import Workload
 
@@ -68,7 +80,11 @@ class AdvisorService:
         cache_dir: directory for the persistent size-estimate and
             what-if cost caches, shared by every context and request.
         max_pending: bound of the request queue (backpressure beyond).
-        engine: injected engine (tests); overrides ``workers``.
+        max_context_workers: scheduler lane cap — at most this many
+            contexts execute concurrently; beyond it contexts share
+            lanes (per-context runs always serialize on their lane).
+        engine: injected engine (tests); used by the first lane, and
+            released on :meth:`stop` like every lane engine.
     """
 
     def __init__(
@@ -77,12 +93,19 @@ class AdvisorService:
         workers: int = 1,
         cache_dir: str | None = None,
         max_pending: int = 64,
+        max_context_workers: int = 4,
         engine: ParallelEngine | None = None,
     ) -> None:
         if max_pending < 1:
             raise ServiceError(
                 f"max_pending must be >= 1, got {max_pending}"
             )
+        if max_context_workers < 1:
+            raise ServiceError(
+                f"max_context_workers must be >= 1, "
+                f"got {max_context_workers}"
+            )
+        self.workers = workers
         self.engine = engine or ParallelEngine(workers)
         self.cache_dir = cache_dir
         self.estimation_cache = (
@@ -92,13 +115,25 @@ class AdvisorService:
             CostCache(cache_dir) if cache_dir is not None else None
         )
         self.max_pending = max_pending
+        self.max_context_workers = max_context_workers
         self.contexts: dict[str, ServiceContext] = {}
+        self.scheduler = ContextScheduler(
+            workers=workers, max_lanes=max_context_workers,
+            primary_engine=self.engine,
+        )
+        self.jobs = JobManager(self)
 
-        self._queue: asyncio.Queue | None = None
         self._inflight: dict[tuple, asyncio.Future] = {}
-        self._worker: asyncio.Task | None = None
-        self._executor: ThreadPoolExecutor | None = None
+        self._active: set[asyncio.Task] = set()
+        self._running = False
         self._closing = False
+        self._scheduler_spent = False
+        #: admission gate: requests admitted but not yet executing on a
+        #: lane.  A slot frees when a lane thread picks the request up
+        #: — the same instant the old dispatch loop popped the bounded
+        #: queue — so ``max_pending`` bounds exactly what it used to.
+        self._waiting = 0
+        self._gate_waiters: list[asyncio.Future] = []
 
         #: per-kind instrumentation.
         self.requests = {kind: 0 for kind in REQUEST_KINDS}
@@ -138,65 +173,71 @@ class AdvisorService:
 
     @property
     def started(self) -> bool:
-        return self._worker is not None and not self._worker.done()
+        return self._running
 
     async def start(self) -> None:
-        """Start the dispatch loop (idempotent)."""
+        """Start serving (idempotent)."""
         if self.started:
             return
         self._closing = False
-        self._queue = asyncio.Queue(maxsize=self.max_pending)
-        # One executor thread: requests run strictly one at a time, so
-        # the shared engine (single-threaded by design) is never entered
-        # concurrently and every run sees a quiescent optimizer.
-        self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="advisor-service"
-        )
-        self._worker = asyncio.get_running_loop().create_task(
-            self._dispatch_loop()
-        )
+        self._waiting = 0
+        self._gate_waiters = []
+        if self._scheduler_spent:
+            # A stopped scheduler's lane executors are terminally shut
+            # down; a restarted service schedules on fresh lanes (the
+            # primary engine object is reusable — sessions re-fork).
+            self.scheduler = ContextScheduler(
+                workers=self.workers,
+                max_lanes=self.max_context_workers,
+                primary_engine=self.engine,
+            )
+            self._scheduler_spent = False
+        self._running = True
 
     async def stop(self, drain: bool = True) -> None:
-        """Stop the service: optionally drain queued work, then release
-        the executor thread, the shared engine pool, and persist the
-        caches.  Queued-but-unexecuted requests fail with
-        :class:`ServiceError` when ``drain=False``."""
-        if self._worker is None:
+        """Stop the service: optionally drain admitted requests and
+        jobs, then release every scheduler lane (executor threads and
+        engine pools) and persist the caches.  With ``drain=False``,
+        admitted-but-unexecuted requests fail with
+        :class:`ServiceError` and running jobs are flagged for
+        cancellation — they unwind at their next progress event."""
+        if not self._running:
             return
         self._closing = True
-        if drain and self._queue is not None:
-            await self._queue.join()
-        worker, self._worker = self._worker, None
-        worker.cancel()
-        try:
-            await worker
-        except asyncio.CancelledError:
-            pass
+        if drain:
+            while self._active:
+                await asyncio.gather(*list(self._active),
+                                     return_exceptions=True)
+            await self.jobs.drain()
+        else:
+            self.jobs.cancel_all()
+        self._running = False
+        # Stop in-flight request tasks (their executor threads finish
+        # on their own; the caller must not hang on a future nobody
+        # will resolve).
+        for task in list(self._active):
+            task.cancel()
+        if self._active:
+            await asyncio.gather(*list(self._active),
+                                 return_exceptions=True)
         # Fail whatever never ran (stop(drain=False) under load).
         for fut in self._inflight.values():
             if not fut.done():
                 fut.set_exception(ServiceError("service stopped"))
         self._inflight.clear()
-        if self._queue is not None:
-            # Free the queue's slots so callers parked in put() wake up
-            # (they then observe their already-failed future) instead
-            # of waiting on a queue nobody will ever drain again.
-            while True:
-                try:
-                    self._queue.get_nowait()
-                    self._queue.task_done()
-                except asyncio.QueueEmpty:
-                    break
-        self._queue = None
-        if self._executor is not None:
-            # Waits for an in-flight job's thread to finish: no job is
-            # abandoned halfway through mutating shared cache state.
-            self._executor.shutdown(wait=True)
-            self._executor = None
-        # Release the shared pool even for injected engines: shutdown
-        # only drops the *dormant* worker pool (a later session forks a
-        # fresh one), so no caller state is invalidated, and a stopped
-        # service never leaks forked processes.
+        # Wake callers parked at the admission gate; they observe their
+        # already-failed future instead of waiting on a gate nobody
+        # will ever open again.
+        self._wake_gate()
+        # Cancelled jobs settle fast (their runs unwind at the next
+        # progress event); wait so no lane thread outlives the service.
+        await self.jobs.drain()
+        # Waits for in-flight lane threads, then drops every lane's
+        # engine pool — a stopped service never leaks forked processes
+        # or abandons a run halfway through shared cache state.
+        self.scheduler.shutdown(wait=True)
+        self._scheduler_spent = True
+        # The primary engine may predate any lane (injected engines).
         self.engine.shutdown()
         self.save_caches()
 
@@ -214,6 +255,47 @@ class AdvisorService:
         await self.stop()
 
     # ------------------------------------------------------------------
+    # admission gate (the bounded "queue": requests admitted but not
+    # yet executing on a lane)
+    # ------------------------------------------------------------------
+    def _admit_nowait(self) -> None:
+        if self._waiting >= self.max_pending:
+            raise BackpressureError(
+                f"request queue full ({self.max_pending} pending); "
+                "retry later"
+            )
+        self._waiting += 1
+
+    async def _admit(self) -> bool:
+        """Park until a slot frees (FIFO); False when woken by a
+        closing service — the caller's future is already failed."""
+        while self._waiting >= self.max_pending and not self._closing:
+            gate = asyncio.get_running_loop().create_future()
+            self._gate_waiters.append(gate)
+            try:
+                await gate
+            finally:
+                if gate in self._gate_waiters:
+                    self._gate_waiters.remove(gate)
+        if self._closing:
+            return False
+        self._waiting += 1
+        return True
+
+    def _release_slot(self) -> None:
+        """Free one admission slot and wake the next parked caller."""
+        self._waiting -= 1
+        for gate in self._gate_waiters:
+            if not gate.done():
+                gate.set_result(None)
+                break
+
+    def _wake_gate(self) -> None:
+        for gate in self._gate_waiters:
+            if not gate.done():
+                gate.set_result(None)
+
+    # ------------------------------------------------------------------
     # request path
     # ------------------------------------------------------------------
     async def request(
@@ -224,8 +306,8 @@ class AdvisorService:
 
         Identical in-flight requests coalesce onto a single future.
         ``wait`` controls backpressure style: suspend until the bounded
-        queue has room (True), or raise :class:`BackpressureError`
-        immediately (False).
+        admission gate has room (True), or raise
+        :class:`BackpressureError` immediately (False).
         """
         if kind not in REQUEST_KINDS:
             raise ServiceError(
@@ -250,24 +332,21 @@ class AdvisorService:
             return copy.deepcopy(await asyncio.shield(existing))
         future = asyncio.get_running_loop().create_future()
         self._inflight[key] = future
-        item = (key, kind, context, payload)
         try:
             if wait:
                 # Await point: identical requests may coalesce onto
                 # `future` while we are parked here, so any bail-out
                 # below must resolve it — waiters hold a shield on it
                 # and would otherwise hang forever.
-                await self._queue.put(item)
+                admitted = await self._admit()
             else:
-                self._queue.put_nowait(item)
-        except asyncio.QueueFull:
+                self._admit_nowait()
+                admitted = True
+        except BackpressureError:
             self._inflight.pop(key, None)
             future.cancel()
             self.rejected += 1
-            raise BackpressureError(
-                f"request queue full ({self.max_pending} pending); "
-                "retry later"
-            ) from None
+            raise
         except BaseException:
             self._inflight.pop(key, None)
             if not future.done():
@@ -275,6 +354,12 @@ class AdvisorService:
                     ServiceError("request cancelled before execution")
                 )
             raise
+        if admitted:
+            task = asyncio.get_running_loop().create_task(
+                self._run_item(key, kind, context, payload)
+            )
+            self._active.add(task)
+            task.add_done_callback(self._active.discard)
         return copy.deepcopy(await asyncio.shield(future))
 
     async def tune(self, context: str, **payload) -> dict:
@@ -290,45 +375,96 @@ class AdvisorService:
         return await self.request("whatif_cost", context, payload)
 
     # ------------------------------------------------------------------
-    async def _dispatch_loop(self) -> None:
-        """Pop requests off the bounded queue and run them, one at a
-        time, on the executor thread; resolve the coalesced future."""
-        loop = asyncio.get_running_loop()
-        while True:
-            key, kind, context, payload = await self._queue.get()
-            future = self._inflight.get(key)
-            try:
-                result = await loop.run_in_executor(
-                    self._executor, self._execute, kind, context, payload
-                )
-            except asyncio.CancelledError:
-                # Service stopped mid-job (stop(drain=False) under
-                # load): the executor thread finishes the job on its
-                # own, but the caller must not hang on a future nobody
-                # will ever resolve.
-                if future is not None and not future.done():
-                    future.set_exception(ServiceError("service stopped"))
-                self._inflight.pop(key, None)
-                self._queue.task_done()
-                raise
-            except Exception as exc:  # noqa: BLE001 - forwarded to caller
-                self.failed[kind] += 1
-                if future is not None and not future.done():
-                    future.set_exception(exc)
-            else:
-                self.completed[kind] += 1
-                if future is not None and not future.done():
-                    future.set_result(result)
-            self._inflight.pop(key, None)
-            self._queue.task_done()
+    async def _run_item(
+        self, key: tuple, kind: str, context: str, payload: dict,
+    ) -> None:
+        """Execute one admitted request on its context's lane; resolve
+        the coalesced future.
 
-    def _execute(self, kind: str, context_name: str, payload: dict) -> dict:
-        """Synchronous request execution (runs on the executor thread)."""
+        Requests on the same lane serialize through the lane's request
+        lock (FIFO), so the determinism contract holds exactly as under
+        the old single executor — while requests on different contexts'
+        lanes overlap.  The admission slot frees the moment a lane
+        picks the request up, mirroring the old dispatch-loop pop."""
+        future = self._inflight.get(key)
+        lane = self.scheduler.lane_for(context)
+        slot_held = True
+
+        def release_slot() -> None:
+            nonlocal slot_held
+            if slot_held:
+                slot_held = False
+                self._release_slot()
+
+        try:
+            async with lane.request_lock:
+                release_slot()
+                result = await asyncio.get_running_loop().run_in_executor(
+                    lane.executor, self._execute, kind, context, payload,
+                    lane,
+                )
+        except asyncio.CancelledError:
+            # Service stopped mid-request (stop(drain=False) under
+            # load): the lane thread finishes the work on its own, but
+            # the caller must not hang on a future nobody will ever
+            # resolve.
+            release_slot()
+            if future is not None and not future.done():
+                future.set_exception(ServiceError("service stopped"))
+            self._inflight.pop(key, None)
+            raise
+        except Exception as exc:  # noqa: BLE001 - forwarded to caller
+            release_slot()
+            self.failed[kind] += 1
+            if future is not None and not future.done():
+                future.set_exception(exc)
+        else:
+            self.completed[kind] += 1
+            if future is not None and not future.done():
+                future.set_result(result)
+        self._inflight.pop(key, None)
+
+    def _execute(
+        self, kind: str, context_name: str, payload: dict,
+        lane: ContextLane | None = None, progress=None,
+    ) -> dict:
+        """Synchronous request execution (runs on a lane thread).
+
+        ``lane`` wires the run to the lane's engine and, for tune
+        requests, the context's warm fork slot; ``progress`` threads
+        the job layer's event hook into the advisor."""
         context = self.contexts[context_name]
+        if lane is not None:
+            lane.executed += 1
+        engine = lane.engine if lane is not None else self.engine
         if kind == "tune":
-            return context.run_tune(payload, self.engine)
+            slot = context.warm_slot
+            stale_ok = False
+            if lane is not None:
+                stale_ok = self.scheduler.prepare_warm(
+                    lane, slot, context.tune_signature(payload)
+                )
+            try:
+                return context.run_tune(
+                    payload, engine, fork_slot=slot,
+                    stale_ok=stale_ok, progress=progress,
+                )
+            except BaseException:
+                if lane is not None:
+                    # A failed or cancelled run leaves a partial pool —
+                    # it must never look warm to a successor.
+                    self.scheduler.release(lane, slot)
+                raise
         if kind == "sweep":
-            return context.run_sweep(payload, self.engine)
+            try:
+                return context.run_sweep(payload, engine,
+                                         progress=progress)
+            finally:
+                if lane is not None:
+                    # A sweep's pool forks against its own (now dead)
+                    # job object — never reusable; don't leave idle
+                    # workers parked on the lane.
+                    lane.engine.shutdown()
         if kind == "estimate_size":
             return context.run_estimate_size(payload)
         if kind == "whatif_cost":
@@ -336,14 +472,36 @@ class AdvisorService:
         raise ServiceError(f"unknown request kind {kind!r}")  # pragma: no cover
 
     # ------------------------------------------------------------------
+    # jobs (see repro.service.jobs — thin delegation so the HTTP layer
+    # and in-process callers share one entry point)
+    # ------------------------------------------------------------------
+    def submit_job(self, kind: str, context: str,
+                   payload: dict | None = None) -> JobRecord:
+        """Submit a ``tune``/``sweep`` job; returns its record (poll
+        via :meth:`job`, stream via :meth:`job_events`)."""
+        return self.jobs.submit(kind, context, dict(payload or {}))
+
+    def job(self, job_id: str) -> JobRecord:
+        return self.jobs.get(job_id)
+
+    def cancel_job(self, job_id: str) -> JobRecord:
+        return self.jobs.cancel(job_id)
+
+    def job_events(self, job_id: str, after: int = 0):
+        """Async iterator over a job's progress events (live tail)."""
+        return self.jobs.stream(job_id, after)
+
+    # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Service counters: queue state, per-kind request/coalescing/
-        completion counts, engine and cache stats."""
+        completion counts, scheduler lanes (warm-pool reuse), jobs,
+        engine and cache stats."""
+        scheduler = self.scheduler.stats()
         return {
             "contexts": sorted(self.contexts),
             "running": self.started,
             "max_pending": self.max_pending,
-            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "queue_depth": self._waiting,
             "in_flight": len(self._inflight),
             "requests": dict(self.requests),
             "coalesced": dict(self.coalesced),
@@ -351,6 +509,11 @@ class AdvisorService:
             "failed": dict(self.failed),
             "rejected": self.rejected,
             "engine": self.engine.stats(),
+            "scheduler": scheduler,
+            #: top-level convenience: total warm-pool reuses across
+            #: lanes (the service-affinity acceptance metric).
+            "pools_reused": scheduler["pools_reused"],
+            "jobs": self.jobs.stats(),
             "estimation_cache": (
                 self.estimation_cache.stats()
                 if self.estimation_cache is not None else {}

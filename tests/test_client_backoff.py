@@ -1,0 +1,142 @@
+"""AdvisorClient retry/backoff: retryable 503s are retried on an
+exponential schedule that honors the server's ``Retry-After`` header —
+verified with a fake clock, no real sleeping, no real server."""
+
+import asyncio
+
+import pytest
+
+from repro.service.client import AdvisorClient, ServiceHTTPError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class FakeClock:
+    """Injectable ``sleep``: records every requested delay, never
+    actually waits."""
+
+    def __init__(self):
+        self.delays = []
+
+    async def sleep(self, delay):
+        self.delays.append(delay)
+
+
+def make_client(clock, **kwargs):
+    kwargs.setdefault("retries", 3)
+    kwargs.setdefault("backoff", 0.25)
+    kwargs.setdefault("max_backoff", 8.0)
+    return AdvisorClient("127.0.0.1", 1, sleep=clock.sleep, **kwargs)
+
+
+def stub_responses(client, outcomes):
+    """Replace the wire layer with a scripted sequence: exceptions are
+    raised, anything else returned."""
+    calls = []
+
+    async def fake_request_once(method, path, payload=None):
+        calls.append((method, path))
+        outcome = outcomes[min(len(calls) - 1, len(outcomes) - 1)]
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    client._request_once = fake_request_once
+    return calls
+
+
+class TestBackoffSchedule:
+    def test_retry_delay_is_exponential_and_capped(self):
+        client = make_client(FakeClock(), backoff=0.25, max_backoff=2.0)
+        assert client.retry_delay(0) == 0.25
+        assert client.retry_delay(1) == 0.5
+        assert client.retry_delay(2) == 1.0
+        assert client.retry_delay(3) == 2.0
+        assert client.retry_delay(10) == 2.0  # capped
+
+    def test_retry_after_floors_the_delay(self):
+        client = make_client(FakeClock(), backoff=0.25, max_backoff=8.0)
+        # Server hint larger than the exponential term wins...
+        assert client.retry_delay(0, retry_after=1.5) == 1.5
+        # ...but a shorter hint never shrinks the backoff...
+        assert client.retry_delay(3, retry_after=1.5) == 2.0
+        # ...and the cap still applies over the hint.
+        assert client.retry_delay(0, retry_after=30.0) == 8.0
+
+
+class TestRetryLoop:
+    def test_retries_503_until_success(self):
+        clock = FakeClock()
+        client = make_client(clock)
+        calls = stub_responses(client, [
+            ServiceHTTPError(503, "full", retry_after=None),
+            ServiceHTTPError(503, "full", retry_after=None),
+            {"ok": True},
+        ])
+        answer = run(client._request("GET", "/healthz"))
+        assert answer == {"ok": True}
+        assert len(calls) == 3
+        assert clock.delays == [0.25, 0.5]
+
+    def test_honors_retry_after_header(self):
+        clock = FakeClock()
+        client = make_client(clock)
+        stub_responses(client, [
+            ServiceHTTPError(503, "full", retry_after=3.0),
+            {"ok": True},
+        ])
+        run(client._request("GET", "/healthz"))
+        assert clock.delays == [3.0]
+
+    def test_gives_up_after_retries_and_raises(self):
+        clock = FakeClock()
+        client = make_client(clock, retries=2)
+        calls = stub_responses(client, [
+            ServiceHTTPError(503, "full"),
+        ])
+        with pytest.raises(ServiceHTTPError) as err:
+            run(client._request("GET", "/healthz"))
+        assert err.value.status == 503
+        assert len(calls) == 3          # initial + 2 retries
+        assert clock.delays == [0.25, 0.5]
+
+    def test_non_retryable_errors_surface_immediately(self):
+        clock = FakeClock()
+        client = make_client(clock)
+        calls = stub_responses(client, [
+            ServiceHTTPError(400, "bad payload"),
+        ])
+        with pytest.raises(ServiceHTTPError) as err:
+            run(client._request("POST", "/v1/tune", {}))
+        assert err.value.status == 400
+        assert len(calls) == 1
+        assert clock.delays == []
+
+    def test_retries_zero_restores_immediate_raise(self):
+        clock = FakeClock()
+        client = make_client(clock, retries=0)
+        calls = stub_responses(client, [
+            ServiceHTTPError(503, "full", retry_after=1.0),
+        ])
+        with pytest.raises(ServiceHTTPError):
+            run(client._request("GET", "/healthz"))
+        assert len(calls) == 1
+        assert clock.delays == []
+
+
+class TestErrorAnatomy:
+    def test_retryable_flag(self):
+        assert ServiceHTTPError(503, "full").retryable
+        assert not ServiceHTTPError(400, "nope").retryable
+        assert not ServiceHTTPError(500, "boom").retryable
+
+    def test_retry_after_parsing_from_headers(self):
+        status, headers = AdvisorClient._parse_head(
+            b"HTTP/1.1 503 Service Unavailable\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Retry-After: 1"
+        )
+        assert status == 503
+        assert headers["retry-after"] == "1"

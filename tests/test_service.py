@@ -6,7 +6,7 @@ of concurrent clients gets byte-identical responses to sequential
 execution (request isolation mirrors sweep units), identical in-flight
 requests run once (coalescing counters prove the dedup), the bounded
 queue rejects honestly when full, and stopping the service under load
-leaks neither the executor thread nor the shared engine pool.
+leaks neither the scheduler's lane threads nor any engine pool.
 """
 
 import asyncio
@@ -190,7 +190,7 @@ class TestBackpressure:
 
             context.run_whatif_cost = blocking
             try:
-                # One request occupies the executor thread...
+                # One request occupies the context's lane thread...
                 blocked = asyncio.ensure_future(
                     service.whatif_cost("sales", **COST)
                 )
@@ -368,15 +368,18 @@ class TestLifecycle:
                 for i in range(3)
             ]
             await asyncio.sleep(0.05)
-            # Stop while the executor is still blocked mid-job, then
-            # let the job finish so the executor can drain.
+            # Stop while the lane thread is still blocked mid-job, then
+            # let the job finish so the lane executors can drain.
             stopper = asyncio.ensure_future(service.stop(drain=False))
             await asyncio.sleep(0.05)
             release.set()
             await stopper
             context.run_whatif_cost = original
-            assert service._executor is None
             assert service.engine._pool is None
+            assert all(
+                lane.engine._pool is None
+                for lane in service.scheduler.lanes
+            )
             assert not service.started
             outcomes = await asyncio.gather(
                 running, *queued, return_exceptions=True
@@ -455,6 +458,27 @@ class TestLifecycle:
             service.register("sales", db, wl)
             with pytest.raises(ServiceError, match="not running"):
                 await service.whatif_cost("sales", **COST)
+
+        run(scenario())
+
+    def test_request_after_stop_raises_promptly(self, service_inputs):
+        """A stopped service rejects both admission styles immediately
+        — no caller may ever park against a gate nobody will open."""
+        db, wl = service_inputs
+
+        async def scenario():
+            service = await _make_service(db, wl)
+            await service.stop()
+            with pytest.raises(ServiceError, match="not running"):
+                await asyncio.wait_for(
+                    service.whatif_cost("sales", **COST), timeout=5
+                )
+            with pytest.raises(ServiceError, match="not running"):
+                await asyncio.wait_for(
+                    service.request("whatif_cost", "sales", COST,
+                                    wait=False),
+                    timeout=5,
+                )
 
         run(scenario())
 

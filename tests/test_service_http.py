@@ -1,5 +1,6 @@
 """JSON-over-HTTP front end + async client: round-trips, error mapping,
-and 503 backpressure."""
+503 backpressure, and the ``/v1/jobs`` surface (submit, poll, chunked
+event streaming, cancel)."""
 
 import asyncio
 import json
@@ -32,7 +33,9 @@ async def _boot(db, wl, **service_kwargs):
     service.register("sales", db, wl)
     server = ServiceHTTPServer(service, port=0)  # ephemeral port
     await server.start()
-    return service, server, AdvisorClient(port=server.port)
+    # retries=0: these tests assert raw status codes; automatic 503
+    # backoff is exercised separately (tests/test_client_backoff.py).
+    return service, server, AdvisorClient(port=server.port, retries=0)
 
 
 class TestRoundTrips:
@@ -211,6 +214,147 @@ class TestErrorMapping:
     def test_retryable_flag(self):
         assert ServiceHTTPError(503, "full").retryable
         assert not ServiceHTTPError(400, "nope").retryable
+
+
+class TestJobsHTTP:
+    def test_submit_stream_poll_roundtrip(self, http_inputs):
+        """POST /v1/jobs -> stream /events (chunked NDJSON, >=1 greedy
+        step) -> GET the finished snapshot, byte-identical to the
+        synchronous /v1/tune answer."""
+        db, wl = http_inputs
+
+        async def scenario():
+            service, server, client = await _boot(db, wl)
+            try:
+                job = await client.submit_job(
+                    "sales", kind="tune",
+                    budget_fraction=0.12, variant="dtac-none",
+                )
+                assert job["state"] in ("queued", "running")
+                events = []
+                async for event in client.stream_events(job["id"]):
+                    events.append(event)
+                final = await client.job(job["id"])
+                listing = await client.jobs()
+                sync = await client.tune(
+                    "sales", budget_fraction=0.12, variant="dtac-none",
+                )
+                return job, events, final, listing, sync
+            finally:
+                await server.stop()
+
+        job, events, final, listing, sync = run(scenario())
+        assert final["state"] == "done"
+        assert final["result"]["result"] == sync["result"]
+        greedy = [e for e in events if e["event"] == "greedy_step"]
+        assert len(greedy) >= 1
+        states = [e["state"] for e in events if e["event"] == "state"]
+        assert states[-1] == "done"
+        assert any(j["id"] == job["id"] for j in listing["jobs"])
+
+    def test_stream_resumes_after_seq(self, http_inputs):
+        db, wl = http_inputs
+
+        async def scenario():
+            service, server, client = await _boot(db, wl)
+            try:
+                job = await client.submit_job(
+                    "sales", kind="tune",
+                    budget_fraction=0.12, variant="dtac-none",
+                )
+                full = [e async for e in client.stream_events(job["id"])]
+                tail = [
+                    e async for e in
+                    client.stream_events(job["id"], after=full[2]["seq"])
+                ]
+                return full, tail
+            finally:
+                await server.stop()
+
+        full, tail = run(scenario())
+        assert tail == full[3:]
+
+    def test_cancel_over_http(self, http_inputs):
+        db, wl = http_inputs
+
+        async def scenario():
+            service, server, client = await _boot(db, wl)
+            try:
+                job = await client.submit_job(
+                    "sales", kind="tune",
+                    budget_fraction=0.12, variant="dtac-none",
+                )
+                # Cancel at the second progress event, mid-run.
+                seen = 0
+                async for event in client.stream_events(job["id"]):
+                    if event["event"] in ("phase", "greedy_step",
+                                          "sweep"):
+                        seen += 1
+                        if seen == 2:
+                            await client.cancel_job(job["id"])
+                final = await client.wait_job(job["id"])
+                return final
+            finally:
+                await server.stop()
+
+        final = run(scenario())
+        assert final["state"] == "cancelled"
+
+    def test_jobs_error_mapping(self, http_inputs):
+        db, wl = http_inputs
+
+        async def scenario():
+            service, server, client = await _boot(db, wl)
+            out = {}
+            try:
+                for label, coro in [
+                    ("missing_job", client.job("job-999999")),
+                    ("missing_job_cancel",
+                     client.cancel_job("job-999999")),
+                    ("bad_kind", client.submit_job(
+                        "sales", kind="estimate_size")),
+                    ("bad_context", client.submit_job(
+                        "nope", kind="tune", budget_fraction=0.1)),
+                ]:
+                    with pytest.raises(ServiceHTTPError) as err:
+                        await coro
+                    out[label] = err.value.status
+                try:
+                    await client._request(
+                        "GET", "/v1/jobs/job-1/bogus"
+                    )
+                except ServiceHTTPError as exc:
+                    out["bad_action"] = exc.status
+                try:
+                    await client._request("PUT", "/v1/jobs")
+                except ServiceHTTPError as exc:
+                    out["bad_method"] = exc.status
+                return out
+            finally:
+                await server.stop()
+
+        statuses = run(scenario())
+        assert statuses["missing_job"] == 404
+        assert statuses["missing_job_cancel"] == 404
+        assert statuses["bad_kind"] == 400
+        assert statuses["bad_context"] == 400
+        assert statuses["bad_action"] == 404
+        assert statuses["bad_method"] == 405
+
+    def test_stream_for_missing_job_is_404(self, http_inputs):
+        db, wl = http_inputs
+
+        async def scenario():
+            service, server, client = await _boot(db, wl)
+            try:
+                with pytest.raises(ServiceHTTPError) as err:
+                    async for _ in client.stream_events("job-999999"):
+                        pass
+                return err.value.status
+            finally:
+                await server.stop()
+
+        assert run(scenario()) == 404
 
 
 class TestHTTPBackpressure:
