@@ -7,6 +7,14 @@ sequential path and tracks the numbers across PRs:
 * **advisor** — one full DTAc tuning session on the Sales workload,
   ``workers=1`` vs ``--workers N``, asserting byte-identical
   recommendations and recording wall time + candidates/sec.
+* **algorithms** — every registered selection algorithm (greedy
+  backtracking, IBM-style knapsack, drop-based relaxation, anytime
+  greedy) on the same session: improvement %, wall time, budget
+  compliance, the undominated quality-vs-wall frontier, and an
+  identity check that the default algorithm through the registry
+  reproduces the advisor section's run bit-for-bit;
+  ``compare_bench.py`` gates the default's recommendation against the
+  baseline and every algorithm's budget compliance.
 * **incremental** — the same session with delta-aware workload costing
   off (full recost of every candidate configuration) vs on
   (statement-level memoization + access-path probes + plan patching +
@@ -62,6 +70,7 @@ sys.path.insert(
     0, str(Path(__file__).resolve().parent.parent / "src")
 )
 
+from repro.advisor import algorithms  # noqa: E402
 from repro.advisor.advisor import tune  # noqa: E402
 from repro.advisor.sweep import run_sweep  # noqa: E402
 from repro.compression.base import CompressionMethod  # noqa: E402
@@ -338,6 +347,74 @@ def run_sweep_section(args) -> dict:
     }
 
 
+def run_algorithms_section(args, advisor_section: dict) -> dict:
+    """Every registered selection algorithm on the same tuning session:
+    quality (improvement %) vs wall time, the frontier of undominated
+    algorithms, and per-algorithm budget compliance.
+
+    The recommendations are deterministic (gated against the baseline
+    for the default search; budget compliance gated for all); the
+    frontier is derived from wall-clock and recorded for the trend
+    series only — which algorithm "wins" on speed is a machine fact.
+    """
+    db = sales_database(scale=args.scale, seed=args.seed)
+    wl = sales_workload(db)
+    budget = db.total_data_bytes() * args.budget
+
+    entries = []
+    for name in algorithms.names():
+        t0 = time.perf_counter()
+        result = tune(db, wl, budget, variant=args.variant,
+                      algorithm=name, workers=1)
+        wall = time.perf_counter() - t0
+        entries.append({
+            "algorithm": name,
+            "wall_seconds": round(wall, 4),
+            "improvement_pct": result.improvement_pct,
+            "final_cost": result.final_cost,
+            "consumed_bytes": result.consumed_bytes,
+            "budget_respected": result.consumed_bytes <= budget + 1e-6,
+            "structures": len(list(result.configuration)),
+            "configuration": _config_names(result),
+        })
+
+    # Undominated quality-vs-wall frontier: an algorithm is on the
+    # frontier unless some other is at least as fast AND at least as
+    # good, strictly better in one.
+    frontier = [
+        entry["algorithm"] for entry in entries
+        if not any(
+            other["wall_seconds"] <= entry["wall_seconds"]
+            and other["improvement_pct"] >= entry["improvement_pct"]
+            and (other["wall_seconds"] < entry["wall_seconds"]
+                 or other["improvement_pct"] > entry["improvement_pct"])
+            for other in entries if other is not entry
+        )
+    ]
+
+    default = next(
+        entry for entry in entries
+        if entry["algorithm"] == algorithms.DEFAULT_ALGORITHM
+    )
+    advisor_result = advisor_section["result"]
+    return {
+        "dataset": "sales",
+        "scale": args.scale,
+        "budget_fraction": args.budget,
+        "variant": args.variant,
+        "default_algorithm": algorithms.DEFAULT_ALGORITHM,
+        "results": entries,
+        "frontier": frontier,
+        # The default algorithm through the new registry must equal the
+        # advisor section's run of the same session (the historical
+        # code path) — the refactor's no-behavior-change invariant.
+        "identical_default_to_advisor": (
+            default["configuration"] == advisor_result["configuration"]
+            and default["final_cost"] == advisor_result["final_cost"]
+        ),
+    }
+
+
 def run_fig9_section(args) -> dict:
     db = get_tpch(args.fig9_scale)
     indexes = index_population(db, TPCH_ERROR_KEYSETS)
@@ -534,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--skip-sweep", action="store_true")
     parser.add_argument("--skip-incremental", action="store_true")
     parser.add_argument("--skip-service", action="store_true")
+    parser.add_argument("--skip-algorithms", action="store_true")
     parser.add_argument("--cache-dir", default=None,
                         help="reuse a cache directory instead of a "
                              "fresh temporary one")
@@ -562,6 +640,12 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[bench] advisor: sales scale={args.scale} "
           f"workers={args.workers}", flush=True)
     payload["advisor"] = run_advisor_section(args)
+    if not args.skip_algorithms:
+        print(f"[bench] algorithms: {', '.join(algorithms.names())}",
+              flush=True)
+        payload["algorithms"] = run_algorithms_section(
+            args, payload["advisor"]
+        )
     if not args.skip_incremental:
         print("[bench] incremental: full recost vs delta costing",
               flush=True)
@@ -587,6 +671,16 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[bench] wrote {out}")
     print(f"[bench] advisor speedup x{adv['speedup']} "
           f"(identical={adv['identical_recommendations']})")
+    if "algorithms" in payload:
+        alg = payload["algorithms"]
+        for entry in alg["results"]:
+            print(f"[bench] algorithm {entry['algorithm']:<16s} "
+                  f"{entry['improvement_pct']:6.2f}% in "
+                  f"{entry['wall_seconds']:.2f}s "
+                  f"(budget_respected={entry['budget_respected']})")
+        print(f"[bench] quality-vs-wall frontier: "
+              f"{', '.join(alg['frontier'])} "
+              f"(default identical={alg['identical_default_to_advisor']})")
     if "incremental" in payload:
         inc = payload["incremental"]
         print(f"[bench] incremental costing x{inc['speedup']} "
@@ -621,6 +715,13 @@ def main(argv: list[str] | None = None) -> int:
     ok = (
         adv["identical_recommendations"]
         and sweep_ok
+        and payload.get("algorithms", {}).get(
+            "identical_default_to_advisor", True
+        )
+        and all(
+            entry["budget_respected"]
+            for entry in payload.get("algorithms", {}).get("results", [])
+        )
         and payload.get("incremental", {}).get(
             "identical_recommendations", True
         )

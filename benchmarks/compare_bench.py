@@ -9,7 +9,12 @@ Three classes of check, in decreasing strictness:
   the sequential results on the runner, not just on the machine that
   committed the baseline.
 * **Recommendation drift** (hard): the recommended configurations,
-  final costs and improvement percentages must match the baseline.
+  final costs and improvement percentages must match the baseline —
+  for the advisor section, every sweep run, and the *default*
+  selection algorithm in the ``algorithms`` section (the registry must
+  never move the historical search); the alternative algorithms are
+  gated on budget compliance only, their quality-vs-wall frontier is
+  recorded for the trend series.
   These are pure-Python deterministic given the committed seeds, so any
   drift is a behavior change that needs a deliberate baseline update
   (rerun the bench and commit the new file alongside the code change).
@@ -44,6 +49,8 @@ from pathlib import Path
 #: gate treats as a configuration error, not a measurement.
 _PARAM_KEYS = {
     "advisor": ("dataset", "scale", "budget_fraction", "variant"),
+    "algorithms": ("dataset", "scale", "budget_fraction", "variant",
+                   "default_algorithm"),
     "incremental": ("dataset", "scale", "budget_fraction", "variant"),
     "cache": (),
     "sweep": ("dataset", "scale", "variant", "budget_fractions", "seeds"),
@@ -197,6 +204,61 @@ def compare(baseline: dict, fresh: dict, wall_tolerance: float,
             gate.fail("sweep recommendations drifted for: " + ", ".join(drifted))
         else:
             gate.note(f"ok all {len(base_runs)} sweep recommendations match")
+
+    # 2.3 Selection algorithms: every registered algorithm must stay
+    #     inside the storage budget, and the default (greedy-backtrack)
+    #     recommendation must match the baseline exactly — the pluggable
+    #     registry must never move the historical search's answer.
+    fresh_algos = {
+        entry.get("algorithm"): entry
+        for entry in _dig(fresh, ("algorithms", "results")) or []
+    }
+    base_algos = {
+        entry.get("algorithm"): entry
+        for entry in _dig(baseline, ("algorithms", "results")) or []
+    }
+    if fresh_algos:
+        for name in sorted(fresh_algos):
+            if not fresh_algos[name].get("budget_respected", False):
+                gate.fail(
+                    f"algorithms.{name} blew the storage budget "
+                    f"(consumed_bytes="
+                    f"{fresh_algos[name].get('consumed_bytes')!r})"
+                )
+            else:
+                gate.note(f"ok algorithms.{name} budget respected")
+        missing = set(base_algos) - set(fresh_algos)
+        if missing:
+            gate.fail(
+                "algorithms present in baseline but missing from the "
+                f"fresh run: {sorted(missing)}"
+            )
+        default_name = _dig(fresh, ("algorithms", "default_algorithm"))
+        base_default = base_algos.get(default_name)
+        fresh_default = fresh_algos.get(default_name)
+        if base_default and fresh_default:
+            drift = (
+                base_default.get("configuration")
+                != fresh_default.get("configuration")
+            )
+            for key in ("final_cost", "improvement_pct"):
+                a = base_default.get(key)
+                b = fresh_default.get(key)
+                if not isinstance(a, (int, float)) \
+                        or not isinstance(b, (int, float)) \
+                        or not _close(a, b):
+                    drift = True
+            if drift:
+                gate.fail(
+                    f"algorithms.{default_name} (the default search) "
+                    "drifted from the baseline:\n"
+                    f"  baseline: {base_default.get('configuration')}\n"
+                    f"  fresh:    {fresh_default.get('configuration')}"
+                )
+            else:
+                gate.note(
+                    f"ok algorithms.{default_name} matches baseline"
+                )
 
     # 2.5 Incremental-costing speedup floor: delta-aware costing must
     #     keep beating the full-recost path by the acceptance bar on

@@ -1,13 +1,19 @@
 """Physical design advisor: DTA baseline and compression-aware DTAc."""
 
+from repro.advisor import algorithms
 from repro.advisor.advisor import (
-    VARIANTS,
     AdvisorOptions,
     AdvisorResult,
     TuningAdvisor,
+    VariantSpec,
+    get_variant,
+    register_variant,
     tune,
     tune_decoupled,
+    variant_names,
+    variants,
 )
+from repro.advisor.algorithms import SelectionAlgorithm
 from repro.advisor.candidates import (
     CandidateOptions,
     candidate_indexes,
@@ -34,7 +40,13 @@ __all__ = [
     "AdvisorOptions",
     "AdvisorResult",
     "TuningAdvisor",
-    "VARIANTS",
+    "VariantSpec",
+    "algorithms",
+    "SelectionAlgorithm",
+    "get_variant",
+    "register_variant",
+    "variant_names",
+    "variants",
     "tune",
     "tune_decoupled",
     "run_sweep",
@@ -56,3 +68,15 @@ __all__ = [
     "EnumerationResult",
     "Enumerator",
 ]
+
+
+def __getattr__(name: str):
+    """``repro.advisor.VARIANTS`` forwards to the deprecated shim in
+    :mod:`repro.advisor.advisor` (which emits the DeprecationWarning) —
+    eagerly importing it here would warn on every package import."""
+    if name == "VARIANTS":
+        from repro.advisor import advisor as _advisor
+        return _advisor.VARIANTS
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -7,16 +7,15 @@ from __future__ import annotations
 
 import hashlib
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Mapping
+from repro.advisor import algorithms
+from repro.advisor.algorithms import EnumerationOptions
 from repro.advisor.candidates import (
     CandidateOptions,
     candidate_indexes,
     expand_compression_variants,
-)
-from repro.advisor.enumeration import (
-    EnumerationOptions,
-    Enumerator,
 )
 from repro.advisor.merging import (
     compression_aware_variants,
@@ -121,6 +120,14 @@ class AdvisorOptions:
     workers: int = 1
     cache_dir: str | None = None
     delta_costing: bool = True
+    #: selection strategy over the shared candidate pool, resolved
+    #: through :func:`repro.advisor.algorithms.get` — the default is
+    #: the paper's greedy(+backtracking) search; alternatives are
+    #: ``"ibm"`` (benefit/size knapsack), ``"relaxation"`` (drop from
+    #: the full pool) and ``"anytime"`` (greedy streaming
+    #: ``best_so_far`` events).  Orthogonal to ``variant``: a variant
+    #: bundles candidate/costing flags, the algorithm picks the search.
+    algorithm: str = "greedy-backtrack"
 
 
 @dataclass
@@ -232,6 +239,9 @@ class TuningAdvisor:
         self.database = database
         self.workload = workload
         self.options = options
+        #: resolved up front so an unknown name fails before any
+        #: estimation work (and so the service can 400 at submit time).
+        self._algorithm_cls = algorithms.get(options.algorithm)
         self.stats = stats or DatabaseStats(database)
         #: engines we created are ours to shut down when the run ends;
         #: injected engines (e.g. a sweep's shared session) belong to
@@ -568,7 +578,8 @@ class TuningAdvisor:
             pool.extend(v for v in base_variants if v not in pool)
 
         # 4. Enumeration (Section 6.2).
-        self._emit("phase", phase="enumeration", pool=len(pool))
+        self._emit("phase", phase="enumeration", pool=len(pool),
+                   algorithm=options.algorithm)
         enum_options = EnumerationOptions(
             budget_bytes=options.budget_bytes,
             strategy=options.strategy,
@@ -581,7 +592,7 @@ class TuningAdvisor:
             self.delta.register_universe(
                 self._candidate_universe(pool), self._size_if_known
             )
-        enumerator = Enumerator(
+        search = self._algorithm_cls(
             self.workload,
             self._workload_cost,
             self._index_size,
@@ -590,6 +601,7 @@ class TuningAdvisor:
             batch_cost=self._batch_workload_cost,
             delta=self.delta,
             progress=self.progress,
+            query_cost_batch=self._query_cost_batch,
         )
         if self.cost_cache is not None:
             # Resolve the persistent-key context (an O(rows) sample
@@ -601,7 +613,7 @@ class TuningAdvisor:
         # and each greedy sweep fans its candidate costings out.
         with self.engine.session(self._fork,
                                  stale_ok=self._fork_stale_ok):
-            result = enumerator.run(pool, self.base_config)
+            result = search.run(pool, self.base_config)
 
         sizes = {
             ix: self._index_size(ix) for ix in result.configuration
@@ -639,19 +651,120 @@ class TuningAdvisor:
         )
 
 
-#: Named advisor variants used throughout the experiments.
-VARIANTS: dict[str, dict] = {
-    "dta": dict(enable_compression=False, candidate_selection="topk",
-                backtracking=False),
-    "dtac-none": dict(enable_compression=True, candidate_selection="topk",
-                      backtracking=False),
-    "dtac-skyline": dict(enable_compression=True,
-                         candidate_selection="skyline", backtracking=False),
-    "dtac-backtrack": dict(enable_compression=True,
-                           candidate_selection="topk", backtracking=True),
-    "dtac-both": dict(enable_compression=True, candidate_selection="skyline",
-                      backtracking=True),
-}
+@dataclass(frozen=True)
+class VariantSpec:
+    """One named advisor variant: a reviewed bundle of
+    :class:`AdvisorOptions` overrides with a docstring.
+
+    Variants bundle *what the advisor considers* (compression,
+    candidate selection, backtracking); they are orthogonal to
+    ``AdvisorOptions.algorithm``, which picks *how the pool is
+    searched*.
+    """
+
+    name: str
+    options: Mapping[str, object]
+    doc: str = ""
+
+    def advisor_options(self, budget_bytes: float,
+                        **extra) -> AdvisorOptions:
+        """Materialize options for one run: the variant's overrides,
+        with ``extra`` winning on conflict."""
+        return AdvisorOptions(
+            budget_bytes=budget_bytes, **{**dict(self.options), **extra}
+        )
+
+
+_VARIANT_REGISTRY: "dict[str, VariantSpec]" = {}
+
+
+def register_variant(spec: VariantSpec) -> VariantSpec:
+    """Register a named variant; re-registering a name is an error."""
+    if spec.name in _VARIANT_REGISTRY:
+        raise AdvisorError(f"variant {spec.name!r} is already registered")
+    _VARIANT_REGISTRY[spec.name] = spec
+    return spec
+
+
+def variants() -> "tuple[VariantSpec, ...]":
+    """Every registered variant, in registration order."""
+    return tuple(_VARIANT_REGISTRY.values())
+
+
+def variant_names() -> "list[str]":
+    """Registered variant names, sorted."""
+    return sorted(_VARIANT_REGISTRY)
+
+
+def get_variant(name: str) -> VariantSpec:
+    """Resolve a variant name; unknown names fail with the valid set
+    spelled out (the service maps this to a 400)."""
+    try:
+        return _VARIANT_REGISTRY[name]
+    except KeyError:
+        raise AdvisorError(
+            f"unknown variant {name!r}; choose from {variant_names()}"
+        ) from None
+
+
+for _spec in (
+    VariantSpec(
+        "dta",
+        dict(enable_compression=False, candidate_selection="topk",
+             backtracking=False),
+        "Compression-blind baseline (the paper's DTA): top-k candidate "
+        "selection, pure greedy enumeration.",
+    ),
+    VariantSpec(
+        "dtac-none",
+        dict(enable_compression=True, candidate_selection="topk",
+             backtracking=False),
+        "Compression-aware, but with neither skyline selection nor "
+        "backtracking — isolates the candidate-expansion machinery.",
+    ),
+    VariantSpec(
+        "dtac-skyline",
+        dict(enable_compression=True, candidate_selection="skyline",
+             backtracking=False),
+        "Adds skyline candidate selection (Section 6.1): keeps "
+        "slow-but-small candidates top-k would discard.",
+    ),
+    VariantSpec(
+        "dtac-backtrack",
+        dict(enable_compression=True, candidate_selection="topk",
+             backtracking=True),
+        "Adds backtracking enumeration (Figure 8): recovers oversized "
+        "greedy picks by compressing configuration members.",
+    ),
+    VariantSpec(
+        "dtac-both",
+        dict(enable_compression=True, candidate_selection="skyline",
+             backtracking=True),
+        "Skyline selection + backtracking (the paper's full DTAc; the "
+        "default variant).",
+    ),
+):
+    register_variant(_spec)
+del _spec
+
+
+def __getattr__(name: str):
+    """Module-level deprecation shim: the string-keyed ``VARIANTS``
+    dict became the :class:`VariantSpec` registry.  Direct access still
+    works (a fresh name -> overrides mapping is synthesized) but warns;
+    mutations no longer reach the registry — use
+    :func:`register_variant`."""
+    if name == "VARIANTS":
+        warnings.warn(
+            "repro.advisor.advisor.VARIANTS is deprecated; use "
+            "repro.advisor.variants() / get_variant(name) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {spec.name: dict(spec.options) for spec in variants()}
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
 def tune(
@@ -664,14 +777,8 @@ def tune(
     progress: ProgressHook | None = None,
     **extra,
 ) -> AdvisorResult:
-    """One-call tuning with a named variant (see :data:`VARIANTS`)."""
-    if variant not in VARIANTS:
-        raise AdvisorError(
-            f"unknown variant {variant!r}; choose from {sorted(VARIANTS)}"
-        )
-    options = AdvisorOptions(
-        budget_bytes=budget_bytes, **{**VARIANTS[variant], **extra}
-    )
+    """One-call tuning with a named variant (see :func:`variants`)."""
+    options = get_variant(variant).advisor_options(budget_bytes, **extra)
     advisor = TuningAdvisor(
         database, workload, options, estimator=estimator, stats=stats,
         progress=progress,
@@ -692,9 +799,7 @@ def tune_decoupled(
     considering compression, then blindly compress everything selected.
     Reproduces the paper's anecdote that decoupling can even slow a
     workload down as budgets grow (INSERT-intensive cases)."""
-    options = AdvisorOptions(
-        budget_bytes=budget_bytes, **{**VARIANTS["dta"], **extra}
-    )
+    options = get_variant("dta").advisor_options(budget_bytes, **extra)
     advisor = TuningAdvisor(
         database, workload, options, estimator=estimator, stats=stats
     )

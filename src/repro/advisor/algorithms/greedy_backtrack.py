@@ -1,0 +1,334 @@
+"""The paper's search: greedy over the candidate union (Section 6.2)
+with seeded multi-start, per-step backtracking, and a final method
+polish — extracted verbatim from the original ``Enumerator`` so golden
+recommendations stay byte-identical.
+
+Variants (all knobs on :class:`EnumerationOptions`):
+
+* **pure greedy** — add the index with the largest workload-cost drop
+  that still fits the budget (classic DTA).
+* **density greedy** — rank by benefit per byte (DB2-advisor style).
+* **backtracking** — when the best choice is oversized, try to *recover*
+  it by swapping indexes of the tentative configuration to compressed
+  variants until it fits (Figure 8), then compare against the feasible
+  greedy choices as usual.
+* **seeded multi-start** — greedy search is not monotone in the budget:
+  with a large budget the single best first pick can be a huge covering
+  index that strands the search in a poor local optimum. Like the
+  Greedy(m,k) enumeration of the original index-selection work
+  (Chaudhuri & Narasayya, VLDB 1997) that DTA itself uses, we run the
+  greedy loop from each of the top ``seed_fanout`` first choices and
+  keep the cheapest final configuration.
+"""
+
+from __future__ import annotations
+
+from repro.advisor.algorithms.base import (
+    EnumerationResult,
+    SelectionAlgorithm,
+    register,
+)
+from repro.compression.base import CompressionMethod
+from repro.physical.configuration import Configuration
+from repro.physical.index_def import IndexDef
+from repro.storage.index_build import IndexKind
+
+
+@register
+class GreedyBacktrackAlgorithm(SelectionAlgorithm):
+    """Runs the greedy/density/backtracking search."""
+
+    name = "greedy-backtrack"
+    summary = (
+        "Seeded multi-start greedy with compression backtracking and a "
+        "final method polish (the paper's DTA/DTAc search; default)"
+    )
+
+    @classmethod
+    def options_schema(cls) -> dict:
+        return {
+            **super().options_schema(),
+            "strategy": {
+                "type": "string", "default": "greedy",
+                "description": "'greedy' (cost drop) or 'density' "
+                               "(cost drop per byte) step scoring",
+            },
+            "backtracking": {
+                "type": "boolean", "default": False,
+                "description": "recover oversized picks by compressing "
+                               "members until they fit (Figure 8)",
+            },
+            "seed_fanout": {
+                "type": "integer", "default": 3,
+                "description": "distinct first choices to grow full "
+                               "greedy runs from",
+            },
+        }
+
+    def _bound_pruning_safe(self) -> bool:
+        # Only decision-identical under pure-greedy scoring without
+        # backtracking: a pruned candidate can then only ever be
+        # chosen-and-rejected below min_improvement, which leaves the
+        # same search state.
+        return (
+            self.options.strategy == "greedy"
+            and not self.options.backtracking
+        )
+
+    def run(self, pool: list[IndexDef],
+            base_config: Configuration) -> EnumerationResult:
+        """Search for the best configuration reachable from
+        ``base_config`` by adding pool members: seeded multi-start
+        greedy, per-step backtracking, and a final method polish."""
+        self._rebase(base_config)
+        base_cost = self.workload_cost(base_config)
+        starts = self._starting_points(pool, base_config, base_cost)
+        if not starts:
+            return EnumerationResult(
+                configuration=base_config,
+                cost=base_cost,
+                consumed_bytes=self.consumed(base_config),
+                steps=[],
+            )
+        best: EnumerationResult | None = None
+        for cost, config, label in starts:
+            steps = [f"{label}: {base_cost:.1f} -> {cost:.1f}"]
+            self._emit_step("seed", steps[0], cost)
+            self._rebase(config)
+            result = self._greedy_loop(pool, config, cost, steps)
+            if best is None or result.cost < best.cost:
+                best = result
+        return self._polish(best)
+
+    def _starting_points(
+        self,
+        pool: list[IndexDef],
+        base: Configuration,
+        base_cost: float,
+    ) -> list[tuple[float, Configuration, str]]:
+        """Top ``seed_fanout`` feasible first moves (by score), plus a
+        backtrack-recovery of the best oversized move when enabled."""
+        moves = []
+        for ix in pool:
+            if ix in base:
+                continue
+            candidate = base.add(ix)
+            if candidate == base:
+                continue
+            moves.append((ix, candidate))
+        # Zero-delta certificates only: bound pruning could drop a
+        # tiny-improvement move that the full path would still seed a
+        # greedy start from when fewer than ``seed_fanout`` moves score.
+        costs = self._candidate_costs(
+            [candidate for _ix, candidate in moves], None
+        )
+        scored: list[tuple[float, float, Configuration, str]] = []
+        best_any = None  # (delta_cost, config)
+        for (ix, candidate), cost in zip(moves, costs):
+            if cost is None:
+                continue
+            delta_cost = base_cost - cost
+            if delta_cost <= 0:
+                continue
+            delta_size = self.consumed(candidate) - self.consumed(base)
+            if self.fits(candidate):
+                scored.append((
+                    self._score(delta_cost, delta_size),
+                    cost,
+                    candidate,
+                    f"add {ix.display_name()}",
+                ))
+            if best_any is None or delta_cost > best_any[0]:
+                best_any = (delta_cost, candidate)
+        scored.sort(key=lambda entry: -entry[0])
+        fanout = max(1, self.options.seed_fanout)
+        starts = [
+            (cost, config, label)
+            for _score, cost, config, label in scored[:fanout]
+        ]
+        if (
+            self.options.backtracking
+            and best_any is not None
+            and not self.fits(best_any[1])
+        ):
+            recovered = self._backtrack(best_any[1])
+            if recovered is not None:
+                rec_cost = self.workload_cost(recovered)
+                if rec_cost < base_cost:
+                    starts.append((rec_cost, recovered, "backtrack-recover"))
+        return starts
+
+    def _greedy_loop(
+        self,
+        pool: list[IndexDef],
+        current: Configuration,
+        current_cost: float,
+        steps: list[str],
+    ) -> EnumerationResult:
+        options = self.options
+        for _step in range(options.max_steps):
+            best_feasible = None  # (score, cost, config, label)
+            best_any = None       # (delta_cost, cost, config, index)
+            moves = []
+            for ix in pool:
+                if ix in current:
+                    continue
+                candidate = current.add(ix)
+                if candidate == current:
+                    continue
+                moves.append((ix, candidate))
+            # A cancellation point even when no step gets accepted:
+            # every candidate sweep reports in before costing.
+            self._emit("sweep", candidates=len(moves), cost=current_cost)
+            threshold = None
+            if self._prune_bounds:
+                # Half the acceptance threshold: the slack covers float
+                # accumulation differences between the optimistic bound
+                # and the full path's total, so a pruned move could at
+                # most be chosen-and-rejected below min_improvement.
+                threshold = 0.5 * options.min_improvement * max(
+                    current_cost, 1e-9
+                )
+            costs = self._candidate_costs(
+                [candidate for _ix, candidate in moves], threshold
+            )
+            for (ix, candidate), cost in zip(moves, costs):
+                if cost is None:
+                    continue
+                delta_cost = current_cost - cost
+                if delta_cost <= 0:
+                    continue
+                delta_size = self.consumed(candidate) - self.consumed(current)
+                if self.fits(candidate):
+                    score = self._score(delta_cost, delta_size)
+                    if best_feasible is None or score > best_feasible[0]:
+                        best_feasible = (
+                            score, cost, candidate, ix.display_name()
+                        )
+                if best_any is None or delta_cost > best_any[0]:
+                    best_any = (delta_cost, cost, candidate, ix)
+
+            chosen = None
+            if best_feasible is not None:
+                chosen = (best_feasible[1], best_feasible[2],
+                          f"add {best_feasible[3]}")
+
+            if (
+                options.backtracking
+                and best_any is not None
+                and not self.fits(best_any[2])
+            ):
+                recovered = self._backtrack(best_any[2])
+                if recovered is not None:
+                    rec_cost = self.workload_cost(recovered)
+                    if (
+                        rec_cost < current_cost
+                        and (chosen is None or rec_cost < chosen[0])
+                    ):
+                        chosen = (rec_cost, recovered, "backtrack-recover")
+
+            if chosen is None:
+                break
+            new_cost, new_config, label = chosen
+            if (current_cost - new_cost) < options.min_improvement * max(
+                current_cost, 1e-9
+            ):
+                break
+            steps.append(f"{label}: {current_cost:.1f} -> {new_cost:.1f}")
+            self._emit_step("greedy", steps[-1], new_cost)
+            current, current_cost = new_config, new_cost
+            self._rebase(current)
+
+        return EnumerationResult(
+            configuration=current,
+            cost=current_cost,
+            consumed_bytes=self.consumed(current),
+            steps=steps,
+        )
+
+    # ------------------------------------------------------------------
+    def _polish(self, result: EnumerationResult) -> EnumerationResult:
+        """Final hill-climb over per-structure compression methods.
+
+        Generalizes the backtracking swap of Figure 8 to the finished
+        configuration and to *both* directions: compress a structure when
+        the I/O savings beat the CPU overhead, decompress one when they
+        do not.  Accepts any single method swap that lowers the workload
+        cost while staying within budget, to a fixpoint.  Because the
+        what-if cost is (near-)additive per structure, this reaches the
+        per-structure best method without an exponential search.
+        """
+        config, cost = result.configuration, result.cost
+        self._rebase(config)
+        if self.options.allow_compression:
+            methods = (CompressionMethod.NONE, CompressionMethod.ROW,
+                       CompressionMethod.PAGE)
+        else:
+            methods = (CompressionMethod.NONE,)
+        for _round in range(len(list(config)) * len(methods) + 1):
+            best_swap = None  # (cost, config, label)
+            swaps = []
+            for ix in config.ordered():
+                for method in methods:
+                    if method is ix.method:
+                        continue
+                    swapped = config.replace(ix, ix.with_method(method))
+                    if not self.fits(swapped):
+                        continue
+                    swaps.append((ix, method, swapped))
+            swap_costs = self.batch_cost(
+                [swapped for _ix, _m, swapped in swaps]
+            )
+            for (ix, method, swapped), swap_cost in zip(swaps, swap_costs):
+                if swap_cost < cost - 1e-9 and (
+                    best_swap is None or swap_cost < best_swap[0]
+                ):
+                    best_swap = (
+                        swap_cost,
+                        swapped,
+                        f"polish {ix.display_name()} -> {method.name}",
+                    )
+            if best_swap is None:
+                break
+            cost, config = best_swap[0], best_swap[1]
+            self._rebase(config)
+            result.steps.append(f"{best_swap[2]}: -> {cost:.1f}")
+            self._emit_step("polish", result.steps[-1], cost)
+        return EnumerationResult(
+            configuration=config,
+            cost=cost,
+            consumed_bytes=self.consumed(config),
+            steps=result.steps,
+        )
+
+    # ------------------------------------------------------------------
+    def _backtrack(self, oversized: Configuration) -> Configuration | None:
+        """Figure 8: repeatedly swap members to compressed variants,
+        choosing at each round the swap that performs fastest while
+        shrinking, until the configuration fits (or no swap helps)."""
+        config = oversized
+        for _round in range(len(list(config)) + 1):
+            if self.fits(config):
+                return config
+            best = None  # (cost, config)
+            swaps = []
+            for ix in config.ordered():
+                if ix.is_compressed:
+                    continue
+                if ix.kind not in (IndexKind.SECONDARY, IndexKind.CLUSTERED,
+                                   IndexKind.HEAP):
+                    continue
+                for method in (CompressionMethod.ROW, CompressionMethod.PAGE):
+                    variant = ix.with_method(method)
+                    swapped = config.replace(ix, variant)
+                    if self.consumed(swapped) >= self.consumed(config):
+                        continue
+                    swaps.append(swapped)
+            swap_costs = self.batch_cost(swaps)
+            for swapped, swap_cost in zip(swaps, swap_costs):
+                if best is None or swap_cost < best[0]:
+                    best = (swap_cost, swapped)
+            if best is None:
+                return None
+            config = best[1]
+        return config if self.fits(config) else None

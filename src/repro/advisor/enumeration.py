@@ -1,451 +1,28 @@
-"""Enumeration: greedy search over the union of candidates (Section 6.2).
+"""Back-compat shim: the enumeration search now lives in the pluggable
+:mod:`repro.advisor.algorithms` package.
 
-Variants:
-
-* **pure greedy** — add the index with the largest workload-cost drop
-  that still fits the budget (classic DTA).
-* **density greedy** — rank by benefit per byte (DB2-advisor style).
-* **backtracking** — when the best choice is oversized, try to *recover*
-  it by swapping indexes of the tentative configuration to compressed
-  variants until it fits (Figure 8), then compare against the feasible
-  greedy choices as usual.
-* **seeded multi-start** — greedy search is not monotone in the budget:
-  with a large budget the single best first pick can be a huge covering
-  index that strands the search in a poor local optimum. Like the
-  Greedy(m,k) enumeration of the original index-selection work
-  (Chaudhuri & Narasayya, VLDB 1997) that DTA itself uses, we run the
-  greedy loop from each of the top ``seed_fanout`` first choices and
-  keep the cheapest final configuration.
-
-Storage accounting: secondary/MV indexes consume their full size; a base
-structure (heap or clustered index) consumes the *difference* to the
-table's original base — compressing a table's heap frees budget, which is
-how DTAc can recommend indexes even at a 0% budget (Appendix D.2).
+``Enumerator`` — the greedy/density/backtracking search of Section
+6.2 — became :class:`~repro.advisor.algorithms.GreedyBacktrackAlgorithm`
+(byte-identical behavior; the golden canaries pin it).  The shared
+dataclasses and hooks moved to :mod:`repro.advisor.algorithms.base`.
+Existing imports keep working through this module.
 """
 
-from __future__ import annotations
+from repro.advisor.algorithms.base import (
+    BatchCost,
+    EnumerationOptions,
+    EnumerationResult,
+)
+from repro.advisor.algorithms.greedy_backtrack import GreedyBacktrackAlgorithm
 
-import math
-from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+#: Historical name of the default search, kept importable for callers
+#: (and pickles) that predate the algorithm registry.
+Enumerator = GreedyBacktrackAlgorithm
 
-from repro.compression.base import CompressionMethod
-from repro.errors import AdvisorError
-from repro.physical.configuration import Configuration
-from repro.physical.index_def import IndexDef
-from repro.storage.index_build import IndexKind
-from repro.workload.query import Workload
-
-#: Batched costing hook: all of one sweep's candidate configurations at
-#: once, returning their workload costs in input order.  The advisor
-#: wires the parallel engine in here; the default recomputes through the
-#: per-configuration callable, so both paths see identical floats.
-BatchCost = Callable[[Sequence[Configuration]], "list[float]"]
-
-
-@dataclass(frozen=True)
-class EnumerationOptions:
-    """Search knobs.
-
-    Attributes:
-        budget_bytes: storage budget for additional structures.
-        strategy: 'greedy' or 'density'.
-        backtracking: enable the oversized-choice recovery phase.
-        max_steps: hard cap on greedy iterations.
-        min_improvement: stop when the relative cost drop falls below it.
-        seed_fanout: number of distinct first choices to grow a full
-            greedy run from; the best final configuration wins.
-        allow_compression: whether method-swap phases (backtracking,
-            final polish) may introduce compressed variants; False for
-            the compression-blind DTA baseline.
-    """
-
-    budget_bytes: float
-    strategy: str = "greedy"
-    backtracking: bool = False
-    max_steps: int = 60
-    min_improvement: float = 1e-4
-    seed_fanout: int = 3
-    allow_compression: bool = True
-
-
-@dataclass
-class EnumerationResult:
-    """Final configuration of one enumeration run with its cost,
-    storage consumption, and a human-readable step log."""
-    configuration: Configuration
-    cost: float
-    consumed_bytes: float
-    steps: list[str] = field(default_factory=list)
-
-
-class Enumerator:
-    """Runs the greedy/density/backtracking search."""
-
-    def __init__(
-        self,
-        workload: Workload,
-        workload_cost: Callable[[Configuration], float],
-        index_size: Callable[[IndexDef], float],
-        original_base_sizes: Mapping[str, float],
-        options: EnumerationOptions,
-        batch_cost: BatchCost | None = None,
-        delta: "object | None" = None,
-        progress: "Callable[[dict], None] | None" = None,
-    ) -> None:
-        self.workload = workload
-        self.workload_cost = workload_cost
-        self.index_size = index_size
-        self.original_base_sizes = dict(original_base_sizes)
-        self.options = options
-        #: observational hook: one event per accepted search step (and
-        #: one per candidate sweep), emitted in the parent process.  It
-        #: may raise to abort the search — the tuning service cancels
-        #: running jobs through exactly this path — but must never
-        #: change a result.
-        self.progress = progress
-        self._step_seq = 0
-        self.batch_cost = batch_cost or (
-            lambda configs: [self.workload_cost(c) for c in configs]
-        )
-        #: optional DeltaWorkloadCoster: candidate pruning + reference
-        #: rebasing.  Bound-based pruning is only decision-identical to
-        #: the full path under pure-greedy scoring without backtracking
-        #: (a pruned candidate can then only ever be chosen-and-rejected
-        #: below min_improvement, which leaves the same search state);
-        #: zero-delta certificates are exact under every strategy.
-        self.delta = delta
-        self._prune_bounds = (
-            delta is not None
-            and options.strategy == "greedy"
-            and not options.backtracking
-        )
-
-    # ------------------------------------------------------------------
-    def consumed(self, config: Configuration) -> float:
-        """Budget bytes a configuration consumes: secondary/MV indexes in
-        full; base structures as the delta against the original base
-        (compressing a heap *frees* budget)."""
-        terms = []
-        for ix in config:
-            if ix.kind is IndexKind.SECONDARY or ix.is_mv_index:
-                terms.append(self.index_size(ix))
-            else:
-                original = self.original_base_sizes.get(ix.table)
-                if original is None:
-                    raise AdvisorError(
-                        f"no original base size for table {ix.table!r}"
-                    )
-                terms.append(self.index_size(ix) - original)
-        # fsum: exact, hence independent of set iteration order — the
-        # budget boundary must not wobble with PYTHONHASHSEED.
-        return math.fsum(terms)
-
-    def fits(self, config: Configuration) -> bool:
-        """Whether a configuration stays within the storage budget."""
-        return self.consumed(config) <= self.options.budget_bytes + 1e-6
-
-    # ------------------------------------------------------------------
-    def _emit(self, event: str, **fields) -> None:
-        if self.progress is not None:
-            self.progress({"event": event, **fields})
-
-    def _emit_step(self, kind: str, step: str, cost: float) -> None:
-        """One accepted search step (greedy add, backtrack recovery,
-        polish swap, or a seeded start).  ``step_seq`` counts accepted
-        steps across every seeded start (the job layer's ``seq`` is the
-        event-log position, a different series), so the stream carries
-        at least one event per greedy step of the winning start."""
-        self._step_seq += 1
-        self._emit("greedy_step", kind=kind, step=step, cost=cost,
-                   step_seq=self._step_seq)
-
-    def _score(self, delta_cost: float, delta_size: float) -> float:
-        if self.options.strategy == "density":
-            return delta_cost / max(delta_size, 8192.0)
-        return delta_cost
-
-    def _rebase(self, config: Configuration) -> None:
-        if self.delta is not None:
-            self.delta.rebase(config)
-
-    def _candidate_costs(
-        self,
-        candidates: Sequence[Configuration],
-        threshold: float | None,
-    ) -> "list[float | None]":
-        """Costs of a candidate sweep, with None for candidates the
-        delta coster proves cannot improve on the reference — the full
-        path would compute ``delta_cost <= 0`` (zero-delta certificate)
-        or an improvement below the acceptance threshold (bound prune),
-        and skip them identically."""
-        if self.delta is None:
-            return list(self.batch_cost(candidates))
-        decisions = [
-            self.delta.improvement_possible(candidate, threshold)
-            for candidate in candidates
-        ]
-        survivors = [
-            candidate
-            for candidate, keep in zip(candidates, decisions) if keep
-        ]
-        costs = iter(self.batch_cost(survivors))
-        return [next(costs) if keep else None for keep in decisions]
-
-    def run(self, pool: list[IndexDef],
-            base_config: Configuration) -> EnumerationResult:
-        """Search for the best configuration reachable from
-        ``base_config`` by adding pool members: seeded multi-start
-        greedy, per-step backtracking, and a final method polish."""
-        self._rebase(base_config)
-        base_cost = self.workload_cost(base_config)
-        starts = self._starting_points(pool, base_config, base_cost)
-        if not starts:
-            return EnumerationResult(
-                configuration=base_config,
-                cost=base_cost,
-                consumed_bytes=self.consumed(base_config),
-                steps=[],
-            )
-        best: EnumerationResult | None = None
-        for cost, config, label in starts:
-            steps = [f"{label}: {base_cost:.1f} -> {cost:.1f}"]
-            self._emit_step("seed", steps[0], cost)
-            self._rebase(config)
-            result = self._greedy_loop(pool, config, cost, steps)
-            if best is None or result.cost < best.cost:
-                best = result
-        return self._polish(best)
-
-    def _starting_points(
-        self,
-        pool: list[IndexDef],
-        base: Configuration,
-        base_cost: float,
-    ) -> list[tuple[float, Configuration, str]]:
-        """Top ``seed_fanout`` feasible first moves (by score), plus a
-        backtrack-recovery of the best oversized move when enabled."""
-        moves = []
-        for ix in pool:
-            if ix in base:
-                continue
-            candidate = base.add(ix)
-            if candidate == base:
-                continue
-            moves.append((ix, candidate))
-        # Zero-delta certificates only: bound pruning could drop a
-        # tiny-improvement move that the full path would still seed a
-        # greedy start from when fewer than ``seed_fanout`` moves score.
-        costs = self._candidate_costs(
-            [candidate for _ix, candidate in moves], None
-        )
-        scored: list[tuple[float, float, Configuration, str]] = []
-        best_any = None  # (delta_cost, config)
-        for (ix, candidate), cost in zip(moves, costs):
-            if cost is None:
-                continue
-            delta_cost = base_cost - cost
-            if delta_cost <= 0:
-                continue
-            delta_size = self.consumed(candidate) - self.consumed(base)
-            if self.fits(candidate):
-                scored.append((
-                    self._score(delta_cost, delta_size),
-                    cost,
-                    candidate,
-                    f"add {ix.display_name()}",
-                ))
-            if best_any is None or delta_cost > best_any[0]:
-                best_any = (delta_cost, candidate)
-        scored.sort(key=lambda entry: -entry[0])
-        fanout = max(1, self.options.seed_fanout)
-        starts = [
-            (cost, config, label)
-            for _score, cost, config, label in scored[:fanout]
-        ]
-        if (
-            self.options.backtracking
-            and best_any is not None
-            and not self.fits(best_any[1])
-        ):
-            recovered = self._backtrack(best_any[1])
-            if recovered is not None:
-                rec_cost = self.workload_cost(recovered)
-                if rec_cost < base_cost:
-                    starts.append((rec_cost, recovered, "backtrack-recover"))
-        return starts
-
-    def _greedy_loop(
-        self,
-        pool: list[IndexDef],
-        current: Configuration,
-        current_cost: float,
-        steps: list[str],
-    ) -> EnumerationResult:
-        options = self.options
-        for _step in range(options.max_steps):
-            best_feasible = None  # (score, cost, config, label)
-            best_any = None       # (delta_cost, cost, config, index)
-            moves = []
-            for ix in pool:
-                if ix in current:
-                    continue
-                candidate = current.add(ix)
-                if candidate == current:
-                    continue
-                moves.append((ix, candidate))
-            # A cancellation point even when no step gets accepted:
-            # every candidate sweep reports in before costing.
-            self._emit("sweep", candidates=len(moves), cost=current_cost)
-            threshold = None
-            if self._prune_bounds:
-                # Half the acceptance threshold: the slack covers float
-                # accumulation differences between the optimistic bound
-                # and the full path's total, so a pruned move could at
-                # most be chosen-and-rejected below min_improvement.
-                threshold = 0.5 * options.min_improvement * max(
-                    current_cost, 1e-9
-                )
-            costs = self._candidate_costs(
-                [candidate for _ix, candidate in moves], threshold
-            )
-            for (ix, candidate), cost in zip(moves, costs):
-                if cost is None:
-                    continue
-                delta_cost = current_cost - cost
-                if delta_cost <= 0:
-                    continue
-                delta_size = self.consumed(candidate) - self.consumed(current)
-                if self.fits(candidate):
-                    score = self._score(delta_cost, delta_size)
-                    if best_feasible is None or score > best_feasible[0]:
-                        best_feasible = (
-                            score, cost, candidate, ix.display_name()
-                        )
-                if best_any is None or delta_cost > best_any[0]:
-                    best_any = (delta_cost, cost, candidate, ix)
-
-            chosen = None
-            if best_feasible is not None:
-                chosen = (best_feasible[1], best_feasible[2],
-                          f"add {best_feasible[3]}")
-
-            if (
-                options.backtracking
-                and best_any is not None
-                and not self.fits(best_any[2])
-            ):
-                recovered = self._backtrack(best_any[2])
-                if recovered is not None:
-                    rec_cost = self.workload_cost(recovered)
-                    if (
-                        rec_cost < current_cost
-                        and (chosen is None or rec_cost < chosen[0])
-                    ):
-                        chosen = (rec_cost, recovered, "backtrack-recover")
-
-            if chosen is None:
-                break
-            new_cost, new_config, label = chosen
-            if (current_cost - new_cost) < options.min_improvement * max(
-                current_cost, 1e-9
-            ):
-                break
-            steps.append(f"{label}: {current_cost:.1f} -> {new_cost:.1f}")
-            self._emit_step("greedy", steps[-1], new_cost)
-            current, current_cost = new_config, new_cost
-            self._rebase(current)
-
-        return EnumerationResult(
-            configuration=current,
-            cost=current_cost,
-            consumed_bytes=self.consumed(current),
-            steps=steps,
-        )
-
-    # ------------------------------------------------------------------
-    def _polish(self, result: EnumerationResult) -> EnumerationResult:
-        """Final hill-climb over per-structure compression methods.
-
-        Generalizes the backtracking swap of Figure 8 to the finished
-        configuration and to *both* directions: compress a structure when
-        the I/O savings beat the CPU overhead, decompress one when they
-        do not.  Accepts any single method swap that lowers the workload
-        cost while staying within budget, to a fixpoint.  Because the
-        what-if cost is (near-)additive per structure, this reaches the
-        per-structure best method without an exponential search.
-        """
-        config, cost = result.configuration, result.cost
-        self._rebase(config)
-        if self.options.allow_compression:
-            methods = (CompressionMethod.NONE, CompressionMethod.ROW,
-                       CompressionMethod.PAGE)
-        else:
-            methods = (CompressionMethod.NONE,)
-        for _round in range(len(list(config)) * len(methods) + 1):
-            best_swap = None  # (cost, config, label)
-            swaps = []
-            for ix in config.ordered():
-                for method in methods:
-                    if method is ix.method:
-                        continue
-                    swapped = config.replace(ix, ix.with_method(method))
-                    if not self.fits(swapped):
-                        continue
-                    swaps.append((ix, method, swapped))
-            swap_costs = self.batch_cost(
-                [swapped for _ix, _m, swapped in swaps]
-            )
-            for (ix, method, swapped), swap_cost in zip(swaps, swap_costs):
-                if swap_cost < cost - 1e-9 and (
-                    best_swap is None or swap_cost < best_swap[0]
-                ):
-                    best_swap = (
-                        swap_cost,
-                        swapped,
-                        f"polish {ix.display_name()} -> {method.name}",
-                    )
-            if best_swap is None:
-                break
-            cost, config = best_swap[0], best_swap[1]
-            self._rebase(config)
-            result.steps.append(f"{best_swap[2]}: -> {cost:.1f}")
-            self._emit_step("polish", result.steps[-1], cost)
-        return EnumerationResult(
-            configuration=config,
-            cost=cost,
-            consumed_bytes=self.consumed(config),
-            steps=result.steps,
-        )
-
-    # ------------------------------------------------------------------
-    def _backtrack(self, oversized: Configuration) -> Configuration | None:
-        """Figure 8: repeatedly swap members to compressed variants,
-        choosing at each round the swap that performs fastest while
-        shrinking, until the configuration fits (or no swap helps)."""
-        config = oversized
-        for _round in range(len(list(config)) + 1):
-            if self.fits(config):
-                return config
-            best = None  # (cost, config)
-            swaps = []
-            for ix in config.ordered():
-                if ix.is_compressed:
-                    continue
-                if ix.kind not in (IndexKind.SECONDARY, IndexKind.CLUSTERED,
-                                   IndexKind.HEAP):
-                    continue
-                for method in (CompressionMethod.ROW, CompressionMethod.PAGE):
-                    variant = ix.with_method(method)
-                    swapped = config.replace(ix, variant)
-                    if self.consumed(swapped) >= self.consumed(config):
-                        continue
-                    swaps.append(swapped)
-            swap_costs = self.batch_cost(swaps)
-            for swapped, swap_cost in zip(swaps, swap_costs):
-                if best is None or swap_cost < best[0]:
-                    best = (swap_cost, swapped)
-            if best is None:
-                return None
-            config = best[1]
-        return config if self.fits(config) else None
+__all__ = [
+    "BatchCost",
+    "EnumerationOptions",
+    "EnumerationResult",
+    "Enumerator",
+    "GreedyBacktrackAlgorithm",
+]

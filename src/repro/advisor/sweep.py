@@ -48,11 +48,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.advisor import algorithms
 from repro.advisor.advisor import (
-    AdvisorOptions,
     AdvisorResult,
     TuningAdvisor,
-    VARIANTS,
+    get_variant,
 )
 from repro.catalog.schema import Database
 from repro.errors import AdvisorError
@@ -189,9 +189,8 @@ class _SweepJob:
         ``progress`` (parent-side sequential execution only — workers
         never carry a hook) forwards the unit's advisor events."""
         seed, budget = self.units[index]
-        options = AdvisorOptions(
-            budget_bytes=budget,
-            **{**VARIANTS[self.variant], **self.options_extra},
+        options = get_variant(self.variant).advisor_options(
+            budget, **self.options_extra
         )
         estimator = SizeEstimator(
             self.database,
@@ -247,7 +246,7 @@ def run_sweep(
             (seed, budget).
         seeds: sampling seeds to ablate over (default: the estimator's
             standard seed, i.e. a plain budget sweep).
-        variant: advisor variant name (see :data:`VARIANTS`).
+        variant: advisor variant name (see :func:`repro.advisor.variants`).
         workers: pool size for run-level sharding (0 = one per CPU,
             1 = sequential); results are identical at any value.
         cache_dir: directory for the persistent size-estimate and
@@ -268,10 +267,8 @@ def run_sweep(
     Returns:
         A :class:`SweepResult`, runs ordered seeds-outer budgets-inner.
     """
-    if variant not in VARIANTS:
-        raise AdvisorError(
-            f"unknown variant {variant!r}; choose from {sorted(VARIANTS)}"
-        )
+    get_variant(variant)
+    algorithms.get(options_extra.get("algorithm", algorithms.DEFAULT_ALGORITHM))
     for reserved in ("workers", "cache_dir", "budget_bytes"):
         if reserved in options_extra:
             raise AdvisorError(

@@ -24,7 +24,7 @@ import argparse
 import importlib
 import sys
 
-from repro.advisor import VARIANTS, run_sweep, tune
+from repro.advisor import algorithms, run_sweep, tune, variant_names, variants
 from repro.datasets import (
     sales_database,
     sales_workload,
@@ -51,13 +51,15 @@ def cmd_tune(args) -> int:
     db, wl = _make_dataset(args)
     budget = db.total_data_bytes() * args.budget
     result = tune(db, wl, budget, variant=args.variant,
+                  algorithm=args.algorithm,
                   enable_partial=args.all_features,
                   enable_mv=args.all_features,
                   workers=args.workers,
                   cache_dir=args.cache_dir,
                   delta_costing=not args.full_recost)
     print(f"database {db.name}: {db.total_data_bytes() / 1024:.0f} KiB raw")
-    print(f"variant {args.variant}, budget {budget / 1024:.0f} KiB")
+    print(f"variant {args.variant}, algorithm {args.algorithm}, "
+          f"budget {budget / 1024:.0f} KiB")
     print(f"improvement {result.improvement_pct:.1f}% "
           f"({result.base_cost:.0f} -> {result.final_cost:.0f}), "
           f"consumed {result.consumed_bytes / 1024:.0f} KiB, "
@@ -85,6 +87,7 @@ def cmd_sweep(args) -> int:
         variant=args.variant,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        algorithm=args.algorithm,
         enable_partial=args.all_features,
         enable_mv=args.all_features,
         delta_costing=not args.full_recost,
@@ -145,6 +148,31 @@ def cmd_estimate(args) -> int:
     for ix, est in estimates.items():
         print(f"{ix.display_name():55s} {est.source:9s} "
               f"{est.est_bytes / 1024:8.0f} KiB  cost={est.cost:.0f}")
+    return 0
+
+
+def cmd_algorithms(args) -> int:
+    """Print the selection-algorithm registry (and the variant
+    registry it composes with)."""
+    print("selection algorithms (--algorithm):")
+    for name, cls in sorted(algorithms.registered().items()):
+        marker = "*" if name == algorithms.DEFAULT_ALGORITHM else " "
+        print(f"  {marker} {name:18s} {cls.summary}")
+        if args.verbose:
+            for opt, schema in sorted(cls.options_schema().items()):
+                default = schema.get("default")
+                suffix = f" (default {default!r})" if default is not None \
+                    else ""
+                print(f"        {opt:22s} {schema.get('type', '?'):8s} "
+                      f"{schema.get('description', '')}{suffix}")
+    print()
+    print("advisor variants (--variant):")
+    for spec in variants():
+        marker = "*" if spec.name == "dtac-both" else " "
+        print(f"  {marker} {spec.name:18s} {spec.doc}")
+    print()
+    print("* = default; variants pick what the advisor considers, "
+          "algorithms pick how the pool is searched.")
     return 0
 
 
@@ -241,6 +269,10 @@ def cmd_jobs(args) -> int:
                 seq = event.get("step_seq", event["seq"])
                 print(f"  step {seq:3d} [{event['kind']}] "
                       f"{event['step']}")
+            elif event["event"] == "best_so_far":
+                print(f"  best #{event['improvement_seq']:<3d} "
+                      f"cost {event['cost']:.1f}  "
+                      f"{len(event['configuration'])} structures")
             elif event["event"] == "state":
                 print(f"  state -> {event['state']}")
             elif event["event"] == "phase":
@@ -261,6 +293,8 @@ def cmd_jobs(args) -> int:
                 if args.kind == "sweep":
                     payload = dict(budget_fractions=args.budgets,
                                    variant=args.variant)
+                if args.algorithm is not None:
+                    payload["options"] = {"algorithm": args.algorithm}
                 if args.seed is not None:
                     payload["seed"] = args.seed
                 job = await client.submit_job(
@@ -381,8 +415,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_dataset_args(p_tune)
     p_tune.add_argument("--budget", type=float, default=0.2,
                         help="storage budget as a fraction of raw data")
-    p_tune.add_argument("--variant", choices=sorted(VARIANTS),
+    p_tune.add_argument("--variant", choices=variant_names(),
                         default="dtac-both")
+    p_tune.add_argument("--algorithm", choices=algorithms.names(),
+                        default=algorithms.DEFAULT_ALGORITHM,
+                        help="selection algorithm over the candidate "
+                             "pool (see 'repro algorithms')")
     p_tune.add_argument("--all-features", action="store_true",
                         help="enable partial indexes and MVs")
     p_tune.set_defaults(fn=cmd_tune)
@@ -400,11 +438,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--seeds", type=_seed_list, default=None,
                          help="comma-separated sampling seeds to ablate "
                               "over (default: the standard seed)")
-    p_sweep.add_argument("--variant", choices=sorted(VARIANTS),
+    p_sweep.add_argument("--variant", choices=variant_names(),
                          default="dtac-both")
+    p_sweep.add_argument("--algorithm", choices=algorithms.names(),
+                         default=algorithms.DEFAULT_ALGORITHM,
+                         help="selection algorithm for every unit")
     p_sweep.add_argument("--all-features", action="store_true",
                          help="enable partial indexes and MVs")
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_alg = sub.add_parser(
+        "algorithms",
+        help="print the selection-algorithm and variant registries",
+    )
+    p_alg.add_argument("--verbose", action="store_true",
+                       help="include each algorithm's option schema")
+    p_alg.set_defaults(fn=cmd_algorithms)
 
     p_est = sub.add_parser("estimate",
                            help="demo the size-estimation framework")
@@ -425,7 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_dataset_args(p_val)
     p_val.add_argument("--budget", type=float, default=0.2)
-    p_val.add_argument("--variant", choices=sorted(VARIANTS),
+    p_val.add_argument("--variant", choices=variant_names(),
                        default="dtac-both")
     p_val.set_defaults(fn=cmd_validate)
 
@@ -480,8 +529,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_jobs.add_argument("--budgets", type=_fraction_list,
                         default=[0.1, 0.2, 0.3],
                         help="sweep-job budget fractions")
-    p_jobs.add_argument("--variant", choices=sorted(VARIANTS),
+    p_jobs.add_argument("--variant", choices=variant_names(),
                         default="dtac-both")
+    p_jobs.add_argument("--algorithm", choices=algorithms.names(),
+                        default=None,
+                        help="selection algorithm for the submitted "
+                             "job (server default when omitted)")
     p_jobs.add_argument("--seed", type=int, default=None)
     p_jobs.add_argument("--after", type=int, default=0,
                         help="resume an event stream past this seq")

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.advisor.advisor import AdvisorOptions, TuningAdvisor, VARIANTS
+from repro.advisor.advisor import AdvisorOptions, TuningAdvisor, get_variant, variant_names
 from repro.catalog.schema import Database
 from repro.errors import AdvisorError
 from repro.experiments.common import ExperimentResult
@@ -35,10 +35,10 @@ def sweep(
         name: result title.
         database/workload: what to tune.
         budget_fractions: budgets as fractions of raw data bytes.
-        variants: advisor variant names (see VARIANTS).
+        variants: advisor variant names (see repro.advisor.variants()).
         enable_partial/enable_mv: the paper's "all features" switch.
     """
-    unknown = [v for v in variants if v not in VARIANTS]
+    unknown = [v for v in variants if v not in variant_names()]
     if unknown:
         raise AdvisorError(f"unknown advisor variants {unknown}")
     stats = DatabaseStats(database)
@@ -57,7 +57,7 @@ def sweep(
                 budget_bytes=budget,
                 enable_partial=enable_partial,
                 enable_mv=enable_mv,
-                **VARIANTS[variant],
+                **dict(get_variant(variant).options),
             )
             advisor = TuningAdvisor(
                 database, workload, options,

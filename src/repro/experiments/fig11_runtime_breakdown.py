@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 
-from repro.advisor.advisor import AdvisorOptions, TuningAdvisor, VARIANTS
+from repro.advisor.advisor import AdvisorOptions, TuningAdvisor, get_variant
 from repro.datasets import tpch_workload
 from repro.experiments.common import EXPERIMENT_SCALE, ExperimentResult, get_tpch
 from repro.sizeest.estimator import SizeEstimator
@@ -42,7 +42,7 @@ def run_once(database, workload, use_deduction: bool,
         budget_bytes=database.total_data_bytes() * budget_fraction,
         enable_partial=True,
         enable_mv=True,
-        **VARIANTS["dtac-both"],
+        **dict(get_variant("dtac-both").options),
     )
     advisor = TuningAdvisor(
         database, workload, options, estimator=estimator, stats=stats

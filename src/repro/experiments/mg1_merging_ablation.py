@@ -10,7 +10,7 @@ promotion) enabled.
 
 from __future__ import annotations
 
-from repro.advisor.advisor import AdvisorOptions, TuningAdvisor, VARIANTS
+from repro.advisor.advisor import AdvisorOptions, TuningAdvisor, get_variant
 from repro.datasets import tpch_workload
 from repro.experiments.common import (
     EXPERIMENT_SCALE,
@@ -50,7 +50,7 @@ def run(scale: float = EXPERIMENT_SCALE) -> ExperimentResult:
         for _name, flags in MODES:
             options = AdvisorOptions(
                 budget_bytes=total * fraction,
-                **{**VARIANTS["dtac-both"], **flags},
+                **{**dict(get_variant("dtac-both").options), **flags},
             )
             advisor = TuningAdvisor(
                 database, workload, options,

@@ -16,7 +16,7 @@ from repro.service.context import (
     parse_index_spec,
     serialize_result,
 )
-from repro.service.http import ServiceHTTPServer, serve
+from repro.service.http import ServiceHTTPServer, describe_algorithms, serve
 from repro.service.jobs import (
     JOB_KINDS,
     JOB_STATES,
@@ -43,6 +43,7 @@ __all__ = [
     "TERMINAL_STATES",
     "WarmSlot",
     "serve",
+    "describe_algorithms",
     "serialize_result",
     "parse_index_spec",
     "index_to_spec",

@@ -175,6 +175,11 @@ class AdvisorClient:
     async def contexts(self) -> dict:
         return await self._request("GET", "/v1/contexts")
 
+    async def algorithms(self) -> dict:
+        """Registered selection algorithms with their option schemas
+        (``GET /v1/algorithms``)."""
+        return await self._request("GET", "/v1/algorithms")
+
     async def tune(self, context: str, **payload) -> dict:
         return await self._post("tune", context, **payload)
 

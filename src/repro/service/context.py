@@ -18,13 +18,14 @@ from __future__ import annotations
 
 import json
 
+from repro.advisor import algorithms
 from repro.advisor.advisor import (
-    AdvisorOptions,
     AdvisorResult,
     TuningAdvisor,
-    VARIANTS,
     default_base_configuration,
+    get_variant,
     quantized_size_lookup,
+    variant_names,
 )
 from repro.advisor.sweep import run_sweep
 from repro.catalog.schema import Database
@@ -49,7 +50,7 @@ _REQUEST_OPTION_FIELDS = frozenset({
     "candidate_selection", "top_k", "strategy", "backtracking",
     "seed_fanout", "min_improvement", "enable_partial", "enable_mv",
     "enable_merging", "compression_aware_merging", "max_key_columns",
-    "skyline_cluster_max", "e", "q", "delta_costing",
+    "skyline_cluster_max", "e", "q", "delta_costing", "algorithm",
 })
 
 
@@ -225,14 +226,26 @@ class ServiceContext:
                 f"unknown advisor options {sorted(unknown)}; allowed: "
                 f"{sorted(_REQUEST_OPTION_FIELDS)}"
             )
+        if "algorithm" in extra:
+            # Validate at submission time: an unknown algorithm must
+            # 400 with the valid set, not 500 out of a running lane.
+            name = extra["algorithm"]
+            if not isinstance(name, str) or name not in algorithms.names():
+                raise ServiceError(
+                    f"unknown algorithm {name!r}; choose from "
+                    f"{algorithms.names()}"
+                )
         return extra
 
     def _variant(self, payload: dict) -> str:
         variant = payload.get("variant", "dtac-both")
-        if variant not in VARIANTS:
+        try:
+            get_variant(variant)
+        except Exception:
             raise ServiceError(
-                f"unknown variant {variant!r}; choose from {sorted(VARIANTS)}"
-            )
+                f"unknown variant {variant!r}; choose from "
+                f"{variant_names()}"
+            ) from None
         return variant
 
     def tune_signature(self, payload: dict) -> str:
@@ -268,9 +281,8 @@ class ServiceContext:
         budget = self._budget_bytes(payload)
         variant = self._variant(payload)
         seed = int(payload.get("seed", DEFAULT_SAMPLE_SEED))
-        options = AdvisorOptions(
-            budget_bytes=budget,
-            **{**VARIANTS[variant], **self._advisor_extra(payload)},
+        options = get_variant(variant).advisor_options(
+            budget, **self._advisor_extra(payload)
         )
         estimator = SizeEstimator(
             self.database,

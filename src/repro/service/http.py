@@ -8,6 +8,8 @@ Routes::
     GET  /healthz                 -> {"ok": true, ...}
     GET  /v1/stats                -> service counters
     GET  /v1/contexts             -> registered context descriptions
+    GET  /v1/algorithms           -> registered selection algorithms
+                                     (+ their option schemas)
     POST /v1/tune                 -> {"context": ..., ...payload}
     POST /v1/sweep                -> (same shape)
     POST /v1/estimate_size        -> (same shape)
@@ -39,11 +41,29 @@ import asyncio
 import json
 from urllib.parse import parse_qs
 
+from repro.advisor import algorithms
 from repro.errors import BackpressureError, JobError, ReproError, ServiceError
 from repro.service.service import AdvisorService
 
 #: maximum accepted request body (tuning payloads are tiny).
 MAX_BODY_BYTES = 1 << 20
+
+
+def describe_algorithms() -> dict:
+    """The ``GET /v1/algorithms`` body: every registered selection
+    algorithm with its summary and option schema, plus the default
+    ``AdvisorOptions.algorithm`` value."""
+    return {
+        "default": algorithms.DEFAULT_ALGORITHM,
+        "algorithms": [
+            {
+                "name": name,
+                "summary": cls.summary,
+                "options": cls.options_schema(),
+            }
+            for name, cls in sorted(algorithms.registered().items())
+        ],
+    }
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 500: "Internal Server Error",
@@ -196,6 +216,8 @@ class ServiceHTTPServer:
                         for _, ctx in sorted(self.service.contexts.items())
                     ]
                 }
+            if path == "/v1/algorithms":
+                return 200, describe_algorithms()
             return 404, {"error": f"no such resource {path!r}"}
         if method != "POST":
             return 405, {"error": f"method {method} not allowed"}

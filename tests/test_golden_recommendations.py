@@ -21,9 +21,8 @@ from pathlib import Path
 import pytest
 
 from repro.advisor.advisor import (
-    AdvisorOptions,
     TuningAdvisor,
-    VARIANTS,
+    get_variant,
     tune,
 )
 from repro.datasets import (
@@ -80,9 +79,8 @@ def run_case(case: GoldenCase) -> str:
         result = tune(db, wl, budget, variant=case.variant, **case.options)
     else:
         stats = DatabaseStats(db)
-        options = AdvisorOptions(
-            budget_bytes=budget,
-            **{**VARIANTS[case.variant], **case.options},
+        options = get_variant(case.variant).advisor_options(
+            budget, **case.options
         )
         estimator = SizeEstimator(
             db, stats=stats,

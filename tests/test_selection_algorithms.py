@@ -1,0 +1,425 @@
+"""The pluggable selection-algorithm framework: registry contract,
+cross-algorithm determinism, budget compliance, and the anytime
+algorithm's ``best_so_far`` cancel-early contract.
+
+Determinism is the load-bearing invariant: every registered algorithm
+must produce byte-identical recommendations run-to-run, across
+PYTHONHASHSEED values, at workers 1 vs 2, and against cold vs warm
+persistent cost caches — the same contract the golden canaries pin for
+the default search, extended to the whole registry.
+"""
+
+import asyncio
+import subprocess
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.advisor import (
+    algorithms,
+    get_variant,
+    variant_names,
+    variants,
+)
+from repro.advisor.advisor import AdvisorOptions, tune
+from repro.advisor.algorithms import (
+    GreedyBacktrackAlgorithm,
+    SelectionAlgorithm,
+)
+from repro.advisor.enumeration import Enumerator
+from repro.advisor.sweep import run_sweep
+from repro.datasets.sales import sales_database, sales_workload
+from repro.errors import AdvisorError, JobCancelled, ServiceError
+from repro.service import AdvisorService, describe_algorithms
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+ALL_ALGORITHMS = algorithms.names()
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    db = sales_database(scale=0.03)
+    wl = sales_workload(db)
+    return db, wl, db.total_data_bytes() * 0.15
+
+
+def _digest(result):
+    return (
+        sorted(ix.display_name() for ix in result.configuration),
+        result.base_cost,
+        result.final_cost,
+        result.consumed_bytes,
+        result.steps,
+    )
+
+
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert ALL_ALGORITHMS == sorted(
+            ["greedy-backtrack", "ibm", "relaxation", "anytime"]
+        )
+        assert algorithms.DEFAULT_ALGORITHM == "greedy-backtrack"
+        assert (
+            AdvisorOptions(budget_bytes=1.0).algorithm
+            == algorithms.DEFAULT_ALGORITHM
+        )
+
+    def test_get_unknown_names_valid_set(self):
+        with pytest.raises(AdvisorError) as err:
+            algorithms.get("simulated-annealing")
+        for name in ALL_ALGORITHMS:
+            assert name in str(err.value)
+
+    def test_tune_rejects_unknown_algorithm_before_any_work(self, inputs):
+        db, wl, budget = inputs
+        with pytest.raises(AdvisorError, match="choose from"):
+            tune(db, wl, budget, algorithm="nope")
+
+    def test_reregistering_name_is_an_error(self):
+        class Impostor(SelectionAlgorithm):
+            name = "greedy-backtrack"
+
+        with pytest.raises(AdvisorError, match="already registered"):
+            algorithms.register(Impostor)
+
+    def test_register_requires_name(self):
+        class Nameless(SelectionAlgorithm):
+            pass
+
+        with pytest.raises(AdvisorError, match="no registry name"):
+            algorithms.register(Nameless)
+
+    def test_enumerator_alias_is_the_default_algorithm(self):
+        assert Enumerator is GreedyBacktrackAlgorithm
+        assert (
+            algorithms.get("greedy-backtrack") is GreedyBacktrackAlgorithm
+        )
+
+    def test_every_algorithm_has_metadata(self):
+        for name, cls in algorithms.registered().items():
+            assert cls.name == name
+            assert cls.summary
+            schema = cls.options_schema()
+            assert "budget_bytes" in schema
+
+
+# ----------------------------------------------------------------------
+class TestDeterminismAndBudget:
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_repeat_runs_identical_and_budget_respected(
+        self, inputs, algorithm
+    ):
+        db, wl, budget = inputs
+        first = tune(db, wl, budget, variant="dtac-both",
+                     algorithm=algorithm)
+        second = tune(db, wl, budget, variant="dtac-both",
+                      algorithm=algorithm)
+        assert _digest(first) == _digest(second)
+        assert first.consumed_bytes <= budget + 1e-6
+        assert first.final_cost <= first.base_cost
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_workers_do_not_move_results(self, inputs, algorithm):
+        db, wl, budget = inputs
+        sequential = tune(db, wl, budget, variant="dtac-both",
+                          algorithm=algorithm, workers=1)
+        parallel = tune(db, wl, budget, variant="dtac-both",
+                        algorithm=algorithm, workers=2)
+        assert _digest(sequential) == _digest(parallel)
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_cold_vs_warm_cost_cache_identical(
+        self, inputs, algorithm, tmp_path
+    ):
+        db, wl, budget = inputs
+        cache_dir = str(tmp_path / algorithm)
+        cold = tune(db, wl, budget, variant="dtac-none",
+                    algorithm=algorithm, cache_dir=cache_dir)
+        warm = tune(db, wl, budget, variant="dtac-none",
+                    algorithm=algorithm, cache_dir=cache_dir)
+        assert _digest(cold) == _digest(warm)
+        # The second run actually hit the persistent cost cache.
+        assert warm.cost_cache_stats.get("hits", 0) > 0
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_delta_costing_does_not_move_results(self, inputs, algorithm):
+        db, wl, budget = inputs
+        on = tune(db, wl, budget, variant="dtac-both",
+                  algorithm=algorithm, delta_costing=True)
+        off = tune(db, wl, budget, variant="dtac-both",
+                   algorithm=algorithm, delta_costing=False)
+        assert _digest(on) == _digest(off)
+
+    @pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+    def test_stable_across_hashseeds(self, algorithm):
+        """Recommendations must not leak set/dict iteration order:
+        identical stdout digests from subprocesses with different
+        PYTHONHASHSEED values."""
+        script = f"""
+from repro.advisor.advisor import tune
+from repro.datasets.sales import sales_database, sales_workload
+
+db = sales_database(scale=0.02)
+wl = sales_workload(db)
+budget = db.total_data_bytes() * 0.15
+result = tune(db, wl, budget, variant="dtac-both",
+              algorithm={algorithm!r})
+names = sorted(ix.display_name() for ix in result.configuration)
+print(repr((names, result.base_cost, result.final_cost,
+            result.consumed_bytes, result.steps)))
+"""
+        a = _run_with_hashseed(script, "5")
+        b = _run_with_hashseed(script, "54321")
+        assert a == b
+
+    def test_explicit_default_equals_implicit_default(self, inputs):
+        """`algorithm="greedy-backtrack"` is exactly the historical
+        path (the golden canaries pin the absolute bytes; this pins
+        the equivalence)."""
+        db, wl, budget = inputs
+        implicit = tune(db, wl, budget, variant="dtac-both")
+        explicit = tune(db, wl, budget, variant="dtac-both",
+                        algorithm="greedy-backtrack")
+        assert _digest(implicit) == _digest(explicit)
+
+
+# ----------------------------------------------------------------------
+class TestVariantRegistry:
+    def test_specs_in_registration_order(self):
+        specs = variants()
+        assert [spec.name for spec in specs] == [
+            "dta", "dtac-none", "dtac-skyline", "dtac-backtrack",
+            "dtac-both",
+        ]
+        for spec in specs:
+            assert spec.doc
+        assert variant_names() == sorted(spec.name for spec in specs)
+
+    def test_get_variant_unknown_names_valid_set(self):
+        with pytest.raises(AdvisorError) as err:
+            get_variant("dtac-everything")
+        assert "dtac-both" in str(err.value)
+
+    def test_advisor_options_extra_wins_on_conflict(self):
+        spec = get_variant("dtac-both")
+        options = spec.advisor_options(123.0, workers=2, algorithm="ibm")
+        assert options.budget_bytes == 123.0
+        assert options.workers == 2
+        assert options.algorithm == "ibm"
+
+    def test_legacy_variants_mapping_warns(self):
+        """``VARIANTS`` survives as a deprecated module attribute
+        synthesizing the old name->options dict from the registry."""
+        from repro.advisor import advisor as advisor_module
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            mapping = advisor_module.VARIANTS
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert set(mapping) == set(variant_names())
+        assert mapping["dtac-both"] == dict(
+            get_variant("dtac-both").options
+        )
+
+    def test_package_level_variants_access_forwards(self):
+        import repro.advisor as advisor_pkg
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            mapping = advisor_pkg.VARIANTS
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert set(mapping) == set(variant_names())
+
+
+def _run_with_hashseed(script: str, hashseed: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC, "PYTHONHASHSEED": hashseed,
+             "PATH": "/usr/bin:/bin"},
+        check=True,
+    )
+    return result.stdout.strip()
+
+
+# ----------------------------------------------------------------------
+class TestSweepIntegration:
+    def test_sweep_threads_algorithm_through_units(self, inputs):
+        db, wl, budget = inputs
+        sweep = run_sweep(db, wl, [budget], algorithm="ibm")
+        direct = tune(db, wl, budget, algorithm="ibm")
+        assert _digest(sweep.runs[0].result) == _digest(direct)
+
+    def test_sweep_rejects_unknown_algorithm_eagerly(self, inputs):
+        db, wl, budget = inputs
+        with pytest.raises(AdvisorError, match="choose from"):
+            run_sweep(db, wl, [budget], algorithm="nope")
+
+
+# ----------------------------------------------------------------------
+class TestAnytimeContract:
+    def test_final_result_equals_last_best_so_far(self, inputs):
+        db, wl, budget = inputs
+        events = []
+        result = tune(db, wl, budget, variant="dtac-none",
+                      algorithm="anytime", progress=events.append)
+        best = [e for e in events if e["event"] == "best_so_far"]
+        assert best, "anytime must publish at least the base config"
+        assert best[0]["step"] == "base"
+        last = best[-1]
+        assert last["configuration"] == sorted(
+            ix.display_name() for ix in result.configuration
+        )
+        assert last["cost"] == result.final_cost
+        assert last["consumed_bytes"] == result.consumed_bytes
+        # Monotone: every published improvement strictly lowers cost.
+        costs = [e["cost"] for e in best]
+        assert all(b < a for a, b in zip(costs, costs[1:]))
+        seqs = [e["improvement_seq"] for e in best]
+        assert seqs == list(range(1, len(best) + 1))
+
+    def test_cancel_early_keeps_best_so_far_prefix(self, inputs):
+        """Cancelling after the k-th best_so_far event: the run unwinds
+        through JobCancelled and the events already emitted are exactly
+        the full run's first k — the client's keepable result."""
+        db, wl, budget = inputs
+        full = []
+        tune(db, wl, budget, variant="dtac-none",
+             algorithm="anytime", progress=full.append)
+        best_full = [e for e in full if e["event"] == "best_so_far"]
+        assert len(best_full) >= 2, "need an improvement to cancel after"
+        k = 2
+        seen = []
+
+        def hook(event):
+            seen.append(event)
+            if (
+                event["event"] == "best_so_far"
+                and len([e for e in seen
+                         if e["event"] == "best_so_far"]) >= k
+            ):
+                raise JobCancelled("client hung up")
+
+        with pytest.raises(JobCancelled):
+            tune(db, wl, budget, variant="dtac-none",
+                 algorithm="anytime", progress=hook)
+        best_seen = [e for e in seen if e["event"] == "best_so_far"]
+        assert best_seen == best_full[:k]
+
+
+# ----------------------------------------------------------------------
+class TestServiceIntegration:
+    @pytest.fixture(scope="class")
+    def service_inputs(self):
+        db = sales_database(scale=0.02)
+        wl = sales_workload(db)
+        return db, wl
+
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_describe_algorithms_shape(self):
+        body = describe_algorithms()
+        assert body["default"] == algorithms.DEFAULT_ALGORITHM
+        names = [a["name"] for a in body["algorithms"]]
+        assert names == ALL_ALGORITHMS
+        for entry in body["algorithms"]:
+            assert entry["summary"]
+            assert "budget_bytes" in entry["options"]
+
+    def test_unknown_algorithm_is_a_service_error(self, service_inputs):
+        """The request layer rejects unknown algorithms with a
+        ServiceError naming the valid set (the HTTP layer maps it to
+        400, not 500)."""
+        db, wl = service_inputs
+
+        async def scenario():
+            service = AdvisorService()
+            service.register("sales", db, wl)
+            await service.start()
+            try:
+                with pytest.raises(ServiceError) as err:
+                    await service.tune(
+                        "sales", budget_fraction=0.1,
+                        options={"algorithm": "definitely-not-real"},
+                    )
+                return str(err.value)
+            finally:
+                await service.stop()
+
+        message = self._run(scenario())
+        for name in ALL_ALGORITHMS:
+            assert name in message
+
+    def test_tune_with_algorithm_matches_direct(self, service_inputs):
+        db, wl = service_inputs
+
+        async def scenario():
+            service = AdvisorService()
+            service.register("sales", db, wl)
+            await service.start()
+            try:
+                return await service.tune(
+                    "sales", budget_fraction=0.12,
+                    variant="dtac-none",
+                    options={"algorithm": "relaxation"},
+                )
+            finally:
+                await service.stop()
+
+        answer = self._run(scenario())
+        direct = tune(db, wl, db.total_data_bytes() * 0.12,
+                      variant="dtac-none", algorithm="relaxation")
+        from repro.service import serialize_result
+        assert answer["result"] == serialize_result(direct)["result"]
+
+    def test_anytime_job_streams_best_so_far_and_survives_cancel(
+        self, service_inputs
+    ):
+        """An anytime tune job streams best_so_far events; cancelling
+        mid-run leaves the job cancelled with the streamed prefix
+        intact — the client keeps the last best_so_far as its result."""
+        db, wl = service_inputs
+
+        async def scenario():
+            service = AdvisorService()
+            service.register("sales", db, wl)
+            await service.start()
+            try:
+                record = service.submit_job(
+                    "tune", "sales",
+                    dict(budget_fraction=0.12, variant="dtac-none",
+                         options={"algorithm": "anytime"}),
+                )
+                events = []
+                async for event in service.job_events(record.id):
+                    events.append(event)
+                    if (
+                        event["event"] == "best_so_far"
+                        and len([e for e in events
+                                 if e["event"] == "best_so_far"]) >= 2
+                    ):
+                        service.cancel_job(record.id)
+                return record.snapshot(), events
+            finally:
+                await service.stop()
+
+        snapshot, events = self._run(scenario())
+        best = [e for e in events if e["event"] == "best_so_far"]
+        assert len(best) >= 2
+        assert snapshot["state"] == "cancelled"
+        # The stream ends with the terminal state, and the best_so_far
+        # prefix carries a full configuration the client can keep.
+        last = best[-1]
+        assert last["configuration"]
+        assert last["cost"] > 0
+        assert last["consumed_bytes"] <= db.total_data_bytes() * 0.12 + 1e-6
