@@ -483,8 +483,12 @@ def run_service_section(args) -> dict:
     threads alone share the GIL).  Warm arm: two same-context tunes at
     different budgets through one lane; the second run's wiring matches,
     so it must reuse the dormant pool instead of re-forking.
+    Durability arm: one job through a journal-backed service, then a
+    second service life over the same cache dir — the restored record
+    must come back terminal with the identical result payload.
     """
     import asyncio
+    import tempfile
 
     from repro.service import AdvisorService, serialize_result
     from repro.stats.column_stats import DatabaseStats
@@ -539,11 +543,50 @@ def run_service_section(args) -> dict:
         finally:
             await service.stop()
 
+    async def durability(cache_dir: str):
+        # First life: journal one job end to end, then stop cleanly.
+        service = AdvisorService(workers=args.workers,
+                                 cache_dir=cache_dir)
+        service.register("ctx_a", db_a, wl_a)
+        await service.start()
+        try:
+            job = service.submit_job("tune", "ctx_a", warm_payload)
+            await _drain_job(service, job)
+            first = job.snapshot()
+            appended = service.stats()["jobs"]["journal"]["appended"]
+        finally:
+            await service.stop()
+        # Second life over the same journal: recovery must restore the
+        # terminal record — result and event log intact, no live lease.
+        service = AdvisorService(workers=args.workers,
+                                 cache_dir=cache_dir)
+        service.register("ctx_a", db_a, wl_a)
+        await service.start()
+        try:
+            record = service.job(job.id)
+            restored = record.snapshot()
+            seqs = [e["seq"] for e in record.events]
+            stats = service.stats()["jobs"]
+        finally:
+            await service.stop()
+        return {
+            "journal_appends": appended,
+            "jobs_restored": stats["retained"],
+            "live_leases": stats["journal"]["live_leases"],
+            "restored_seq_gapless":
+                seqs == list(range(1, len(seqs) + 1)),
+            "identical_restored_result":
+                restored["state"] == "done"
+                and restored["result"] == first["result"],
+        }
+
     # NOTE: per-context lanes serialize *jobs submitted in order on one
     # lane*, so the serialized arm measures the same work end-to-end.
     serial_wall, serial_results = asyncio.run(overlap(False))
     conc_wall, conc_results = asyncio.run(overlap(True))
     warm_first, warm_second, warm_stats = asyncio.run(warm())
+    with tempfile.TemporaryDirectory() as journal_dir:
+        durable = asyncio.run(durability(journal_dir))
 
     # Ground truth: direct sequential tune() per context/budget.
     stats_a, stats_b = DatabaseStats(db_a), DatabaseStats(db_b)
@@ -584,6 +627,7 @@ def run_service_section(args) -> dict:
             "warm_runs": warm_stats["scheduler"]["warm_runs"],
             "pools_forked": warm_stats["scheduler"]["pools_forked"],
         },
+        "durability": durable,
         "identical_job_results": identical_jobs,
         "identical_warm_results": identical_warm,
     }
@@ -707,6 +751,11 @@ def main(argv: list[str] | None = None) -> int:
               f"{svc['warm']['pools_reused']} "
               f"(identical jobs={svc['identical_job_results']} "
               f"warm={svc['identical_warm_results']})")
+        dur = svc["durability"]
+        print(f"[bench] service durability: restored="
+              f"{dur['jobs_restored']} "
+              f"(seq_gapless={dur['restored_seq_gapless']} "
+              f"identical={dur['identical_restored_result']})")
     sweep_ok = all(
         payload.get("sweep", {}).get(flag, True)
         for flag in ("identical_to_tune_loop", "identical_across_workers",
@@ -728,6 +777,9 @@ def main(argv: list[str] | None = None) -> int:
         and payload.get("fig9", {}).get("identical_errors", True)
         and payload.get("service", {}).get("identical_job_results", True)
         and payload.get("service", {}).get("identical_warm_results", True)
+        and payload.get("service", {}).get("durability", {}).get(
+            "identical_restored_result", True
+        )
     )
     return 0 if ok else 1
 

@@ -218,14 +218,38 @@ def cmd_validate(args) -> int:
 
 def cmd_serve(args) -> int:
     import asyncio
+    import os
 
-    from repro.service import AdvisorService, serve
+    from repro.service import AdvisorService, JobWorker, serve
 
+    if args.worker and args.cache_dir is None:
+        print("serve --worker needs --cache-dir (the shared journal)")
+        return 2
+    if args.dispatch_only and args.cache_dir is None:
+        print("serve --dispatch-only needs --cache-dir (the journal "
+              "workers drain)")
+        return 2
+    tenant_weights = {}
+    for spec in args.tenant_weight or ():
+        name, _, weight = spec.partition("=")
+        try:
+            tenant_weights[name] = int(weight)
+        except ValueError:
+            print(f"bad --tenant-weight {spec!r}; expected NAME=INT")
+            return 2
+    writer = args.worker_id or (
+        f"worker-{os.getpid()}" if args.worker else "coordinator"
+    )
     service = AdvisorService(
         workers=args.workers,
         cache_dir=args.cache_dir,
         max_pending=args.max_pending,
         max_context_workers=args.max_context_workers,
+        tenant_quota=args.tenant_quota,
+        tenant_weights=tenant_weights,
+        execute_jobs=not args.dispatch_only,
+        journal_writer=writer,
+        poll_interval=args.poll_interval,
     )
     names = (
         ("sales", "tpch") if args.dataset == "both" else (args.dataset,)
@@ -240,6 +264,22 @@ def cmd_serve(args) -> int:
             wl = sales_workload(db, select_weight=args.select_weight,
                                 insert_weight=args.insert_weight)
         service.register(name, db, wl)
+    if args.worker:
+        worker = JobWorker(service, poll_interval=args.poll_interval)
+        print(f"advisor worker {writer}: draining "
+              f"{service.journal.root}", flush=True)
+        try:
+            done = worker.run_forever(
+                max_jobs=args.max_jobs or None,
+                idle_timeout=args.idle_timeout or None,
+            )
+        except KeyboardInterrupt:
+            done = sum(worker.executed.values())
+            print(f"advisor worker {writer}: interrupted", flush=True)
+        print(f"advisor worker {writer}: executed {done} job(s)",
+              flush=True)
+        service.save_caches()
+        return 0
     try:
         asyncio.run(serve(service, host=args.host, port=args.port))
     except KeyboardInterrupt:
@@ -298,7 +338,8 @@ def cmd_jobs(args) -> int:
                 if args.seed is not None:
                     payload["seed"] = args.seed
                 job = await client.submit_job(
-                    args.context, kind=args.kind, **payload
+                    args.context, kind=args.kind, tenant=args.tenant,
+                    priority=args.priority, **payload
                 )
                 show(job)
                 if not args.follow:
@@ -507,6 +548,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scheduler lane cap: at most this many "
                             "contexts tune concurrently (each context "
                             "always serializes on its own lane)")
+    p_srv.add_argument("--tenant-quota", type=int, default=None,
+                       help="per-tenant cap on active jobs; beyond it "
+                            "submissions answer 429 (per-tenant "
+                            "backpressure)")
+    p_srv.add_argument("--tenant-weight", action="append", default=[],
+                       metavar="NAME=W",
+                       help="weighted round-robin weight for one "
+                            "tenant inside each priority lane "
+                            "(repeatable; default weight 1)")
+    p_srv.add_argument("--worker", action="store_true",
+                       help="run as a job worker instead of an HTTP "
+                            "server: claim queued jobs from the shared "
+                            "--cache-dir journal via leases and "
+                            "execute them")
+    p_srv.add_argument("--worker-id", default=None,
+                       help="journal segment/writer name (default: "
+                            "worker-<pid> with --worker, else "
+                            "'coordinator')")
+    p_srv.add_argument("--dispatch-only", action="store_true",
+                       help="coordinator accepts and journals jobs but "
+                            "leaves execution to --worker processes")
+    p_srv.add_argument("--poll-interval", type=float, default=0.25,
+                       help="journal tail cadence in seconds "
+                            "(coordinator folding worker progress; "
+                            "worker claim scans)")
+    p_srv.add_argument("--max-jobs", type=int, default=0,
+                       help="worker mode: exit after this many "
+                            "executed jobs (0 = unlimited)")
+    p_srv.add_argument("--idle-timeout", type=float, default=0.0,
+                       help="worker mode: exit after this many "
+                            "consecutive idle seconds (0 = never)")
     p_srv.set_defaults(fn=cmd_serve)
 
     p_jobs = sub.add_parser(
@@ -536,6 +608,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="selection algorithm for the submitted "
                              "job (server default when omitted)")
     p_jobs.add_argument("--seed", type=int, default=None)
+    p_jobs.add_argument("--tenant", default="default",
+                        help="tenant tag for fairness/quota accounting")
+    p_jobs.add_argument("--priority",
+                        choices=("high", "normal", "low"),
+                        default="normal",
+                        help="priority lane for the submitted job")
     p_jobs.add_argument("--after", type=int, default=0,
                         help="resume an event stream past this seq")
     p_jobs.add_argument("--follow", action="store_true",

@@ -61,6 +61,14 @@ class BackpressureError(ServiceError):
     """The service's bounded request queue is full; retry later."""
 
 
+class QuotaExceededError(BackpressureError):
+    """One tenant's admission quota is exhausted; retry later.
+
+    A per-tenant (not global) backpressure signal: the HTTP layer maps
+    it to 429 so a client can tell "the service is full" (503) apart
+    from "I am over my own allowance" (429)."""
+
+
 class JobError(ServiceError):
     """Job submission, lookup, or lifecycle problem."""
 

@@ -2,8 +2,12 @@
 
 See :class:`AdvisorService` (asyncio core, coalescing + backpressure),
 :class:`JobManager` (durable ``tune``/``sweep`` jobs with streamed
-progress and cancellation), :class:`ContextScheduler` (per-context
-worker lanes with warm engine affinity), :class:`ServiceHTTPServer` /
+progress, cancellation, priority lanes and tenant quotas),
+:class:`JobJournal` (the append-only journal that makes the job tier
+survive restarts), :class:`JobWorker` (``repro serve --worker``
+scale-out over journal leases), :class:`ContextScheduler` /
+:class:`FairQueue` (per-context worker lanes with warm engine affinity
+and tenant-fair turn-taking), :class:`ServiceHTTPServer` /
 :func:`serve` (stdlib JSON-over-HTTP incl. ``/v1/jobs``), and
 :class:`AdvisorClient` (async client with retry/backoff and event
 streaming).
@@ -24,18 +28,32 @@ from repro.service.jobs import (
     JobManager,
     JobRecord,
 )
-from repro.service.scheduler import ContextLane, ContextScheduler, WarmSlot
+from repro.service.journal import JobImage, JobJournal, JournalError
+from repro.service.scheduler import (
+    PRIORITIES,
+    ContextLane,
+    ContextScheduler,
+    FairQueue,
+    WarmSlot,
+)
 from repro.service.service import REQUEST_KINDS, AdvisorService
+from repro.service.worker import JobWorker
 
 __all__ = [
     "AdvisorService",
     "AdvisorClient",
     "ContextLane",
     "ContextScheduler",
+    "FairQueue",
+    "JobImage",
+    "JobJournal",
     "JobManager",
     "JobRecord",
+    "JobWorker",
+    "JournalError",
     "JOB_KINDS",
     "JOB_STATES",
+    "PRIORITIES",
     "REQUEST_KINDS",
     "ServiceContext",
     "ServiceHTTPServer",

@@ -19,9 +19,10 @@ Usage::
 
 Raises :class:`ServiceHTTPError` on non-2xx responses (``status`` and
 the server's error text attached).  **Retryable** failures — HTTP 503
-backpressure — are retried automatically with exponential backoff that
-honors the server's ``Retry-After`` header (``retries=0`` disables);
-everything else surfaces immediately.
+backpressure and HTTP 429 tenant-quota breaches — are retried
+automatically with exponential backoff that honors the server's
+``Retry-After`` header (``retries=0`` disables); everything else
+surfaces immediately.
 """
 
 from __future__ import annotations
@@ -46,8 +47,10 @@ class ServiceHTTPError(ServiceError):
 
     @property
     def retryable(self) -> bool:
-        """Whether the failure is transient backpressure (HTTP 503)."""
-        return self.status == 503
+        """Whether the failure is transient pressure: global
+        backpressure (HTTP 503) or a per-tenant quota breach (HTTP
+        429) — both clear as jobs finish."""
+        return self.status in (429, 503)
 
 
 class AdvisorClient:
@@ -56,7 +59,7 @@ class AdvisorClient:
     Args:
         host/port: where the service listens.
         timeout: per-request ceiling (streams apply it per event).
-        retries: automatic retries of *retryable* failures (503); the
+        retries: automatic retries of *retryable* failures (429/503); the
             schedule is ``backoff * 2**attempt`` seconds, raised to the
             server's ``Retry-After`` when larger, capped at
             ``max_backoff``.  0 restores raise-immediately behavior.
@@ -196,11 +199,15 @@ class AdvisorClient:
     # jobs
     # ------------------------------------------------------------------
     async def submit_job(self, context: str, kind: str = "tune",
-                         **payload) -> dict:
+                         tenant: str = "default",
+                         priority: str = "normal", **payload) -> dict:
         """Submit a tune/sweep job; returns its snapshot (``id``,
-        ``state``, ...)."""
+        ``state``, ...).  ``tenant`` tags the submission for the
+        server's fairness/quota accounting, ``priority`` picks its lane
+        (``high``/``normal``/``low``)."""
         return await self._request("POST", "/v1/jobs", {
-            "context": context, "kind": kind, **payload,
+            "context": context, "kind": kind, "tenant": tenant,
+            "priority": priority, **payload,
         })
 
     async def job(self, job_id: str) -> dict:

@@ -53,6 +53,14 @@ _REQUEST_OPTION_FIELDS = frozenset({
     "skyline_cluster_max", "e", "q", "delta_costing", "algorithm",
 })
 
+#: job-routing fields (tenant tag, priority lane) — they address the
+#: job tier, never the advisor.  The HTTP layer pops them before the
+#: payload gets here; rejecting strays keeps two otherwise-identical
+#: submissions from getting different coalescing keys, warm-affinity
+#: signatures, or journaled payloads (recovered re-runs must be
+#: byte-identical to their cold submissions).
+_ROUTING_FIELDS = frozenset({"tenant", "priority"})
+
 
 def parse_index_spec(database: Database, spec: dict) -> IndexDef:
     """An :class:`IndexDef` from its JSON wire form::
@@ -206,6 +214,15 @@ class ServiceContext:
     # ------------------------------------------------------------------
     # request executors (synchronous; run on the service executor)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _reject_routing(payload: dict) -> None:
+        strays = _ROUTING_FIELDS & set(payload)
+        if strays:
+            raise ServiceError(
+                f"routing fields {sorted(strays)} belong to the job "
+                "submission, not the tune/sweep payload"
+            )
+
     def _budget_bytes(self, payload: dict) -> float:
         if "budget_bytes" in payload:
             return float(payload["budget_bytes"])
@@ -278,6 +295,7 @@ class ServiceContext:
         ``fork_slot``/``stale_ok`` come from the scheduler's warm-
         affinity decision; ``progress`` threads the job layer's event
         hook into the advisor (one event per greedy step)."""
+        self._reject_routing(payload)
         budget = self._budget_bytes(payload)
         variant = self._variant(payload)
         seed = int(payload.get("seed", DEFAULT_SAMPLE_SEED))
@@ -326,6 +344,7 @@ class ServiceContext:
                   progress=None) -> dict:
         """A whole budget sweep / seed ablation as one unit (the sweep
         module owns per-unit isolation)."""
+        self._reject_routing(payload)
         variant = self._variant(payload)
         total = self.database.total_data_bytes()
         if "budget_bytes" in payload:

@@ -14,7 +14,8 @@ Routes::
     POST /v1/sweep                -> (same shape)
     POST /v1/estimate_size        -> (same shape)
     POST /v1/whatif_cost          -> (same shape)
-    POST /v1/jobs                 -> {"context", "kind", ...payload}
+    POST /v1/jobs                 -> {"context", "kind", "tenant"?,
+                                     "priority"?, ...payload}
                                      submit a tune/sweep job
     GET  /v1/jobs                 -> {"jobs": [snapshots...]}
     GET  /v1/jobs/<id>            -> job snapshot (poll)
@@ -24,9 +25,11 @@ Routes::
 
 POST bodies are JSON objects carrying ``context`` plus the request
 payload.  A full request queue returns **503** with a ``Retry-After``
-header (the service's backpressure surfaced honestly), unknown
-contexts/arguments **400**, unknown resources/jobs **404**, and
-internal failures **500** with the error text in the JSON body.
+header (the service's backpressure surfaced honestly), a tenant over
+its admission quota **429** (per-tenant pressure, also with
+``Retry-After``), unknown contexts/arguments **400**, unknown
+resources/jobs **404**, and internal failures **500** with the error
+text in the JSON body.
 
 The events stream answers ``200`` with ``Transfer-Encoding: chunked``
 and one JSON event per line, flushed as the advisor emits them —
@@ -42,7 +45,13 @@ import json
 from urllib.parse import parse_qs
 
 from repro.advisor import algorithms
-from repro.errors import BackpressureError, JobError, ReproError, ServiceError
+from repro.errors import (
+    BackpressureError,
+    JobError,
+    QuotaExceededError,
+    ReproError,
+    ServiceError,
+)
 from repro.service.service import AdvisorService
 
 #: maximum accepted request body (tuning payloads are tiny).
@@ -66,8 +75,8 @@ def describe_algorithms() -> dict:
     }
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 500: "Internal Server Error",
-    503: "Service Unavailable",
+    405: "Method Not Allowed", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 
@@ -132,7 +141,7 @@ class ServiceHTTPServer:
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]
-        if status == 503:
+        if status in (429, 503):
             headers.append("Retry-After: 1")
         writer.write(("\r\n".join(headers) + "\r\n\r\n").encode() + body)
         try:
@@ -268,10 +277,24 @@ class ServiceHTTPServer:
                 return error
             context = payload.pop("context", None)
             kind = payload.pop("kind", "tune")
+            tenant = payload.pop("tenant", "default")
+            priority = payload.pop("priority", "normal")
             if not isinstance(context, str):
                 return 400, {"error": "body needs a 'context' string"}
+            if not isinstance(tenant, str) or \
+                    not isinstance(priority, str):
+                return 400, {
+                    "error": "'tenant' and 'priority' must be strings"
+                }
             try:
-                record = self.service.submit_job(kind, context, payload)
+                record = self.service.submit_job(
+                    kind, context, payload,
+                    tenant=tenant, priority=priority,
+                )
+            except QuotaExceededError as exc:
+                # Per-tenant limit, not global pressure: 429 so clients
+                # can tell "I am over quota" from "the service is full".
+                return 429, {"error": str(exc)}
             except BackpressureError as exc:
                 return 503, {"error": str(exc)}
             except (ServiceError, ReproError) as exc:

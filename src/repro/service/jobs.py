@@ -11,9 +11,9 @@ polls, streams, and cancels::
        └──────────────┴─────────► cancelled
 
 * **Submit** (:meth:`JobManager.submit`) creates the record and hands
-  it to the per-context scheduler lane; same-context jobs execute
-  strictly in submission order (the determinism contract), jobs on
-  different contexts overlap.
+  it to the per-context scheduler lane; same-context jobs at the same
+  priority and tenant execute strictly in submission order (the
+  determinism contract), jobs on different contexts overlap.
 * **Progress** rides the advisor's progress hook: every phase
   transition and every accepted greedy step lands in the job's ordered
   event list (``seq``-numbered), appended loop-side via
@@ -28,19 +28,56 @@ polls, streams, and cancels::
   A cancelled or failed run releases its scheduler lane and drops the
   lane's engine pool (a partially-built pool must never look warm).
 
+Since PR 7 the job tier is **durable and multi-tenant**:
+
+* **Write-through journal.**  With a ``cache_dir``, every submission,
+  state transition, progress event and result is appended to the
+  :class:`~repro.service.journal.JobJournal` before clients can
+  observe it.  :meth:`JobManager.recover` replays the journal at boot:
+  terminal jobs come back poll-able with their full event logs
+  (``GET /v1/jobs/<id>/events?after=N`` survives restarts), ``queued``
+  jobs re-enqueue and run, and interrupted ``running`` jobs are marked
+  ``failed`` with a ``recovered`` marker — unless a live worker lease
+  shows another process still executing them.  Restored event ``seq``
+  numbers are kept, and new events continue the series, so logs stay
+  gap-free across the restart boundary.
+
+* **Priority lanes + tenant fairness.**  Submissions carry a
+  ``priority`` (``high``/``normal``/``low``) and a ``tenant`` tag.
+  Inside each context, the next job to run is picked high-first, and
+  *within* a priority by weighted round-robin across tenants
+  (:class:`FairQueue`), so one heavy client cannot starve a context.
+  Per-tenant admission quotas bound how many non-terminal jobs a
+  tenant may hold (:class:`~repro.errors.QuotaExceededError` → HTTP
+  429), separate from the global queue bound (503).
+
+* **Worker scale-out.**  With ``execute_jobs=False`` the manager only
+  journals and tracks; separate ``repro serve --worker`` processes
+  claim queued jobs through journal leases and execute them
+  (:mod:`repro.service.worker`).  :meth:`apply_external` — fed by the
+  service's poll task — folds the workers' journaled state
+  transitions, events and results back into the in-memory records, so
+  polling and streaming clients never see the difference.
+
 Results are byte-identical to the synchronous endpoints: a job executes
 through exactly the same :meth:`ServiceContext.run_tune`/``run_sweep``
-path, on the same lane, with the same per-run isolation.
+path, on the same lane, with the same per-run isolation — and a
+recovered job re-runs byte-identical to its cold submission.
 """
 
 from __future__ import annotations
 
 import asyncio
-import itertools
 import threading
 import time
 
-from repro.errors import BackpressureError, JobCancelled, JobError
+from repro.errors import (
+    BackpressureError,
+    JobCancelled,
+    JobError,
+    QuotaExceededError,
+)
+from repro.service.scheduler import PRIORITIES, FairQueue
 
 JOB_KINDS = ("tune", "sweep")
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -48,15 +85,19 @@ TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
 
 
 class JobRecord:
-    """One submitted job: identity, state machine, ordered event log,
-    and (on completion) the response payload or error text."""
+    """One submitted job: identity, routing (tenant/priority), state
+    machine, ordered event log, and (on completion) the response
+    payload or error text."""
 
     def __init__(self, job_id: str, kind: str, context: str,
-                 payload: dict) -> None:
+                 payload: dict, tenant: str = "default",
+                 priority: str = "normal") -> None:
         self.id = job_id
         self.kind = kind
         self.context = context
         self.payload = dict(payload)
+        self.tenant = tenant
+        self.priority = priority
         self.state = "queued"
         self.created = time.time()
         self.started: float | None = None
@@ -64,12 +105,20 @@ class JobRecord:
         self.events: list[dict] = []
         self.result: dict | None = None
         self.error: str | None = None
+        #: True when this record was restored from the journal as an
+        #: interrupted ``running`` job (its failure is a restart, not a
+        #: tuning error).
+        self.recovered = False
+        #: True when a worker process (not this manager) executes it.
+        self.external = False
         #: cross-thread cancel flag (the lane thread's progress hook
         #: polls it; the loop side sets it).
         self.cancel = threading.Event()
         #: pulsed (loop-side) on every event append / state change so
         #: streamers wake without polling.
         self.changed = asyncio.Event()
+        #: turnstile future while parked behind same-context jobs.
+        self._turn: asyncio.Future | None = None
 
     @property
     def terminal(self) -> bool:
@@ -82,12 +131,16 @@ class JobRecord:
             "kind": self.kind,
             "context": self.context,
             "state": self.state,
+            "tenant": self.tenant,
+            "priority": self.priority,
             "created": self.created,
             "started": self.started,
             "finished": self.finished,
             "events": len(self.events),
             "payload": dict(self.payload),
         }
+        if self.recovered:
+            out["recovered"] = True
         if self.error is not None:
             out["error"] = self.error
         if include_result and self.result is not None:
@@ -102,24 +155,50 @@ class JobManager:
     through ``call_soon_threadsafe``.  History is bounded: terminal
     jobs beyond ``max_history`` are evicted oldest-first (ids of
     evicted jobs 404 afterwards — clients stream or poll results out
-    before they scroll away).
+    before they scroll away); boot-time journal compaction applies the
+    same rule to disk.
+
+    Args:
+        service: the owning :class:`AdvisorService`.
+        max_history: retained-job bound (terminal jobs evict beyond).
+        journal: write-through :class:`JobJournal` (None = in-memory
+            only, the pre-PR-7 behavior).
+        tenant_quota: per-tenant cap on non-terminal jobs (None = no
+            per-tenant cap; the global ``max_pending`` bound always
+            applies).
+        tenant_weights: tenant -> weighted-round-robin weight (default
+            1); heavier tenants get proportionally more turns inside
+            each priority lane.
+        execute_jobs: False makes this a dispatch-only coordinator:
+            submissions journal and queue, worker processes execute.
     """
 
-    def __init__(self, service, max_history: int = 256) -> None:
+    def __init__(self, service, max_history: int = 256,
+                 journal=None, tenant_quota: int | None = None,
+                 tenant_weights: dict | None = None,
+                 execute_jobs: bool = True) -> None:
         self.service = service
         self.max_history = max_history
+        self.journal = journal
+        self.tenant_quota = tenant_quota
+        self.tenant_weights = dict(tenant_weights or {})
+        self.execute_jobs = execute_jobs
         self.jobs: dict[str, JobRecord] = {}
         self._order: list[str] = []
-        self._counter = itertools.count(1)
+        self._counter = 1
         self._tasks: set[asyncio.Task] = set()
+        self._queues: dict[str, FairQueue] = {}
         #: lifecycle counters, per kind.
         self.submitted = {kind: 0 for kind in JOB_KINDS}
         self.finished = {state: 0 for state in TERMINAL_STATES}
+        self.recovered_jobs = 0
 
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    def submit(self, kind: str, context: str, payload: dict) -> JobRecord:
+    def submit(self, kind: str, context: str, payload: dict,
+               tenant: str = "default",
+               priority: str = "normal") -> JobRecord:
         """Create a job and schedule it on its context's lane."""
         if kind not in JOB_KINDS:
             raise JobError(
@@ -130,6 +209,12 @@ class JobManager:
                 f"unknown context {context!r}; registered: "
                 f"{sorted(self.service.contexts)}"
             )
+        if priority not in PRIORITIES:
+            raise JobError(
+                f"unknown priority {priority!r}; one of {PRIORITIES}"
+            )
+        if not isinstance(tenant, str) or not tenant:
+            raise JobError("tenant must be a non-empty string")
         if not self.service.started or self.service._closing:
             raise JobError("service is not running")
         queued = sum(
@@ -140,24 +225,243 @@ class JobManager:
                 f"job queue full ({self.service.max_pending} queued); "
                 "retry later"
             )
+        if self.tenant_quota is not None:
+            held = sum(
+                1 for record in self.jobs.values()
+                if record.tenant == tenant and not record.terminal
+            )
+            if held >= self.tenant_quota:
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} at quota "
+                    f"({self.tenant_quota} active jobs); retry later"
+                )
         record = JobRecord(
-            f"job-{next(self._counter):06d}", kind, context, payload
+            f"job-{self._counter:06d}", kind, context, payload,
+            tenant=tenant, priority=priority,
         )
+        self._counter += 1
+        self._admit(record)
+        return record
+
+    def _admit(self, record: JobRecord) -> None:
+        """Track a new record, journal its submission, and (when this
+        manager executes) start its task."""
         self.jobs[record.id] = record
         self._order.append(record.id)
-        self.submitted[kind] += 1
+        self.submitted[record.kind] += 1
+        if self.journal is not None:
+            self.journal.append_submit(
+                record.id, record.kind, record.context,
+                dict(record.payload), record.tenant, record.priority,
+                record.created,
+            )
         self._append_event(record, {
             "event": "state", "state": "queued", "job": record.id,
         })
+        if self.execute_jobs:
+            self._start_task(record)
+        else:
+            record.external = True
+        self._evict()
+
+    def _start_task(self, record: JobRecord) -> None:
         task = asyncio.get_running_loop().create_task(
             self._run_job(record)
         )
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
-        self._evict()
-        return record
 
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> dict:
+        """Rebuild state from the journal at boot (no-op without one).
+
+        * terminal jobs: restored with their full event logs;
+        * ``queued`` jobs: re-enqueued (bypassing backpressure/quota —
+          they were already admitted once) and re-run;
+        * ``running`` jobs: a live worker lease means another process
+          is still executing — keep tracking it; otherwise the run died
+          with its process, so the job is marked ``failed`` with a
+          ``recovered`` marker (clients resubmit; a re-run is
+          byte-identical to the cold submission by the determinism
+          contract).
+
+        Afterwards the journal is compacted to exactly the retained
+        set, so on-disk history matches the in-memory eviction bound.
+        """
+        if self.journal is None:
+            return {"restored": 0, "requeued": 0, "recovered": 0}
+        images = self.journal.replay()
+        requeued = recovered = 0
+        # Journal ids are zero-padded and coordinator-assigned, so
+        # sorted order is submission order.
+        for job_id in sorted(images):
+            image = images[job_id]
+            if image.kind is None:
+                continue  # events for a job whose submit never landed
+            record = JobRecord(
+                job_id, image.kind, image.context or "",
+                image.payload, tenant=image.tenant,
+                priority=image.priority,
+            )
+            if image.created is not None:
+                record.created = image.created
+            record.started = image.started
+            record.finished = image.finished
+            record.events = image.events
+            record.state = image.state
+            record.error = image.error
+            record.recovered = image.recovered
+            record.result = image.result
+            self.jobs[job_id] = record
+            self._order.append(job_id)
+            suffix = job_id.rsplit("-", 1)[-1]
+            if suffix.isdigit():
+                self._counter = max(self._counter, int(suffix) + 1)
+            if record.terminal:
+                continue
+            if record.state == "running":
+                if self.journal.lease_live(job_id):
+                    record.external = True  # a worker still has it
+                    continue
+                record.state = "failed"
+                record.recovered = True
+                record.finished = time.time()
+                record.error = (
+                    "interrupted by service restart; resubmit to re-run"
+                )
+                self.finished["failed"] += 1
+                self.recovered_jobs += 1
+                recovered += 1
+                self.journal.break_lease(job_id)
+                self.journal.append_state(
+                    job_id, "failed", record.finished,
+                    error=record.error, recovered=True,
+                )
+                self._append_event(record, {
+                    "event": "state", "state": "failed",
+                    "job": job_id, "error": record.error,
+                    "recovered": True,
+                })
+                continue
+            # queued: run it again (or leave it for the workers).
+            requeued += 1
+            if self.execute_jobs:
+                self._start_task(record)
+            else:
+                record.external = True
+        self._evict()
+        self.journal.compact(frozenset(self._order))
+        return {
+            "restored": len(self.jobs),
+            "requeued": requeued,
+            "recovered": recovered,
+        }
+
+    # ------------------------------------------------------------------
+    # external execution (worker processes via the journal)
+    # ------------------------------------------------------------------
+    def apply_external(self, records: list[dict]) -> None:
+        """Fold journaled records appended by *other* writers (workers)
+        into the in-memory job records, so polling and streaming
+        clients observe worker-executed jobs exactly like local ones."""
+        for raw in records:
+            record = self.jobs.get(raw.get("job", ""))
+            if record is None:
+                continue
+            rec = raw.get("rec")
+            if rec == "event":
+                event = raw.get("event")
+                if isinstance(event, dict) and \
+                        event.get("seq") == len(record.events) + 1:
+                    record.events.append(event)
+                    record.changed.set()
+            elif rec == "state":
+                state = raw.get("state")
+                if record.terminal or state not in JOB_STATES:
+                    continue
+                record.state = state
+                if state == "running" and record.started is None:
+                    record.started = raw.get("ts")
+                if state in TERMINAL_STATES:
+                    record.finished = raw.get("ts")
+                    record.error = raw.get("error")
+                    self.finished[state] += 1
+                record.changed.set()
+            elif rec == "result":
+                record.result = raw.get("result")
+                record.changed.set()
+
+    # ------------------------------------------------------------------
+    # turn-taking (priority + tenant fairness per context)
+    # ------------------------------------------------------------------
+    def _queue_for(self, context: str) -> FairQueue:
+        queue = self._queues.get(context)
+        if queue is None:
+            queue = self._queues[context] = FairQueue(
+                self.tenant_weights
+            )
+        return queue
+
+    async def _acquire_turn(self, record: JobRecord) -> bool:
+        """Wait for the record's turn on its context; True when the
+        turn is actually granted (False: resolved while parked —
+        cancelled/finished, no turn to give back)."""
+        if record.terminal:
+            # Cancelled before this task first ran: nothing to wait
+            # for, and parking a terminal record would leave it
+            # unresolvable (the pick loop skips terminal entries).
+            return False
+        queue = self._queue_for(record.context)
+        if queue.active is None:
+            queue.active = record
+            return True
+        future = asyncio.get_running_loop().create_future()
+        record._turn = future
+        queue.park(record)
+        try:
+            return await future
+        finally:
+            record._turn = None
+
+    def _release_turn(self, record: JobRecord) -> None:
+        """Give the context's turn to the next parked record (priority
+        order, tenant-fair)."""
+        queue = self._queues.get(record.context)
+        if queue is None or queue.active is not record:
+            return
+        queue.active = None
+        while True:
+            nxt = queue.pick()
+            if nxt is None:
+                return
+            future = nxt._turn
+            if nxt.terminal or future is None or future.done():
+                if future is not None and not future.done():
+                    # Terminal while parked: wake its task (no turn
+                    # granted) so it can unwind instead of waiting
+                    # forever on a turn that will never come.
+                    future.set_result(False)
+                continue  # resolved while parked; skip it
+            queue.active = nxt
+            future.set_result(True)
+            return
+
+    def _resolve_parked(self, record: JobRecord) -> None:
+        """Wake a record parked at the turnstile without granting the
+        turn (cancel path)."""
+        future = record._turn
+        if future is not None and not future.done():
+            future.set_result(False)
+
+    # ------------------------------------------------------------------
     async def _run_job(self, record: JobRecord) -> None:
+        granted = await self._acquire_turn(record)
+        if record.terminal:  # cancelled while parked / in the gap
+            if granted:
+                self._release_turn(record)
+            return
         lane = self.service.scheduler.lane_for(record.context)
         loop = asyncio.get_running_loop()
 
@@ -197,6 +501,8 @@ class JobManager:
             self._finish(record, "failed", error=str(exc))
         else:
             self._finish(record, "done", result=result)
+        finally:
+            self._release_turn(record)
 
     # ------------------------------------------------------------------
     # loop-side state transitions
@@ -206,6 +512,9 @@ class JobManager:
             return
         record.state = "running"
         record.started = time.time()
+        if self.journal is not None:
+            self.journal.append_state(record.id, "running",
+                                      record.started)
         self._append_event(record, {
             "event": "state", "state": "running", "job": record.id,
         })
@@ -220,6 +529,12 @@ class JobManager:
         record.result = result
         record.error = error
         self.finished[state] += 1
+        if self.journal is not None:
+            if result is not None:
+                self.journal.append_result(record.id, result)
+            self.journal.append_state(record.id, state, record.finished,
+                                      error=error)
+            self.journal.clear_cancel(record.id)
         event = {"event": "state", "state": state, "job": record.id}
         if error is not None:
             event["error"] = error
@@ -228,6 +543,8 @@ class JobManager:
     def _append_event(self, record: JobRecord, event: dict) -> None:
         event["seq"] = len(record.events) + 1
         record.events.append(event)
+        if self.journal is not None:
+            self.journal.append_event(record.id, event)
         record.changed.set()
 
     def _evict(self) -> None:
@@ -291,22 +608,32 @@ class JobManager:
         if record.terminal:
             return record
         record.cancel.set()
-        if record.state == "queued":
+        if self.journal is not None and record.external:
+            # The executing process is elsewhere: leave a marker its
+            # progress hook polls.  An unclaimed queued job can still
+            # resolve eagerly below.
+            self.journal.request_cancel(record.id)
+        if record.state == "queued" and not (
+            record.external and self.journal is not None
+            and self.journal.lease_info(record.id) is not None
+        ):
             # Resolve eagerly so polls see it now; the lane-side check
             # keeps the skipped execution honest.
             self._finish(record, "cancelled",
                          error="cancelled while queued")
+            self._resolve_parked(record)
         return record
 
     def cancel_all(self) -> None:
         """Flag every non-terminal job for cancellation (service
         shutdown): running jobs unwind at their next progress event."""
         for record in self.jobs.values():
-            if not record.terminal:
+            if not record.terminal and not record.external:
                 record.cancel.set()
                 if record.state == "queued":
                     self._finish(record, "cancelled",
                                  error="service stopped")
+                    self._resolve_parked(record)
 
     async def drain(self) -> None:
         """Wait until every submitted job's task has completed."""
@@ -317,11 +644,21 @@ class JobManager:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         states = {state: 0 for state in JOB_STATES}
+        tenants: dict[str, int] = {}
         for record in self.jobs.values():
             states[record.state] += 1
-        return {
+            if not record.terminal:
+                tenants[record.tenant] = tenants.get(record.tenant, 0) + 1
+        out = {
             "submitted": dict(self.submitted),
             "finished": dict(self.finished),
             "states": states,
             "retained": len(self.jobs),
+            "recovered": self.recovered_jobs,
+            "tenants_active": tenants,
+            "tenant_quota": self.tenant_quota,
+            "parked": sum(q.depth() for q in self._queues.values()),
         }
+        if self.journal is not None:
+            out["journal"] = self.journal.stats()
+        return out

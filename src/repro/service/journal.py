@@ -1,0 +1,468 @@
+"""Append-only job journal: the durable half of the job tier.
+
+PR 5's :class:`~repro.service.jobs.JobManager` keeps every record and
+event log in memory — a restart loses all queued and running work.
+This module is the persistence layer underneath it: an append-only
+JSONL journal in ``<cache_dir>/jobs-journal/`` that records every
+submission, state transition, seq-numbered progress event, and result,
+so the job tier survives a ``kill -9`` exactly like the persistent
+``EstimationCache``/``CostCache`` next to it.
+
+Layout::
+
+    <cache_dir>/jobs-journal/
+        segment-<writer>.jsonl     one append-only file per writer
+        leases/<job_id>.json       claim records (O_EXCL create)
+        cancel/<job_id>            cancel-request markers
+
+* **Segments.**  Every process that writes the journal — the
+  coordinator and each ``repro serve --worker`` — appends to its *own*
+  segment file, so concurrent writers never interleave partial lines.
+  A reader merges all segments: :meth:`JobJournal.replay` rebuilds the
+  full per-job picture at boot, :meth:`JobJournal.refresh` tails the
+  *other* writers' segments incrementally (offset-tracked, complete
+  lines only) so a live coordinator sees worker progress.
+
+* **Leases.**  Workers claim a queued job by atomically creating
+  ``leases/<job_id>.json`` (``O_CREAT | O_EXCL`` — exactly one winner)
+  carrying their pid and a heartbeat timestamp.  A lease is *live*
+  while its owner process exists or its heartbeat is fresher than the
+  TTL; :meth:`JobJournal.lease_live` is how recovery tells "a worker is
+  still running this" apart from "this job died with its process".
+
+* **Cancel markers.**  Cancellation must reach a job running in a
+  *different process*: :meth:`request_cancel` drops a marker file the
+  executing side polls from its progress hook (the same one-greedy-step
+  latency bound as in-process cancel).
+
+* **Compaction.**  :meth:`compact` rewrites the journal keeping only a
+  retained job set — called at coordinator boot, after replay applies
+  the bounded-history eviction rule, and only when no other writer
+  holds a live lease (a live worker's open segment must not be rewritten
+  under it).
+
+Durability model: every appended line is flushed to the OS immediately,
+so a ``kill -9`` of the process loses nothing already appended (the
+page cache survives process death); ``fsync=True`` additionally forces
+each line to stable storage for machine-crash durability.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.errors import ServiceError
+
+#: journal format version, embedded in every line for forward safety.
+_FORMAT_VERSION = 1
+
+#: lease heartbeats older than this are stale unless the owner pid is
+#: demonstrably alive.
+DEFAULT_LEASE_TTL = 30.0
+
+
+class JobImage:
+    """The merged, replayed picture of one job across all segments."""
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        self.kind: str | None = None
+        self.context: str | None = None
+        self.payload: dict = {}
+        self.tenant: str = "default"
+        self.priority: str = "normal"
+        self.created: float | None = None
+        self.started: float | None = None
+        self.finished: float | None = None
+        self.state: str = "queued"
+        self.error: str | None = None
+        self.recovered: bool = False
+        self.result: dict | None = None
+        #: seq -> event dict (dedup across segments; sorted on read).
+        self._events: dict[int, dict] = {}
+
+    @property
+    def events(self) -> list[dict]:
+        return [self._events[seq] for seq in sorted(self._events)]
+
+    @property
+    def max_seq(self) -> int:
+        return max(self._events, default=0)
+
+    def seq_gapless(self) -> bool:
+        """Whether the replayed event log is 1..N with no holes — the
+        crash-recovery acceptance criterion."""
+        return sorted(self._events) == list(range(1, len(self._events) + 1))
+
+
+class JournalError(ServiceError):
+    """Journal directory, segment, or lease problem."""
+
+
+class JobJournal:
+    """One process's handle on the shared job journal.
+
+    Args:
+        root: the journal directory (created if missing).
+        writer_id: this process's segment name — ``coordinator`` for
+            the serving process, a unique ``worker-*`` per worker.
+        fsync: force every appended line to stable storage (machine-
+            crash durability); off by default — process-crash
+            durability only needs the flush.
+        lease_ttl: heartbeat age beyond which a lease whose owner pid
+            is gone counts as dead.
+    """
+
+    def __init__(self, root: str, writer_id: str = "coordinator",
+                 *, fsync: bool = False,
+                 lease_ttl: float = DEFAULT_LEASE_TTL) -> None:
+        if not writer_id or any(c in writer_id for c in "/\\. "):
+            raise JournalError(
+                f"writer_id must be a simple name, got {writer_id!r}"
+            )
+        self.root = root
+        self.writer_id = writer_id
+        self.fsync = fsync
+        self.lease_ttl = lease_ttl
+        self.leases_dir = os.path.join(root, "leases")
+        self.cancel_dir = os.path.join(root, "cancel")
+        for path in (root, self.leases_dir, self.cancel_dir):
+            os.makedirs(path, exist_ok=True)
+        self._segment_path = os.path.join(
+            root, f"segment-{writer_id}.jsonl"
+        )
+        self._segment = None
+        #: per-foreign-segment read offsets (refresh() tail state).
+        self._offsets: dict[str, int] = {}
+        #: appended-line counters (stats/tests).
+        self.appended = 0
+
+    # ------------------------------------------------------------------
+    # appending (this writer's segment)
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        record["v"] = _FORMAT_VERSION
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        if self._segment is None:
+            self._segment = open(self._segment_path, "a",
+                                 encoding="utf-8")
+        self._segment.write(line)
+        self._segment.flush()
+        if self.fsync:
+            os.fsync(self._segment.fileno())
+        self.appended += 1
+
+    def append_submit(self, job_id: str, kind: str, context: str,
+                      payload: dict, tenant: str, priority: str,
+                      created: float) -> None:
+        self._append({
+            "rec": "submit", "job": job_id, "kind": kind,
+            "context": context, "payload": payload, "tenant": tenant,
+            "priority": priority, "created": created,
+        })
+
+    def append_state(self, job_id: str, state: str, ts: float,
+                     error: str | None = None,
+                     recovered: bool = False) -> None:
+        record = {"rec": "state", "job": job_id, "state": state,
+                  "ts": ts}
+        if error is not None:
+            record["error"] = error
+        if recovered:
+            record["recovered"] = True
+        self._append(record)
+
+    def append_event(self, job_id: str, event: dict) -> None:
+        """One seq-numbered progress event (the event carries its own
+        ``seq``; replay dedups and orders on it)."""
+        self._append({"rec": "event", "job": job_id, "event": event})
+
+    def append_result(self, job_id: str, result: dict) -> None:
+        self._append({"rec": "result", "job": job_id, "result": result})
+
+    def close(self) -> None:
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+
+    # ------------------------------------------------------------------
+    # reading (all segments)
+    # ------------------------------------------------------------------
+    def _segment_paths(self) -> list[str]:
+        try:
+            names = sorted(os.listdir(self.root))
+        except FileNotFoundError:
+            return []
+        return [
+            os.path.join(self.root, name) for name in names
+            if name.startswith("segment-") and name.endswith(".jsonl")
+        ]
+
+    @staticmethod
+    def _read_lines(path: str, start: int = 0) -> tuple[list[dict], int]:
+        """Complete newline-terminated JSON lines from ``start``; the
+        returned offset stops before any partial trailing line, so an
+        in-progress append from another process is re-read whole on the
+        next call."""
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(start)
+                blob = fh.read()
+        except FileNotFoundError:
+            return [], start
+        records = []
+        offset = start
+        lines = blob.split(b"\n")
+        # split()'s last element is the unterminated tail (b"" when the
+        # blob ends on a newline) — never a committed record.
+        for raw in lines[:-1]:
+            if not raw.strip():
+                offset += len(raw) + 1
+                continue
+            try:
+                records.append(json.loads(raw))
+            except ValueError:
+                # A torn line means the writer died mid-append; appends
+                # are sequential, so nothing after it is complete.
+                break
+            offset += len(raw) + 1
+        return records, offset
+
+    def replay(self) -> dict[str, JobImage]:
+        """Merge every segment into per-job images (boot-time full
+        read).  Ordering inside one job: submit fields win first-write,
+        states apply in precedence (terminal > running > queued) so the
+        merge is independent of cross-segment file order, events dedup
+        by seq."""
+        images: dict[str, JobImage] = {}
+        for path in self._segment_paths():
+            records, _ = self._read_lines(path)
+            for record in records:
+                self.apply(images, record)
+        return images
+
+    def refresh(self) -> list[dict]:
+        """New complete records appended to *other* writers' segments
+        since the last call (the coordinator's live tail of worker
+        progress)."""
+        out: list[dict] = []
+        for path in self._segment_paths():
+            if path == self._segment_path:
+                continue
+            start = self._offsets.get(path, 0)
+            records, offset = self._read_lines(path, start)
+            self._offsets[path] = offset
+            out.extend(records)
+        return out
+
+    @staticmethod
+    def apply(images: dict[str, JobImage], record: dict) -> None:
+        """Fold one journal record into a per-job image map (the unit
+        :meth:`replay` is built from; workers use it to fold
+        :meth:`refresh` tails into their own view)."""
+        job_id = record.get("job")
+        if not isinstance(job_id, str):
+            return
+        image = images.get(job_id)
+        if image is None:
+            image = images[job_id] = JobImage(job_id)
+        rec = record.get("rec")
+        if rec == "submit" and image.kind is None:
+            image.kind = record.get("kind")
+            image.context = record.get("context")
+            image.payload = dict(record.get("payload") or {})
+            image.tenant = record.get("tenant", "default")
+            image.priority = record.get("priority", "normal")
+            image.created = record.get("created")
+        elif rec == "state":
+            state = record.get("state")
+            rank = {"queued": 0, "running": 1}
+            # Terminal states out-rank transient ones; among terminal
+            # records the last one written wins (there is at most one
+            # writer of terminal state per job in practice).
+            if state not in rank or \
+                    rank.get(image.state, 2) <= rank.get(state, 2):
+                image.state = state
+                image.error = record.get("error")
+                image.recovered = bool(record.get("recovered"))
+            if state == "running" and image.started is None:
+                image.started = record.get("ts")
+            if state not in rank:
+                image.finished = record.get("ts")
+        elif rec == "event":
+            event = record.get("event")
+            if isinstance(event, dict) and isinstance(
+                    event.get("seq"), int):
+                image._events.setdefault(event["seq"], event)
+        elif rec == "result":
+            image.result = record.get("result")
+
+    # ------------------------------------------------------------------
+    # leases
+    # ------------------------------------------------------------------
+    def _lease_path(self, job_id: str) -> str:
+        return os.path.join(self.leases_dir, f"{job_id}.json")
+
+    def claim(self, job_id: str) -> bool:
+        """Atomically claim a job for this writer; False if any lease
+        exists (live or stale — takeover goes through
+        :meth:`break_lease` so it stays an explicit decision)."""
+        payload = json.dumps({
+            "job": job_id, "writer": self.writer_id,
+            "pid": os.getpid(), "heartbeat": time.time(),
+        }, sort_keys=True)
+        try:
+            fd = os.open(self._lease_path(job_id),
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        return True
+
+    def heartbeat(self, job_id: str) -> None:
+        """Refresh this writer's lease timestamp (atomic replace)."""
+        path = self._lease_path(job_id)
+        tmp = f"{path}.{self.writer_id}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({
+                "job": job_id, "writer": self.writer_id,
+                "pid": os.getpid(), "heartbeat": time.time(),
+            }, sort_keys=True))
+        os.replace(tmp, path)
+
+    def release(self, job_id: str) -> None:
+        try:
+            os.remove(self._lease_path(job_id))
+        except FileNotFoundError:
+            pass
+
+    def lease_info(self, job_id: str) -> dict | None:
+        try:
+            with open(self._lease_path(job_id),
+                      encoding="utf-8") as fh:
+                return json.load(fh)
+        except (FileNotFoundError, ValueError):
+            return None
+
+    def lease_live(self, job_id: str) -> bool:
+        """Whether a lease exists whose owner is still working: the
+        owning pid is alive, or — when pid liveness cannot decide (pid
+        reuse, remote filesystems) — the heartbeat is fresher than the
+        TTL."""
+        info = self.lease_info(job_id)
+        if info is None:
+            return False
+        pid = info.get("pid")
+        if isinstance(pid, int):
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return False
+            except PermissionError:  # pragma: no cover - exists, not ours
+                return True
+            else:
+                return True
+        heartbeat = info.get("heartbeat", 0.0)
+        return (time.time() - heartbeat) < self.lease_ttl
+
+    def break_lease(self, job_id: str) -> bool:
+        """Remove a dead lease (owner gone); False if it is live."""
+        if self.lease_live(job_id):
+            return False
+        self.release(job_id)
+        return True
+
+    def live_leases(self) -> list[dict]:
+        out = []
+        try:
+            names = sorted(os.listdir(self.leases_dir))
+        except FileNotFoundError:
+            return out
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            job_id = name[:-len(".json")]
+            if self.lease_live(job_id):
+                info = self.lease_info(job_id)
+                if info is not None:
+                    out.append(info)
+        return out
+
+    # ------------------------------------------------------------------
+    # cancel markers
+    # ------------------------------------------------------------------
+    def request_cancel(self, job_id: str) -> None:
+        path = os.path.join(self.cancel_dir, job_id)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(str(time.time()))
+
+    def cancel_requested(self, job_id: str) -> bool:
+        return os.path.exists(os.path.join(self.cancel_dir, job_id))
+
+    def clear_cancel(self, job_id: str) -> None:
+        try:
+            os.remove(os.path.join(self.cancel_dir, job_id))
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def compact(self, keep_ids: "set[str] | frozenset[str]") -> bool:
+        """Rewrite the journal so only ``keep_ids`` survive, merging
+        every segment into this writer's own.
+
+        Boot-time only: refuses (returns False) while any other writer
+        holds a live lease, because a live worker appends to its open
+        segment file and a rewrite would drop its records.  The caller
+        re-derives ``keep_ids`` from the same replay it restores state
+        from, which keeps on-disk history exactly consistent with the
+        in-memory bounded-history eviction."""
+        for info in self.live_leases():
+            if info.get("writer") != self.writer_id:
+                return False
+        kept: list[dict] = []
+        for path in self._segment_paths():
+            records, _ = self._read_lines(path)
+            kept.extend(
+                record for record in records
+                if record.get("job") in keep_ids
+            )
+        self.close()
+        tmp = self._segment_path + ".compact"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for record in kept:
+                fh.write(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._segment_path)
+        for path in self._segment_paths():
+            if path != self._segment_path:
+                os.remove(path)
+                self._offsets.pop(path, None)
+        # Stale leases and cancel markers of dropped jobs go with them.
+        for directory in (self.leases_dir, self.cancel_dir):
+            for name in os.listdir(directory):
+                job_id = name[:-len(".json")] \
+                    if name.endswith(".json") else name
+                if job_id not in keep_ids:
+                    try:
+                        os.remove(os.path.join(directory, name))
+                    except FileNotFoundError:  # pragma: no cover
+                        pass
+        return True
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "root": self.root,
+            "writer": self.writer_id,
+            "appended": self.appended,
+            "segments": len(self._segment_paths()),
+            "live_leases": len(self.live_leases()),
+        }

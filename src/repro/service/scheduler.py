@@ -36,14 +36,88 @@ This module replaces that single global executor with a
 A run that fails or is cancelled mid-flight releases its lane pool
 (:meth:`ContextScheduler.release`): a partially-built pool could lack
 estimates a "warm" successor would rely on, so it must never be reused.
+
+Since PR 7 the module also owns :class:`FairQueue` — the job tier's
+per-context turn-taking policy (priority lanes + weighted round-robin
+across tenants), sitting *in front of* the lane: the lane serializes,
+the queue decides who goes next.
 """
 
 from __future__ import annotations
 
 import asyncio
+import bisect
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.parallel.engine import ParallelEngine
+
+#: job priority lanes, strongest first — the pick order of
+#: :meth:`FairQueue.pick`.
+PRIORITIES = ("high", "normal", "low")
+
+
+class FairQueue:
+    """Per-context turn-taking for the job tier: priority lanes, with
+    weighted round-robin across tenants inside each lane.
+
+    A :class:`ContextLane` already *serializes* execution; this queue
+    decides **which** parked job reaches the lane next, so one heavy
+    tenant cannot starve a context.  The pick is deterministic: strict
+    priority order first, then a deficit-style rotation over the
+    tenants that have work — tenant names in sorted order, each served
+    ``weight`` consecutive jobs per visit — so the order never depends
+    on timing or hash seeds.  Items are any objects with ``tenant`` and
+    ``priority`` attributes (the job tier parks its ``JobRecord``\\ s).
+    """
+
+    def __init__(self, weights: dict | None = None) -> None:
+        self.weights = dict(weights or {})
+        #: the item currently holding this context's turn.
+        self.active = None
+        #: priority -> tenant -> FIFO of parked items.
+        self.pending: dict[str, dict[str, deque]] = {
+            priority: {} for priority in PRIORITIES
+        }
+        #: priority -> (last tenant served, items served this visit).
+        self._cursor: dict[str, tuple[str | None, int]] = {}
+
+    def park(self, item) -> None:
+        lanes = self.pending[item.priority]
+        lanes.setdefault(item.tenant, deque()).append(item)
+
+    def depth(self) -> int:
+        return sum(
+            len(q) for lanes in self.pending.values()
+            for q in lanes.values()
+        )
+
+    def _weight(self, tenant: str) -> int:
+        return max(int(self.weights.get(tenant, 1)), 1)
+
+    def pick(self):
+        """Pop the next item to run (None when nothing is parked)."""
+        for priority in PRIORITIES:
+            lanes = self.pending[priority]
+            names = sorted(t for t, q in lanes.items() if q)
+            if not names:
+                continue
+            tenant, served = self._cursor.get(priority, (None, 0))
+            if tenant in names and served < self._weight(tenant):
+                pass  # tenant keeps its visit
+            else:
+                # Advance to the next tenant with work, cyclically past
+                # the cursor position (bisect keeps this deterministic
+                # even when the cursor tenant has drained away).
+                index = bisect.bisect_right(names, tenant or "")
+                tenant = names[index % len(names)]
+                served = 0
+            item = lanes[tenant].popleft()
+            if not lanes[tenant]:
+                del lanes[tenant]
+            self._cursor[priority] = (tenant, served + 1)
+            return item
+        return None
 
 
 class WarmSlot:

@@ -46,6 +46,7 @@ from __future__ import annotations
 import asyncio
 import copy
 import json
+import os
 
 from repro.catalog.schema import Database
 from repro.errors import BackpressureError, ServiceError
@@ -53,6 +54,7 @@ from repro.parallel.cache import CostCache, EstimationCache
 from repro.parallel.engine import ParallelEngine
 from repro.service.context import ServiceContext
 from repro.service.jobs import JobManager, JobRecord
+from repro.service.journal import JobJournal
 from repro.service.scheduler import ContextLane, ContextScheduler
 from repro.stats.column_stats import DatabaseStats
 from repro.workload.query import Workload
@@ -85,6 +87,17 @@ class AdvisorService:
             lanes (per-context runs always serialize on their lane).
         engine: injected engine (tests); used by the first lane, and
             released on :meth:`stop` like every lane engine.
+        tenant_quota: per-tenant cap on active (non-terminal) jobs —
+            submissions beyond it raise
+            :class:`~repro.errors.QuotaExceededError` (HTTP 429).
+        tenant_weights: tenant -> round-robin weight inside each
+            priority lane (default weight 1).
+        execute_jobs: False = dispatch-only coordinator — jobs journal
+            and queue but only ``repro serve --worker`` processes
+            execute them.
+        journal_writer: this process's journal segment name.
+        poll_interval: seconds between journal tails for worker
+            progress (only with a ``cache_dir``).
     """
 
     def __init__(
@@ -95,6 +108,11 @@ class AdvisorService:
         max_pending: int = 64,
         max_context_workers: int = 4,
         engine: ParallelEngine | None = None,
+        tenant_quota: int | None = None,
+        tenant_weights: dict | None = None,
+        execute_jobs: bool = True,
+        journal_writer: str = "coordinator",
+        poll_interval: float = 0.25,
     ) -> None:
         if max_pending < 1:
             raise ServiceError(
@@ -121,7 +139,19 @@ class AdvisorService:
             workers=workers, max_lanes=max_context_workers,
             primary_engine=self.engine,
         )
-        self.jobs = JobManager(self)
+        #: the durable job journal (None without a cache_dir: the job
+        #: tier degrades to the in-memory pre-durability behavior).
+        self.journal = (
+            JobJournal(os.path.join(cache_dir, "jobs-journal"),
+                       journal_writer)
+            if cache_dir is not None else None
+        )
+        self.poll_interval = poll_interval
+        self._poll_task: asyncio.Task | None = None
+        self.jobs = JobManager(
+            self, journal=self.journal, tenant_quota=tenant_quota,
+            tenant_weights=tenant_weights, execute_jobs=execute_jobs,
+        )
 
         self._inflight: dict[tuple, asyncio.Future] = {}
         self._active: set[asyncio.Task] = set()
@@ -193,6 +223,24 @@ class AdvisorService:
             )
             self._scheduler_spent = False
         self._running = True
+        # Durable job tier: restore journaled jobs (re-enqueue queued,
+        # mark interrupted runs recovered) and start tailing worker
+        # segments so externally-executed jobs stay observable.
+        self.jobs.recover()
+        if self.journal is not None and self._poll_task is None:
+            self._poll_task = asyncio.get_running_loop().create_task(
+                self._poll_journal()
+            )
+
+    async def _poll_journal(self) -> None:
+        """Fold worker-appended journal records into the in-memory job
+        records on a fixed cadence (the coordinator's view of worker
+        progress)."""
+        while True:
+            await asyncio.sleep(self.poll_interval)
+            records = self.journal.refresh()
+            if records:
+                self.jobs.apply_external(records)
 
     async def stop(self, drain: bool = True) -> None:
         """Stop the service: optionally drain admitted requests and
@@ -204,6 +252,13 @@ class AdvisorService:
         if not self._running:
             return
         self._closing = True
+        if self._poll_task is not None:
+            self._poll_task.cancel()
+            try:
+                await self._poll_task
+            except asyncio.CancelledError:
+                pass
+            self._poll_task = None
         if drain:
             while self._active:
                 await asyncio.gather(*list(self._active),
@@ -239,6 +294,8 @@ class AdvisorService:
         self._scheduler_spent = True
         # The primary engine may predate any lane (injected engines).
         self.engine.shutdown()
+        if self.journal is not None:
+            self.journal.close()
         self.save_caches()
 
     def save_caches(self) -> None:
@@ -476,10 +533,15 @@ class AdvisorService:
     # and in-process callers share one entry point)
     # ------------------------------------------------------------------
     def submit_job(self, kind: str, context: str,
-                   payload: dict | None = None) -> JobRecord:
+                   payload: dict | None = None, *,
+                   tenant: str = "default",
+                   priority: str = "normal") -> JobRecord:
         """Submit a ``tune``/``sweep`` job; returns its record (poll
-        via :meth:`job`, stream via :meth:`job_events`)."""
-        return self.jobs.submit(kind, context, dict(payload or {}))
+        via :meth:`job`, stream via :meth:`job_events`).  ``tenant``
+        tags the submission for fairness/quota accounting; ``priority``
+        picks its lane (``high``/``normal``/``low``)."""
+        return self.jobs.submit(kind, context, dict(payload or {}),
+                                tenant=tenant, priority=priority)
 
     def job(self, job_id: str) -> JobRecord:
         return self.jobs.get(job_id)

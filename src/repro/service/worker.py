@@ -1,0 +1,229 @@
+"""Worker mode: extra processes draining the shared job journal.
+
+``repro serve --worker`` scales the tune/sweep fleet horizontally: a
+coordinator (possibly ``--dispatch-only``) accepts submissions over
+``/v1/jobs`` and journals them; any number of worker processes share
+the same ``--cache-dir``, claim queued jobs through journal **leases**
+(atomic ``O_EXCL`` create — exactly one winner per job), execute them
+against their own engine pool, and journal seq-numbered progress
+events, results and terminal states.  The coordinator's poll task
+folds those records back into its in-memory job records, so HTTP
+clients poll and stream worker-executed jobs exactly like local ones.
+
+The claim protocol:
+
+1. tail the journal (:meth:`JobJournal.refresh`) and fold new records
+   into this worker's merged view;
+2. pick the lowest-id ``queued`` job for a registered context with no
+   lease and no cancel marker;
+3. atomically create its lease; on success, re-tail and **verify** the
+   job is still queued (the coordinator may have cancelled it in the
+   race window) — otherwise release the lease and move on;
+4. journal ``running``, execute through the exact
+   :meth:`AdvisorService._execute` path (same per-run isolation, so
+   the result is byte-identical to a sequential ``tune()``), heartbeat
+   the lease from the progress hook, honor cancel markers
+   (:class:`~repro.errors.JobCancelled` at the next event);
+5. journal the result + terminal state, release the lease.
+
+A worker killed mid-run leaves a lease whose pid is dead: the
+coordinator's boot-time recovery (:meth:`JobManager.recover`) breaks
+it and marks the job ``failed``/``recovered``, exactly like one of its
+own interrupted runs.
+
+The persistent ``EstimationCache``/``CostCache`` in the shared
+``--cache-dir`` are the fleet's shared state: workers warm them for
+each other (last-writer-wins JSON merge on save), never for
+correctness — every run is deterministic with or without warm caches.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import JobCancelled
+from repro.service.jobs import JOB_KINDS, TERMINAL_STATES
+from repro.service.journal import JobImage
+
+
+class JobWorker:
+    """One worker process's claim-execute loop over the shared journal.
+
+    Args:
+        service: an :class:`AdvisorService` built with the shared
+            ``cache_dir`` and a unique ``journal_writer`` — the worker
+            uses its contexts, engine and caches but never starts its
+            asyncio side.
+        poll_interval: idle sleep between journal tails.
+        heartbeat_interval: lease-refresh cadence while executing
+            (default: a third of the journal's lease TTL).
+    """
+
+    def __init__(self, service, *, poll_interval: float = 0.5,
+                 heartbeat_interval: float | None = None) -> None:
+        if service.journal is None:
+            raise ValueError(
+                "worker mode needs a cache_dir-backed journal"
+            )
+        self.service = service
+        self.journal = service.journal
+        self.poll_interval = poll_interval
+        self.heartbeat_interval = (
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else self.journal.lease_ttl / 3.0
+        )
+        #: merged journal view (every writer, incl. our own appends).
+        self._images: dict[str, JobImage] = self.journal.replay()
+        # Our own segment is excluded from refresh(); prime the offsets
+        # so the first refresh() only returns genuinely new records.
+        self.journal.refresh()
+        #: jobs this worker executed (terminal), per outcome.
+        self.executed = {state: 0 for state in sorted(TERMINAL_STATES)}
+
+    # ------------------------------------------------------------------
+    def _fold(self, records: list[dict]) -> None:
+        for record in records:
+            self.journal.apply(self._images, record)
+
+    def _refresh(self) -> None:
+        self._fold(self.journal.refresh())
+
+    def _claimable(self) -> list[str]:
+        """Queued, known-context, unleased, uncancelled job ids in
+        submission (= sorted id) order."""
+        out = []
+        for job_id in sorted(self._images):
+            image = self._images[job_id]
+            if image.state != "queued" or image.kind not in JOB_KINDS:
+                continue
+            if image.context not in self.service.contexts:
+                continue
+            if self.journal.cancel_requested(job_id):
+                continue
+            if self.journal.lease_info(job_id) is not None:
+                continue
+            out.append(job_id)
+        return out
+
+    # ------------------------------------------------------------------
+    def run_once(self) -> str | None:
+        """Claim and execute at most one job; its id, or None when
+        nothing was claimable."""
+        self._refresh()
+        for job_id in self._claimable():
+            if not self.journal.claim(job_id):
+                continue  # another worker won the race
+            # Post-claim verify: the coordinator may have resolved the
+            # job (eager cancel) between our tail and the claim.
+            self._refresh()
+            image = self._images[job_id]
+            if image.state != "queued" or \
+                    self.journal.cancel_requested(job_id):
+                self.journal.release(job_id)
+                continue
+            print(f"worker {self.journal.writer_id}: claimed {job_id}",
+                  flush=True)
+            self._execute(image)
+            return job_id
+        return None
+
+    def run_forever(self, *, max_jobs: int | None = None,
+                    idle_timeout: float | None = None) -> int:
+        """Drain the journal until stopped: ``max_jobs`` bounds the
+        number of executed jobs, ``idle_timeout`` exits after that many
+        consecutive seconds with nothing claimable (both None = run
+        until the process is killed).  Returns the executed-job count.
+        """
+        done = 0
+        idle_since: float | None = None
+        while True:
+            job_id = self.run_once()
+            if job_id is not None:
+                done += 1
+                idle_since = None
+                if max_jobs is not None and done >= max_jobs:
+                    return done
+                continue
+            now = time.time()
+            if idle_since is None:
+                idle_since = now
+            elif idle_timeout is not None and \
+                    now - idle_since >= idle_timeout:
+                return done
+            time.sleep(self.poll_interval)
+
+    # ------------------------------------------------------------------
+    def _execute(self, image: JobImage) -> None:
+        """Run one claimed job, journaling the same record sequence the
+        in-process manager would: running state, seq-continued events,
+        result, terminal state."""
+        job_id = image.job_id
+        journal = self.journal
+        seq = image.max_seq
+        last_beat = time.time()
+
+        def emit(event: dict) -> None:
+            nonlocal seq
+            seq += 1
+            event = dict(event)
+            event["seq"] = seq
+            journal.append_event(job_id, event)
+            journal.apply(self._images, {
+                "rec": "event", "job": job_id, "event": event,
+            })
+
+        def transition(state: str, ts: float,
+                       error: str | None = None) -> None:
+            journal.append_state(job_id, state, ts, error=error)
+            journal.apply(self._images, {
+                "rec": "state", "job": job_id, "state": state,
+                "ts": ts, **({"error": error} if error else {}),
+            })
+            event = {"event": "state", "state": state, "job": job_id}
+            if error is not None:
+                event["error"] = error
+            emit(event)
+
+        def progress(event: dict) -> None:
+            nonlocal last_beat
+            if journal.cancel_requested(job_id):
+                raise JobCancelled("cancel requested")
+            now = time.time()
+            if now - last_beat >= self.heartbeat_interval:
+                journal.heartbeat(job_id)
+                last_beat = now
+            emit(dict(event))
+
+        transition("running", time.time())
+        try:
+            result = self.service._execute(
+                image.kind, image.context, dict(image.payload),
+                lane=None, progress=progress,
+            )
+        except JobCancelled as exc:
+            self.executed["cancelled"] += 1
+            transition("cancelled", time.time(), error=str(exc))
+        except Exception as exc:  # noqa: BLE001 - recorded on the job
+            self.executed["failed"] += 1
+            transition("failed", time.time(), error=str(exc))
+        else:
+            self.executed["done"] += 1
+            journal.append_result(job_id, result)
+            journal.apply(self._images, {
+                "rec": "result", "job": job_id, "result": result,
+            })
+            transition("done", time.time())
+        finally:
+            journal.clear_cancel(job_id)
+            journal.release(job_id)
+            # Persist what this run warmed for the rest of the fleet.
+            self.service.save_caches()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "writer": self.journal.writer_id,
+            "executed": dict(self.executed),
+            "known_jobs": len(self._images),
+        }

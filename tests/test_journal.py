@@ -1,0 +1,484 @@
+"""Durable job tier, persistence half: append/replay round-trips,
+torn-line tolerance, leases, cancel markers, crash recovery semantics,
+replay idempotency under random interleavings, and compaction's
+consistency with the bounded-history eviction rule.
+
+The contract under test (see ``repro.service.journal``): every record
+the :class:`JobManager` exposes to clients is re-derivable from the
+journal alone — a manager rebuilt over the same directory restores
+byte-identical snapshots and event logs, re-enqueues ``queued`` work,
+marks interrupted ``running`` work ``failed``/``recovered`` (unless a
+live lease says a worker still has it), and keeps event ``seq``
+numbers gapless across the restart boundary.
+
+These tests run against a stub service (instant executions), so they
+exercise the durability machinery, not the advisor; the real-tuning
+byte-identity of recovered jobs is covered by
+``tests/test_crash_recovery.py``.
+"""
+
+import asyncio
+import json
+import os
+import random
+
+import pytest
+
+from repro.service.jobs import JobManager
+from repro.service.journal import JobJournal, JournalError
+from repro.service.scheduler import ContextScheduler
+
+
+class StubService:
+    """Quacks like AdvisorService as far as JobManager cares: contexts,
+    lifecycle flags, a scheduler, and an instant ``_execute``."""
+
+    def __init__(self, journal=None, **manager_kwargs):
+        self.contexts = {"alpha": object(), "beta": object()}
+        self.started = True
+        self._closing = False
+        self.max_pending = 64
+        self.scheduler = ContextScheduler(workers=1, max_lanes=2)
+        self.executed = []
+        self.jobs = JobManager(self, journal=journal, **manager_kwargs)
+
+    def _execute(self, kind, context, payload, lane=None, progress=None):
+        if progress is not None:
+            progress({"event": "phase", "phase": "work"})
+        self.executed.append((kind, context))
+        return {"ok": True, "kind": kind, "context": context,
+                "payload": payload}
+
+    def shutdown(self):
+        self.scheduler.shutdown()
+        if self.jobs.journal is not None:
+            self.jobs.journal.close()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def snapshots(manager):
+    return [manager.jobs[i].snapshot() for i in manager._order]
+
+
+def event_logs(manager):
+    return {i: list(manager.jobs[i].events) for i in manager._order}
+
+
+class TestSegments:
+    def test_append_replay_round_trip(self, tmp_path):
+        journal = JobJournal(str(tmp_path), "coordinator")
+        journal.append_submit("job-000001", "tune", "alpha", {"b": 0.1},
+                              "t1", "high", 100.0)
+        journal.append_event("job-000001", {"event": "state",
+                                            "state": "queued", "seq": 1})
+        journal.append_state("job-000001", "running", 101.0)
+        journal.append_event("job-000001", {"event": "phase",
+                                            "phase": "work", "seq": 2})
+        journal.append_result("job-000001", {"ok": True})
+        journal.append_state("job-000001", "done", 102.0)
+        journal.close()
+
+        images = JobJournal(str(tmp_path), "coordinator").replay()
+        image = images["job-000001"]
+        assert image.kind == "tune"
+        assert image.context == "alpha"
+        assert image.payload == {"b": 0.1}
+        assert (image.tenant, image.priority) == ("t1", "high")
+        assert image.state == "done"
+        assert (image.created, image.started, image.finished) == \
+            (100.0, 101.0, 102.0)
+        assert image.result == {"ok": True}
+        assert image.max_seq == 2 and image.seq_gapless()
+
+    def test_terminal_state_outranks_transient(self, tmp_path):
+        """Cross-segment merge order must not matter: a terminal state
+        read before a stale ``running`` line still wins."""
+        journal = JobJournal(str(tmp_path), "coordinator")
+        images = {}
+        journal.apply(images, {"rec": "submit", "job": "j", "kind": "tune",
+                               "context": "alpha", "payload": {}})
+        journal.apply(images, {"rec": "state", "job": "j",
+                               "state": "done", "ts": 5.0})
+        journal.apply(images, {"rec": "state", "job": "j",
+                               "state": "running", "ts": 4.0})
+        assert images["j"].state == "done"
+        assert images["j"].finished == 5.0
+
+    def test_torn_trailing_line_is_ignored_then_reread(self, tmp_path):
+        """A partial append (writer killed mid-line) must not poison the
+        replay, and the completed line must surface on the next read."""
+        journal = JobJournal(str(tmp_path), "writer1")
+        journal.append_submit("job-000001", "tune", "alpha", {}, "t", "normal",
+                              1.0)
+        journal.close()
+        path = os.path.join(str(tmp_path), "segment-writer1.jsonl")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"rec":"state","job":"job-000001","sta')  # torn
+
+        reader = JobJournal(str(tmp_path), "coordinator")
+        records = reader.refresh()
+        assert [r["rec"] for r in records] == ["submit"]
+        # Writer finishes the line: only the completed record shows up.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('te":"running","ts":2.0,"v":1}\n')
+        records = reader.refresh()
+        assert [r["rec"] for r in records] == ["state"]
+        assert records[0]["state"] == "running"
+        assert reader.refresh() == []  # fully consumed
+
+    def test_refresh_skips_own_segment(self, tmp_path):
+        a = JobJournal(str(tmp_path), "a")
+        b = JobJournal(str(tmp_path), "b")
+        a.append_submit("job-000001", "tune", "alpha", {}, "t", "normal", 1.0)
+        b.append_state("job-000001", "running", 2.0)
+        assert [r["rec"] for r in a.refresh()] == ["state"]
+        assert [r["rec"] for r in b.refresh()] == ["submit"]
+        a.close()
+        b.close()
+
+    def test_writer_id_must_be_a_simple_name(self, tmp_path):
+        with pytest.raises(JournalError, match="simple name"):
+            JobJournal(str(tmp_path), "../evil")
+
+
+class TestLeasesAndCancelMarkers:
+    def test_claim_is_exclusive(self, tmp_path):
+        w1 = JobJournal(str(tmp_path), "w1")
+        w2 = JobJournal(str(tmp_path), "w2")
+        assert w1.claim("job-000001") is True
+        assert w2.claim("job-000001") is False
+        assert w1.lease_info("job-000001")["writer"] == "w1"
+        w1.release("job-000001")
+        assert w2.claim("job-000001") is True
+
+    def test_lease_live_by_owner_pid(self, tmp_path):
+        journal = JobJournal(str(tmp_path), "w1")
+        journal.claim("job-000001")  # our own pid: alive
+        assert journal.lease_live("job-000001") is True
+        assert journal.break_lease("job-000001") is False  # refuses
+
+    def test_dead_pid_lease_is_breakable(self, tmp_path):
+        journal = JobJournal(str(tmp_path), "w1", lease_ttl=0.01)
+        path = os.path.join(str(tmp_path), "leases", "job-000001.json")
+        # A pid that cannot exist, with an ancient heartbeat.
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"job": "job-000001", "writer": "gone",
+                       "pid": 2 ** 22 + 1, "heartbeat": 0.0}, fh)
+        assert journal.lease_live("job-000001") is False
+        assert journal.break_lease("job-000001") is True
+        assert journal.lease_info("job-000001") is None
+
+    def test_heartbeat_keeps_pidless_lease_live(self, tmp_path):
+        """When pid liveness cannot decide, heartbeat freshness does."""
+        journal = JobJournal(str(tmp_path), "w1", lease_ttl=30.0)
+        journal.claim("job-000001")
+        journal.heartbeat("job-000001")
+        info = journal.lease_info("job-000001")
+        del info["pid"]
+        with open(os.path.join(str(tmp_path), "leases",
+                               "job-000001.json"), "w",
+                  encoding="utf-8") as fh:
+            json.dump(info, fh)
+        assert journal.lease_live("job-000001") is True
+
+    def test_cancel_marker_round_trip(self, tmp_path):
+        journal = JobJournal(str(tmp_path), "coordinator")
+        assert journal.cancel_requested("job-000001") is False
+        journal.request_cancel("job-000001")
+        assert journal.cancel_requested("job-000001") is True
+        journal.clear_cancel("job-000001")
+        assert journal.cancel_requested("job-000001") is False
+
+
+class TestRecovery:
+    def test_restart_restores_identical_state(self, tmp_path):
+        """Completed jobs come back with byte-identical snapshots and
+        full event logs — ``GET /v1/jobs/<id>/events`` survives the
+        restart."""
+
+        async def first_life():
+            service = StubService(journal=JobJournal(str(tmp_path),
+                                                     "coordinator"))
+            try:
+                service.jobs.submit("tune", "alpha", {"x": 1}, tenant="t1")
+                service.jobs.submit("sweep", "beta", {"y": 2},
+                                    priority="high")
+                await service.jobs.drain()
+                return snapshots(service.jobs), event_logs(service.jobs)
+            finally:
+                service.shutdown()
+
+        async def second_life():
+            service = StubService(journal=JobJournal(str(tmp_path),
+                                                     "coordinator"))
+            try:
+                report = service.jobs.recover()
+                return report, snapshots(service.jobs), \
+                    event_logs(service.jobs)
+            finally:
+                service.shutdown()
+
+        before, before_events = run(first_life())
+        report, after, after_events = run(second_life())
+        assert report == {"restored": 2, "requeued": 0, "recovered": 0}
+        assert after == before
+        assert after_events == before_events
+        for events in after_events.values():
+            assert [e["seq"] for e in events] == \
+                list(range(1, len(events) + 1))
+
+    def test_recover_is_idempotent(self, tmp_path):
+        """Recovering twice over the same directory (the journal was
+        compacted and re-appended in between) reconstructs the same
+        state — replay + compaction is a fixed point."""
+
+        async def life(expect=None):
+            service = StubService(journal=JobJournal(str(tmp_path),
+                                                     "coordinator"))
+            try:
+                if expect is None:
+                    service.jobs.submit("tune", "alpha", {"x": 1})
+                    await service.jobs.drain()
+                else:
+                    service.jobs.recover()
+                return snapshots(service.jobs)
+            finally:
+                service.shutdown()
+
+        first = run(life())
+        once = run(life(expect=first))
+        twice = run(life(expect=once))
+        assert once == first
+        assert twice == once
+
+    def test_interrupted_running_job_marked_recovered(self, tmp_path):
+        """A ``running`` job whose writer died (no live lease) fails
+        with the ``recovered`` marker, and the failure event continues
+        the seq series gap-free."""
+        dead = JobJournal(str(tmp_path), "coordinator")
+        dead.append_submit("job-000007", "tune", "alpha", {"b": 0.1},
+                           "t1", "normal", 50.0)
+        dead.append_event("job-000007", {"event": "state",
+                                         "state": "queued",
+                                         "job": "job-000007", "seq": 1})
+        dead.append_state("job-000007", "running", 51.0)
+        dead.append_event("job-000007", {"event": "state",
+                                         "state": "running",
+                                         "job": "job-000007", "seq": 2})
+        dead.append_event("job-000007", {"event": "phase",
+                                         "phase": "work", "seq": 3})
+        dead.close()
+
+        async def scenario():
+            service = StubService(journal=JobJournal(str(tmp_path),
+                                                     "coordinator"))
+            try:
+                report = service.jobs.recover()
+                record = service.jobs.get("job-000007")
+                return report, record.snapshot(), list(record.events), \
+                    service.jobs.stats()
+            finally:
+                service.shutdown()
+
+        report, snapshot, events, stats = run(scenario())
+        assert report["recovered"] == 1
+        assert snapshot["state"] == "failed"
+        assert snapshot["recovered"] is True
+        assert "restart" in snapshot["error"]
+        assert [e["seq"] for e in events] == [1, 2, 3, 4]
+        assert events[-1]["state"] == "failed"
+        assert events[-1]["recovered"] is True
+        assert stats["recovered"] == 1
+
+    def test_queued_job_requeues_and_completes(self, tmp_path):
+        """A ``queued`` job from the previous life re-runs to ``done``,
+        its events continuing seq-gapless past the restored queued
+        event."""
+        dead = JobJournal(str(tmp_path), "coordinator")
+        dead.append_submit("job-000003", "tune", "alpha", {"b": 0.2},
+                           "t1", "normal", 60.0)
+        dead.append_event("job-000003", {"event": "state",
+                                         "state": "queued",
+                                         "job": "job-000003", "seq": 1})
+        dead.close()
+
+        async def scenario():
+            service = StubService(journal=JobJournal(str(tmp_path),
+                                                     "coordinator"))
+            try:
+                report = service.jobs.recover()
+                await service.jobs.drain()
+                record = service.jobs.get("job-000003")
+                nxt = service.jobs.submit("tune", "alpha", {})
+                return report, record.snapshot(), list(record.events), \
+                    nxt.id
+            finally:
+                service.shutdown()
+
+        report, snapshot, events, next_id = run(scenario())
+        assert report["requeued"] == 1
+        assert snapshot["state"] == "done"
+        assert snapshot["result"]["ok"] is True
+        assert [e["seq"] for e in events] == \
+            list(range(1, len(events) + 1))
+        states = [e["state"] for e in events if e["event"] == "state"]
+        assert states == ["queued", "running", "done"]
+        # The id counter resumes past the restored ids: no reuse.
+        assert next_id == "job-000004"
+
+    def test_running_job_with_live_lease_stays_external(self, tmp_path):
+        """A live worker lease means the job is *not* dead: recovery
+        keeps it running/external instead of failing it."""
+        worker = JobJournal(str(tmp_path), "worker-x")
+        worker.append_submit("job-000009", "tune", "alpha", {}, "t",
+                             "normal", 70.0)
+        worker.append_state("job-000009", "running", 71.0)
+        worker.claim("job-000009")  # our own live pid
+        worker.close()
+
+        async def scenario():
+            service = StubService(journal=JobJournal(str(tmp_path),
+                                                     "coordinator"))
+            try:
+                report = service.jobs.recover()
+                record = service.jobs.get("job-000009")
+                return report, record.state, record.external
+            finally:
+                service.shutdown()
+
+        report, state, external = run(scenario())
+        assert report["recovered"] == 0
+        assert state == "running"
+        assert external is True
+
+
+class TestReplayIdempotencyProperty:
+    """Randomized submit/cancel/crash interleavings: whatever the
+    journal ends up holding, a fresh manager reconstructs exactly the
+    state the dying one would have shown — and every restored log is
+    seq-gapless."""
+
+    @pytest.mark.parametrize("seed", [101, 202, 303, 404])
+    def test_random_interleavings_reconstruct_identical_state(
+            self, tmp_path, seed):
+        rng = random.Random(seed)
+
+        async def first_life():
+            service = StubService(
+                journal=JobJournal(str(tmp_path), "coordinator"))
+            try:
+                records = []
+                for step in range(rng.randrange(4, 10)):
+                    op = rng.random()
+                    if op < 0.6 or not records:
+                        records.append(service.jobs.submit(
+                            rng.choice(("tune", "sweep")),
+                            rng.choice(("alpha", "beta")),
+                            {"step": step},
+                            tenant=rng.choice(("t1", "t2", "t3")),
+                            priority=rng.choice(
+                                ("high", "normal", "low")),
+                        ))
+                    elif op < 0.8:
+                        service.jobs.cancel(rng.choice(records).id)
+                    else:
+                        await asyncio.sleep(0)  # let tasks interleave
+                await service.jobs.drain()
+                return snapshots(service.jobs), event_logs(service.jobs)
+            finally:
+                # "Crash": no compaction, no graceful stop — the next
+                # life sees the raw append history.
+                service.shutdown()
+
+        async def second_life():
+            service = StubService(
+                journal=JobJournal(str(tmp_path), "coordinator"))
+            try:
+                service.jobs.recover()
+                await service.jobs.drain()
+                return snapshots(service.jobs), event_logs(service.jobs)
+            finally:
+                service.shutdown()
+
+        before, before_events = run(first_life())
+        after, after_events = run(second_life())
+        # Everything terminal before the crash is reconstructed
+        # byte-identically (nothing was left queued/running: drain()
+        # ran, so recovery restores rather than re-executes).
+        assert after == before
+        assert after_events == before_events
+        for events in after_events.values():
+            assert [e["seq"] for e in events] == \
+                list(range(1, len(events) + 1))
+
+
+class TestCompaction:
+    def test_boot_compaction_matches_eviction_bound(self, tmp_path):
+        """After recovery with a small ``max_history``, the on-disk
+        journal holds exactly the retained ids — disk history and
+        in-memory history evict by the same rule."""
+
+        async def first_life():
+            service = StubService(
+                journal=JobJournal(str(tmp_path), "coordinator"))
+            try:
+                for i in range(6):
+                    service.jobs.submit("tune", "alpha", {"i": i})
+                await service.jobs.drain()
+            finally:
+                service.shutdown()
+
+        async def second_life():
+            service = StubService(
+                journal=JobJournal(str(tmp_path), "coordinator"),
+                max_history=3)
+            try:
+                service.jobs.recover()
+                return list(service.jobs._order)
+            finally:
+                service.shutdown()
+
+        run(first_life())
+        retained = run(second_life())
+        assert retained == ["job-%06d" % i for i in (4, 5, 6)]
+        images = JobJournal(str(tmp_path), "coordinator").replay()
+        assert sorted(images) == retained
+        # One merged segment remains after compaction.
+        segments = [n for n in os.listdir(str(tmp_path))
+                    if n.startswith("segment-")]
+        assert segments == ["segment-coordinator.jsonl"]
+
+    def test_compact_refuses_under_live_foreign_lease(self, tmp_path):
+        """A live worker's open segment must never be rewritten under
+        it: compaction bails out and leaves every record in place."""
+        coordinator = JobJournal(str(tmp_path), "coordinator")
+        coordinator.append_submit("job-000001", "tune", "alpha", {},
+                                  "t", "normal", 1.0)
+        worker = JobJournal(str(tmp_path), "worker-1")
+        worker.append_state("job-000001", "running", 2.0)
+        worker.claim("job-000001")  # live: our own pid
+        assert coordinator.compact(frozenset()) is False
+        assert sorted(coordinator.replay()) == ["job-000001"]
+        # Once the worker lets go, compaction proceeds.
+        worker.release("job-000001")
+        worker.close()
+        assert coordinator.compact(frozenset()) is True
+        assert coordinator.replay() == {}
+        coordinator.close()
+
+    def test_compact_prunes_markers_of_dropped_jobs(self, tmp_path):
+        journal = JobJournal(str(tmp_path), "coordinator")
+        journal.append_submit("job-000001", "tune", "alpha", {}, "t",
+                              "normal", 1.0)
+        journal.append_submit("job-000002", "tune", "alpha", {}, "t",
+                              "normal", 2.0)
+        journal.request_cancel("job-000001")
+        journal.request_cancel("job-000002")
+        assert journal.compact(frozenset({"job-000002"})) is True
+        assert journal.cancel_requested("job-000001") is False
+        assert journal.cancel_requested("job-000002") is True
+        assert sorted(journal.replay()) == ["job-000002"]
+        journal.close()

@@ -1,0 +1,302 @@
+"""Worker scale-out over the shared job journal.
+
+The contract under test (see ``repro.service.worker``): workers claim
+queued jobs through ``O_EXCL`` lease files (exactly one winner), skip
+leased and cancel-marked jobs, journal the same running/events/result/
+terminal sequence the in-process manager would (seq numbers continuing
+the coordinator's queued event), honor cross-process cancel markers at
+the next progress event, and release their lease when done.  A
+dispatch-only coordinator folds the workers' journaled records back
+into its live records, so polling/streaming clients cannot tell a
+worker-executed job from a local one — and the result is byte-identical
+to a sequential ``tune()``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.advisor.advisor import tune
+from repro.datasets.sales import sales_database, sales_workload
+from repro.service import (
+    AdvisorService,
+    JobWorker,
+    serialize_result,
+)
+from repro.service.jobs import JobManager
+from repro.service.journal import JobJournal
+from repro.service.scheduler import ContextScheduler
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class StubService:
+    """The worker-facing slice of AdvisorService: contexts, a journal,
+    a synchronous ``_execute``, and cache persistence (a no-op here)."""
+
+    def __init__(self, journal, fail=False):
+        self.contexts = {"alpha": object(), "beta": object()}
+        self.started = True
+        self._closing = False
+        self.max_pending = 64
+        self.scheduler = ContextScheduler(workers=1, max_lanes=2)
+        self.journal = journal
+        self.fail = fail
+        #: job id to drop a cancel marker for mid-execution, so the
+        #: next progress event observes it (cross-process cancel).
+        self.cancel_target = None
+        self.executed = []
+        self.saved = 0
+        self.jobs = JobManager(self, journal=journal,
+                               execute_jobs=False)
+
+    def _execute(self, kind, context, payload, lane=None, progress=None):
+        if self.cancel_target is not None:
+            self.journal.request_cancel(self.cancel_target)
+        if progress is not None:
+            progress({"event": "phase", "phase": "work"})
+        if self.fail:
+            raise ValueError("boom")
+        self.executed.append(payload.get("job"))
+        return {"ok": True, "payload": payload}
+
+    def save_caches(self):
+        self.saved += 1
+
+    def shutdown(self):
+        self.scheduler.shutdown()
+        self.journal.close()
+
+
+def make_coordinator(tmp_path):
+    journal = JobJournal(str(tmp_path), "coordinator")
+    return StubService(journal)
+
+
+def make_worker(tmp_path, writer, **kwargs):
+    journal = JobJournal(str(tmp_path), writer)
+    service = StubService(journal, **kwargs)
+    return service, JobWorker(service, poll_interval=0.01)
+
+
+class TestClaimProtocol:
+    def test_two_workers_claim_disjoint_jobs(self, tmp_path, capsys):
+        async def scenario():
+            coordinator = make_coordinator(tmp_path)
+            svc_a, worker_a = make_worker(tmp_path, "worker-a")
+            svc_b, worker_b = make_worker(tmp_path, "worker-b")
+            try:
+                records = [
+                    coordinator.jobs.submit("tune", "alpha",
+                                            {"job": f"j{i}"})
+                    for i in range(4)
+                ]
+                assert all(r.external for r in records)
+                claims = {"worker-a": [], "worker-b": []}
+                for _ in range(2):
+                    claims["worker-a"].append(worker_a.run_once())
+                    claims["worker-b"].append(worker_b.run_once())
+                # Nothing left to claim.
+                assert worker_a.run_once() is None
+                # The coordinator folds the workers' records.
+                coordinator.jobs.apply_external(
+                    coordinator.journal.refresh())
+                return records, claims, \
+                    worker_a.stats(), worker_b.stats()
+            finally:
+                coordinator.shutdown()
+                svc_a.shutdown()
+                svc_b.shutdown()
+
+        records, claims, stats_a, stats_b = run(scenario())
+        claimed = claims["worker-a"] + claims["worker-b"]
+        assert sorted(claimed) == sorted(r.id for r in records)
+        assert stats_a["executed"]["done"] == 2
+        assert stats_b["executed"]["done"] == 2
+        for record in records:
+            assert record.state == "done"
+            assert record.result["ok"] is True
+            assert [e["seq"] for e in record.events] == \
+                list(range(1, len(record.events) + 1))
+            states = [e["state"] for e in record.events
+                      if e["event"] == "state"]
+            assert states == ["queued", "running", "done"]
+        # The CI smoke greps this exact line.
+        out = capsys.readouterr().out
+        for worker_id in ("worker-a", "worker-b"):
+            assert f"worker {worker_id}: claimed job-" in out
+
+    def test_leased_and_cancelled_jobs_are_skipped(self, tmp_path):
+        async def scenario():
+            coordinator = make_coordinator(tmp_path)
+            svc, worker = make_worker(tmp_path, "worker-a")
+            try:
+                held = coordinator.jobs.submit("tune", "alpha",
+                                               {"job": "held"})
+                cancelled = coordinator.jobs.submit(
+                    "tune", "alpha", {"job": "cancelled"})
+                free = coordinator.jobs.submit("tune", "alpha",
+                                               {"job": "free"})
+                # Another process holds a lease on the first job; the
+                # coordinator cancels the second (marker + eager-resolve
+                # is suppressed only once a lease exists, so this one
+                # resolves eagerly and leaves a marker).
+                other = JobJournal(str(tmp_path), "worker-z")
+                assert other.claim(held.id)
+                coordinator.jobs.cancel(cancelled.id)
+                assert worker.run_once() == free.id
+                assert worker.run_once() is None
+                other.release(held.id)
+                other.close()
+                assert worker.run_once() == held.id
+                return svc.executed
+            finally:
+                coordinator.shutdown()
+                svc.shutdown()
+
+        assert run(scenario()) == ["free", "held"]
+
+    def test_worker_releases_lease_and_saves_caches(self, tmp_path):
+        async def scenario():
+            coordinator = make_coordinator(tmp_path)
+            svc, worker = make_worker(tmp_path, "worker-a")
+            try:
+                record = coordinator.jobs.submit("tune", "alpha",
+                                                 {"job": "j"})
+                assert worker.run_once() == record.id
+                return svc.journal.lease_info(record.id), svc.saved
+            finally:
+                coordinator.shutdown()
+                svc.shutdown()
+
+        lease, saved = run(scenario())
+        assert lease is None
+        assert saved == 1
+
+
+class TestWorkerExecutionOutcomes:
+    def test_failure_is_journaled_with_error(self, tmp_path):
+        async def scenario():
+            coordinator = make_coordinator(tmp_path)
+            svc, worker = make_worker(tmp_path, "worker-a", fail=True)
+            try:
+                record = coordinator.jobs.submit("tune", "alpha",
+                                                 {"job": "j"})
+                worker.run_once()
+                coordinator.jobs.apply_external(
+                    coordinator.journal.refresh())
+                return record.snapshot()
+            finally:
+                coordinator.shutdown()
+                svc.shutdown()
+
+        snapshot = run(scenario())
+        assert snapshot["state"] == "failed"
+        assert "boom" in snapshot["error"]
+
+    def test_cancel_marker_unwinds_mid_run(self, tmp_path):
+        """A cancel landing while the worker executes is observed at
+        the next progress event — same one-step latency bound as the
+        in-process path."""
+
+        async def scenario():
+            coordinator = make_coordinator(tmp_path)
+            svc, worker = make_worker(tmp_path, "worker-a")
+            try:
+                record = coordinator.jobs.submit("tune", "alpha",
+                                                 {"job": "j"})
+                svc.cancel_target = record.id
+                worker.run_once()
+                coordinator.jobs.apply_external(
+                    coordinator.journal.refresh())
+                return record.snapshot(), svc.executed, \
+                    svc.journal.cancel_requested(record.id)
+            finally:
+                coordinator.shutdown()
+                svc.shutdown()
+
+        snapshot, executed, marker = run(scenario())
+        assert snapshot["state"] == "cancelled"
+        assert executed == []  # unwound before completing
+        assert marker is False  # marker cleaned up
+
+    def test_run_forever_bounds(self, tmp_path):
+        async def scenario():
+            coordinator = make_coordinator(tmp_path)
+            svc, worker = make_worker(tmp_path, "worker-a")
+            try:
+                for i in range(3):
+                    coordinator.jobs.submit("tune", "alpha",
+                                            {"job": f"j{i}"})
+                done = worker.run_forever(max_jobs=2)
+                drained = worker.run_forever(idle_timeout=0.05)
+                return done, drained
+            finally:
+                coordinator.shutdown()
+                svc.shutdown()
+
+        done, drained = run(scenario())
+        assert done == 2
+        assert drained == 1
+
+
+@pytest.fixture(scope="module")
+def worker_inputs():
+    db = sales_database(scale=0.02)
+    wl = sales_workload(db)
+    return db, wl
+
+
+class TestEndToEndByteIdentity:
+    def test_dispatch_only_coordinator_plus_worker_matches_tune(
+            self, worker_inputs, tmp_path):
+        """Full path: a dispatch-only coordinator journals the job, a
+        real worker claims and executes it, the coordinator's poll task
+        folds the records, and the streamed job is byte-identical to a
+        sequential ``tune()``."""
+        db, wl = worker_inputs
+
+        async def scenario():
+            coordinator = AdvisorService(
+                cache_dir=str(tmp_path / "shared"),
+                execute_jobs=False, poll_interval=0.05,
+            )
+            coordinator.register("sales", db, wl)
+            await coordinator.start()
+            worker_service = AdvisorService(
+                cache_dir=str(tmp_path / "shared"),
+                journal_writer="worker-a",
+            )
+            worker_service.register("sales", db, wl)
+            worker = JobWorker(worker_service, poll_interval=0.05)
+            try:
+                record = coordinator.submit_job(
+                    "tune", "sales",
+                    dict(budget_fraction=0.12, variant="dtac-none"),
+                )
+                assert record.external is True
+                claimed = await asyncio.get_running_loop() \
+                    .run_in_executor(None, worker.run_once)
+                assert claimed == record.id
+                events = []
+                async for event in coordinator.job_events(record.id):
+                    events.append(event)
+                return record.snapshot(), events
+            finally:
+                worker_service.scheduler.shutdown()
+                worker_service.journal.close()
+                await coordinator.stop()
+
+        snapshot, events = run(scenario())
+        assert snapshot["state"] == "done"
+        assert [e["seq"] for e in events] == \
+            list(range(1, len(events) + 1))
+        states = [e["state"] for e in events if e["event"] == "state"]
+        assert states == ["queued", "running", "done"]
+        assert any(e["event"] == "greedy_step" for e in events)
+        direct = tune(db, wl, db.total_data_bytes() * 0.12,
+                      variant="dtac-none")
+        assert snapshot["result"]["result"] == \
+            serialize_result(direct)["result"]
