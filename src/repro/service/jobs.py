@@ -393,6 +393,27 @@ class JobManager:
                 record.result = raw.get("result")
                 record.changed.set()
 
+    def resolve_stale_cancels(self) -> None:
+        """Safety net for the cancel/claim race: a cancel-marked
+        ``queued`` external job whose lease is gone or dead has nobody
+        left to resolve it — the claim scan skips cancel-marked jobs,
+        and the worker that abandoned (or died holding) the claim may
+        never have journaled a terminal state.  Called from the
+        coordinator's poll task, *after* folding worker records, so a
+        worker-journaled resolution wins when one exists."""
+        if self.journal is None:
+            return
+        for record in self.jobs.values():
+            if (
+                record.external
+                and record.state == "queued"
+                and self.journal.cancel_requested(record.id)
+                and not self.journal.lease_live(record.id)
+            ):
+                self.journal.break_lease(record.id)
+                self._finish(record, "cancelled",
+                             error="cancelled while queued")
+
     # ------------------------------------------------------------------
     # turn-taking (priority + tenant fairness per context)
     # ------------------------------------------------------------------
@@ -590,8 +611,14 @@ class JobManager:
             for event in record.events[after:]:
                 after = event["seq"]
                 yield event
-            if record.terminal and record.events \
-                    and record.events[-1]["seq"] <= after:
+            # Terminal with nothing left to yield ends the stream — a
+            # restored terminal record may legitimately have an empty
+            # event log (its submit line survived a crash, its event
+            # lines did not), and must not park forever.
+            if record.terminal and (
+                not record.events
+                or record.events[-1]["seq"] <= after
+            ):
                 return
             record.changed.clear()
             # Re-check before parking: an event appended between the

@@ -12,6 +12,7 @@ Layout::
 
     <cache_dir>/jobs-journal/
         segment-<writer>.jsonl     one append-only file per writer
+        writers/<writer>.json      writer presence (pid + heartbeat)
         leases/<job_id>.json       claim records (O_EXCL create)
         cancel/<job_id>            cancel-request markers
 
@@ -35,11 +36,23 @@ Layout::
   executing side polls from its progress hook (the same one-greedy-step
   latency bound as in-process cancel).
 
+* **Writer presence.**  A lease only exists while a worker *executes* a
+  job, so it cannot tell "worker alive but idle" from "no worker".
+  Every writer therefore keeps a ``writers/<writer>.json`` presence
+  file (pid + heartbeat, same liveness rule as leases) — announced on
+  first append or explicitly via :meth:`announce_writer`, refreshed by
+  :meth:`heartbeat_writer`, removed by :meth:`close`.
+
 * **Compaction.**  :meth:`compact` rewrites the journal keeping only a
   retained job set — called at coordinator boot, after replay applies
-  the bounded-history eviction rule, and only when no other writer
-  holds a live lease (a live worker's open segment must not be rewritten
-  under it).
+  the bounded-history eviction rule, and only when no *other live
+  writer* exists (presence file or live lease): a live worker appends
+  to its open segment file and tails ours by byte offset, so a rewrite
+  under it would lose its appends to an unlinked inode and wedge its
+  read offsets.  Readers additionally self-heal (:meth:`refresh`
+  resets an offset that no longer lands on a record boundary) and
+  writers reopen their segment if its inode changed, so even a
+  mis-timed compaction degrades to a re-read, not silent loss.
 
 Durability model: every appended line is flushed to the OS immediately,
 so a ``kill -9`` of the process loses nothing already appended (the
@@ -128,12 +141,15 @@ class JobJournal:
         self.lease_ttl = lease_ttl
         self.leases_dir = os.path.join(root, "leases")
         self.cancel_dir = os.path.join(root, "cancel")
-        for path in (root, self.leases_dir, self.cancel_dir):
+        self.writers_dir = os.path.join(root, "writers")
+        for path in (root, self.leases_dir, self.cancel_dir,
+                     self.writers_dir):
             os.makedirs(path, exist_ok=True)
         self._segment_path = os.path.join(
             root, f"segment-{writer_id}.jsonl"
         )
         self._segment = None
+        self._announced = False
         #: per-foreign-segment read offsets (refresh() tail state).
         self._offsets: dict[str, int] = {}
         #: appended-line counters (stats/tests).
@@ -146,6 +162,20 @@ class JobJournal:
         record["v"] = _FORMAT_VERSION
         line = json.dumps(record, sort_keys=True,
                           separators=(",", ":")) + "\n"
+        if not self._announced:
+            self.announce_writer()
+        if self._segment is not None:
+            # A compaction (ours or a mis-timed foreign one) replaces
+            # the segment file; appending to the old inode would write
+            # into the void, so reopen by path when it changed.
+            try:
+                same = os.stat(self._segment_path).st_ino == \
+                    os.fstat(self._segment.fileno()).st_ino
+            except OSError:
+                same = False
+            if not same:
+                self._segment.close()
+                self._segment = None
         if self._segment is None:
             self._segment = open(self._segment_path, "a",
                                  encoding="utf-8")
@@ -183,10 +213,17 @@ class JobJournal:
     def append_result(self, job_id: str, result: dict) -> None:
         self._append({"rec": "result", "job": job_id, "result": result})
 
-    def close(self) -> None:
+    def _close_segment(self) -> None:
         if self._segment is not None:
             self._segment.close()
             self._segment = None
+
+    def close(self) -> None:
+        """Clean shutdown of this writer: close the segment and retire
+        the presence file, so compaction elsewhere no longer waits on
+        us."""
+        self._close_segment()
+        self.retire_writer()
 
     # ------------------------------------------------------------------
     # reading (all segments)
@@ -202,19 +239,24 @@ class JobJournal:
         ]
 
     @staticmethod
-    def _read_lines(path: str, start: int = 0) -> tuple[list[dict], int]:
+    def _read_lines(
+        path: str, start: int = 0
+    ) -> tuple[list[dict], int, bool]:
         """Complete newline-terminated JSON lines from ``start``; the
         returned offset stops before any partial trailing line, so an
         in-progress append from another process is re-read whole on the
-        next call."""
+        next call.  The third element is False when a *terminated* line
+        failed to parse — either a torn write, or ``start`` no longer
+        lands on a record boundary (the file was rewritten under us)."""
         try:
             with open(path, "rb") as fh:
                 fh.seek(start)
                 blob = fh.read()
         except FileNotFoundError:
-            return [], start
+            return [], start, True
         records = []
         offset = start
+        clean = True
         lines = blob.split(b"\n")
         # split()'s last element is the unterminated tail (b"" when the
         # blob ends on a newline) — never a committed record.
@@ -223,13 +265,19 @@ class JobJournal:
                 offset += len(raw) + 1
                 continue
             try:
-                records.append(json.loads(raw))
+                obj = json.loads(raw)
             except ValueError:
+                obj = None
+            if not isinstance(obj, dict):
                 # A torn line means the writer died mid-append; appends
-                # are sequential, so nothing after it is complete.
+                # are sequential, so nothing after it is complete.  (A
+                # parsed non-dict is a line fragment that happened to
+                # be valid JSON — same misalignment case.)
+                clean = False
                 break
+            records.append(obj)
             offset += len(raw) + 1
-        return records, offset
+        return records, offset, clean
 
     def replay(self) -> dict[str, JobImage]:
         """Merge every segment into per-job images (boot-time full
@@ -239,7 +287,7 @@ class JobJournal:
         by seq."""
         images: dict[str, JobImage] = {}
         for path in self._segment_paths():
-            records, _ = self._read_lines(path)
+            records, _, _ = self._read_lines(path)
             for record in records:
                 self.apply(images, record)
         return images
@@ -247,13 +295,32 @@ class JobJournal:
     def refresh(self) -> list[dict]:
         """New complete records appended to *other* writers' segments
         since the last call (the coordinator's live tail of worker
-        progress)."""
+        progress).
+
+        Self-healing: a segment rewritten under us (compaction racing
+        this reader) invalidates our byte offset — either the file is
+        now shorter than the offset, or it regrew and the offset lands
+        mid-line so the first terminated read fails to parse.  Both
+        reset the offset to 0 and re-read the whole segment; re-applied
+        records are harmless because :meth:`apply` folds are monotone
+        (submit first-write-wins, state precedence, events seq-dedup).
+        """
         out: list[dict] = []
         for path in self._segment_paths():
             if path == self._segment_path:
                 continue
             start = self._offsets.get(path, 0)
-            records, offset = self._read_lines(path, start)
+            if start:
+                try:
+                    if os.path.getsize(path) < start:
+                        start = 0
+                except OSError:
+                    start = 0
+            records, offset, clean = self._read_lines(path, start)
+            if start and not clean and not records:
+                # Parse failure at a previously-valid offset: the file
+                # was rewritten, not torn — restart from the top.
+                records, offset, clean = self._read_lines(path, 0)
             self._offsets[path] = offset
             out.extend(records)
         return out
@@ -348,14 +415,11 @@ class JobJournal:
         except (FileNotFoundError, ValueError):
             return None
 
-    def lease_live(self, job_id: str) -> bool:
-        """Whether a lease exists whose owner is still working: the
+    def _owner_live(self, info: dict) -> bool:
+        """Shared liveness rule for leases and writer presence: the
         owning pid is alive, or — when pid liveness cannot decide (pid
         reuse, remote filesystems) — the heartbeat is fresher than the
         TTL."""
-        info = self.lease_info(job_id)
-        if info is None:
-            return False
         pid = info.get("pid")
         if isinstance(pid, int):
             try:
@@ -368,6 +432,11 @@ class JobJournal:
                 return True
         heartbeat = info.get("heartbeat", 0.0)
         return (time.time() - heartbeat) < self.lease_ttl
+
+    def lease_live(self, job_id: str) -> bool:
+        """Whether a lease exists whose owner is still working."""
+        info = self.lease_info(job_id)
+        return info is not None and self._owner_live(info)
 
     def break_lease(self, job_id: str) -> bool:
         """Remove a dead lease (owner gone); False if it is live."""
@@ -410,29 +479,98 @@ class JobJournal:
             pass
 
     # ------------------------------------------------------------------
+    # writer presence
+    # ------------------------------------------------------------------
+    def _writer_path(self, writer_id: str) -> str:
+        return os.path.join(self.writers_dir, f"{writer_id}.json")
+
+    def announce_writer(self) -> None:
+        """Register this process as a live writer (atomic replace).
+        Called implicitly on first append; workers call it eagerly at
+        startup so compaction elsewhere sees them even while idle —
+        leases only exist while a job executes, so without presence an
+        alive-but-idle worker would be invisible."""
+        path = self._writer_path(self.writer_id)
+        tmp = f"{path}.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({
+                "writer": self.writer_id, "pid": os.getpid(),
+                "heartbeat": time.time(),
+            }, sort_keys=True))
+        os.replace(tmp, path)
+        self._announced = True
+
+    def heartbeat_writer(self) -> None:
+        """Refresh this writer's presence timestamp."""
+        self.announce_writer()
+
+    def retire_writer(self) -> None:
+        try:
+            os.remove(self._writer_path(self.writer_id))
+        except FileNotFoundError:
+            pass
+        self._announced = False
+
+    def writer_info(self, writer_id: str) -> dict | None:
+        try:
+            with open(self._writer_path(writer_id),
+                      encoding="utf-8") as fh:
+                return json.load(fh)
+        except (FileNotFoundError, ValueError):
+            return None
+
+    def writer_live(self, writer_id: str) -> bool:
+        """Same liveness rule as :meth:`lease_live`."""
+        info = self.writer_info(writer_id)
+        return info is not None and self._owner_live(info)
+
+    def live_writers(self) -> list[dict]:
+        out = []
+        try:
+            names = sorted(os.listdir(self.writers_dir))
+        except FileNotFoundError:
+            return out
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            writer_id = name[:-len(".json")]
+            if self.writer_live(writer_id):
+                info = self.writer_info(writer_id)
+                if info is not None:
+                    out.append(info)
+        return out
+
+    # ------------------------------------------------------------------
     # compaction
     # ------------------------------------------------------------------
     def compact(self, keep_ids: "set[str] | frozenset[str]") -> bool:
         """Rewrite the journal so only ``keep_ids`` survive, merging
         every segment into this writer's own.
 
-        Boot-time only: refuses (returns False) while any other writer
-        holds a live lease, because a live worker appends to its open
-        segment file and a rewrite would drop its records.  The caller
-        re-derives ``keep_ids`` from the same replay it restores state
-        from, which keeps on-disk history exactly consistent with the
-        in-memory bounded-history eviction."""
+        Boot-time only: refuses (returns False) while any other *live
+        writer* exists — a presence file with a live owner, or a live
+        lease (belt and braces for writers that never announced).  A
+        live worker appends to its open segment file and tails ours by
+        byte offset; rewriting either under it would lose appends to an
+        unlinked inode and wedge its offsets.  Dead writers' presence
+        files are swept instead.  The caller re-derives ``keep_ids``
+        from the same replay it restores state from, which keeps
+        on-disk history exactly consistent with the in-memory
+        bounded-history eviction."""
+        for info in self.live_writers():
+            if info.get("writer") != self.writer_id:
+                return False
         for info in self.live_leases():
             if info.get("writer") != self.writer_id:
                 return False
         kept: list[dict] = []
         for path in self._segment_paths():
-            records, _ = self._read_lines(path)
+            records, _, _ = self._read_lines(path)
             kept.extend(
                 record for record in records
                 if record.get("job") in keep_ids
             )
-        self.close()
+        self._close_segment()
         tmp = self._segment_path + ".compact"
         with open(tmp, "w", encoding="utf-8") as fh:
             for record in kept:
@@ -455,6 +593,18 @@ class JobJournal:
                         os.remove(os.path.join(directory, name))
                     except FileNotFoundError:  # pragma: no cover
                         pass
+        # Dead writers' presence files: their segments were just merged
+        # away, so retire the corpses too.
+        for name in os.listdir(self.writers_dir):
+            if not name.endswith(".json"):
+                continue
+            writer_id = name[:-len(".json")]
+            if writer_id != self.writer_id and \
+                    not self.writer_live(writer_id):
+                try:
+                    os.remove(os.path.join(self.writers_dir, name))
+                except FileNotFoundError:  # pragma: no cover
+                    pass
         return True
 
     # ------------------------------------------------------------------
@@ -465,4 +615,5 @@ class JobJournal:
             "appended": self.appended,
             "segments": len(self._segment_paths()),
             "live_leases": len(self.live_leases()),
+            "live_writers": len(self.live_writers()),
         }

@@ -46,6 +46,7 @@ from __future__ import annotations
 import asyncio
 import copy
 import json
+import logging
 import os
 
 from repro.catalog.schema import Database
@@ -58,6 +59,8 @@ from repro.service.journal import JobJournal
 from repro.service.scheduler import ContextLane, ContextScheduler
 from repro.stats.column_stats import DatabaseStats
 from repro.workload.query import Workload
+
+logger = logging.getLogger(__name__)
 
 REQUEST_KINDS = ("tune", "sweep", "estimate_size", "whatif_cost")
 
@@ -235,12 +238,22 @@ class AdvisorService:
     async def _poll_journal(self) -> None:
         """Fold worker-appended journal records into the in-memory job
         records on a fixed cadence (the coordinator's view of worker
-        progress)."""
+        progress).  Transient failures (e.g. an OSError from a shared
+        filesystem) must not kill the task — it is the only thing
+        keeping externally-executed jobs observable — so each tick is
+        guarded and the next one retries."""
         while True:
             await asyncio.sleep(self.poll_interval)
-            records = self.journal.refresh()
-            if records:
-                self.jobs.apply_external(records)
+            try:
+                records = self.journal.refresh()
+                if records:
+                    self.jobs.apply_external(records)
+                self.jobs.resolve_stale_cancels()
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - keep polling
+                logger.warning("journal poll failed (will retry): %s",
+                               exc)
 
     async def stop(self, drain: bool = True) -> None:
         """Stop the service: optionally drain admitted requests and

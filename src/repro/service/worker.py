@@ -14,11 +14,17 @@ The claim protocol:
 
 1. tail the journal (:meth:`JobJournal.refresh`) and fold new records
    into this worker's merged view;
-2. pick the lowest-id ``queued`` job for a registered context with no
-   lease and no cancel marker;
+2. order the ``queued``, registered-context, unleased, uncancelled
+   jobs by the same dispatch policy the coordinator's turnstile
+   applies — strict priority first, weighted round-robin across
+   tenants inside a priority (a persistent :class:`FairQueue` carries
+   the rotation cursor between polls), submission (= sorted id) order
+   within a tenant — and try to claim them in that order;
 3. atomically create its lease; on success, re-tail and **verify** the
-   job is still queued (the coordinator may have cancelled it in the
-   race window) — otherwise release the lease and move on;
+   job is still queued — a cancel that landed in the race window is
+   resolved *by this worker* (terminal ``cancelled`` state journaled
+   before the lease is released), because the coordinator's
+   eager-cancel path defers to whoever holds the lease;
 4. journal ``running``, execute through the exact
    :meth:`AdvisorService._execute` path (same per-run isolation, so
    the result is byte-identical to a sequential ``tune()``), heartbeat
@@ -44,6 +50,7 @@ import time
 from repro.errors import JobCancelled
 from repro.service.jobs import JOB_KINDS, TERMINAL_STATES
 from repro.service.journal import JobImage
+from repro.service.scheduler import FairQueue
 
 
 class JobWorker:
@@ -53,7 +60,9 @@ class JobWorker:
         service: an :class:`AdvisorService` built with the shared
             ``cache_dir`` and a unique ``journal_writer`` — the worker
             uses its contexts, engine and caches but never starts its
-            asyncio side.
+            asyncio side.  Tenant weights for the claim rotation come
+            from this service's own configuration (pass the
+            coordinator's ``--tenant-weight`` flags to workers too).
         poll_interval: idle sleep between journal tails.
         heartbeat_interval: lease-refresh cadence while executing
             (default: a third of the journal's lease TTL).
@@ -78,6 +87,15 @@ class JobWorker:
         # Our own segment is excluded from refresh(); prime the offsets
         # so the first refresh() only returns genuinely new records.
         self.journal.refresh()
+        # Announce presence now, before any append: an alive-but-idle
+        # worker holds no lease, and the presence file is what stops a
+        # restarting coordinator from compacting our open segment and
+        # read offsets out from under us.
+        self.journal.announce_writer()
+        #: claim-order policy: same strict-priority + deficit-weighted
+        #: tenant rotation as the coordinator turnstile; the cursor
+        #: persists across polls so fairness holds over time.
+        self._fair = FairQueue(self.service.jobs.tenant_weights)
         #: jobs this worker executed (terminal), per outcome.
         self.executed = {state: 0 for state in sorted(TERMINAL_STATES)}
 
@@ -89,10 +107,18 @@ class JobWorker:
     def _refresh(self) -> None:
         self._fold(self.journal.refresh())
 
-    def _claimable(self) -> list[str]:
-        """Queued, known-context, unleased, uncancelled job ids in
-        submission (= sorted id) order."""
-        out = []
+    def _claimable(self):
+        """Queued, known-context, unleased, uncancelled job ids in the
+        coordinator's dispatch order: strict priority, then weighted
+        round-robin across tenants, then submission (= sorted id) order
+        within a tenant.
+
+        Lazily picked from a persistent :class:`FairQueue` re-parked
+        with each poll's candidate set: the rotation cursor only
+        advances for ids actually yielded, so when the caller claims
+        the first yield (the common case) tenant fairness carries over
+        between polls exactly like the coordinator's turnstile."""
+        candidates = []
         for job_id in sorted(self._images):
             image = self._images[job_id]
             if image.state != "queued" or image.kind not in JOB_KINDS:
@@ -103,8 +129,16 @@ class JobWorker:
                 continue
             if self.journal.lease_info(job_id) is not None:
                 continue
-            out.append(job_id)
-        return out
+            candidates.append(image)
+        for lanes in self._fair.pending.values():
+            lanes.clear()
+        for image in candidates:
+            self._fair.park(image)
+        while True:
+            image = self._fair.pick()
+            if image is None:
+                return
+            yield image.job_id
 
     # ------------------------------------------------------------------
     def run_once(self) -> str | None:
@@ -118,9 +152,15 @@ class JobWorker:
             # job (eager cancel) between our tail and the claim.
             self._refresh()
             image = self._images[job_id]
-            if image.state != "queued" or \
-                    self.journal.cancel_requested(job_id):
+            if image.state != "queued":
                 self.journal.release(job_id)
+                continue
+            if self.journal.cancel_requested(job_id):
+                # The cancel landed inside the claim window, so the
+                # coordinator saw our lease and deferred to us: journal
+                # the terminal state before letting go, or nothing ever
+                # would (the claim scan skips cancel-marked jobs).
+                self._resolve_cancelled(image)
                 continue
             print(f"worker {self.journal.writer_id}: claimed {job_id}",
                   flush=True)
@@ -137,6 +177,7 @@ class JobWorker:
         """
         done = 0
         idle_since: float | None = None
+        last_beat = time.time()
         while True:
             job_id = self.run_once()
             if job_id is not None:
@@ -151,7 +192,41 @@ class JobWorker:
             elif idle_timeout is not None and \
                     now - idle_since >= idle_timeout:
                 return done
+            if now - last_beat >= self.heartbeat_interval:
+                # Keep the presence file fresh while idle, so a
+                # restarting coordinator never compacts our segment
+                # and offsets out from under us.
+                self.journal.heartbeat_writer()
+                last_beat = now
             time.sleep(self.poll_interval)
+
+    # ------------------------------------------------------------------
+    def _resolve_cancelled(self, image: JobImage) -> None:
+        """Terminally resolve a claimed job whose cancel marker landed
+        inside the claim window.  We hold the lease, so the
+        coordinator's eager-cancel path skipped the job and the claim
+        scan will keep skipping it — unless someone journals a terminal
+        state it would stay ``queued`` (and count against its tenant's
+        quota) forever."""
+        job_id = image.job_id
+        journal = self.journal
+        ts = time.time()
+        error = "cancelled while queued"
+        journal.append_state(job_id, "cancelled", ts, error=error)
+        journal.apply(self._images, {
+            "rec": "state", "job": job_id, "state": "cancelled",
+            "ts": ts, "error": error,
+        })
+        event = {"event": "state", "state": "cancelled",
+                 "job": job_id, "error": error,
+                 "seq": image.max_seq + 1}
+        journal.append_event(job_id, event)
+        journal.apply(self._images, {
+            "rec": "event", "job": job_id, "event": event,
+        })
+        self.executed["cancelled"] += 1
+        journal.clear_cancel(job_id)
+        journal.release(job_id)
 
     # ------------------------------------------------------------------
     def _execute(self, image: JobImage) -> None:
@@ -192,6 +267,7 @@ class JobWorker:
             now = time.time()
             if now - last_beat >= self.heartbeat_interval:
                 journal.heartbeat(job_id)
+                journal.heartbeat_writer()
                 last_beat = now
             emit(dict(event))
 

@@ -482,3 +482,172 @@ class TestCompaction:
         assert journal.cancel_requested("job-000002") is True
         assert sorted(journal.replay()) == ["job-000002"]
         journal.close()
+
+    def test_compact_refuses_while_idle_foreign_writer_announced(
+            self, tmp_path):
+        """A worker between jobs holds no lease, but it still appends
+        to its segment and tails ours by byte offset: its *presence*
+        file alone must block compaction (the original bug deleted idle
+        workers' open segments on coordinator restart)."""
+        coordinator = JobJournal(str(tmp_path), "coordinator")
+        coordinator.append_submit("job-000001", "tune", "alpha", {},
+                                  "t", "normal", 1.0)
+        worker = JobJournal(str(tmp_path), "worker-1")
+        worker.announce_writer()  # alive, idle: no lease anywhere
+        assert coordinator.compact(frozenset()) is False
+        assert sorted(coordinator.replay()) == ["job-000001"]
+        # A clean worker shutdown retires the presence file.
+        worker.close()
+        assert coordinator.compact(frozenset()) is True
+        coordinator.close()
+
+    def test_compact_sweeps_dead_writer_presence(self, tmp_path):
+        """A crashed worker's presence file (dead pid) must not block
+        compaction forever — it is swept with the merged segments."""
+        coordinator = JobJournal(str(tmp_path), "coordinator")
+        coordinator.append_submit("job-000001", "tune", "alpha", {},
+                                  "t", "normal", 1.0)
+        with open(coordinator._writer_path("worker-dead"), "w",
+                  encoding="utf-8") as fh:
+            json.dump({"writer": "worker-dead", "pid": 2 ** 22 + 7,
+                       "heartbeat": 0.0}, fh)
+        assert coordinator.compact(frozenset({"job-000001"})) is True
+        assert coordinator.writer_info("worker-dead") is None
+        coordinator.close()
+
+    def test_refresh_self_heals_across_foreign_compaction(
+            self, tmp_path):
+        """A reader whose byte offsets predate a compaction must not
+        wedge: a shrunken segment resets the offset, and a regrown
+        segment whose old offset lands mid-line re-reads from the top
+        (re-applied records are harmless — apply() is monotone)."""
+        coordinator = JobJournal(str(tmp_path), "coordinator")
+        for i in range(1, 4):
+            coordinator.append_submit(f"job-{i:06d}", "tune", "alpha",
+                                      {}, "t", "normal", float(i))
+        reader = JobJournal(str(tmp_path), "worker-1")
+        assert len(reader.refresh()) == 3  # offsets now at EOF
+        # Coordinator compacts down to one job: the segment shrinks
+        # below the reader's offset, which must reset and re-read.
+        assert coordinator.compact(frozenset({"job-000003"})) is True
+        records = reader.refresh()
+        assert [r["job"] for r in records] == ["job-000003"]
+        # Regrown segment whose old offset lands mid-line: the parse
+        # failure at a previously-valid offset resets to 0 too (the
+        # original bug left the offset stuck and the reader blind).
+        reader2 = JobJournal(str(tmp_path), "worker-2")
+        reader2.refresh()  # offsets at current EOF
+        path = coordinator._segment_path
+        offset = os.path.getsize(path)
+        coordinator.close()
+        big = json.dumps({"rec": "submit", "job": "job-000004",
+                          "kind": "tune", "context": "alpha",
+                          "payload": {"pad": "x" * (2 * offset + 64)},
+                          "tenant": "t", "priority": "normal",
+                          "created": 4.0, "v": 1})
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(big + "\n")
+        records = reader2.refresh()
+        assert [r["job"] for r in records] == ["job-000004"]
+        assert reader2.refresh() == []  # healed: tailing resumes
+        reader.close()
+        reader2.close()
+
+    def test_writer_reopens_segment_when_inode_changes(self, tmp_path):
+        """An append after the segment file was replaced on disk (a
+        compaction elsewhere) must land in the *current* file, not the
+        unlinked inode."""
+        journal = JobJournal(str(tmp_path), "coordinator")
+        journal.append_submit("job-000001", "tune", "alpha", {}, "t",
+                              "normal", 1.0)
+        path = journal._segment_path
+        os.remove(path)
+        with open(path, "w", encoding="utf-8"):
+            pass  # fresh empty inode, as compaction would leave
+        journal.append_state("job-000001", "running", 2.0)
+        with open(path, encoding="utf-8") as fh:
+            lines = [line for line in fh if line.strip()]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["rec"] == "state"
+        journal.close()
+
+
+class TestStaleCancelSafetyNet:
+    def test_queued_external_cancel_with_dead_lease_resolves(
+            self, tmp_path):
+        """The cancel/claim race can leave a cancel-marked ``queued``
+        job with no live lease and nobody committed to resolving it;
+        the coordinator's poll-side net journals the terminal state."""
+
+        async def scenario():
+            journal = JobJournal(str(tmp_path), "coordinator")
+            service = StubService(journal=journal, execute_jobs=False)
+            try:
+                record = service.jobs.submit("tune", "alpha", {})
+                # A worker claimed, then died before journaling
+                # anything; the coordinator's cancel saw the lease and
+                # only dropped a marker.
+                with open(journal._lease_path(record.id), "w",
+                          encoding="utf-8") as fh:
+                    json.dump({"job": record.id, "writer": "worker-x",
+                               "pid": 2 ** 22 + 7, "heartbeat": 0.0},
+                              fh)
+                service.jobs.cancel(record.id)
+                assert record.state == "queued"  # lease deferred it
+                service.jobs.resolve_stale_cancels()
+                return (record.state,
+                        journal.cancel_requested(record.id),
+                        journal.lease_info(record.id),
+                        [e["seq"] for e in record.events])
+            finally:
+                service.shutdown()
+
+        state, marker, lease, seqs = run(scenario())
+        assert state == "cancelled"
+        assert marker is False
+        assert lease is None
+        assert seqs == list(range(1, len(seqs) + 1))
+
+    def test_live_lease_defers_to_the_worker(self, tmp_path):
+        async def scenario():
+            journal = JobJournal(str(tmp_path), "coordinator")
+            service = StubService(journal=journal, execute_jobs=False)
+            try:
+                record = service.jobs.submit("tune", "alpha", {})
+                other = JobJournal(str(tmp_path), "worker-y")
+                other.claim(record.id)  # live: our own pid
+                service.jobs.cancel(record.id)
+                service.jobs.resolve_stale_cancels()
+                state = record.state
+                other.release(record.id)
+                other.close()
+                return state
+            finally:
+                service.shutdown()
+
+        # Still queued: the live claim holder resolves it, not us.
+        assert run(scenario()) == "queued"
+
+
+class TestStreamTermination:
+    def test_terminal_record_with_no_events_ends_stream(self, tmp_path):
+        """A terminal record restored with zero events (its submit line
+        survived a torn write, its event lines did not) must end the
+        stream immediately, not park on ``changed`` forever."""
+
+        async def scenario():
+            service = StubService()
+            try:
+                from repro.service.jobs import JobRecord
+                record = JobRecord("job-000001", "tune", "alpha", {})
+                record.state = "done"
+                service.jobs.jobs[record.id] = record
+                service.jobs._order.append(record.id)
+                events = []
+                async for event in service.jobs.stream(record.id):
+                    events.append(event)
+                return events
+            finally:
+                service.shutdown()
+
+        assert run(asyncio.wait_for(scenario(), timeout=5)) == []

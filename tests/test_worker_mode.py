@@ -36,7 +36,7 @@ class StubService:
     """The worker-facing slice of AdvisorService: contexts, a journal,
     a synchronous ``_execute``, and cache persistence (a no-op here)."""
 
-    def __init__(self, journal, fail=False):
+    def __init__(self, journal, fail=False, **manager_kwargs):
         self.contexts = {"alpha": object(), "beta": object()}
         self.started = True
         self._closing = False
@@ -50,7 +50,7 @@ class StubService:
         self.executed = []
         self.saved = 0
         self.jobs = JobManager(self, journal=journal,
-                               execute_jobs=False)
+                               execute_jobs=False, **manager_kwargs)
 
     def _execute(self, kind, context, payload, lane=None, progress=None):
         if self.cancel_target is not None:
@@ -222,6 +222,52 @@ class TestWorkerExecutionOutcomes:
         assert executed == []  # unwound before completing
         assert marker is False  # marker cleaned up
 
+    def test_cancel_landing_in_claim_window_resolves_terminally(
+            self, tmp_path):
+        """The cancel/claim race: the coordinator's cancel sees our
+        fresh lease and defers (marker only, no eager resolve); the
+        worker's post-claim verify must then journal the terminal state
+        itself — abandoning silently would strand the job ``queued``
+        forever, since the claim scan skips cancel-marked jobs."""
+
+        async def scenario():
+            coordinator = make_coordinator(tmp_path)
+            svc, worker = make_worker(tmp_path, "worker-a")
+            try:
+                record = coordinator.jobs.submit("tune", "alpha",
+                                                 {"job": "j"})
+                real_claim = worker.journal.claim
+
+                def claim_then_cancel(job_id):
+                    won = real_claim(job_id)
+                    if won:  # cancel lands inside the claim window
+                        coordinator.jobs.cancel(record.id)
+                    return won
+
+                worker.journal.claim = claim_then_cancel
+                assert worker.run_once() is None  # nothing executed
+                coordinator.jobs.apply_external(
+                    coordinator.journal.refresh())
+                return (record.snapshot(), svc.executed,
+                        coordinator.journal.cancel_requested(record.id),
+                        coordinator.journal.lease_info(record.id),
+                        worker.stats())
+            finally:
+                coordinator.shutdown()
+                svc.shutdown()
+
+        snapshot, executed, marker, lease, stats = run(scenario())
+        assert snapshot["state"] == "cancelled"
+        assert executed == []  # never ran
+        assert marker is False  # marker cleaned up
+        assert lease is None  # lease released
+        assert stats["executed"]["cancelled"] == 1
+        # A later journal replay agrees: terminal, gap-free events.
+        replayed = JobJournal(str(tmp_path), "reader").replay()
+        image = replayed[snapshot["id"]]
+        assert image.state == "cancelled"
+        assert image.seq_gapless()
+
     def test_run_forever_bounds(self, tmp_path):
         async def scenario():
             coordinator = make_coordinator(tmp_path)
@@ -240,6 +286,108 @@ class TestWorkerExecutionOutcomes:
         done, drained = run(scenario())
         assert done == 2
         assert drained == 1
+
+
+class TestClaimOrdering:
+    """Workers apply the same dispatch policy as the coordinator's
+    turnstile: strict priority lanes, weighted round-robin across
+    tenants inside a lane, submission order within a tenant — not
+    plain FIFO over job ids."""
+
+    def test_priority_then_tenant_round_robin(self, tmp_path):
+        async def scenario():
+            coordinator = make_coordinator(tmp_path)
+            svc, worker = make_worker(tmp_path, "worker-a")
+            try:
+                ids = {}
+                for name, tenant, priority in (
+                    ("a-norm-1", "a", "normal"),
+                    ("a-norm-2", "a", "normal"),
+                    ("b-high", "b", "high"),
+                    ("a-low", "a", "low"),
+                    ("b-norm", "b", "normal"),
+                ):
+                    ids[coordinator.jobs.submit(
+                        "tune", "alpha", {"job": name},
+                        tenant=tenant, priority=priority).id] = name
+                claimed = []
+                while True:
+                    job_id = worker.run_once()
+                    if job_id is None:
+                        break
+                    claimed.append(ids[job_id])
+                return claimed
+            finally:
+                coordinator.shutdown()
+                svc.shutdown()
+
+        # high first; then the normal lane rotates a, b, a; low last.
+        assert run(scenario()) == [
+            "b-high", "a-norm-1", "b-norm", "a-norm-2", "a-low",
+        ]
+
+    def test_tenant_weights_grant_consecutive_claims(self, tmp_path):
+        async def scenario():
+            journal = JobJournal(str(tmp_path), "coordinator")
+            coordinator = StubService(journal,
+                                      tenant_weights={"a": 2})
+            worker_journal = JobJournal(str(tmp_path), "worker-a")
+            worker_svc = StubService(worker_journal,
+                                     tenant_weights={"a": 2})
+            worker = JobWorker(worker_svc, poll_interval=0.01)
+            try:
+                ids = {}
+                for name, tenant in (("a1", "a"), ("a2", "a"),
+                                     ("a3", "a"), ("b1", "b"),
+                                     ("b2", "b")):
+                    ids[coordinator.jobs.submit(
+                        "tune", "alpha", {"job": name},
+                        tenant=tenant).id] = name
+                claimed = []
+                while True:
+                    job_id = worker.run_once()
+                    if job_id is None:
+                        break
+                    claimed.append(ids[job_id])
+                return claimed
+            finally:
+                coordinator.shutdown()
+                worker_svc.shutdown()
+
+        # Weight 2 gives tenant a two consecutive claims per visit.
+        assert run(scenario()) == ["a1", "a2", "b1", "a3", "b2"]
+
+
+class TestCoordinatorPollResilience:
+    def test_poll_task_survives_transient_refresh_errors(
+            self, tmp_path):
+        """A transient OSError from the shared filesystem must not
+        kill the poll task — it is the only thing folding worker
+        progress into the coordinator's records."""
+
+        async def scenario():
+            service = AdvisorService(cache_dir=str(tmp_path / "cache"),
+                                     poll_interval=0.01)
+            await service.start()
+            try:
+                calls = {"n": 0}
+                real = service.journal.refresh
+
+                def flaky():
+                    calls["n"] += 1
+                    if calls["n"] == 1:
+                        raise OSError("shared fs hiccup")
+                    return real()
+
+                service.journal.refresh = flaky
+                await asyncio.sleep(0.2)
+                return calls["n"], service._poll_task.done()
+            finally:
+                await service.stop()
+
+        calls, poll_dead = run(scenario())
+        assert calls >= 2  # kept polling past the failure
+        assert poll_dead is False
 
 
 @pytest.fixture(scope="module")
