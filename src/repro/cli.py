@@ -250,6 +250,9 @@ def cmd_serve(args) -> int:
         execute_jobs=not args.dispatch_only,
         journal_writer=writer,
         poll_interval=args.poll_interval,
+        journal_max_segment_bytes=args.journal_max_segment_bytes
+        or None,
+        fault_plan=args.fault_plan,
     )
     names = (
         ("sales", "tpch") if args.dataset == "both" else (args.dataset,)
@@ -324,7 +327,8 @@ def cmd_jobs(args) -> int:
     async def main() -> int:
         async with AdvisorClient(args.host, args.port) as client:
             if args.action == "list":
-                for snapshot in (await client.jobs())["jobs"]:
+                listing = await client.jobs(tenant=args.tenant)
+                for snapshot in listing["jobs"]:
                     show(snapshot)
                 return 0
             if args.action == "submit":
@@ -338,8 +342,11 @@ def cmd_jobs(args) -> int:
                 if args.seed is not None:
                     payload["seed"] = args.seed
                 job = await client.submit_job(
-                    args.context, kind=args.kind, tenant=args.tenant,
-                    priority=args.priority, **payload
+                    args.context, kind=args.kind,
+                    tenant=args.tenant or "default",
+                    priority=args.priority,
+                    deadline_s=args.deadline, retries=args.retries,
+                    retry_backoff=args.retry_backoff, **payload
                 )
                 show(job)
                 if not args.follow:
@@ -579,6 +586,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--idle-timeout", type=float, default=0.0,
                        help="worker mode: exit after this many "
                             "consecutive idle seconds (0 = never)")
+    p_srv.add_argument("--journal-max-segment-bytes", type=int,
+                       default=0,
+                       help="rotate this process's journal segment "
+                            "once it grows past this many bytes "
+                            "(0 = never rotate)")
+    p_srv.add_argument("--fault-plan", default=None,
+                       metavar="PLAN",
+                       help="deterministic fault-injection plan, e.g. "
+                            "'journal.append:enospc@3x2;"
+                            "coster.batch:delay=0.1' (testing only; "
+                            "REPRO_FAULTS env var works too)")
     p_srv.set_defaults(fn=cmd_serve)
 
     p_jobs = sub.add_parser(
@@ -608,12 +626,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="selection algorithm for the submitted "
                              "job (server default when omitted)")
     p_jobs.add_argument("--seed", type=int, default=None)
-    p_jobs.add_argument("--tenant", default="default",
-                        help="tenant tag for fairness/quota accounting")
+    p_jobs.add_argument("--tenant", default=None,
+                        help="tenant tag for fairness/quota accounting "
+                             "(submit default: 'default'); with list, "
+                             "show only this tenant's jobs")
     p_jobs.add_argument("--priority",
                         choices=("high", "normal", "low"),
                         default="normal",
                         help="priority lane for the submitted job")
+    p_jobs.add_argument("--deadline", type=float, default=None,
+                        help="wall-clock deadline in seconds measured "
+                             "from submission; past it the job fails "
+                             "with timeout=true")
+    p_jobs.add_argument("--retries", type=int, default=None,
+                        help="re-run the job up to this many times "
+                             "after transient failures")
+    p_jobs.add_argument("--retry-backoff", type=float, default=None,
+                        help="base seconds for jittered exponential "
+                             "retry backoff (default 0.5)")
     p_jobs.add_argument("--after", type=int, default=0,
                         help="resume an event stream past this seq")
     p_jobs.add_argument("--follow", action="store_true",

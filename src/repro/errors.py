@@ -79,3 +79,12 @@ class JobCancelled(JobError):
     Raised *into* a running advisor through its progress hook: the run
     unwinds at the next progress event, which is what bounds
     cancellation latency to one greedy step."""
+
+
+class JobDeadlineExceeded(JobError):
+    """A job overran its submission ``deadline_s``.
+
+    Enforced through the same progress-hook path as cancellation, so a
+    deadlined run unwinds within one greedy step of expiry; the job is
+    journaled terminal ``failed`` with a ``timeout`` marker (never
+    retried — the budget covers all attempts)."""

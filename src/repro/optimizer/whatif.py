@@ -26,6 +26,11 @@ from repro.stats.column_stats import DatabaseStats
 from repro.workload.query import SelectQuery, Statement
 from repro.workload.query import Workload
 
+#: fault-injection hook (see :mod:`repro.service.faults`): rebound to
+#: that module's ``fire`` when a plan is installed, None otherwise —
+#: declared here so the optimizer never imports the service package.
+FAULT_HOOK = None
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle with delta
     from repro.optimizer.delta import DeltaWorkloadCoster
 
@@ -255,6 +260,8 @@ class WhatIfOptimizer:
         :class:`~repro.optimizer.delta.DeltaWorkloadCoster` bound to the
         same workload: only statements whose relevant-structure set
         changed get re-evaluated, with bit-identical totals."""
+        if FAULT_HOOK is not None:
+            FAULT_HOOK("coster.batch", configs=len(configs))
         if delta is not None and delta.workload is workload:
             return delta.batch(configs)
         return [self.workload_cost(workload, config) for config in configs]

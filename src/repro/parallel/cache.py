@@ -40,6 +40,7 @@ sweeps byte-identical (a run never observes a sibling's fresh entries).
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
@@ -64,6 +65,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle with repro.sizeest
 CACHE_FILE = "estimates.json"
 COST_CACHE_FILE = "costs.json"
 _FORMAT_VERSION = 1
+
+#: fault-injection hook (see :mod:`repro.service.faults`): rebound to
+#: that module's ``fire`` when a plan is installed, None otherwise.
+#: Declared here (instead of importing the service package) so cache
+#: saves stay import-cycle-free and cost one ``is None`` check.
+FAULT_HOOK = None
+
+#: write errors treated as disk pressure: the save is skipped, the
+#: cache flips its ``degraded`` flag (the service surfaces it via
+#: ``/healthz``), and the next save retries — the caches are pure
+#: replay state, so losing a save costs recomputation, never
+#: correctness.
+_DEGRADED_ERRNOS = frozenset({errno.ENOSPC, errno.EIO})
 
 
 class _PersistentJsonCache:
@@ -91,6 +105,10 @@ class _PersistentJsonCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: disk-pressure degradation: True after a save failed with
+        #: ``ENOSPC``/``EIO``; cleared by the next save that succeeds.
+        self.degraded = False
+        self.save_errors = 0
         #: serializes fork_view/absorb/save against each other — the
         #: tuning service's per-context lanes snapshot and re-absorb
         #: the *shared* caches from different threads concurrently.
@@ -182,36 +200,54 @@ class _PersistentJsonCache:
         unlocked merge).  A no-op when every entry is already on disk,
         so per-batch save calls against a large warm cache don't redo
         O(entries) JSON work.
+
+        Disk pressure (``ENOSPC``/``EIO``) does not raise: the save is
+        skipped, ``degraded`` flips (probe-and-recover — the next save
+        retries and clears it), and the run continues on memory alone;
+        cache entries are pure replay state, so the cost is
+        recomputation, never correctness.
         """
         if self.path is None:
             return
         with self._mutate_lock:
             if all(key in self._loaded_entries for key in self._entries):
                 return
-            self.path.mkdir(parents=True, exist_ok=True)
-            lock_fh = self._acquire_lock()
             try:
-                merged = self._read_file()
-                merged.update(self._entries)
-                payload = {"version": _FORMAT_VERSION, "entries": merged}
-                fd, tmp = tempfile.mkstemp(
-                    dir=self.path, prefix=f".{type(self).FILE}-",
-                    suffix=".tmp"
-                )
+                if FAULT_HOOK is not None:
+                    FAULT_HOOK("cache.save", file=type(self).FILE)
+                self.path.mkdir(parents=True, exist_ok=True)
+                lock_fh = self._acquire_lock()
                 try:
-                    with os.fdopen(fd, "w") as fh:
-                        json.dump(payload, fh)
-                    os.replace(tmp, self.file)
-                except BaseException:
+                    merged = self._read_file()
+                    merged.update(self._entries)
+                    payload = {
+                        "version": _FORMAT_VERSION, "entries": merged
+                    }
+                    fd, tmp = tempfile.mkstemp(
+                        dir=self.path, prefix=f".{type(self).FILE}-",
+                        suffix=".tmp"
+                    )
                     try:
-                        os.unlink(tmp)
-                    except OSError:
-                        pass
+                        with os.fdopen(fd, "w") as fh:
+                            json.dump(payload, fh)
+                        os.replace(tmp, self.file)
+                    except BaseException:
+                        try:
+                            os.unlink(tmp)
+                        except OSError:
+                            pass
+                        raise
+                finally:
+                    if lock_fh is not None:
+                        lock_fh.close()
+            except OSError as exc:
+                if exc.errno not in _DEGRADED_ERRNOS:
                     raise
-            finally:
-                if lock_fh is not None:
-                    lock_fh.close()
+                self.degraded = True
+                self.save_errors += 1
+                return
             self._loaded_entries = dict(merged)
+            self.degraded = False
 
     def _acquire_lock(self):
         """Exclusive advisory lock on ``<FILE>.lock`` (held until the
@@ -251,6 +287,8 @@ class _PersistentJsonCache:
             "misses": self.misses,
             "stores": self.stores,
             "hit_rate": self.hit_rate,
+            "degraded": self.degraded,
+            "save_errors": self.save_errors,
         }
 
 

@@ -10,7 +10,10 @@ scale-out over journal leases), :class:`ContextScheduler` /
 and tenant-fair turn-taking), :class:`ServiceHTTPServer` /
 :func:`serve` (stdlib JSON-over-HTTP incl. ``/v1/jobs``), and
 :class:`AdvisorClient` (async client with retry/backoff and event
-streaming).
+streaming).  :mod:`repro.service.faults` adds a deterministic
+fault-injection layer (:class:`FaultPlan`) behind the tier's runtime
+guardrails: per-job deadlines, retry policies, disk-pressure degraded
+mode and the coordinator's worker watchdog.
 """
 
 from repro.service.client import AdvisorClient, ServiceHTTPError
@@ -19,6 +22,16 @@ from repro.service.context import (
     index_to_spec,
     parse_index_spec,
     serialize_result,
+)
+from repro.service.faults import (
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    InjectedFault,
+    clear as clear_faults,
+    describe_active,
+    install as install_faults,
+    install_from_env,
 )
 from repro.service.http import ServiceHTTPServer, describe_algorithms, serve
 from repro.service.jobs import (
@@ -45,6 +58,10 @@ __all__ = [
     "ContextLane",
     "ContextScheduler",
     "FairQueue",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "InjectedFault",
     "JobImage",
     "JobJournal",
     "JobManager",
@@ -61,6 +78,10 @@ __all__ = [
     "TERMINAL_STATES",
     "WarmSlot",
     "serve",
+    "clear_faults",
+    "describe_active",
+    "install_faults",
+    "install_from_env",
     "describe_algorithms",
     "serialize_result",
     "parse_index_spec",

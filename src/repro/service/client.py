@@ -19,10 +19,11 @@ Usage::
 
 Raises :class:`ServiceHTTPError` on non-2xx responses (``status`` and
 the server's error text attached).  **Retryable** failures — HTTP 503
-backpressure and HTTP 429 tenant-quota breaches — are retried
-automatically with exponential backoff that honors the server's
-``Retry-After`` header (``retries=0`` disables); everything else
-surfaces immediately.
+backpressure, HTTP 429 tenant-quota breaches, and connection-level
+errors (``ECONNREFUSED``/connection reset during a coordinator
+restart) — are retried automatically with exponential backoff that
+honors the server's ``Retry-After`` header (``retries=0`` disables);
+everything else surfaces immediately.
 """
 
 from __future__ import annotations
@@ -97,16 +98,33 @@ class AdvisorClient:
 
     async def _request(self, method: str, path: str,
                        payload: dict | None = None) -> dict:
-        """One request with automatic backoff on retryable failures."""
+        """One request with automatic backoff on retryable failures.
+
+        Connection-level errors (``ECONNREFUSED``, connection reset —
+        any :class:`OSError`) retry on the same schedule as HTTP
+        429/503: they are what a coordinator restart looks like from
+        the client side, and blowing up mid-restart would defeat the
+        point of the backoff."""
         attempt = 0
         while True:
             try:
                 return await self._request_once(method, path, payload)
-            except ServiceHTTPError as exc:
-                if not exc.retryable or attempt >= self.retries:
+            except (ServiceHTTPError, OSError) as exc:
+                if isinstance(exc, TimeoutError):
+                    # A request that ran out its own `timeout` budget
+                    # is not a transient connect failure (TimeoutError
+                    # subclasses OSError on 3.11+): surface it.
                     raise
+                retryable = (
+                    exc.retryable
+                    if isinstance(exc, ServiceHTTPError)
+                    else True
+                )
+                if not retryable or attempt >= self.retries:
+                    raise
+                retry_after = getattr(exc, "retry_after", None)
                 await self._sleep(
-                    self.retry_delay(attempt, exc.retry_after)
+                    self.retry_delay(attempt, retry_after)
                 )
                 attempt += 1
 
@@ -200,22 +218,38 @@ class AdvisorClient:
     # ------------------------------------------------------------------
     async def submit_job(self, context: str, kind: str = "tune",
                          tenant: str = "default",
-                         priority: str = "normal", **payload) -> dict:
+                         priority: str = "normal",
+                         deadline_s: float | None = None,
+                         retries: int | None = None,
+                         retry_backoff: float | None = None,
+                         **payload) -> dict:
         """Submit a tune/sweep job; returns its snapshot (``id``,
         ``state``, ...).  ``tenant`` tags the submission for the
         server's fairness/quota accounting, ``priority`` picks its lane
-        (``high``/``normal``/``low``)."""
-        return await self._request("POST", "/v1/jobs", {
+        (``high``/``normal``/``low``); ``deadline_s`` bounds the job's
+        wall time from submission, ``retries``/``retry_backoff`` give
+        transient failures a budget."""
+        body = {
             "context": context, "kind": kind, "tenant": tenant,
             "priority": priority, **payload,
-        })
+        }
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        if retries is not None:
+            body["retries"] = retries
+        if retry_backoff is not None:
+            body["retry_backoff"] = retry_backoff
+        return await self._request("POST", "/v1/jobs", body)
 
     async def job(self, job_id: str) -> dict:
         """Poll one job's snapshot (carries ``result`` once done)."""
         return await self._request("GET", f"/v1/jobs/{job_id}")
 
-    async def jobs(self) -> dict:
-        return await self._request("GET", "/v1/jobs")
+    async def jobs(self, tenant: str | None = None) -> dict:
+        path = "/v1/jobs"
+        if tenant is not None:
+            path += f"?tenant={tenant}"
+        return await self._request("GET", path)
 
     async def cancel_job(self, job_id: str) -> dict:
         return await self._request("POST", f"/v1/jobs/{job_id}/cancel")

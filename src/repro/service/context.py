@@ -59,7 +59,9 @@ _REQUEST_OPTION_FIELDS = frozenset({
 #: submissions from getting different coalescing keys, warm-affinity
 #: signatures, or journaled payloads (recovered re-runs must be
 #: byte-identical to their cold submissions).
-_ROUTING_FIELDS = frozenset({"tenant", "priority"})
+_ROUTING_FIELDS = frozenset({
+    "tenant", "priority", "deadline_s", "retries", "retry_backoff",
+})
 
 
 def parse_index_spec(database: Database, spec: dict) -> IndexDef:

@@ -15,9 +15,12 @@ Routes::
     POST /v1/estimate_size        -> (same shape)
     POST /v1/whatif_cost          -> (same shape)
     POST /v1/jobs                 -> {"context", "kind", "tenant"?,
-                                     "priority"?, ...payload}
+                                     "priority"?, "deadline_s"?,
+                                     "retries"?, "retry_backoff"?,
+                                     ...payload}
                                      submit a tune/sweep job
     GET  /v1/jobs                 -> {"jobs": [snapshots...]}
+                                     (?tenant=X filters to one tenant)
     GET  /v1/jobs/<id>            -> job snapshot (poll)
     GET  /v1/jobs/<id>/events     -> chunked NDJSON progress stream
                                      (?after=N resumes past seq N)
@@ -214,6 +217,10 @@ class ServiceHTTPServer:
                 return 200, {
                     "ok": True,
                     "running": self.service.started,
+                    # Disk-pressure degradation is a health property:
+                    # the tier still serves, but durability is
+                    # best-effort until the disk recovers.
+                    "degraded": self.service.degraded,
                     "contexts": sorted(self.service.contexts),
                 }
             if path == "/v1/stats":
@@ -269,7 +276,13 @@ class ServiceHTTPServer:
         parts = [p for p in path.removeprefix("/v1/jobs").split("/") if p]
         if not parts:
             if method == "GET":
-                return 200, {"jobs": self.service.jobs.list_jobs()}
+                tenant = None
+                params = parse_qs(query)
+                if "tenant" in params:
+                    tenant = params["tenant"][0]
+                return 200, {
+                    "jobs": self.service.jobs.list_jobs(tenant=tenant)
+                }
             if method != "POST":
                 return 405, {"error": f"method {method} not allowed"}
             payload, error = self._parse_body(body)
@@ -279,6 +292,9 @@ class ServiceHTTPServer:
             kind = payload.pop("kind", "tune")
             tenant = payload.pop("tenant", "default")
             priority = payload.pop("priority", "normal")
+            deadline_s = payload.pop("deadline_s", None)
+            retries = payload.pop("retries", 0)
+            retry_backoff = payload.pop("retry_backoff", None)
             if not isinstance(context, str):
                 return 400, {"error": "body needs a 'context' string"}
             if not isinstance(tenant, str) or \
@@ -290,6 +306,8 @@ class ServiceHTTPServer:
                 record = self.service.submit_job(
                     kind, context, payload,
                     tenant=tenant, priority=priority,
+                    deadline_s=deadline_s, retries=retries,
+                    retry_backoff=retry_backoff,
                 )
             except QuotaExceededError as exc:
                 # Per-tenant limit, not global pressure: 429 so clients

@@ -59,6 +59,29 @@ Since PR 7 the job tier is **durable and multi-tenant**:
   transitions, events and results back into the in-memory records, so
   polling and streaming clients never see the difference.
 
+Since PR 8 the tier carries **runtime guardrails** (chaos-tested via
+:mod:`repro.service.faults`):
+
+* **Deadlines.**  ``deadline_s`` on submit bounds a job's wall time
+  from submission across all attempts; enforced through the same
+  progress-hook path as cancel (one-greedy-step latency), journaled
+  terminal ``failed`` with a ``timeout`` marker, never retried.
+* **Retries.**  ``retries``/``retry_backoff`` give transient failures
+  a budget: a failed attempt re-enqueues attempt-stamped behind a
+  deterministic jittered exponential backoff (:func:`retry_delay`),
+  and a retry that succeeds returns a result byte-identical to the
+  sequential run (same lane, same isolation — the determinism
+  contract holds per attempt).
+* **Disk-pressure degradation.**  Journal writes hitting ``ENOSPC``/
+  ``EIO`` flip the manager into ``degraded`` mode: ops buffer in
+  memory (bounded), jobs keep running, ``/healthz`` reports it, and
+  :meth:`JobManager.journal_probe` (poll task) replays the buffer and
+  clears the flag once the disk recovers.
+* **Worker watchdog.**  :meth:`JobManager.watchdog_sweep` (poll task)
+  breaks dead leases, re-dispatches orphaned running jobs (or fails
+  them when out of retry budget), quarantines workers after repeated
+  breaks, and expires queued jobs past their deadline.
+
 Results are byte-identical to the synchronous endpoints: a job executes
 through exactly the same :meth:`ServiceContext.run_tune`/``run_sweep``
 path, on the same lane, with the same per-run isolation — and a
@@ -68,12 +91,15 @@ recovered job re-runs byte-identical to its cold submission.
 from __future__ import annotations
 
 import asyncio
+import errno
 import threading
 import time
+import zlib
 
 from repro.errors import (
     BackpressureError,
     JobCancelled,
+    JobDeadlineExceeded,
     JobError,
     QuotaExceededError,
 )
@@ -83,6 +109,44 @@ JOB_KINDS = ("tune", "sweep")
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
 
+#: retry backoff base (seconds) when a submission asks for retries
+#: without naming one.
+DEFAULT_RETRY_BACKOFF = 0.5
+
+#: write errors that flip the tier into degraded mode instead of
+#: failing the operation: disk pressure and transient device errors.
+#: Anything else (permissions, bad paths) is a real bug and raises.
+_DEGRADED_ERRNOS = frozenset({errno.ENOSPC, errno.EIO})
+
+#: degraded-mode replay buffer bound — beyond it the *oldest* buffered
+#: journal writes drop (counted), because an unbounded buffer under a
+#: disk that never recovers is its own outage.
+DEGRADED_BUFFER_LIMIT = 10_000
+
+#: lease breaks charged to one worker before the watchdog benches it.
+QUARANTINE_THRESHOLD = 3
+
+
+def retry_delay(job_id: str, attempt: int, backoff: float) -> float:
+    """Backoff before retry ``attempt`` (1-based): exponential in the
+    attempt, scaled by a *deterministic* jitter factor in [0.5, 1.5)
+    derived from the job id — spreads a thundering herd of same-moment
+    failures without making schedules (or tests) timing-dependent."""
+    base = backoff * (2 ** (attempt - 1))
+    jitter = 0.5 + (
+        zlib.crc32(f"{job_id}:{attempt}".encode()) % 1000
+    ) / 1000.0
+    return base * jitter
+
+
+def deadline_expired(created: float, deadline_s: float | None,
+                     now: float | None = None) -> bool:
+    """Whether a job submitted at ``created`` has overrun its budget
+    (deadlines measure wall time from submission, across attempts)."""
+    if deadline_s is None:
+        return False
+    return (now if now is not None else time.time()) - created > deadline_s
+
 
 class JobRecord:
     """One submitted job: identity, routing (tenant/priority), state
@@ -91,13 +155,29 @@ class JobRecord:
 
     def __init__(self, job_id: str, kind: str, context: str,
                  payload: dict, tenant: str = "default",
-                 priority: str = "normal") -> None:
+                 priority: str = "normal",
+                 deadline_s: float | None = None, retries: int = 0,
+                 retry_backoff: float | None = None) -> None:
         self.id = job_id
         self.kind = kind
         self.context = context
         self.payload = dict(payload)
         self.tenant = tenant
         self.priority = priority
+        #: guardrails: wall-clock budget from submission (None = no
+        #: deadline) and the transient-failure retry allowance.
+        self.deadline_s = deadline_s
+        self.retries = retries
+        self.retry_backoff = (
+            DEFAULT_RETRY_BACKOFF if retry_backoff is None
+            else retry_backoff
+        )
+        #: current attempt (0 = first run), True when the terminal
+        #: failure was a deadline expiry, earliest-start for a
+        #: backoff-parked retry.
+        self.attempt = 0
+        self.timeout = False
+        self.not_before: float | None = None
         self.state = "queued"
         self.created = time.time()
         self.started: float | None = None
@@ -141,6 +221,15 @@ class JobRecord:
         }
         if self.recovered:
             out["recovered"] = True
+        if self.deadline_s is not None:
+            out["deadline_s"] = self.deadline_s
+        if self.retries:
+            out["retries"] = self.retries
+            out["retry_backoff"] = self.retry_backoff
+        if self.attempt:
+            out["attempt"] = self.attempt
+        if self.timeout:
+            out["timeout"] = True
         if self.error is not None:
             out["error"] = self.error
         if include_result and self.result is not None:
@@ -192,14 +281,57 @@ class JobManager:
         self.submitted = {kind: 0 for kind in JOB_KINDS}
         self.finished = {state: 0 for state in TERMINAL_STATES}
         self.recovered_jobs = 0
+        self.retried = 0
+        #: disk-pressure degradation: while True, journal writes buffer
+        #: in memory instead of touching the failing disk; the poll
+        #: task's :meth:`journal_probe` drains the buffer and clears
+        #: the flag once writes succeed again.
+        self.degraded = False
+        self.degraded_since: float | None = None
+        self.degraded_reason: str | None = None
+        self._journal_buffer: list[tuple] = []
+        self.degraded_events = 0
+        self.degraded_dropped = 0
+        #: watchdog bookkeeping: broken-lease tallies per worker and
+        #: cumulative sweep counters (surfaced in :meth:`stats`).
+        self.lease_breaks: dict[str, int] = {}
+        self.watchdog = {
+            "sweeps": 0, "lease_breaks": 0, "requeued": 0,
+            "failed": 0, "quarantined": 0, "deadline_expired": 0,
+        }
 
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
     def submit(self, kind: str, context: str, payload: dict,
-               tenant: str = "default",
-               priority: str = "normal") -> JobRecord:
+               tenant: str = "default", priority: str = "normal",
+               deadline_s: float | None = None, retries: int = 0,
+               retry_backoff: float | None = None) -> JobRecord:
         """Create a job and schedule it on its context's lane."""
+        if deadline_s is not None:
+            try:
+                deadline_s = float(deadline_s)
+            except (TypeError, ValueError):
+                raise JobError(
+                    f"deadline_s must be a number, got {deadline_s!r}"
+                ) from None
+            if deadline_s <= 0:
+                raise JobError("deadline_s must be > 0")
+        if not isinstance(retries, int) or isinstance(retries, bool) \
+                or retries < 0:
+            raise JobError(
+                f"retries must be a non-negative integer, got {retries!r}"
+            )
+        if retry_backoff is not None:
+            try:
+                retry_backoff = float(retry_backoff)
+            except (TypeError, ValueError):
+                raise JobError(
+                    "retry_backoff must be a number, got "
+                    f"{retry_backoff!r}"
+                ) from None
+            if retry_backoff < 0:
+                raise JobError("retry_backoff must be >= 0")
         if kind not in JOB_KINDS:
             raise JobError(
                 f"unknown job kind {kind!r}; one of {JOB_KINDS}"
@@ -237,7 +369,8 @@ class JobManager:
                 )
         record = JobRecord(
             f"job-{self._counter:06d}", kind, context, payload,
-            tenant=tenant, priority=priority,
+            tenant=tenant, priority=priority, deadline_s=deadline_s,
+            retries=retries, retry_backoff=retry_backoff,
         )
         self._counter += 1
         self._admit(record)
@@ -249,12 +382,12 @@ class JobManager:
         self.jobs[record.id] = record
         self._order.append(record.id)
         self.submitted[record.kind] += 1
-        if self.journal is not None:
-            self.journal.append_submit(
-                record.id, record.kind, record.context,
-                dict(record.payload), record.tenant, record.priority,
-                record.created,
-            )
+        self._journal(
+            "append_submit", record.id, record.kind, record.context,
+            dict(record.payload), record.tenant, record.priority,
+            record.created, deadline_s=record.deadline_s,
+            retries=record.retries, retry_backoff=record.retry_backoff,
+        )
         self._append_event(record, {
             "event": "state", "state": "queued", "job": record.id,
         })
@@ -270,6 +403,81 @@ class JobManager:
         )
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
+
+    # ------------------------------------------------------------------
+    # journaling with disk-pressure degradation
+    # ------------------------------------------------------------------
+    def _journal(self, op: str, *args, **kwargs) -> None:
+        """Every journal *write* goes through here: on ``ENOSPC``/
+        ``EIO`` the tier flips to **degraded** — the op (and every one
+        after it) buffers in memory, jobs keep running, and the poll
+        task's :meth:`journal_probe` replays the buffer in order once
+        the disk recovers.  Any other ``OSError`` is a real bug and
+        still raises."""
+        if self.journal is None:
+            return
+        if self.degraded:
+            self._buffer_op(op, args, kwargs)
+            return
+        try:
+            getattr(self.journal, op)(*args, **kwargs)
+        except OSError as exc:
+            if exc.errno not in _DEGRADED_ERRNOS:
+                raise
+            self._enter_degraded(str(exc))
+            self._buffer_op(op, args, kwargs)
+
+    def _buffer_op(self, op: str, args: tuple, kwargs: dict) -> None:
+        self._journal_buffer.append((op, args, kwargs))
+        self.degraded_events += 1
+        if len(self._journal_buffer) > DEGRADED_BUFFER_LIMIT:
+            self._journal_buffer.pop(0)
+            self.degraded_dropped += 1
+
+    def _enter_degraded(self, reason: str) -> None:
+        if self.degraded:
+            return
+        self.degraded = True
+        self.degraded_since = time.time()
+        self.degraded_reason = reason
+        # First thing the recovered journal will see: when and why the
+        # window opened (mode records carry no job id; replay ignores
+        # them).
+        self._journal_buffer.insert(0, (
+            "append_mode", ("degraded", self.degraded_since),
+            {"reason": reason},
+        ))
+
+    def journal_probe(self) -> bool:
+        """Probe-and-recover: replay the degraded-mode buffer in order;
+        on full drain journal a ``healthy`` mode record and clear the
+        flag.  Returns True when the tier is healthy after the call.
+        Called from the service's poll task every tick."""
+        if self.journal is None or not self.degraded:
+            return True
+        while self._journal_buffer:
+            op, args, kwargs = self._journal_buffer[0]
+            try:
+                getattr(self.journal, op)(*args, **kwargs)
+            except OSError as exc:
+                if exc.errno not in _DEGRADED_ERRNOS:
+                    raise
+                return False  # disk still unwell; keep buffering
+            self._journal_buffer.pop(0)
+        self.degraded = False
+        reason = self.degraded_reason
+        self.degraded_reason = None
+        try:
+            self.journal.append_mode(
+                "healthy", time.time(),
+                reason=f"recovered from: {reason}" if reason else None,
+            )
+        except OSError as exc:
+            if exc.errno not in _DEGRADED_ERRNOS:
+                raise
+            self._enter_degraded(str(exc))
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # recovery
@@ -304,6 +512,8 @@ class JobManager:
                 job_id, image.kind, image.context or "",
                 image.payload, tenant=image.tenant,
                 priority=image.priority,
+                deadline_s=image.deadline_s, retries=image.retries,
+                retry_backoff=image.retry_backoff,
             )
             if image.created is not None:
                 record.created = image.created
@@ -314,6 +524,9 @@ class JobManager:
             record.error = image.error
             record.recovered = image.recovered
             record.result = image.result
+            record.attempt = image.attempt
+            record.timeout = image.timeout
+            record.not_before = image.not_before
             self.jobs[job_id] = record
             self._order.append(job_id)
             suffix = job_id.rsplit("-", 1)[-1]
@@ -335,9 +548,10 @@ class JobManager:
                 self.recovered_jobs += 1
                 recovered += 1
                 self.journal.break_lease(job_id)
-                self.journal.append_state(
-                    job_id, "failed", record.finished,
+                self._journal(
+                    "append_state", job_id, "failed", record.finished,
                     error=record.error, recovered=True,
+                    attempt=record.attempt,
                 )
                 self._append_event(record, {
                     "event": "state", "state": "failed",
@@ -381,12 +595,26 @@ class JobManager:
                 state = raw.get("state")
                 if record.terminal or state not in JOB_STATES:
                     continue
+                attempt = int(raw.get("attempt", 0) or 0)
+                if state == "queued":
+                    # Only a worker's retry requeue moves an in-memory
+                    # record *back* to queued — and it always carries a
+                    # strictly higher attempt.
+                    if attempt <= record.attempt:
+                        continue
+                    record.attempt = attempt
+                    record.not_before = raw.get("not_before")
+                    record.started = None
+                    self.retried += 1
                 record.state = state
+                record.attempt = max(record.attempt, attempt)
                 if state == "running" and record.started is None:
                     record.started = raw.get("ts")
                 if state in TERMINAL_STATES:
                     record.finished = raw.get("ts")
                     record.error = raw.get("error")
+                    record.timeout = bool(raw.get("timeout"))
+                    record.not_before = None
                     self.finished[state] += 1
                 record.changed.set()
             elif rec == "result":
@@ -413,6 +641,108 @@ class JobManager:
                 self.journal.break_lease(record.id)
                 self._finish(record, "cancelled",
                              error="cancelled while queued")
+
+    # ------------------------------------------------------------------
+    # watchdog (worker liveness + queued-job deadlines)
+    # ------------------------------------------------------------------
+    def watchdog_sweep(self) -> dict:
+        """Coordinator-side liveness sweep, called from the poll task:
+
+        * **dead leases** break (the claim path refuses takeover, so
+          somebody must), and their jobs either re-dispatch (retry
+          budget left, deadline not blown) or fail terminally with the
+          worker named in the error;
+        * **repeat offenders** quarantine: a worker charged
+          :data:`QUARANTINE_THRESHOLD` broken leases gets a persistent
+          quarantine marker its claim loop honors — a crash-looping
+          worker binary stops eating jobs;
+        * **queued jobs past deadline** fail ``timeout`` without ever
+          running (running jobs enforce their own deadline through the
+          progress hook).
+
+        Returns per-sweep counts (cumulative totals live in
+        ``stats()['watchdog']``)."""
+        swept = {"lease_breaks": 0, "requeued": 0, "failed": 0,
+                 "quarantined": 0, "deadline_expired": 0}
+        self.watchdog["sweeps"] += 1
+        if self.journal is not None:
+            for job_id, lease in self.journal.leases():
+                if self.journal._owner_live(lease):
+                    continue
+                writer = lease.get("writer") or "unknown"
+                self.journal.break_lease(job_id)
+                swept["lease_breaks"] += 1
+                count = self.lease_breaks.get(writer, 0) + 1
+                self.lease_breaks[writer] = count
+                if count >= QUARANTINE_THRESHOLD and \
+                        not self.journal.writer_quarantined(writer):
+                    self.journal.quarantine_writer(
+                        writer,
+                        reason=f"{count} leases broken by watchdog",
+                    )
+                    swept["quarantined"] += 1
+                record = self.jobs.get(job_id)
+                if record is None or record.terminal:
+                    continue
+                if record.state != "running":
+                    # Died mid-claim (lease taken, no running record):
+                    # breaking the lease alone re-exposes the still-
+                    # queued job to the claim scan.
+                    continue
+                if self._retryable(record):
+                    self._requeue_orphan(record, writer)
+                    swept["requeued"] += 1
+                else:
+                    self._finish(
+                        record, "failed",
+                        error=f"worker {writer} died mid-run",
+                    )
+                    swept["failed"] += 1
+        now = time.time()
+        for record in list(self.jobs.values()):
+            if record.terminal or record.state != "queued":
+                continue
+            if not deadline_expired(record.created, record.deadline_s,
+                                    now):
+                continue
+            if record.external and self.journal is not None and \
+                    self.journal.lease_live(record.id):
+                continue  # claimed: that worker's hook enforces it
+            self._finish(
+                record, "failed",
+                error=f"deadline_s={record.deadline_s} exceeded "
+                      "before completion",
+                timeout=True,
+            )
+            self._resolve_parked(record)
+            swept["deadline_expired"] += 1
+        for key, value in swept.items():
+            self.watchdog[key] += value
+        return swept
+
+    def _requeue_orphan(self, record: JobRecord, writer: str) -> None:
+        """Re-dispatch a running job whose worker died: attempt-stamped
+        requeue (consumes retry budget — the dead worker may have died
+        *because* of the job) behind the usual backoff."""
+        record.attempt += 1
+        record.state = "queued"
+        record.started = None
+        record.not_before = time.time() + retry_delay(
+            record.id, record.attempt, record.retry_backoff
+        )
+        self.retried += 1
+        self._journal(
+            "append_state", record.id, "queued", time.time(),
+            attempt=record.attempt, not_before=record.not_before,
+        )
+        self._append_event(record, {
+            "event": "retry", "job": record.id,
+            "attempt": record.attempt,
+            "error": f"worker {writer} died mid-run",
+            "not_before": record.not_before,
+        })
+        if self.execute_jobs and not record.external:
+            self._start_task(record)
 
     # ------------------------------------------------------------------
     # turn-taking (priority + tenant fairness per context)
@@ -478,6 +808,12 @@ class JobManager:
 
     # ------------------------------------------------------------------
     async def _run_job(self, record: JobRecord) -> None:
+        # Backoff park (retry requeues and recovered requeues both set
+        # not_before): sleep out the delay before even asking for the
+        # lane turn, so a backing-off job never blocks its context.
+        delay = (record.not_before or 0) - time.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
         granted = await self._acquire_turn(record)
         if record.terminal:  # cancelled while parked / in the gap
             if granted:
@@ -493,11 +829,15 @@ class JobManager:
             # the lane is released untouched.
             if record.cancel.is_set():
                 raise JobCancelled("cancelled while queued")
+            self._check_deadline(record)
             loop.call_soon_threadsafe(self._mark_running, record)
 
             def progress(event: dict) -> None:
                 if record.cancel.is_set():
                     raise JobCancelled("cancel requested")
+                # Deadlines ride the same hook as cancel, so expiry
+                # unwinds the run within one greedy step too.
+                self._check_deadline(record)
                 loop.call_soon_threadsafe(
                     self._append_event, record, dict(event)
                 )
@@ -509,6 +849,10 @@ class JobManager:
 
         try:
             result = await loop.run_in_executor(lane.executor, work)
+        except JobDeadlineExceeded as exc:
+            # Never retried: the deadline budgets *all* attempts.
+            self._finish(record, "failed", error=str(exc),
+                         timeout=True)
         except JobCancelled as exc:
             self._finish(record, "cancelled", error=str(exc))
         except asyncio.CancelledError:
@@ -519,11 +863,58 @@ class JobManager:
             self._finish(record, "cancelled", error="service stopped")
             raise
         except Exception as exc:  # noqa: BLE001 - recorded on the job
-            self._finish(record, "failed", error=str(exc))
+            if self._retryable(record):
+                self._schedule_retry(record, str(exc))
+            else:
+                self._finish(record, "failed", error=str(exc))
         else:
             self._finish(record, "done", result=result)
         finally:
             self._release_turn(record)
+
+    @staticmethod
+    def _check_deadline(record: JobRecord) -> None:
+        if deadline_expired(record.created, record.deadline_s):
+            raise JobDeadlineExceeded(
+                f"job {record.id} exceeded deadline_s="
+                f"{record.deadline_s}"
+            )
+
+    def _retryable(self, record: JobRecord) -> bool:
+        """Whether a just-failed attempt has retry budget left (and
+        retrying still makes sense: not cancelled, not past deadline,
+        service not shutting down)."""
+        return (
+            record.attempt < record.retries
+            and not record.cancel.is_set()
+            and not deadline_expired(record.created, record.deadline_s)
+            and self.service.started
+            and not self.service._closing
+        )
+
+    def _schedule_retry(self, record: JobRecord, error: str) -> None:
+        """Re-enqueue a transiently-failed job: bump the attempt,
+        journal the requeue (attempt-stamped so the fold outranks the
+        failed run), park it behind a jittered exponential backoff,
+        and start a fresh task.  Never journals a terminal state — a
+        retried job was never failed."""
+        record.attempt += 1
+        record.state = "queued"
+        record.started = None
+        record.not_before = time.time() + retry_delay(
+            record.id, record.attempt, record.retry_backoff
+        )
+        self.retried += 1
+        self._journal(
+            "append_state", record.id, "queued", time.time(),
+            attempt=record.attempt, not_before=record.not_before,
+        )
+        self._append_event(record, {
+            "event": "retry", "job": record.id,
+            "attempt": record.attempt, "error": error,
+            "not_before": record.not_before,
+        })
+        self._start_task(record)
 
     # ------------------------------------------------------------------
     # loop-side state transitions
@@ -533,39 +924,46 @@ class JobManager:
             return
         record.state = "running"
         record.started = time.time()
-        if self.journal is not None:
-            self.journal.append_state(record.id, "running",
-                                      record.started)
-        self._append_event(record, {
+        record.not_before = None
+        self._journal("append_state", record.id, "running",
+                      record.started, attempt=record.attempt)
+        event = {
             "event": "state", "state": "running", "job": record.id,
-        })
+        }
+        if record.attempt:
+            event["attempt"] = record.attempt
+        self._append_event(record, event)
 
     def _finish(self, record: JobRecord, state: str,
                 result: dict | None = None,
-                error: str | None = None) -> None:
+                error: str | None = None,
+                timeout: bool = False) -> None:
         if record.terminal:
             return
         record.state = state
         record.finished = time.time()
         record.result = result
         record.error = error
+        record.timeout = timeout
+        record.not_before = None
         self.finished[state] += 1
-        if self.journal is not None:
-            if result is not None:
-                self.journal.append_result(record.id, result)
-            self.journal.append_state(record.id, state, record.finished,
-                                      error=error)
-            self.journal.clear_cancel(record.id)
+        if result is not None:
+            self._journal("append_result", record.id, result)
+        self._journal("append_state", record.id, state,
+                      record.finished, error=error,
+                      attempt=record.attempt, timeout=timeout)
+        self._journal("clear_cancel", record.id)
         event = {"event": "state", "state": state, "job": record.id}
         if error is not None:
             event["error"] = error
+        if timeout:
+            event["timeout"] = True
         self._append_event(record, event)
 
     def _append_event(self, record: JobRecord, event: dict) -> None:
         event["seq"] = len(record.events) + 1
         record.events.append(event)
-        if self.journal is not None:
-            self.journal.append_event(record.id, event)
+        self._journal("append_event", record.id, event)
         record.changed.set()
 
     def _evict(self) -> None:
@@ -588,10 +986,11 @@ class JobManager:
             raise JobError(f"no such job {job_id!r}")
         return record
 
-    def list_jobs(self) -> list[dict]:
+    def list_jobs(self, tenant: str | None = None) -> list[dict]:
         return [
             self.jobs[job_id].snapshot(include_result=False)
             for job_id in self._order if job_id in self.jobs
+            and (tenant is None or self.jobs[job_id].tenant == tenant)
         ]
 
     def events_after(self, job_id: str, after: int = 0) -> list[dict]:
@@ -639,7 +1038,7 @@ class JobManager:
             # The executing process is elsewhere: leave a marker its
             # progress hook polls.  An unclaimed queued job can still
             # resolve eagerly below.
-            self.journal.request_cancel(record.id)
+            self._journal("request_cancel", record.id)
         if record.state == "queued" and not (
             record.external and self.journal is not None
             and self.journal.lease_info(record.id) is not None
@@ -682,9 +1081,22 @@ class JobManager:
             "states": states,
             "retained": len(self.jobs),
             "recovered": self.recovered_jobs,
+            "retried": self.retried,
             "tenants_active": tenants,
             "tenant_quota": self.tenant_quota,
             "parked": sum(q.depth() for q in self._queues.values()),
+            "degraded": {
+                "active": self.degraded,
+                "since": self.degraded_since if self.degraded else None,
+                "reason": self.degraded_reason,
+                "buffered": len(self._journal_buffer),
+                "events": self.degraded_events,
+                "dropped": self.degraded_dropped,
+            },
+            "watchdog": {
+                **self.watchdog,
+                "lease_breaks_by_writer": dict(self.lease_breaks),
+            },
         }
         if self.journal is not None:
             out["journal"] = self.journal.stats()

@@ -11,10 +11,12 @@ so the job tier survives a ``kill -9`` exactly like the persistent
 Layout::
 
     <cache_dir>/jobs-journal/
-        segment-<writer>.jsonl     one append-only file per writer
-        writers/<writer>.json      writer presence (pid + heartbeat)
-        leases/<job_id>.json       claim records (O_EXCL create)
-        cancel/<job_id>            cancel-request markers
+        segment-<writer>.jsonl        one append-only file per writer
+        segment-<writer>.rNNNN.jsonl  rotated (sealed) segments
+        writers/<writer>.json         writer presence (pid + heartbeat)
+        leases/<job_id>.json          claim records (O_EXCL create)
+        cancel/<job_id>               cancel-request markers
+        quarantine/<writer>           watchdog-benched workers
 
 * **Segments.**  Every process that writes the journal — the
   coordinator and each ``repro serve --worker`` — appends to its *own*
@@ -67,6 +69,7 @@ import os
 import time
 
 from repro.errors import ServiceError
+from repro.service.faults import fire
 
 #: journal format version, embedded in every line for forward safety.
 _FORMAT_VERSION = 1
@@ -93,6 +96,17 @@ class JobImage:
         self.error: str | None = None
         self.recovered: bool = False
         self.result: dict | None = None
+        #: guardrail routing (submit-time): per-job deadline and retry
+        #: budget, carried so workers enforce/consume them too.
+        self.deadline_s: float | None = None
+        self.retries: int = 0
+        self.retry_backoff: float = 0.5
+        #: retry progress: highest attempt seen (0 = first run), True
+        #: when the terminal failure was a deadline expiry, and the
+        #: earliest claim time of a backoff-parked requeue.
+        self.attempt: int = 0
+        self.timeout: bool = False
+        self.not_before: float | None = None
         #: seq -> event dict (dedup across segments; sorted on read).
         self._events: dict[int, dict] = {}
 
@@ -126,34 +140,52 @@ class JobJournal:
             durability only needs the flush.
         lease_ttl: heartbeat age beyond which a lease whose owner pid
             is gone counts as dead.
+        max_segment_bytes: rotate this writer's segment once it grows
+            past this size (None = never): the full segment is renamed
+            to ``segment-<writer>.rNNNN.jsonl`` — still matched by
+            every reader's segment glob, still merged by compaction —
+            and appends continue in a fresh file, so a long-lived
+            coordinator never rewrites one ever-growing file.
     """
 
     def __init__(self, root: str, writer_id: str = "coordinator",
                  *, fsync: bool = False,
-                 lease_ttl: float = DEFAULT_LEASE_TTL) -> None:
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 max_segment_bytes: int | None = None) -> None:
         if not writer_id or any(c in writer_id for c in "/\\. "):
             raise JournalError(
                 f"writer_id must be a simple name, got {writer_id!r}"
+            )
+        if max_segment_bytes is not None and max_segment_bytes < 1:
+            raise JournalError(
+                f"max_segment_bytes must be >= 1, got {max_segment_bytes}"
             )
         self.root = root
         self.writer_id = writer_id
         self.fsync = fsync
         self.lease_ttl = lease_ttl
+        self.max_segment_bytes = max_segment_bytes
         self.leases_dir = os.path.join(root, "leases")
         self.cancel_dir = os.path.join(root, "cancel")
         self.writers_dir = os.path.join(root, "writers")
+        self.quarantine_dir = os.path.join(root, "quarantine")
         for path in (root, self.leases_dir, self.cancel_dir,
-                     self.writers_dir):
+                     self.writers_dir, self.quarantine_dir):
             os.makedirs(path, exist_ok=True)
         self._segment_path = os.path.join(
             root, f"segment-{writer_id}.jsonl"
         )
+        #: basename prefix of every segment this writer owns (live and
+        #: rotated) — refresh() must never tail its own appends.
+        self._own_prefix = f"segment-{writer_id}."
         self._segment = None
         self._announced = False
         #: per-foreign-segment read offsets (refresh() tail state).
         self._offsets: dict[str, int] = {}
         #: appended-line counters (stats/tests).
         self.appended = 0
+        #: completed segment rotations (also the rotated-name cursor).
+        self.rotations = 0
 
     # ------------------------------------------------------------------
     # appending (this writer's segment)
@@ -162,6 +194,11 @@ class JobJournal:
         record["v"] = _FORMAT_VERSION
         line = json.dumps(record, sort_keys=True,
                           separators=(",", ":")) + "\n"
+        # Injection point *before* any byte is written: a journaling
+        # layer that failed here has durably recorded nothing, which is
+        # exactly what the manager's degraded-mode buffer assumes.
+        fire("journal.append", writer=self.writer_id,
+             job=record.get("job"))
         if not self._announced:
             self.announce_writer()
         if self._segment is not None:
@@ -179,30 +216,70 @@ class JobJournal:
         if self._segment is None:
             self._segment = open(self._segment_path, "a",
                                  encoding="utf-8")
+        if self.max_segment_bytes is not None and \
+                self._segment.tell() >= self.max_segment_bytes:
+            self._rotate()
+            self._segment = open(self._segment_path, "a",
+                                 encoding="utf-8")
         self._segment.write(line)
         self._segment.flush()
         if self.fsync:
+            fire("journal.fsync", writer=self.writer_id)
             os.fsync(self._segment.fileno())
         self.appended += 1
 
+    def _rotate(self) -> None:
+        """Seal the current segment under a rotated name (readers keep
+        matching it; compaction keeps merging it) and leave the live
+        path free for a fresh file."""
+        self._close_segment()
+        n = self.rotations + 1
+        while True:
+            target = os.path.join(
+                self.root, f"segment-{self.writer_id}.r{n:04d}.jsonl"
+            )
+            if not os.path.exists(target):
+                break
+            n += 1  # pragma: no cover - survivor from a prior process
+        fire("journal.rotate", writer=self.writer_id)
+        os.replace(self._segment_path, target)
+        self.rotations = n
+
     def append_submit(self, job_id: str, kind: str, context: str,
                       payload: dict, tenant: str, priority: str,
-                      created: float) -> None:
-        self._append({
+                      created: float, deadline_s: float | None = None,
+                      retries: int = 0,
+                      retry_backoff: float | None = None) -> None:
+        record = {
             "rec": "submit", "job": job_id, "kind": kind,
             "context": context, "payload": payload, "tenant": tenant,
             "priority": priority, "created": created,
-        })
+        }
+        if deadline_s is not None:
+            record["deadline_s"] = deadline_s
+        if retries:
+            record["retries"] = retries
+        if retry_backoff is not None:
+            record["retry_backoff"] = retry_backoff
+        self._append(record)
 
     def append_state(self, job_id: str, state: str, ts: float,
                      error: str | None = None,
-                     recovered: bool = False) -> None:
+                     recovered: bool = False, attempt: int = 0,
+                     timeout: bool = False,
+                     not_before: float | None = None) -> None:
         record = {"rec": "state", "job": job_id, "state": state,
                   "ts": ts}
         if error is not None:
             record["error"] = error
         if recovered:
             record["recovered"] = True
+        if attempt:
+            record["attempt"] = attempt
+        if timeout:
+            record["timeout"] = True
+        if not_before is not None:
+            record["not_before"] = not_before
         self._append(record)
 
     def append_event(self, job_id: str, event: dict) -> None:
@@ -212,6 +289,17 @@ class JobJournal:
 
     def append_result(self, job_id: str, result: dict) -> None:
         self._append({"rec": "result", "job": job_id, "result": result})
+
+    def append_mode(self, mode: str, ts: float,
+                    reason: str | None = None) -> None:
+        """Journal a tier-mode transition (``degraded``/``healthy``) so
+        the degradation window is visible in the durable history.  Mode
+        records carry no ``job`` key, so :meth:`apply` ignores them."""
+        record = {"rec": "mode", "mode": mode, "ts": ts,
+                  "writer": self.writer_id}
+        if reason:
+            record["reason"] = reason
+        self._append(record)
 
     def _close_segment(self) -> None:
         if self._segment is not None:
@@ -307,7 +395,11 @@ class JobJournal:
         """
         out: list[dict] = []
         for path in self._segment_paths():
-            if path == self._segment_path:
+            # Skip every segment this writer owns — the live one AND
+            # its rotated predecessors (rotation renames the live file,
+            # and re-tailing our own appends as "foreign" would be
+            # wasted monotone re-folds at best).
+            if os.path.basename(path).startswith(self._own_prefix):
                 continue
             start = self._offsets.get(path, 0)
             if start:
@@ -344,17 +436,30 @@ class JobJournal:
             image.tenant = record.get("tenant", "default")
             image.priority = record.get("priority", "normal")
             image.created = record.get("created")
+            image.deadline_s = record.get("deadline_s")
+            image.retries = int(record.get("retries", 0))
+            image.retry_backoff = float(record.get("retry_backoff", 0.5))
         elif rec == "state":
             state = record.get("state")
             rank = {"queued": 0, "running": 1}
-            # Terminal states out-rank transient ones; among terminal
-            # records the last one written wins (there is at most one
-            # writer of terminal state per job in practice).
-            if state not in rank or \
-                    rank.get(image.state, 2) <= rank.get(state, 2):
+            attempt = int(record.get("attempt", 0))
+            # Precedence is per-attempt lexicographic: within an
+            # attempt terminal > running > queued (last terminal
+            # writer wins, as before), while a *higher-attempt* record
+            # — a retry requeue after a failed run — out-ranks anything
+            # the earlier attempt wrote.  Pre-retry journals carry no
+            # attempt field (= 0), so their fold is unchanged.
+            if (attempt, rank.get(state, 2)) >= \
+                    (image.attempt, rank.get(image.state, 2)):
                 image.state = state
                 image.error = record.get("error")
                 image.recovered = bool(record.get("recovered"))
+                image.timeout = bool(record.get("timeout"))
+                image.attempt = max(image.attempt, attempt)
+                image.not_before = (
+                    record.get("not_before") if state == "queued"
+                    else None
+                )
             if state == "running" and image.started is None:
                 image.started = record.get("ts")
             if state not in rank:
@@ -447,6 +552,15 @@ class JobJournal:
 
     def live_leases(self) -> list[dict]:
         out = []
+        for job_id, info in self.leases():
+            if self.lease_live(job_id):
+                out.append(info)
+        return out
+
+    def leases(self) -> list[tuple[str, dict]]:
+        """Every lease on disk, live or dead, as ``(job_id, info)`` —
+        the watchdog's sweep input (it tells live from dead itself)."""
+        out = []
         try:
             names = sorted(os.listdir(self.leases_dir))
         except FileNotFoundError:
@@ -455,10 +569,9 @@ class JobJournal:
             if not name.endswith(".json"):
                 continue
             job_id = name[:-len(".json")]
-            if self.lease_live(job_id):
-                info = self.lease_info(job_id)
-                if info is not None:
-                    out.append(info)
+            info = self.lease_info(job_id)
+            if info is not None:
+                out.append((job_id, info))
         return out
 
     # ------------------------------------------------------------------
@@ -477,6 +590,40 @@ class JobJournal:
             os.remove(os.path.join(self.cancel_dir, job_id))
         except FileNotFoundError:
             pass
+
+    # ------------------------------------------------------------------
+    # worker quarantine
+    # ------------------------------------------------------------------
+    def _quarantine_path(self, writer_id: str) -> str:
+        return os.path.join(self.quarantine_dir, writer_id)
+
+    def quarantine_writer(self, writer_id: str,
+                          reason: str = "") -> None:
+        """Mark a writer as untrusted: its claim loop must stop taking
+        jobs.  Dropped by the coordinator's watchdog after repeated
+        lease breaks; persists across restarts until explicitly
+        cleared (a crash-looping worker binary stays benched)."""
+        with open(self._quarantine_path(writer_id), "w",
+                  encoding="utf-8") as fh:
+            fh.write(json.dumps({
+                "writer": writer_id, "reason": reason,
+                "ts": time.time(),
+            }, sort_keys=True))
+
+    def writer_quarantined(self, writer_id: str) -> bool:
+        return os.path.exists(self._quarantine_path(writer_id))
+
+    def clear_quarantine(self, writer_id: str) -> None:
+        try:
+            os.remove(self._quarantine_path(writer_id))
+        except FileNotFoundError:
+            pass
+
+    def quarantined_writers(self) -> list[str]:
+        try:
+            return sorted(os.listdir(self.quarantine_dir))
+        except FileNotFoundError:
+            return []
 
     # ------------------------------------------------------------------
     # writer presence
@@ -614,6 +761,8 @@ class JobJournal:
             "writer": self.writer_id,
             "appended": self.appended,
             "segments": len(self._segment_paths()),
+            "rotations": self.rotations,
             "live_leases": len(self.live_leases()),
             "live_writers": len(self.live_writers()),
+            "quarantined": self.quarantined_writers(),
         }

@@ -51,6 +51,7 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.parallel.engine import ParallelEngine
+from repro.service.faults import fire
 
 #: job priority lanes, strongest first — the pick order of
 #: :meth:`FairQueue.pick`.
@@ -206,6 +207,10 @@ class ContextScheduler:
     def lane_for(self, context_name: str) -> ContextLane:
         """The lane a context executes on (created/assigned lazily,
         stable for the context's lifetime)."""
+        # `scheduler.lane` faults (delay = a hung lane lookup, error =
+        # a lane that cannot be built) land before any assignment
+        # mutates, so an injected failure leaves the scheduler clean.
+        fire("scheduler.lane", context=context_name)
         lane = self._assignment.get(context_name)
         if lane is not None:
             return lane

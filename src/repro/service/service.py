@@ -54,6 +54,13 @@ from repro.errors import BackpressureError, ServiceError
 from repro.parallel.cache import CostCache, EstimationCache
 from repro.parallel.engine import ParallelEngine
 from repro.service.context import ServiceContext
+from repro.service.faults import (
+    FaultPlan,
+    describe_active,
+    fire,
+    install,
+    install_from_env,
+)
 from repro.service.jobs import JobManager, JobRecord
 from repro.service.journal import JobJournal
 from repro.service.scheduler import ContextLane, ContextScheduler
@@ -100,7 +107,17 @@ class AdvisorService:
             execute them.
         journal_writer: this process's journal segment name.
         poll_interval: seconds between journal tails for worker
-            progress (only with a ``cache_dir``).
+            progress (only with a ``cache_dir``); the same tick runs
+            the worker watchdog sweep and the degraded-mode journal
+            probe.
+        journal_max_segment_bytes: rotate this writer's journal
+            segment past this size (None = never) — long-lived
+            coordinators cap their live segment, compaction still
+            merges the rotated ones.
+        fault_plan: a :mod:`repro.service.faults` plan string to
+            install at construction (chaos tests / ``repro serve
+            --fault-plan``); the ``REPRO_FAULTS`` environment variable
+            is honored either way.
     """
 
     def __init__(
@@ -116,6 +133,8 @@ class AdvisorService:
         execute_jobs: bool = True,
         journal_writer: str = "coordinator",
         poll_interval: float = 0.25,
+        journal_max_segment_bytes: int | None = None,
+        fault_plan: str | None = None,
     ) -> None:
         if max_pending < 1:
             raise ServiceError(
@@ -144,9 +163,15 @@ class AdvisorService:
         )
         #: the durable job journal (None without a cache_dir: the job
         #: tier degrades to the in-memory pre-durability behavior).
+        # Fault injection activates before the first journal append so
+        # a planned boot-time fault is not missed.
+        install_from_env()
+        if fault_plan:
+            install(FaultPlan.parse(fault_plan))
         self.journal = (
             JobJournal(os.path.join(cache_dir, "jobs-journal"),
-                       journal_writer)
+                       journal_writer,
+                       max_segment_bytes=journal_max_segment_bytes)
             if cache_dir is not None else None
         )
         self.poll_interval = poll_interval
@@ -238,10 +263,13 @@ class AdvisorService:
     async def _poll_journal(self) -> None:
         """Fold worker-appended journal records into the in-memory job
         records on a fixed cadence (the coordinator's view of worker
-        progress).  Transient failures (e.g. an OSError from a shared
-        filesystem) must not kill the task — it is the only thing
-        keeping externally-executed jobs observable — so each tick is
-        guarded and the next one retries."""
+        progress), then run the guardrail housekeeping that needs a
+        steady heartbeat: the worker watchdog sweep (dead leases,
+        orphaned jobs, queued-past-deadline) and the degraded-mode
+        journal probe.  Transient failures (e.g. an OSError from a
+        shared filesystem) must not kill the task — it is the only
+        thing keeping externally-executed jobs observable — so each
+        tick is guarded and the next one retries."""
         while True:
             await asyncio.sleep(self.poll_interval)
             try:
@@ -249,6 +277,8 @@ class AdvisorService:
                 if records:
                     self.jobs.apply_external(records)
                 self.jobs.resolve_stale_cancels()
+                self.jobs.watchdog_sweep()
+                self.jobs.journal_probe()
             except asyncio.CancelledError:
                 raise
             except Exception as exc:  # noqa: BLE001 - keep polling
@@ -503,6 +533,7 @@ class AdvisorService:
         ``lane`` wires the run to the lane's engine and, for tune
         requests, the context's warm fork slot; ``progress`` threads
         the job layer's event hook into the advisor."""
+        fire("service.execute", kind=kind, context=context_name)
         context = self.contexts[context_name]
         if lane is not None:
             lane.executed += 1
@@ -548,13 +579,32 @@ class AdvisorService:
     def submit_job(self, kind: str, context: str,
                    payload: dict | None = None, *,
                    tenant: str = "default",
-                   priority: str = "normal") -> JobRecord:
+                   priority: str = "normal",
+                   deadline_s: float | None = None,
+                   retries: int = 0,
+                   retry_backoff: float | None = None) -> JobRecord:
         """Submit a ``tune``/``sweep`` job; returns its record (poll
         via :meth:`job`, stream via :meth:`job_events`).  ``tenant``
         tags the submission for fairness/quota accounting; ``priority``
-        picks its lane (``high``/``normal``/``low``)."""
+        picks its lane (``high``/``normal``/``low``); ``deadline_s``
+        bounds its wall time from submission; ``retries``/
+        ``retry_backoff`` give transient failures a budget."""
         return self.jobs.submit(kind, context, dict(payload or {}),
-                                tenant=tenant, priority=priority)
+                                tenant=tenant, priority=priority,
+                                deadline_s=deadline_s, retries=retries,
+                                retry_backoff=retry_backoff)
+
+    @property
+    def degraded(self) -> bool:
+        """True while any disk-pressure degradation is active: the job
+        journal is buffering in memory, or a persistent cache's last
+        save failed with ``ENOSPC``/``EIO``."""
+        if self.jobs.degraded:
+            return True
+        for cache in (self.estimation_cache, self.cost_cache):
+            if cache is not None and getattr(cache, "degraded", False):
+                return True
+        return False
 
     def job(self, job_id: str) -> JobRecord:
         return self.jobs.get(job_id)
@@ -588,6 +638,8 @@ class AdvisorService:
             #: top-level convenience: total warm-pool reuses across
             #: lanes (the service-affinity acceptance metric).
             "pools_reused": scheduler["pools_reused"],
+            "degraded": self.degraded,
+            "faults": describe_active(),
             "jobs": self.jobs.stats(),
             "estimation_cache": (
                 self.estimation_cache.stats()

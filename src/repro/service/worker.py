@@ -47,8 +47,14 @@ from __future__ import annotations
 
 import time
 
-from repro.errors import JobCancelled
-from repro.service.jobs import JOB_KINDS, TERMINAL_STATES
+from repro.errors import JobCancelled, JobDeadlineExceeded
+from repro.service.faults import InjectedFault, fire
+from repro.service.jobs import (
+    JOB_KINDS,
+    TERMINAL_STATES,
+    deadline_expired,
+    retry_delay,
+)
 from repro.service.journal import JobImage
 from repro.service.scheduler import FairQueue
 
@@ -96,8 +102,10 @@ class JobWorker:
         #: tenant rotation as the coordinator turnstile; the cursor
         #: persists across polls so fairness holds over time.
         self._fair = FairQueue(self.service.jobs.tenant_weights)
-        #: jobs this worker executed (terminal), per outcome.
+        #: jobs this worker executed (terminal), per outcome, plus
+        #: attempts it re-enqueued under the retry policy.
         self.executed = {state: 0 for state in sorted(TERMINAL_STATES)}
+        self.executed["retried"] = 0
 
     # ------------------------------------------------------------------
     def _fold(self, records: list[dict]) -> None:
@@ -129,6 +137,9 @@ class JobWorker:
                 continue
             if self.journal.lease_info(job_id) is not None:
                 continue
+            if image.not_before is not None and \
+                    image.not_before > time.time():
+                continue  # retry still parked behind its backoff
             candidates.append(image)
         for lanes in self._fair.pending.values():
             lanes.clear()
@@ -143,11 +154,20 @@ class JobWorker:
     # ------------------------------------------------------------------
     def run_once(self) -> str | None:
         """Claim and execute at most one job; its id, or None when
-        nothing was claimable."""
+        nothing was claimable (or this worker is quarantined)."""
+        if self.journal.writer_quarantined(self.journal.writer_id):
+            # Benched by the coordinator watchdog after repeated lease
+            # breaks: stop taking jobs until the operator clears us.
+            return None
         self._refresh()
         for job_id in self._claimable():
             if not self.journal.claim(job_id):
                 continue  # another worker won the race
+            # Death-mid-claim injection point: an InjectedFault here
+            # propagates with the lease held — exactly the orphaned
+            # claim the coordinator watchdog must break.
+            fire("worker.claim", job=job_id,
+                 writer=self.journal.writer_id)
             # Post-claim verify: the coordinator may have resolved the
             # job (eager cancel) between our tail and the claim.
             self._refresh()
@@ -212,10 +232,12 @@ class JobWorker:
         journal = self.journal
         ts = time.time()
         error = "cancelled while queued"
-        journal.append_state(job_id, "cancelled", ts, error=error)
+        journal.append_state(job_id, "cancelled", ts, error=error,
+                             attempt=image.attempt)
         journal.apply(self._images, {
             "rec": "state", "job": job_id, "state": "cancelled",
             "ts": ts, "error": error,
+            **({"attempt": image.attempt} if image.attempt else {}),
         })
         event = {"event": "state", "state": "cancelled",
                  "job": job_id, "error": error,
@@ -249,27 +271,63 @@ class JobWorker:
             })
 
         def transition(state: str, ts: float,
-                       error: str | None = None) -> None:
-            journal.append_state(job_id, state, ts, error=error)
+                       error: str | None = None,
+                       timeout: bool = False) -> None:
+            journal.append_state(job_id, state, ts, error=error,
+                                 attempt=image.attempt,
+                                 timeout=timeout)
             journal.apply(self._images, {
                 "rec": "state", "job": job_id, "state": state,
-                "ts": ts, **({"error": error} if error else {}),
+                "ts": ts,
+                **({"error": error} if error else {}),
+                **({"attempt": image.attempt} if image.attempt
+                   else {}),
+                **({"timeout": True} if timeout else {}),
             })
             event = {"event": "state", "state": state, "job": job_id}
             if error is not None:
                 event["error"] = error
+            if timeout:
+                event["timeout"] = True
             emit(event)
 
         def progress(event: dict) -> None:
             nonlocal last_beat
             if journal.cancel_requested(job_id):
                 raise JobCancelled("cancel requested")
+            if deadline_expired(image.created, image.deadline_s):
+                raise JobDeadlineExceeded(
+                    f"job {job_id} exceeded deadline_s="
+                    f"{image.deadline_s}"
+                )
             now = time.time()
             if now - last_beat >= self.heartbeat_interval:
-                journal.heartbeat(job_id)
-                journal.heartbeat_writer()
+                try:
+                    # A `stall` fault here models a worker whose beats
+                    # silently stop: the run continues, the lease goes
+                    # stale, the coordinator watchdog takes over.
+                    fire("worker.heartbeat", job=job_id,
+                         writer=journal.writer_id)
+                    journal.heartbeat(job_id)
+                    journal.heartbeat_writer()
+                except InjectedFault:
+                    pass  # beat skipped
                 last_beat = now
             emit(dict(event))
+
+        if deadline_expired(image.created, image.deadline_s):
+            # Claimed a job already past its budget (e.g. it sat queued
+            # through its whole deadline): fail it without running.
+            self.executed["failed"] += 1
+            transition(
+                "failed", time.time(),
+                error=f"deadline_s={image.deadline_s} exceeded "
+                      "before completion",
+                timeout=True,
+            )
+            journal.clear_cancel(job_id)
+            journal.release(job_id)
+            return
 
         transition("running", time.time())
         try:
@@ -277,12 +335,24 @@ class JobWorker:
                 image.kind, image.context, dict(image.payload),
                 lane=None, progress=progress,
             )
+        except JobDeadlineExceeded as exc:
+            # Terminal, never retried: the deadline budgets every
+            # attempt.
+            self.executed["failed"] += 1
+            transition("failed", time.time(), error=str(exc),
+                       timeout=True)
         except JobCancelled as exc:
             self.executed["cancelled"] += 1
             transition("cancelled", time.time(), error=str(exc))
         except Exception as exc:  # noqa: BLE001 - recorded on the job
-            self.executed["failed"] += 1
-            transition("failed", time.time(), error=str(exc))
+            if image.attempt < image.retries and \
+                    not deadline_expired(image.created,
+                                         image.deadline_s) and \
+                    not journal.cancel_requested(job_id):
+                self._requeue_retry(image, str(exc), emit)
+            else:
+                self.executed["failed"] += 1
+                transition("failed", time.time(), error=str(exc))
         else:
             self.executed["done"] += 1
             journal.append_result(job_id, result)
@@ -295,6 +365,29 @@ class JobWorker:
             journal.release(job_id)
             # Persist what this run warmed for the rest of the fleet.
             self.service.save_caches()
+
+    def _requeue_retry(self, image: JobImage, error: str,
+                       emit) -> None:
+        """Re-enqueue a transiently-failed attempt (mirror of the
+        coordinator's ``_schedule_retry``): journal an attempt-stamped
+        ``queued`` behind the deterministic jittered backoff and emit a
+        ``retry`` event.  Never journals a terminal state — any worker
+        (including this one) re-claims once the backoff passes."""
+        job_id = image.job_id
+        attempt = image.attempt + 1
+        ts = time.time()
+        not_before = ts + retry_delay(job_id, attempt,
+                                      image.retry_backoff)
+        self.journal.append_state(job_id, "queued", ts,
+                                  attempt=attempt,
+                                  not_before=not_before)
+        self.journal.apply(self._images, {
+            "rec": "state", "job": job_id, "state": "queued",
+            "ts": ts, "attempt": attempt, "not_before": not_before,
+        })
+        emit({"event": "retry", "job": job_id, "attempt": attempt,
+              "error": error, "not_before": not_before})
+        self.executed["retried"] += 1
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:

@@ -32,6 +32,11 @@ from repro.stats.column_stats import DatabaseStats
 from repro.storage.index_build import measure_structure
 from repro.storage.rowcache import SerializedTable
 
+#: fault-injection hook (see :mod:`repro.service.faults`): rebound to
+#: that module's ``fire`` when a plan is installed, None otherwise —
+#: declared here so the estimator never imports the service package.
+FAULT_HOOK = None
+
 
 def _samplecf_task(estimator: "SizeEstimator", payload) -> SizeEstimate:
     """Worker task: one SampleCF build on the forked estimator state."""
@@ -164,6 +169,8 @@ class SizeEstimator:
         wired), fans SampleCF builds over the parallel engine (when
         wired and worth it), and stores fresh estimates back.
         """
+        if FAULT_HOOK is not None:
+            FAULT_HOOK("estimator.estimate", indexes=len(indexes))
         e = self.e if e is None else e
         q = self.q if q is None else q
         pending = list(dict.fromkeys(

@@ -1,4 +1,5 @@
-"""AdvisorClient retry/backoff: retryable 503s are retried on an
+"""AdvisorClient retry/backoff: retryable 503s and transient transport
+faults (connection refused/reset mid-restart) are retried on an
 exponential schedule that honors the server's ``Retry-After`` header —
 verified with a fake clock, no real sleeping, no real server."""
 
@@ -124,6 +125,77 @@ class TestRetryLoop:
             run(client._request("GET", "/healthz"))
         assert len(calls) == 1
         assert clock.delays == []
+
+
+class TestTransportFaultRetry:
+    """Connection-level faults — the server restarting out from under
+    the client — retry on the same schedule as a 503.  A request
+    *timeout* is not transient in the same way (the request may have
+    landed) and must surface immediately, even though Python 3.11 makes
+    ``TimeoutError`` a subclass of ``OSError``."""
+
+    def test_connection_refused_is_retried_until_success(self):
+        clock = FakeClock()
+        client = make_client(clock)
+        calls = stub_responses(client, [
+            ConnectionRefusedError("connect"),
+            ConnectionRefusedError("connect"),
+            {"ok": True},
+        ])
+        answer = run(client._request("GET", "/healthz"))
+        assert answer == {"ok": True}
+        assert len(calls) == 3
+        assert clock.delays == [0.25, 0.5]
+
+    def test_connection_reset_is_retried(self):
+        clock = FakeClock()
+        client = make_client(clock)
+        calls = stub_responses(client, [
+            ConnectionResetError("peer reset"),
+            {"ok": True},
+        ])
+        answer = run(client._request("POST", "/v1/jobs", {}))
+        assert answer == {"ok": True}
+        assert len(calls) == 2
+        assert clock.delays == [0.25]
+
+    def test_persistent_refusal_exhausts_retries_and_raises(self):
+        clock = FakeClock()
+        client = make_client(clock, retries=2)
+        calls = stub_responses(client, [
+            ConnectionRefusedError("connect"),
+        ])
+        with pytest.raises(ConnectionRefusedError):
+            run(client._request("GET", "/healthz"))
+        assert len(calls) == 3          # initial + 2 retries
+        assert clock.delays == [0.25, 0.5]
+
+    def test_timeout_error_is_never_retried(self):
+        clock = FakeClock()
+        client = make_client(clock)
+        calls = stub_responses(client, [
+            TimeoutError("request timed out"),
+            {"ok": True},
+        ])
+        with pytest.raises(TimeoutError):
+            run(client._request("GET", "/healthz"))
+        assert len(calls) == 1
+        assert clock.delays == []
+
+    def test_mixed_transport_then_http_retryables(self):
+        """A refusal followed by a 503 keeps one continuous backoff
+        schedule — the attempt counter spans both fault families."""
+        clock = FakeClock()
+        client = make_client(clock)
+        calls = stub_responses(client, [
+            ConnectionRefusedError("connect"),
+            ServiceHTTPError(503, "warming up", retry_after=None),
+            {"ok": True},
+        ])
+        answer = run(client._request("GET", "/healthz"))
+        assert answer == {"ok": True}
+        assert len(calls) == 3
+        assert clock.delays == [0.25, 0.5]
 
 
 class TestErrorAnatomy:

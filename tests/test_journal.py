@@ -651,3 +651,90 @@ class TestStreamTermination:
                 service.shutdown()
 
         assert run(asyncio.wait_for(scenario(), timeout=5)) == []
+
+
+class TestSegmentRotation:
+    """``max_segment_bytes`` seals the live segment under a rotated
+    name; readers keep matching it, compaction keeps merging it, and a
+    foreign tailer's monotone folds absorb the rename harmlessly."""
+
+    def fill(self, journal, jobs=8):
+        for i in range(1, jobs + 1):
+            job_id = "job-%06d" % i
+            journal.append_submit(job_id, "tune", "alpha", {"i": i},
+                                  "t", "normal", float(i))
+            journal.append_event(job_id, {"event": "state",
+                                          "state": "queued", "seq": 1})
+            journal.append_state(job_id, "done", float(i) + 0.5)
+        return ["job-%06d" % i for i in range(1, jobs + 1)]
+
+    def test_rotation_seals_segments_and_replay_merges(self, tmp_path):
+        journal = JobJournal(str(tmp_path), "coordinator",
+                             max_segment_bytes=256)
+        ids = self.fill(journal)
+        rotated = [n for n in os.listdir(str(tmp_path))
+                   if n.startswith("segment-coordinator.r")]
+        assert journal.rotations == len(rotated) > 0
+        # Replay merges rotated + live segments: every job, terminal.
+        images = journal.replay()
+        assert sorted(images) == ids
+        assert all(images[i].state == "done" for i in ids)
+        assert journal.stats()["rotations"] == journal.rotations
+        journal.close()
+
+    def test_foreign_tailer_survives_rotation(self, tmp_path):
+        """A coordinator tailing a worker's segment across a rotation
+        sees every record exactly once in effect: the renamed file is
+        re-read from offset 0, and the monotone folds dedup it."""
+        worker = JobJournal(str(tmp_path), "worker-a",
+                            max_segment_bytes=256)
+        reader = JobJournal(str(tmp_path), "coordinator")
+        images = {}
+        for record in reader.refresh():
+            reader.apply(images, record)
+        ids = self.fill(worker)
+        for record in reader.refresh():
+            reader.apply(images, record)
+        assert sorted(images) == ids
+        for job_id in ids:
+            image = images[job_id]
+            assert image.state == "done"
+            assert [e["seq"] for e in image.events] == [1]  # deduped
+        worker.close()
+        reader.close()
+
+    def test_compaction_merges_rotated_segments(self, tmp_path):
+        journal = JobJournal(str(tmp_path), "coordinator",
+                             max_segment_bytes=256)
+        ids = self.fill(journal)
+        assert journal.compact(frozenset(ids[-2:])) is True
+        segments = [n for n in os.listdir(str(tmp_path))
+                    if n.startswith("segment-")]
+        assert segments == ["segment-coordinator.jsonl"]
+        assert sorted(journal.replay()) == ids[-2:]
+        journal.close()
+
+    def test_guardrail_fields_round_trip(self, tmp_path):
+        journal = JobJournal(str(tmp_path), "coordinator")
+        journal.append_submit("job-000001", "tune", "alpha", {},
+                              "t", "normal", 1.0, deadline_s=30.0,
+                              retries=2, retry_backoff=0.1)
+        journal.append_state("job-000001", "failed", 2.0,
+                             error="boom")
+        journal.append_state("job-000001", "queued", 2.1, attempt=1,
+                             not_before=2.6)
+        image = journal.replay()["job-000001"]
+        assert image.deadline_s == 30.0
+        assert image.retries == 2
+        assert image.retry_backoff == 0.1
+        # The attempt-1 requeue out-ranks the attempt-0 failure.
+        assert image.state == "queued"
+        assert image.attempt == 1
+        assert image.not_before == 2.6
+        # A terminal timeout stamp folds with the attempt it ended on.
+        journal.append_state("job-000001", "failed", 40.0,
+                             error="deadline", attempt=1, timeout=True)
+        image = journal.replay()["job-000001"]
+        assert image.state == "failed"
+        assert image.timeout is True
+        journal.close()

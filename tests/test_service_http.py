@@ -252,6 +252,49 @@ class TestJobsHTTP:
         assert states[-1] == "done"
         assert any(j["id"] == job["id"] for j in listing["jobs"])
 
+    def test_tenant_filter_and_guardrail_fields(self, http_inputs):
+        """``GET /v1/jobs?tenant=X`` lists only that tenant's jobs, and
+        ``deadline_s``/``retries``/``retry_backoff`` submitted over HTTP
+        land in the job snapshot."""
+        db, wl = http_inputs
+
+        async def scenario():
+            service, server, client = await _boot(db, wl)
+            try:
+                acme = await client.submit_job(
+                    "sales", kind="tune", tenant="acme",
+                    budget_fraction=0.12, variant="dtac-none",
+                    deadline_s=600.0, retries=2, retry_backoff=0.1,
+                )
+                other = await client.submit_job(
+                    "sales", kind="tune", tenant="globex",
+                    budget_fraction=0.12, variant="dtac-none",
+                )
+                await client.wait_job(acme["id"])
+                await client.wait_job(other["id"])
+                acme_list = await client.jobs(tenant="acme")
+                globex_list = await client.jobs(tenant="globex")
+                nobody = await client.jobs(tenant="nobody")
+                everyone = await client.jobs()
+                snapshot = await client.job(acme["id"])
+                return (acme, other, acme_list, globex_list,
+                        nobody, everyone, snapshot)
+            finally:
+                await server.stop()
+
+        (acme, other, acme_list, globex_list,
+         nobody, everyone, snapshot) = run(scenario())
+        assert [j["id"] for j in acme_list["jobs"]] == [acme["id"]]
+        assert [j["id"] for j in globex_list["jobs"]] == [other["id"]]
+        assert nobody["jobs"] == []
+        listed = {j["id"] for j in everyone["jobs"]}
+        assert {acme["id"], other["id"]} <= listed
+        assert snapshot["tenant"] == "acme"
+        assert snapshot["deadline_s"] == 600.0
+        assert snapshot["retries"] == 2
+        assert snapshot["retry_backoff"] == 0.1
+        assert snapshot["state"] == "done"
+
     def test_stream_resumes_after_seq(self, http_inputs):
         db, wl = http_inputs
 
