@@ -82,7 +82,11 @@ from repro.experiments.common import (  # noqa: E402
 )
 from repro.experiments.samplecf_errors import ErrorLab  # noqa: E402
 from repro.experiments.table2_error_fit import FRACTIONS  # noqa: E402
-from repro.parallel.engine import ParallelEngine, fork_available  # noqa: E402
+from repro.parallel.engine import (  # noqa: E402
+    ParallelEngine,
+    effective_cpu_count,
+    fork_available,
+)
 from repro.sampling.sample_manager import (  # noqa: E402
     DEFAULT_SAMPLE_SEED,
     SampleManager,
@@ -92,6 +96,14 @@ from repro.sizeest.estimator import SizeEstimator  # noqa: E402
 #: The sweep grid: the acceptance bar is >=3 budgets x 2 seeds.
 SWEEP_BUDGET_FRACTIONS = (0.1, 0.15, 0.2)
 SWEEP_SEEDS = (DEFAULT_SAMPLE_SEED, DEFAULT_SAMPLE_SEED + 1)
+
+#: Greedy acceptance threshold for the incremental section's "pruned"
+#: sub-arm: coarse enough that the delta coster's sound lower bounds
+#: (atomic-config floors) exceed the required improvement for some
+#: candidates, so ``pruned_bound`` provably fires on the stock bench —
+#: compare_bench gates it > 0 with recommendations still identical to
+#: the full-recost path at the same threshold.
+PRUNED_MIN_IMPROVEMENT = 0.05
 
 
 def _fig9_task(lab: ErrorLab, index) -> list[float]:
@@ -105,18 +117,40 @@ def _config_names(result) -> list[str]:
     return sorted(ix.display_name() for ix in result.configuration)
 
 
+#: Walls in the advisor/incremental sections are the best of this many
+#: runs: the advisor is deterministic, so the minimum is the least-noise
+#: estimate of what the machine can do and the trend chain stops
+#: tracking load spikes.
+ADVISOR_TRIALS = 2
+INCREMENTAL_TRIALS = 3
+
+
+def _best_of(trials: int, fn):
+    """(best wall seconds, last result) over ``trials`` runs of fn()."""
+    best = None
+    result = None
+    for _ in range(trials):
+        t0 = time.perf_counter()
+        result = fn()
+        wall = time.perf_counter() - t0
+        if best is None or wall < best:
+            best = wall
+    return best, result
+
+
 def run_advisor_section(args) -> dict:
     db = sales_database(scale=args.scale, seed=args.seed)
     wl = sales_workload(db)
     budget = db.total_data_bytes() * args.budget
 
-    t0 = time.perf_counter()
-    seq = tune(db, wl, budget, variant=args.variant, workers=1)
-    seq_wall = time.perf_counter() - t0
+    seq_wall, seq = _best_of(
+        ADVISOR_TRIALS,
+        lambda: tune(db, wl, budget, variant=args.variant, workers=1))
 
-    t0 = time.perf_counter()
-    par = tune(db, wl, budget, variant=args.variant, workers=args.workers)
-    par_wall = time.perf_counter() - t0
+    par_wall, par = _best_of(
+        ADVISOR_TRIALS,
+        lambda: tune(db, wl, budget, variant=args.variant,
+                     workers=args.workers))
 
     identical = (
         seq.configuration == par.configuration
@@ -130,6 +164,7 @@ def run_advisor_section(args) -> dict:
         "sequential": {
             "wall_seconds": round(seq_wall, 4),
             "candidates_per_sec": round(seq.candidate_count / seq_wall, 2),
+            "kernel": seq.kernel_stats,
         },
         "parallel": {
             "workers": args.workers,
@@ -157,18 +192,32 @@ def run_incremental_section(args) -> dict:
     wl = sales_workload(db)
     budget = db.total_data_bytes() * args.budget
 
-    t0 = time.perf_counter()
-    full = tune(db, wl, budget, variant=args.variant,
-                delta_costing=False)
-    full_wall = time.perf_counter() - t0
+    full_wall, full = _best_of(
+        INCREMENTAL_TRIALS,
+        lambda: tune(db, wl, budget, variant=args.variant,
+                     delta_costing=False))
 
-    t0 = time.perf_counter()
-    inc = tune(db, wl, budget, variant=args.variant,
-               delta_costing=True)
-    inc_wall = time.perf_counter() - t0
+    inc_wall, inc = _best_of(
+        INCREMENTAL_TRIALS,
+        lambda: tune(db, wl, budget, variant=args.variant,
+                     delta_costing=True))
 
     full_cps = round(full.candidate_count / full_wall, 2)
     inc_cps = round(inc.candidate_count / inc_wall, 2)
+
+    # Pruned sub-arm: the same session at a coarse acceptance threshold
+    # where the delta coster's lower bounds bind, so bound pruning
+    # (pruned_bound) fires on the stock bench; its A/B baseline is the
+    # full-recost path at the *same* threshold.
+    pruned_wall, pruned = _best_of(
+        INCREMENTAL_TRIALS,
+        lambda: tune(db, wl, budget, variant=args.variant,
+                     delta_costing=True,
+                     min_improvement=PRUNED_MIN_IMPROVEMENT))
+    pruned_full = tune(db, wl, budget, variant=args.variant,
+                       delta_costing=False,
+                       min_improvement=PRUNED_MIN_IMPROVEMENT)
+
     return {
         "dataset": "sales",
         "scale": args.scale,
@@ -178,12 +227,14 @@ def run_incremental_section(args) -> dict:
             "wall_seconds": round(full_wall, 4),
             "candidates_per_sec": full_cps,
             "optimizer_calls": full.optimizer_calls,
+            "kernel": full.kernel_stats,
         },
         "incremental": {
             "wall_seconds": round(inc_wall, 4),
             "candidates_per_sec": inc_cps,
             "optimizer_calls": inc.optimizer_calls,
             "delta": inc.delta_stats,
+            "kernel": inc.kernel_stats,
         },
         "speedup": round(full_wall / inc_wall, 3),
         "candidates_per_sec_ratio": round(
@@ -195,6 +246,18 @@ def run_incremental_section(args) -> dict:
             and full.base_cost == inc.base_cost
             and full.steps == inc.steps
         ),
+        "pruned": {
+            "min_improvement": PRUNED_MIN_IMPROVEMENT,
+            "wall_seconds": round(pruned_wall, 4),
+            "pruned_bound": pruned.delta_stats.get("pruned_bound", 0),
+            "pruned_zero_delta": pruned.delta_stats.get(
+                "pruned_zero_delta", 0
+            ),
+            "identical_recommendations": (
+                pruned.configuration == pruned_full.configuration
+                and pruned.final_cost == pruned_full.final_cost
+            ),
+        },
     }
 
 
@@ -676,6 +739,7 @@ def main(argv: list[str] | None = None) -> int:
             "python": platform.python_version(),
             "platform": sys.platform,
             "cpu_count": os.cpu_count(),
+            "effective_cpus": effective_cpu_count(),
             "fork_available": fork_available(),
             "workers": args.workers,
             "seed": args.seed,
@@ -731,6 +795,11 @@ def main(argv: list[str] | None = None) -> int:
               f"({inc['full_recost']['candidates_per_sec']} -> "
               f"{inc['incremental']['candidates_per_sec']} cands/sec, "
               f"identical={inc['identical_recommendations']})")
+        pruned = inc["pruned"]
+        print(f"[bench] pruned arm (min_improvement="
+              f"{pruned['min_improvement']}): "
+              f"{pruned['pruned_bound']} bound-pruned, "
+              f"identical={pruned['identical_recommendations']}")
     if "cache" in payload:
         print(f"[bench] warm cache hit rate "
               f"{payload['cache']['warm_hit_rate']:.2%}")
@@ -772,6 +841,9 @@ def main(argv: list[str] | None = None) -> int:
             for entry in payload.get("algorithms", {}).get("results", [])
         )
         and payload.get("incremental", {}).get(
+            "identical_recommendations", True
+        )
+        and payload.get("incremental", {}).get("pruned", {}).get(
             "identical_recommendations", True
         )
         and payload.get("fig9", {}).get("identical_errors", True)

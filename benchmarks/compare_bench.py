@@ -121,6 +121,14 @@ class Gate:
         self.notes.append(message)
 
 
+#: Floor on the advisor section's parallel-vs-sequential speedup.  With
+#: the engine's single-CPU auto-degrade, the parallel arm either fans
+#: out with real concurrency (speedup > 1 expected) or degrades to the
+#: sequential path (speedup ~1.0); either way losing beyond noise means
+#: the fan-out fired where it could only add overhead — the exact bug
+#: the degrade exists to prevent.  0.8 is noise slack, not a target.
+MIN_PARALLEL_SPEEDUP = 0.8
+
 #: Acceptance floor for delta-costing speedup over full recosting.
 #: Was 3.0 when full recosting paid un-memoized selectivity estimation
 #: on every costing; the stats-layer selectivity memo sped the
@@ -260,6 +268,31 @@ def compare(baseline: dict, fresh: dict, wall_tolerance: float,
                     f"ok algorithms.{default_name} matches baseline"
                 )
 
+    # 2.4 Parallel-arm floor: the parallel advisor run must not lose to
+    #     the sequential run beyond noise.  The engine degrades to
+    #     sequential on effectively single-CPU hosts, so a big loss
+    #     here means the degrade failed (forked workers time-slicing
+    #     one core) or the fan-out regressed on a real multi-core.
+    par_speedup = _dig(fresh, ("advisor", "speedup"))
+    if isinstance(par_speedup, (int, float)):
+        engine = _dig(fresh, ("advisor", "parallel", "engine")) or {}
+        degraded = engine.get("degraded_sequential")
+        if par_speedup < MIN_PARALLEL_SPEEDUP:
+            gate.fail(
+                f"advisor.speedup below the parallel floor: "
+                f"x{par_speedup:.2f} < x{MIN_PARALLEL_SPEEDUP:.1f} "
+                f"(engine degraded_sequential={degraded!r}, "
+                f"parallel_maps={engine.get('parallel_maps')!r}) — the "
+                "parallel arm must never lose to sequential beyond noise"
+            )
+        else:
+            gate.note(
+                f"ok advisor.speedup = x{par_speedup:.2f}"
+                + (" (engine degraded to sequential)" if degraded else "")
+            )
+    elif "advisor" in baseline:
+        gate.fail("advisor section missing its speedup figure")
+
     # 2.5 Incremental-costing speedup floor: delta-aware costing must
     #     keep beating the full-recost path by the acceptance bar on
     #     the runner itself (both arms run sequentially in the same
@@ -276,17 +309,52 @@ def compare(baseline: dict, fresh: dict, wall_tolerance: float,
     elif "incremental" in baseline:
         gate.fail("incremental section missing its speedup figure")
 
+    # 2.6 Bound pruning must fire on the stock bench: the incremental
+    #     section's pruned sub-arm runs at a coarse acceptance
+    #     threshold chosen so the delta coster's sound lower bounds
+    #     bind — zero pruned candidates there means the floors went
+    #     slack (the "pruning that never prunes" regression), and the
+    #     arm must stay byte-identical to full recosting regardless.
+    pruned = _dig(fresh, ("incremental", "pruned"))
+    if isinstance(pruned, dict):
+        bound = pruned.get("pruned_bound")
+        if not isinstance(bound, int) or bound <= 0:
+            gate.fail(
+                "incremental.pruned.pruned_bound did not fire "
+                f"({bound!r}) at min_improvement="
+                f"{pruned.get('min_improvement')!r}"
+            )
+        elif not pruned.get("identical_recommendations", False):
+            gate.fail(
+                "incremental.pruned recommendations diverged from full "
+                "recosting — bound pruning cut a candidate it could not "
+                "prove away"
+            )
+        else:
+            gate.note(
+                f"ok incremental.pruned: {bound} bound-pruned, "
+                "identical to full recost"
+            )
+    elif "pruned" in baseline.get("incremental", {}):
+        gate.fail("incremental.pruned sub-arm missing from the fresh run")
+
     # 2.7 Job-serving gates: the warm arm must actually reuse the
     #     lane's engine pool (the whole point of session affinity), and
     #     two-context overlap must not be slower than serializing the
     #     same jobs.
     service = fresh.get("service")
     if service is not None:
-        if service.get("workers", 1) > 1:
+        effective = _dig(fresh, ("meta", "effective_cpus"))
+        if service.get("workers", 1) > 1 and (
+            not isinstance(effective, int) or effective >= 2
+        ):
             # warm_runs counts prepare_warm *grants* (cross-run
             # affinity specifically); pools_reused alone could be
             # satisfied by within-run session reuse even with the
-            # affinity feature broken.
+            # affinity feature broken.  On an effectively single-CPU
+            # host the engines degrade to sequential and never fork a
+            # pool at all, so there is nothing to keep warm — the
+            # affinity floors only apply where pools exist.
             for key, floor in (("warm_runs", 1), ("pools_reused", 1)):
                 value = _dig(fresh, ("service", "warm", key))
                 if not isinstance(value, (int, float)) or value < floor:
@@ -298,6 +366,12 @@ def compare(baseline: dict, fresh: dict, wall_tolerance: float,
                     )
                 else:
                     gate.note(f"ok service.warm.{key} = {value}")
+        elif service.get("workers", 1) > 1:
+            gate.note(
+                f"service.warm affinity not gated ({effective!r} "
+                "effective CPU: engines degrade to sequential, no "
+                "pools to keep warm)"
+            )
         serial = _dig(fresh, ("service", "overlap",
                               "serialized_wall_seconds"))
         conc = _dig(fresh, ("service", "overlap",

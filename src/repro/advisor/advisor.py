@@ -120,6 +120,12 @@ class AdvisorOptions:
     workers: int = 1
     cache_dir: str | None = None
     delta_costing: bool = True
+    #: costing-kernel backend for batch access-path evaluation:
+    #: ``"auto"`` (numpy when importable, else the pure-python loop),
+    #: ``"numpy"`` (required), ``"python"`` (forced scalar fallback).
+    #: Backends are float-identical by the kernel identity contract —
+    #: recommendations never depend on the choice.
+    kernel: str = "auto"
     #: selection strategy over the shared candidate pool, resolved
     #: through :func:`repro.advisor.algorithms.get` — the default is
     #: the paper's greedy(+backtracking) search; alternatives are
@@ -160,6 +166,9 @@ class AdvisorResult:
     cost_cache_stats: dict = field(default_factory=dict)
     #: parallel-engine counters for this run; see :meth:`ParallelEngine.stats`.
     engine_stats: dict = field(default_factory=dict)
+    #: costing-kernel counters (backend, lanes, batch split); see
+    #: :meth:`repro.optimizer.kernels.CostKernel.stats`.
+    kernel_stats: dict = field(default_factory=dict)
     #: delta-costing counters (parent-process side) for this run; see
     #: :meth:`DeltaWorkloadCoster.stats`.  Empty when delta costing is
     #: disabled.
@@ -314,6 +323,7 @@ class TuningAdvisor:
             database, self.stats, sizes=self._size_lookup,
             constants=constants, cost_cache=cost_cache,
             cost_context=self._cost_context,
+            kernel=options.kernel,
         )
         self.base_config = base_config or self.default_base_configuration()
         self._original_base_sizes = {
@@ -644,6 +654,7 @@ class TuningAdvisor:
                 if self.cost_cache is not None else {}
             ),
             engine_stats=self.engine.stats(),
+            kernel_stats=self.whatif.kernel.stats(),
             delta_stats=(
                 self.delta.stats() if self.delta is not None else {}
             ),

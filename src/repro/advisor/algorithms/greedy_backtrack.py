@@ -66,14 +66,16 @@ class GreedyBacktrackAlgorithm(SelectionAlgorithm):
         }
 
     def _bound_pruning_safe(self) -> bool:
-        # Only decision-identical under pure-greedy scoring without
-        # backtracking: a pruned candidate can then only ever be
-        # chosen-and-rejected below min_improvement, which leaves the
-        # same search state.
-        return (
-            self.options.strategy == "greedy"
-            and not self.options.backtracking
-        )
+        # Greedy scoring only: score == delta_cost, so a candidate whose
+        # optimistic cap is strictly below a costed survivor's delta can
+        # win neither selection channel.  Without backtracking that
+        # yields the plain threshold prune; with backtracking the sweep
+        # routes through the rescue prune (see
+        # ``_rescue_candidate_costs``), which additionally protects the
+        # best-oversized channel.  Density scoring stays unpruned: its
+        # score is delta/size, so a tiny-delta candidate can outrank
+        # arbitrarily large deltas.
+        return self.options.strategy == "greedy"
 
     def run(self, pool: list[IndexDef],
             base_config: Configuration) -> EnumerationResult:
@@ -180,18 +182,24 @@ class GreedyBacktrackAlgorithm(SelectionAlgorithm):
             # A cancellation point even when no step gets accepted:
             # every candidate sweep reports in before costing.
             self._emit("sweep", candidates=len(moves), cost=current_cost)
-            threshold = None
-            if self._prune_bounds:
-                # Half the acceptance threshold: the slack covers float
-                # accumulation differences between the optimistic bound
-                # and the full path's total, so a pruned move could at
-                # most be chosen-and-rejected below min_improvement.
-                threshold = 0.5 * options.min_improvement * max(
-                    current_cost, 1e-9
+            if self._prune_bounds and options.backtracking:
+                costs = self._rescue_candidate_costs(
+                    [candidate for _ix, candidate in moves], current_cost
                 )
-            costs = self._candidate_costs(
-                [candidate for _ix, candidate in moves], threshold
-            )
+            else:
+                threshold = None
+                if self._prune_bounds:
+                    # Half the acceptance threshold: the slack covers
+                    # float accumulation differences between the
+                    # optimistic bound and the full path's total, so a
+                    # pruned move could at most be chosen-and-rejected
+                    # below min_improvement.
+                    threshold = 0.5 * options.min_improvement * max(
+                        current_cost, 1e-9
+                    )
+                costs = self._candidate_costs(
+                    [candidate for _ix, candidate in moves], threshold
+                )
             for (ix, candidate), cost in zip(moves, costs):
                 if cost is None:
                     continue
@@ -245,6 +253,90 @@ class GreedyBacktrackAlgorithm(SelectionAlgorithm):
             consumed_bytes=self.consumed(current),
             steps=steps,
         )
+
+    def _rescue_candidate_costs(
+        self, candidates: list, current_cost: float
+    ) -> list:
+        """Bound pruning for the *backtracking* sweep (the PR 3 open
+        question): costs in candidate order, None for provably
+        invisible candidates.
+
+        Backtracking consumes a sweep through two channels — the best
+        feasible pick and the best pick *including oversized ones*,
+        whose Figure-8 recovery compresses current members and can
+        therefore unlock improvements beyond the candidate's own delta.
+        A cap below the acceptance threshold is no longer a safe prune
+        by itself: the pruned candidate could have been the channel
+        maximum.  So the sweep defers low-cap candidates, costs the
+        rest, and then *rescues* (costs after all) every deferred
+        candidate whose cap does not lose **strictly** to a costed
+        survivor in each channel it can enter:
+
+        * best-any channel: rescued unless some survivor's delta
+          strictly exceeds the cap (ties rescue — pool order decides
+          ties, and the candidate could be earlier);
+        * best-feasible channel (fitting candidates only): same test
+          against the best *fitting* survivor delta.
+
+        A candidate left pruned has ``delta <= cap <`` both channel
+        maxima, so under greedy scoring (score == delta) it can win
+        neither selection — the sweep's outcome, tie-breaks included,
+        is decision-identical to costing everything.  Rescued deltas
+        are bounded by their caps, which lose to the precomputed
+        maxima, so rescue can never shift the maxima and one pass
+        suffices."""
+        delta = self.delta
+        threshold = 0.5 * self.options.min_improvement * max(
+            current_cost, 1e-9
+        )
+        costs: list = [None] * len(candidates)
+        deferred: list[int] = []
+        to_cost: list[int] = []
+        caps: dict[int, float] = {}
+        for i, candidate in enumerate(candidates):
+            if not delta.improvement_possible(candidate, None):
+                continue  # zero-delta certificate: exact per strategy
+            cap = delta.improvement_cap(candidate)
+            if cap is not None and cap < threshold:
+                caps[i] = cap
+                deferred.append(i)
+            else:
+                to_cost.append(i)
+        for i, cost in zip(
+            to_cost, self.batch_cost([candidates[i] for i in to_cost])
+        ):
+            costs[i] = cost
+        if not deferred:
+            return costs
+        max_any = None
+        max_fit = None
+        for i in to_cost:
+            gain = current_cost - costs[i]
+            if gain <= 0:
+                continue
+            if max_any is None or gain > max_any:
+                max_any = gain
+            if self.fits(candidates[i]) and (
+                max_fit is None or gain > max_fit
+            ):
+                max_fit = gain
+        rescued: list[int] = []
+        for i in deferred:
+            cap = caps[i]
+            if max_any is None or cap >= max_any:
+                rescued.append(i)
+            elif self.fits(candidates[i]) and (
+                max_fit is None or cap >= max_fit
+            ):
+                rescued.append(i)
+        for i, cost in zip(
+            rescued, self.batch_cost([candidates[i] for i in rescued])
+        ):
+            costs[i] = cost
+        pruned = len(deferred) - len(rescued)
+        if pruned:
+            delta.note_bound_pruned(pruned)
+        return costs
 
     # ------------------------------------------------------------------
     def _polish(self, result: EnumerationResult) -> EnumerationResult:

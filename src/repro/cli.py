@@ -56,7 +56,8 @@ def cmd_tune(args) -> int:
                   enable_mv=args.all_features,
                   workers=args.workers,
                   cache_dir=args.cache_dir,
-                  delta_costing=not args.full_recost)
+                  delta_costing=not args.full_recost,
+                  kernel=args.kernel)
     print(f"database {db.name}: {db.total_data_bytes() / 1024:.0f} KiB raw")
     print(f"variant {args.variant}, algorithm {args.algorithm}, "
           f"budget {budget / 1024:.0f} KiB")
@@ -64,13 +65,26 @@ def cmd_tune(args) -> int:
           f"({result.base_cost:.0f} -> {result.final_cost:.0f}), "
           f"consumed {result.consumed_bytes / 1024:.0f} KiB, "
           f"{result.elapsed_seconds:.1f}s")
-    if result.delta_stats:
-        ds = result.delta_stats
-        print(f"delta costing: {ds['reused_terms']} terms reused, "
-              f"{ds['patched_terms']} plan-patched, "
-              f"{ds['full_recosts']} full recosts, "
-              f"{ds['pruned_zero_delta'] + ds['pruned_bound']} "
-              f"candidates pruned")
+    ks = result.kernel_stats
+    if ks:
+        print(f"costing kernel: {ks.get('backend', '?')} backend, "
+              f"{ks.get('lanes_total', 0)} lanes "
+              f"({ks.get('batches_numpy', 0)} array batches, "
+              f"{ks.get('batches_scalar', 0)} scalar)")
+    ds = result.delta_stats
+    if ds:
+        # .get guards: full-recost runs and older stats payloads carry
+        # no pruning counters, and the summary line must never crash
+        # the CLI over a missing key.
+        pruned = (ds.get("pruned_zero_delta", 0)
+                  + ds.get("pruned_bound", 0))
+        print(f"delta costing: {ds.get('reused_terms', 0)} terms reused, "
+              f"{ds.get('patched_terms', 0)} plan-patched, "
+              f"{ds.get('full_recosts', 0)} full recosts, "
+              f"{pruned} candidates pruned")
+    else:
+        print(f"full recost: {result.optimizer_calls} optimizer calls "
+              "(delta costing off)")
     for ix in sorted(result.configuration, key=lambda i: i.display_name()):
         print(f"  {ix.display_name():58s} "
               f"{result.sizes[ix] / 1024:8.0f} KiB")
@@ -91,6 +105,7 @@ def cmd_sweep(args) -> int:
         enable_partial=args.all_features,
         enable_mv=args.all_features,
         delta_costing=not args.full_recost,
+        kernel=args.kernel,
     )
     print(f"database {db.name}: {total / 1024:.0f} KiB raw, "
           f"variant {args.variant}, {len(result.runs)} runs "
@@ -199,7 +214,8 @@ def cmd_validate(args) -> int:
     result = tune(db, wl, budget, variant=args.variant,
                   estimator=estimator, stats=stats,
                   workers=args.workers, cache_dir=args.cache_dir,
-                  delta_costing=not args.full_recost)
+                  delta_costing=not args.full_recost,
+                  kernel=args.kernel)
     report = validate_recommendation(
         result, db, wl, stats=stats, estimator=estimator
     )
@@ -458,6 +474,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "re-cost the whole workload per candidate "
                             "(identical recommendations, slower — the "
                             "A/B baseline for the incremental bench)")
+        p.add_argument("--kernel", choices=("auto", "numpy", "python"),
+                       default="auto",
+                       help="costing-kernel backend for batch "
+                            "access-path evaluation (auto = numpy when "
+                            "importable; backends are float-identical, "
+                            "so recommendations never change)")
 
     p_tune = sub.add_parser("tune", help="run the tuning advisor")
     add_dataset_args(p_tune)

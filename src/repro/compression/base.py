@@ -98,14 +98,18 @@ class ColumnCodec:
     Subclasses implement :meth:`add` and :meth:`size`.  ``size`` must be the
     exact byte footprint of this column on the current page, including any
     per-page metadata the scheme needs (stored prefixes, dictionaries...).
+    ``add`` returns that same footprint *after* the value lands, so the
+    page packer's hot loop gets the running size from the call it already
+    makes instead of a second ``size()`` pass per row.
     """
 
     def __init__(self, column: Column) -> None:
         self.column = column
         self.count = 0
 
-    def add(self, stripped: bytes) -> None:
-        """Feed the next (already padding-stripped) value."""
+    def add(self, stripped: bytes) -> int:
+        """Feed the next (already padding-stripped) value; returns the
+        column's exact on-page size after the add (== :meth:`size`)."""
         raise NotImplementedError
 
     def size(self) -> int:
@@ -120,8 +124,9 @@ class ColumnCodec:
 class RawCodec(ColumnCodec):
     """No compression: fixed-width storage."""
 
-    def add(self, stripped: bytes) -> None:
+    def add(self, stripped: bytes) -> int:
         self.count += 1
+        return self.count * self.column.width
 
     def size(self) -> int:
         return self.count * self.column.width
@@ -139,10 +144,14 @@ class MinOfCodec(ColumnCodec):
             raise CompressionError("MinOfCodec needs at least one part")
         self.parts = list(parts)
 
-    def add(self, stripped: bytes) -> None:
+    def add(self, stripped: bytes) -> int:
         self.count += 1
+        best = None
         for part in self.parts:
-            part.add(stripped)
+            s = part.add(stripped)
+            if best is None or s < best:
+                best = s
+        return best
 
     def size(self) -> int:
         return min(part.size() for part in self.parts)

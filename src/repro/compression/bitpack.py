@@ -35,8 +35,9 @@ class BitPackCodec(ColumnCodec):
         super().__init__(column)
         self.bits = bits_for(n_distinct)
 
-    def add(self, stripped: bytes) -> None:
+    def add(self, stripped: bytes) -> int:
         self.count += 1
+        return PAGE_OVERHEAD + -(-self.count * self.bits // 8)
 
     def size(self) -> int:
         if self.count == 0:

@@ -50,7 +50,7 @@ class DeltaCodec(ColumnCodec):
         self._prev: int | None = None
         self._bytes = 0
 
-    def add(self, stripped: bytes) -> None:
+    def add(self, stripped: bytes) -> int:
         self.count += 1
         value = _as_int(stripped)
         if self._prev is None:
@@ -61,6 +61,7 @@ class DeltaCodec(ColumnCodec):
                 zigzag(value - self._prev)
             )
         self._prev = value
+        return self._bytes
 
     def size(self) -> int:
         return self._bytes

@@ -45,8 +45,9 @@ class GlobalDictionaryCodec(ColumnCodec):
         super().__init__(column)
         self._ptr = pointer_width(n_distinct)
 
-    def add(self, stripped: bytes) -> None:
+    def add(self, stripped: bytes) -> int:
         self.count += 1
+        return self.count * self._ptr
 
     def size(self) -> int:
         return self.count * self._ptr

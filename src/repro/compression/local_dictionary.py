@@ -52,7 +52,7 @@ class LocalDictionaryCodec(ColumnCodec):
         #: current width selects which one size() reads.
         self._totals = [0, 0]
 
-    def add(self, stripped: bytes) -> None:
+    def add(self, stripped: bytes) -> int:
         self.count += 1
         counts = self._counts
         totals = self._totals
@@ -66,6 +66,7 @@ class LocalDictionaryCodec(ColumnCodec):
         totals[1] += _contribution(length, old + 1, 2)
         if self._ptr == 1 and len(counts) > _PTR1_LIMIT:
             self._ptr = 2
+        return DICT_OVERHEAD + totals[self._ptr - 1]
 
     def size(self) -> int:
         if self.count == 0:

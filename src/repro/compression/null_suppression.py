@@ -20,9 +20,10 @@ class NullSuppressionCodec(ColumnCodec):
         super().__init__(column)
         self._bytes = 0
 
-    def add(self, stripped: bytes) -> None:
+    def add(self, stripped: bytes) -> int:
         self.count += 1
         self._bytes += VALUE_HEADER + len(stripped)
+        return self._bytes
 
     def size(self) -> int:
         return self._bytes

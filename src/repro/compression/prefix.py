@@ -41,7 +41,7 @@ class PrefixCodec(ColumnCodec):
         self._prefix: bytes | None = None
         self._sum_len = 0
 
-    def add(self, stripped: bytes) -> None:
+    def add(self, stripped: bytes) -> int:
         self.count += 1
         self._sum_len += len(stripped)
         if self._prefix is None:
@@ -50,6 +50,13 @@ class PrefixCodec(ColumnCodec):
             keep = common_prefix_len(self._prefix, stripped)
             if keep < len(self._prefix):
                 self._prefix = self._prefix[:keep]
+        p = len(self._prefix)
+        return (
+            ANCHOR_OVERHEAD
+            + p
+            + self.count * VALUE_HEADER
+            + (self._sum_len - self.count * p)
+        )
 
     def size(self) -> int:
         if self.count == 0:

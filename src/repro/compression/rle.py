@@ -24,14 +24,15 @@ class RunLengthCodec(ColumnCodec):
         self._bytes = 0
         self._runs = 0
 
-    def add(self, stripped: bytes) -> None:
+    def add(self, stripped: bytes) -> int:
         self.count += 1
         if self._have_last and stripped == self._last:
-            return
+            return self._bytes
         self._last = stripped
         self._have_last = True
         self._runs += 1
         self._bytes += VALUE_HEADER + len(stripped) + RUN_COUNTER
+        return self._bytes
 
     def size(self) -> int:
         return self._bytes

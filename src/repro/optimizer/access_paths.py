@@ -89,6 +89,146 @@ def _filter_subsumed(
     return False, predicates
 
 
+@dataclass(frozen=True)
+class AccessShape:
+    """The discrete part of costing one structure against one predicate
+    context — everything :func:`cost_access` decides before the float
+    arithmetic starts.  Shapes depend only on (index identity,
+    predicates, needed columns, statistics), so callers that sweep the
+    same predicate context over many candidate sets cache them and
+    replay the flat numeric part through
+    :mod:`repro.optimizer.kernels`.
+
+    Attributes:
+        sel_prefix: selectivity of the sargable key-prefix predicates.
+        residual: predicates applied while scanning (not seek-consumed).
+        sel_all: min(prefix selectivity, full conjunction selectivity).
+        covering: leaf rows carry every needed column.
+        can_seek: a key seek restricts the scan.
+        compressed: the structure pays per-tuple decompression.
+        n_used_cols: decompressed columns per tuple (0 if uncompressed).
+        beta: the method's per-tuple per-column decompression constant.
+        n_needed: how many columns the query needs from the table (the
+            non-covering base lookup's decompression width) — carried
+            in the shape so one kernel batch can mix lanes from
+            different statements.
+    """
+
+    sel_prefix: float
+    residual: int
+    sel_all: float
+    covering: bool
+    can_seek: bool
+    compressed: bool
+    n_used_cols: int
+    beta: float
+    n_needed: int
+
+
+def access_shape(
+    index: IndexDef,
+    predicates: tuple[Predicate, ...],
+    needed_columns: tuple[str, ...],
+    stats: TableStats,
+    constants: CostConstants,
+) -> AccessShape | None:
+    """Extract one structure's :class:`AccessShape`, or None if the
+    structure is unusable for this predicate context (a partial index
+    whose filter the conjunction does not imply)."""
+    usable, predicates = _filter_subsumed(index, predicates)
+    if not usable:
+        return None
+    method = index.method
+    covering = index.covers(needed_columns)
+    sel_prefix, consumed = _prefix_selectivity(index, predicates, stats)
+    residual = max(0, len(predicates) - consumed)
+    total_sel = 1.0
+    for p in predicates:
+        total_sel *= predicate_selectivity(stats, p)
+    sel_all = min(sel_prefix, total_sel)
+    can_seek = (
+        index.kind in (IndexKind.CLUSTERED, IndexKind.SECONDARY)
+        and consumed > 0
+    )
+    if method.is_compressed:
+        used_cols = [
+            c for c in needed_columns if c in index.column_sequence
+        ] or list(index.key_columns)
+        n_used_cols = len(used_cols)
+        beta = constants.beta[method]
+    else:
+        n_used_cols = 0
+        beta = 0.0
+    return AccessShape(
+        sel_prefix=sel_prefix,
+        residual=residual,
+        sel_all=sel_all,
+        covering=covering,
+        can_seek=can_seek,
+        compressed=method.is_compressed,
+        n_used_cols=n_used_cols,
+        beta=beta,
+        n_needed=len(needed_columns),
+    )
+
+
+def plan_from_shape(
+    index: IndexDef,
+    index_bytes: float,
+    rows_in_structure: float,
+    shape: AccessShape,
+    constants: CostConstants,
+    base_lookup: tuple[IndexDef, float] | None,
+) -> AccessPlan | None:
+    """The flat numeric part of :func:`cost_access`: evaluate one
+    already-shaped structure.  This scalar function is the identity
+    reference for every kernel backend — the numpy kernel mirrors these
+    expressions operation for operation (see
+    :mod:`repro.optimizer.kernels`)."""
+    pages = max(1.0, index_bytes / PAGE_SIZE)
+    if shape.can_seek:
+        pages_read = max(1.0, pages * shape.sel_prefix)
+        rows_read = rows_in_structure * shape.sel_prefix
+        io = pages_read * constants.io_seq_page + 2 * constants.io_random_page
+    else:
+        rows_read = rows_in_structure
+        io = pages * constants.io_seq_page
+
+    # Residual predicates are applied while scanning; every scanned tuple
+    # pays base CPU.
+    cpu = rows_read * constants.cpu_tuple
+    cpu += rows_read * shape.residual * constants.cpu_predicate
+    if shape.compressed:
+        cpu += shape.beta * rows_read * shape.n_used_cols
+
+    rows_out = rows_in_structure * shape.sel_all
+
+    if not shape.covering:
+        if base_lookup is None:
+            return None
+        base_index, _base_bytes = base_lookup
+        # RID/key lookups into the base structure: one random page per
+        # qualifying row (they are effectively random).
+        lookups = rows_out
+        lookup_io = lookups * constants.io_random_page
+        lookup_cpu = lookups * constants.cpu_tuple
+        if base_index.method.is_compressed:
+            lookup_cpu += constants.decompress_cpu(
+                base_index.method, lookups, shape.n_needed
+            )
+        io += lookup_io
+        cpu += lookup_cpu
+
+    return AccessPlan(
+        index=index,
+        cost=io + cpu,
+        io_cost=io,
+        cpu_cost=cpu,
+        rows_out=rows_out,
+        used_seek=shape.can_seek,
+    )
+
+
 def cost_access(
     index: IndexDef,
     index_bytes: float,
@@ -111,69 +251,12 @@ def cost_access(
         constants: cost constants.
         base_lookup: (base structure, its bytes) for non-covering seeks.
     """
-    usable, predicates = _filter_subsumed(index, predicates)
-    if not usable:
+    shape = access_shape(index, predicates, needed_columns, stats, constants)
+    if shape is None:
         return None
-
-    pages = max(1.0, index_bytes / PAGE_SIZE)
-    method = index.method
-    covering = index.covers(needed_columns)
-
-    sel_prefix, consumed = _prefix_selectivity(index, predicates, stats)
-    residual = max(0, len(predicates) - consumed)
-    total_sel = 1.0
-    for p in predicates:
-        total_sel *= predicate_selectivity(stats, p)
-    sel_all = min(sel_prefix, total_sel)
-
-    can_seek = (
-        index.kind in (IndexKind.CLUSTERED, IndexKind.SECONDARY)
-        and consumed > 0
-    )
-    if can_seek:
-        pages_read = max(1.0, pages * sel_prefix)
-        rows_read = rows_in_structure * sel_prefix
-        io = pages_read * constants.io_seq_page + 2 * constants.io_random_page
-    else:
-        pages_read = pages
-        rows_read = rows_in_structure
-        io = pages * constants.io_seq_page
-
-    # Residual predicates are applied while scanning; every scanned tuple
-    # pays base CPU.
-    cpu = rows_read * constants.cpu_tuple
-    cpu += rows_read * residual * constants.cpu_predicate
-    if method.is_compressed:
-        used_cols = [
-            c for c in needed_columns if c in index.column_sequence
-        ] or list(index.key_columns)
-        cpu += constants.decompress_cpu(method, rows_read, len(used_cols))
-
-    rows_out = rows_in_structure * sel_all
-
-    if not covering:
-        if base_lookup is None:
-            return None
-        base_index, base_bytes = base_lookup
-        # RID/key lookups into the base structure: one random page per
-        # qualifying row (they are effectively random).
-        lookups = rows_out
-        lookup_io = lookups * constants.io_random_page
-        lookup_cpu = lookups * constants.cpu_tuple
-        if base_index.method.is_compressed:
-            lookup_cpu += constants.decompress_cpu(
-                base_index.method, lookups, len(needed_columns)
-            )
-        io += lookup_io
-        cpu += lookup_cpu
-
-    return AccessPlan(
-        index=index,
-        cost=io + cpu,
-        io_cost=io,
-        cpu_cost=cpu,
-        rows_out=rows_out,
-        used_seek=can_seek,
+    return plan_from_shape(
+        index, index_bytes, rows_in_structure, shape, constants,
+        base_lookup,
     )
 
 
@@ -185,26 +268,49 @@ def best_access_plan(
     predicates: tuple[Predicate, ...],
     needed_columns: tuple[str, ...],
     constants: CostConstants,
+    kernel=None,
+    shape_key=None,
 ) -> AccessPlan:
     """Pick the cheapest plan among ``structures``.
 
     Args:
         structures: (index, bytes, rows) triples available on the table;
             must contain at least the base structure.
+        kernel: optional :class:`~repro.optimizer.kernels.CostKernel`
+            to evaluate the structures as one batch (float-identical to
+            the scalar loop by the kernel identity contract).
+        shape_key: hashable (statement context, table) key identifying
+            the fixed (predicates, needed columns) context, enabling
+            the kernel's per-run shape cache.
     """
     base = None
     for index, size_bytes, _rows in structures:
         if index.kind in (IndexKind.HEAP, IndexKind.CLUSTERED):
             base = (index, size_bytes)
             break
-    plans: list[AccessPlan] = []
-    for index, size_bytes, rows in structures:
-        plan = cost_access(
-            index, size_bytes, rows, predicates, needed_columns,
-            stats, constants, base_lookup=base,
-        )
-        if plan is not None:
-            plans.append(plan)
+    if kernel is not None:
+        lanes = []
+        for index, size_bytes, rows in structures:
+            shape = kernel.shape_for(
+                shape_key, index, predicates, needed_columns, stats,
+                constants,
+            )
+            if shape is not None:
+                lanes.append((index, size_bytes, rows, shape))
+        plans = [
+            plan
+            for plan in kernel.batch_access_plans(lanes, constants, base)
+            if plan is not None
+        ]
+    else:
+        plans = []
+        for index, size_bytes, rows in structures:
+            plan = cost_access(
+                index, size_bytes, rows, predicates, needed_columns,
+                stats, constants, base_lookup=base,
+            )
+            if plan is not None:
+                plans.append(plan)
     if not plans:
         raise OptimizerError(
             f"no usable access path for table {table!r} "

@@ -51,11 +51,14 @@ exploits that three ways, without moving a single float:
     bit-identical to the current cost, so the full path would compute
     ``delta_cost == 0`` and skip it anyway.
   - *bound pruning* (enabled by the enumerator only where provably
-    safe: pure-greedy scoring without backtracking): the candidate's
-    optimistic improvement is below half the enumerator's
-    ``min_improvement`` acceptance threshold, so even if costed it
-    could only be chosen-and-rejected, which leaves the search state
-    exactly where pruning does.
+    safe: greedy scoring): the candidate's optimistic improvement is
+    below half the enumerator's ``min_improvement`` acceptance
+    threshold, so even if costed it could only be chosen-and-rejected,
+    which leaves the search state exactly where pruning does.  Under
+    backtracking the enumerator instead combines
+    :meth:`~DeltaWorkloadCoster.improvement_cap` with a rescue sweep
+    (see ``GreedyBacktrackAlgorithm._rescue_candidate_costs``) so the
+    best-oversized recovery channel stays decision-identical too.
 
 Determinism contract: recommendations with delta costing on are
 byte-identical to the full-recost path at any worker count.  Reuse only
@@ -81,7 +84,11 @@ import math
 from collections import defaultdict
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
-from repro.optimizer.access_paths import best_access_plan, cost_access
+from repro.optimizer.access_paths import (
+    best_access_plan,
+    cost_access,
+    plan_from_shape,
+)
 from repro.optimizer.statement_cost import mv_matches_query
 from repro.parallel.signature import index_identity
 from repro.physical.configuration import Configuration
@@ -216,6 +223,22 @@ class DeltaWorkloadCoster:
         self._universe_by_table: dict[str, list[IndexDef]] = {}
         self._universe_sizes: dict | None = None
         self._floors: dict[int, float | None] = {}
+        #: live peek-only size resolver (see register_universe) — the
+        #: kernel probe batches use it to size whole lane groups
+        #: without triggering estimation work.
+        self._size_peek: Callable | None = None
+        #: (si, table, base identity) groups already batch-probed.
+        self._probe_filled: set = set()
+
+        # Hot-path caches.  _ref_bases and _shift_cache depend on the
+        # reference configuration and are reset on every rebase;
+        # _sig_mv is a pure property of a signature and persists.
+        #: table -> (base structure, base identity) under the reference.
+        self._ref_bases: dict = {}
+        #: (si, added identity) -> shifted signature (single-add case).
+        self._shift_cache: dict = {}
+        #: signature -> whether it contains an MV identity.
+        self._sig_mv: dict = {}
 
         # Instrumentation.
         self.reused_terms = 0
@@ -274,6 +297,8 @@ class DeltaWorkloadCoster:
         self._ref_plans = plans
         self._ref_full_plans = full
         self._ref_total = sum(terms)
+        self._ref_bases = {}
+        self._shift_cache = {}
         return self._ref_total
 
     # ------------------------------------------------------------------
@@ -290,14 +315,13 @@ class DeltaWorkloadCoster:
             return self._ref_total
         added = config.indexes - ref.indexes
         removed = ref.indexes - config.indexes
+        term_for = self._term_for
+        shifted = self._shifted_sig
         out: list[float] | None = None
-        for si in self._affected(added | removed):
-            term = self._term_for(
-                si,
-                self._shifted_sig(si, added, removed),
-                config,
-                added=added,
-                removed=removed,
+        diff = added if not removed else added | removed
+        for si in self._affected(diff):
+            term = term_for(
+                si, shifted(si, added, removed), config, added, removed,
             )[0]
             if out is None:
                 out = list(self._ref_terms)
@@ -362,7 +386,15 @@ class DeltaWorkloadCoster:
             size = size_if_known(ix)
             if size is not None:
                 self._universe_sizes[index_identity(ix)] = size
+        # Keep the live resolver too: probe batches fill lanes for
+        # *currently* peekable structures (the snapshot above stays the
+        # floors' source so bounds are stable across a run).  The
+        # resolver must agree with the optimizer's own size lookup
+        # whenever it resolves — the same contract the floors already
+        # rely on for soundness.
+        self._size_peek = size_if_known
         self._floors = {}
+        self._probe_filled = set()
 
     def lower_bound(self, si: int) -> float | None:
         """Weighted lower bound on statement ``si``'s term over every
@@ -403,11 +435,12 @@ class DeltaWorkloadCoster:
             if self._ref_plans[si] is None:
                 certified = False
                 break
-            if not all(
-                self._probe_loses(si, ix)
-                for ix in added if self._relevant(si, ix)
-            ):
-                certified = False
+            for ix in added:
+                if self._relevant(si, ix) and \
+                        not self._probe_loses(si, ix):
+                    certified = False
+                    break
+            if not certified:
                 break
         if certified:
             self.pruned_zero_delta += 1
@@ -425,6 +458,39 @@ class DeltaWorkloadCoster:
             self.pruned_bound += 1
             return False
         return True
+
+    def improvement_cap(self, config: Configuration) -> float | None:
+        """Optimistic upper bound on how much ``config`` can improve on
+        the reference total (None = no sound cap: no reference or
+        universe yet, removals in the diff, or an affected statement
+        without a floor).
+
+        The enumerator-side counterpart of the ``prune_threshold`` arm
+        of :meth:`improvement_possible`, for strategies that cannot
+        prune on the cap alone — the backtracking rescue sweep in
+        ``greedy-backtrack`` compares caps across the whole candidate
+        sweep before deciding which low-cap candidates were provably
+        invisible (and then records them via :meth:`note_bound_pruned`).
+        """
+        ref = self._ref_config
+        if ref is None or self._universe is None:
+            return None
+        added = config.indexes - ref.indexes
+        if ref.indexes - config.indexes:
+            return None  # swaps/base replacements: no cap
+        cap = 0.0
+        for si in self._affected(added):
+            floor = self.lower_bound(si)
+            if floor is None:
+                return None
+            cap += self._ref_terms[si] - floor
+        return cap
+
+    def note_bound_pruned(self, n: int = 1) -> None:
+        """Record ``n`` candidates skipped by enumerator-side bound
+        pruning (caps obtained via :meth:`improvement_cap` rather than
+        decided inside :meth:`improvement_possible`)."""
+        self.pruned_bound += n
 
     # ------------------------------------------------------------------
     # views & stats
@@ -463,8 +529,9 @@ class DeltaWorkloadCoster:
     def _relevant(self, si: int, index: IndexDef) -> bool:
         """Mirror of ``WhatIfOptimizer._relevant_structures`` for one
         (statement, index) pair."""
-        if index.is_mv_index:
-            return bool(self._tables[si] & set(index.mv.tables))
+        mv = index.mv
+        if mv is not None:
+            return bool(self._tables[si] & set(mv.tables))
         return index.table in self._tables[si]
 
     def _sig(self, si: int, config: Configuration) -> frozenset:
@@ -476,6 +543,21 @@ class DeltaWorkloadCoster:
         """The relevant-subset signature after a diff, derived from the
         reference signature without rescanning the configuration."""
         sig = self._ref_sigs[si]
+        if not removed and len(added) == 1:
+            # The enumeration hot path: config ∪ {candidate}.  Sweeps
+            # re-derive the same (statement, candidate) signature many
+            # times per reference, so the union is cached per rebase.
+            for ix in added:
+                ident = (
+                    ix.__dict__.get("_identity_cache")
+                    or index_identity(ix)
+                )
+                key = (si, ident)
+                out = self._shift_cache.get(key)
+                if out is None:
+                    out = sig | {ident} if self._relevant(si, ix) else sig
+                    self._shift_cache[key] = out
+                return out
         drop = {
             index_identity(ix) for ix in removed if self._relevant(si, ix)
         }
@@ -488,9 +570,29 @@ class DeltaWorkloadCoster:
             sig = sig | grow
         return sig
 
+    def _sig_has_mv(self, sig: frozenset) -> bool:
+        """Whether a signature contains an MV identity — memoized, as
+        the same signatures are re-examined on every sweep."""
+        has = self._sig_mv.get(sig)
+        if has is None:
+            has = any(t[6] is not None for t in sig)
+            self._sig_mv[sig] = has
+        return has
+
     def _affected(self, diff: Iterable[IndexDef]) -> list[int]:
         """Statement indices whose relevant set a diff touches, in
-        workload order."""
+        workload order.  Callers must not mutate the result (the
+        single-index fast path hands out the interned per-table list)."""
+        first = None
+        for n, ix in enumerate(diff):
+            if n or ix.mv is not None:
+                first = None
+                break
+            first = ix
+        if first is not None:
+            # Single non-MV diff — the enumeration hot path; _by_table
+            # lists are built in ascending statement order.
+            return self._by_table.get(first.table, [])
         out: set[int] = set()
         for ix in diff:
             if ix.is_mv_index:
@@ -556,8 +658,60 @@ class DeltaWorkloadCoster:
         None means only a full recost is exact (MV substitution in
         scope, or no reference plans to patch)."""
         stmt = self._stmts[si]
-        if any(t[6] is not None for t in sig):
+        if self._sig_has_mv(sig):
             return None  # MVs in scope: substitution needs a recost
+        if not removed and len(added) == 1:
+            # Enumeration hot path: config ∪ {one secondary}.  The
+            # general loop below reduces exactly to this sequence for a
+            # single added non-MV secondary; inlining it skips the
+            # per-call container setup the general diff walk needs.
+            for ix in added:
+                break
+            if ix.mv is None and ix.kind is IndexKind.SECONDARY:
+                if not self._relevant(si, ix):
+                    entry = None  # invisible: reference reuse below
+                else:
+                    entry = self._probe_cached(si, ix)
+                chosen = (
+                    None if entry is None
+                    else self._chosen_plan_cost(si, ix.table)
+                )
+                if entry is None or (
+                    chosen is not None and entry.cost > chosen
+                ):
+                    self.reused_terms += 1
+                    return (
+                        self._ref_terms[si],
+                        self._ref_totals[si],
+                        self._ref_plans[si],
+                        self._ref_full_plans[si],
+                    )
+                if chosen is not None:
+                    full = self._ref_full_plans[si]
+                    if full is None:
+                        full = self._reconstruct_ref_plans(si)
+                        if full is None:
+                            return None
+                    patched = list(full)
+                    ti = stmt.tables.index(ix.table)
+                    if entry.cost == chosen:
+                        # Tie: the optimizer's first-minimum order
+                        # decides — recompute the table's plan search.
+                        patched[ti] = self._table_plan(
+                            si, ix.table, sig, config
+                        )
+                    else:
+                        patched[ti] = entry
+                    total = self._select_total_from_plans(si, patched)
+                    term = self._weights[si] * total
+                    self.patched_terms += 1
+                    return (
+                        term, total,
+                        tuple(plan.cost for plan in patched),
+                        tuple(patched),
+                    )
+                # chosen is None (defensive): fall through to the
+                # general path, which recomputes the table's plan.
         for ix in removed:
             if self._relevant(si, ix) and ix.is_mv_index:
                 # Non-matching MVs are invisible; matching ones change
@@ -661,7 +815,7 @@ class DeltaWorkloadCoster:
         table-local structure subset).  None falls back to a full recost
         (an MV in scope could change the probe's substitution choice)."""
         table, probe = self._maint_info[si]
-        if probe is not None and any(t[6] is not None for t in sig):
+        if probe is not None and self._sig_has_mv(sig):
             return None  # MV in scope: the find-probe could substitute
         coster = self.whatif.coster
         affected = self._affected_rows(si)
@@ -753,6 +907,8 @@ class DeltaWorkloadCoster:
             preds,
             needed,
             coster.constants,
+            kernel=coster.kernel,
+            shape_key=(si, table),
         )
         self._table_plans[key] = plan
         return plan
@@ -818,15 +974,93 @@ class DeltaWorkloadCoster:
         """The candidate's access plan against the reference base of
         its table (cached; None = unusable)."""
         table = ix.table
-        base = self._ref_config.base_structure(table)
-        if base is None:  # pragma: no cover - bases always tracked
-            return None
-        key = (si, table, index_identity(ix), index_identity(base))
+        cached_base = self._ref_bases.get(table)
+        if cached_base is None:
+            base = self._ref_config.base_structure(table)
+            if base is None:  # pragma: no cover - bases always tracked
+                return None
+            cached_base = (base, index_identity(base))
+            self._ref_bases[table] = cached_base
+        base, base_id = cached_base
+        ident = ix.__dict__.get("_identity_cache") or index_identity(ix)
+        key = (si, table, ident, base_id)
         plan = self._probes.get(key, _UNPROBED)
         if plan is _UNPROBED:
-            plan = self._probe(si, table, ix, base)
-            self._probes[key] = plan
+            self._fill_probe_group(table, base, base_id)
+            plan = self._probes.get(key, _UNPROBED)
+            if plan is _UNPROBED:
+                plan = self._probe(si, table, ix, base)
+                self._probes[key] = plan
         return plan
+
+    def _fill_probe_group(
+        self, table: str, base: IndexDef, base_id: tuple
+    ) -> None:
+        """Kernel-batch the probes of every universe secondary on
+        ``table`` whose size is already peekable, across **every**
+        SELECT statement touching the table, on the first probe miss
+        against this base.  Sweeps probe all affected statements for
+        each candidate, so the whole group is demanded work — batching
+        it turns thousands of scalar :func:`cost_access` calls into a
+        few flat kernel evaluations.
+
+        Sizing is strictly peek-only (``size_if_known``): a lane is
+        only filled when no new estimation work is needed, so the
+        delta-on estimation order stays identical to the full-recost
+        path — structures the peek cannot resolve fall back to the
+        scalar :meth:`_probe` (sized via the optimizer's own lookup) at
+        the moment they are actually requested, exactly as before.
+        Each filled lane is the same :func:`cost_access` arithmetic
+        (shape + kernel evaluation) and lands in the same probe cache,
+        so probe decisions are bit-identical to the unbatched path."""
+        group = (table, base_id)
+        if group in self._probe_filled:
+            return
+        self._probe_filled.add(group)
+        kernel = getattr(self.whatif, "kernel", None)
+        if kernel is None or self._universe is None or \
+                self._size_peek is None:
+            return
+        whatif = self.whatif
+        stats = whatif.stats.table(table)
+        constants = whatif.coster.constants
+        secondaries = [
+            (cand, index_identity(cand), self._size_peek(cand))
+            for cand in self._universe_by_table.get(table, [])
+            if cand.kind is IndexKind.SECONDARY
+        ]
+        lanes: list = []
+        keys: list = []
+        for sj in self._by_table.get(table, ()):
+            if not self._is_select[sj]:
+                continue
+            info = self._probe_info[sj]
+            if info is None or table not in info:
+                continue
+            preds, needed = info[table]
+            for cand, cand_id, size in secondaries:
+                if size is None:
+                    continue
+                ckey = (sj, table, cand_id, base_id)
+                if ckey in self._probes:
+                    continue
+                self.probe_evals += 1
+                shape = kernel.shape_for(
+                    (sj, table), cand, preds, needed, stats, constants
+                )
+                if shape is None:
+                    self._probes[ckey] = None
+                    continue
+                lanes.append((cand, size[0], size[1], shape))
+                keys.append(ckey)
+        if not lanes:
+            return
+        base_bytes, _base_rows = whatif._sizes(base)
+        plans = kernel.batch_access_plans(
+            lanes, constants, (base, base_bytes)
+        )
+        for ckey, plan in zip(keys, plans):
+            self._probes[ckey] = plan
 
     def _probe_loses(self, si: int, ix: IndexDef) -> bool:
         """True iff adding ``ix`` provably cannot change statement
@@ -849,12 +1083,26 @@ class DeltaWorkloadCoster:
 
     def _probe(self, si: int, table: str, ix: IndexDef, base: IndexDef):
         """One :func:`cost_access` evaluation with exactly the inputs
-        ``StatementCoster._structures_for`` would feed it."""
+        ``StatementCoster._structures_for`` would feed it (through the
+        kernel's shape cache when one is wired — same floats either
+        way by the shape/eval split)."""
         self.probe_evals += 1
         preds, needed = self._probe_info[si][table]
         whatif = self.whatif
         ix_bytes, ix_rows = whatif._sizes(ix)
         base_bytes, _base_rows = whatif._sizes(base)
+        kernel = getattr(whatif, "kernel", None)
+        if kernel is not None:
+            shape = kernel.shape_for(
+                (si, table), ix, preds, needed,
+                whatif.stats.table(table), whatif.coster.constants,
+            )
+            if shape is None:
+                return None
+            return plan_from_shape(
+                ix, ix_bytes, ix_rows, shape, whatif.coster.constants,
+                (base, base_bytes),
+            )
         return cost_access(
             ix, ix_bytes, ix_rows, preds, needed,
             whatif.stats.table(table), whatif.coster.constants,
@@ -944,11 +1192,32 @@ class DeltaWorkloadCoster:
             total += dim_rows_terms
         if stmt.group_by or stmt.aggregates:
             total += fact_rows * dim_sel_product * constants.cpu_group
-        # order-by sort cost >= 0: omitted from the bound.
+        if stmt.order_by and not self._order_satisfiable(stmt):
+            # No enumerable plan can satisfy the ordering, so every
+            # configuration pays the sort.  join_rows >= the floor's
+            # fact_rows * dim_sel_product and x·log2(x) over max(2, x)
+            # is nondecreasing, so this term lower-bounds the real one.
+            out_rows = max(2.0, fact_rows * dim_sel_product)
+            total += out_rows * math.log2(out_rows) * constants.cpu_sort_factor
         mv_floor = self._mv_floor(stmt)
         if mv_floor is not None and mv_floor < total:
             total = mv_floor
         return total
+
+    def _order_satisfiable(self, stmt: SelectQuery) -> bool:
+        """Whether *any* enumerable plan could satisfy the statement's
+        ORDER BY (mirrors ``_order_satisfied`` quantified over the
+        registered universe).  Multi-table plans never satisfy it; a
+        single-table plan needs a universe structure whose key prefix
+        is exactly the ordering."""
+        if len(stmt.tables) > 1:
+            return False
+        k = len(stmt.order_by)
+        order = tuple(stmt.order_by)
+        return any(
+            ix.key_columns[:k] == order
+            for ix in self._universe_by_table.get(stmt.tables[0], [])
+        )
 
     def _mv_floor(self, stmt: SelectQuery) -> float | None:
         """Cheapest matching MV substitution available in the universe

@@ -57,11 +57,13 @@ class StatementCoster:
         stats: DatabaseStats,
         sizes: SizeLookup,
         constants: CostConstants,
+        kernel=None,
     ) -> None:
         self.database = database
         self.stats = stats
         self.sizes = sizes
         self.constants = constants
+        self.kernel = kernel
 
     # ------------------------------------------------------------------
     def cost(self, statement: Statement, config: Configuration) -> CostBreakdown:
@@ -115,7 +117,7 @@ class StatementCoster:
             structures = self._structures_for(table, config)
             plan = best_access_plan(
                 self.database, stats, table, structures, preds, needed,
-                constants,
+                constants, kernel=self.kernel, shape_key=(query, table),
             )
             plans.append(plan)
             io += plan.io_cost

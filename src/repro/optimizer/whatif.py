@@ -54,6 +54,11 @@ class WhatIfOptimizer:
             (sampled data, accuracy constraint, cost constants); a
             string, or a zero-argument callable resolved lazily on the
             first persistent lookup.
+        kernel: costing-kernel backend name (``auto``/``numpy``/
+            ``python``, see :mod:`repro.optimizer.kernels`) or an
+            already-resolved :class:`~repro.optimizer.kernels.CostKernel`.
+            Backends are float-identical by contract; the choice only
+            affects throughput.
     """
 
     def __init__(
@@ -64,12 +69,19 @@ class WhatIfOptimizer:
         constants: CostConstants = DEFAULT_COST_CONSTANTS,
         cost_cache: CostCache | None = None,
         cost_context: str | Callable[[], str] = "",
+        kernel="auto",
     ) -> None:
+        from repro.optimizer.kernels import CostKernel, resolve_backend
+
         self.database = database
         self.stats = stats or DatabaseStats(database)
         self._sizes = sizes or self._default_sizes
+        if not isinstance(kernel, CostKernel):
+            kernel = resolve_backend(kernel or "auto")
+        self.kernel = kernel
         self.coster = StatementCoster(
-            database, self.stats, self._lookup_size, constants
+            database, self.stats, self._lookup_size, constants,
+            kernel=self.kernel,
         )
         self._cache: dict[tuple, CostBreakdown] = {}
         #: plan costs recovered from persistent replays (fresh
@@ -234,7 +246,10 @@ class WhatIfOptimizer:
     ) -> list[CostBreakdown]:
         """Costs of one statement under a *set* of candidate
         configurations, in input order (in-memory and persistent
-        cost-cache aware)."""
+        cost-cache aware).  Fresh evaluations run through the costing
+        kernel wired into the coster (see
+        :mod:`repro.optimizer.kernels`), so full-recost sweeps batch
+        their per-table access-path arithmetic."""
         return [self.cost(statement, config) for config in configs]
 
     def workload_cost(self, workload: Workload,

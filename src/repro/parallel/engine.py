@@ -66,9 +66,36 @@ def fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def effective_cpu_count() -> int:
+    """CPUs this process may actually run on.
+
+    Prefers the scheduling-aware counts (``os.process_cpu_count`` on
+    3.13+, CPU affinity elsewhere) over ``os.cpu_count``: in a
+    cgroup-pinned container the box may advertise 64 CPUs while the
+    advisor is confined to one, and forking workers there only adds
+    pickle and context-switch overhead to a serialized execution.
+    """
+    counter = getattr(os, "process_cpu_count", None)
+    if counter is not None:
+        n = counter()
+    elif hasattr(os, "sched_getaffinity"):
+        n = len(os.sched_getaffinity(0))
+    else:  # pragma: no cover - platform without affinity introspection
+        n = os.cpu_count()
+    return max(1, n or 1)
+
+
 def default_workers() -> int:
     """Workers for ``--workers 0`` (auto): one per CPU, at least one."""
     return max(1, os.cpu_count() or 1)
+
+
+#: Tasks each worker should get, at minimum, for a fan-out to beat the
+#: sequential loop.  Fork-inherited pools still pay per-task pickling
+#: of payloads and results plus executor queue round-trips; calibrated
+#: on the Sales advisor batches, a map below ``workers * 4`` tasks
+#: loses to the parent running the loop itself.
+MIN_TASKS_PER_WORKER = 4
 
 
 class ParallelEngine:
@@ -78,19 +105,31 @@ class ParallelEngine:
         workers: pool size; 0 = one per CPU; 1 = always sequential.
         min_batch: smallest batch worth paying fork/pickle overhead for;
             shorter batches run sequentially even inside a session.
+        force_parallel: fan out whenever ``workers > 1`` even on a
+            single effective CPU and for sub-threshold batches (the
+            identity tests use this to exercise the pool everywhere);
+            ``None`` reads the ``REPRO_FORCE_PARALLEL=1`` environment
+            escape hatch.
     """
 
     def __init__(self, workers: int = 1, min_batch: int = 2,
-                 keep_alive: bool = True) -> None:
+                 keep_alive: bool = True,
+                 force_parallel: bool | None = None) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
         self.workers = default_workers() if workers == 0 else workers
         self.min_batch = min_batch
+        if force_parallel is None:
+            force_parallel = os.environ.get("REPRO_FORCE_PARALLEL") == "1"
+        self.force_parallel = force_parallel
         #: keep the worker pool alive between sessions so a later
         #: session with the same context reuses it instead of re-forking
         #: (False restores the fork-per-session behavior).
         self.keep_alive = keep_alive
         self._pool: ProcessPoolExecutor | None = None
+        #: shared-memory sample store this engine owns (see
+        #: :meth:`share_samples`); unlinked at :meth:`shutdown`.
+        self._shared_store = None
         self._session_context = None
         #: context the dormant pool's workers were forked against.
         self._pool_context = None
@@ -107,8 +146,20 @@ class ParallelEngine:
     # ------------------------------------------------------------------
     @property
     def parallel(self) -> bool:
-        """Whether this engine can ever fan out."""
-        return self.workers > 1 and fork_available()
+        """Whether this engine can ever fan out.
+
+        ``workers > 1`` and a usable ``fork`` are necessary; beyond
+        that the engine degrades to sequential when the process is
+        effectively single-CPU — forked workers there time-slice one
+        core and the fan-out *loses* to the in-process loop (pickle +
+        scheduling overhead with zero concurrency).  ``force_parallel``
+        overrides the degrade for tests and measurements.
+        """
+        if self.workers <= 1 or not fork_available():
+            return False
+        if self.force_parallel:
+            return True
+        return effective_cpu_count() > 1
 
     @property
     def in_session(self) -> bool:
@@ -134,11 +185,47 @@ class ParallelEngine:
         with ``stale_ok=True``)."""
         self._dirty = True
 
+    def share_samples(self, manager) -> int:
+        """Move ``manager``'s materialized sample bytes into a
+        shared-memory segment the engine's workers will map at fork.
+
+        No-op (returns 0) when the engine cannot fan out — sequential
+        runs keep their heap-resident lists and pay nothing.  The
+        engine owns the segment: it is destroyed at :meth:`shutdown`,
+        which must therefore outlive every map that reads the samples.
+        """
+        if not self.parallel:
+            return 0
+        from repro.parallel.shm import SharedSamplePages
+
+        store = SharedSamplePages()
+        published = manager.share_samples(store)
+        if not published:
+            store.close(unlink=True)
+            return 0
+        # A prior store may still back an earlier manager; release it
+        # only after the new one is live.
+        self._release_shared()
+        self._shared_store = store
+        return published
+
+    @property
+    def shared_store(self):
+        """The live shared sample store (None when not sharing)."""
+        return self._shared_store
+
+    def _release_shared(self) -> None:
+        store, self._shared_store = self._shared_store, None
+        if store is not None:
+            store.close(unlink=True)
+
     def shutdown(self) -> None:
-        """Release the dormant worker pool (if any).  Owners call this
-        when their run ends; the engine stays usable — a later session
-        simply forks a fresh pool."""
+        """Release the dormant worker pool (if any) and the shared
+        sample segment.  Owners call this when their run ends; the
+        engine stays usable — a later session simply forks a fresh
+        pool."""
         self._shutdown_pool()
+        self._release_shared()
 
     def _shutdown_pool(self) -> None:
         pool, self._pool = self._pool, None
@@ -212,10 +299,17 @@ class ParallelEngine:
         dies mid-map (e.g. a worker OOM-killed) is retried sequentially.
         """
         items = list(items)
+        # Below the calibrated floor the per-task pickle/queue overhead
+        # outweighs the fan-out even with real concurrency; forced
+        # engines keep the raw min_batch so identity tests can exercise
+        # tiny parallel maps.
+        floor = self.min_batch
+        if not self.force_parallel:
+            floor = max(floor, self.workers * MIN_TASKS_PER_WORKER)
         if (
             self._pool is None
             or context is not self._session_context
-            or len(items) < self.min_batch
+            or len(items) < floor
         ):
             self.sequential_maps += 1
             return [fn(context, item) for item in items]
@@ -265,11 +359,18 @@ class ParallelEngine:
         return {
             "workers": self.workers,
             "fork_available": fork_available(),
+            "effective_cpus": effective_cpu_count(),
+            "force_parallel": self.force_parallel,
+            "degraded_sequential": self.workers > 1 and not self.parallel,
             "parallel_maps": self.parallel_maps,
             "sequential_maps": self.sequential_maps,
             "tasks_dispatched": self.tasks_dispatched,
             "pools_forked": self.pools_forked,
             "pools_reused": self.pools_reused,
+            "shared_samples": (
+                self._shared_store.stats()
+                if self._shared_store is not None else None
+            ),
         }
 
 

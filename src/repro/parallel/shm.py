@@ -1,0 +1,140 @@
+"""Shared-memory sample pages for forked estimation workers.
+
+SampleCF's inputs — the padding-stripped serialized column blobs of the
+per-table samples — are the largest state the parallel engine's workers
+need.  Fork inheritance hands them over without pickling, but every
+byte still lives in the parent's Python heap as lists of small ``bytes``
+objects: the first time a worker touches them, reference-count updates
+break copy-on-write page by page and each worker ends up with its own
+physical copy of the sample data.
+
+:class:`SharedSamplePages` moves the canonical bytes out of the heap
+into one ``multiprocessing.shared_memory`` segment *before* the pool
+forks.  The segment is mapped — not copied — into every worker; only
+the small per-key offset tables travel through fork memory.  Workers
+materialize a column's value list lazily from the mapped pages on first
+use, so untouched columns cost nothing per worker and the blob itself
+exists once machine-wide.
+
+Ownership: the parent creates the segment and is the only process that
+``close()``/``unlink()``s it (at engine shutdown); forked children just
+read the inherited mapping.  ``tests/test_shared_samples.py`` proves
+the mapping is genuinely shared by mutating a sentinel byte in the
+parent and observing it from a forked worker.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import AdvisorError
+
+#: Reserved column slot for a sample's RID pseudo-column blob.
+RID_SLOT = "_rid"
+
+
+class SharedSamplePages:
+    """One shared-memory segment holding many samples' column blobs.
+
+    The store is sealed by a single :meth:`publish` call (shared-memory
+    segments cannot grow): callers gather every sample they want to
+    share, publish once, then fork.
+    """
+
+    def __init__(self) -> None:
+        self._shm: shared_memory.SharedMemory | None = None
+        #: key -> column name -> (offset, per-value lengths).
+        self._index: dict[object, dict[str, tuple[int, tuple[int, ...]]]] = {}
+        self.published_keys = 0
+        self.published_bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return self._shm is not None
+
+    @property
+    def name(self) -> str | None:
+        """OS name of the backing segment (None before publish)."""
+        return self._shm.name if self._shm is not None else None
+
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        entries: Iterable[tuple[object, Mapping[str, Sequence[bytes]]]],
+    ) -> int:
+        """Copy ``(key, {column: values})`` entries into one segment.
+
+        Returns the number of keys published.  May only be called once
+        per store; an empty entry set leaves the store inactive.
+        """
+        if self._shm is not None:
+            raise AdvisorError("shared sample store already published")
+        index: dict[object, dict[str, tuple[int, tuple[int, ...]]]] = {}
+        blobs: list[bytes] = []
+        total = 0
+        for key, columns in entries:
+            cols: dict[str, tuple[int, tuple[int, ...]]] = {}
+            for name, values in columns.items():
+                blob = b"".join(values)
+                cols[name] = (total, tuple(len(v) for v in values))
+                blobs.append(blob)
+                total += len(blob)
+            index[key] = cols
+        if total == 0:
+            return 0
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        buf = shm.buf
+        offset = 0
+        for blob in blobs:
+            buf[offset:offset + len(blob)] = blob
+            offset += len(blob)
+        self._shm = shm
+        self._index = index
+        self.published_keys = len(index)
+        self.published_bytes = total
+        return len(index)
+
+    # ------------------------------------------------------------------
+    def has(self, key: object) -> bool:
+        return key in self._index
+
+    def column(self, key: object, name: str) -> list[bytes] | None:
+        """Materialize one column's value list from the mapped pages
+        (None when the key/column was not published)."""
+        if self._shm is None:
+            return None
+        cols = self._index.get(key)
+        if cols is None:
+            return None
+        entry = cols.get(name)
+        if entry is None:
+            return None
+        offset, lengths = entry
+        buf = self._shm.buf
+        out: list[bytes] = []
+        for length in lengths:
+            end = offset + length
+            out.append(bytes(buf[offset:end]))
+            offset = end
+        return out
+
+    # ------------------------------------------------------------------
+    def close(self, unlink: bool = False) -> None:
+        """Detach from the segment; ``unlink=True`` (owner only)
+        destroys it."""
+        shm, self._shm = self._shm, None
+        self._index = {}
+        if shm is None:
+            return
+        shm.close()
+        if unlink:
+            shm.unlink()
+
+    def stats(self) -> dict:
+        return {
+            "active": self.active,
+            "published_keys": self.published_keys,
+            "published_bytes": self.published_bytes,
+        }

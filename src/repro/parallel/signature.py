@@ -29,8 +29,16 @@ def index_identity(index: IndexDef) -> tuple:
     cost cache uses the tuple directly (hot path) and
     :func:`index_signature` renders it for persistent string keys, so
     the two can never drift apart.
+
+    The tuple is cached on the (frozen, hence content-stable) IndexDef
+    instance: delta recosting builds identity-keyed signatures for
+    every candidate of every sweep, so this is one of the hottest
+    pure functions in an advisor run.
     """
-    return (
+    cached = index.__dict__.get("_identity_cache")
+    if cached is not None:
+        return cached
+    ident = (
         index.table,
         index.kind.value,
         index.key_columns,
@@ -39,6 +47,8 @@ def index_identity(index: IndexDef) -> tuple:
         index.filter,
         index.mv,
     )
+    object.__setattr__(index, "_identity_cache", ident)
+    return ident
 
 
 def index_signature(index: IndexDef) -> str:

@@ -101,6 +101,12 @@ class IndexDef:
 
     # ------------------------------------------------------------------
     def display_name(self) -> str:
+        # Memoized on the instance: enumeration tie-breaks render the
+        # name for every candidate on every sweep.  Invisible to the
+        # frozen dataclass's eq/hash, which use declared fields only.
+        cached = self.__dict__.get("_display_cache")
+        if cached is not None:
+            return cached
         parts = [self.table, "_".join(self.key_columns) or "heap"]
         if self.included_columns:
             parts.append("incl_" + "_".join(self.included_columns))
@@ -110,7 +116,9 @@ class IndexDef:
             parts.append("part")
         if self.method.is_compressed:
             parts.append(self.method.value)
-        return "ix_" + "_".join(parts)
+        name = "ix_" + "_".join(parts)
+        object.__setattr__(self, "_display_cache", name)
+        return name
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.display_name()

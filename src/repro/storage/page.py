@@ -109,13 +109,15 @@ def pack_columns(
     used = 0
     rows_on_page = 0
     closed_size = 0  # size of the current page before the latest row
+    # codec.add() returns the column's exact on-page size, so the hot
+    # loop sums the returns instead of a second size() pass per row.
+    pairs = list(zip(stripped_columns, codecs))
     for i in range(n_rows):
-        for col, codec in zip(stripped_columns, codecs):
-            codec.add(col[i])
+        total = 0
+        for col, codec in pairs:
+            total += codec.add(col[i])
         rows_on_page += 1
-        current = rows_on_page * row_overhead + sum(
-            codec.size() for codec in codecs
-        )
+        current = rows_on_page * row_overhead + total
         if current > PAGE_CAPACITY:
             if rows_on_page == 1:
                 raise StorageError(
@@ -126,10 +128,11 @@ def pack_columns(
             used += closed_size
             for codec in codecs:
                 codec.reset()
-            for col, codec in zip(stripped_columns, codecs):
-                codec.add(col[i])
+            total = 0
+            for col, codec in pairs:
+                total += codec.add(col[i])
             rows_on_page = 1
-            current = row_overhead + sum(codec.size() for codec in codecs)
+            current = row_overhead + total
         closed_size = current
     used += closed_size
     return PackResult(pages=pages, used_bytes=used, rows=n_rows,

@@ -30,6 +30,49 @@ class TestCLI:
         warm_out = capsys.readouterr().out
         assert "100.0% hit rate" in warm_out
 
+    def test_tune_delta_and_full_recost_both_print_cleanly(self, capsys):
+        """The stats summary must not assume delta counters exist: the
+        delta run prints the delta line, --full-recost prints its own
+        line, and both report the costing kernel and the same answer."""
+        base = [
+            "tune", "--dataset", "sales", "--scale", "0.03",
+            "--budget", "0.2", "--variant", "dtac-both",
+        ]
+        assert main(base) == 0
+        delta_out = capsys.readouterr().out
+        assert "delta costing:" in delta_out
+        assert "candidates pruned" in delta_out
+        assert "costing kernel:" in delta_out
+
+        assert main(base + ["--full-recost"]) == 0
+        full_out = capsys.readouterr().out
+        assert "full recost:" in full_out
+        assert "delta costing off" in full_out
+        assert "delta costing:" not in full_out
+
+        def answer(out):
+            lines = []
+            for line in out.splitlines():
+                if line.startswith("improvement"):
+                    # Drop the trailing wall-clock field; everything
+                    # else (costs, bytes) must match exactly.
+                    lines.append(line.rsplit(", ", 1)[0])
+                elif line.startswith("  "):
+                    lines.append(line)
+            return lines
+
+        assert answer(delta_out) == answer(full_out)
+
+    def test_tune_kernel_flag_forces_backend(self, capsys):
+        assert main([
+            "tune", "--dataset", "sales", "--scale", "0.03",
+            "--budget", "0.2", "--variant", "dtac-both",
+            "--kernel", "python",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "costing kernel: python backend" in out
+        assert "0 array batches" in out
+
     def test_sweep_rejects_bad_budget_list(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--budgets", "abc"])

@@ -294,3 +294,49 @@ class TestFactory:
         assert CompressionMethod.PAGE.is_order_dependent
         assert CompressionMethod.RLE.is_order_dependent
         assert not CompressionMethod.NONE.is_compressed
+
+
+class TestPageFusion:
+    """The fused PageCodec promises byte-identity with the composite it
+    replaced (see its docstring); this pins that equivalence."""
+
+    @staticmethod
+    def _composite():
+        return MinOfCodec(CHAR_COL, [
+            NullSuppressionCodec(CHAR_COL),
+            PrefixCodec(CHAR_COL),
+            LocalDictionaryCodec(CHAR_COL),
+        ])
+
+    @given(bytes_values)
+    def test_page_codec_matches_composite(self, values):
+        from repro.compression.packages import PageCodec
+
+        fused = PageCodec(CHAR_COL)
+        composite = self._composite()
+        for value in values:
+            assert fused.add(value) == composite.add(value)
+        assert fused.size() == composite.size()
+        assert fused.count == composite.count
+
+    @given(bytes_values)
+    def test_page_codec_reset_matches(self, values):
+        from repro.compression.packages import PageCodec
+
+        fused = PageCodec(CHAR_COL)
+        composite = self._composite()
+        for value in values:
+            fused.add(value)
+            composite.add(value)
+        fused.reset()
+        composite.reset()
+        for value in values:
+            assert fused.add(value) == composite.add(value)
+        assert fused.size() == composite.size()
+
+    def test_factory_builds_fused_page(self):
+        from repro.compression.packages import PageCodec
+
+        assert isinstance(
+            make_codec(CompressionMethod.PAGE, CHAR_COL), PageCodec
+        )

@@ -1,0 +1,159 @@
+"""The costing-kernel identity contract: the numpy batch backend, the
+pure-python fallback, and the pre-kernel scalar path must agree on every
+recommendation **to the float** — across backends, hash seeds, and
+worker counts.  Also covers backend resolution (``auto``/``numpy``/
+``python``) and the ``REPRO_DISABLE_NUMPY`` escape hatch."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.advisor import tune
+from repro.datasets import sales_database, sales_workload
+from repro.errors import OptimizerError
+from repro.optimizer.kernels import (
+    KERNEL_BACKENDS,
+    NUMPY_MIN_LANES,
+    numpy_module,
+    resolve_backend,
+)
+from repro.parallel.engine import fork_available
+
+HAVE_NUMPY = numpy_module() is not None
+
+
+@pytest.fixture(scope="module")
+def tuning_inputs():
+    db = sales_database(scale=0.04)
+    wl = sales_workload(db)
+    return db, wl, db.total_data_bytes() * 0.15
+
+
+def _fingerprint(result):
+    """Everything the identity contract promises, float-exact."""
+    return (
+        result.configuration,
+        result.final_cost,
+        result.base_cost,
+        result.consumed_bytes,
+        result.steps,
+    )
+
+
+class TestBackendResolution:
+    def test_python_backend_always_available(self):
+        kernel = resolve_backend("python")
+        assert kernel.backend == "python"
+        assert kernel.stats()["backend"] == "python"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(OptimizerError, match="unknown kernel backend"):
+            resolve_backend("cuda")
+        assert "auto" in KERNEL_BACKENDS
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+    def test_auto_prefers_numpy_when_present(self):
+        assert resolve_backend("auto").backend == "numpy"
+
+    def test_disable_env_hides_numpy_from_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+        assert numpy_module() is None
+        assert resolve_backend("auto").backend == "python"
+
+    def test_disable_env_makes_explicit_numpy_fail_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_NUMPY", "1")
+        with pytest.raises(OptimizerError, match="numpy is not"):
+            resolve_backend("numpy")
+
+
+class TestKernelIdentity:
+    """Backends may differ in speed, never in a single float."""
+
+    def test_python_kernel_matches_auto(self, tuning_inputs):
+        db, wl, budget = tuning_inputs
+        auto = tune(db, wl, budget, variant="dtac-both")
+        forced = tune(db, wl, budget, variant="dtac-both", kernel="python")
+        assert _fingerprint(forced) == _fingerprint(auto)
+        assert forced.kernel_stats["backend"] == "python"
+        assert forced.kernel_stats["batches_numpy"] == 0
+        assert forced.kernel_stats["lanes_total"] > 0
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+    def test_numpy_matches_python_to_the_float(self, tuning_inputs):
+        db, wl, budget = tuning_inputs
+        vec = tune(db, wl, budget, variant="dtac-both", kernel="numpy")
+        ref = tune(db, wl, budget, variant="dtac-both", kernel="python")
+        assert _fingerprint(vec) == _fingerprint(ref)
+        assert vec.final_cost == ref.final_cost  # float-exact, not approx
+        assert vec.kernel_stats["backend"] == "numpy"
+        # The array path must actually have run, or the test is vacuous.
+        assert vec.kernel_stats["batches_numpy"] > 0
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+    def test_numpy_matches_with_delta_costing_off(self, tuning_inputs):
+        """Full-recost sweeps push whole candidate sets through
+        batch_access_plans — the widest lanes the kernel ever sees."""
+        db, wl, budget = tuning_inputs
+        vec = tune(db, wl, budget, variant="dtac-both", kernel="numpy",
+                   delta_costing=False)
+        ref = tune(db, wl, budget, variant="dtac-both", kernel="python",
+                   delta_costing=False)
+        assert _fingerprint(vec) == _fingerprint(ref)
+
+    def test_small_batches_use_scalar_loop_even_on_numpy(self):
+        """Below NUMPY_MIN_LANES the numpy backend itself falls back to
+        the scalar loop — same floats either way, fewer cycles."""
+        kernel = resolve_backend("python")
+        assert kernel.batch_access_plans([], None, None) == []
+        assert kernel.batches_scalar == 1
+        assert NUMPY_MIN_LANES > 1
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_workers_two_identical_across_backends(self, tuning_inputs,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+        db, wl, budget = tuning_inputs
+        seq = tune(db, wl, budget, variant="dtac-both", workers=1,
+                   kernel="python")
+        par = tune(db, wl, budget, variant="dtac-both", workers=2)
+        assert _fingerprint(par) == _fingerprint(seq)
+        assert par.engine_stats["parallel_maps"] > 0
+
+
+_HASHSEED_SCRIPT = """\
+from repro.advisor import tune
+from repro.datasets import sales_database, sales_workload
+
+db = sales_database(scale=0.02)
+wl = sales_workload(db)
+result = tune(db, wl, db.total_data_bytes() * 0.15, variant="dtac-both",
+              kernel={kernel!r})
+print(sorted(ix.display_name() for ix in result.configuration))
+print(repr(result.final_cost))
+print(repr(result.base_cost))
+print(result.consumed_bytes)
+"""
+
+
+class TestHashSeedIndependence:
+    @pytest.mark.parametrize("kernel", ["python", "auto"])
+    def test_recommendation_stable_across_hash_seeds(self, kernel):
+        """Set iteration order must never leak into the recommendation:
+        the same tune under different PYTHONHASHSEEDs prints the same
+        configuration and the same float costs."""
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        outputs = []
+        for seed in ("0", "424242"):
+            env = dict(os.environ,
+                       PYTHONPATH=os.path.abspath(src),
+                       PYTHONHASHSEED=seed)
+            proc = subprocess.run(
+                [sys.executable, "-c",
+                 _HASHSEED_SCRIPT.format(kernel=kernel)],
+                capture_output=True, text=True, env=env, check=False,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]

@@ -356,7 +356,9 @@ class TestAdvisorIdentity:
         assert off.delta_stats == {}
 
     @pytest.mark.skipif(not fork_available(), reason="needs fork")
-    def test_workers_two_identical_to_sequential_delta(self, delta_inputs):
+    def test_workers_two_identical_to_sequential_delta(self, delta_inputs,
+                                                       monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
         db, wl, budget = delta_inputs
         seq = tune(db, wl, budget, variant="dtac-both", workers=1)
         par = tune(db, wl, budget, variant="dtac-both", workers=2)

@@ -7,7 +7,12 @@ import pytest
 from repro.advisor import AdvisorOptions, TuningAdvisor, tune
 from repro.datasets import sales_database, sales_workload
 from repro.parallel import ParallelEngine
-from repro.parallel.engine import fork_available
+from repro.parallel import engine as engine_mod
+from repro.parallel.engine import (
+    MIN_TASKS_PER_WORKER,
+    effective_cpu_count,
+    fork_available,
+)
 
 
 def _square_task(context, item):
@@ -40,7 +45,7 @@ class TestEngineMap:
 
     @pytest.mark.skipif(not fork_available(), reason="needs fork")
     def test_parallel_map_preserves_order(self):
-        engine = ParallelEngine(workers=2)
+        engine = ParallelEngine(workers=2, force_parallel=True)
         ctx = {"offset": 2}
         with engine.session(ctx):
             result = engine.map(_square_task, range(8), ctx)
@@ -50,7 +55,7 @@ class TestEngineMap:
 
     @pytest.mark.skipif(not fork_available(), reason="needs fork")
     def test_other_context_falls_back_to_sequential(self):
-        engine = ParallelEngine(workers=2)
+        engine = ParallelEngine(workers=2, force_parallel=True)
         session_ctx = {"offset": 0}
         other_ctx = {"offset": 10}
         with engine.session(session_ctx):
@@ -60,7 +65,7 @@ class TestEngineMap:
 
     @pytest.mark.skipif(not fork_available(), reason="needs fork")
     def test_worker_exception_propagates(self):
-        engine = ParallelEngine(workers=2)
+        engine = ParallelEngine(workers=2, force_parallel=True)
         ctx = object()
         with engine.session(ctx):
             with pytest.raises(ValueError, match="boom"):
@@ -71,7 +76,7 @@ class TestEngineMap:
         """A task exception mid-map must not leak the pool: the old pool
         (with its queued payloads) is shut down, and the session gets a
         fresh pool so later maps still run in parallel."""
-        engine = ParallelEngine(workers=2)
+        engine = ParallelEngine(workers=2, force_parallel=True)
         ctx = {"offset": 0}
         with engine.session(ctx):
             old_pool = engine._pool
@@ -91,7 +96,7 @@ class TestEngineMap:
         assert not engine.in_session
 
     def test_nested_session_is_noop(self):
-        engine = ParallelEngine(workers=2)
+        engine = ParallelEngine(workers=2, force_parallel=True)
         if not engine.parallel:
             pytest.skip("needs fork")
         outer = {"offset": 0}
@@ -110,12 +115,66 @@ class TestEngineMap:
         assert ParallelEngine(workers=0).workers >= 1
 
 
+class TestAutoDegrade:
+    """The headline fix: a multi-worker engine on a box with one
+    effective CPU (or batches too small to amortize fan-out) must not
+    pay fork+pickle for negative speedup — it degrades to the
+    sequential path unless explicitly forced."""
+
+    def test_one_effective_cpu_degrades(self, monkeypatch):
+        monkeypatch.setattr(engine_mod, "effective_cpu_count", lambda: 1)
+        engine = ParallelEngine(workers=2)
+        assert not engine.parallel
+        stats = engine.stats()
+        assert stats["degraded_sequential"] is True
+        assert stats["force_parallel"] is False
+
+    def test_many_effective_cpus_stay_parallel(self, monkeypatch):
+        if not fork_available():
+            pytest.skip("needs fork")
+        monkeypatch.setattr(engine_mod, "effective_cpu_count", lambda: 8)
+        engine = ParallelEngine(workers=2)
+        assert engine.parallel
+        assert engine.stats()["degraded_sequential"] is False
+
+    def test_force_parallel_overrides_cpu_degrade(self, monkeypatch):
+        if not fork_available():
+            pytest.skip("needs fork")
+        monkeypatch.setattr(engine_mod, "effective_cpu_count", lambda: 1)
+        engine = ParallelEngine(workers=2, force_parallel=True)
+        assert engine.parallel
+
+    def test_force_parallel_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+        assert ParallelEngine(workers=2).force_parallel is True
+        monkeypatch.delenv("REPRO_FORCE_PARALLEL")
+        assert ParallelEngine(workers=2).force_parallel is False
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_small_batch_runs_sequentially(self, monkeypatch):
+        """Below workers * MIN_TASKS_PER_WORKER tasks the per-task
+        dispatch overhead beats the fan-out: stay in the parent."""
+        monkeypatch.setattr(engine_mod, "effective_cpu_count", lambda: 8)
+        engine = ParallelEngine(workers=2)
+        floor = 2 * MIN_TASKS_PER_WORKER
+        ctx = {"offset": 0}
+        with engine.session(ctx):
+            engine.map(_square_task, range(floor - 1), ctx)
+            assert engine.parallel_maps == 0
+            assert engine.sequential_maps == 1
+            engine.map(_square_task, range(floor), ctx)
+            assert engine.parallel_maps == 1
+
+    def test_effective_cpu_count_positive(self):
+        assert effective_cpu_count() >= 1
+
+
 @pytest.mark.skipif(not fork_available(), reason="needs fork")
 class TestSessionReuse:
     def test_same_context_reuses_pool(self):
         """Back-to-back sessions with the same context share one fork:
         the second session's maps run on the first session's workers."""
-        engine = ParallelEngine(workers=2)
+        engine = ParallelEngine(workers=2, force_parallel=True)
         ctx = {"offset": 0}
         try:
             with engine.session(ctx):
@@ -129,7 +188,7 @@ class TestSessionReuse:
             engine.shutdown()
 
     def test_mark_dirty_forces_refork(self):
-        engine = ParallelEngine(workers=2)
+        engine = ParallelEngine(workers=2, force_parallel=True)
         ctx = {"offset": 0}
         try:
             with engine.session(ctx):
@@ -145,7 +204,7 @@ class TestSessionReuse:
     def test_stale_ok_session_survives_dirty_mark(self):
         """SampleCF-style sessions opt into stale worker state (their
         tasks depend only on fork-invariant samples)."""
-        engine = ParallelEngine(workers=2)
+        engine = ParallelEngine(workers=2, force_parallel=True)
         ctx = {"offset": 0}
         try:
             with engine.session(ctx):
@@ -159,7 +218,7 @@ class TestSessionReuse:
             engine.shutdown()
 
     def test_different_context_reforks(self):
-        engine = ParallelEngine(workers=2)
+        engine = ParallelEngine(workers=2, force_parallel=True)
         try:
             first = {"offset": 0}
             second = {"offset": 1}
@@ -172,7 +231,7 @@ class TestSessionReuse:
             engine.shutdown()
 
     def test_shutdown_releases_then_next_session_reforks(self):
-        engine = ParallelEngine(workers=2)
+        engine = ParallelEngine(workers=2, force_parallel=True)
         ctx = {"offset": 0}
         with engine.session(ctx):
             engine.map(_square_task, [1, 2], ctx)
@@ -183,7 +242,8 @@ class TestSessionReuse:
         engine.shutdown()
 
     def test_keep_alive_false_restores_fork_per_session(self):
-        engine = ParallelEngine(workers=2, keep_alive=False)
+        engine = ParallelEngine(workers=2, keep_alive=False,
+                                force_parallel=True)
         ctx = {"offset": 0}
         with engine.session(ctx):
             engine.map(_square_task, [1, 2], ctx)
@@ -202,7 +262,9 @@ def tuning_inputs():
 
 class TestParallelAdvisor:
     @pytest.mark.skipif(not fork_available(), reason="needs fork")
-    def test_matches_sequential_byte_for_byte(self, tuning_inputs):
+    def test_matches_sequential_byte_for_byte(self, tuning_inputs,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
         db, wl, budget = tuning_inputs
         seq = tune(db, wl, budget, variant="dtac-both", workers=1)
         par = tune(db, wl, budget, variant="dtac-both", workers=2)
@@ -221,10 +283,12 @@ class TestParallelAdvisor:
         assert result.improvement >= 0
 
     @pytest.mark.skipif(not fork_available(), reason="needs fork")
-    def test_dta_run_reuses_one_pool_across_phases(self, tuning_inputs):
+    def test_dta_run_reuses_one_pool_across_phases(self, tuning_inputs,
+                                                   monkeypatch):
         """A compression-blind run adds no estimation state between
         candidate evaluation and enumeration, so one forked pool serves
         both phases (the old design paid a fork per phase)."""
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
         db, wl, budget = tuning_inputs
         result = tune(db, wl, budget, variant="dta", workers=2)
         assert result.engine_stats["pools_forked"] == 1

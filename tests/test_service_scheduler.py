@@ -154,6 +154,12 @@ class TestCrossContextOverlap:
 
 @pytest.mark.skipif(not fork_available(), reason="needs fork")
 class TestWarmAffinity:
+    @pytest.fixture(autouse=True)
+    def _force_parallel(self, monkeypatch):
+        # Warm-affinity semantics need real forked pools even when the
+        # host exposes a single effective CPU (where engines degrade).
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+
     def test_second_same_context_tune_reuses_pool_byte_identically(
         self, sched_inputs
     ):

@@ -1,0 +1,185 @@
+"""Shared-memory sample pages: publish/read semantics, SerializedTable
+repointing with graceful fallback, engine ownership, and — the physical
+guarantee — a sentinel byte mutated in the parent observed by an
+already-forked worker, proving workers map the parent's pages instead
+of holding copies."""
+
+import pytest
+
+from repro.datasets import sales_database
+from repro.errors import AdvisorError
+from repro.parallel.engine import ParallelEngine, fork_available
+from repro.parallel.shm import RID_SLOT, SharedSamplePages
+from repro.sampling import SampleManager
+from repro.storage.rowcache import RID_SLOT as ROWCACHE_RID_SLOT
+
+
+@pytest.fixture
+def store():
+    s = SharedSamplePages()
+    yield s
+    s.close(unlink=True)
+
+
+class TestSharedSamplePages:
+    def test_publish_round_trip(self, store):
+        published = store.publish([
+            (("t", 1), {"a": [b"xx", b"", b"zzz"], "b": [b"1", b"22"]}),
+            (("t", 2), {"a": [b"solo"]}),
+        ])
+        assert published == 2
+        assert store.active
+        assert store.has(("t", 1)) and store.has(("t", 2))
+        assert store.column(("t", 1), "a") == [b"xx", b"", b"zzz"]
+        assert store.column(("t", 1), "b") == [b"1", b"22"]
+        assert store.column(("t", 2), "a") == [b"solo"]
+
+    def test_missing_key_or_column_is_none(self, store):
+        store.publish([(("t",), {"a": [b"v"]})])
+        assert store.column(("nope",), "a") is None
+        assert store.column(("t",), "nope") is None
+
+    def test_publish_is_one_shot(self, store):
+        store.publish([(("t",), {"a": [b"v"]})])
+        with pytest.raises(AdvisorError, match="already published"):
+            store.publish([(("u",), {"a": [b"w"]})])
+
+    def test_empty_publish_stays_inactive(self, store):
+        assert store.publish([]) == 0
+        assert not store.active
+        assert store.name is None
+        # All-empty columns carry zero bytes: also inactive.
+        assert store.publish([(("t",), {"a": []})]) == 0
+        assert not store.active
+
+    def test_close_detaches(self):
+        store = SharedSamplePages()
+        store.publish([(("t",), {"a": [b"v"]})])
+        assert store.stats()["published_bytes"] == 1
+        store.close(unlink=True)
+        assert not store.active
+        assert store.column(("t",), "a") is None
+        # Idempotent.
+        store.close()
+
+    def test_rid_slot_names_agree(self):
+        assert RID_SLOT == ROWCACHE_RID_SLOT
+
+
+@pytest.fixture(scope="module")
+def sample_db():
+    return sales_database(scale=0.02)
+
+
+class TestSerializedTableSharing:
+    def test_shared_reads_match_recompute(self, sample_db, store):
+        manager = SampleManager(sample_db)
+        sample = manager.table_sample("sales", 0.1)
+        expected = list(sample.stripped("sa_date"))
+        expected_rid = list(sample.rid_stripped())
+
+        published = manager.share_samples(store)
+        assert published >= 1
+        assert sample.stripped("sa_date") == expected
+        assert sample.rid_stripped() == expected_rid
+        assert manager.counts["share_samples"] == published
+
+    def test_fallback_recomputes_after_store_closes(self, sample_db):
+        store = SharedSamplePages()
+        manager = SampleManager(sample_db)
+        sample = manager.table_sample("sales", 0.1)
+        expected = list(sample.stripped("sa_date"))
+        manager.share_samples(store)
+        store.close(unlink=True)
+        # The repointed cache must survive the owner tearing the
+        # segment down mid-run: recompute from the sample table.
+        assert sample.stripped("sa_date") == expected
+        assert sample.rid_stripped() is not None
+
+
+class TestEngineOwnership:
+    def test_share_is_noop_when_not_parallel(self, sample_db):
+        manager = SampleManager(sample_db)
+        manager.table_sample("sales", 0.1)
+        engine = ParallelEngine(workers=1)
+        assert engine.share_samples(manager) == 0
+        assert engine.shared_store is None
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_shutdown_releases_store(self, sample_db):
+        manager = SampleManager(sample_db)
+        # Materialize a column: only warmed blobs are shareable.
+        manager.table_sample("sales", 0.1).stripped("sa_date")
+        engine = ParallelEngine(workers=2, force_parallel=True)
+        assert engine.share_samples(manager) >= 1
+        store = engine.shared_store
+        assert store is not None and store.active
+        assert engine.stats()["shared_samples"]["active"]
+        engine.shutdown()
+        assert engine.shared_store is None
+        assert not store.active
+
+
+def _read_shared(context, item):
+    key, name = item
+    values = context["store"].column(key, name)
+    return values[0] if values else None
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork")
+class TestPhysicalSharing:
+    def test_parent_sentinel_mutation_visible_in_forked_worker(self):
+        """The no-copy proof: workers forked *before* the mutation see a
+        byte the parent flips *after* the fork.  Copy-on-write heap
+        inheritance (the old path) would leave the workers reading
+        their own stale copies."""
+        store = SharedSamplePages()
+        try:
+            key = ("table", "t")
+            store.publish([(key, {"col": [b"AAAA", b"BBBB"]})])
+            engine = ParallelEngine(workers=2, force_parallel=True)
+            ctx = {"store": store}
+            try:
+                with engine.session(ctx):
+                    # First map forks the workers and has them touch
+                    # the mapped pages.
+                    before = engine.map(
+                        _read_shared, [(key, "col"), (key, "col")], ctx
+                    )
+                    assert before == [b"AAAA", b"AAAA"]
+                    assert engine.parallel_maps == 1
+                    # Parent flips the first byte in place...
+                    store._shm.buf[0] = ord("Z")
+                    # ...and the same already-forked pool observes it.
+                    after = engine.map(
+                        _read_shared, [(key, "col"), (key, "col")], ctx
+                    )
+                    assert after == [b"ZAAA", b"ZAAA"]
+                    assert engine.parallel_maps == 2
+            finally:
+                engine.shutdown()
+        finally:
+            store.close(unlink=True)
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork")
+class TestEstimatorWiring:
+    def test_parallel_estimator_publishes_once(self, monkeypatch):
+        """End to end: a forced-parallel advisor run publishes the
+        warmed samples exactly once and still answers byte-identically
+        (the identity half is pinned in test_parallel_engine)."""
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
+        from repro.advisor import tune
+        from repro.datasets import sales_workload
+
+        db = sales_database(scale=0.04)
+        wl = sales_workload(db)
+        budget = db.total_data_bytes() * 0.15
+        seq = tune(db, wl, budget, variant="dtac-both", workers=1)
+        par = tune(db, wl, budget, variant="dtac-both", workers=2)
+        assert par.configuration == seq.configuration
+        assert par.final_cost == seq.final_cost
+        shared = par.engine_stats["shared_samples"]
+        assert shared is not None
+        assert shared["published_keys"] >= 1
+        assert shared["published_bytes"] > 0

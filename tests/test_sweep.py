@@ -66,8 +66,9 @@ class TestSweepEquivalence:
 
     @pytest.mark.skipif(not fork_available(), reason="needs fork")
     def test_sharded_matches_tune_loop(
-        self, sweep_inputs, sequential_baseline
+        self, sweep_inputs, sequential_baseline, monkeypatch
     ):
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
         db, wl, budgets = sweep_inputs
         sweep = run_sweep(
             db, wl, budgets, seeds=SEEDS, variant=VARIANT, workers=2
@@ -124,13 +125,14 @@ class TestSweepCaches:
 
     @pytest.mark.skipif(not fork_available(), reason="needs fork")
     def test_sharded_cached_sweep_persists_and_reproduces(
-        self, sweep_inputs, tmp_path
+        self, sweep_inputs, tmp_path, monkeypatch
     ):
         """The headline combination: run-level sharding *with* a cache
         directory.  fork_view snapshots are taken inside forked workers
         and multiple worker processes save concurrently through the
         advisory lock — the warm sequential rerun must see everything
         they persisted and reproduce the sharded results exactly."""
+        monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
         db, wl, budgets = sweep_inputs
         cold = run_sweep(
             db, wl, budgets, seeds=SEEDS, variant=VARIANT,
