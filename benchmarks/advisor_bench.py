@@ -21,6 +21,12 @@ sequential path and tracks the numbers across PRs:
   bound pruning), asserting byte-identical recommendations and
   recording the speedup; the acceptance bar is >=3x candidates/sec
   over the full-recost path, gated by ``compare_bench.py``.
+* **drift** — continuous tuning under workload drift: a session
+  cold-tunes drift phase 0, the workload shifts to phase 2 (disjoint
+  hot set), and the incremental retune from the previous configuration
+  races a cold tune of the shifted workload; ``compare_bench.py``
+  gates retune wall <= 0.5x cold at <= 1.05x the cold tune's final
+  cost with at least one structure provably dropped.
 * **cache** — the same session cold vs warm through the persistent
   :class:`EstimationCache`, recording the warm hit rate.
 * **sweep** — a 3-budget x 2-seed sweep through the sweep orchestration
@@ -71,8 +77,9 @@ sys.path.insert(
 )
 
 from repro.advisor import algorithms  # noqa: E402
-from repro.advisor.advisor import tune  # noqa: E402
-from repro.advisor.sweep import run_sweep  # noqa: E402
+from repro.api import Session  # noqa: E402
+from repro.api import tune  # noqa: E402
+from repro.api import run_sweep  # noqa: E402
 from repro.compression.base import CompressionMethod  # noqa: E402
 from repro.datasets.sales import sales_database, sales_workload  # noqa: E402
 from repro.experiments.common import (  # noqa: E402
@@ -92,6 +99,7 @@ from repro.sampling.sample_manager import (  # noqa: E402
     SampleManager,
 )
 from repro.sizeest.estimator import SizeEstimator  # noqa: E402
+from repro.workload.drift import DriftSpec, DriftingWorkload  # noqa: E402
 
 #: The sweep grid: the acceptance bar is >=3 budgets x 2 seeds.
 SWEEP_BUDGET_FRACTIONS = (0.1, 0.15, 0.2)
@@ -258,6 +266,79 @@ def run_incremental_section(args) -> dict:
                 and pruned.final_cost == pruned_full.final_cost
             ),
         },
+    }
+
+
+#: The drift arm's scenario: phases 0 and 2 of this spec pick disjoint
+#: hot sets with weights extreme enough that the shift strands part of
+#: the phase-0 recommendation — the drop provably fires.
+DRIFT_SPEC = dict(seed=0, hot_fraction=0.2, hot_weight=20.0,
+                  cold_weight=0.01)
+DRIFT_PHASES = (0, 2)
+#: pinned like the sweep grid — the drop/speedup gate is calibrated to
+#: this scenario, independent of ``--budget``.
+DRIFT_BUDGET_FRACTION = 0.15
+
+
+def run_drift_section(args) -> dict:
+    """Continuous tuning under workload drift: a session cold-tunes
+    phase 0, the workload shifts to phase 2, and the incremental retune
+    must land at the cold-tune-from-scratch answer at a fraction of its
+    wall (the retune reuses the session's warm caches and the previous
+    configuration; the cold arm pays full price every trial)."""
+    db = sales_database(scale=args.scale, seed=args.seed)
+    drifting = DriftingWorkload(sales_workload(db),
+                                DriftSpec(**DRIFT_SPEC))
+    first, last = DRIFT_PHASES
+
+    session = Session(db, budget_fraction=DRIFT_BUDGET_FRACTION,
+                      variant=args.variant, workers=args.workers)
+    session.tune(workload=drifting.phase(first))
+    previous = session.configuration
+
+    def one_retune():
+        session.configuration = previous
+        session.generation = 1
+        return session.retune(workload=drifting.phase(last))
+
+    retune_wall, retuned = _best_of(INCREMENTAL_TRIALS, one_retune)
+
+    cold_wall, cold = _best_of(
+        INCREMENTAL_TRIALS,
+        lambda: Session(db, drifting.phase(last),
+                        budget_fraction=DRIFT_BUDGET_FRACTION,
+                        variant=args.variant,
+                        workers=args.workers).tune())
+
+    return {
+        "dataset": "sales",
+        "scale": args.scale,
+        "budget_fraction": DRIFT_BUDGET_FRACTION,
+        "variant": args.variant,
+        "drift": dict(DRIFT_SPEC),
+        "phases": list(DRIFT_PHASES),
+        "cold": {
+            "wall_seconds": round(cold_wall, 4),
+            "final_cost": cold.final_cost,
+            "improvement": cold.improvement,
+            "configuration": _config_names(cold),
+        },
+        "retune": {
+            "wall_seconds": round(retune_wall, 4),
+            "final_cost": retuned.result.final_cost,
+            "improvement": retuned.improvement,
+            "configuration": _config_names(retuned.result),
+            "generation": retuned.generation,
+            "dropped": sorted(ix.display_name()
+                              for ix in retuned.dropped),
+            "added": sorted(ix.display_name()
+                            for ix in retuned.added),
+        },
+        "retune_speedup": round(cold_wall / retune_wall, 3),
+        "drops_fired": len(retuned.dropped),
+        "quality_ratio": round(
+            retuned.result.final_cost / cold.final_cost, 6
+        ),
     }
 
 
@@ -717,6 +798,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--skip-cache", action="store_true")
     parser.add_argument("--skip-sweep", action="store_true")
     parser.add_argument("--skip-incremental", action="store_true")
+    parser.add_argument("--skip-drift", action="store_true")
     parser.add_argument("--skip-service", action="store_true")
     parser.add_argument("--skip-algorithms", action="store_true")
     parser.add_argument("--cache-dir", default=None,
@@ -758,6 +840,10 @@ def main(argv: list[str] | None = None) -> int:
         print("[bench] incremental: full recost vs delta costing",
               flush=True)
         payload["incremental"] = run_incremental_section(args)
+    if not args.skip_drift:
+        print(f"[bench] drift: phases {DRIFT_PHASES} retune vs cold",
+              flush=True)
+        payload["drift"] = run_drift_section(args)
     if not args.skip_cache:
         print("[bench] cache: cold vs warm", flush=True)
         payload["cache"] = run_cache_section(args)
@@ -800,6 +886,13 @@ def main(argv: list[str] | None = None) -> int:
               f"{pruned['min_improvement']}): "
               f"{pruned['pruned_bound']} bound-pruned, "
               f"identical={pruned['identical_recommendations']}")
+    if "drift" in payload:
+        dr = payload["drift"]
+        print(f"[bench] drift retune x{dr['retune_speedup']} vs cold "
+              f"({dr['retune']['wall_seconds']}s vs "
+              f"{dr['cold']['wall_seconds']}s), "
+              f"drops={dr['drops_fired']} "
+              f"quality_ratio={dr['quality_ratio']}")
     if "cache" in payload:
         print(f"[bench] warm cache hit rate "
               f"{payload['cache']['warm_hit_rate']:.2%}")

@@ -52,6 +52,8 @@ _PARAM_KEYS = {
     "algorithms": ("dataset", "scale", "budget_fraction", "variant",
                    "default_algorithm"),
     "incremental": ("dataset", "scale", "budget_fraction", "variant"),
+    "drift": ("dataset", "scale", "budget_fraction", "variant",
+              "drift", "phases"),
     "cache": (),
     "sweep": ("dataset", "scale", "variant", "budget_fractions", "seeds"),
     "fig9": ("dataset", "scale", "population", "fractions"),
@@ -63,6 +65,7 @@ _PARAM_KEYS = {
 _WALL_KEYS = (
     ("advisor", ("sequential", "wall_seconds")),
     ("incremental", ("incremental", "wall_seconds")),
+    ("drift", ("cold", "wall_seconds")),
     ("cache", ("warm", "wall_seconds")),
     ("sweep", ("sweep_workers1_wall_seconds",)),
     ("sweep", ("warm", "wall_seconds")),
@@ -137,10 +140,19 @@ MIN_PARALLEL_SPEEDUP = 0.8
 #: though both arms got faster in absolute terms.
 MIN_INCREMENTAL_SPEEDUP = 2.0
 
+#: Continuous-tuning acceptance: after the drift arm's phase shift the
+#: incremental retune must finish in at most half the cold-tune wall
+#: (speedup >= 2, both arms in the same process so the ratio is
+#: machine-normalized), land within 5% of the cold tune's final cost,
+#: and provably drop at least one structure the shift stranded.
+MIN_RETUNE_SPEEDUP = 2.0
+MAX_RETUNE_QUALITY_RATIO = 1.05
+
 
 def compare(baseline: dict, fresh: dict, wall_tolerance: float,
             hit_slack: float,
-            min_incremental_speedup: float = MIN_INCREMENTAL_SPEEDUP) -> Gate:
+            min_incremental_speedup: float = MIN_INCREMENTAL_SPEEDUP,
+            min_retune_speedup: float = MIN_RETUNE_SPEEDUP) -> Gate:
     gate = Gate()
 
     for section, keys in _PARAM_KEYS.items():
@@ -338,6 +350,60 @@ def compare(baseline: dict, fresh: dict, wall_tolerance: float,
     elif "pruned" in baseline.get("incremental", {}):
         gate.fail("incremental.pruned sub-arm missing from the fresh run")
 
+    # 2.65 Continuous-tuning gates: the drift arm's retune must be the
+    #      cheap path (>= 2x over cold-tuning the shifted workload), at
+    #      cold-tune quality, with at least one drop provably fired by
+    #      the phase shift; and both arms' recommendations are
+    #      deterministic given the committed seeds, so they are held to
+    #      the baseline like every other recommendation.
+    drift = fresh.get("drift")
+    if drift is not None:
+        speedup = drift.get("retune_speedup")
+        if not isinstance(speedup, (int, float)) \
+                or speedup < min_retune_speedup:
+            gate.fail(
+                f"drift.retune_speedup below the acceptance floor: "
+                f"x{speedup!r} < x{min_retune_speedup:.1f} — the "
+                "incremental retune must cost at most "
+                f"1/{min_retune_speedup:.0f} of a cold tune"
+            )
+        else:
+            gate.note(f"ok drift.retune_speedup = x{speedup:.2f}")
+        drops = drift.get("drops_fired")
+        if not isinstance(drops, int) or drops < 1:
+            gate.fail(
+                f"drift.drops_fired = {drops!r}: the phase shift "
+                "stranded structure(s) but the retune dropped nothing"
+            )
+        else:
+            gate.note(f"ok drift.drops_fired = {drops}")
+        quality = drift.get("quality_ratio")
+        if not isinstance(quality, (int, float)) \
+                or quality > MAX_RETUNE_QUALITY_RATIO:
+            gate.fail(
+                f"drift.quality_ratio = {quality!r}: the retuned "
+                "configuration costs more than "
+                f"{MAX_RETUNE_QUALITY_RATIO:.2f}x the cold tune's — "
+                "incremental must not trade recommendation quality "
+                "for wall time"
+            )
+        else:
+            gate.note(f"ok drift.quality_ratio = {quality}")
+        for arm in ("cold", "retune"):
+            base_cfg = _dig(baseline, ("drift", arm, "configuration"))
+            fresh_cfg = _dig(fresh, ("drift", arm, "configuration"))
+            if base_cfg is None:
+                continue
+            if base_cfg != fresh_cfg:
+                gate.fail(
+                    f"drift.{arm} recommendation drifted:\n"
+                    f"  baseline: {base_cfg}\n"
+                    f"  fresh:    {fresh_cfg}"
+                )
+            else:
+                gate.note(f"ok drift.{arm} recommendation matches "
+                          "baseline")
+
     # 2.7 Job-serving gates: the warm arm must actually reuse the
     #     lane's engine pool (the whole point of session affinity), and
     #     two-context overlap must not be slower than serializing the
@@ -487,6 +553,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default=MIN_INCREMENTAL_SPEEDUP,
                         help="acceptance floor for delta-costing "
                              "speedup over full recosting")
+    parser.add_argument("--min-retune-speedup", type=float,
+                        default=MIN_RETUNE_SPEEDUP,
+                        help="acceptance floor for the drift arm's "
+                             "retune speedup over a cold tune")
     parser.add_argument("--update-baseline", action="store_true",
                         help="regenerate and overwrite --baseline at "
                              "the committed smoke parameters (for "
@@ -509,7 +579,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[compare] cannot load inputs: {exc}")
         return 1
     gate = compare(baseline, fresh, args.wall_tolerance, args.hit_slack,
-                   args.min_incremental_speedup)
+                   args.min_incremental_speedup, args.min_retune_speedup)
     for note in gate.notes:
         print(f"[compare] {note}")
     for failure in gate.failures:

@@ -2,7 +2,7 @@
 naive tool that decouples index selection from compression can make an
 INSERT-intensive workload *worse*, while DTAc never does."""
 
-from repro.advisor import tune, tune_decoupled
+from repro.api import tune, tune_decoupled
 from repro.experiments.common import ExperimentResult, get_tpch
 from repro.datasets import tpch_workload
 from repro.sizeest import SizeEstimator

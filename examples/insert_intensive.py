@@ -11,7 +11,7 @@ Reproduces the paper's Example 2 / Section 7.1 anecdote end to end:
 Run:  python examples/insert_intensive.py
 """
 
-from repro.advisor import tune, tune_decoupled
+from repro.api import Session
 from repro.datasets import tpch_database, tpch_workload
 from repro.engine import validate_recommendation
 from repro.sizeest import SizeEstimator
@@ -27,10 +27,10 @@ def main() -> None:
     workload = tpch_workload(db, select_weight=1.0, insert_weight=15.0)
     budget = db.total_data_bytes() * 0.4
 
-    integrated = tune(db, workload, budget, variant="dtac-both",
-                      estimator=estimator, stats=stats)
-    staged = tune_decoupled(db, workload, budget,
-                            estimator=estimator, stats=stats)
+    session = Session(db, workload, budget_bytes=budget,
+                      variant="dtac-both", stats=stats)
+    integrated = session.tune()
+    staged = session.tune_decoupled()
 
     print("INSERT-intensive TPC-H, budget "
           f"{budget / 1024:.0f} KiB")

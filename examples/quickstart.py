@@ -3,7 +3,8 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import tpch_database, tpch_workload, tune
+from repro import tpch_database, tpch_workload
+from repro.api import Session
 
 def main() -> None:
     # 1. Generate a scaled-down TPC-H database (60k-row lineitem at
@@ -19,8 +20,9 @@ def main() -> None:
     # 3. Tune under a storage budget of 15% of the raw data size, with
     #    the full compression-aware tool (skyline candidate selection +
     #    backtracking enumeration).
-    budget = db.total_data_bytes() * 0.15
-    result = tune(db, workload, budget, variant="dtac-both")
+    result = Session(db, workload, budget_fraction=0.15,
+                     variant="dtac-both").tune()
+    budget = result.budget_bytes
 
     print(f"\nimprovement: {result.improvement_pct:.1f}% "
           f"(workload cost {result.base_cost:.0f} -> "

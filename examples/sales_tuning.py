@@ -8,14 +8,8 @@ a naive tool that compresses everything after the fact does worse.
 Run:  python examples/sales_tuning.py
 """
 
-from repro import (
-    DatabaseStats,
-    SizeEstimator,
-    sales_database,
-    sales_workload,
-    tune,
-    tune_decoupled,
-)
+from repro import DatabaseStats, sales_database, sales_workload
+from repro.api import Session
 
 
 def describe(tag, result) -> None:
@@ -31,8 +25,9 @@ def describe(tag, result) -> None:
 def main() -> None:
     db = sales_database(scale=0.3)
     stats = DatabaseStats(db)
-    estimator = SizeEstimator(db, stats=stats)
     budget = db.total_data_bytes() * 0.10
+    session = Session(db, budget_bytes=budget, variant="dtac-both",
+                      stats=stats)
     print(f"Sales database: {db.total_data_bytes() / 1024:.0f} KiB raw, "
           f"budget {budget / 1024:.0f} KiB")
 
@@ -41,18 +36,15 @@ def main() -> None:
 
     describe(
         "SELECT-intensive, DTAc",
-        tune(db, select_heavy, budget, variant="dtac-both",
-             estimator=estimator, stats=stats),
+        session.tune(workload=select_heavy),
     )
     describe(
         "INSERT-intensive, DTAc",
-        tune(db, insert_heavy, budget, variant="dtac-both",
-             estimator=estimator, stats=stats),
+        session.tune(workload=insert_heavy),
     )
     describe(
         "INSERT-intensive, decoupled strawman (compress everything)",
-        tune_decoupled(db, insert_heavy, budget,
-                       estimator=estimator, stats=stats),
+        session.tune_decoupled(workload=insert_heavy),
     )
 
 

@@ -9,12 +9,13 @@ paper's compression-aware cost model.
 
 Quickstart::
 
-    from repro import tpch_database, tpch_workload, tune
+    from repro.api import Session
+    from repro import tpch_database, tpch_workload
 
     db = tpch_database(scale=0.3)
     wl = tpch_workload(db, select_weight=5.0, insert_weight=1.0)
-    result = tune(db, wl, budget_bytes=db.total_data_bytes() // 4,
-                  variant="dtac-both")
+    session = Session(db, wl, variant="dtac-both")
+    result = session.tune(budget_bytes=db.total_data_bytes() // 4)
     print(f"improvement: {result.improvement_pct:.1f}%")
     for index in result.configuration:
         print(" ", index.display_name())
@@ -23,11 +24,10 @@ Quickstart::
 from repro.advisor import (
     AdvisorOptions,
     AdvisorResult,
+    RetuneResult,
     SweepResult,
     TuningAdvisor,
-    run_sweep,
-    tune,
-    tune_decoupled,
+    TuningSession,
 )
 from repro.catalog import Column, Database, Table
 from repro.columnstore import (
@@ -58,6 +58,18 @@ from repro.datasets import (
 )
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    """PEP 562 forwarders for the deprecated free-function entry
+    points; the home-module shims emit the DeprecationWarning.  Use
+    :class:`repro.api.Session` instead."""
+    if name in ("tune", "tune_decoupled", "run_sweep"):
+        from repro import advisor as _advisor
+        return getattr(_advisor, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 __all__ = [
     "__version__",
@@ -91,6 +103,8 @@ __all__ = [
     "TuningAdvisor",
     "AdvisorOptions",
     "AdvisorResult",
+    "TuningSession",
+    "RetuneResult",
     "tune",
     "tune_decoupled",
     "run_sweep",

@@ -8,8 +8,6 @@ from repro.advisor.advisor import (
     VariantSpec,
     get_variant,
     register_variant,
-    tune,
-    tune_decoupled,
     variant_names,
     variants,
 )
@@ -26,7 +24,14 @@ from repro.advisor.enumeration import (
     Enumerator,
 )
 from repro.advisor.merging import generate_merged_candidates, merge_pair
-from repro.advisor.sweep import SweepResult, SweepRun, run_sweep
+from repro.advisor.retune import (
+    RetuneResult,
+    TuningSession,
+    configuration_diff,
+    retune_run,
+    retune_sequence,
+)
+from repro.advisor.sweep import SweepResult, SweepRun
 from repro.advisor.selection import (
     CandidateConfiguration,
     cluster_skyline,
@@ -50,6 +55,11 @@ __all__ = [
     "tune",
     "tune_decoupled",
     "run_sweep",
+    "TuningSession",
+    "RetuneResult",
+    "retune_run",
+    "retune_sequence",
+    "configuration_diff",
     "SweepResult",
     "SweepRun",
     "CandidateOptions",
@@ -71,12 +81,19 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    """``repro.advisor.VARIANTS`` forwards to the deprecated shim in
-    :mod:`repro.advisor.advisor` (which emits the DeprecationWarning) —
-    eagerly importing it here would warn on every package import."""
+    """Deprecated names forward to the shims in their home modules
+    (which emit the DeprecationWarning) — eagerly importing them here
+    would warn on every package import.  ``tune``/``tune_decoupled``/
+    ``run_sweep`` moved to the :class:`repro.api.Session` facade."""
     if name == "VARIANTS":
         from repro.advisor import advisor as _advisor
         return _advisor.VARIANTS
+    if name in ("tune", "tune_decoupled"):
+        from repro.advisor import advisor as _advisor
+        return getattr(_advisor, name)
+    if name == "run_sweep":
+        from repro.advisor import sweep as _sweep
+        return _sweep.run_sweep
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )

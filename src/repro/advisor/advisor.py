@@ -9,7 +9,7 @@ import hashlib
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, Iterable, Mapping
 from repro.advisor import algorithms
 from repro.advisor.algorithms import EnumerationOptions
 from repro.advisor.candidates import (
@@ -244,13 +244,26 @@ class TuningAdvisor:
         progress: ProgressHook | None = None,
         fork_context: "object | None" = None,
         fork_stale_ok: bool = False,
+        algorithm_cls: "Callable[..., object] | None" = None,
+        extra_candidates: "Iterable[IndexDef] | None" = None,
     ) -> None:
         self.database = database
         self.workload = workload
         self.options = options
         #: resolved up front so an unknown name fails before any
         #: estimation work (and so the service can 400 at submit time).
+        #: A caller-supplied ``algorithm_cls`` (e.g. the retune search,
+        #: which carries a previous configuration no registry name can)
+        #: overrides the registry lookup but never skips it.
         self._algorithm_cls = algorithms.get(options.algorithm)
+        if algorithm_cls is not None:
+            self._algorithm_cls = algorithm_cls
+        #: structures injected into the enumeration pool (and therefore
+        #: the delta coster's registered universe) beyond what candidate
+        #: generation finds — retunes pass the previous configuration's
+        #: members so drops can be re-added and pruning bounds stay
+        #: sound over the carried-over configuration.
+        self._extra_candidates = list(extra_candidates or ())
         self.stats = stats or DatabaseStats(database)
         #: engines we created are ours to shut down when the run ends;
         #: injected engines (e.g. a sweep's shared session) belong to
@@ -587,6 +600,26 @@ class TuningAdvisor:
             self.estimator.estimate_many(base_variants, options.e, options.q)
             pool.extend(v for v in base_variants if v not in pool)
 
+        # 3.6 Caller-seeded structures (retunes inject the previous
+        #     configuration's members): candidate generation is
+        #     weight-driven, so a structure chosen for an earlier phase
+        #     may no longer surface on its own — but the search must
+        #     still be able to keep or re-add it, and the delta coster's
+        #     universe must cover it for its pruning floors to be sound.
+        if self._extra_candidates:
+            seeded = [
+                ix for ix in dict.fromkeys(self._extra_candidates)
+                if ix not in pool and ix not in self.base_config
+            ]
+            seeded_compressed = [
+                ix for ix in seeded if ix.method.is_compressed
+            ]
+            if seeded_compressed:
+                self.estimator.estimate_many(
+                    seeded_compressed, options.e, options.q
+                )
+            pool.extend(seeded)
+
         # 4. Enumeration (Section 6.2).
         self._emit("phase", phase="enumeration", pool=len(pool),
                    algorithm=options.algorithm)
@@ -760,11 +793,18 @@ del _spec
 
 
 def __getattr__(name: str):
-    """Module-level deprecation shim: the string-keyed ``VARIANTS``
-    dict became the :class:`VariantSpec` registry.  Direct access still
-    works (a fresh name -> overrides mapping is synthesized) but warns;
-    mutations no longer reach the registry — use
-    :func:`register_variant`."""
+    """Module-level deprecation shims.
+
+    ``VARIANTS``: the string-keyed dict became the :class:`VariantSpec`
+    registry.  Direct access still works (a fresh name -> overrides
+    mapping is synthesized) but warns; mutations no longer reach the
+    registry — use :func:`register_variant`.
+
+    ``tune`` / ``tune_decoupled``: the free functions became methods of
+    the ``repro.api.Session`` facade.  The originals are returned
+    unchanged (byte-identical behaviour) behind a
+    :class:`DeprecationWarning`.
+    """
     if name == "VARIANTS":
         warnings.warn(
             "repro.advisor.advisor.VARIANTS is deprecated; use "
@@ -773,12 +813,21 @@ def __getattr__(name: str):
             stacklevel=2,
         )
         return {spec.name: dict(spec.options) for spec in variants()}
+    if name in ("tune", "tune_decoupled"):
+        warnings.warn(
+            f"repro.advisor.advisor.{name}() is deprecated; use "
+            "repro.api.Session (Session.tune / Session.tune_decoupled) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return globals()[f"_{name}"]
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )
 
 
-def tune(
+def _tune(
     database: Database,
     workload: Workload,
     budget_bytes: float,
@@ -797,7 +846,7 @@ def tune(
     return advisor.run()
 
 
-def tune_decoupled(
+def _tune_decoupled(
     database: Database,
     workload: Workload,
     budget_bytes: float,

@@ -1,0 +1,544 @@
+"""Continuous tuning: incremental retunes from the previous
+configuration, for long-lived workloads that drift.
+
+The paper tunes a static workload once.  A serving advisor instead sees
+a *sequence* of workloads, and cold-tuning each one throws away the two
+assets the previous run already paid for: the previous recommendation
+and the warmed estimate/cost caches.  This module keeps both.
+
+A retune is one advisor run whose search is replaced by
+:class:`_RetuneSearch`:
+
+1. **Seed at the previous configuration.**  The delta coster's
+   reference is rebased onto the previous recommendation (the PR 3
+   primitive built for exactly this), so the whole run diffs against
+   what is already deployed instead of against bare heaps.
+2. **Drop decayed structures** — the 15-799 tuner's missing half.
+   Previous members get fresh benefit attribution under the *current*
+   workload; while over budget, the lowest (uses, benefit-density)
+   member is dropped, then terminating cost-checked drop iterations
+   (both reused verbatim from the relaxation algorithm) evict any
+   member whose removal now lowers the true workload cost.
+3. **Greedy re-fill** — the standard greedy loop plus the final method
+   polish, started from the pruned previous configuration rather than
+   from scratch.
+
+:class:`TuningSession` is the session-state API around it: it owns the
+database, the workload, shared :class:`DatabaseStats` and persistent
+estimate/cost caches, and the previous configuration — the first
+feature where the advisor's output becomes its next input.
+:func:`retune_run` is the embeddable core (one retune with explicit
+wiring), which the tuning service calls with its own per-request
+estimator/cache discipline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Sequence
+
+from repro.advisor.advisor import (
+    AdvisorOptions,
+    AdvisorResult,
+    ProgressHook,
+    TuningAdvisor,
+    get_variant,
+)
+from repro.advisor.algorithms.base import EnumerationResult
+from repro.advisor.algorithms.greedy_backtrack import GreedyBacktrackAlgorithm
+from repro.advisor.algorithms.relaxation import RelaxationAlgorithm
+from repro.catalog.schema import Database
+from repro.errors import AdvisorError
+from repro.parallel.cache import CostCache, EstimationCache
+from repro.physical.configuration import Configuration
+from repro.physical.index_def import IndexDef
+from repro.sampling.sample_manager import DEFAULT_SAMPLE_SEED, SampleManager
+from repro.sizeest.estimator import SizeEstimator
+from repro.stats.column_stats import DatabaseStats
+from repro.workload.query import Workload
+
+
+class _RetuneSearch(RelaxationAlgorithm, GreedyBacktrackAlgorithm):
+    """Drop-then-refill search seeded at the previous configuration.
+
+    Composes the two registered strategies it rides on: the relaxation
+    algorithm's budget relaxation + terminating drop iterations (usage/
+    density-ordered victims, cost-checked acceptance) and the greedy
+    algorithm's add loop + method polish.  Not registered — it needs a
+    previous configuration no registry name can carry; the advisor
+    receives it through ``TuningAdvisor(algorithm_cls=...)``.
+    """
+
+    name = "retune"
+    summary = (
+        "Seed at the previous configuration, drop decayed structures, "
+        "then greedy re-fill (continuous tuning; not registry-resolvable)"
+    )
+
+    #: total eviction-swap trials (each is one greedy re-fill, so this
+    #: caps the incremental run's wall time).
+    SWAP_TRIALS = 2
+
+    def __init__(self, previous: Configuration, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.previous = previous
+
+    def run(self, pool: list[IndexDef],
+            base_config: Configuration) -> EnumerationResult:
+        previous = self.previous
+        steps: list[str] = []
+        self._rebase(previous)
+        prev_cost = self.batch_cost([previous])[0]
+        steps.append(
+            f"retune seed: {len(list(previous))} structures, "
+            f"cost {prev_cost:.1f}, {self.consumed(previous):.0f} bytes"
+        )
+        self._emit_step("retune-seed", steps[-1], prev_cost)
+
+        # Fresh benefit attribution for the carried-over members under
+        # the *current* workload — the decay signal the drop ordering
+        # ranks on (fewest uses first, then benefit density).
+        prev_members = [
+            ix for ix in previous.ordered() if ix not in base_config
+        ]
+        benefits = {
+            entry.index: entry
+            for entry in self._attributed_benefits(prev_members, base_config)
+        }
+        config = self._relax_to_budget(previous, base_config, benefits, steps)
+        if config != previous:
+            self._rebase(config)
+            cost = self.batch_cost([config])[0]
+        else:
+            cost = prev_cost
+        config, cost = self._drop_iterations(config, cost, base_config, steps)
+
+        # Decay eviction: a carried member can keep a sliver of benefit
+        # (so no single removal lowers cost) while blocking the budget
+        # the drifted workload wants elsewhere — a local minimum neither
+        # drop iterations nor compression backtracking can leave.  Evict
+        # every member whose marginal benefit fell below the greedy
+        # acceptance threshold; each stays in the candidate pool, so the
+        # re-fill re-adds it only if it still beats today's
+        # alternatives.
+        members = self._droppable(config, base_config)
+        if members:
+            reverted = [
+                (ix, self._revert_member(config, ix, base_config))
+                for ix in members
+            ]
+            reverted = [(ix, r) for ix, r in reverted if r != config]
+            costs = self.batch_cost([r for _ix, r in reverted])
+            threshold = self.options.min_improvement * max(cost, 1e-9)
+            decayed = [
+                ix for (ix, _r), rcost in zip(reverted, costs)
+                if rcost - cost < threshold
+            ]
+            if decayed:
+                for ix in decayed:
+                    config = self._revert_member(config, ix, base_config)
+                self._rebase(config)
+                cost = self.batch_cost([config])[0]
+                steps.append(
+                    "decay evict "
+                    + ", ".join(ix.display_name() for ix in decayed)
+                    + f": -> {cost:.1f}"
+                )
+                self._emit_step("drop", steps[-1], cost)
+
+        # Greedy re-fill from the pruned previous configuration.
+        self._rebase(config)
+        filled = self._greedy_loop(pool, config, cost, steps)
+        config, cost = filled.configuration, filled.cost
+
+        # Eviction swaps: a carried member can be worth keeping in
+        # isolation yet *dominated* — its budget would buy a better
+        # structure under the drifted workload, which greedy re-fill
+        # cannot see because the member is already in place.  Evict the
+        # most suspect members (fewest uses, lowest benefit density —
+        # the drop ordering again) one at a time and re-fill; accept the
+        # first eviction whose re-fill beats the current cost.  A
+        # wrongly-evicted member is simply re-added by its own trial (it
+        # stays in the pool).  The total trial count is bounded — this
+        # is the incremental path, not a second cold search.
+        trials_left = self.SWAP_TRIALS
+        improved = True
+        while improved and trials_left > 0:
+            improved = False
+            members = self._droppable(config, base_config)
+            ranked = {
+                entry.index: entry
+                for entry in self._attributed_benefits(members, base_config)
+            }
+
+            def swap_rank(ix: IndexDef):
+                entry = ranked.get(ix)
+                if entry is None:
+                    return (0, 0.0, ix.display_name())
+                return (entry.uses, entry.density(), ix.display_name())
+
+            consumed = self.consumed(config)
+            candidates = []
+            for victim in members:
+                reduced = self._revert_member(config, victim, base_config)
+                # Only evictions that free budget can unlock a better
+                # structure (e.g. a compressed base variant reverts to a
+                # *larger* heap — swapping it out buys nothing).
+                if reduced == config or \
+                        self.consumed(reduced) >= consumed:
+                    continue
+                candidates.append((victim, reduced))
+            candidates.sort(key=lambda vr: swap_rank(vr[0]))
+            for victim, reduced in candidates:
+                if trials_left == 0:
+                    break
+                trials_left -= 1
+                self._rebase(reduced)
+                reduced_cost = self.batch_cost([reduced])[0]
+                trial_steps: list[str] = []
+                trial = self._greedy_loop(
+                    pool, reduced, reduced_cost, trial_steps
+                )
+                if trial.cost < cost - self.options.min_improvement * max(
+                    cost, 1e-9
+                ):
+                    config, cost = trial.configuration, trial.cost
+                    steps.append(
+                        f"swap evict {victim.display_name()}: "
+                        f"-> {cost:.1f}"
+                    )
+                    self._emit_step("swap", steps[-1], cost)
+                    steps.extend(trial_steps)
+                    improved = True
+                    break
+
+        # The standard final method polish.
+        self._rebase(config)
+        result = self._polish(
+            EnumerationResult(
+                configuration=config,
+                cost=cost,
+                consumed_bytes=self.consumed(config),
+                steps=steps,
+            )
+        )
+
+        # Floor: a drifted workload can strand the whole carried-over
+        # configuration; never return worse than the untuned base.
+        base_cost = self.workload_cost(base_config)
+        if result.cost > base_cost and self.fits(base_config):
+            result.steps.append(
+                f"retune floor: keep base {base_cost:.1f}"
+            )
+            return EnumerationResult(
+                configuration=base_config,
+                cost=base_cost,
+                consumed_bytes=self.consumed(base_config),
+                steps=result.steps,
+            )
+        return result
+
+
+def configuration_diff(
+    previous: Configuration, current: Configuration
+) -> "tuple[list[IndexDef], list[IndexDef], list[IndexDef]]":
+    """(dropped, added, kept) between two configurations, each sorted
+    by display name.  A compression-method change of the same logical
+    structure shows up as one drop plus one add — method variants are
+    different physical structures."""
+    by_name = lambda ix: ix.display_name()  # noqa: E731
+    dropped = sorted(
+        (ix for ix in previous if ix not in current), key=by_name
+    )
+    added = sorted(
+        (ix for ix in current if ix not in previous), key=by_name
+    )
+    kept = sorted(
+        (ix for ix in current if ix in previous), key=by_name
+    )
+    return dropped, added, kept
+
+
+def retune_run(
+    database: Database,
+    workload: Workload,
+    previous: Configuration,
+    options: AdvisorOptions,
+    *,
+    estimator: SizeEstimator | None = None,
+    stats: DatabaseStats | None = None,
+    base_config: Configuration | None = None,
+    engine=None,
+    cost_cache: CostCache | None = None,
+    progress: ProgressHook | None = None,
+    fork_context=None,
+    fork_stale_ok: bool = False,
+) -> AdvisorResult:
+    """One incremental retune with explicit wiring: a standard advisor
+    run whose search is the drop-then-refill :class:`_RetuneSearch`
+    seeded at ``previous``, and whose candidate pool is guaranteed to
+    contain every previous member (so re-fill can re-add a dropped
+    structure and the delta coster's pruning bounds stay sound over the
+    carried-over configuration)."""
+    advisor = TuningAdvisor(
+        database,
+        workload,
+        options,
+        estimator=estimator,
+        stats=stats,
+        base_config=base_config,
+        engine=engine,
+        cost_cache=cost_cache,
+        progress=progress,
+        fork_context=fork_context,
+        fork_stale_ok=fork_stale_ok,
+        algorithm_cls=partial(_RetuneSearch, previous),
+        extra_candidates=previous.ordered(),
+    )
+    return advisor.run()
+
+
+@dataclass
+class RetuneResult:
+    """Outcome of one incremental retune.
+
+    Wraps the run's :class:`AdvisorResult` with the session-level diff
+    against the previous configuration.
+    """
+
+    result: AdvisorResult
+    generation: int
+    previous_configuration: Configuration
+    dropped: list[IndexDef] = field(default_factory=list)
+    added: list[IndexDef] = field(default_factory=list)
+    kept: list[IndexDef] = field(default_factory=list)
+
+    @property
+    def configuration(self) -> Configuration:
+        return self.result.configuration
+
+    @property
+    def config_changed(self) -> bool:
+        return bool(self.dropped or self.added)
+
+    @property
+    def improvement(self) -> float:
+        return self.result.improvement
+
+
+class TuningSession:
+    """Session state for continuous tuning: one database + workload
+    whose recommendation is carried forward run over run.
+
+    The session owns what repeated runs can safely share — the
+    :class:`DatabaseStats`, one :class:`EstimationCache` and one
+    :class:`CostCache` (persistent under ``cache_dir``, in-memory
+    otherwise) — and hands every run a *fresh* seeded estimator over
+    them, the same per-run discipline the sweep orchestrator and the
+    tuning service use.  ``tune()`` runs cold; ``retune()`` runs the
+    incremental drop-then-refill search from the previous result and
+    returns the configuration diff.  Pass ``workload=`` to either call
+    to move the session onto a new drift phase.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        workload: Workload | None = None,
+        *,
+        budget_bytes: float | None = None,
+        budget_fraction: float | None = None,
+        variant: str = "dtac-both",
+        seed: int = DEFAULT_SAMPLE_SEED,
+        cache_dir: str | None = None,
+        stats: DatabaseStats | None = None,
+        progress: ProgressHook | None = None,
+        configuration: Configuration | None = None,
+        **options_extra,
+    ) -> None:
+        self.database = database
+        self.workload = workload
+        self.variant = get_variant(variant).name
+        self.seed = seed
+        self.cache_dir = cache_dir
+        self.stats = stats or DatabaseStats(database)
+        self.progress = progress
+        self.options_extra = dict(options_extra)
+        self._default_budget = None
+        self._default_budget = self._resolve_budget(
+            budget_bytes, budget_fraction, required=False
+        )
+        #: the previous recommendation — the next retune's input.  May
+        #: be seeded directly (e.g. from a persisted result) to retune
+        #: without a cold ``tune()`` first.
+        self.configuration = configuration
+        #: completed runs (tune + retune) in this session.
+        self.generation = 0
+        self.estimates = EstimationCache(cache_dir)
+        self.costs = CostCache(cache_dir)
+
+    # ------------------------------------------------------------------
+    def _resolve_budget(
+        self,
+        budget_bytes: float | None,
+        budget_fraction: float | None,
+        required: bool = True,
+    ) -> float | None:
+        if budget_bytes is not None and budget_fraction is not None:
+            raise AdvisorError(
+                "pass budget_bytes or budget_fraction, not both"
+            )
+        if budget_fraction is not None:
+            return self.database.total_data_bytes() * budget_fraction
+        if budget_bytes is not None:
+            return float(budget_bytes)
+        if self._default_budget is None and required:
+            raise AdvisorError(
+                "no budget: pass budget_bytes/budget_fraction to the "
+                "session or to the call"
+            )
+        return self._default_budget
+
+    def _options(self, budget: float, extra: dict) -> AdvisorOptions:
+        return get_variant(self.variant).advisor_options(
+            budget, **{**self.options_extra, **extra}
+        )
+
+    def _fresh_estimator(self, options: AdvisorOptions) -> SizeEstimator:
+        """A per-run estimator over the session's shared cache — fresh
+        sample state seeded identically every run, warm estimates."""
+        return SizeEstimator(
+            self.database,
+            stats=self.stats,
+            manager=SampleManager(self.database, seed=self.seed),
+            e=options.e,
+            q=options.q,
+            cache=self.estimates,
+        )
+
+    def _resolve_workload(self, workload: Workload | None) -> Workload:
+        if workload is not None:
+            self.workload = workload
+        if self.workload is None:
+            raise AdvisorError(
+                "no workload: pass one to the session or to the call"
+            )
+        return self.workload
+
+    def _emit(self, event: dict) -> None:
+        if self.progress is not None:
+            self.progress(event)
+
+    # ------------------------------------------------------------------
+    def tune(
+        self,
+        budget_bytes: float | None = None,
+        *,
+        budget_fraction: float | None = None,
+        workload: Workload | None = None,
+        **extra,
+    ) -> AdvisorResult:
+        """One cold tuning run (no previous-configuration seeding);
+        establishes the configuration later ``retune()`` calls carry
+        forward."""
+        workload = self._resolve_workload(workload)
+        budget = self._resolve_budget(budget_bytes, budget_fraction)
+        options = self._options(budget, extra)
+        advisor = TuningAdvisor(
+            self.database,
+            workload,
+            options,
+            estimator=self._fresh_estimator(options),
+            stats=self.stats,
+            cost_cache=self.costs,
+            progress=self.progress,
+        )
+        result = advisor.run()
+        self.configuration = result.configuration
+        self.generation += 1
+        return result
+
+    def retune(
+        self,
+        budget_bytes: float | None = None,
+        *,
+        budget_fraction: float | None = None,
+        workload: Workload | None = None,
+        **extra,
+    ) -> RetuneResult:
+        """One incremental retune from the session's previous
+        configuration (drop decayed structures, greedy re-fill), under
+        the current — typically drifted — workload."""
+        if self.configuration is None:
+            raise AdvisorError(
+                "retune needs a previous configuration: run tune() "
+                "first, or seed the session with configuration=..."
+            )
+        workload = self._resolve_workload(workload)
+        budget = self._resolve_budget(budget_bytes, budget_fraction)
+        options = self._options(budget, extra)
+        previous = self.configuration
+        start = time.perf_counter()
+        result = retune_run(
+            self.database,
+            workload,
+            previous,
+            options,
+            estimator=self._fresh_estimator(options),
+            stats=self.stats,
+            cost_cache=self.costs,
+            progress=self.progress,
+        )
+        result.elapsed_seconds = time.perf_counter() - start
+        dropped, added, kept = configuration_diff(
+            previous, result.configuration
+        )
+        self.configuration = result.configuration
+        self.generation += 1
+        out = RetuneResult(
+            result=result,
+            generation=self.generation,
+            previous_configuration=previous,
+            dropped=dropped,
+            added=added,
+            kept=kept,
+        )
+        if dropped:
+            self._emit({
+                "event": "dropped",
+                "indexes": [ix.display_name() for ix in dropped],
+            })
+        if added:
+            self._emit({
+                "event": "added",
+                "indexes": [ix.display_name() for ix in added],
+            })
+        self._emit({
+            "event": "config_changed",
+            "changed": out.config_changed,
+            "generation": self.generation,
+            "dropped": len(dropped),
+            "added": len(added),
+            "kept": len(kept),
+        })
+        return out
+
+
+def retune_sequence(
+    session: TuningSession,
+    workloads: Sequence[Workload],
+    **extra,
+) -> "list[RetuneResult | AdvisorResult]":
+    """Drive a session across a workload sequence: a cold ``tune()`` on
+    the first phase when the session has no configuration yet, then one
+    ``retune()`` per remaining phase.  Returns the per-phase results in
+    order — the golden-fixture shape the retune identity tests pin."""
+    out: "list[RetuneResult | AdvisorResult]" = []
+    for workload in workloads:
+        if session.configuration is None:
+            out.append(session.tune(workload=workload, **extra))
+        else:
+            out.append(session.retune(workload=workload, **extra))
+    return out

@@ -224,7 +224,26 @@ def _run_unit_task(job: _SweepJob, index: int) -> AdvisorResult:
     return job.run_unit(index)
 
 
-def run_sweep(
+def __getattr__(name: str):
+    """PEP 562 deprecation shim: ``run_sweep`` became
+    ``repro.api.Session.sweep``.  The original function is returned
+    unchanged (byte-identical behaviour) behind a warning."""
+    if name == "run_sweep":
+        import warnings
+
+        warnings.warn(
+            "repro.advisor.sweep.run_sweep() is deprecated; use "
+            "repro.api.Session.sweep instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _run_sweep
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
+def _run_sweep(
     database: Database,
     workload: Workload,
     budgets: Sequence[float],

@@ -24,7 +24,8 @@ import argparse
 import importlib
 import sys
 
-from repro.advisor import algorithms, run_sweep, tune, variant_names, variants
+from repro.advisor import algorithms, variant_names, variants
+from repro.api import Session
 from repro.datasets import (
     sales_database,
     sales_workload,
@@ -47,17 +48,26 @@ def _make_dataset(args):
     return db, wl
 
 
+def _make_session(args, db, wl) -> Session:
+    """One facade session per CLI invocation, owning the option
+    defaults the subcommands share."""
+    return Session(
+        db, wl,
+        variant=args.variant,
+        cache_dir=args.cache_dir,
+        algorithm=args.algorithm,
+        enable_partial=getattr(args, "all_features", False),
+        enable_mv=getattr(args, "all_features", False),
+        workers=args.workers,
+        delta_costing=not args.full_recost,
+        kernel=args.kernel,
+    )
+
+
 def cmd_tune(args) -> int:
     db, wl = _make_dataset(args)
     budget = db.total_data_bytes() * args.budget
-    result = tune(db, wl, budget, variant=args.variant,
-                  algorithm=args.algorithm,
-                  enable_partial=args.all_features,
-                  enable_mv=args.all_features,
-                  workers=args.workers,
-                  cache_dir=args.cache_dir,
-                  delta_costing=not args.full_recost,
-                  kernel=args.kernel)
+    result = _make_session(args, db, wl).tune(budget_bytes=budget)
     print(f"database {db.name}: {db.total_data_bytes() / 1024:.0f} KiB raw")
     print(f"variant {args.variant}, algorithm {args.algorithm}, "
           f"budget {budget / 1024:.0f} KiB")
@@ -95,11 +105,9 @@ def cmd_sweep(args) -> int:
     db, wl = _make_dataset(args)
     total = db.total_data_bytes()
     budgets = [total * fraction for fraction in args.budgets]
-    result = run_sweep(
-        db, wl, budgets,
-        seeds=args.seeds,
+    session = Session(
+        db, wl,
         variant=args.variant,
-        workers=args.workers,
         cache_dir=args.cache_dir,
         algorithm=args.algorithm,
         enable_partial=args.all_features,
@@ -107,6 +115,7 @@ def cmd_sweep(args) -> int:
         delta_costing=not args.full_recost,
         kernel=args.kernel,
     )
+    result = session.sweep(budgets, seeds=args.seeds, workers=args.workers)
     print(f"database {db.name}: {total / 1024:.0f} KiB raw, "
           f"variant {args.variant}, {len(result.runs)} runs "
           f"({len(args.budgets)} budgets x "
@@ -131,6 +140,76 @@ def cmd_sweep(args) -> int:
     if result.engine_stats.get("parallel_maps"):
         print(f"engine: {result.engine_stats['tasks_dispatched']} runs "
               f"sharded over {result.workers} workers")
+    return 0
+
+
+def _drift_spec(args):
+    from repro.workload.drift import DriftSpec
+
+    return DriftSpec(
+        seed=args.drift_seed,
+        hot_fraction=args.hot_fraction,
+        hot_weight=args.hot_weight,
+        cold_weight=args.cold_weight,
+        arrival_jitter=args.arrival_jitter,
+        update_weights=tuple(args.update_weights),
+    )
+
+
+def _specs_from_result(path: str) -> list:
+    """Index specs from a saved result JSON: either a ``/v1`` response
+    (``result.indexes``) or a job snapshot (``result.result.indexes``)."""
+    import json
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"--from-result {path}: {exc}") from None
+    body = raw
+    for _ in range(2):
+        inner = body.get("result") if isinstance(body, dict) else None
+        if isinstance(inner, dict):
+            body = inner
+    specs = body.get("indexes") if isinstance(body, dict) else None
+    if not isinstance(specs, list) or \
+            not all(isinstance(s, dict) for s in specs):
+        raise SystemExit(
+            f"--from-result {path}: no 'result.indexes' spec list found"
+        )
+    return specs
+
+
+def cmd_retune(args) -> int:
+    """Continuous tuning demo: cold-tune drift phase 0, then retune
+    incrementally through the remaining phases, printing each phase's
+    configuration diff."""
+    from repro.workload.drift import DriftingWorkload
+
+    db, wl = _make_dataset(args)
+    budget = db.total_data_bytes() * args.budget
+    drift = DriftingWorkload(wl, _drift_spec(args))
+    session = _make_session(args, db, drift.phase(0))
+    print(f"database {db.name}: {db.total_data_bytes() / 1024:.0f} KiB "
+          f"raw, budget {budget / 1024:.0f} KiB, "
+          f"{args.phases} drift phases (seed {args.drift_seed})")
+    cold = session.tune(budget_bytes=budget)
+    print(f"phase 0: tuned cold, improvement "
+          f"{cold.improvement_pct:.1f}%, "
+          f"{len(list(cold.configuration))} structures, "
+          f"{cold.elapsed_seconds:.1f}s")
+    for phase in range(1, args.phases):
+        rt = session.retune(budget_bytes=budget,
+                            workload=drift.phase(phase))
+        print(f"phase {phase}: retuned gen={rt.generation} "
+              f"improvement {rt.result.improvement_pct:.1f}% "
+              f"dropped={len(rt.dropped)} added={len(rt.added)} "
+              f"kept={len(rt.kept)} "
+              f"{rt.result.elapsed_seconds:.1f}s")
+        for ix in rt.dropped:
+            print(f"  - {ix.display_name()}")
+        for ix in rt.added:
+            print(f"  + {ix.display_name()}")
     return 0
 
 
@@ -211,11 +290,16 @@ def cmd_validate(args) -> int:
     stats = DatabaseStats(db)
     estimator = SizeEstimator(db, stats=stats)
     budget = db.total_data_bytes() * args.budget
-    result = tune(db, wl, budget, variant=args.variant,
-                  estimator=estimator, stats=stats,
-                  workers=args.workers, cache_dir=args.cache_dir,
-                  delta_costing=not args.full_recost,
-                  kernel=args.kernel)
+    session = Session(
+        db, wl,
+        variant=args.variant,
+        cache_dir=args.cache_dir,
+        stats=stats,
+        workers=args.workers,
+        delta_costing=not args.full_recost,
+        kernel=args.kernel,
+    )
+    result = session.tune(budget_bytes=budget)
     report = validate_recommendation(
         result, db, wl, stats=stats, estimator=estimator
     )
@@ -336,6 +420,12 @@ def cmd_jobs(args) -> int:
                 print(f"  state -> {event['state']}")
             elif event["event"] == "phase":
                 print(f"  phase -> {event['phase']}")
+            elif event["event"] in ("dropped", "added"):
+                names = ", ".join(event.get("indexes", ()))
+                print(f"  {event['event']}: {names}")
+            elif event["event"] == "config_changed":
+                print(f"  config_changed={event['changed']} "
+                      f"gen={event['generation']}")
             elif args.verbose:
                 print(f"  {_json.dumps(event)}")
         return await client.job(job_id)
@@ -353,6 +443,12 @@ def cmd_jobs(args) -> int:
                 if args.kind == "sweep":
                     payload = dict(budget_fractions=args.budgets,
                                    variant=args.variant)
+                if args.kind == "retune" and args.drift_phase is not None:
+                    payload["drift"] = {"phase": args.drift_phase,
+                                        **_drift_spec(args).to_dict()}
+                if args.from_result is not None:
+                    payload["from_config"] = \
+                        _specs_from_result(args.from_result)
                 if args.algorithm is not None:
                     payload["options"] = {"algorithm": args.algorithm}
                 if args.seed is not None:
@@ -375,6 +471,15 @@ def cmd_jobs(args) -> int:
                           f"{100 * result['improvement']:.1f}% "
                           f"({result['base_cost']:.0f} -> "
                           f"{result['final_cost']:.0f})")
+                if final["state"] == "done" and args.kind == "retune":
+                    result = final["result"]["result"]
+                    rt = final["result"]["retune"]
+                    print(f"retuned gen={rt['generation']} "
+                          f"improvement "
+                          f"{100 * result['improvement']:.1f}% "
+                          f"dropped={len(rt['dropped'])} "
+                          f"added={len(rt['added'])} "
+                          f"kept={len(rt['kept'])}")
                 return 0 if final["state"] == "done" else 1
             # status/events/cancel address one job.
             if not args.id:
@@ -517,6 +622,37 @@ def build_parser() -> argparse.ArgumentParser:
                          help="enable partial indexes and MVs")
     p_sweep.set_defaults(fn=cmd_sweep)
 
+    def add_drift_args(p):
+        p.add_argument("--drift-seed", type=int, default=0,
+                       help="base seed of the deterministic drift "
+                            "schedule")
+        p.add_argument("--hot-fraction", type=float, default=0.3,
+                       help="share of the SELECTs boosted per phase")
+        p.add_argument("--hot-weight", type=float, default=8.0)
+        p.add_argument("--cold-weight", type=float, default=0.05)
+        p.add_argument("--arrival-jitter", type=float, default=0.25)
+        p.add_argument("--update-weights", type=_fraction_list,
+                       default=[1.0, 4.0],
+                       help="per-phase update/bulk weights, cycled")
+
+    p_re = sub.add_parser(
+        "retune",
+        help="continuous tuning under workload drift: cold-tune phase "
+             "0, then incremental retunes (drop decayed structures, "
+             "greedy re-fill) through the remaining phases",
+    )
+    add_dataset_args(p_re)
+    p_re.add_argument("--budget", type=float, default=0.2,
+                      help="storage budget as a fraction of raw data")
+    p_re.add_argument("--variant", choices=variant_names(),
+                      default="dtac-both")
+    p_re.add_argument("--algorithm", choices=algorithms.names(),
+                      default=algorithms.DEFAULT_ALGORITHM)
+    p_re.add_argument("--phases", type=int, default=3,
+                      help="number of drift phases to tune through")
+    add_drift_args(p_re)
+    p_re.set_defaults(fn=cmd_retune, all_features=False)
+
     p_alg = sub.add_parser(
         "algorithms",
         help="print the selection-algorithm and variant registries",
@@ -634,7 +770,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_jobs.add_argument("--host", default="127.0.0.1")
     p_jobs.add_argument("--port", type=int, default=8765)
     p_jobs.add_argument("--context", default="sales")
-    p_jobs.add_argument("--kind", choices=("tune", "sweep"),
+    p_jobs.add_argument("--kind", choices=("tune", "sweep", "retune"),
                         default="tune")
     p_jobs.add_argument("--budget", type=float, default=0.15,
                         help="tune-job storage budget (fraction of raw)")
@@ -666,6 +802,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_jobs.add_argument("--retry-backoff", type=float, default=None,
                         help="base seconds for jittered exponential "
                              "retry backoff (default 0.5)")
+    p_jobs.add_argument("--from-result", default=None, metavar="PATH",
+                        help="retune from the configuration in a saved "
+                             "result/job-snapshot JSON instead of the "
+                             "service's own last tune/retune")
+    p_jobs.add_argument("--drift-phase", type=int, default=None,
+                        help="retune against this drift phase of the "
+                             "context's workload (omit to retune "
+                             "against the registered workload as-is)")
+    add_drift_args(p_jobs)
     p_jobs.add_argument("--after", type=int, default=0,
                         help="resume an event stream past this seq")
     p_jobs.add_argument("--follow", action="store_true",

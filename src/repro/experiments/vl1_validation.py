@@ -9,7 +9,7 @@ in size estimation is checked here as a by-product.
 
 from __future__ import annotations
 
-from repro.advisor import tune
+from repro.api import tune
 from repro.datasets import tpch_workload
 from repro.engine import validate_recommendation
 from repro.experiments.common import (

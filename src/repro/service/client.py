@@ -32,6 +32,7 @@ import asyncio
 import json
 
 from repro.errors import ServiceError
+from repro.service.wire import SCHEMA_VERSION
 
 
 class ServiceHTTPError(ServiceError):
@@ -164,6 +165,15 @@ class AdvisorClient:
                 status, answer.get("error", "unknown error"),
                 retry_after=_retry_after(headers),
             )
+        if path.startswith("/v1/") and isinstance(answer, dict):
+            # The server stamps every /v1 response; a mismatch means
+            # we are talking to a server speaking a different envelope.
+            version = answer.get("schema_version", SCHEMA_VERSION)
+            if version != SCHEMA_VERSION:
+                raise ServiceError(
+                    f"server answered schema_version {version!r}; this "
+                    f"client speaks {SCHEMA_VERSION}"
+                )
         return answer
 
     @staticmethod
@@ -183,7 +193,9 @@ class AdvisorClient:
 
     async def _post(self, kind: str, context: str, **payload) -> dict:
         return await self._request(
-            "POST", f"/v1/{kind}", {"context": context, **payload}
+            "POST", f"/v1/{kind}",
+            {"schema_version": SCHEMA_VERSION, "context": context,
+             **payload},
         )
 
     # ------------------------------------------------------------------
@@ -230,8 +242,9 @@ class AdvisorClient:
         wall time from submission, ``retries``/``retry_backoff`` give
         transient failures a budget."""
         body = {
-            "context": context, "kind": kind, "tenant": tenant,
-            "priority": priority, **payload,
+            "schema_version": SCHEMA_VERSION, "context": context,
+            "kind": kind, "tenant": tenant, "priority": priority,
+            **payload,
         }
         if deadline_s is not None:
             body["deadline_s"] = deadline_s

@@ -27,7 +27,8 @@ from repro.advisor.advisor import (
     quantized_size_lookup,
     variant_names,
 )
-from repro.advisor.sweep import run_sweep
+from repro.advisor.retune import configuration_diff, retune_run
+from repro.advisor.sweep import _run_sweep
 from repro.catalog.schema import Database
 from repro.compression.base import CompressionMethod
 from repro.errors import ServiceError
@@ -52,17 +53,6 @@ _REQUEST_OPTION_FIELDS = frozenset({
     "enable_merging", "compression_aware_merging", "max_key_columns",
     "skyline_cluster_max", "e", "q", "delta_costing", "algorithm",
 })
-
-#: job-routing fields (tenant tag, priority lane) — they address the
-#: job tier, never the advisor.  The HTTP layer pops them before the
-#: payload gets here; rejecting strays keeps two otherwise-identical
-#: submissions from getting different coalescing keys, warm-affinity
-#: signatures, or journaled payloads (recovered re-runs must be
-#: byte-identical to their cold submissions).
-_ROUTING_FIELDS = frozenset({
-    "tenant", "priority", "deadline_s", "retries", "retry_backoff",
-})
-
 
 def parse_index_spec(database: Database, spec: dict) -> IndexDef:
     """An :class:`IndexDef` from its JSON wire form::
@@ -216,15 +206,6 @@ class ServiceContext:
     # ------------------------------------------------------------------
     # request executors (synchronous; run on the service executor)
     # ------------------------------------------------------------------
-    @staticmethod
-    def _reject_routing(payload: dict) -> None:
-        strays = _ROUTING_FIELDS & set(payload)
-        if strays:
-            raise ServiceError(
-                f"routing fields {sorted(strays)} belong to the job "
-                "submission, not the tune/sweep payload"
-            )
-
     def _budget_bytes(self, payload: dict) -> float:
         if "budget_bytes" in payload:
             return float(payload["budget_bytes"])
@@ -297,7 +278,6 @@ class ServiceContext:
         ``fork_slot``/``stale_ok`` come from the scheduler's warm-
         affinity decision; ``progress`` threads the job layer's event
         hook into the advisor (one event per greedy step)."""
-        self._reject_routing(payload)
         budget = self._budget_bytes(payload)
         variant = self._variant(payload)
         seed = int(payload.get("seed", DEFAULT_SAMPLE_SEED))
@@ -342,11 +322,184 @@ class ServiceContext:
         out["seed"] = seed
         return out
 
+    # ------------------------------------------------------------------
+    # continuous tuning (the recurring retune job kind)
+    # ------------------------------------------------------------------
+    def _drift_workload(self, payload: dict):
+        """(workload, drift_info) for the run: the context workload,
+        drifted to the payload's phase when a ``drift`` object rides
+        along."""
+        from repro.workload.drift import DriftSpec, drift_phase
+
+        raw = payload.get("drift")
+        if raw is None:
+            return self.workload, None
+        if not isinstance(raw, dict):
+            raise ServiceError(f"'drift' must be an object, got {raw!r}")
+        raw = dict(raw)
+        phase = raw.pop("phase", 0)
+        if not isinstance(phase, int) or isinstance(phase, bool) \
+                or phase < 0:
+            raise ServiceError(
+                f"drift phase must be a non-negative integer, got "
+                f"{phase!r}"
+            )
+        try:
+            spec = DriftSpec.from_dict(raw)
+        except Exception as exc:
+            raise ServiceError(str(exc)) from exc
+        workload = drift_phase(self.workload, spec, phase)
+        return workload, {"phase": phase, "spec": spec.to_dict()}
+
+    def _previous_configuration(self, payload: dict):
+        """The carried-forward configuration (base + ``from_config``
+        specs), or None for a first/cold retune."""
+        specs = payload.get("from_config")
+        if not specs:
+            return None
+        if not isinstance(specs, (list, tuple)):
+            raise ServiceError(
+                f"'from_config' must be a list of index specs, got "
+                f"{specs!r}"
+            )
+        previous = self.base_config
+        for spec in specs:
+            previous = previous.add(parse_index_spec(self.database, spec))
+        return previous
+
+    def prepare_retune(self, payload: dict,
+                       carried: "tuple[list, int] | None" = None) -> None:
+        """Submission-time validation + carry-forward resolution for a
+        retune job (mutates ``payload`` in place, **before** it is
+        journaled — a recovered or worker-claimed re-run must see the
+        exact previous configuration this submission resolved).
+
+        ``carried`` is the job tier's latest completed configuration
+        for this context as ``(index_specs, generation)``; it seeds
+        ``from_config`` when the submission did not pin one itself.
+        Bad budgets, variants, options, index specs, and drift specs
+        all fail here (HTTP 400), never out of a running lane."""
+        self._budget_bytes(payload)
+        self._variant(payload)
+        self._advisor_extra(payload)
+        self._drift_workload(payload)
+        if payload.get("from_config"):
+            self._previous_configuration(payload)
+            payload.setdefault("generation", 1)
+        elif carried is not None:
+            specs, generation = carried
+            payload["from_config"] = specs
+            payload["generation"] = generation + 1
+        else:
+            # Nothing to carry: the first submission of a recurring
+            # retune runs cold and establishes generation 1.
+            payload["generation"] = 1
+
+    def run_retune(self, payload: dict, engine: ParallelEngine,
+                   progress=None) -> dict:
+        """One incremental retune, isolated exactly like
+        :meth:`run_tune`: fresh seeded estimator, fork views of the
+        persistent caches.  The previous configuration comes from the
+        payload (``from_config``, resolved at submission), the search
+        seeds the delta reference there, proposes drops of decayed
+        structures, then greedy re-fills; the result carries a
+        ``retune`` section (generation, diff, drift) and the event
+        stream gets ``dropped``/``added``/``config_changed`` events."""
+        budget = self._budget_bytes(payload)
+        variant = self._variant(payload)
+        seed = int(payload.get("seed", DEFAULT_SAMPLE_SEED))
+        options = get_variant(variant).advisor_options(
+            budget, **self._advisor_extra(payload)
+        )
+        workload, drift_info = self._drift_workload(payload)
+        previous = self._previous_configuration(payload)
+        estimator = SizeEstimator(
+            self.database,
+            stats=self.stats,
+            manager=SampleManager(self.database, seed=seed),
+            e=options.e,
+            q=options.q,
+            cache=(
+                self._tune_estimates.fork_view()
+                if self._tune_estimates is not None else None
+            ),
+        )
+        cost_view = (
+            self.cost_cache.fork_view()
+            if self.cost_cache is not None else None
+        )
+        if previous is None:
+            # Cold first generation: a plain advisor run (nothing to
+            # drop from yet), identical to run_tune's wiring.
+            advisor = TuningAdvisor(
+                self.database,
+                workload,
+                options,
+                estimator=estimator,
+                stats=self.stats,
+                engine=engine,
+                cost_cache=cost_view,
+                progress=progress,
+            )
+            result = advisor.run()
+            diff_base = self.base_config
+        else:
+            result = retune_run(
+                self.database,
+                workload,
+                previous,
+                options,
+                estimator=estimator,
+                stats=self.stats,
+                engine=engine,
+                cost_cache=cost_view,
+                progress=progress,
+            )
+            diff_base = previous
+        if cost_view is not None:
+            self.cost_cache.absorb(cost_view)
+        dropped, added, kept = configuration_diff(
+            diff_base, result.configuration
+        )
+        generation = payload.get("generation", 1)
+        if progress is not None:
+            if dropped:
+                progress({
+                    "event": "dropped",
+                    "indexes": [ix.display_name() for ix in dropped],
+                })
+            if added:
+                progress({
+                    "event": "added",
+                    "indexes": [ix.display_name() for ix in added],
+                })
+            progress({
+                "event": "config_changed",
+                "changed": bool(dropped or added),
+                "generation": generation,
+                "dropped": len(dropped),
+                "added": len(added),
+                "kept": len(kept),
+            })
+        out = serialize_result(result)
+        out["context"] = self.name
+        out["variant"] = variant
+        out["seed"] = seed
+        out["retune"] = {
+            "generation": generation,
+            "config_changed": bool(dropped or added),
+            "dropped": [ix.display_name() for ix in dropped],
+            "added": [ix.display_name() for ix in added],
+            "kept": [ix.display_name() for ix in kept],
+        }
+        if drift_info is not None:
+            out["retune"]["drift"] = drift_info
+        return out
+
     def run_sweep(self, payload: dict, engine: ParallelEngine,
                   progress=None) -> dict:
         """A whole budget sweep / seed ablation as one unit (the sweep
         module owns per-unit isolation)."""
-        self._reject_routing(payload)
         variant = self._variant(payload)
         total = self.database.total_data_bytes()
         if "budget_bytes" in payload:
@@ -358,7 +511,7 @@ class ServiceContext:
                 "sweep payload needs 'budget_bytes' or 'budget_fractions'"
             )
         seeds = payload.get("seeds")
-        sweep = run_sweep(
+        sweep = _run_sweep(
             self.database,
             self.workload,
             budgets,

@@ -55,6 +55,7 @@ from repro.errors import (
     ReproError,
     ServiceError,
 )
+from repro.service import wire
 from repro.service.service import AdvisorService
 
 #: maximum accepted request body (tuning payloads are tiny).
@@ -204,7 +205,16 @@ class ServiceHTTPServer:
             await reader.readexactly(content_length)
             if content_length else b""
         )
-        return await self._route(method, path, body)
+        status, payload = await self._route(method, path, body)
+        if (
+            path.partition("?")[0].startswith("/v1/")
+            and isinstance(payload, dict)
+        ):
+            # Every /v1 JSON response carries the envelope version the
+            # client asserts (event streams are raw NDJSON lines and
+            # stay unstamped).
+            payload = wire.stamp(payload)
+        return status, payload
 
     async def _route(
         self, method: str, path: str, body: bytes
@@ -243,6 +253,13 @@ class ServiceHTTPServer:
         payload, error = self._parse_body(body)
         if error is not None:
             return error
+        try:
+            # Closed envelope: wrong schema_version or any unknown
+            # top-level field answers 400 naming it, before routing.
+            wire.validate_request(kind, payload)
+        except ServiceError as exc:
+            return 400, {"error": str(exc)}
+        payload.pop("schema_version", None)
         context = payload.pop("context", None)
         if not isinstance(context, str):
             return 400, {"error": "body needs a 'context' string"}
@@ -288,6 +305,11 @@ class ServiceHTTPServer:
             payload, error = self._parse_body(body)
             if error is not None:
                 return error
+            try:
+                wire.validate_job(payload.get("kind", "tune"), payload)
+            except ServiceError as exc:
+                return 400, {"error": str(exc)}
+            payload.pop("schema_version", None)
             context = payload.pop("context", None)
             kind = payload.pop("kind", "tune")
             tenant = payload.pop("tenant", "default")

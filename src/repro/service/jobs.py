@@ -105,7 +105,7 @@ from repro.errors import (
 )
 from repro.service.scheduler import PRIORITIES, FairQueue
 
-JOB_KINDS = ("tune", "sweep")
+JOB_KINDS = ("tune", "sweep", "retune")
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
 
@@ -367,6 +367,15 @@ class JobManager:
                     f"tenant {tenant!r} at quota "
                     f"({self.tenant_quota} active jobs); retry later"
                 )
+        if kind == "retune":
+            # Resolve the previous configuration INTO the payload now so
+            # the journaled record is self-contained: a crash-recovery
+            # re-run (or a worker re-dispatch) replays the exact same
+            # retune, regardless of what other jobs finished since.
+            payload = dict(payload)
+            self.service.contexts[context].prepare_retune(
+                payload, self._carried_configuration(context),
+            )
         record = JobRecord(
             f"job-{self._counter:06d}", kind, context, payload,
             tenant=tenant, priority=priority, deadline_s=deadline_s,
@@ -375,6 +384,30 @@ class JobManager:
         self._counter += 1
         self._admit(record)
         return record
+
+    def _carried_configuration(self, context: str):
+        """``(index_specs, generation)`` from the most recent completed
+        tune/retune job in ``context``, or ``None`` for a cold start."""
+        for job_id in reversed(self._order):
+            record = self.jobs.get(job_id)
+            if record is None or record.context != context:
+                continue
+            if record.kind not in ("tune", "retune"):
+                continue
+            if record.state != "done" or not isinstance(record.result, dict):
+                continue
+            body = record.result.get("result")
+            if not isinstance(body, dict):
+                continue
+            specs = body.get("indexes")
+            if specs is None:
+                continue
+            generation = 1
+            retune = record.result.get("retune")
+            if isinstance(retune, dict):
+                generation = int(retune.get("generation", 1))
+            return list(specs), generation
+        return None
 
     def _admit(self, record: JobRecord) -> None:
         """Track a new record, journal its submission, and (when this

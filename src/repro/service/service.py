@@ -64,6 +64,7 @@ from repro.service.faults import (
 from repro.service.jobs import JobManager, JobRecord
 from repro.service.journal import JobJournal
 from repro.service.scheduler import ContextLane, ContextScheduler
+from repro.service.wire import validate_job_payload, validate_request
 from repro.stats.column_stats import DatabaseStats
 from repro.workload.query import Workload
 
@@ -421,6 +422,10 @@ class AdvisorService:
         if not self.started or self._closing:
             raise ServiceError("service is not running")
         payload = dict(payload or {})
+        # The same closed envelope the HTTP layer enforces: in-process
+        # callers must not smuggle routing (or any unknown) fields into
+        # a coalescing key.
+        validate_request(kind, payload)
         key = (kind, context, canonical_payload(payload))
         self.requests[kind] += 1
         existing = self._inflight.get(key)
@@ -566,6 +571,15 @@ class AdvisorService:
                     # job object — never reusable; don't leave idle
                     # workers parked on the lane.
                     lane.engine.shutdown()
+        if kind == "retune":
+            try:
+                return context.run_retune(payload, engine,
+                                          progress=progress)
+            finally:
+                if lane is not None:
+                    # Like a sweep, a retune forks against a transient
+                    # job object — the lane pool is not reusable after.
+                    lane.engine.shutdown()
         if kind == "estimate_size":
             return context.run_estimate_size(payload)
         if kind == "whatif_cost":
@@ -583,12 +597,17 @@ class AdvisorService:
                    deadline_s: float | None = None,
                    retries: int = 0,
                    retry_backoff: float | None = None) -> JobRecord:
-        """Submit a ``tune``/``sweep`` job; returns its record (poll
+        """Submit a ``tune``/``sweep``/``retune`` job; returns its
+        record (poll
         via :meth:`job`, stream via :meth:`job_events`).  ``tenant``
         tags the submission for fairness/quota accounting; ``priority``
         picks its lane (``high``/``normal``/``low``); ``deadline_s``
         bounds its wall time from submission; ``retries``/
         ``retry_backoff`` give transient failures a budget."""
+        # Same closed schema as POST /v1/jobs, minus the envelope: a
+        # payload smuggling routing fields would skew journaled re-runs
+        # and warm-affinity signatures, so it fails at submission.
+        validate_job_payload(kind, dict(payload or {}))
         return self.jobs.submit(kind, context, dict(payload or {}),
                                 tenant=tenant, priority=priority,
                                 deadline_s=deadline_s, retries=retries,

@@ -4,7 +4,7 @@ behaviour of compressing existing base structures."""
 
 import pytest
 
-from repro.advisor import tune
+from repro.api import tune
 from repro.advisor.advisor import AdvisorResult
 from repro.datasets import tpch_database, tpch_workload
 from repro.errors import AdvisorError
@@ -99,7 +99,7 @@ class TestDegenerateWorkloads:
 
 class TestDecoupledStrawman:
     def test_everything_compressed(self, env):
-        from repro.advisor import tune_decoupled
+        from repro.api import tune_decoupled
 
         db, stats, estimator = env
         workload = tpch_workload(db, select_weight=1.0, insert_weight=10.0)
@@ -109,7 +109,7 @@ class TestDecoupledStrawman:
         assert any("decoupled" in step for step in result.steps)
 
     def test_integrated_never_loses(self, env):
-        from repro.advisor import tune_decoupled
+        from repro.api import tune_decoupled
 
         db, stats, estimator = env
         workload = tpch_workload(db, select_weight=1.0, insert_weight=10.0)

@@ -1,0 +1,111 @@
+"""The ``repro.api`` facade and the deprecation shims around it.
+
+The contract: ``Session`` is the one public entry point (tune / retune
+/ tune_decoupled / sweep over owned context); the historical free
+functions remain importable from their old homes as PEP 562 shims that
+warn and return the *same object* (byte-identical behaviour by
+construction); and ``repro.api`` re-exports that object un-deprecated.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+import repro.advisor
+import repro.advisor.advisor as advisor_mod
+import repro.advisor.sweep as sweep_mod
+from repro.api import Session, run_sweep, tune, tune_decoupled
+from repro.datasets.sales import sales_database, sales_workload
+from repro.errors import AdvisorError
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    db = sales_database(scale=0.02)
+    return db, sales_workload(db)
+
+
+def _deprecated(module, name):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        got = getattr(module, name)
+    assert any(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    ), f"{module.__name__}.{name} did not warn"
+    return got
+
+
+class TestShims:
+    def test_shims_are_the_same_objects(self):
+        """Byte-identical by construction: every deprecated path hands
+        back the exact function the facade exports."""
+        assert _deprecated(advisor_mod, "tune") is tune
+        assert _deprecated(advisor_mod, "tune_decoupled") is tune_decoupled
+        assert _deprecated(sweep_mod, "run_sweep") is run_sweep
+        # ... and the package-level re-exports forward to the same.
+        assert _deprecated(repro.advisor, "tune") is tune
+        assert _deprecated(repro.advisor, "run_sweep") is run_sweep
+        assert _deprecated(repro, "tune") is tune
+        assert _deprecated(repro, "tune_decoupled") is tune_decoupled
+        assert _deprecated(repro, "run_sweep") is run_sweep
+
+    def test_api_exports_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.api import run_sweep, tune, tune_decoupled  # noqa: F401, F811
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            advisor_mod.no_such_name
+        with pytest.raises(AttributeError):
+            sweep_mod.no_such_name
+
+
+class TestSession:
+    def test_session_tune_matches_functional_form(self, inputs):
+        """A fresh session's cold tune is byte-identical to the
+        functional entry point on the same inputs."""
+        db, wl = inputs
+        budget = db.total_data_bytes() * 0.15
+        via_session = Session(db, wl, variant="dtac-none").tune(budget)
+        direct = tune(db, wl, budget, variant="dtac-none")
+        assert sorted(ix.display_name()
+                      for ix in via_session.configuration) == \
+            sorted(ix.display_name() for ix in direct.configuration)
+        assert via_session.final_cost == direct.final_cost
+        assert via_session.steps == direct.steps
+
+    def test_session_owns_budget_and_advances_generation(self, inputs):
+        db, wl = inputs
+        session = Session(db, wl, budget_fraction=0.15,
+                          variant="dtac-none")
+        assert session.generation == 0
+        result = session.tune()
+        assert session.generation == 1
+        assert session.configuration is result.configuration
+        delta = session.retune()
+        assert session.generation == 2
+        assert delta.generation == 2
+        assert delta.previous_configuration is result.configuration
+
+    def test_budget_validation(self, inputs):
+        db, wl = inputs
+        with pytest.raises(AdvisorError, match="not both"):
+            Session(db, wl, budget_bytes=1.0, budget_fraction=0.1)
+        with pytest.raises(AdvisorError, match="no budget"):
+            Session(db, wl, variant="dtac-none").tune()
+        with pytest.raises(AdvisorError, match="no workload"):
+            Session(db, budget_fraction=0.1).tune()
+
+    def test_sweep_and_decoupled_do_not_advance_session(self, inputs):
+        db, wl = inputs
+        session = Session(db, wl, budget_fraction=0.15,
+                          variant="dtac-none")
+        budget = db.total_data_bytes() * 0.15
+        sweep = session.sweep([budget])
+        assert len(sweep.runs) == 1
+        staged = session.tune_decoupled()
+        assert staged.configuration is not None
+        assert session.configuration is None
+        assert session.generation == 0

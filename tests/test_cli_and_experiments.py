@@ -157,7 +157,7 @@ class TestFastExperiments:
 
     def test_vl1_single_budget(self):
         from repro.engine import validate_recommendation
-        from repro.advisor import tune
+        from repro.api import tune
         from repro.datasets import tpch_workload
         from repro.experiments.common import get_tpch
 

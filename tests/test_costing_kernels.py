@@ -10,7 +10,7 @@ import sys
 
 import pytest
 
-from repro.advisor import tune
+from repro.api import tune
 from repro.datasets import sales_database, sales_workload
 from repro.errors import OptimizerError
 from repro.optimizer.kernels import (
@@ -123,7 +123,7 @@ class TestKernelIdentity:
 
 
 _HASHSEED_SCRIPT = """\
-from repro.advisor import tune
+from repro.api import tune
 from repro.datasets import sales_database, sales_workload
 
 db = sales_database(scale=0.02)

@@ -24,7 +24,7 @@ import urllib.request
 
 import pytest
 
-from repro.advisor.advisor import tune
+from repro.api import tune
 from repro.datasets.sales import sales_database, sales_workload
 from repro.service import serialize_result
 

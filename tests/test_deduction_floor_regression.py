@@ -72,7 +72,7 @@ class TestDeductionFloor:
 
 class TestConsumerQuantization:
     def test_advisor_sizes_are_whole_pages(self, env):
-        from repro.advisor import tune
+        from repro.api import tune
         from repro.datasets import tpch_workload
 
         db, stats, estimator = env

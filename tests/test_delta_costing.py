@@ -15,7 +15,7 @@ import random
 import pytest
 
 from repro.advisor.advisor import AdvisorOptions, TuningAdvisor, tune
-from repro.advisor.sweep import run_sweep
+from repro.api import run_sweep
 from repro.datasets.sales import sales_database, sales_workload
 from repro.parallel.cache import CostCache
 from repro.parallel.engine import fork_available

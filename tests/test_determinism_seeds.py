@@ -42,7 +42,7 @@ print(ZipfSampler(1000, 1.2, seed=5).sample_many(500))
 """
 
 _DELTA_TUNE_DIGEST_SCRIPT = """
-from repro.advisor.advisor import tune
+from repro.api import tune
 from repro.datasets.sales import sales_database, sales_workload
 
 db = sales_database(scale=0.03)

@@ -28,7 +28,7 @@ import time
 
 import pytest
 
-from repro.advisor.advisor import tune
+from repro.api import tune
 from repro.datasets.sales import sales_database, sales_workload
 from repro.errors import JobError
 from repro.service import (

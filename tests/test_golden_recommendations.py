@@ -20,11 +20,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.advisor.advisor import (
-    TuningAdvisor,
-    get_variant,
-    tune,
-)
+from repro.advisor.advisor import TuningAdvisor, get_variant
+from repro.api import tune
 from repro.datasets import (
     sales_database,
     sales_workload,

@@ -3,7 +3,7 @@ advisor's budget accounting checked against ground-truth index builds."""
 
 import pytest
 
-from repro.advisor import tune
+from repro.api import tune
 from repro.compression import ADVISOR_METHODS, CompressionMethod
 from repro.datasets import tpch_workload
 from repro.physical import IndexDef

@@ -272,7 +272,8 @@ class TestOverHTTP:
     def test_routing_fields_rejected_inside_payload(self, priority_inputs):
         """`tenant`/`priority` must ride the submission envelope — a
         payload smuggling them would skew coalescing keys and journaled
-        payloads, so the run path rejects it outright."""
+        payloads, so the closed wire schema rejects it at submission
+        (no job record is ever created)."""
         db, wl = priority_inputs
 
         async def scenario():
@@ -283,16 +284,13 @@ class TestOverHTTP:
                 with pytest.raises(ServiceError, match="routing"):
                     await service.tune("sales", budget_fraction=0.1,
                                        tenant="acme")
-                record = service.submit_job(
-                    "tune", "sales",
-                    dict(budget_fraction=0.1, priority="high"),
-                )
-                async for _ in service.job_events(record.id):
-                    pass
-                return record.snapshot()
+                with pytest.raises(ServiceError, match="routing"):
+                    service.submit_job(
+                        "tune", "sales",
+                        dict(budget_fraction=0.1, priority="high"),
+                    )
+                return service.jobs.list_jobs()
             finally:
                 await service.stop()
 
-        snapshot = run(scenario())
-        assert snapshot["state"] == "failed"
-        assert "routing" in snapshot["error"]
+        assert run(scenario()) == []

@@ -13,7 +13,7 @@ import random
 
 import pytest
 
-from repro.advisor import tune, tune_decoupled
+from repro.api import tune, tune_decoupled
 from repro.catalog import Column, Database, INT, Table, char, decimal, DATE
 from repro.compression import CompressionMethod
 from repro.optimizer import WhatIfOptimizer

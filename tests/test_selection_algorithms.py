@@ -29,7 +29,7 @@ from repro.advisor.algorithms import (
     SelectionAlgorithm,
 )
 from repro.advisor.enumeration import Enumerator
-from repro.advisor.sweep import run_sweep
+from repro.api import run_sweep
 from repro.datasets.sales import sales_database, sales_workload
 from repro.errors import AdvisorError, JobCancelled, ServiceError
 from repro.service import AdvisorService, describe_algorithms
@@ -160,7 +160,7 @@ class TestDeterminismAndBudget:
         identical stdout digests from subprocesses with different
         PYTHONHASHSEED values."""
         script = f"""
-from repro.advisor.advisor import tune
+from repro.api import tune
 from repro.datasets.sales import sales_database, sales_workload
 
 db = sales_database(scale=0.02)

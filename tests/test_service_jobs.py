@@ -15,7 +15,7 @@ import threading
 
 import pytest
 
-from repro.advisor.advisor import tune
+from repro.api import tune
 from repro.datasets.sales import sales_database, sales_workload
 from repro.errors import BackpressureError, JobError
 from repro.service import AdvisorService, serialize_result

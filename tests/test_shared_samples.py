@@ -169,7 +169,7 @@ class TestEstimatorWiring:
         warmed samples exactly once and still answers byte-identically
         (the identity half is pinned in test_parallel_engine)."""
         monkeypatch.setenv("REPRO_FORCE_PARALLEL", "1")
-        from repro.advisor import tune
+        from repro.api import tune
         from repro.datasets import sales_workload
 
         db = sales_database(scale=0.04)

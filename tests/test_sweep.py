@@ -5,7 +5,7 @@ rate, and cache snapshot isolation between sweep units."""
 
 import pytest
 
-from repro.advisor import run_sweep, tune
+from repro.api import run_sweep, tune
 from repro.datasets import sales_database, sales_workload
 from repro.errors import AdvisorError
 from repro.parallel.engine import fork_available

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.advisor import tune
+from repro.api import tune
 from repro.datasets import tpch_database, tpch_workload
 from repro.engine import (
     SizeCheck,

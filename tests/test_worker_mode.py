@@ -16,7 +16,7 @@ import asyncio
 
 import pytest
 
-from repro.advisor.advisor import tune
+from repro.api import tune
 from repro.datasets.sales import sales_database, sales_workload
 from repro.service import (
     AdvisorService,
